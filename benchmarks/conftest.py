@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures: it runs the
+corresponding experiment driver once (wrapped in pytest-benchmark so the
+suite can be invoked with ``--benchmark-only``), writes the resulting data
+table to ``benchmarks/results/``, prints it, and asserts the qualitative
+shape the paper reports (who wins, by roughly what factor, where crossovers
+fall).  Absolute numbers are not compared against the paper — the substrate
+is a simulator, not the original testbed.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+#: Directory where each benchmark drops the table it regenerated.
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def save_and_show(result, metric="bandwidth_mbps", name=None):
+    """Write an experiment result table to disk and echo it to stdout."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    table = result.to_table(metric=metric)
+    filename = f"{name or result.name}.txt"
+    with open(os.path.join(RESULTS_DIR, filename), "w") as handle:
+        handle.write(table + "\n")
+    print("\n" + table)
+    return table
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark and return its value.
+
+    The experiments are deterministic simulations, so repeating them would
+    only re-measure the same computation; a single round keeps the whole
+    harness fast while still reporting wall-clock cost per figure.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,53 @@
+"""Figure 6 — single-file test on Solaris.
+
+Regenerates both panels: output bandwidth versus file size (0-200 KB) and
+connection rate versus file size for small documents (0-20 KB), for SPED,
+Flash (AMPED), Zeus, MT, MP and Apache.
+
+Paper shape asserted here:
+
+* on this trivial cached workload the choice of architecture has little
+  impact — the Flash-family servers and Zeus stay within a narrow band;
+* Apache achieves significantly lower performance across the range;
+* Flash-SPED slightly outperforms Flash (AMPED pays the residency test);
+* absolute performance is well below the FreeBSD numbers (checked in the
+  Figure 7 benchmark against this one's saved results).
+"""
+
+from conftest import save_and_show
+
+from repro.experiments.single_file import SingleFileExperiment
+
+
+def test_fig06_single_file_solaris(run_once):
+    experiment = SingleFileExperiment("solaris", duration=1.5, warmup=0.5)
+    result = run_once(experiment.run)
+    save_and_show(result, metric="bandwidth_mbps", name="fig06_bandwidth")
+
+    rate_experiment = SingleFileExperiment(
+        "solaris", file_sizes_kb=(1, 5, 10, 20), duration=1.5, warmup=0.5
+    )
+    rates = rate_experiment.run()
+    save_and_show(rates, metric="request_rate", name="fig06_connection_rate")
+
+    flash_family = ("sped", "flash", "mt", "mp")
+    for size_kb in result.x_values:
+        family_values = [result.value(server, size_kb) for server in flash_family]
+        zeus_value = result.value("zeus", size_kb)
+        # Architecture has little impact: the family (and Zeus) sit in a band.
+        assert max(family_values) / min(family_values) < 1.4, (
+            f"architectures diverged too much at {size_kb} KB"
+        )
+        assert zeus_value > 0.55 * max(family_values)
+        # Apache clearly trails every Flash variant.
+        assert result.value("apache", size_kb) < 0.8 * min(family_values)
+
+    # Flash-SPED >= Flash at every size (no mincore test in SPED).
+    for size_kb in result.x_values:
+        assert result.value("sped", size_kb) >= 0.98 * result.value("flash", size_kb)
+
+    # Small-file connection rates: Flash and SPED lead, Apache is far behind.
+    for size_kb in rates.x_values:
+        assert rates.value("apache", size_kb, "request_rate") < 0.7 * rates.value(
+            "flash", size_kb, "request_rate"
+        )

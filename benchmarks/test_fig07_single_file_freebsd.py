@@ -1,0 +1,62 @@
+"""Figure 7 — single-file test on FreeBSD.
+
+Same workload as Figure 6 on the faster network stack.  MT is absent
+(FreeBSD 2.2.6 has no kernel threads).  Paper shape asserted here:
+
+* all servers are substantially faster than on Solaris (the paper reports
+  Solaris results up to ~50% lower);
+* the gap between Apache and the rest is magnified by the higher network
+  performance;
+* Zeus shows an anomalous dip for file sizes of roughly 100 KB and above,
+  caused by the byte-alignment problem of Section 5.5 — its relative
+  performance against Flash is clearly worse at 128-175 KB than at 50-90 KB;
+* Flash-SPED again edges Flash slightly.
+"""
+
+from conftest import save_and_show
+
+from repro.experiments.single_file import SingleFileExperiment
+from repro.sim.runner import run_simulation
+from repro.workload.synthetic import SingleFileWorkload
+
+
+def test_fig07_single_file_freebsd(run_once):
+    experiment = SingleFileExperiment("freebsd", duration=1.5, warmup=0.5)
+    result = run_once(experiment.run)
+    save_and_show(result, metric="bandwidth_mbps", name="fig07_bandwidth")
+
+    rate_experiment = SingleFileExperiment(
+        "freebsd", file_sizes_kb=(1, 5, 10, 20), duration=1.5, warmup=0.5
+    )
+    rates = rate_experiment.run()
+    save_and_show(rates, metric="request_rate", name="fig07_connection_rate")
+
+    assert "mt" not in result.servers          # no kernel threads on FreeBSD 2.2.6
+
+    # FreeBSD is substantially faster than Solaris for the same server.
+    solaris_flash = run_simulation(
+        "flash", SingleFileWorkload(20 * 1024), platform="solaris",
+        num_clients=64, duration=1.5, warmup=0.5,
+    )
+    freebsd_flash = run_simulation(
+        "flash", SingleFileWorkload(20 * 1024), platform="freebsd",
+        num_clients=64, duration=1.5, warmup=0.5,
+    )
+    assert freebsd_flash.request_rate > 1.5 * solaris_flash.request_rate
+
+    # Apache's gap is larger on FreeBSD than the architecture spread.
+    for size_kb in result.x_values:
+        flash_value = result.value("flash", size_kb)
+        assert result.value("apache", size_kb) < 0.75 * flash_value
+
+    # Flash-SPED >= Flash.
+    for size_kb in result.x_values:
+        assert result.value("sped", size_kb) >= 0.98 * result.value("flash", size_kb)
+
+    # The Zeus byte-alignment anomaly: between 100 and 200 KB Zeus loses
+    # ground against Flash compared to the 50-90 KB range.
+    zeus_ratio_mid = result.ratio("zeus", "flash", 50)
+    zeus_ratio_anomaly = result.ratio("zeus", "flash", 128)
+    assert zeus_ratio_anomaly < zeus_ratio_mid - 0.1, (
+        "expected Zeus's alignment anomaly to depress its 100-200 KB throughput"
+    )

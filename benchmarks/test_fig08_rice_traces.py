@@ -1,0 +1,42 @@
+"""Figure 8 — performance on the Rice server traces (Solaris).
+
+Replays the CS-like and Owlnet-like traces against Apache, MP, MT, SPED and
+Flash.  Paper shape asserted here:
+
+* Flash (AMPED) achieves the highest throughput on both workloads;
+* Apache achieves the lowest throughput on both workloads;
+* Flash-SPED's relative performance (vs. Flash) is much better on the
+  cache-friendly Owlnet trace than on the disk-heavier CS trace;
+* MP's relative performance (vs. Flash) is better on the CS trace than on
+  Owlnet — the MP architecture copes better once disk activity matters.
+"""
+
+from conftest import save_and_show
+
+from repro.experiments.trace_replay import TraceReplayExperiment
+
+
+def test_fig08_rice_traces(run_once):
+    experiment = TraceReplayExperiment("solaris", duration=4.0, warmup=1.5)
+    result = run_once(experiment.run)
+    save_and_show(result, metric="bandwidth_mbps", name="fig08_traces")
+
+    def bandwidth(server, trace):
+        return experiment.bandwidth(result, server, trace)
+
+    servers = ("apache", "mp", "mt", "sped", "flash")
+    for trace in ("cs", "owlnet"):
+        values = {server: bandwidth(server, trace) for server in servers}
+        # Flash highest, Apache lowest, on both traces.
+        assert max(values, key=values.get) == "flash", f"Flash not highest on {trace}: {values}"
+        assert min(values, key=values.get) == "apache", f"Apache not lowest on {trace}: {values}"
+
+    # SPED fares relatively better on Owlnet than on CS.
+    sped_cs = bandwidth("sped", "cs") / bandwidth("flash", "cs")
+    sped_owlnet = bandwidth("sped", "owlnet") / bandwidth("flash", "owlnet")
+    assert sped_owlnet > sped_cs + 0.05
+
+    # MP fares relatively better on CS than on Owlnet.
+    mp_cs = bandwidth("mp", "cs") / bandwidth("flash", "cs")
+    mp_owlnet = bandwidth("mp", "owlnet") / bandwidth("flash", "owlnet")
+    assert mp_cs > mp_owlnet - 0.02

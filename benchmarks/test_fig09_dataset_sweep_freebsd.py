@@ -1,0 +1,61 @@
+"""Figure 9 — real workload with varying data-set size on FreeBSD.
+
+The ECE-like trace is truncated to data-set sizes between 30 and 150 MB and
+replayed by 64 clients against SPED, Flash, Zeus, MP and Apache.  Paper
+shape asserted here:
+
+* every server declines as the data set grows beyond the cache;
+* Flash tracks Flash-SPED while everything is cached and matches or exceeds
+  the MP server once the workload becomes disk-bound — the design goal of
+  the AMPED architecture;
+* Flash-SPED's performance drops drastically once disk activity starts, and
+  its drop comes no later than Flash's;
+* Zeus's decline (relative to its own cached-regime performance) is milder
+  than SPED's — its small-document priority shrinks the effective working
+  set, which the paper uses to explain its later drop;
+* Apache trails Flash across the whole range.
+"""
+
+from conftest import save_and_show
+
+from repro.experiments.dataset_sweep import DatasetSweepExperiment
+
+
+def test_fig09_dataset_sweep_freebsd(run_once):
+    experiment = DatasetSweepExperiment("freebsd", duration=3.0, warmup=1.0)
+    result = run_once(experiment.run)
+    save_and_show(result, metric="bandwidth_mbps", name="fig09_dataset_sweep_freebsd")
+
+    smallest = min(result.x_values)
+    largest = max(result.x_values)
+
+    # Cached regime: Flash within a few percent of SPED.
+    assert result.ratio("flash", "sped", smallest) > 0.9
+
+    # Every server declines from its cached-regime throughput.
+    for server in result.servers:
+        assert result.value(server, largest) < result.value(server, smallest), (
+            f"{server} did not decline as the data set grew"
+        )
+
+    # SPED collapses hardest; Flash stays well above it when disk-bound.
+    assert result.value("flash", largest) > 1.5 * result.value("sped", largest)
+
+    # Flash matches or exceeds MP on the disk-bound side.
+    assert result.value("flash", largest) >= 0.95 * result.value("mp", largest)
+
+    # Apache below Flash everywhere.
+    for x in result.x_values:
+        assert result.value("apache", x) < result.value("flash", x)
+
+    # Zeus retains more of its cached-regime performance than SPED does
+    # (the paper's "Zeus's drop appears later" observation).
+    zeus_retention = result.value("zeus", largest) / result.value("zeus", smallest)
+    sped_retention = result.value("sped", largest) / result.value("sped", smallest)
+    assert zeus_retention > sped_retention
+
+    # SPED's drop point (first fall below 85% of its peak) is no later than
+    # Flash's: SPED is the first architecture to feel the disk.
+    sped_drop = result.drop_point("sped") or largest
+    flash_drop = result.drop_point("flash") or largest
+    assert sped_drop <= flash_drop

@@ -1,0 +1,61 @@
+"""Figure 10 — real workload with varying data-set size on Solaris.
+
+Same sweep as Figure 9 but on the Solaris profile and including Flash-MT.
+Paper shape asserted here:
+
+* Flash-MT is comparable to Flash for both in-core and disk-bound data sets
+  (the paper notes this required carefully minimizing lock contention);
+* Flash-SPED deteriorates sharply with disk activity, as on FreeBSD;
+* Flash matches or exceeds MP on disk-bound data sets;
+* Apache trails everywhere;
+* absolute throughput is lower than the FreeBSD sweep at the same data-set
+  size (the paper reports Solaris up to ~50% lower).
+"""
+
+from conftest import save_and_show
+
+from repro.experiments.dataset_sweep import DatasetSweepExperiment
+from repro.sim.runner import run_simulation
+from repro.workload.traces import ECE_TRACE, TraceWorkload
+
+MB = 1024 * 1024
+
+
+def test_fig10_dataset_sweep_solaris(run_once):
+    experiment = DatasetSweepExperiment("solaris", duration=3.0, warmup=1.0)
+    result = run_once(experiment.run)
+    save_and_show(result, metric="bandwidth_mbps", name="fig10_dataset_sweep_solaris")
+
+    smallest = min(result.x_values)
+    largest = max(result.x_values)
+
+    # MT comparable to Flash in both regimes (within 15%).
+    for x in (smallest, largest):
+        ratio = result.ratio("mt", "flash", x)
+        assert 0.85 <= ratio <= 1.15, f"MT/Flash ratio {ratio:.2f} at {x} MB"
+
+    # SPED deteriorates sharply; Flash does not follow it down.
+    assert result.value("sped", largest) < 0.65 * result.value("sped", smallest)
+    assert result.value("flash", largest) > 1.5 * result.value("sped", largest)
+
+    # Flash >= MP when disk-bound.
+    assert result.value("flash", largest) >= 0.95 * result.value("mp", largest)
+    # Apache is the lowest server while the working set is cached, and stays
+    # below Flash across the whole sweep.  (Once SPED collapses on the
+    # largest data sets it can dip below Apache, as in the paper's figure.)
+    assert result.value("apache", smallest) == min(
+        result.value(server, smallest) for server in result.servers
+    )
+    for x in result.x_values:
+        assert result.value("apache", x) < result.value("flash", x)
+
+    # Solaris is substantially slower than FreeBSD on the cached end.
+    freebsd_flash = run_simulation(
+        "flash",
+        TraceWorkload(ECE_TRACE.scaled_to_dataset(int(smallest) * MB)),
+        platform="freebsd",
+        num_clients=64,
+        duration=2.0,
+        warmup=0.5,
+    )
+    assert result.value("flash", smallest) < 0.7 * freebsd_flash.bandwidth_mbps

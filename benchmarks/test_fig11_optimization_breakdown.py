@@ -1,0 +1,54 @@
+"""Figure 11 — Flash performance breakdown (caching optimizations).
+
+The FreeBSD single-file test is repeated with all eight combinations of the
+pathname-translation, mapped-file and response-header caches.  Paper shape
+asserted here:
+
+* the fully optimized Flash achieves the highest connection rate at every
+  file size;
+* with no caching at all, small-file performance drops to roughly half;
+* every individual optimization contributes: each single-cache variant
+  beats "no caching";
+* pathname translation caching provides the largest single benefit;
+* the impact of the optimizations is strongest for small documents.
+"""
+
+from conftest import save_and_show
+
+from repro.experiments.optimization_breakdown import OptimizationBreakdownExperiment
+
+
+def test_fig11_optimization_breakdown(run_once):
+    experiment = OptimizationBreakdownExperiment("freebsd", duration=1.5, warmup=0.5)
+    result = run_once(experiment.run)
+    save_and_show(result, metric="request_rate", name="fig11_optimization_breakdown")
+
+    def rate(label, size_kb):
+        return result.value(label, size_kb, "request_rate")
+
+    sizes = result.x_values
+    small = min(sizes)
+
+    # Full Flash is the best combination at every size.
+    for size_kb in sizes:
+        best = max(result.rows, key=lambda row: row.request_rate if row.x == size_kb else -1)
+        assert rate("all (Flash)", size_kb) >= 0.98 * best.request_rate
+
+    # Without optimizations, small-file performance roughly halves.
+    drop = rate("no caching", small) / rate("all (Flash)", small)
+    assert 0.35 <= drop <= 0.65, f"no-caching small-file ratio {drop:.2f} not near one half"
+
+    # Each single optimization beats no caching.
+    for single in ("path only", "mmap only", "resp only"):
+        assert rate(single, small) > rate("no caching", small)
+
+    # Pathname translation caching is the largest single benefit.
+    assert rate("path only", small) > rate("mmap only", small)
+    assert rate("path only", small) > rate("resp only", small)
+
+    # The benefit of caching shrinks as files get larger (per-request savings
+    # are amortized over more bytes).
+    large = max(sizes)
+    gain_small = rate("all (Flash)", small) / rate("no caching", small)
+    gain_large = rate("all (Flash)", large) / rate("no caching", large)
+    assert gain_small >= gain_large

@@ -1,0 +1,48 @@
+"""Figure 12 — adding clients under WAN conditions (Solaris, 90 MB data set).
+
+Persistent connections emulate long-lived WAN clients; the number of
+simultaneous clients sweeps from 16 to 500.  Paper shape asserted here:
+
+* SPED, AMPED (Flash) and MT remain roughly stable as clients are added
+  (after an initial rise from aggregation effects);
+* the MP model's performance declines significantly as the number of
+  concurrent connections grows, because every connection occupies a whole
+  process;
+* MT holds up better than MP but worse than the event-driven architectures
+  at the highest connection counts.
+"""
+
+from conftest import save_and_show
+
+from repro.experiments.wan_clients import WANClientsExperiment
+
+
+def test_fig12_wan_clients(run_once):
+    experiment = WANClientsExperiment("solaris", duration=3.0, warmup=1.0)
+    result = run_once(experiment.run)
+    save_and_show(result, metric="bandwidth_mbps", name="fig12_wan_clients")
+
+    counts = result.x_values
+    few = min(counts)                      # 16 clients
+    many = max(counts)                     # 500 clients
+
+    def retention(server):
+        peak = max(value for _, value in result.series(server))
+        return result.value(server, many) / peak
+
+    # Event-driven architectures stay roughly flat out to 500 connections.
+    assert retention("flash") > 0.85
+    assert retention("sped") > 0.8
+
+    # MP declines significantly: it loses a large fraction of its peak.
+    assert retention("mp") < 0.7
+
+    # MT holds up better than MP.
+    assert retention("mt") > retention("mp")
+
+    # At 500 clients Flash clearly exceeds MP.
+    assert result.value("flash", many) > 1.3 * result.value("mp", many)
+
+    # MP's decline accelerates with connection count: it is worse at 500
+    # than at the small end of the sweep.
+    assert result.value("mp", many) < result.value("mp", few)

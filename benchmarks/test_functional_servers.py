@@ -1,0 +1,44 @@
+"""E8 — functional comparison of the real socket servers.
+
+Not a figure from the paper: this benchmark exercises the *functional* layer
+(real AMPED/SPED/MT/MP servers over TCP, driven by the event-driven load
+generator) on a small cached workload.  It checks the functional analogue of
+the paper's cached-workload observation — all four architectures built from
+the shared code base serve identical content correctly and at broadly
+comparable rates when everything is in memory — and reports their measured
+throughput on this host.
+"""
+
+from conftest import save_and_show
+
+from repro.experiments.functional import (
+    FunctionalComparisonExperiment,
+    FunctionalRunSettings,
+)
+
+
+def test_functional_server_comparison(run_once):
+    experiment = FunctionalComparisonExperiment(
+        architectures=("amped", "sped", "mt", "mp"),
+        settings=FunctionalRunSettings(
+            file_size=8 * 1024,
+            num_clients=8,
+            duration=1.5,
+            num_workers=8,
+            num_helpers=2,
+        ),
+    )
+    result = run_once(experiment.run)
+    save_and_show(result, metric="request_rate", name="functional_comparison")
+
+    # Every architecture served load without a single client-visible error.
+    for row in result.rows:
+        assert row.details["errors"] == 0, f"{row.server} produced errors"
+        assert row.request_rate > 50, f"{row.server} unreasonably slow"
+
+    # On a fully cached workload the architectures are broadly comparable:
+    # no architecture collapses relative to the best one.
+    rates = {row.server: row.request_rate for row in result.rows}
+    best = max(rates.values())
+    for server, rate in rates.items():
+        assert rate > 0.2 * best, f"{server} fell far behind on a cached workload: {rates}"

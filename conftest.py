@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (e.g. a fresh clone running ``pytest`` directly).  When the
+package *is* installed this is a harmless no-op because the installed copy
+shadows nothing — it is the same directory.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

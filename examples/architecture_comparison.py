@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Compare the four server architectures on a trace workload, two ways.
+
+The paper's central methodology is comparing AMPED, SPED, MP and MT servers
+built from one code base.  This example does that comparison twice:
+
+* **functionally**, with the real socket servers serving a synthetic trace
+  materialized on disk and loaded by the event-driven client (absolute
+  numbers reflect this machine and the Python interpreter); and
+* **in the simulator**, where the 1999 testbed's CPU/disk/memory/network
+  are modeled explicitly and the paper's qualitative results (SPED collapses
+  when the workload is disk-bound, Flash does not) are visible directly.
+
+Run it directly::
+
+    python examples/architecture_comparison.py
+"""
+
+import tempfile
+
+from repro.client import LoadGenerator
+from repro.core.config import ServerConfig
+from repro.servers import create_server
+from repro.sim.runner import run_simulation
+from repro.workload.dataset import materialize_catalog
+from repro.workload.traces import ECE_TRACE, TraceWorkload
+
+MB = 1024 * 1024
+ARCHITECTURES = ("amped", "sped", "mt", "mp")
+
+
+def functional_comparison() -> None:
+    """Drive the real servers with a small trace (fits in memory)."""
+    print("== Functional layer: real sockets, this machine ==")
+    workload = TraceWorkload(ECE_TRACE.scaled_to_dataset(4 * MB))
+    root = tempfile.mkdtemp(prefix="flash-compare-")
+    paths = materialize_catalog(root, workload.files[:300])
+
+    for architecture in ARCHITECTURES:
+        config = ServerConfig(document_root=root, port=0, num_workers=8, num_helpers=2)
+        server = create_server(architecture, config)
+        server.start()
+        try:
+            generator = LoadGenerator(
+                server.address, paths[:100], num_clients=8, duration=1.0
+            )
+            result = generator.run()
+        finally:
+            server.stop()
+        print(
+            f"  {architecture:6s}  {result.request_rate:8,.0f} req/s  "
+            f"{result.bandwidth_mbps:7.1f} Mb/s  errors={result.errors}"
+        )
+
+
+def simulated_comparison() -> None:
+    """Replay the paper's disk-bound regime in the simulator."""
+    print("\n== Performance layer: simulated 1999 testbed (FreeBSD profile) ==")
+    cached = TraceWorkload(ECE_TRACE.scaled_to_dataset(30 * MB))     # fits in cache
+    disk_bound = TraceWorkload(ECE_TRACE.scaled_to_dataset(150 * MB))  # exceeds cache
+
+    print(f"  {'server':8s} {'cached 30MB':>14s} {'disk-bound 150MB':>18s}")
+    for architecture in ("flash", "sped", "mt", "mp", "apache", "zeus"):
+        cached_result = run_simulation(
+            architecture, cached, platform="freebsd", num_clients=64,
+            duration=2.0, warmup=0.5,
+        )
+        disk_result = run_simulation(
+            architecture, disk_bound, platform="freebsd", num_clients=64,
+            duration=2.0, warmup=0.5,
+        )
+        print(
+            f"  {architecture:8s} {cached_result.bandwidth_mbps:11.1f} Mb/s"
+            f" {disk_result.bandwidth_mbps:15.1f} Mb/s"
+            f"   (cache hit rate {disk_result.buffer_cache_hit_rate:.0%})"
+        )
+    print(
+        "\n  Note how Flash (AMPED) tracks SPED on the cached working set but"
+        " keeps most of its throughput once the working set exceeds the file"
+        " cache, while SPED collapses — the paper's Figure 9 in miniature."
+    )
+
+
+def main() -> None:
+    functional_comparison()
+    simulated_comparison()
+
+
+if __name__ == "__main__":
+    main()

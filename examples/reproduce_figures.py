@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation figures as text tables.
+
+Each figure of Section 6 of the paper has an experiment driver in
+:mod:`repro.experiments`; this script runs any or all of them and prints the
+resulting data tables (the same tables the benchmark harness checks and
+stores under ``benchmarks/results/``).
+
+Usage::
+
+    python examples/reproduce_figures.py                # every figure (a few minutes)
+    python examples/reproduce_figures.py fig9 fig11     # just those figures
+    python examples/reproduce_figures.py --quick fig9   # coarser/faster settings
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    DatasetSweepExperiment,
+    OptimizationBreakdownExperiment,
+    SingleFileExperiment,
+    TraceReplayExperiment,
+    WANClientsExperiment,
+)
+
+
+def build_experiments(quick: bool) -> dict:
+    """Map figure name -> (description, experiment factory, metric)."""
+    duration = 1.0 if quick else 2.5
+    trace_duration = 2.0 if quick else 4.0
+    return {
+        "fig6": (
+            "Single-file test, Solaris (bandwidth vs file size)",
+            lambda: SingleFileExperiment("solaris", duration=duration, warmup=0.4),
+            "bandwidth_mbps",
+        ),
+        "fig7": (
+            "Single-file test, FreeBSD (bandwidth vs file size)",
+            lambda: SingleFileExperiment("freebsd", duration=duration, warmup=0.4),
+            "bandwidth_mbps",
+        ),
+        "fig8": (
+            "Rice server traces (CS, Owlnet), Solaris",
+            lambda: TraceReplayExperiment("solaris", duration=trace_duration, warmup=1.0),
+            "bandwidth_mbps",
+        ),
+        "fig9": (
+            "Real workload vs data-set size, FreeBSD",
+            lambda: DatasetSweepExperiment("freebsd", duration=trace_duration, warmup=1.0),
+            "bandwidth_mbps",
+        ),
+        "fig10": (
+            "Real workload vs data-set size, Solaris",
+            lambda: DatasetSweepExperiment("solaris", duration=trace_duration, warmup=1.0),
+            "bandwidth_mbps",
+        ),
+        "fig11": (
+            "Flash optimization breakdown (connection rate)",
+            lambda: OptimizationBreakdownExperiment("freebsd", duration=duration, warmup=0.4),
+            "request_rate",
+        ),
+        "fig12": (
+            "Adding clients under WAN conditions, Solaris",
+            lambda: WANClientsExperiment("solaris", duration=trace_duration, warmup=1.0),
+            "bandwidth_mbps",
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figures", nargs="*", help="figure names (fig6..fig12); default: all")
+    parser.add_argument("--quick", action="store_true", help="shorter simulated runs")
+    args = parser.parse_args(argv)
+
+    experiments = build_experiments(args.quick)
+    wanted = [name.lower() for name in args.figures] or list(experiments)
+    unknown = [name for name in wanted if name not in experiments]
+    if unknown:
+        parser.error(f"unknown figures: {', '.join(unknown)} (choose from {', '.join(experiments)})")
+
+    for name in wanted:
+        description, factory, metric = experiments[name]
+        print(f"\n=== {name}: {description} ===")
+        started = time.time()
+        result = factory().run()
+        print(result.to_table(metric=metric))
+        print(f"({time.time() - started:.1f} s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Reproduction of "Flash: An Efficient and Portable Web Server".
+
+Pai, Druschel and Zwaenepoel, USENIX Annual Technical Conference, 1999.
+
+The package has two complementary layers:
+
+* A **functional layer** (:mod:`repro.core`, :mod:`repro.servers`,
+  :mod:`repro.http`, :mod:`repro.cache`, :mod:`repro.cgi`,
+  :mod:`repro.client`): real, runnable HTTP servers over TCP sockets
+  implementing the AMPED, SPED, MP and MT architectures from a single shared
+  code base, together with the caching optimizations described in the paper
+  and an event-driven multi-client load generator.
+
+* A **performance layer** (:mod:`repro.sim`, :mod:`repro.workload`,
+  :mod:`repro.experiments`): a deterministic discrete-event simulation of the
+  paper's testbed (CPU, disk, OS buffer cache, network, per-process memory
+  overheads) used to regenerate every figure in the paper's evaluation
+  section with the same qualitative shape.
+
+Quickstart
+----------
+
+Run a Flash (AMPED) server on a directory of files::
+
+    from repro import FlashServer, ServerConfig
+
+    config = ServerConfig(document_root="/var/www", port=8080)
+    server = FlashServer(config)
+    server.run_forever()
+
+Reproduce the paper's Figure 9 (data-set size sweep)::
+
+    from repro.experiments import DatasetSweepExperiment
+
+    result = DatasetSweepExperiment(platform="freebsd").run()
+    print(result.to_table())
+"""
+
+from repro._version import __version__
+from repro.core.config import ServerConfig
+from repro.core.server import FlashServer
+from repro.servers import (
+    AMPEDServer,
+    MPServer,
+    MTServer,
+    SPEDServer,
+    create_server,
+)
+
+__all__ = [
+    "__version__",
+    "ServerConfig",
+    "FlashServer",
+    "AMPEDServer",
+    "SPEDServer",
+    "MPServer",
+    "MTServer",
+    "create_server",
+]

@@ -1,0 +1,202 @@
+"""Memory-residency testing (paper Section 5.7).
+
+Flash uses the ``mincore()`` system call to determine whether mapped file
+pages are memory resident before sending them; if they are not, the request
+is handed to a read helper so the main process never blocks on a page fault.
+Section 5.7 also sketches two fallbacks for systems without ``mincore``:
+``mlock``-based cache control, and a feedback-based clock heuristic that
+*predicts* which cached pages are resident using page-fault counters.
+
+This module provides three interchangeable testers:
+
+* :class:`MincoreResidencyTester` — the real thing, using ``mincore`` via
+  ``mmap.madvise``-era interfaces where available and falling back to an
+  optimistic answer elsewhere (documented below).
+* :class:`ClockResidencyPredictor` — the feedback heuristic: a clock over
+  recently touched chunks sized by an estimate of available file-cache
+  memory, adapted with fault feedback.
+* :class:`SimulatedResidencyOracle` — used by tests and by the simulation
+  layer, where residency is defined by the simulated OS buffer cache.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import ctypes.util
+import mmap
+from typing import Optional, Protocol, TYPE_CHECKING
+
+from repro.cache.lru import LRUList
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.cache.mapped_file import MappedChunk
+
+
+class ResidencyTester(Protocol):
+    """Interface shared by every residency tester."""
+
+    def is_resident(self, chunk: "MappedChunk") -> bool:
+        """Return True when all of ``chunk``'s pages are memory resident."""
+        ...
+
+
+def _load_libc_mincore():
+    """Locate the C library's ``mincore`` symbol, or None when unavailable."""
+    try:
+        libc_name = ctypes.util.find_library("c")
+        if not libc_name:
+            return None
+        libc = ctypes.CDLL(libc_name, use_errno=True)
+        return getattr(libc, "mincore", None)
+    except OSError:  # pragma: no cover - depends on platform
+        return None
+
+
+_LIBC_MINCORE = _load_libc_mincore()
+_PAGE_SIZE = mmap.PAGESIZE
+
+
+class MincoreResidencyTester:
+    """Tests page residency with the real ``mincore(2)`` system call.
+
+    On platforms where ``mincore`` cannot be reached through ``ctypes`` the
+    tester degrades to reporting every chunk resident, which corresponds to
+    running Flash in its SPED-like fast path; the paper notes the same
+    graceful degradation for operating systems lacking the call.  The
+    ``optimistic_fallback`` flag can be set to False to instead report
+    non-resident, forcing helper usage.
+    """
+
+    def __init__(self, optimistic_fallback: bool = True):
+        self.optimistic_fallback = optimistic_fallback
+        self.calls = 0
+        self.fallback_answers = 0
+
+    @property
+    def available(self) -> bool:
+        """Whether the real system call is reachable on this platform."""
+        return _LIBC_MINCORE is not None
+
+    def is_resident(self, chunk: "MappedChunk") -> bool:
+        self.calls += 1
+        data = chunk.data
+        if not isinstance(data, mmap.mmap) or chunk.length == 0:
+            return True
+        if _LIBC_MINCORE is None:
+            self.fallback_answers += 1
+            return self.optimistic_fallback
+        pages = (chunk.length + _PAGE_SIZE - 1) // _PAGE_SIZE
+        vec = (ctypes.c_ubyte * pages)()
+        try:
+            address = ctypes.addressof(ctypes.c_char.from_buffer(data))
+        except (TypeError, ValueError):
+            # Read-only mappings cannot be exposed through ctypes; degrade
+            # exactly as on platforms without mincore.
+            self.fallback_answers += 1
+            return self.optimistic_fallback
+        result = _LIBC_MINCORE(
+            ctypes.c_void_p(address), ctypes.c_size_t(chunk.length), vec
+        )
+        if result != 0:
+            self.fallback_answers += 1
+            return self.optimistic_fallback
+        return all(byte & 1 for byte in vec)
+
+
+class ClockResidencyPredictor:
+    """Feedback-based clock heuristic from Section 5.7.
+
+    For operating systems with neither ``mincore`` nor ``mlock``, Flash can
+    run the clock algorithm itself to *predict* which cached file pages are
+    memory resident, adapting the amount of memory it assumes is available to
+    the file cache using feedback from page-fault counters.
+
+    The predictor tracks recently used chunks in an LRU list bounded by an
+    estimate of the file-cache size.  Chunks inside the estimated resident
+    set are predicted resident.  Feedback arrives through
+    :meth:`record_fault` (a predicted-resident page actually faulted: shrink
+    the estimate) and :meth:`record_idle_capacity` (disk stayed idle: grow
+    the estimate), mirroring the continuous-feedback loop the paper sketches.
+    """
+
+    def __init__(
+        self,
+        estimated_cache_bytes: int = 64 * 1024 * 1024,
+        min_cache_bytes: int = 1024 * 1024,
+        max_cache_bytes: int = 1024 * 1024 * 1024,
+        shrink_factor: float = 0.9,
+        grow_factor: float = 1.05,
+    ):
+        if estimated_cache_bytes <= 0:
+            raise ValueError("estimated_cache_bytes must be positive")
+        self.estimated_cache_bytes = float(estimated_cache_bytes)
+        self.min_cache_bytes = float(min_cache_bytes)
+        self.max_cache_bytes = float(max_cache_bytes)
+        self.shrink_factor = shrink_factor
+        self.grow_factor = grow_factor
+        self._recent: LRUList[tuple] = LRUList()
+        self._sizes: dict[tuple, int] = {}
+        self._tracked_bytes = 0
+        self.faults = 0
+        self.predictions = 0
+
+    def is_resident(self, chunk: "MappedChunk") -> bool:
+        self.predictions += 1
+        key = (chunk.key.path, chunk.key.index)
+        resident = key in self._recent
+        self._touch(key, chunk.length)
+        return resident
+
+    def record_fault(self, chunk: "MappedChunk") -> None:
+        """Report that a predicted-resident chunk actually caused disk I/O."""
+        self.faults += 1
+        self.estimated_cache_bytes = max(
+            self.min_cache_bytes, self.estimated_cache_bytes * self.shrink_factor
+        )
+        self._trim()
+
+    def record_idle_capacity(self) -> None:
+        """Report that the disk was idle; the cache estimate can grow."""
+        self.estimated_cache_bytes = min(
+            self.max_cache_bytes, self.estimated_cache_bytes * self.grow_factor
+        )
+
+    def _touch(self, key: tuple, length: int) -> None:
+        if key not in self._recent:
+            self._sizes[key] = length
+            self._tracked_bytes += length
+        self._recent.touch(key)
+        self._trim()
+
+    def _trim(self) -> None:
+        while self._tracked_bytes > self.estimated_cache_bytes and len(self._recent):
+            victim = self._recent.pop_coldest()
+            self._tracked_bytes -= self._sizes.pop(victim, 0)
+
+
+class SimulatedResidencyOracle:
+    """Residency tester driven by an explicit set of resident files.
+
+    Tests and the simulation layer use this to script exactly which content
+    is "in memory": a chunk is resident iff its path is in
+    :attr:`resident_paths` (or everything, when ``default_resident`` is set).
+    """
+
+    def __init__(self, resident_paths: Optional[set] = None, default_resident: bool = False):
+        self.resident_paths = set(resident_paths or ())
+        self.default_resident = default_resident
+        self.queries = 0
+
+    def is_resident(self, chunk: "MappedChunk") -> bool:
+        self.queries += 1
+        if chunk.key.path in self.resident_paths:
+            return True
+        return self.default_resident
+
+    def mark_resident(self, path: str) -> None:
+        """Record that ``path`` is now cached in (simulated) memory."""
+        self.resident_paths.add(path)
+
+    def mark_evicted(self, path: str) -> None:
+        """Record that ``path`` left the (simulated) memory cache."""
+        self.resident_paths.discard(path)

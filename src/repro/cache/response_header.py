@@ -1,0 +1,95 @@
+"""Response header cache (paper Section 5.3).
+
+HTTP servers prepend file data with a response header containing information
+about the file and the server; because the header depends only on the
+underlying file (its size, modification time and type) it can be cached and
+reused when the same file is repeatedly requested.
+
+The cache deliberately has no invalidation mechanism of its own: the
+pathname-translation (mapping) cache detects when a cached file has changed
+and the corresponding header is simply regenerated, exactly as Section 5.3
+describes.  :class:`repro.cache.pathname.PathnameCache` calls
+:meth:`ResponseHeaderCache.invalidate` through its ``on_invalidate`` hook.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.lru import LRUCache
+from repro.http.mime import guess_mime_type
+from repro.http.response import ResponseHeader, ResponseHeaderBuilder
+
+#: Default number of cached headers; headers are small (a few hundred bytes)
+#: so the paper does not bound this cache separately from the pathname cache.
+DEFAULT_MAX_ENTRIES = 6000
+
+
+class ResponseHeaderCache:
+    """Caches pre-built 200-OK response headers keyed by file identity.
+
+    The key is ``(path, size, mtime, keep_alive)``: if any of those change
+    the lookup naturally misses and a fresh header is built, so staleness can
+    only arise through the pathname cache holding a stale size/mtime — which
+    is exactly the condition the pathname cache revalidates.
+    """
+
+    def __init__(
+        self,
+        builder: Optional[ResponseHeaderBuilder] = None,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ):
+        self.builder = builder or ResponseHeaderBuilder()
+        self._cache: LRUCache[tuple, ResponseHeader] = LRUCache(max_entries=max_entries)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def hits(self) -> int:
+        """Number of lookups that reused a cached header."""
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        """Number of lookups that had to build a header."""
+        return self._cache.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit the cache."""
+        return self._cache.hit_rate
+
+    def get(
+        self,
+        path: str,
+        size: int,
+        mtime: float,
+        *,
+        keep_alive: bool = False,
+    ) -> ResponseHeader:
+        """Return a 200 response header for the file, building it on a miss."""
+        key = (path, size, mtime, keep_alive)
+        header = self._cache.get(key)
+        if header is not None:
+            return header
+        header = self.builder.build(
+            200,
+            content_length=size,
+            content_type=guess_mime_type(path),
+            last_modified=mtime,
+            keep_alive=keep_alive,
+        )
+        self._cache.put(key, header)
+        return header
+
+    def invalidate(self, path: str) -> int:
+        """Drop every cached header for ``path``; return how many were dropped."""
+        victims = [key for key in self._cache.keys() if key[0] == path]
+        for key in victims:
+            self._cache.remove(key)
+        return len(victims)
+
+    def clear(self) -> None:
+        """Drop every cached header."""
+        self._cache.clear()

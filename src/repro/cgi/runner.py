@@ -1,0 +1,358 @@
+"""Persistent CGI-style application runner (paper Section 5.6).
+
+The original Flash forwards dynamic requests to CGI-bin application
+*processes* via pipes and keeps those processes alive across requests
+(FastCGI-style).  Here a CGI application is a Python callable registered
+under a name; requests to ``/cgi-bin/<name>`` are forwarded to a persistent
+worker dedicated to that application.  Workers are created lazily on first
+use ("if a process does not currently exist, the server creates it"),
+process one request at a time, and return the generated document.
+
+As with the AMPED helpers, two worker realizations exist:
+
+``"thread"`` (default)
+    One persistent thread per application.  Because the application runs
+    outside the event loop, it can block or compute for a long time without
+    stalling the server, which is the property Section 5.6 cares about.
+``"process"``
+    One persistent process per application, communicating over a pipe —
+    faithful to the paper; requires the application callable and its results
+    to be picklable (with the default ``fork`` start method this is almost
+    always true).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.event_loop import EVENT_READ
+from repro.http.errors import NotFoundError
+from repro.http.request import HTTPRequest
+
+#: Signature of a CGI application: it receives the request data and returns
+#: the response body (HTML) as bytes.
+CGIProgram = Callable[["CGIRequestData"], bytes]
+
+
+@dataclass
+class CGIRequestData:
+    """The picklable subset of a request forwarded to a CGI application."""
+
+    program: str
+    path: str
+    query: str = ""
+    method: str = "GET"
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    @classmethod
+    def from_request(cls, program: str, request: HTTPRequest) -> "CGIRequestData":
+        """Extract the CGI-visible fields from a parsed HTTP request."""
+        return cls(
+            program=program,
+            path=request.path,
+            query=request.query,
+            method=request.method,
+            headers=dict(request.headers),
+            body=request.body,
+        )
+
+
+@dataclass
+class _CGIJob:
+    seq: int
+    data: CGIRequestData
+
+
+@dataclass
+class _CGIDone:
+    seq: int
+    ok: bool
+    body: bytes = b""
+    error_message: str = ""
+
+
+class CGIRunner:
+    """Dispatches dynamic requests to persistent per-application workers.
+
+    Parameters
+    ----------
+    programs:
+        Mapping of application name (the path component after
+        ``/cgi-bin/``) to the application callable.
+    prefix:
+        URI prefix that identifies dynamic requests.
+    mode:
+        ``"thread"`` or ``"process"`` worker realization.
+    """
+
+    def __init__(
+        self,
+        programs: Optional[dict] = None,
+        prefix: str = "/cgi-bin/",
+        mode: str = "thread",
+    ):
+        if mode not in ("thread", "process"):
+            raise ValueError("mode must be 'thread' or 'process'")
+        self.programs: dict[str, CGIProgram] = dict(programs or {})
+        self.prefix = prefix
+        self.mode = mode
+        self._seq = 0
+        self._callbacks: dict[int, Callable] = {}
+        self._workers: dict[str, _Worker] = {}
+        self._done_queue: queue.Queue = queue.Queue()
+        self._wakeup_recv, self._wakeup_send = socket.socketpair()
+        self._wakeup_recv.setblocking(False)
+        self._closed = False
+        self.requests_run = 0
+
+    # -- registration ---------------------------------------------------------
+
+    def register_program(self, name: str, program: CGIProgram) -> None:
+        """Add (or replace) an application.  Its worker starts on first use."""
+        self.programs[name] = program
+
+    def program_name(self, request: HTTPRequest) -> str:
+        """Extract the application name from a dynamic request path."""
+        if not request.path.startswith(self.prefix):
+            raise NotFoundError(f"not a CGI path: {request.path}")
+        name = request.path[len(self.prefix):].split("/", 1)[0]
+        if not name or name not in self.programs:
+            raise NotFoundError(f"no such CGI program: {name!r}")
+        return name
+
+    # -- synchronous execution (MP/MT builds) -----------------------------------
+
+    def run(self, request: HTTPRequest) -> bytes:
+        """Run the application for ``request`` and return the document body.
+
+        This blocks the caller until the application finishes, which is the
+        natural mode for the MP and MT builds where each worker handles one
+        request at a time anyway.
+        """
+        name = self.program_name(request)
+        worker = self._worker_for(name)
+        data = CGIRequestData.from_request(name, request)
+        done = worker.run_sync(data)
+        self.requests_run += 1
+        if not done.ok:
+            raise RuntimeError(f"CGI program {name!r} failed: {done.error_message}")
+        return done.body
+
+    # -- asynchronous execution (SPED/AMPED builds) -------------------------------
+
+    def submit(self, request: HTTPRequest, callback: Callable) -> None:
+        """Run the application without blocking; ``callback(body, error)`` later.
+
+        Completions are delivered through :meth:`process_completions`, which
+        the event loop invokes when the runner's wakeup channel becomes
+        readable (see :meth:`register`).
+        """
+        try:
+            name = self.program_name(request)
+        except NotFoundError as exc:
+            callback(None, exc)
+            return
+        worker = self._worker_for(name)
+        self._seq += 1
+        self._callbacks[self._seq] = callback
+        data = CGIRequestData.from_request(name, request)
+        worker.run_async(_CGIJob(seq=self._seq, data=data), self._deliver)
+
+    def register(self, loop) -> None:
+        """Register the completion channel with an event loop."""
+        loop.register(
+            self._wakeup_recv,
+            EVENT_READ,
+            lambda _fileobj, _mask: self.process_completions(),
+        )
+
+    def unregister(self, loop) -> None:
+        """Remove the completion channel from an event loop."""
+        loop.unregister(self._wakeup_recv)
+
+    def process_completions(self) -> int:
+        """Invoke callbacks for every finished application request."""
+        try:
+            while self._wakeup_recv.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        processed = 0
+        while True:
+            try:
+                done = self._done_queue.get_nowait()
+            except queue.Empty:
+                break
+            callback = self._callbacks.pop(done.seq, None)
+            self.requests_run += 1
+            if callback is not None:
+                if done.ok:
+                    callback(done.body, None)
+                else:
+                    callback(None, RuntimeError(done.error_message))
+            processed += 1
+        return processed
+
+    def _deliver(self, done: _CGIDone) -> None:
+        self._done_queue.put(done)
+        try:
+            self._wakeup_send.send(b"\0")
+        except OSError:
+            pass
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop every worker.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers.values():
+            worker.stop()
+        self._workers.clear()
+        self._wakeup_recv.close()
+        self._wakeup_send.close()
+
+    @property
+    def active_workers(self) -> int:
+        """Number of application workers currently alive."""
+        return len(self._workers)
+
+    def _worker_for(self, name: str) -> "_Worker":
+        worker = self._workers.get(name)
+        if worker is None:
+            program = self.programs[name]
+            if self.mode == "thread":
+                worker = _ThreadWorker(name, program)
+            else:
+                worker = _ProcessWorker(name, program)
+            self._workers[name] = worker
+        return worker
+
+
+class _Worker:
+    """Interface of a persistent per-application worker."""
+
+    def run_sync(self, data: CGIRequestData) -> _CGIDone:
+        raise NotImplementedError
+
+    def run_async(self, job: _CGIJob, deliver: Callable[[_CGIDone], None]) -> None:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        raise NotImplementedError
+
+
+def _execute(program: CGIProgram, data: CGIRequestData, seq: int) -> _CGIDone:
+    try:
+        body = program(data)
+        if isinstance(body, str):
+            body = body.encode("utf-8")
+        return _CGIDone(seq=seq, ok=True, body=body)
+    except Exception as exc:  # noqa: BLE001 - worker must survive app errors
+        return _CGIDone(seq=seq, ok=False, error_message=f"{type(exc).__name__}: {exc}")
+
+
+class _ThreadWorker(_Worker):
+    """Persistent worker thread dedicated to one application."""
+
+    def __init__(self, name: str, program: CGIProgram):
+        self.name = name
+        self.program = program
+        self._jobs: queue.Queue = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._main, name=f"cgi-{name}", daemon=True
+        )
+        self._thread.start()
+
+    def _main(self) -> None:
+        while True:
+            item = self._jobs.get()
+            if item is None:
+                return
+            job, deliver = item
+            deliver(_execute(self.program, job.data, job.seq))
+
+    def run_sync(self, data: CGIRequestData) -> _CGIDone:
+        result_box: queue.Queue = queue.Queue()
+        self._jobs.put((_CGIJob(seq=0, data=data), result_box.put))
+        return result_box.get()
+
+    def run_async(self, job: _CGIJob, deliver: Callable[[_CGIDone], None]) -> None:
+        self._jobs.put((job, deliver))
+
+    def stop(self) -> None:
+        self._jobs.put(None)
+        self._thread.join(timeout=5.0)
+
+
+class _ProcessWorker(_Worker):
+    """Persistent worker process dedicated to one application.
+
+    A small bridging thread reads completions from the process pipe and
+    forwards them to the requesting callback, so the asynchronous interface
+    matches the thread worker's.
+    """
+
+    def __init__(self, name: str, program: CGIProgram):
+        self.name = name
+        context = multiprocessing.get_context("fork" if hasattr(os, "fork") else "spawn")
+        self._parent_conn, child_conn = context.Pipe(duplex=True)
+        self._process = context.Process(
+            target=_process_worker_main,
+            args=(child_conn, program),
+            name=f"cgi-{name}",
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+        self._lock = threading.Lock()
+
+    def run_sync(self, data: CGIRequestData) -> _CGIDone:
+        with self._lock:
+            self._parent_conn.send((0, data))
+            seq, done = self._parent_conn.recv()
+            return done
+
+    def run_async(self, job: _CGIJob, deliver: Callable[[_CGIDone], None]) -> None:
+        def bridge():
+            with self._lock:
+                self._parent_conn.send((job.seq, job.data))
+                _seq, done = self._parent_conn.recv()
+            deliver(done)
+
+        threading.Thread(target=bridge, daemon=True).start()
+
+    def stop(self) -> None:
+        try:
+            self._parent_conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():
+            self._process.terminate()
+        self._parent_conn.close()
+
+
+def _process_worker_main(conn, program: CGIProgram) -> None:
+    """Entry point of a persistent CGI worker process."""
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        seq, data = item
+        done = _execute(program, data, seq)
+        try:
+            conn.send((seq, done))
+        except (BrokenPipeError, OSError):
+            return

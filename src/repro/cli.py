@@ -1,0 +1,173 @@
+"""Command-line interface for the Flash reproduction.
+
+Three subcommands cover the library's main uses:
+
+``serve``
+    Run one of the real servers (AMPED/SPED/MP/MT) on a document root::
+
+        python -m repro serve --root ./www --architecture amped --port 8080
+
+``loadgen``
+    Drive any HTTP server with the paper's event-driven client::
+
+        python -m repro loadgen --host 127.0.0.1 --port 8080 --path /index.html \
+            --clients 32 --duration 5
+
+``experiment``
+    Regenerate one of the paper's figures as a text table::
+
+        python -m repro experiment fig9
+        python -m repro experiment fig11 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro._version import __version__
+from repro.client.loadgen import LoadGenerator
+from repro.core.config import ServerConfig
+from repro.servers import ARCHITECTURES, create_server
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the Flash web server (USENIX ATC 1999).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    serve = subparsers.add_parser("serve", help="run one of the real servers")
+    serve.add_argument("--root", required=True, help="document root to serve")
+    serve.add_argument(
+        "--architecture",
+        default="amped",
+        choices=sorted(ARCHITECTURES),
+        help="server architecture (default: amped, i.e. Flash)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--helpers", type=int, default=4, help="AMPED helper count")
+    serve.add_argument("--workers", type=int, default=32, help="MP/MT worker count")
+    serve.add_argument(
+        "--no-caches", action="store_true", help="disable all application-level caches"
+    )
+
+    loadgen = subparsers.add_parser("loadgen", help="drive a server with simulated clients")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("--path", action="append", default=None,
+                         help="request path (repeatable; default /)")
+    loadgen.add_argument("--clients", type=int, default=16)
+    loadgen.add_argument("--duration", type=float, default=5.0)
+    loadgen.add_argument("--no-keep-alive", action="store_true")
+    loadgen.add_argument("--think-time", type=float, default=0.0,
+                         help="per-client pause between requests (emulates WAN clients)")
+
+    experiment = subparsers.add_parser("experiment", help="regenerate a paper figure")
+    experiment.add_argument(
+        "figure",
+        choices=["fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"],
+        help="which figure to regenerate",
+    )
+    experiment.add_argument("--quick", action="store_true", help="coarser, faster settings")
+
+    return parser
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run a real server in the foreground until interrupted."""
+    config = ServerConfig(
+        document_root=args.root,
+        host=args.host,
+        port=args.port,
+        num_helpers=args.helpers,
+        num_workers=args.workers,
+    )
+    if args.no_caches:
+        config = config.without_caches()
+    server = create_server(args.architecture, config)
+    server.start()
+    host, port = server.address
+    print(f"{args.architecture} server serving {config.document_root} on http://{host}:{port}/")
+    print("press Ctrl-C to stop")
+    try:
+        import time
+
+        while True:
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Run the event-driven load generator and print its summary."""
+    paths = args.path or ["/"]
+    generator = LoadGenerator(
+        (args.host, args.port),
+        paths,
+        num_clients=args.clients,
+        duration=args.duration,
+        keep_alive=not args.no_keep_alive,
+        think_time=args.think_time,
+    )
+    result = generator.run()
+    print(f"clients:            {args.clients}")
+    print(f"duration:           {result.elapsed:.2f} s")
+    print(f"requests completed: {result.requests_completed}")
+    print(f"connection rate:    {result.request_rate:,.1f} requests/s")
+    print(f"output bandwidth:   {result.bandwidth_mbps:.2f} Mb/s")
+    print(f"errors:             {result.errors}")
+    return 0 if result.errors == 0 else 1
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Regenerate one figure and print its table."""
+    # Imported lazily: the experiment drivers pull in the simulation layer,
+    # which the serve/loadgen paths do not need.
+    from repro.experiments import (
+        DatasetSweepExperiment,
+        OptimizationBreakdownExperiment,
+        SingleFileExperiment,
+        TraceReplayExperiment,
+        WANClientsExperiment,
+    )
+
+    duration = 1.0 if args.quick else 2.5
+    trace_duration = 2.0 if args.quick else 4.0
+    factories = {
+        "fig6": lambda: (SingleFileExperiment("solaris", duration=duration, warmup=0.4), "bandwidth_mbps"),
+        "fig7": lambda: (SingleFileExperiment("freebsd", duration=duration, warmup=0.4), "bandwidth_mbps"),
+        "fig8": lambda: (TraceReplayExperiment("solaris", duration=trace_duration, warmup=1.0), "bandwidth_mbps"),
+        "fig9": lambda: (DatasetSweepExperiment("freebsd", duration=trace_duration, warmup=1.0), "bandwidth_mbps"),
+        "fig10": lambda: (DatasetSweepExperiment("solaris", duration=trace_duration, warmup=1.0), "bandwidth_mbps"),
+        "fig11": lambda: (OptimizationBreakdownExperiment("freebsd", duration=duration, warmup=0.4), "request_rate"),
+        "fig12": lambda: (WANClientsExperiment("solaris", duration=trace_duration, warmup=1.0), "bandwidth_mbps"),
+    }
+    experiment, metric = factories[args.figure]()
+    result = experiment.run()
+    print(result.to_table(metric=metric))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "serve": cmd_serve,
+        "loadgen": cmd_loadgen,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""HTTP clients: a simple blocking client and the event-driven load generator.
+
+The paper's measurements use "an event-driven program that simulates
+multiple HTTP clients; each simulated HTTP client makes HTTP requests as
+fast as the server can handle them" (Section 6).
+:class:`repro.client.loadgen.LoadGenerator` is that program;
+:mod:`repro.client.simple` provides a small blocking client used by tests
+and examples to check individual responses.
+"""
+
+from repro.client.loadgen import ClientResult, LoadGenerator, LoadResult
+from repro.client.simple import HTTPResponse, fetch
+
+__all__ = ["LoadGenerator", "LoadResult", "ClientResult", "fetch", "HTTPResponse"]

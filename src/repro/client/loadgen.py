@@ -1,0 +1,397 @@
+"""Event-driven multi-client HTTP load generator (paper Section 6).
+
+The paper's client software is an event-driven program that simulates
+multiple HTTP clients, each making requests as fast as the server can handle
+them.  :class:`LoadGenerator` reproduces that: it multiplexes ``num_clients``
+simulated clients over one ``selectors`` loop in the calling thread, each
+client issuing requests drawn from a workload (any callable returning the
+next path), optionally over persistent connections, until a wall-clock
+duration or request budget is exhausted.
+
+The result object reports the two metrics the paper plots: total output
+bandwidth (Mb/s) and connection (request) rate (requests/second).
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+_READ = selectors.EVENT_READ
+_WRITE = selectors.EVENT_WRITE
+
+
+@dataclass
+class ClientResult:
+    """Per-simulated-client counters."""
+
+    requests_completed: int = 0
+    bytes_received: int = 0
+    errors: int = 0
+    connects: int = 0
+
+
+@dataclass
+class LoadResult:
+    """Aggregate outcome of one load-generation run.
+
+    ``bandwidth_mbps`` and ``request_rate`` are the quantities plotted on
+    the paper's figures (output bandwidth in megabits/second and connection
+    rate in requests/second).
+    """
+
+    requests_completed: int = 0
+    bytes_received: int = 0
+    errors: int = 0
+    connects: int = 0
+    elapsed: float = 0.0
+    per_client: list = field(default_factory=list)
+
+    @property
+    def bandwidth_mbps(self) -> float:
+        """Output bandwidth observed by the clients, in megabits per second."""
+        if self.elapsed <= 0:
+            return 0.0
+        return (self.bytes_received * 8) / (self.elapsed * 1_000_000)
+
+    @property
+    def request_rate(self) -> float:
+        """Completed requests per second."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.requests_completed / self.elapsed
+
+    def to_dict(self) -> dict:
+        """Plain-dict summary for logging and experiment tables."""
+        return {
+            "requests_completed": self.requests_completed,
+            "bytes_received": self.bytes_received,
+            "errors": self.errors,
+            "elapsed": self.elapsed,
+            "bandwidth_mbps": self.bandwidth_mbps,
+            "request_rate": self.request_rate,
+        }
+
+
+class _SimClient:
+    """State machine for one simulated HTTP client."""
+
+    CONNECTING = "connecting"
+    SENDING = "sending"
+    RECEIVING = "receiving"
+    DONE = "done"
+
+    def __init__(self, generator: "LoadGenerator", client_id: int):
+        self.generator = generator
+        self.client_id = client_id
+        self.result = ClientResult()
+        self.sock: Optional[socket.socket] = None
+        self.state = self.DONE
+        self._send_buffer = b""
+        self._recv_buffer = bytearray()
+        self._expected_length: Optional[int] = None
+        self._header_parsed = False
+        self._body_start = 0
+        self._registered_events = 0
+
+    # -- connection management -------------------------------------------------
+
+    def start(self) -> None:
+        """Open a connection and issue the first request."""
+        self._connect()
+
+    def _connect(self) -> None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setblocking(False)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        self.sock = sock
+        self.result.connects += 1
+        self.state = self.CONNECTING
+        try:
+            sock.connect(self.generator.address)
+        except BlockingIOError:
+            pass
+        except OSError:
+            self._fail()
+            return
+        self._prepare_request()
+        self._register(_WRITE)
+
+    def _prepare_request(self) -> None:
+        path = self.generator.next_path()
+        keep_alive = self.generator.keep_alive
+        connection = "keep-alive" if keep_alive else "close"
+        host = "%s:%d" % self.generator.address
+        self._send_buffer = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Connection: {connection}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        self._recv_buffer = bytearray()
+        self._expected_length = None
+        self._header_parsed = False
+        self._body_start = 0
+
+    # -- readiness handling ------------------------------------------------------
+
+    def on_ready(self, mask: int) -> None:
+        try:
+            if mask & _WRITE and self.state in (self.CONNECTING, self.SENDING):
+                self._do_send()
+            if mask & _READ and self.state == self.RECEIVING:
+                self._do_recv()
+        except (ConnectionError, OSError):
+            self._fail()
+
+    def _do_send(self) -> None:
+        assert self.sock is not None
+        self.state = self.SENDING
+        while self._send_buffer:
+            try:
+                sent = self.sock.send(self._send_buffer)
+            except (BlockingIOError, InterruptedError):
+                return
+            self._send_buffer = self._send_buffer[sent:]
+        self.state = self.RECEIVING
+        self._register(_READ)
+
+    def _do_recv(self) -> None:
+        assert self.sock is not None
+        while True:
+            try:
+                data = self.sock.recv(65536)
+            except (BlockingIOError, InterruptedError):
+                return
+            if not data:
+                # Server closed the connection; if we already had the full
+                # response this is just "Connection: close" semantics.
+                if self._header_parsed and self._response_complete():
+                    self._complete_response(reconnect=True)
+                else:
+                    self._fail()
+                return
+            self._recv_buffer.extend(data)
+            self.result.bytes_received += len(data)
+            self.generator.total_bytes += len(data)
+            if not self._header_parsed:
+                self._try_parse_header()
+            if self._header_parsed and self._response_complete():
+                self._complete_response(reconnect=not self.generator.keep_alive)
+                return
+
+    def _try_parse_header(self) -> None:
+        end = self._recv_buffer.find(b"\r\n\r\n")
+        if end < 0:
+            return
+        header = bytes(self._recv_buffer[:end]).decode("latin-1", "replace")
+        self._header_parsed = True
+        self._body_start = end + 4
+        self._expected_length = 0
+        for line in header.split("\r\n")[1:]:
+            if line.lower().startswith("content-length:"):
+                try:
+                    self._expected_length = int(line.split(":", 1)[1].strip())
+                except ValueError:
+                    self._expected_length = 0
+                break
+
+    def _response_complete(self) -> bool:
+        if self._expected_length is None:
+            return False
+        return len(self._recv_buffer) - self._body_start >= self._expected_length
+
+    def _complete_response(self, reconnect: bool) -> None:
+        self.result.requests_completed += 1
+        self.generator.total_requests += 1
+        if self.generator.finished():
+            self._close()
+            self.state = self.DONE
+            return
+        if self.generator.think_time > 0:
+            self._close()
+            self.generator.schedule_restart(self, self.generator.think_time)
+            return
+        if reconnect or self.sock is None:
+            self._close()
+            self._connect()
+        else:
+            self._prepare_request()
+            self.state = self.SENDING
+            self._register(_WRITE)
+            self._do_send()
+
+    # -- failure and teardown ---------------------------------------------------------
+
+    def _fail(self) -> None:
+        self.result.errors += 1
+        self.generator.total_errors += 1
+        self._close()
+        if not self.generator.finished():
+            self._connect()
+        else:
+            self.state = self.DONE
+
+    def _close(self) -> None:
+        if self.sock is not None:
+            self._unregister()
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
+    # -- selector plumbing ---------------------------------------------------------------
+
+    def _register(self, events: int) -> None:
+        if self.sock is None:
+            return
+        selector = self.generator.selector
+        if self._registered_events == 0:
+            selector.register(self.sock, events, self)
+        elif events != self._registered_events:
+            selector.modify(self.sock, events, self)
+        self._registered_events = events
+
+    def _unregister(self) -> None:
+        if self.sock is not None and self._registered_events:
+            try:
+                self.generator.selector.unregister(self.sock)
+            except (KeyError, ValueError):
+                pass
+        self._registered_events = 0
+
+
+class LoadGenerator:
+    """Drives a server with ``num_clients`` concurrent simulated clients.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` of the server under test.
+    paths:
+        The workload: a callable returning the next request path, an
+        iterable of paths (cycled), or a single path string.
+    num_clients:
+        Number of concurrent simulated clients.
+    keep_alive:
+        Use persistent connections (one connection, many requests) — the
+        mechanism the paper uses to emulate long-lived WAN connections.
+    duration:
+        Stop after this many seconds of wall-clock time.
+    max_requests:
+        Stop after this many completed requests (whichever limit is first).
+    think_time:
+        Idle delay a client waits between completing a response and issuing
+        its next request; non-zero values emulate slow (WAN) clients.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        paths,
+        *,
+        num_clients: int = 8,
+        keep_alive: bool = True,
+        duration: Optional[float] = None,
+        max_requests: Optional[int] = None,
+        think_time: float = 0.0,
+    ):
+        if duration is None and max_requests is None:
+            raise ValueError("specify duration, max_requests or both")
+        self.address = address
+        self.num_clients = num_clients
+        self.keep_alive = keep_alive
+        self.duration = duration
+        self.max_requests = max_requests
+        self.think_time = think_time
+        self._next_path = self._make_path_source(paths)
+        self.selector = selectors.DefaultSelector()
+        self.total_requests = 0
+        self.total_bytes = 0
+        self.total_errors = 0
+        self._deadline: Optional[float] = None
+        self._restarts: list[tuple[float, _SimClient]] = []
+
+    @staticmethod
+    def _make_path_source(paths) -> Callable[[], str]:
+        if callable(paths):
+            return paths
+        if isinstance(paths, str):
+            return lambda: paths
+        if isinstance(paths, Iterable):
+            items = list(paths)
+            if not items:
+                raise ValueError("paths iterable is empty")
+            state = {"index": 0}
+
+            def cycle() -> str:
+                value = items[state["index"] % len(items)]
+                state["index"] += 1
+                return value
+
+            return cycle
+        raise TypeError("paths must be a callable, a string or an iterable of strings")
+
+    def next_path(self) -> str:
+        """The next request path for whichever client asks."""
+        return self._next_path()
+
+    def finished(self) -> bool:
+        """Whether the run's duration or request budget is exhausted."""
+        if self.max_requests is not None and self.total_requests >= self.max_requests:
+            return True
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            return True
+        return False
+
+    def schedule_restart(self, client: _SimClient, delay: float) -> None:
+        """Re-start ``client`` after ``delay`` seconds (think-time emulation)."""
+        self._restarts.append((time.monotonic() + delay, client))
+
+    def run(self) -> LoadResult:
+        """Run the load and return aggregate results."""
+        start = time.monotonic()
+        if self.duration is not None:
+            self._deadline = start + self.duration
+        clients = [_SimClient(self, i) for i in range(self.num_clients)]
+        for client in clients:
+            client.start()
+
+        while not self.finished():
+            self._fire_restarts()
+            active = any(client.state != _SimClient.DONE for client in clients)
+            if not active and not self._restarts:
+                break
+            events = self.selector.select(timeout=0.05)
+            for key, mask in events:
+                key.data.on_ready(mask)
+
+        for client in clients:
+            client._close()
+        self.selector.close()
+        elapsed = time.monotonic() - start
+
+        result = LoadResult(elapsed=elapsed, per_client=[c.result for c in clients])
+        for client in clients:
+            result.requests_completed += client.result.requests_completed
+            result.bytes_received += client.result.bytes_received
+            result.errors += client.result.errors
+            result.connects += client.result.connects
+        return result
+
+    def _fire_restarts(self) -> None:
+        if not self._restarts:
+            return
+        now = time.monotonic()
+        due = [item for item in self._restarts if item[0] <= now]
+        self._restarts = [item for item in self._restarts if item[0] > now]
+        for _, client in due:
+            if not self.finished():
+                client._connect()

@@ -1,0 +1,96 @@
+"""A small blocking HTTP client used by tests and examples.
+
+This intentionally avoids :mod:`http.client` so the reproduction exercises
+its own wire format end to end: the bytes produced by the servers are parsed
+here with no library in between.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HTTPResponse:
+    """A parsed HTTP response.
+
+    Attributes
+    ----------
+    status:
+        Numeric status code from the status line.
+    reason:
+        Reason phrase from the status line.
+    headers:
+        Response headers with lower-cased names.
+    body:
+        The response body bytes.
+    """
+
+    status: int
+    reason: str
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def content_length(self) -> int:
+        """The Content-Length header as an integer (0 when absent)."""
+        return int(self.headers.get("content-length", "0") or 0)
+
+
+def fetch(
+    host: str,
+    port: int,
+    path: str = "/",
+    *,
+    method: str = "GET",
+    headers: dict | None = None,
+    body: bytes = b"",
+    timeout: float = 10.0,
+    version: str = "HTTP/1.0",
+) -> HTTPResponse:
+    """Fetch ``path`` from the server at ``host:port`` and parse the response.
+
+    A fresh connection is opened per call (``Connection: close`` semantics),
+    which keeps the helper simple; the load generator handles persistent
+    connections.
+    """
+    request_headers = {"Host": f"{host}:{port}", "Connection": "close"}
+    if body:
+        request_headers["Content-Length"] = str(len(body))
+    if headers:
+        request_headers.update(headers)
+    lines = [f"{method} {path} {version}"]
+    lines.extend(f"{name}: {value}" for name, value in request_headers.items())
+    payload = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(payload)
+        raw = bytearray()
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            raw.extend(data)
+    return parse_response(bytes(raw))
+
+
+def parse_response(raw: bytes) -> HTTPResponse:
+    """Parse a complete HTTP response byte string."""
+    header_end = raw.find(b"\r\n\r\n")
+    if header_end < 0:
+        raise ValueError("incomplete HTTP response: no header terminator")
+    header_block = raw[:header_end].decode("latin-1")
+    body = raw[header_end + 4:]
+    lines = header_block.split("\r\n")
+    status_parts = lines[0].split(" ", 2)
+    if len(status_parts) < 2:
+        raise ValueError(f"malformed status line: {lines[0]!r}")
+    status = int(status_parts[1])
+    reason = status_parts[2] if len(status_parts) > 2 else ""
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if ":" in line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    return HTTPResponse(status=status, reason=reason, headers=headers, body=body)

@@ -1,0 +1,165 @@
+"""Server configuration shared by every architecture build.
+
+The evaluation in the paper (Section 6) fixes a particular configuration:
+Flash and Flash-MT use a 32 MB mapped-file cache and a 6000-entry pathname
+cache; each Flash-MP process gets a 4 MB mapped-file cache and 600 pathname
+entries because the caches are replicated per process; Flash-MP and Apache
+use 32 server processes and Flash-MT uses 32 threads.  Those numbers are the
+defaults here, and :meth:`ServerConfig.per_process_scaled` derives the MP
+per-process variant exactly as the paper describes.
+
+The three ``enable_*_cache`` switches exist for the Figure 11 breakdown
+experiment, which measures Flash with every combination of the pathname
+translation, mapped-file and response-header caches.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.http.response import DEFAULT_ALIGNMENT
+
+
+@dataclass
+class ServerConfig:
+    """Configuration for a Flash-family server.
+
+    Attributes mirror the knobs the paper's evaluation turns: concurrency
+    level per architecture, cache sizes, and the individual optimizations.
+    """
+
+    #: Directory containing the static content to serve.
+    document_root: str = "."
+    #: Address to bind; the default binds only the loopback interface.
+    host: str = "127.0.0.1"
+    #: TCP port; ``0`` asks the kernel for an ephemeral port (used by tests).
+    port: int = 0
+    #: Listen backlog for the accept queue.
+    listen_backlog: int = 1024
+
+    # -- concurrency -------------------------------------------------------
+    #: Helper processes/threads for the AMPED build (per the paper, only
+    #: enough to keep the disk busy are needed, not one per connection).
+    num_helpers: int = 4
+    #: Worker processes for the MP build / worker threads for the MT build
+    #: ("the Flash-MP and Apache servers use 32 server processes and
+    #: Flash-MT uses 32 threads").
+    num_workers: int = 32
+    #: How AMPED helpers are realized: ``"thread"`` or ``"process"``.  The
+    #: paper uses separate processes for portability to systems without
+    #: kernel threads; in this reproduction threads are the default because
+    #: CPython releases the GIL during disk reads, so helper threads provide
+    #: the same non-blocking behaviour with far less IPC overhead, and
+    #: process helpers remain available for fidelity.
+    helper_mode: str = "thread"
+
+    # -- caches (Sections 5.2-5.4) ------------------------------------------
+    #: Enable the pathname translation cache.
+    enable_pathname_cache: bool = True
+    #: Enable the response header cache.
+    enable_header_cache: bool = True
+    #: Enable the mapped-file chunk cache.
+    enable_mmap_cache: bool = True
+    #: Pathname cache capacity (entries).
+    pathname_cache_entries: int = 6000
+    #: Mapped-file cache limit (bytes of inactive mappings).
+    mmap_cache_bytes: int = 32 * 1024 * 1024
+    #: Chunk size for the mapped-file cache.
+    mmap_chunk_size: int = 64 * 1024
+    #: Response header cache capacity (entries).
+    header_cache_entries: int = 6000
+
+    # -- protocol / optimization details ------------------------------------
+    #: Byte-position alignment of response headers (Section 5.5); 0 disables.
+    header_alignment: int = DEFAULT_ALIGNMENT
+    #: Perform memory-residency tests before sending mapped data (Section 5.7).
+    enable_residency_test: bool = True
+    #: How residency is determined: ``"mincore"`` uses the real system call
+    #: (with an optimistic fallback where unavailable); ``"clock"`` uses the
+    #: feedback-based clock predictor the paper sketches for operating
+    #: systems without ``mincore``; ``"optimistic"`` assumes everything is
+    #: resident (SPED-like fast path).
+    residency_mode: str = "mincore"
+    #: Initial file-cache estimate for the clock predictor, in bytes.
+    clock_cache_estimate: int = 64 * 1024 * 1024
+    #: Maximum request-header size accepted.
+    max_header_bytes: int = 16 * 1024
+    #: Socket send/receive chunk used by the event-driven writers.
+    socket_io_size: int = 64 * 1024
+    #: Whether persistent (keep-alive) connections are honoured.
+    keep_alive: bool = True
+    #: Idle timeout, in seconds, after which a connection is reaped.
+    connection_timeout: float = 30.0
+
+    # -- dynamic content ----------------------------------------------------
+    #: URI prefix that routes to CGI-style applications.
+    cgi_prefix: str = "/cgi-bin/"
+    #: Registered CGI applications: name -> callable (see :mod:`repro.cgi`).
+    cgi_programs: dict = field(default_factory=dict)
+
+    #: Optional mapping of user name -> public_html directory for ``/~user``.
+    user_dirs: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        if self.num_helpers < 1:
+            raise ValueError("num_helpers must be at least 1")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if self.helper_mode not in ("thread", "process"):
+            raise ValueError("helper_mode must be 'thread' or 'process'")
+        if self.residency_mode not in ("mincore", "clock", "optimistic"):
+            raise ValueError("residency_mode must be 'mincore', 'clock' or 'optimistic'")
+        if self.mmap_chunk_size <= 0:
+            raise ValueError("mmap_chunk_size must be positive")
+        self.document_root = os.path.abspath(self.document_root)
+
+    def per_process_scaled(self, num_processes: Optional[int] = None) -> "ServerConfig":
+        """Return the per-process configuration used by the MP build.
+
+        The caches in an MP server are replicated in every process, so the
+        paper configures them smaller: each Flash-MP process has a 4 MB
+        mapped-file cache and a 600-entry pathname cache (Section 6).  This
+        helper divides the shared limits by the process count with the same
+        ratios the paper uses for its defaults.
+        """
+        processes = self.num_workers if num_processes is None else num_processes
+        if processes < 1:
+            raise ValueError("num_processes must be at least 1")
+        # At the paper's 32 processes, the shared 32 MB / 6000-entry caches
+        # shrink to 4 MB / 600 entries per process: an 8x byte reduction and
+        # a 10x entry reduction.  Scale those ratios linearly with the
+        # process count so other configurations stay proportionate.
+        byte_scale = max(1, processes // 4)
+        entry_scale = max(1, round(processes / 3.2))
+        return replace(
+            self,
+            mmap_cache_bytes=max(self.mmap_chunk_size, self.mmap_cache_bytes // byte_scale),
+            pathname_cache_entries=max(16, self.pathname_cache_entries // entry_scale),
+            header_cache_entries=max(16, self.header_cache_entries // entry_scale),
+        )
+
+    def without_caches(self) -> "ServerConfig":
+        """Return a copy with all three application-level caches disabled."""
+        return replace(
+            self,
+            enable_pathname_cache=False,
+            enable_header_cache=False,
+            enable_mmap_cache=False,
+        )
+
+    def with_optimizations(
+        self,
+        *,
+        pathname: bool = True,
+        mmap: bool = True,
+        header: bool = True,
+    ) -> "ServerConfig":
+        """Return a copy with the given cache combination (Figure 11)."""
+        return replace(
+            self,
+            enable_pathname_cache=pathname,
+            enable_mmap_cache=mmap,
+            enable_header_cache=header,
+        )

@@ -1,0 +1,334 @@
+"""Per-connection state machine for the event-driven server builds.
+
+A SPED (or AMPED) server interleaves the basic request-processing steps of
+many connections: each connection is a small state machine that advances one
+step whenever ``select`` reports its socket ready (or, in AMPED, when a
+helper completes a disk operation on its behalf).  This module implements
+that state machine once; the SPED and AMPED servers differ only in the
+*driver* they pass in, which decides whether potentially blocking steps run
+inline (SPED) or on a helper (AMPED).
+
+States
+------
+
+``READ_REQUEST``
+    Accumulate and parse the HTTP request header (non-blocking reads).
+``WAIT_DISK``
+    A pathname translation, file warm-up or CGI program is in flight; the
+    socket is not watched for readiness while we wait (AMPED/CGI only —
+    SPED performs these inline and never enters this state).
+``SEND_RESPONSE``
+    Transmit the response header and body with non-blocking writes,
+    handling partial writes and full send buffers.
+``CLOSED``
+    The connection is finished and its resources are released.
+"""
+
+from __future__ import annotations
+
+import errno
+import socket
+import time
+from typing import TYPE_CHECKING, Optional, Protocol
+
+from repro.core.event_loop import EVENT_READ, EVENT_WRITE
+from repro.core.pipeline import StaticContent
+from repro.http.errors import HTTPError
+from repro.http.request import HTTPRequest, RequestParser
+from repro.http.response import build_error_response
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pipeline import ContentStore
+
+STATE_READ_REQUEST = "read_request"
+STATE_WAIT_DISK = "wait_disk"
+STATE_SEND_RESPONSE = "send_response"
+STATE_CLOSED = "closed"
+
+
+class ConnectionDriver(Protocol):
+    """What a server must provide for :class:`Connection` to run.
+
+    The SPED build implements the ``*_async`` hooks by calling the callback
+    immediately (the operation runs inline and may block the whole server —
+    which is exactly SPED's weakness on disk-bound workloads); the AMPED
+    build dispatches them to helpers and invokes the callback from the event
+    loop when the completion notification arrives.
+    """
+
+    loop: object
+    store: "ContentStore"
+    config: object
+
+    def translate_async(self, uri: str, callback) -> None:
+        """Resolve ``uri`` to a PathnameEntry; callback(entry, error)."""
+        ...
+
+    def prepare_content_async(self, request: HTTPRequest, entry, callback) -> None:
+        """Build the response and make it memory resident; callback(content, error)."""
+        ...
+
+    def handle_cgi_async(self, request: HTTPRequest, callback) -> None:
+        """Run the CGI program for ``request``; callback(body_bytes, error)."""
+        ...
+
+    def on_connection_closed(self, connection: "Connection") -> None:
+        """Bookkeeping hook invoked exactly once per connection."""
+        ...
+
+
+class Connection:
+    """One client connection handled by an event-driven server."""
+
+    __slots__ = (
+        "sock",
+        "address",
+        "driver",
+        "state",
+        "parser",
+        "request",
+        "content",
+        "_send_buffers",
+        "_send_index",
+        "_send_offset",
+        "_interest",
+        "_keep_alive",
+        "last_activity",
+        "requests_served",
+        "bytes_sent",
+    )
+
+    def __init__(self, sock: socket.socket, address, driver: ConnectionDriver):
+        sock.setblocking(False)
+        # Disable Nagle's algorithm: response headers and small bodies are
+        # written as separate send() calls, and letting the kernel coalesce
+        # them costs a delayed-ACK round trip per request.
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        self.sock = sock
+        self.address = address
+        self.driver = driver
+        self.state = STATE_READ_REQUEST
+        self.parser = RequestParser(max_header_bytes=driver.config.max_header_bytes)
+        self.request: Optional[HTTPRequest] = None
+        self.content: Optional[StaticContent] = None
+        self._send_buffers: list = []
+        self._send_index = 0
+        self._send_offset = 0
+        self._interest = 0
+        self._keep_alive = False
+        self.last_activity = time.monotonic()
+        self.requests_served = 0
+        self.bytes_sent = 0
+        self._set_interest(EVENT_READ)
+
+    # -- readiness callbacks ----------------------------------------------------
+
+    def on_ready(self, _fileobj, mask: int) -> None:
+        """Event-loop callback: advance the state machine."""
+        self.last_activity = time.monotonic()
+        try:
+            if mask & EVENT_READ and self.state == STATE_READ_REQUEST:
+                self._do_read()
+            if mask & EVENT_WRITE and self.state == STATE_SEND_RESPONSE:
+                self._do_write()
+        except ConnectionError:
+            self.close()
+        except OSError as exc:
+            if exc.errno in (errno.ECONNRESET, errno.EPIPE, errno.EBADF):
+                self.close()
+            else:
+                raise
+
+    # -- reading and parsing ------------------------------------------------------
+
+    def _do_read(self) -> None:
+        try:
+            data = self.sock.recv(self.driver.config.socket_io_size)
+        except (BlockingIOError, InterruptedError):
+            return
+        if not data:
+            self.close()
+            return
+        try:
+            complete = self.parser.feed(data)
+        except HTTPError as exc:
+            self._send_error(exc.status, exc.message, close_after=True)
+            return
+        if complete:
+            self._start_request(self.parser.request)
+
+    def _start_request(self, request: HTTPRequest) -> None:
+        self.request = request
+        self.driver.store.stats.requests += 1
+        self._keep_alive = bool(request.keep_alive and self.driver.config.keep_alive)
+        self._set_interest(0)
+        if request.is_cgi:
+            self.state = STATE_WAIT_DISK
+            self.driver.store.stats.cgi_requests += 1
+            self.driver.handle_cgi_async(request, self._on_cgi_done)
+            return
+        self.state = STATE_WAIT_DISK
+        self.driver.translate_async(request.path, self._on_translated)
+
+    # -- translation / content callbacks -------------------------------------------
+
+    def _on_translated(self, entry, error) -> None:
+        if self.state == STATE_CLOSED:
+            return
+        if error is not None:
+            self._send_http_error(error)
+            return
+        self.driver.prepare_content_async(self.request, entry, self._on_content_ready)
+
+    def _on_content_ready(self, content: Optional[StaticContent], error) -> None:
+        if self.state == STATE_CLOSED:
+            if content is not None:
+                content.release(self.driver.store)
+            return
+        if error is not None:
+            self._send_http_error(error)
+            return
+        self.content = content
+        self.driver.store.stats.responses_ok += 1
+        self._queue_send([content.header, *content.segments])
+
+    def _on_cgi_done(self, body: Optional[bytes], error) -> None:
+        if self.state == STATE_CLOSED:
+            return
+        if error is not None:
+            self._send_http_error(error)
+            return
+        header = self.driver.store.header_builder.build(
+            200,
+            content_length=len(body),
+            content_type="text/html",
+            keep_alive=self._keep_alive,
+        ).raw
+        self.driver.store.stats.responses_ok += 1
+        self._queue_send([header, body])
+
+    # -- sending --------------------------------------------------------------------
+
+    def _queue_send(self, buffers: list) -> None:
+        self._send_buffers = [buf for buf in buffers if len(buf)]
+        self._send_index = 0
+        self._send_offset = 0
+        self.state = STATE_SEND_RESPONSE
+        self._set_interest(EVENT_WRITE)
+        # Optimistically try to write immediately; most responses fit in the
+        # socket buffer, so this saves a full select round trip per request.
+        self._do_write()
+
+    def _do_write(self) -> None:
+        while self._send_index < len(self._send_buffers):
+            buffer = self._send_buffers[self._send_index]
+            view = memoryview(buffer)[self._send_offset:]
+            if not len(view):
+                self._send_index += 1
+                self._send_offset = 0
+                continue
+            try:
+                sent = self.sock.send(view)
+            except (BlockingIOError, InterruptedError):
+                return
+            if sent == 0:
+                return
+            self._send_offset += sent
+            self.bytes_sent += sent
+            self.driver.store.stats.bytes_sent += sent
+            if self._send_offset >= len(buffer):
+                self._send_index += 1
+                self._send_offset = 0
+        self._finish_response()
+
+    def _finish_response(self) -> None:
+        self.requests_served += 1
+        if self.content is not None:
+            self.content.release(self.driver.store)
+            self.content = None
+        self._send_buffers = []
+        if not self._keep_alive:
+            self.close()
+            return
+        remainder = self.parser.remainder
+        self.parser = RequestParser(max_header_bytes=self.driver.config.max_header_bytes)
+        self.request = None
+        self.state = STATE_READ_REQUEST
+        self._set_interest(EVENT_READ)
+        if remainder:
+            # Pipelined request already buffered: parse it without waiting
+            # for the socket to become readable again.
+            try:
+                if self.parser.feed(remainder):
+                    self._start_request(self.parser.request)
+            except HTTPError as exc:
+                self._send_error(exc.status, exc.message, close_after=True)
+
+    # -- errors ------------------------------------------------------------------------
+
+    def _send_http_error(self, error: Exception) -> None:
+        if isinstance(error, HTTPError):
+            self._send_error(error.status, error.message, close_after=not self._keep_alive)
+        else:
+            self._send_error(500, str(error), close_after=True)
+
+    def _send_error(self, status: int, message: str, close_after: bool) -> None:
+        self.driver.store.stats.responses_error += 1
+        if close_after:
+            self._keep_alive = False
+        payload = build_error_response(
+            status,
+            message,
+            builder=self.driver.store.header_builder,
+            keep_alive=self._keep_alive,
+        )
+        self._queue_send([payload])
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear the connection down and release every pinned resource."""
+        if self.state == STATE_CLOSED:
+            return
+        self.state = STATE_CLOSED
+        # Drop buffered views before releasing the chunks they point into,
+        # otherwise the mapped-file cache cannot unmap them.
+        self._send_buffers = []
+        if self.content is not None:
+            self.content.release(self.driver.store)
+            self.content = None
+        self.driver.loop.unregister(self.sock)
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        self.driver.store.stats.connections_closed += 1
+        self.driver.on_connection_closed(self)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self.state == STATE_CLOSED
+
+    def idle_for(self, now: Optional[float] = None) -> float:
+        """Seconds since the last readiness event on this connection."""
+        return (now or time.monotonic()) - self.last_activity
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _set_interest(self, events: int) -> None:
+        if self.state == STATE_CLOSED:
+            return
+        loop = self.driver.loop
+        if events == self._interest:
+            return
+        if events == 0:
+            loop.unregister(self.sock)
+        elif self._interest == 0:
+            loop.register(self.sock, events, self.on_ready)
+        else:
+            loop.modify(self.sock, events, self.on_ready)
+        self._interest = events

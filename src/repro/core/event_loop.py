@@ -1,0 +1,139 @@
+"""``selectors``-based event loop used by the SPED and AMPED builds.
+
+A SPED server is a state machine that performs one basic step of a request
+at a time: in each iteration it performs a ``select`` to find completed I/O
+events (new connection arrivals, completed file operations, client sockets
+with data or send-buffer space) and runs the corresponding step.  The AMPED
+build uses the same loop and additionally registers its helper IPC channels,
+so helper completions are observed exactly like any other I/O completion —
+which is the crux of the architecture (paper Section 3.4).
+
+The loop is intentionally small: readiness callbacks keyed by file
+descriptor, deferred calls, and simple monotonic timers for connection
+timeouts.  It has no knowledge of HTTP.
+"""
+
+from __future__ import annotations
+
+import heapq
+import selectors
+import time
+from typing import Callable, Optional
+
+#: Event bitmask aliases re-exported so callers do not import ``selectors``.
+EVENT_READ = selectors.EVENT_READ
+EVENT_WRITE = selectors.EVENT_WRITE
+
+
+class EventLoop:
+    """A single-threaded readiness-callback event loop.
+
+    Callbacks are invoked as ``callback(fileobj, events)`` when their file
+    object becomes ready.  Deferred calls registered with :meth:`call_soon`
+    run at the start of the next iteration; timers registered with
+    :meth:`call_later` run once their deadline passes.
+    """
+
+    def __init__(self) -> None:
+        self._selector = selectors.DefaultSelector()
+        self._pending: list[Callable[[], None]] = []
+        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        self._timer_seq = 0
+        self._running = False
+        self.iterations = 0
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, fileobj, events: int, callback: Callable) -> None:
+        """Start watching ``fileobj`` for ``events``."""
+        self._selector.register(fileobj, events, callback)
+
+    def modify(self, fileobj, events: int, callback: Optional[Callable] = None) -> None:
+        """Change the interest set (and optionally the callback) of ``fileobj``."""
+        if callback is None:
+            callback = self._selector.get_key(fileobj).data
+        self._selector.modify(fileobj, events, callback)
+
+    def unregister(self, fileobj) -> None:
+        """Stop watching ``fileobj``.  Unknown file objects are ignored."""
+        try:
+            self._selector.unregister(fileobj)
+        except (KeyError, ValueError):
+            pass
+
+    def is_registered(self, fileobj) -> bool:
+        """Whether ``fileobj`` is currently being watched."""
+        try:
+            self._selector.get_key(fileobj)
+            return True
+        except (KeyError, ValueError):
+            return False
+
+    # -- deferred work -------------------------------------------------------
+
+    def call_soon(self, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run on the next loop iteration."""
+        self._pending.append(callback)
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run after ``delay`` seconds."""
+        self._timer_seq += 1
+        heapq.heappush(self._timers, (time.monotonic() + delay, self._timer_seq, callback))
+
+    # -- execution ------------------------------------------------------------
+
+    def run_once(self, timeout: Optional[float] = None) -> int:
+        """Run one iteration: deferred calls, due timers, then one ``select``.
+
+        Returns the number of readiness events dispatched.  ``timeout``
+        bounds how long the ``select`` may block; it is clamped down to the
+        next timer deadline so timers fire on time.
+        """
+        self.iterations += 1
+
+        pending, self._pending = self._pending, []
+        for callback in pending:
+            callback()
+
+        now = time.monotonic()
+        while self._timers and self._timers[0][0] <= now:
+            _, _, callback = heapq.heappop(self._timers)
+            callback()
+
+        if self._timers:
+            next_deadline = self._timers[0][0] - time.monotonic()
+            if timeout is None or next_deadline < timeout:
+                timeout = max(0.0, next_deadline)
+        if self._pending:
+            timeout = 0.0
+
+        if not self._selector.get_map():
+            if timeout:
+                time.sleep(min(timeout, 0.05))
+            return 0
+
+        events = self._selector.select(timeout)
+        for key, mask in events:
+            callback = key.data
+            callback(key.fileobj, mask)
+        return len(events)
+
+    def run_forever(self, should_stop: Optional[Callable[[], bool]] = None,
+                    poll_interval: float = 0.5) -> None:
+        """Run until ``should_stop()`` returns True (or :meth:`stop` is called)."""
+        self._running = True
+        try:
+            while self._running:
+                if should_stop is not None and should_stop():
+                    break
+                self.run_once(poll_interval)
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Ask :meth:`run_forever` to return after the current iteration."""
+        self._running = False
+
+    def close(self) -> None:
+        """Release the underlying selector."""
+        self._selector.close()

@@ -1,0 +1,438 @@
+"""Helper pool and IPC protocol for the AMPED architecture (Sections 3.4, 5.1).
+
+In AMPED, the main event-driven process handles all processing steps of an
+HTTP request by default.  When a step may block on disk — a pathname
+translation that misses the cache, or transmitting a file whose pages are
+not memory resident — the main process instructs a *helper* over an IPC
+channel to perform the potentially blocking operation.  The helper performs
+the operation (touching all pages of its mapping of the file so the data
+lands in the OS buffer cache), then returns a completion notification over
+the IPC channel; the main process learns of this like any other I/O
+completion event through ``select``.
+
+Helpers handle one request at a time and are kept in reserve when idle.  To
+minimize IPC, helpers return only a completion notification, never file
+content (the main process transmits from its own mapping of the same file).
+
+Two realizations are provided, selected by ``ServerConfig.helper_mode``:
+
+``"process"``
+    Faithful to the paper: helpers are separate processes created with
+    :mod:`multiprocessing`, each connected to the server by a duplex pipe
+    whose file descriptor the event loop watches.
+
+``"thread"``
+    Helpers are threads inside the server process.  The paper notes helpers
+    "can be implemented either as kernel threads within the main server
+    process or as separate processes"; CPython threads release the GIL
+    during disk reads, so they provide the same does-not-block-the-main-loop
+    property with far lower IPC cost.  Completions are signalled to the
+    event loop through a self-pipe (socketpair), keeping the observation
+    path identical: the main loop still learns of completions via ``select``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cache.pathname import PathnameEntry
+from repro.core.event_loop import EVENT_READ
+from repro.http.uri import translate_path
+
+#: Helper operation codes.
+OP_TRANSLATE = "translate"
+OP_READ = "read"
+OP_SHUTDOWN = "shutdown"
+
+
+@dataclass
+class HelperRequest:
+    """A unit of work shipped to a helper.
+
+    Attributes
+    ----------
+    seq:
+        Sequence number used to match the completion to its callback.
+    op:
+        ``OP_TRANSLATE`` (pathname translation + stat) or ``OP_READ``
+        (touch all pages of a file range so it becomes memory resident).
+    uri:
+        Request path, for translations.
+    path:
+        Filesystem path, for reads.
+    offset, length:
+        Byte range to touch for reads (0, 0 means the whole file).
+    document_root, user_dirs:
+        Translation parameters (helpers in process mode cannot see the
+        server's config object, so the request carries what it needs).
+    """
+
+    seq: int
+    op: str
+    uri: str = ""
+    path: str = ""
+    offset: int = 0
+    length: int = 0
+    document_root: str = ""
+    user_dirs: Optional[dict] = None
+
+
+@dataclass
+class HelperReply:
+    """Completion notification returned by a helper.
+
+    Only metadata crosses the IPC channel — never file contents — matching
+    the paper's design for minimizing inter-process communication.
+    """
+
+    seq: int
+    op: str
+    ok: bool
+    path: str = ""
+    size: int = 0
+    mtime: float = 0.0
+    bytes_touched: int = 0
+    error_type: str = ""
+    error_message: str = ""
+
+
+def perform_helper_operation(request: HelperRequest) -> HelperReply:
+    """Execute one helper request synchronously.
+
+    This is the function helpers run; it is also called directly by the
+    SPED build (inline, where it may block the whole server) and by tests.
+    """
+    try:
+        if request.op == OP_TRANSLATE:
+            path = translate_path(
+                request.uri,
+                document_root=request.document_root,
+                user_dirs=request.user_dirs,
+            )
+            stat = os.stat(path)
+            return HelperReply(
+                seq=request.seq,
+                op=request.op,
+                ok=True,
+                path=path,
+                size=stat.st_size,
+                mtime=stat.st_mtime,
+            )
+        if request.op == OP_READ:
+            touched = _touch_file_range(request.path, request.offset, request.length)
+            return HelperReply(
+                seq=request.seq,
+                op=request.op,
+                ok=True,
+                path=request.path,
+                bytes_touched=touched,
+            )
+        raise ValueError(f"unknown helper operation: {request.op!r}")
+    except Exception as exc:  # noqa: BLE001 - helpers must never die on a bad request
+        return HelperReply(
+            seq=request.seq,
+            op=request.op,
+            ok=False,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+        )
+
+
+def _touch_file_range(path: str, offset: int, length: int) -> int:
+    """Read ``length`` bytes of ``path`` starting at ``offset`` to warm the cache.
+
+    The helper in the paper mmaps the file and touches all pages of its
+    mapping; reading the range through the buffer cache has the same effect
+    (the pages end up resident) without requiring the helper and the server
+    to coordinate mapping addresses.
+    """
+    size = os.path.getsize(path)
+    if length <= 0:
+        length = size - offset
+    length = max(0, min(length, size - offset))
+    touched = 0
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        remaining = length
+        while remaining > 0:
+            data = handle.read(min(1 << 20, remaining))
+            if not data:
+                break
+            touched += len(data)
+            remaining -= len(data)
+    return touched
+
+
+def translation_entry_from_reply(uri: str, reply: HelperReply) -> PathnameEntry:
+    """Convert a successful translation reply into a pathname-cache entry."""
+    if not reply.ok:
+        raise ValueError("cannot build a PathnameEntry from a failed reply")
+    return PathnameEntry(uri=uri, filesystem_path=reply.path, size=reply.size, mtime=reply.mtime)
+
+
+class HelperPool:
+    """Dispatches potentially blocking operations to helpers and collects completions.
+
+    The pool owns ``num_helpers`` helpers.  :meth:`submit` queues a request
+    with its completion callback; idle helpers pick work up immediately and
+    excess requests wait (the paper sizes the pool to "enough helpers to
+    keep the disk busy", not one per connection).  The event loop must call
+    :meth:`register` once; afterwards completions are delivered by the
+    loop's normal readiness dispatch and each callback runs in the main
+    process/thread — never concurrently with the event loop.
+
+    Parameters
+    ----------
+    num_helpers:
+        Number of helper processes or threads.
+    mode:
+        ``"thread"`` or ``"process"`` (see module docstring).
+    """
+
+    def __init__(self, num_helpers: int = 4, mode: str = "thread"):
+        if num_helpers < 1:
+            raise ValueError("num_helpers must be at least 1")
+        if mode not in ("thread", "process"):
+            raise ValueError("mode must be 'thread' or 'process'")
+        self.num_helpers = num_helpers
+        self.mode = mode
+        self._seq = 0
+        self._callbacks: dict[int, Callable[[HelperReply], None]] = {}
+        self._closed = False
+        self.dispatched = 0
+        self.completed = 0
+
+        if mode == "thread":
+            self._init_threads()
+        else:
+            self._init_processes()
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Number of submitted operations whose completion has not yet run."""
+        return len(self._callbacks)
+
+    @property
+    def idle_helpers(self) -> int:
+        """Helpers currently waiting for work (approximate in thread mode)."""
+        if self.mode == "thread":
+            return max(0, self.num_helpers - min(self.outstanding, self.num_helpers))
+        return len(self._idle_processes)
+
+    def submit(self, request: HelperRequest, callback: Callable[[HelperReply], None]) -> int:
+        """Queue ``request``; ``callback(reply)`` runs when the helper finishes."""
+        if self._closed:
+            raise RuntimeError("helper pool is shut down")
+        self._seq += 1
+        request.seq = self._seq
+        self._callbacks[request.seq] = callback
+        self.dispatched += 1
+        if self.mode == "thread":
+            self._work_queue.put(request)
+        else:
+            self._submit_process(request)
+        return request.seq
+
+    def register(self, loop) -> None:
+        """Register the pool's completion channels with an event loop."""
+        if self.mode == "thread":
+            loop.register(
+                self._wakeup_recv,
+                EVENT_READ,
+                lambda _fileobj, _mask: self.process_completions(),
+            )
+        else:
+            for conn in self._parent_conns:
+                loop.register(
+                    conn,
+                    EVENT_READ,
+                    lambda _fileobj, _mask, c=conn: self._drain_process(c),
+                )
+
+    def unregister(self, loop) -> None:
+        """Remove the pool's channels from an event loop."""
+        if self.mode == "thread":
+            loop.unregister(self._wakeup_recv)
+        else:
+            for conn in self._parent_conns:
+                loop.unregister(conn)
+
+    def process_completions(self) -> int:
+        """Run callbacks for every completion available right now.
+
+        Thread mode only; process-mode completions are drained per pipe by
+        the event loop callback installed in :meth:`register`.  Returns the
+        number of completions processed.
+        """
+        if self.mode != "thread":
+            return self.poll()
+        # Drain the wakeup bytes first so the loop does not spin.
+        try:
+            while self._wakeup_recv.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        processed = 0
+        while True:
+            try:
+                reply = self._done_queue.get_nowait()
+            except queue.Empty:
+                break
+            self._complete(reply)
+            processed += 1
+        return processed
+
+    def poll(self) -> int:
+        """Check every completion channel without blocking (process mode)."""
+        if self.mode == "thread":
+            return self.process_completions()
+        processed = 0
+        for conn in self._parent_conns:
+            while conn.poll():
+                reply = conn.recv()
+                self._finish_process(conn, reply)
+                processed += 1
+        return processed
+
+    def wait_all(self, timeout: float = 10.0) -> None:
+        """Block until every outstanding operation has completed (tests only)."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while self.outstanding and time.monotonic() < deadline:
+            if self.mode == "thread":
+                self.process_completions()
+            else:
+                self.poll()
+            time.sleep(0.001)
+        if self.outstanding:
+            raise TimeoutError(f"{self.outstanding} helper operations still outstanding")
+
+    def shutdown(self) -> None:
+        """Stop all helpers and release IPC resources.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.mode == "thread":
+            for _ in self._threads:
+                self._work_queue.put(HelperRequest(seq=0, op=OP_SHUTDOWN))
+            for thread in self._threads:
+                thread.join(timeout=5.0)
+            self._wakeup_recv.close()
+            self._wakeup_send.close()
+        else:
+            for conn in self._parent_conns:
+                try:
+                    conn.send(HelperRequest(seq=0, op=OP_SHUTDOWN))
+                except (BrokenPipeError, OSError):
+                    pass
+            for proc in self._processes:
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.terminate()
+            for conn in self._parent_conns:
+                conn.close()
+
+    # -- completion plumbing ----------------------------------------------------
+
+    def _complete(self, reply: HelperReply) -> None:
+        callback = self._callbacks.pop(reply.seq, None)
+        self.completed += 1
+        if callback is not None:
+            callback(reply)
+
+    # -- thread mode -------------------------------------------------------------
+
+    def _init_threads(self) -> None:
+        self._work_queue: queue.Queue = queue.Queue()
+        self._done_queue: queue.Queue = queue.Queue()
+        self._wakeup_recv, self._wakeup_send = socket.socketpair()
+        self._wakeup_recv.setblocking(False)
+        self._threads = [
+            threading.Thread(target=self._thread_main, name=f"flash-helper-{i}", daemon=True)
+            for i in range(self.num_helpers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _thread_main(self) -> None:
+        while True:
+            request = self._work_queue.get()
+            if request.op == OP_SHUTDOWN:
+                return
+            reply = perform_helper_operation(request)
+            self._done_queue.put(reply)
+            try:
+                self._wakeup_send.send(b"\0")
+            except OSError:
+                return
+
+    # -- process mode -------------------------------------------------------------
+
+    def _init_processes(self) -> None:
+        context = multiprocessing.get_context("fork" if hasattr(os, "fork") else "spawn")
+        self._parent_conns = []
+        self._processes = []
+        self._idle_processes: list = []
+        self._busy: dict = {}
+        self._backlog: list[HelperRequest] = []
+        for index in range(self.num_helpers):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            proc = context.Process(
+                target=_process_helper_main,
+                args=(child_conn,),
+                name=f"flash-helper-{index}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._parent_conns.append(parent_conn)
+            self._processes.append(proc)
+            self._idle_processes.append(parent_conn)
+
+    def _submit_process(self, request: HelperRequest) -> None:
+        if self._idle_processes:
+            conn = self._idle_processes.pop()
+            self._busy[conn] = request.seq
+            conn.send(request)
+        else:
+            self._backlog.append(request)
+
+    def _drain_process(self, conn) -> None:
+        while conn.poll():
+            reply = conn.recv()
+            self._finish_process(conn, reply)
+
+    def _finish_process(self, conn, reply: HelperReply) -> None:
+        self._busy.pop(conn, None)
+        if self._backlog:
+            next_request = self._backlog.pop(0)
+            self._busy[conn] = next_request.seq
+            conn.send(next_request)
+        else:
+            self._idle_processes.append(conn)
+        self._complete(reply)
+
+
+def _process_helper_main(conn) -> None:
+    """Entry point of a helper process: serve requests until shutdown."""
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            return
+        if request.op == OP_SHUTDOWN:
+            return
+        reply = perform_helper_operation(request)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return

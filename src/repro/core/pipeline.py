@@ -1,0 +1,389 @@
+"""Architecture-independent request-processing pipeline.
+
+The paper's methodology (Section 6) builds four servers — AMPED, SPED, MP
+and MT — from the *same code base*, differing only in how they achieve
+concurrency.  This module is that shared code base: the caches, pathname
+translation, response-header construction and file access used identically
+by every architecture.  The architectures differ only in *who* executes the
+potentially blocking steps (the main event loop, a helper, a worker process,
+or a worker thread), which is decided by the server front ends in
+:mod:`repro.core.server` and :mod:`repro.servers`.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.cache.mapped_file import MappedChunk, MappedFileCache
+from repro.cache.pathname import PathnameCache, PathnameEntry
+from repro.cache.residency import (
+    ClockResidencyPredictor,
+    MincoreResidencyTester,
+    ResidencyTester,
+    SimulatedResidencyOracle,
+)
+from repro.cache.response_header import ResponseHeaderCache
+from repro.core.config import ServerConfig
+from repro.http.mime import guess_mime_type
+from repro.http.request import HTTPRequest
+from repro.http.response import ResponseHeaderBuilder
+from repro.http.uri import translate_path
+
+
+@dataclass
+class ServerStats:
+    """Centralized request statistics ("information gathering", Section 4.2).
+
+    In the SPED and AMPED architectures all requests are processed in one
+    process, so these counters need no synchronization; the MT build wraps
+    updates in a lock and the MP build keeps one instance per process and
+    consolidates on demand.
+    """
+
+    requests: int = 0
+    responses_ok: int = 0
+    responses_error: int = 0
+    bytes_sent: int = 0
+    connections_accepted: int = 0
+    connections_closed: int = 0
+    helper_dispatches: int = 0
+    blocking_translations: int = 0
+    blocking_reads: int = 0
+    cgi_requests: int = 0
+
+    def merge(self, other: "ServerStats") -> "ServerStats":
+        """Return a new instance combining this one with ``other``.
+
+        Used by the MP build to consolidate per-process statistics, the
+        extra step the paper notes MP servers must pay for global accounting.
+        """
+        merged = ServerStats()
+        for name in vars(merged):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        return merged
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, convenient for logging and tests."""
+        return dict(vars(self))
+
+
+@dataclass
+class StaticContent:
+    """Everything needed to transmit one static response.
+
+    Attributes
+    ----------
+    header:
+        The encoded response header (already aligned per Section 5.5).
+    segments:
+        Body segments in transmission order; each is ``bytes`` or a
+        ``memoryview`` over a mapped chunk (zero copy).
+    chunks:
+        Mapped chunks pinned for this response; the connection releases them
+        when transmission finishes or the connection dies.
+    content_length:
+        Total body length in bytes.
+    status:
+        HTTP status code of the response.
+    """
+
+    header: bytes
+    segments: Sequence
+    chunks: Sequence[MappedChunk] = field(default_factory=tuple)
+    content_length: int = 0
+    status: int = 200
+
+    @property
+    def total_length(self) -> int:
+        """Header plus body length."""
+        return len(self.header) + self.content_length
+
+    def release(self, store: "ContentStore") -> None:
+        """Return pinned chunks to the mapped-file cache.  Idempotent.
+
+        The body segments are dropped first: they are memoryviews over the
+        mappings, and holding them would prevent the cache from ever
+        unmapping the chunks.
+        """
+        self.segments = ()
+        chunks, self.chunks = self.chunks, ()
+        for chunk in chunks:
+            store.release_chunk(chunk)
+
+
+class ContentStore:
+    """Caches plus file access: the heart of the shared code base.
+
+    A single instance is shared by all connections of a SPED/AMPED/MT server
+    (the MT build serializes updates with ``lock``); the MP build creates one
+    instance per worker process with the scaled-down configuration from
+    :meth:`repro.core.config.ServerConfig.per_process_scaled`.
+
+    The three caches can be individually disabled through the configuration,
+    which is how the Figure 11 optimization-breakdown experiment constructs
+    its eight Flash variants.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        residency_tester: Optional[ResidencyTester] = None,
+        thread_safe: bool = False,
+    ):
+        self.config = config
+        self.header_builder = ResponseHeaderBuilder(align=config.header_alignment)
+        self.residency_tester = residency_tester or self._default_residency_tester(config)
+        self._lock = threading.Lock() if thread_safe else None
+
+        translate = functools.partial(
+            translate_path,
+            document_root=config.document_root,
+            user_dirs=config.user_dirs,
+        )
+        self._translate_uncached = translate
+
+        self.pathname_cache: Optional[PathnameCache] = None
+        if config.enable_pathname_cache:
+            self.pathname_cache = PathnameCache(
+                lambda uri: translate(uri),
+                max_entries=config.pathname_cache_entries,
+                on_invalidate=self._on_pathname_invalidated,
+            )
+
+        self.header_cache: Optional[ResponseHeaderCache] = None
+        if config.enable_header_cache:
+            self.header_cache = ResponseHeaderCache(
+                builder=self.header_builder,
+                max_entries=config.header_cache_entries,
+            )
+
+        self.mmap_cache: Optional[MappedFileCache] = None
+        if config.enable_mmap_cache:
+            self.mmap_cache = MappedFileCache(
+                chunk_size=config.mmap_chunk_size,
+                max_mapped_bytes=config.mmap_cache_bytes,
+                residency_tester=self.residency_tester,
+            )
+
+        self.stats = ServerStats()
+
+    @staticmethod
+    def _default_residency_tester(config: ServerConfig) -> ResidencyTester:
+        """Build the residency tester named by ``config.residency_mode``.
+
+        Section 5.7 of the paper: ``mincore`` where available, a
+        feedback-based clock predictor where it is not, and (for SPED-style
+        configurations) no test at all — everything is assumed resident.
+        """
+        if config.residency_mode == "clock":
+            return ClockResidencyPredictor(
+                estimated_cache_bytes=config.clock_cache_estimate
+            )
+        if config.residency_mode == "optimistic":
+            return SimulatedResidencyOracle(default_resident=True)
+        return MincoreResidencyTester()
+
+    # -- pathname translation (the "Find file" step) --------------------------
+
+    def translate(self, uri: str) -> PathnameEntry:
+        """Translate a request path to a filesystem path, via the cache.
+
+        This call may block on disk when the translation misses the cache;
+        the AMPED server ships misses to a helper instead of calling this
+        directly (see :meth:`translate_cached_only`).
+        """
+        if self.pathname_cache is not None:
+            with self._maybe_lock():
+                return self.pathname_cache.lookup(uri)
+        return self._translate_direct(uri)
+
+    def translate_cached_only(self, uri: str) -> Optional[PathnameEntry]:
+        """Return the cached translation for ``uri`` without touching disk.
+
+        Returns ``None`` on a cache miss (or when the pathname cache is
+        disabled); the AMPED server then dispatches the translation to a
+        helper process so the main event loop never blocks.
+        """
+        if self.pathname_cache is None:
+            return None
+        with self._maybe_lock():
+            entry = self.pathname_cache.lookup(uri, revalidate=False) if uri in self.pathname_cache else None
+        return entry
+
+    def store_translation(self, entry: PathnameEntry) -> None:
+        """Insert a translation produced by a helper into the cache."""
+        if self.pathname_cache is None:
+            return
+        with self._maybe_lock():
+            self.pathname_cache.insert(entry)
+
+    def _translate_direct(self, uri: str) -> PathnameEntry:
+        path = self._translate_uncached(uri)
+        stat = os.stat(path)
+        return PathnameEntry(uri=uri, filesystem_path=path, size=stat.st_size, mtime=stat.st_mtime)
+
+    # -- response construction -------------------------------------------------
+
+    def build_response(
+        self,
+        request: HTTPRequest,
+        entry: PathnameEntry,
+        *,
+        keep_alive: Optional[bool] = None,
+    ) -> StaticContent:
+        """Build the full static response for ``entry``.
+
+        The response header comes from the header cache when enabled; the
+        body comes from the mapped-file cache (zero-copy memoryviews over the
+        mappings) or, with the mmap cache disabled, from a plain read.  HEAD
+        requests get the header only.
+        """
+        if keep_alive is None:
+            keep_alive = request.keep_alive and self.config.keep_alive
+        header = self._response_header(entry, keep_alive)
+
+        if request.is_head:
+            return StaticContent(header=header, segments=(), content_length=0)
+
+        if self.mmap_cache is not None:
+            chunks = self._acquire_chunks(entry)
+            segments = [chunk.view() for chunk in chunks]
+            return StaticContent(
+                header=header,
+                segments=segments,
+                chunks=chunks,
+                content_length=entry.size,
+            )
+
+        data = self.read_file(entry.filesystem_path)
+        return StaticContent(header=header, segments=[data], content_length=len(data))
+
+    def _response_header(self, entry: PathnameEntry, keep_alive: bool) -> bytes:
+        if self.header_cache is not None:
+            with self._maybe_lock():
+                return self.header_cache.get(
+                    entry.filesystem_path, entry.size, entry.mtime, keep_alive=keep_alive
+                ).raw
+        return self.header_builder.build(
+            200,
+            content_length=entry.size,
+            content_type=guess_mime_type(entry.filesystem_path),
+            last_modified=entry.mtime,
+            keep_alive=keep_alive,
+        ).raw
+
+    def _acquire_chunks(self, entry: PathnameEntry) -> list[MappedChunk]:
+        assert self.mmap_cache is not None
+        with self._maybe_lock():
+            count = self.mmap_cache.chunk_count(entry.size)
+            return [self.mmap_cache.acquire(entry.filesystem_path, i) for i in range(count)]
+
+    def release_chunk(self, chunk: MappedChunk) -> None:
+        """Return a pinned chunk to the mapped-file cache (or unmap it)."""
+        if self.mmap_cache is None or chunk.key not in self.mmap_cache._chunks:
+            chunk.refcount = max(0, chunk.refcount - 1)
+            if chunk.refcount == 0:
+                chunk.close()
+            return
+        with self._maybe_lock():
+            self.mmap_cache.release(chunk)
+
+    # -- residency and blocking I/O ------------------------------------------
+
+    def content_resident(self, content: StaticContent) -> bool:
+        """Test (via ``mincore``) whether every chunk of ``content`` is resident.
+
+        When the residency test is disabled (or the body did not come from
+        the mapped-file cache) the content is treated as resident, which is
+        exactly the behaviour of the Flash-SPED build.
+        """
+        if not self.config.enable_residency_test or not content.chunks:
+            return True
+        # Every chunk is tested (no short-circuit): mincore inspects the whole
+        # mapping, and the clock predictor must record every chunk it was
+        # asked about so its later predictions cover the whole file.
+        results = [self.mmap_cache.is_resident(chunk) for chunk in content.chunks]
+        return all(results)
+
+    @staticmethod
+    def read_file(path: str) -> bytes:
+        """Plain blocking file read, used when the mmap cache is disabled."""
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    @staticmethod
+    def touch_chunks(chunks: Iterable[MappedChunk]) -> int:
+        """Touch every page of ``chunks``, forcing them into memory.
+
+        This is the read helper's job in the AMPED architecture: the helper
+        touches all pages of its mapping so that the main process can later
+        transmit the file without risk of blocking.  Returns the number of
+        bytes touched.
+        """
+        page = 4096
+        touched = 0
+        for chunk in chunks:
+            view = chunk.view()
+            for offset in range(0, chunk.length, page):
+                # Reading one byte per page faults the page in.
+                _ = view[offset]
+            touched += chunk.length
+        return touched
+
+    # -- invalidation ----------------------------------------------------------
+
+    def _on_pathname_invalidated(self, uri: str, entry: PathnameEntry) -> None:
+        if self.header_cache is not None:
+            self.header_cache.invalidate(entry.filesystem_path)
+        if self.mmap_cache is not None:
+            self.mmap_cache.invalidate(entry.filesystem_path)
+
+    # -- misc -------------------------------------------------------------------
+
+    def _maybe_lock(self):
+        if self._lock is not None:
+            return self._lock
+        return _NullContext()
+
+    def cache_stats(self) -> dict:
+        """Hit-rate statistics for all three caches (for tests and reporting)."""
+        stats = {}
+        if self.pathname_cache is not None:
+            stats["pathname"] = {
+                "hits": self.pathname_cache.hits,
+                "misses": self.pathname_cache.misses,
+                "hit_rate": self.pathname_cache.hit_rate,
+            }
+        if self.header_cache is not None:
+            stats["header"] = {
+                "hits": self.header_cache.hits,
+                "misses": self.header_cache.misses,
+                "hit_rate": self.header_cache.hit_rate,
+            }
+        if self.mmap_cache is not None:
+            stats["mmap"] = {
+                "hits": self.mmap_cache.hits,
+                "misses": self.mmap_cache.misses,
+                "hit_rate": self.mmap_cache.hit_rate,
+                "mapped_bytes": self.mmap_cache.mapped_bytes,
+            }
+        return stats
+
+    def close(self) -> None:
+        """Release every mapping held by the mapped-file cache."""
+        if self.mmap_cache is not None:
+            self.mmap_cache.clear()
+
+
+class _NullContext:
+    """Context manager that does nothing (single-threaded builds)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False

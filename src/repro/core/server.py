@@ -1,0 +1,323 @@
+"""The Flash web server: the AMPED architecture on a real event loop.
+
+:class:`BaseEventDrivenServer` contains everything the SPED and AMPED builds
+share: the listening socket, the ``selectors`` event loop, connection
+management, dynamic-content dispatch and idle-connection reaping.  The two
+builds differ only in the driver hooks that decide where potentially
+blocking work runs:
+
+* :class:`FlashServer` (AMPED) consults the pathname cache and, on a miss,
+  ships the translation to a helper; before transmitting mapped file data it
+  tests memory residency and, when pages are missing, ships a read
+  (page-warming) operation to a helper.  The main loop never performs
+  blocking disk work itself.
+* :class:`repro.servers.sped.SPEDServer` overrides the same hooks to run the
+  operations inline — faithful to SPED, including its weakness: a disk miss
+  stalls every connection.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Optional
+
+from repro.cache.residency import ResidencyTester
+from repro.cgi.runner import CGIRunner
+from repro.core.config import ServerConfig
+from repro.core.connection import Connection
+from repro.core.event_loop import EVENT_READ, EventLoop
+from repro.core.helpers import (
+    OP_READ,
+    OP_TRANSLATE,
+    HelperPool,
+    HelperRequest,
+    translation_entry_from_reply,
+)
+from repro.core.pipeline import ContentStore, ServerStats
+from repro.http.errors import HTTPError, NotFoundError
+from repro.http.request import HTTPRequest
+
+
+class BaseEventDrivenServer:
+    """Shared machinery of the event-driven (SPED and AMPED) builds."""
+
+    #: Architecture label used in logs, experiments and ``create_server``.
+    architecture = "event-driven"
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        residency_tester: Optional[ResidencyTester] = None,
+    ):
+        self.config = config
+        self.loop = EventLoop()
+        self.store = ContentStore(config, residency_tester=residency_tester)
+        self.cgi_runner = CGIRunner(config.cgi_programs, prefix=config.cgi_prefix)
+        self.cgi_runner.register(self.loop)
+        self._listen_sock: Optional[socket.socket] = None
+        self._connections: set[Connection] = set()
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._bound = threading.Event()
+        self._closed = False
+        self._schedule_reaper()
+
+    # -- binding and addresses ---------------------------------------------------
+
+    def bind(self) -> None:
+        """Create and register the listening socket.  Idempotent."""
+        if self._listen_sock is not None:
+            return
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.config.host, self.config.port))
+        sock.listen(self.config.listen_backlog)
+        sock.setblocking(False)
+        self._listen_sock = sock
+        self.loop.register(sock, EVENT_READ, self._on_accept_ready)
+        self._bound.set()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) the server is bound to."""
+        if self._listen_sock is None:
+            raise RuntimeError("server is not bound yet")
+        return self._listen_sock.getsockname()[:2]
+
+    @property
+    def port(self) -> int:
+        """Bound TCP port (useful when the config asked for an ephemeral port)."""
+        return self.address[1]
+
+    @property
+    def stats(self) -> ServerStats:
+        """Centralized request statistics (shared-state accounting, §4.2)."""
+        return self.store.stats
+
+    @property
+    def open_connections(self) -> int:
+        """Number of currently open client connections."""
+        return len(self._connections)
+
+    # -- accepting connections -----------------------------------------------------
+
+    def _on_accept_ready(self, _fileobj, _mask) -> None:
+        # Accept every pending connection: under load, several arrivals can
+        # be reported by a single select wakeup.
+        assert self._listen_sock is not None
+        while True:
+            try:
+                client_sock, address = self._listen_sock.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            self.store.stats.connections_accepted += 1
+            connection = Connection(client_sock, address, self)
+            self._connections.add(connection)
+
+    # -- driver hooks (overridden per architecture) -----------------------------------
+
+    def translate_async(self, uri: str, callback) -> None:
+        """Resolve a pathname inline (SPED behaviour: may block the loop)."""
+        self.store.stats.blocking_translations += 1
+        try:
+            entry = self.store.translate(uri)
+        except HTTPError as exc:
+            callback(None, exc)
+            return
+        except OSError as exc:
+            callback(None, NotFoundError(str(exc)))
+            return
+        callback(entry, None)
+
+    def prepare_content_async(self, request: HTTPRequest, entry, callback) -> None:
+        """Build the response inline (SPED behaviour: page faults may block)."""
+        try:
+            content = self.store.build_response(request, entry)
+        except (HTTPError, OSError) as exc:
+            callback(None, exc)
+            return
+        callback(content, None)
+
+    def handle_cgi_async(self, request: HTTPRequest, callback) -> None:
+        """Forward a dynamic request to its persistent CGI application."""
+        self.cgi_runner.submit(request, callback)
+
+    def on_connection_closed(self, connection: Connection) -> None:
+        """Forget a finished connection."""
+        self._connections.discard(connection)
+
+    # -- running --------------------------------------------------------------------
+
+    def run_forever(self) -> None:
+        """Bind (if needed) and run the event loop until :meth:`stop`."""
+        self.bind()
+        self.loop.run_forever(should_stop=self._stop_event.is_set, poll_interval=0.1)
+
+    def start(self) -> "BaseEventDrivenServer":
+        """Run the server in a background thread; returns once it is bound.
+
+        This is the entry point tests and the load-generator examples use:
+        the caller's thread stays free to generate client load against
+        :attr:`address`.
+        """
+        if self._thread is not None:
+            return self
+        self.bind()
+        self._thread = threading.Thread(
+            target=self.run_forever, name=f"{self.architecture}-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the event loop and release all resources."""
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        self.close()
+
+    def close(self) -> None:
+        """Close sockets, connections, caches and auxiliary workers."""
+        if self._closed:
+            return
+        self._closed = True
+        for connection in list(self._connections):
+            connection.close()
+        if self._listen_sock is not None:
+            self.loop.unregister(self._listen_sock)
+            self._listen_sock.close()
+            self._listen_sock = None
+        self.cgi_runner.shutdown()
+        self.store.close()
+        self.loop.close()
+
+    def __enter__(self) -> "BaseEventDrivenServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- idle-connection reaping ----------------------------------------------------
+
+    def _schedule_reaper(self) -> None:
+        self.loop.call_later(self.config.connection_timeout / 2, self._reap_idle)
+
+    def _reap_idle(self) -> None:
+        if self._closed:
+            return
+        now = time.monotonic()
+        for connection in list(self._connections):
+            if connection.idle_for(now) > self.config.connection_timeout:
+                connection.close()
+        self._schedule_reaper()
+
+
+class FlashServer(BaseEventDrivenServer):
+    """The Flash web server: AMPED with aggressive caching (paper Section 5).
+
+    The main event-driven process handles every processing step of an HTTP
+    request; when a step could block on disk it is shipped to a helper and
+    its completion is observed through the same ``select`` loop as network
+    events.  Helpers are only needed per *concurrent disk operation*, not
+    per connection, so a handful suffice.
+
+    Parameters
+    ----------
+    config:
+        Server configuration; cache switches and helper count live here.
+    residency_tester:
+        Override for the ``mincore`` memory-residency test (used by tests to
+        script which files count as cached in memory).
+    """
+
+    architecture = "amped"
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        residency_tester: Optional[ResidencyTester] = None,
+    ):
+        super().__init__(config, residency_tester=residency_tester)
+        self.helpers = HelperPool(
+            num_helpers=config.num_helpers, mode=config.helper_mode
+        )
+        self.helpers.register(self.loop)
+
+    # -- AMPED driver hooks ----------------------------------------------------------
+
+    def translate_async(self, uri: str, callback) -> None:
+        """Use the pathname cache; ship misses to a translation helper."""
+        entry = self.store.translate_cached_only(uri)
+        if entry is not None:
+            callback(entry, None)
+            return
+        self.store.stats.helper_dispatches += 1
+        request = HelperRequest(
+            seq=0,
+            op=OP_TRANSLATE,
+            uri=uri,
+            document_root=self.config.document_root,
+            user_dirs=self.config.user_dirs,
+        )
+
+        def on_reply(reply) -> None:
+            if not reply.ok:
+                callback(None, _reply_to_error(reply))
+                return
+            entry = translation_entry_from_reply(uri, reply)
+            self.store.store_translation(entry)
+            callback(entry, None)
+
+        self.helpers.submit(request, on_reply)
+
+    def prepare_content_async(self, request: HTTPRequest, entry, callback) -> None:
+        """Build the response; warm non-resident content through a read helper."""
+        try:
+            content = self.store.build_response(request, entry)
+        except (HTTPError, OSError) as exc:
+            callback(None, exc)
+            return
+        if self.store.content_resident(content):
+            callback(content, None)
+            return
+        # The requested file is (partly) not in memory: instruct a helper to
+        # bring it in, then transmit without risk of blocking (paper §3.4).
+        self.store.stats.helper_dispatches += 1
+        self.store.stats.blocking_reads += 1
+        helper_request = HelperRequest(
+            seq=0, op=OP_READ, path=entry.filesystem_path, offset=0, length=entry.size
+        )
+
+        def on_reply(reply) -> None:
+            if not reply.ok:
+                content.release(self.store)
+                callback(None, _reply_to_error(reply))
+                return
+            callback(content, None)
+
+        self.helpers.submit(helper_request, on_reply)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self.helpers.unregister(self.loop)
+            self.helpers.shutdown()
+        super().close()
+
+
+def _reply_to_error(reply) -> Exception:
+    """Convert a failed helper reply back into the exception it represents."""
+    from repro.http import errors as http_errors
+
+    cls = getattr(http_errors, reply.error_type, None)
+    if isinstance(cls, type) and issubclass(cls, HTTPError):
+        return cls(reply.error_message)
+    if reply.error_type in ("FileNotFoundError", "IsADirectoryError"):
+        return NotFoundError(reply.error_message)
+    return HTTPError(reply.error_message or "helper operation failed", status=500)

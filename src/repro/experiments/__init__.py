@@ -1,0 +1,42 @@
+"""Experiment drivers: one per figure of the paper's evaluation (Section 6).
+
+Each experiment class knows its workload, its parameter sweep and which
+servers the corresponding figure plots; running it produces an
+:class:`repro.experiments.results.ExperimentResult` whose rows are the
+figure's data points and whose helper methods answer the qualitative
+questions the paper draws from the figure (who wins, where the cliff falls).
+The benchmark suite under ``benchmarks/`` simply runs these drivers and
+asserts those qualitative shapes.
+
+==========  ============================================  ==========================
+Experiment  Paper figure                                   Driver
+==========  ============================================  ==========================
+E1          Fig. 6  single-file test, Solaris              :class:`SingleFileExperiment`
+E2          Fig. 7  single-file test, FreeBSD              :class:`SingleFileExperiment`
+E3          Fig. 8  CS / Owlnet traces, Solaris            :class:`TraceReplayExperiment`
+E4          Fig. 9  data-set-size sweep, FreeBSD           :class:`DatasetSweepExperiment`
+E5          Fig. 10 data-set-size sweep, Solaris           :class:`DatasetSweepExperiment`
+E6          Fig. 11 Flash optimization breakdown           :class:`OptimizationBreakdownExperiment`
+E7          Fig. 12 concurrent-client (WAN) sweep          :class:`WANClientsExperiment`
+E8          —       functional (real-socket) comparison    :class:`FunctionalComparisonExperiment`
+==========  ============================================  ==========================
+"""
+
+from repro.experiments.results import ExperimentResult, ResultRow
+from repro.experiments.single_file import SingleFileExperiment
+from repro.experiments.trace_replay import TraceReplayExperiment
+from repro.experiments.dataset_sweep import DatasetSweepExperiment
+from repro.experiments.optimization_breakdown import OptimizationBreakdownExperiment
+from repro.experiments.wan_clients import WANClientsExperiment
+from repro.experiments.functional import FunctionalComparisonExperiment
+
+__all__ = [
+    "ExperimentResult",
+    "ResultRow",
+    "SingleFileExperiment",
+    "TraceReplayExperiment",
+    "DatasetSweepExperiment",
+    "OptimizationBreakdownExperiment",
+    "WANClientsExperiment",
+    "FunctionalComparisonExperiment",
+]

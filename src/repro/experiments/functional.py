@@ -1,0 +1,105 @@
+"""E8 — functional comparison of the real socket servers.
+
+This experiment is not one of the paper's figures: it exercises the
+*functional* layer (the real AMPED/SPED/MP/MT servers over TCP sockets with
+the event-driven load generator) on a small cached workload, confirming that
+all four architectures built from the shared code base actually serve the
+same content correctly and at broadly comparable rates on a trivially
+cached workload — the functional analogue of the paper's observation that
+architecture matters little when everything is in memory.
+
+Absolute throughput here reflects the host Python interpreter, not the
+paper's hardware; only correctness and rough comparability are asserted.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.client.loadgen import LoadGenerator, LoadResult
+from repro.core.config import ServerConfig
+from repro.experiments.results import ExperimentResult, ResultRow
+from repro.servers import create_server
+from repro.workload.dataset import materialize_catalog
+from repro.workload.synthetic import SingleFileWorkload
+
+DEFAULT_ARCHITECTURES = ("amped", "sped", "mt", "mp")
+
+
+@dataclass
+class FunctionalRunSettings:
+    """Settings for one functional load-generation run."""
+
+    file_size: int = 8 * 1024
+    num_clients: int = 8
+    duration: float = 1.0
+    num_workers: int = 8
+    num_helpers: int = 2
+
+
+class FunctionalComparisonExperiment:
+    """Drive the real servers with the real load generator."""
+
+    def __init__(
+        self,
+        architectures: Sequence[str] = DEFAULT_ARCHITECTURES,
+        settings: Optional[FunctionalRunSettings] = None,
+        document_root: Optional[str] = None,
+    ):
+        self.architectures = tuple(architectures)
+        self.settings = settings or FunctionalRunSettings()
+        self._document_root = document_root
+        self.name = "functional-comparison"
+
+    def _prepare_root(self) -> tuple[str, str]:
+        """Materialize the single-file workload on disk; return (root, path)."""
+        root = self._document_root or tempfile.mkdtemp(prefix="flash-functional-")
+        workload = SingleFileWorkload(self.settings.file_size)
+        paths = materialize_catalog(root, [(workload.file_id, workload.file_size)])
+        return root, paths[0]
+
+    def run_one(self, architecture: str, root: str, path: str) -> LoadResult:
+        """Run the load generator against one architecture."""
+        config = ServerConfig(
+            document_root=root,
+            port=0,
+            num_workers=self.settings.num_workers,
+            num_helpers=self.settings.num_helpers,
+        )
+        server = create_server(architecture, config)
+        server.start()
+        try:
+            generator = LoadGenerator(
+                server.address,
+                path,
+                num_clients=self.settings.num_clients,
+                duration=self.settings.duration,
+            )
+            return generator.run()
+        finally:
+            server.stop()
+
+    def run(self) -> ExperimentResult:
+        """Run every architecture and collect a result row each."""
+        root, path = self._prepare_root()
+        result = ExperimentResult(self.name, x_label="architecture index")
+        for index, architecture in enumerate(self.architectures):
+            load = self.run_one(architecture, root, path)
+            result.add(
+                ResultRow(
+                    experiment=self.name,
+                    server=architecture,
+                    x=float(index),
+                    bandwidth_mbps=load.bandwidth_mbps,
+                    request_rate=load.request_rate,
+                    details={
+                        "requests": load.requests_completed,
+                        "errors": load.errors,
+                        "file_size": self.settings.file_size,
+                    },
+                )
+            )
+        return result

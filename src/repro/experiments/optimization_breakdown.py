@@ -1,0 +1,100 @@
+"""E6 — Flash performance breakdown (paper Figure 11).
+
+The configuration is the FreeBSD single-file test with a cached document;
+Flash is run with every combination of its three main caching optimizations
+(pathname translation caching, mapped-file caching, response-header
+caching), eight variants in all.  Expected shape:
+
+* every optimization contributes measurably;
+* pathname translation caching provides the largest single benefit;
+* with no caching at all, small-file connection rate roughly halves;
+* the impact is strongest for small documents (each cache avoids a
+  per-request cost, which dominates when transfers are small).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.results import ExperimentResult, ResultRow
+from repro.sim.appcache import AppCacheConfig
+from repro.sim.runner import run_simulation
+from repro.workload.synthetic import SingleFileWorkload
+
+KB = 1024
+
+#: The eight cache combinations, labelled as in the figure's legend.
+#: Each entry is (label, pathname, mmap, response-header).
+CACHE_COMBINATIONS: Sequence[tuple[str, bool, bool, bool]] = (
+    ("all (Flash)", True, True, True),
+    ("path & mmap", True, True, False),
+    ("path & resp", True, False, True),
+    ("path only", True, False, False),
+    ("mmap & resp", False, True, True),
+    ("mmap only", False, True, False),
+    ("resp only", False, False, True),
+    ("no caching", False, False, False),
+)
+
+#: File sizes (KB) on the figure's x axis.
+DEFAULT_FILE_SIZES_KB = (1, 5, 10, 15, 20)
+
+
+class OptimizationBreakdownExperiment:
+    """Run Flash with all 2^3 combinations of its caching optimizations."""
+
+    def __init__(
+        self,
+        platform: str = "freebsd",
+        *,
+        file_sizes_kb: Iterable[int] = DEFAULT_FILE_SIZES_KB,
+        num_clients: int = 64,
+        duration: float = 2.0,
+        warmup: float = 0.5,
+    ):
+        self.platform = platform.lower()
+        self.file_sizes_kb = tuple(file_sizes_kb)
+        self.num_clients = num_clients
+        self.duration = duration
+        self.warmup = warmup
+        self.name = "fig11-optimization-breakdown"
+
+    def run(self) -> ExperimentResult:
+        """Run every cache combination at every file size.
+
+        Rows use the combination label as the ``server`` field so the result
+        table reads exactly like the figure's legend.
+        """
+        result = ExperimentResult(self.name, x_label="file size (KB)")
+        for size_kb in self.file_sizes_kb:
+            workload = SingleFileWorkload(size_kb * KB)
+            for label, pathname, mmap_cache, header in CACHE_COMBINATIONS:
+                caches = AppCacheConfig(
+                    enable_pathname=pathname,
+                    enable_mmap=mmap_cache,
+                    enable_header=header,
+                )
+                sim = run_simulation(
+                    "flash",
+                    workload,
+                    platform=self.platform,
+                    num_clients=self.num_clients,
+                    duration=self.duration,
+                    warmup=self.warmup,
+                    app_caches=caches,
+                )
+                result.add(
+                    ResultRow(
+                        experiment=self.name,
+                        server=label,
+                        x=float(size_kb),
+                        bandwidth_mbps=sim.bandwidth_mbps,
+                        request_rate=sim.request_rate,
+                        details={
+                            "pathname": pathname,
+                            "mmap": mmap_cache,
+                            "header": header,
+                        },
+                    )
+                )
+        return result

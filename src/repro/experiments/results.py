@@ -1,0 +1,147 @@
+"""Result containers shared by every experiment driver.
+
+An experiment produces a list of :class:`ResultRow` (one per server per
+x-axis point), wrapped in an :class:`ExperimentResult` that can render a
+text table (what the benchmark harness prints, mirroring the figures' data)
+and answer simple queries ("series for server X", "value at x", "ratio
+between two servers") that the qualitative shape assertions are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One data point: a server at one x-axis position."""
+
+    #: Which figure/experiment produced the row (e.g. ``"fig09"``).
+    experiment: str
+    #: Server label (``flash``, ``sped``, ``mp``, ``mt``, ``apache``, ``zeus``).
+    server: str
+    #: X-axis value (file size in KB, data-set size in MB, client count, ...).
+    x: float
+    #: Primary metric: output bandwidth in Mbit/s.
+    bandwidth_mbps: float
+    #: Secondary metric: completed requests per second.
+    request_rate: float
+    #: Free-form extra measurements (hit rates, utilizations, ...).
+    details: dict = field(default_factory=dict)
+
+
+class ExperimentResult:
+    """The full set of data points produced by one experiment run."""
+
+    def __init__(self, name: str, x_label: str, rows: Optional[Iterable[ResultRow]] = None):
+        self.name = name
+        self.x_label = x_label
+        self.rows: list[ResultRow] = list(rows or [])
+
+    def add(self, row: ResultRow) -> None:
+        """Append one data point."""
+        self.rows.append(row)
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def servers(self) -> list[str]:
+        """Server labels present, in first-appearance order."""
+        seen: list[str] = []
+        for row in self.rows:
+            if row.server not in seen:
+                seen.append(row.server)
+        return seen
+
+    @property
+    def x_values(self) -> list[float]:
+        """Sorted distinct x-axis values."""
+        return sorted({row.x for row in self.rows})
+
+    def series(self, server: str, metric: str = "bandwidth_mbps") -> list[tuple[float, float]]:
+        """The (x, metric) series for one server, sorted by x."""
+        points = [
+            (row.x, getattr(row, metric))
+            for row in self.rows
+            if row.server == server
+        ]
+        return sorted(points)
+
+    def value(self, server: str, x: float, metric: str = "bandwidth_mbps") -> float:
+        """The metric for ``server`` at x-axis position ``x``."""
+        for row in self.rows:
+            if row.server == server and row.x == x:
+                return getattr(row, metric)
+        raise KeyError(f"no row for server={server!r} x={x!r} in {self.name}")
+
+    def mean(self, server: str, metric: str = "bandwidth_mbps") -> float:
+        """Mean of the metric across all x for one server."""
+        values = [value for _, value in self.series(server, metric)]
+        if not values:
+            raise KeyError(f"no rows for server {server!r} in {self.name}")
+        return sum(values) / len(values)
+
+    def winner(self, x: float, metric: str = "bandwidth_mbps") -> str:
+        """The server with the highest metric at ``x``."""
+        best_server, best_value = None, float("-inf")
+        for row in self.rows:
+            if row.x == x and getattr(row, metric) > best_value:
+                best_server, best_value = row.server, getattr(row, metric)
+        if best_server is None:
+            raise KeyError(f"no rows at x={x!r} in {self.name}")
+        return best_server
+
+    def ratio(self, numerator: str, denominator: str, x: float, metric: str = "bandwidth_mbps") -> float:
+        """Metric ratio between two servers at ``x``."""
+        denominator_value = self.value(denominator, x, metric)
+        if denominator_value == 0:
+            return float("inf")
+        return self.value(numerator, x, metric) / denominator_value
+
+    def drop_point(self, server: str, threshold: float = 0.85, metric: str = "bandwidth_mbps") -> Optional[float]:
+        """The first x where the server falls below ``threshold`` of its peak.
+
+        Used to locate the cache cliff in the data-set-size sweeps; returns
+        ``None`` when the server never drops below the threshold.
+        """
+        series = self.series(server, metric)
+        if not series:
+            return None
+        peak = max(value for _, value in series)
+        for x, value in series:
+            if value < threshold * peak:
+                return x
+        return None
+
+    # -- rendering ------------------------------------------------------------------
+
+    def to_table(self, metric: str = "bandwidth_mbps", float_format: str = "{:8.1f}") -> str:
+        """Render the result as a text table (servers as columns)."""
+        servers = self.servers
+        lines = [f"# {self.name}  ({metric})"]
+        header = f"{self.x_label:>12} " + " ".join(f"{server:>10}" for server in servers)
+        lines.append(header)
+        for x in self.x_values:
+            cells = []
+            for server in servers:
+                try:
+                    cells.append(float_format.format(self.value(server, x, metric)).rjust(10))
+                except KeyError:
+                    cells.append(" " * 10)
+            lines.append(f"{x:>12g} " + " ".join(cells))
+        return "\n".join(lines)
+
+    def to_dicts(self) -> list[dict]:
+        """All rows as flat dictionaries (for JSON/CSV export)."""
+        return [
+            {
+                "experiment": row.experiment,
+                "server": row.server,
+                "x": row.x,
+                "bandwidth_mbps": row.bandwidth_mbps,
+                "request_rate": row.request_rate,
+                **row.details,
+            }
+            for row in self.rows
+        ]

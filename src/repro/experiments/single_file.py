@@ -1,0 +1,106 @@
+"""E1/E2 — the single-file test (paper Figures 6 and 7).
+
+"A set of clients repeatedly request the same file, where the file size is
+varied in each test.  The simplicity of the workload in this test allows the
+servers to perform at their highest capacity."  The figures plot total
+output bandwidth against file size (0–200 KB) and, separately, connection
+rate for small files (0–20 KB).
+
+Expected shape (asserted by the benchmarks):
+
+* architecture has little impact on this trivial cached workload — the
+  Flash variants and Zeus are within a band, Apache well below;
+* Flash-SPED slightly outperforms Flash (no residency test);
+* Zeus on FreeBSD dips for files of roughly 100 KB and above because its
+  response headers become misaligned (Section 5.5);
+* everything is substantially faster on FreeBSD than on Solaris;
+* Flash-MT is absent on FreeBSD (no kernel threads in FreeBSD 2.2.6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.experiments.results import ExperimentResult, ResultRow
+from repro.sim.runner import run_simulation
+from repro.workload.synthetic import SingleFileWorkload
+
+KB = 1024
+
+#: Servers plotted in Figure 6 (Solaris).
+SOLARIS_SERVERS = ("sped", "flash", "zeus", "mt", "mp", "apache")
+#: Servers plotted in Figure 7 (FreeBSD): no MT — FreeBSD 2.2.6 lacks kernel threads.
+FREEBSD_SERVERS = ("sped", "flash", "zeus", "mp", "apache")
+
+#: File sizes for the bandwidth plot (left-hand graphs), in KB.
+BANDWIDTH_FILE_SIZES_KB = (5, 20, 50, 90, 128, 175, 200)
+#: File sizes for the connection-rate plot (right-hand graphs), in KB.
+RATE_FILE_SIZES_KB = (1, 5, 10, 15, 20)
+
+
+class SingleFileExperiment:
+    """Sweep file size for every server on one platform (Figure 6 or 7)."""
+
+    def __init__(
+        self,
+        platform: str = "freebsd",
+        *,
+        servers: Optional[Sequence[str]] = None,
+        file_sizes_kb: Iterable[int] = BANDWIDTH_FILE_SIZES_KB,
+        num_clients: int = 64,
+        duration: float = 2.0,
+        warmup: float = 0.5,
+    ):
+        self.platform = platform.lower()
+        if servers is None:
+            servers = FREEBSD_SERVERS if self.platform == "freebsd" else SOLARIS_SERVERS
+        self.servers = tuple(servers)
+        self.file_sizes_kb = tuple(file_sizes_kb)
+        self.num_clients = num_clients
+        self.duration = duration
+        self.warmup = warmup
+
+    @property
+    def name(self) -> str:
+        return "fig07-single-file-freebsd" if self.platform == "freebsd" else "fig06-single-file-solaris"
+
+    def run(self) -> ExperimentResult:
+        """Run the sweep and return one row per (server, file size)."""
+        result = ExperimentResult(self.name, x_label="file size (KB)")
+        for size_kb in self.file_sizes_kb:
+            workload = SingleFileWorkload(size_kb * KB)
+            for server in self.servers:
+                sim = run_simulation(
+                    server,
+                    workload,
+                    platform=self.platform,
+                    num_clients=self.num_clients,
+                    duration=self.duration,
+                    warmup=self.warmup,
+                )
+                result.add(
+                    ResultRow(
+                        experiment=self.name,
+                        server=server,
+                        x=float(size_kb),
+                        bandwidth_mbps=sim.bandwidth_mbps,
+                        request_rate=sim.request_rate,
+                        details={
+                            "platform": self.platform,
+                            "nic_utilization": sim.nic_utilization,
+                        },
+                    )
+                )
+        return result
+
+    def run_connection_rate(self) -> ExperimentResult:
+        """The right-hand graphs: connection rate for small files (0-20 KB)."""
+        sweep = SingleFileExperiment(
+            self.platform,
+            servers=self.servers,
+            file_sizes_kb=RATE_FILE_SIZES_KB,
+            num_clients=self.num_clients,
+            duration=self.duration,
+            warmup=self.warmup,
+        )
+        return sweep.run()

@@ -1,0 +1,87 @@
+"""E3 — trace-based experiment on the Rice server logs (paper Figure 8).
+
+Replaying the CS and Owlnet traces on Solaris, the figure shows a bar per
+server (Apache, MP, MT, SPED, Flash) per trace.  Expected shape:
+
+* Flash achieves the highest throughput on both workloads;
+* Apache achieves the lowest;
+* Flash-SPED's *relative* performance (against Flash) is much better on the
+  cache-friendly Owlnet trace than on the more disk-intensive CS trace;
+* MP's relative performance is better on the CS trace than on Owlnet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.results import ExperimentResult, ResultRow
+from repro.sim.runner import run_simulation
+from repro.workload.traces import CS_TRACE, OWLNET_TRACE, TraceSpec, TraceWorkload
+
+#: Servers plotted in Figure 8.
+DEFAULT_SERVERS = ("apache", "mp", "mt", "sped", "flash")
+
+
+class TraceReplayExperiment:
+    """Replay the CS-like and Owlnet-like traces against every server."""
+
+    def __init__(
+        self,
+        platform: str = "solaris",
+        *,
+        servers: Sequence[str] = DEFAULT_SERVERS,
+        traces: Optional[dict[str, TraceSpec]] = None,
+        num_clients: int = 64,
+        duration: float = 5.0,
+        warmup: float = 1.5,
+    ):
+        self.platform = platform.lower()
+        self.servers = tuple(servers)
+        self.traces = traces or {"cs": CS_TRACE, "owlnet": OWLNET_TRACE}
+        self.num_clients = num_clients
+        self.duration = duration
+        self.warmup = warmup
+        self.name = "fig08-rice-traces"
+
+    def run(self) -> ExperimentResult:
+        """Run every server on every trace.
+
+        The x axis is the trace index (0 = CS, 1 = Owlnet); the trace name is
+        recorded in each row's details so assertions can select by name.
+        """
+        result = ExperimentResult(self.name, x_label="trace")
+        for index, (trace_name, spec) in enumerate(self.traces.items()):
+            workload = TraceWorkload(spec)
+            for server in self.servers:
+                sim = run_simulation(
+                    server,
+                    workload,
+                    platform=self.platform,
+                    num_clients=self.num_clients,
+                    duration=self.duration,
+                    warmup=self.warmup,
+                    server_kwargs={"num_processes": 2} if server == "zeus" else None,
+                )
+                result.add(
+                    ResultRow(
+                        experiment=self.name,
+                        server=server,
+                        x=float(index),
+                        bandwidth_mbps=sim.bandwidth_mbps,
+                        request_rate=sim.request_rate,
+                        details={
+                            "trace": trace_name,
+                            "platform": self.platform,
+                            "hit_rate": sim.buffer_cache_hit_rate,
+                            "dataset_mb": spec.dataset_bytes / (1024 * 1024),
+                        },
+                    )
+                )
+        return result
+
+    def bandwidth(self, result: ExperimentResult, server: str, trace: str) -> float:
+        """Convenience: the bandwidth of ``server`` on ``trace`` by name."""
+        for row in result.rows:
+            if row.server == server and row.details.get("trace") == trace:
+                return row.bandwidth_mbps
+        raise KeyError(f"no row for server={server!r} trace={trace!r}")

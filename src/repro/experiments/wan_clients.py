@@ -1,0 +1,91 @@
+"""E7 — performance under WAN conditions (paper Figure 12).
+
+LAN benchmarking understates the number of concurrent connections a real
+server handles, because WAN clients are slow and connections long lived.
+The paper emulates this with persistent connections on the ECE workload
+(90 MB data set) and sweeps the number of simultaneous clients from tens to
+500 on Solaris.  Expected shape:
+
+* SPED, AMPED and MT show an initial rise (aggregation effects amortize the
+  per-wakeup event-notification overhead) and then stay roughly flat;
+* MT declines gradually beyond a couple of hundred connections (per-thread
+  switching and memory overhead);
+* MP declines significantly as connections grow, because each connection
+  occupies a whole process (memory pressure shrinks the file cache and
+  per-process overheads mount).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.experiments.results import ExperimentResult, ResultRow
+from repro.sim.runner import run_simulation
+from repro.workload.traces import ECE_TRACE, TraceSpec, TraceWorkload
+
+MB = 1024 * 1024
+
+#: Servers plotted in Figure 12.
+DEFAULT_SERVERS = ("sped", "flash", "mt", "mp")
+
+#: Client counts on the figure's x axis.
+DEFAULT_CLIENT_COUNTS = (16, 32, 64, 128, 256, 500)
+
+
+class WANClientsExperiment:
+    """Sweep the number of concurrent (persistent) client connections."""
+
+    def __init__(
+        self,
+        platform: str = "solaris",
+        *,
+        servers: Sequence[str] = DEFAULT_SERVERS,
+        client_counts: Iterable[int] = DEFAULT_CLIENT_COUNTS,
+        dataset_mb: int = 90,
+        base_trace: TraceSpec = ECE_TRACE,
+        client_link_bits: Optional[float] = None,
+        duration: float = 4.0,
+        warmup: float = 1.0,
+    ):
+        self.platform = platform.lower()
+        self.servers = tuple(servers)
+        self.client_counts = tuple(client_counts)
+        self.dataset_mb = dataset_mb
+        self.base_trace = base_trace
+        self.client_link_bits = client_link_bits
+        self.duration = duration
+        self.warmup = warmup
+        self.name = "fig12-wan-clients"
+
+    def run(self) -> ExperimentResult:
+        """Run every server at every concurrency level."""
+        result = ExperimentResult(self.name, x_label="concurrent clients")
+        spec = self.base_trace.scaled_to_dataset(self.dataset_mb * MB)
+        workload = TraceWorkload(spec)
+        for num_clients in self.client_counts:
+            for server in self.servers:
+                sim = run_simulation(
+                    server,
+                    workload,
+                    platform=self.platform,
+                    num_clients=num_clients,
+                    duration=self.duration,
+                    warmup=self.warmup,
+                    persistent_connections=True,
+                    client_link_bits=self.client_link_bits,
+                )
+                result.add(
+                    ResultRow(
+                        experiment=self.name,
+                        server=server,
+                        x=float(num_clients),
+                        bandwidth_mbps=sim.bandwidth_mbps,
+                        request_rate=sim.request_rate,
+                        details={
+                            "platform": self.platform,
+                            "hit_rate": sim.buffer_cache_hit_rate,
+                            "memory_footprint": sim.memory_footprint,
+                        },
+                    )
+                )
+        return result

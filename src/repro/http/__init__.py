@@ -1,0 +1,45 @@
+"""HTTP protocol substrate used by every server architecture.
+
+This package implements the subset of HTTP/1.0 and HTTP/1.1 that the Flash
+paper's request-processing pipeline (Section 2 of the paper) needs:
+
+* incremental request parsing (:mod:`repro.http.request`),
+* response-header generation with the byte-position alignment optimization
+  from Section 5.5 (:mod:`repro.http.response`),
+* URI normalization and pathname translation (:mod:`repro.http.uri`),
+* MIME type mapping (:mod:`repro.http.mime`),
+* status codes and HTTP-level errors (:mod:`repro.http.errors`).
+"""
+
+from repro.http.errors import (
+    BadRequestError,
+    ForbiddenError,
+    HTTPError,
+    NotFoundError,
+    NotImplementedError_,
+    RequestTooLargeError,
+    STATUS_REASONS,
+)
+from repro.http.mime import MIME_TYPES, guess_mime_type
+from repro.http.request import HTTPRequest, RequestParser
+from repro.http.response import ResponseHeaderBuilder, build_error_response
+from repro.http.uri import normalize_uri, split_query, translate_path
+
+__all__ = [
+    "HTTPError",
+    "BadRequestError",
+    "ForbiddenError",
+    "NotFoundError",
+    "NotImplementedError_",
+    "RequestTooLargeError",
+    "STATUS_REASONS",
+    "MIME_TYPES",
+    "guess_mime_type",
+    "HTTPRequest",
+    "RequestParser",
+    "ResponseHeaderBuilder",
+    "build_error_response",
+    "normalize_uri",
+    "split_query",
+    "translate_path",
+]

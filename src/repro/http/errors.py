@@ -1,0 +1,103 @@
+"""HTTP status codes and error types.
+
+The Flash paper's pipeline returns error responses when the requested file
+does not exist, is not readable, or when the request itself is malformed.
+These exceptions carry a status code so the server front end can convert
+them into error responses uniformly across all four architectures.
+"""
+
+from __future__ import annotations
+
+#: Reason phrases for the status codes the reproduction emits.
+STATUS_REASONS = {
+    200: "OK",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    304: "Not Modified",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    408: "Request Timeout",
+    413: "Request Entity Too Large",
+    414: "Request-URI Too Long",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    505: "HTTP Version Not Supported",
+}
+
+
+def reason_phrase(status: int) -> str:
+    """Return the standard reason phrase for ``status``.
+
+    Unknown status codes map to ``"Unknown"`` rather than raising, because a
+    server must be able to emit a response line for any integer code an
+    application hands it.
+    """
+    return STATUS_REASONS.get(status, "Unknown")
+
+
+class HTTPError(Exception):
+    """Base class for errors that map directly to an HTTP error response.
+
+    Parameters
+    ----------
+    status:
+        The HTTP status code to report to the client.
+    message:
+        Human-readable detail included in the response body.
+    """
+
+    status = 500
+
+    def __init__(self, message: str = "", status: int | None = None):
+        super().__init__(message or reason_phrase(status or self.status))
+        if status is not None:
+            self.status = status
+        self.message = message or reason_phrase(self.status)
+
+    @property
+    def reason(self) -> str:
+        """The reason phrase associated with this error's status code."""
+        return reason_phrase(self.status)
+
+
+class BadRequestError(HTTPError):
+    """The request line or headers could not be parsed (400)."""
+
+    status = 400
+
+
+class ForbiddenError(HTTPError):
+    """The client is not permitted to access the resource (403)."""
+
+    status = 403
+
+
+class NotFoundError(HTTPError):
+    """The translated pathname does not exist on disk (404)."""
+
+    status = 404
+
+
+class RequestTooLargeError(HTTPError):
+    """The request header exceeded the configured maximum size (413)."""
+
+    status = 413
+
+
+class NotImplementedError_(HTTPError):
+    """The request used a method the server does not implement (501).
+
+    The trailing underscore avoids shadowing Python's builtin
+    :class:`NotImplementedError`, which has entirely different semantics.
+    """
+
+    status = 501
+
+
+class VersionNotSupportedError(HTTPError):
+    """The request used an HTTP version other than 0.9, 1.0 or 1.1 (505)."""
+
+    status = 505

@@ -1,0 +1,90 @@
+"""MIME type mapping for static content.
+
+The Flash server, like the 1999 servers it is compared against, determines
+the ``Content-Type`` of a static response from the file extension.  The table
+below covers the extensions present in the paper's workloads (departmental
+web pages: HTML, images, postscript/PDF papers, tarballs) plus the usual
+modern additions.
+"""
+
+from __future__ import annotations
+
+import posixpath
+
+#: Extension (lower-case, without dot) to MIME type.
+MIME_TYPES = {
+    "html": "text/html",
+    "htm": "text/html",
+    "shtml": "text/html",
+    "txt": "text/plain",
+    "text": "text/plain",
+    "css": "text/css",
+    "csv": "text/csv",
+    "xml": "text/xml",
+    "js": "application/javascript",
+    "json": "application/json",
+    "gif": "image/gif",
+    "jpg": "image/jpeg",
+    "jpeg": "image/jpeg",
+    "png": "image/png",
+    "bmp": "image/bmp",
+    "ico": "image/x-icon",
+    "svg": "image/svg+xml",
+    "tif": "image/tiff",
+    "tiff": "image/tiff",
+    "ps": "application/postscript",
+    "eps": "application/postscript",
+    "pdf": "application/pdf",
+    "doc": "application/msword",
+    "dvi": "application/x-dvi",
+    "tex": "application/x-tex",
+    "tar": "application/x-tar",
+    "gz": "application/gzip",
+    "tgz": "application/gzip",
+    "zip": "application/zip",
+    "bz2": "application/x-bzip2",
+    "mp3": "audio/mpeg",
+    "wav": "audio/x-wav",
+    "au": "audio/basic",
+    "mpg": "video/mpeg",
+    "mpeg": "video/mpeg",
+    "mov": "video/quicktime",
+    "avi": "video/x-msvideo",
+    "mp4": "video/mp4",
+    "bin": "application/octet-stream",
+    "exe": "application/octet-stream",
+    "class": "application/octet-stream",
+    "c": "text/plain",
+    "h": "text/plain",
+    "py": "text/plain",
+    "md": "text/plain",
+}
+
+#: Content type used when the extension is unknown or missing.
+DEFAULT_MIME_TYPE = "application/octet-stream"
+
+
+def guess_mime_type(path: str, default: str = DEFAULT_MIME_TYPE) -> str:
+    """Return the MIME type for ``path`` based on its extension.
+
+    Parameters
+    ----------
+    path:
+        A file name or path; only the final extension is examined.
+    default:
+        Value returned when the extension is not recognized.
+
+    Examples
+    --------
+    >>> guess_mime_type("/home/users/bob/public_html/index.html")
+    'text/html'
+    >>> guess_mime_type("archive.tar.gz")
+    'application/gzip'
+    >>> guess_mime_type("Makefile")
+    'application/octet-stream'
+    """
+    name = posixpath.basename(path)
+    if "." not in name:
+        return default
+    ext = name.rsplit(".", 1)[1].lower()
+    return MIME_TYPES.get(ext, default)

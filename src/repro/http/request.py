@@ -1,0 +1,251 @@
+"""Incremental HTTP request parsing.
+
+The "Read request" step of the paper's pipeline (Figure 1) reads the HTTP
+request header from the client connection's socket and parses it for the
+requested URL and options.  Because the servers in this reproduction are
+event driven (SPED/AMPED) or at least non-blocking per connection, the
+parser must accept data incrementally: a client on a slow link may deliver
+the request line in several TCP segments, and the event loop must not block
+waiting for the rest.
+
+:class:`RequestParser` therefore exposes a ``feed()`` interface: the server
+hands it whatever bytes ``recv()`` produced and asks whether a complete
+request is available yet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.http.errors import (
+    BadRequestError,
+    NotImplementedError_,
+    RequestTooLargeError,
+    VersionNotSupportedError,
+)
+from repro.http.uri import normalize_uri, split_query
+
+#: Methods the static-content pipeline understands.  Everything else gets 501.
+SUPPORTED_METHODS = ("GET", "HEAD", "POST")
+
+#: Versions the response generator knows how to answer.
+SUPPORTED_VERSIONS = ("HTTP/0.9", "HTTP/1.0", "HTTP/1.1")
+
+#: Default cap on the size of a request header block, matching the defensive
+#: limits production servers of the era used (Apache: 8 KB per line).
+DEFAULT_MAX_HEADER_BYTES = 16 * 1024
+
+
+@dataclass
+class HTTPRequest:
+    """A fully parsed HTTP request header.
+
+    Attributes
+    ----------
+    method:
+        Upper-cased request method (``GET``, ``HEAD``, ``POST``).
+    uri:
+        The raw request URI as sent by the client.
+    path:
+        The normalized path component (percent-decoded, ``..`` resolved).
+    query:
+        The query string (without the ``?``), empty if absent.
+    version:
+        The HTTP version string, e.g. ``HTTP/1.1``.
+    headers:
+        Header fields with lower-cased names.
+    body:
+        Request body bytes (only populated for POST with Content-Length).
+    """
+
+    method: str
+    uri: str
+    path: str
+    query: str = ""
+    version: str = "HTTP/1.0"
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should persist after this response.
+
+        HTTP/1.1 defaults to persistent connections unless the client sends
+        ``Connection: close``; HTTP/1.0 requires an explicit
+        ``Connection: keep-alive``.  Persistent connections matter for the
+        paper's WAN experiment (Section 6.4), where they are used to emulate
+        long-lived connections in a LAN testbed.
+        """
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.1":
+            return connection != "close"
+        return connection == "keep-alive"
+
+    @property
+    def is_head(self) -> bool:
+        """True when only the response header should be sent."""
+        return self.method == "HEAD"
+
+    @property
+    def is_cgi(self) -> bool:
+        """True when the request targets the dynamic-content prefix."""
+        return self.path.startswith("/cgi-bin/")
+
+    @property
+    def if_modified_since(self) -> str | None:
+        """The If-Modified-Since header value, if any."""
+        return self.headers.get("if-modified-since")
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        """Case-insensitive header lookup."""
+        return self.headers.get(name.lower(), default)
+
+
+class RequestParser:
+    """Incremental parser turning raw socket bytes into :class:`HTTPRequest`.
+
+    Usage::
+
+        parser = RequestParser()
+        parser.feed(sock.recv(4096))
+        if parser.complete:
+            request = parser.request
+
+    The parser retains any bytes following the parsed request (pipelined
+    requests on a persistent connection) in :attr:`remainder`; callers reuse
+    them by constructing a new parser and feeding the remainder first.
+    """
+
+    def __init__(self, max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES):
+        self.max_header_bytes = max_header_bytes
+        self._buffer = bytearray()
+        self._request: HTTPRequest | None = None
+        self._body_needed = 0
+        self._headers_done = False
+        self.remainder = b""
+
+    @property
+    def complete(self) -> bool:
+        """True when a full request (header and any body) has been parsed."""
+        return self._request is not None and self._body_needed == 0
+
+    @property
+    def request(self) -> HTTPRequest:
+        """The parsed request.  Only valid when :attr:`complete` is True."""
+        if self._request is None or self._body_needed:
+            raise ValueError("request is not complete")
+        return self._request
+
+    def feed(self, data: bytes) -> bool:
+        """Add ``data`` to the parse buffer; return :attr:`complete`.
+
+        Raises an :class:`repro.http.errors.HTTPError` subclass when the
+        request is malformed, too large, or uses an unsupported method or
+        version.  The caller converts that into an error response.
+        """
+        if self.complete:
+            self.remainder += data
+            return True
+        self._buffer.extend(data)
+        if not self._headers_done:
+            self._try_parse_headers()
+        if self._headers_done and self._body_needed:
+            self._consume_body()
+        return self.complete
+
+    def _try_parse_headers(self) -> None:
+        end = self._buffer.find(b"\r\n\r\n")
+        sep_len = 4
+        if end < 0:
+            end = self._buffer.find(b"\n\n")
+            sep_len = 2
+        if end < 0:
+            if len(self._buffer) > self.max_header_bytes:
+                raise RequestTooLargeError(
+                    f"request header exceeds {self.max_header_bytes} bytes"
+                )
+            return
+        header_block = bytes(self._buffer[:end])
+        rest = bytes(self._buffer[end + sep_len:])
+        self._buffer = bytearray()
+        self._request = self._parse_header_block(header_block)
+        self._headers_done = True
+        content_length = self._request.headers.get("content-length")
+        if self._request.method == "POST" and content_length:
+            try:
+                self._body_needed = int(content_length)
+            except ValueError as exc:
+                raise BadRequestError("invalid Content-Length") from exc
+            if self._body_needed < 0:
+                raise BadRequestError("negative Content-Length")
+        if self._body_needed:
+            self._buffer = bytearray(rest)
+            self._consume_body()
+        else:
+            self.remainder = rest
+
+    def _consume_body(self) -> None:
+        assert self._request is not None
+        take = min(self._body_needed, len(self._buffer))
+        self._request.body += bytes(self._buffer[:take])
+        self._body_needed -= take
+        leftover = bytes(self._buffer[take:])
+        self._buffer = bytearray()
+        if self._body_needed == 0:
+            self.remainder = leftover
+        else:
+            self._buffer = bytearray(leftover)
+
+    @staticmethod
+    def _parse_header_block(block: bytes) -> HTTPRequest:
+        try:
+            text = block.decode("latin-1")
+        except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 never fails
+            raise BadRequestError("undecodable request header") from exc
+        lines = text.replace("\r\n", "\n").split("\n")
+        request_line = lines[0].strip()
+        if not request_line:
+            raise BadRequestError("empty request line")
+        parts = request_line.split()
+        if len(parts) == 2:
+            # HTTP/0.9 simple request: "GET /path"
+            method, uri = parts
+            version = "HTTP/0.9"
+        elif len(parts) == 3:
+            method, uri, version = parts
+        else:
+            raise BadRequestError(f"malformed request line: {request_line!r}")
+        method = method.upper()
+        if method not in SUPPORTED_METHODS:
+            raise NotImplementedError_(f"method not implemented: {method}")
+        if version not in SUPPORTED_VERSIONS:
+            raise VersionNotSupportedError(f"unsupported version: {version}")
+
+        headers: dict[str, str] = {}
+        last_name: str | None = None
+        for raw in lines[1:]:
+            if not raw.strip():
+                continue
+            if raw[0] in (" ", "\t") and last_name is not None:
+                # Obsolete header folding: continuation of the previous field.
+                headers[last_name] += " " + raw.strip()
+                continue
+            if ":" not in raw:
+                raise BadRequestError(f"malformed header line: {raw!r}")
+            name, _, value = raw.partition(":")
+            name = name.strip().lower()
+            if not name:
+                raise BadRequestError(f"empty header name: {raw!r}")
+            headers[name] = value.strip()
+            last_name = name
+
+        raw_path, query = split_query(uri)
+        path = normalize_uri(raw_path)
+        return HTTPRequest(
+            method=method,
+            uri=uri,
+            path=path,
+            query=query,
+            version=version,
+            headers=headers,
+        )

@@ -1,0 +1,166 @@
+"""HTTP response-header generation with byte-position alignment.
+
+Section 5.5 of the paper describes an optimization unique to Flash among the
+servers compared: when ``writev()`` gathers the response header and the file
+data into one kernel buffer, a header whose length is not a multiple of the
+machine word size forces misaligned copies of *all* subsequent regions.
+Flash therefore aligns response headers on 32-byte boundaries and pads their
+length to a multiple of 32 bytes by adding characters to variable-length
+fields (the ``Server`` name).
+
+This module reproduces that behaviour: :class:`ResponseHeaderBuilder`
+produces response headers whose encoded length is padded to a configurable
+alignment, and records how much padding was applied so the evaluation layer
+can quantify the cost of *not* doing it (the Zeus anomaly in Figure 7).
+"""
+
+from __future__ import annotations
+
+import email.utils
+from dataclasses import dataclass
+
+from repro.http.errors import reason_phrase
+
+#: Alignment target used by Flash (Section 5.5): 32 bytes, chosen to match
+#: systems with 32-byte cache lines rather than simple word alignment.
+DEFAULT_ALIGNMENT = 32
+
+#: Server identification string, the variable-length field that gets padded.
+SERVER_NAME = "Flash-repro/1.0"
+
+
+def http_date(timestamp: float | None = None) -> str:
+    """Format ``timestamp`` (seconds since epoch) as an RFC 1123 date."""
+    return email.utils.formatdate(timestamp, usegmt=True)
+
+
+@dataclass(frozen=True)
+class ResponseHeader:
+    """An encoded response header together with its metadata.
+
+    Attributes
+    ----------
+    raw:
+        The encoded header bytes, terminated by the blank line.
+    status:
+        Status code of the response.
+    content_length:
+        Value of the Content-Length field (0 for bodyless responses).
+    padding:
+        Number of padding bytes that were added to reach the alignment.
+    """
+
+    raw: bytes
+    status: int
+    content_length: int
+    padding: int
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    @property
+    def aligned(self) -> bool:
+        """True when the encoded length is a multiple of the alignment used."""
+        return self.padding >= 0 and len(self.raw) % DEFAULT_ALIGNMENT == 0
+
+
+class ResponseHeaderBuilder:
+    """Builds (and optionally aligns) HTTP response headers.
+
+    Parameters
+    ----------
+    server_name:
+        Value of the ``Server`` header before padding.
+    align:
+        Alignment in bytes; ``0`` or ``1`` disables the optimization, which
+        is how the "misaligned" configurations in the evaluation are built.
+    version:
+        HTTP version advertised in the status line.
+    """
+
+    def __init__(
+        self,
+        server_name: str = SERVER_NAME,
+        align: int = DEFAULT_ALIGNMENT,
+        version: str = "HTTP/1.1",
+    ):
+        if align < 0:
+            raise ValueError("alignment must be non-negative")
+        self.server_name = server_name
+        self.align = align
+        self.version = version
+
+    def build(
+        self,
+        status: int = 200,
+        *,
+        content_length: int = 0,
+        content_type: str = "text/html",
+        last_modified: float | None = None,
+        date: float | None = None,
+        keep_alive: bool = False,
+        extra_headers: dict[str, str] | None = None,
+    ) -> ResponseHeader:
+        """Build a response header.
+
+        The header is padded (by extending the ``Server`` field) so that its
+        total encoded length is a multiple of :attr:`align`, reproducing the
+        byte-position alignment optimization of Section 5.5.
+        """
+        lines = [f"{self.version} {status} {reason_phrase(status)}"]
+        lines.append(f"Date: {http_date(date)}")
+        lines.append(f"Content-Type: {content_type}")
+        lines.append(f"Content-Length: {content_length}")
+        if last_modified is not None:
+            lines.append(f"Last-Modified: {http_date(last_modified)}")
+        lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+        if extra_headers:
+            for name, value in extra_headers.items():
+                lines.append(f"{name}: {value}")
+        server_line_index = len(lines)
+        lines.append(f"Server: {self.server_name}")
+
+        encoded = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        padding = 0
+        if self.align > 1:
+            remainder = len(encoded) % self.align
+            if remainder:
+                padding = self.align - remainder
+                lines[server_line_index] = (
+                    f"Server: {self.server_name}{' ' * padding}"
+                )
+                encoded = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return ResponseHeader(
+            raw=encoded,
+            status=status,
+            content_length=content_length,
+            padding=padding,
+        )
+
+
+def build_error_response(
+    status: int,
+    message: str = "",
+    *,
+    builder: ResponseHeaderBuilder | None = None,
+    keep_alive: bool = False,
+) -> bytes:
+    """Build a complete error response (header + small HTML body).
+
+    All four server architectures use this helper so error handling is
+    byte-for-byte identical across them, as required by the paper's
+    "same code base" methodology (Section 6).
+    """
+    builder = builder or ResponseHeaderBuilder()
+    reason = reason_phrase(status)
+    body = (
+        "<html><head><title>{code} {reason}</title></head>"
+        "<body><h1>{code} {reason}</h1><p>{message}</p></body></html>\n"
+    ).format(code=status, reason=reason, message=message or reason).encode("latin-1")
+    header = builder.build(
+        status,
+        content_length=len(body),
+        content_type="text/html",
+        keep_alive=keep_alive,
+    )
+    return header.raw + body

@@ -1,0 +1,137 @@
+"""URI normalization and pathname translation.
+
+Pathname translation is the "Find file" step in the paper's Figure 1: the
+requested URL (e.g. ``/~bob/``) is mapped to an actual file on disk (e.g.
+``/home/users/bob/public_html/index.html``).  In Flash this step is expensive
+enough to warrant both a dedicated cache (Section 5.2) and helper processes
+(the translation may require directory lookups that touch the disk), so the
+functional translation logic lives here where both the cache and the helpers
+can share it.
+"""
+
+from __future__ import annotations
+
+import os
+import posixpath
+from urllib.parse import unquote
+
+from repro.http.errors import BadRequestError, ForbiddenError, NotFoundError
+
+#: File served when a request names a directory, mirroring the paper's
+#: ``/~bob`` -> ``.../public_html/index.html`` example.
+INDEX_FILE = "index.html"
+
+
+def split_query(uri: str) -> tuple[str, str]:
+    """Split ``uri`` into (path, query-string).
+
+    >>> split_query("/cgi-bin/search?q=flash")
+    ('/cgi-bin/search', 'q=flash')
+    >>> split_query("/index.html")
+    ('/index.html', '')
+    """
+    if "?" in uri:
+        path, query = uri.split("?", 1)
+        return path, query
+    return uri, ""
+
+
+def normalize_uri(uri: str) -> str:
+    """Decode and canonicalize the path component of a request URI.
+
+    Percent-escapes are decoded, repeated slashes collapsed and ``.``/``..``
+    segments resolved.  A request whose normalized form escapes the document
+    root (i.e. still begins with ``..``) raises :class:`ForbiddenError`; this
+    is the standard defence against ``GET /../../etc/passwd``.
+
+    >>> normalize_uri("/a/b/../c//d.html")
+    '/a/c/d.html'
+    >>> normalize_uri("/%7Ebob/")
+    '/~bob/'
+    """
+    if not uri.startswith("/"):
+        raise BadRequestError(f"request URI must be absolute path: {uri!r}")
+    decoded = unquote(uri)
+    if "\x00" in decoded:
+        raise BadRequestError("NUL byte in request URI")
+    # Reject any path that would climb above the document root at any point.
+    # posixpath.normpath silently clamps "/../x" to "/x", which would turn a
+    # traversal attempt into a legitimate-looking path, so the depth check
+    # must happen on the raw segments.
+    depth = 0
+    for segment in decoded.split("/"):
+        if segment == "..":
+            depth -= 1
+        elif segment not in ("", "."):
+            depth += 1
+        if depth < 0:
+            raise ForbiddenError("request URI escapes document root")
+    had_trailing_slash = decoded.endswith("/")
+    normalized = posixpath.normpath(decoded)
+    if had_trailing_slash and not normalized.endswith("/"):
+        normalized += "/"
+    return normalized
+
+
+def translate_path(
+    uri: str,
+    document_root: str,
+    *,
+    index_file: str = INDEX_FILE,
+    user_dirs: dict[str, str] | None = None,
+) -> str:
+    """Translate a normalized request URI into an absolute filesystem path.
+
+    This performs the potentially blocking "Find file" step: the returned
+    path is checked for existence and readability, directory requests are
+    resolved to their index file, and home-directory URIs (``/~user/...``)
+    are mapped through ``user_dirs`` exactly as the paper's
+    ``/~bob`` -> ``/home/users/bob/public_html/index.html`` example.
+
+    Parameters
+    ----------
+    uri:
+        The request path (no query string), already normalized by
+        :func:`normalize_uri`.
+    document_root:
+        Directory that anchors ordinary requests.
+    index_file:
+        File appended when the URI names a directory.
+    user_dirs:
+        Optional mapping from user name to that user's ``public_html``
+        directory, used for ``/~user`` URIs.
+
+    Raises
+    ------
+    NotFoundError
+        If the translated path does not exist.
+    ForbiddenError
+        If the path exists but is not a readable regular file, or the URI
+        attempts to escape the document root.
+    """
+    path = normalize_uri(uri)
+    if user_dirs and path.startswith("/~"):
+        rest = path[2:]
+        user, _, tail = rest.partition("/")
+        base = user_dirs.get(user)
+        if base is None:
+            raise NotFoundError(f"no such user directory: ~{user}")
+        candidate = os.path.join(base, tail.lstrip("/"))
+    else:
+        candidate = os.path.join(document_root, path.lstrip("/"))
+
+    candidate = os.path.normpath(candidate)
+    root = os.path.normpath(document_root)
+    if user_dirs is None and not (candidate == root or candidate.startswith(root + os.sep)):
+        raise ForbiddenError("translated path escapes document root")
+
+    if os.path.isdir(candidate):
+        candidate = os.path.join(candidate, index_file)
+
+    if not os.path.exists(candidate):
+        raise NotFoundError(f"file not found: {uri}")
+    if not os.path.isfile(candidate):
+        raise ForbiddenError(f"not a regular file: {uri}")
+    if not os.access(candidate, os.R_OK):
+        raise ForbiddenError(f"permission denied: {uri}")
+    return candidate

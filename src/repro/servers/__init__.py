@@ -1,0 +1,67 @@
+"""The four server architectures built from one code base (paper Section 6).
+
+To compare architectures without implementation noise, the paper builds
+AMPED (Flash), SPED, MP and MT servers from the same code base by replacing
+only the event/helper dispatch mechanism.  This package does the same:
+
+* :class:`AMPEDServer` — alias of :class:`repro.core.server.FlashServer`;
+* :class:`SPEDServer` — the same event loop with disk work done inline;
+* :class:`MPServer` — a pool of worker *processes*, each handling one
+  request at a time with blocking I/O and its own (smaller) caches;
+* :class:`MTServer` — a pool of worker *threads* sharing one set of caches
+  protected by a lock.
+
+:func:`create_server` builds any of them by name, which is what the
+examples and the functional benchmark use.
+"""
+
+from repro.core.config import ServerConfig
+from repro.core.server import FlashServer
+from repro.servers.mp import MPServer
+from repro.servers.mt import MTServer
+from repro.servers.sped import SPEDServer
+
+#: The AMPED build is the Flash server itself.
+AMPEDServer = FlashServer
+
+#: Architecture name -> server class, as used by :func:`create_server`.
+ARCHITECTURES = {
+    "amped": AMPEDServer,
+    "flash": AMPEDServer,
+    "sped": SPEDServer,
+    "mp": MPServer,
+    "mt": MTServer,
+}
+
+
+def create_server(architecture: str, config: ServerConfig, **kwargs):
+    """Instantiate a server of the named architecture.
+
+    Parameters
+    ----------
+    architecture:
+        One of ``"amped"`` (or ``"flash"``), ``"sped"``, ``"mp"``, ``"mt"``.
+    config:
+        The shared configuration; the MP build derives its per-process
+        configuration from it automatically.
+    kwargs:
+        Extra keyword arguments forwarded to the server constructor (e.g.
+        ``residency_tester`` for the event-driven builds).
+    """
+    key = architecture.lower()
+    if key not in ARCHITECTURES:
+        raise ValueError(
+            f"unknown architecture {architecture!r}; expected one of {sorted(ARCHITECTURES)}"
+        )
+    return ARCHITECTURES[key](config, **kwargs)
+
+
+__all__ = [
+    "AMPEDServer",
+    "SPEDServer",
+    "MPServer",
+    "MTServer",
+    "ARCHITECTURES",
+    "create_server",
+    "ServerConfig",
+]

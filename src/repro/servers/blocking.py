@@ -1,0 +1,135 @@
+"""Blocking per-connection handler shared by the MP and MT builds.
+
+In the MP and MT architectures a worker (process or thread) executes the
+basic request-processing steps *sequentially* for one connection at a time:
+read the request, find the file, send the response header, then the data,
+possibly looping for keep-alive.  Overlap between connections comes from the
+operating system scheduling other workers whenever this one blocks.
+
+The handler reuses the exact same pipeline (:class:`ContentStore`) as the
+event-driven builds so that the only difference between architectures is the
+concurrency strategy, per the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional
+
+from repro.cgi.runner import CGIRunner
+from repro.core.config import ServerConfig
+from repro.core.pipeline import ContentStore
+from repro.http.errors import HTTPError
+from repro.http.request import RequestParser
+from repro.http.response import build_error_response
+
+
+def handle_client(
+    sock: socket.socket,
+    store: ContentStore,
+    config: ServerConfig,
+    cgi_runner: Optional[CGIRunner] = None,
+    max_requests: Optional[int] = None,
+) -> int:
+    """Serve one client connection to completion with blocking I/O.
+
+    Returns the number of requests served on the connection.  The socket is
+    always closed before returning.  Exceptions from client misbehaviour are
+    converted into HTTP error responses; unexpected internal errors close
+    the connection after a 500.
+    """
+    served = 0
+    store.stats.connections_accepted += 1
+    try:
+        sock.settimeout(config.connection_timeout)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        leftover = b""
+        while True:
+            parser = RequestParser(max_header_bytes=config.max_header_bytes)
+            try:
+                complete = parser.feed(leftover) if leftover else False
+                while not complete:
+                    data = sock.recv(config.socket_io_size)
+                    if not data:
+                        return served
+                    complete = parser.feed(data)
+            except HTTPError as exc:
+                _send_error(sock, store, exc.status, exc.message)
+                return served
+            except socket.timeout:
+                return served
+
+            request = parser.request
+            leftover = parser.remainder
+            store.stats.requests += 1
+            keep_alive = bool(request.keep_alive and config.keep_alive)
+
+            try:
+                if request.is_cgi:
+                    store.stats.cgi_requests += 1
+                    if cgi_runner is None:
+                        raise HTTPError("dynamic content disabled", status=503)
+                    body = cgi_runner.run(request)
+                    header = store.header_builder.build(
+                        200,
+                        content_length=len(body),
+                        content_type="text/html",
+                        keep_alive=keep_alive,
+                    ).raw
+                    _send_all(sock, store, [header, body])
+                else:
+                    store.stats.blocking_translations += 1
+                    entry = store.translate(request.path)
+                    content = store.build_response(request, entry, keep_alive=keep_alive)
+                    try:
+                        _send_all(sock, store, [content.header, *content.segments])
+                    finally:
+                        content.release(store)
+                store.stats.responses_ok += 1
+            except HTTPError as exc:
+                _send_error(sock, store, exc.status, exc.message, keep_alive=keep_alive)
+                if not keep_alive:
+                    return served
+            except OSError:
+                return served
+
+            served += 1
+            if not keep_alive:
+                return served
+            if max_requests is not None and served >= max_requests:
+                return served
+    finally:
+        store.stats.connections_closed += 1
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def _send_all(sock: socket.socket, store: ContentStore, buffers) -> None:
+    for buffer in buffers:
+        if not len(buffer):
+            continue
+        sock.sendall(buffer)
+        store.stats.bytes_sent += len(buffer)
+
+
+def _send_error(
+    sock: socket.socket,
+    store: ContentStore,
+    status: int,
+    message: str,
+    keep_alive: bool = False,
+) -> None:
+    store.stats.responses_error += 1
+    payload = build_error_response(
+        status, message, builder=store.header_builder, keep_alive=keep_alive
+    )
+    try:
+        sock.sendall(payload)
+        store.stats.bytes_sent += len(payload)
+    except OSError:
+        pass

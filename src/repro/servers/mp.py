@@ -1,0 +1,171 @@
+"""Multi-Process (MP) build (paper Section 3.1).
+
+The MP server assigns a *process* to each concurrently served request:
+every worker performs the basic steps sequentially with blocking I/O, and
+the operating system overlaps disk, CPU and network activity by switching
+between workers.  Each process has a private address space, so no
+synchronization is needed — but the application-level caches are replicated
+per process, must therefore be configured smaller, suffer more compulsory
+misses, and use memory less efficiently (Section 4.2); consolidating request
+statistics requires inter-process communication (here a queue drained at
+shutdown).
+
+Workers accept from a listening socket created before the fork, exactly like
+Apache's pre-forking model on UNIX.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+from typing import Optional
+
+from repro.cgi.runner import CGIRunner
+from repro.core.config import ServerConfig
+from repro.core.pipeline import ContentStore, ServerStats
+from repro.servers.blocking import handle_client
+
+
+class MPServer:
+    """Flash-MP: one worker process per concurrently served request."""
+
+    architecture = "mp"
+
+    def __init__(self, config: ServerConfig):
+        self.config = config
+        #: Per-worker configuration with the scaled-down caches the paper uses.
+        self.worker_config = config.per_process_scaled(config.num_workers)
+        self._listen_sock: Optional[socket.socket] = None
+        self._processes: list = []
+        self._context = multiprocessing.get_context(
+            "fork" if hasattr(os, "fork") else "spawn"
+        )
+        self._stop_event = self._context.Event()
+        self._stats_queue = self._context.Queue()
+        self._collected_stats = ServerStats()
+        self._closed = False
+
+    # -- binding -----------------------------------------------------------------
+
+    def bind(self) -> None:
+        """Create the pre-fork listening socket.  Idempotent."""
+        if self._listen_sock is not None:
+            return
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.config.host, self.config.port))
+        sock.listen(self.config.listen_backlog)
+        sock.settimeout(0.2)
+        self._listen_sock = sock
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) the server is bound to."""
+        if self._listen_sock is None:
+            raise RuntimeError("server is not bound yet")
+        return self._listen_sock.getsockname()[:2]
+
+    @property
+    def port(self) -> int:
+        """Bound TCP port."""
+        return self.address[1]
+
+    # -- running ------------------------------------------------------------------
+
+    def start(self) -> "MPServer":
+        """Bind and fork the worker processes; returns immediately."""
+        if self._processes:
+            return self
+        self.bind()
+        for index in range(self.config.num_workers):
+            process = self._context.Process(
+                target=_mp_worker_main,
+                args=(
+                    self._listen_sock,
+                    self.worker_config,
+                    self._stop_event,
+                    self._stats_queue,
+                ),
+                name=f"mp-worker-{index}",
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop every worker, consolidate statistics and release resources."""
+        self._stop_event.set()
+        for process in self._processes:
+            process.join(timeout=timeout)
+        self._drain_stats()
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        self._processes = []
+        self.close()
+
+    def close(self) -> None:
+        """Close the listening socket.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._listen_sock is not None:
+            self._listen_sock.close()
+            self._listen_sock = None
+
+    @property
+    def stats(self) -> ServerStats:
+        """Consolidated statistics from workers that have exited.
+
+        In the MP architecture, gathering request information across all
+        connections requires inter-process communication (Section 4.2):
+        workers push their counters into a queue when they stop, and this
+        property reflects whatever has been consolidated so far.
+        """
+        self._drain_stats()
+        return self._collected_stats
+
+    def _drain_stats(self) -> None:
+        while True:
+            try:
+                snapshot = self._stats_queue.get_nowait()
+            except Exception:
+                break
+            worker_stats = ServerStats(**snapshot)
+            self._collected_stats = self._collected_stats.merge(worker_stats)
+
+    def __enter__(self) -> "MPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def _mp_worker_main(listen_sock, worker_config, stop_event, stats_queue) -> None:
+    """Entry point of an MP worker: accept and serve until shutdown.
+
+    Each worker builds its own :class:`ContentStore` (private, smaller
+    caches) and its own CGI runner, then loops accepting one connection at a
+    time and handling it to completion with blocking I/O.
+    """
+    store = ContentStore(worker_config)
+    cgi_runner = CGIRunner(worker_config.cgi_programs, prefix=worker_config.cgi_prefix)
+    try:
+        while not stop_event.is_set():
+            try:
+                client_sock, _address = listen_sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            handle_client(client_sock, store, worker_config, cgi_runner)
+    finally:
+        try:
+            stats_queue.put(store.stats.snapshot())
+        except Exception:
+            pass
+        cgi_runner.shutdown()
+        store.close()

@@ -1,0 +1,122 @@
+"""Multi-Threaded (MT) build (paper Section 3.2).
+
+The MT server employs multiple independent threads of control within a
+single shared address space; each thread performs all steps of one HTTP
+request before accepting a new one.  All threads share the application-level
+caches, so (unlike MP) there is no cache replication — but accesses must be
+synchronized, which is the cost the paper highlights ("this result was
+achieved by carefully minimizing lock contention").
+
+Here the shared :class:`ContentStore` is constructed with ``thread_safe=True``
+so its cache updates go through a lock; the accept queue is shared exactly as
+the kernel shares it for real MT servers.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from repro.cgi.runner import CGIRunner
+from repro.core.config import ServerConfig
+from repro.core.pipeline import ContentStore, ServerStats
+from repro.servers.blocking import handle_client
+
+
+class MTServer:
+    """Flash-MT: one worker thread per concurrently served request."""
+
+    architecture = "mt"
+
+    def __init__(self, config: ServerConfig):
+        self.config = config
+        self.store = ContentStore(config, thread_safe=True)
+        self.cgi_runner = CGIRunner(config.cgi_programs, prefix=config.cgi_prefix)
+        self._listen_sock: Optional[socket.socket] = None
+        self._threads: list[threading.Thread] = []
+        self._stop_event = threading.Event()
+        self._closed = False
+
+    # -- binding --------------------------------------------------------------
+
+    def bind(self) -> None:
+        """Create the shared listening socket.  Idempotent."""
+        if self._listen_sock is not None:
+            return
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.config.host, self.config.port))
+        sock.listen(self.config.listen_backlog)
+        # A short accept timeout lets worker threads notice shutdown without
+        # needing signals; it does not affect steady-state behaviour.
+        sock.settimeout(0.2)
+        self._listen_sock = sock
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) the server is bound to."""
+        if self._listen_sock is None:
+            raise RuntimeError("server is not bound yet")
+        return self._listen_sock.getsockname()[:2]
+
+    @property
+    def port(self) -> int:
+        """Bound TCP port."""
+        return self.address[1]
+
+    @property
+    def stats(self) -> ServerStats:
+        """Shared statistics (guarded by the store's lock during updates)."""
+        return self.store.stats
+
+    # -- running ---------------------------------------------------------------
+
+    def start(self) -> "MTServer":
+        """Bind and launch the worker threads; returns immediately."""
+        if self._threads:
+            return self
+        self.bind()
+        self._threads = [
+            threading.Thread(target=self._worker_main, name=f"mt-worker-{i}", daemon=True)
+            for i in range(self.config.num_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def _worker_main(self) -> None:
+        assert self._listen_sock is not None
+        while not self._stop_event.is_set():
+            try:
+                client_sock, _address = self._listen_sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            handle_client(client_sock, self.store, self.config, self.cgi_runner)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop accepting, wait for workers and release resources."""
+        self._stop_event.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+        self.close()
+
+    def close(self) -> None:
+        """Close sockets and caches.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._listen_sock is not None:
+            self._listen_sock.close()
+            self._listen_sock = None
+        self.cgi_runner.shutdown()
+        self.store.close()
+
+    def __enter__(self) -> "MTServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,55 @@
+"""Single-Process Event-Driven (SPED) build (paper Section 3.3).
+
+The SPED server uses the same event loop, connection state machine, caches
+and optimizations as Flash, but performs every potentially blocking disk
+operation inline in the single server process.  On cached workloads this is
+the fastest architecture — there is no helper IPC and no memory-residency
+testing — but whenever a request requires disk activity *all* user-level
+processing stops, which is exactly the weakness the evaluation exposes on
+disk-bound workloads (Figures 9 and 10).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.residency import ResidencyTester
+from repro.core.config import ServerConfig
+from repro.core.pipeline import ContentStore
+from repro.core.server import BaseEventDrivenServer
+from repro.http.request import HTTPRequest
+
+
+class SPEDServer(BaseEventDrivenServer):
+    """Flash-SPED: the shared code base with inline (blocking) disk operations.
+
+    The base class already implements the inline driver hooks, so this class
+    only fixes the architecture label and disables the memory-residency test
+    (SPED transmits mapped data directly; the paper attributes Flash's small
+    deficit on fully cached workloads to the residency test AMPED must do).
+    """
+
+    architecture = "sped"
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        residency_tester: Optional[ResidencyTester] = None,
+    ):
+        super().__init__(config, residency_tester=residency_tester)
+        # SPED never checks residency: it simply touches the pages and takes
+        # the page fault (blocking the whole process) if they are missing.
+        self.store.config = config
+        self._skip_residency_test = True
+
+    def prepare_content_async(self, request: HTTPRequest, entry, callback) -> None:
+        try:
+            content = self.store.build_response(request, entry)
+        except OSError as exc:
+            callback(None, exc)
+            return
+        # Touch the data inline.  If it is not in memory, this blocks the
+        # whole server while the disk read completes — SPED's defining cost.
+        if content.chunks:
+            ContentStore.touch_chunks(content.chunks)
+        callback(content, None)

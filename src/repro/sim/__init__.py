@@ -1,0 +1,55 @@
+"""Deterministic discrete-event simulation of the paper's testbed.
+
+The original evaluation ran on a 333 MHz Pentium II with 128 MB of memory,
+multiple 100 Mbit/s Ethernet interfaces and late-1990s SCSI disks, under
+Solaris 2.6 and FreeBSD 2.2.6 — hardware and operating systems that are not
+available, and whose performance ratios cannot be reproduced meaningfully by
+timing Python socket servers on modern machines.  The simulation layer
+replaces that testbed with an explicit model of the quantities the paper's
+arguments actually rest on:
+
+* a single **CPU** with per-request and per-byte costs (platform profiles
+  for "Solaris" and "FreeBSD" differ in these constants),
+* a **disk** with seek and transfer time and a FIFO queue,
+* an OS **buffer cache** whose capacity is what remains of main memory after
+  the server's own footprint,
+* a **network interface** with finite bandwidth, plus per-client WAN links,
+* **execution contexts** (the single SPED/AMPED process, AMPED helpers, MP
+  processes, MT threads) that block on disk and pay context-switch and
+  synchronization costs,
+* the **application-level caches** of Section 5 as hit/miss models that
+  modulate per-request CPU cost.
+
+Server models for AMPED (Flash), SPED, MP, MT, an Apache-like MP server and
+a Zeus-like SPED server are built on this substrate in
+:mod:`repro.sim.server_models`, and every figure of the paper's evaluation
+is regenerated from them by :mod:`repro.experiments`.
+"""
+
+from repro.sim.engine import Environment, Interrupt, Process, Timeout
+from repro.sim.resources import Container, PriorityResource, Resource
+from repro.sim.platform import FREEBSD, SOLARIS, PlatformProfile, get_platform
+from repro.sim.disk import DiskModel
+from repro.sim.buffer_cache import BufferCacheModel
+from repro.sim.network import NetworkModel
+from repro.sim.appcache import SimulatedAppCaches
+from repro.sim.metrics import MetricsCollector
+
+__all__ = [
+    "Environment",
+    "Process",
+    "Timeout",
+    "Interrupt",
+    "Resource",
+    "PriorityResource",
+    "Container",
+    "PlatformProfile",
+    "SOLARIS",
+    "FREEBSD",
+    "get_platform",
+    "DiskModel",
+    "BufferCacheModel",
+    "NetworkModel",
+    "SimulatedAppCaches",
+    "MetricsCollector",
+]

@@ -1,0 +1,115 @@
+"""Simulated application-level caches (the Section 5 optimizations).
+
+The functional layer implements the pathname-translation, response-header
+and mapped-file caches for real; the simulation layer only needs their
+*performance effect*: whether a given request pays the miss cost or the hit
+cost for each of the three per-request operations.  This module tracks the
+three caches as LRU structures over the workload's file identifiers, with
+the same capacity knobs as the real configuration, so hit rates respond to
+workload locality and to the per-process cache splitting of the MP model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.lru import LRUCache
+
+
+@dataclass
+class AppCacheConfig:
+    """Capacities and switches for the simulated application caches.
+
+    The default values match the paper's evaluation configuration for the
+    full Flash server; :meth:`per_process` derives the smaller per-process
+    configuration used by each Flash-MP worker.
+    """
+
+    enable_pathname: bool = True
+    enable_header: bool = True
+    enable_mmap: bool = True
+    pathname_entries: int = 6000
+    header_entries: int = 6000
+    mmap_bytes: int = 32 * 1024 * 1024
+
+    def per_process(self, processes: int) -> "AppCacheConfig":
+        """The per-process variant (caches are replicated and must shrink)."""
+        if processes < 1:
+            raise ValueError("processes must be at least 1")
+        entry_scale = max(1, round(processes / 3.2))
+        byte_scale = max(1, processes // 4)
+        return AppCacheConfig(
+            enable_pathname=self.enable_pathname,
+            enable_header=self.enable_header,
+            enable_mmap=self.enable_mmap,
+            pathname_entries=max(16, self.pathname_entries // entry_scale),
+            header_entries=max(16, self.header_entries // entry_scale),
+            mmap_bytes=max(64 * 1024, self.mmap_bytes // byte_scale),
+        )
+
+    def disabled(self) -> "AppCacheConfig":
+        """A variant with every application-level cache turned off."""
+        return AppCacheConfig(
+            enable_pathname=False, enable_header=False, enable_mmap=False,
+            pathname_entries=self.pathname_entries,
+            header_entries=self.header_entries,
+            mmap_bytes=self.mmap_bytes,
+        )
+
+
+@dataclass
+class AppCacheOutcome:
+    """Which of the three per-request operations hit their cache."""
+
+    pathname_hit: bool
+    header_hit: bool
+    mmap_hit: bool
+
+
+class SimulatedAppCaches:
+    """Tracks the three application caches for one server process.
+
+    The SPED, AMPED and MT models share a single instance; the MP model
+    creates one per worker process (replication), constructed from
+    :meth:`AppCacheConfig.per_process`.
+    """
+
+    def __init__(self, config: AppCacheConfig):
+        self.config = config
+        self._pathname = LRUCache(max_entries=config.pathname_entries)
+        self._header = LRUCache(max_entries=config.header_entries)
+        self._mmap = LRUCache(max_cost=float(config.mmap_bytes), cost_fn=lambda s: float(s))
+
+    def lookup(self, file_id, size: int) -> AppCacheOutcome:
+        """Record one request for ``file_id`` and report which caches hit.
+
+        Disabled caches always miss (their cost is paid on every request),
+        which is how the Figure 11 optimization-breakdown variants are
+        simulated.
+        """
+        pathname_hit = False
+        if self.config.enable_pathname:
+            pathname_hit = self._pathname.get(file_id) is not None
+            self._pathname.put(file_id, True)
+
+        header_hit = False
+        if self.config.enable_header:
+            header_hit = self._header.get(file_id) is not None
+            self._header.put(file_id, True)
+
+        mmap_hit = False
+        if self.config.enable_mmap:
+            mmap_hit = self._mmap.get(file_id) is not None
+            self._mmap.put(file_id, size)
+
+        return AppCacheOutcome(
+            pathname_hit=pathname_hit, header_hit=header_hit, mmap_hit=mmap_hit
+        )
+
+    def stats(self) -> dict:
+        """Hit/miss counters for each cache."""
+        return {
+            "pathname": {"hits": self._pathname.hits, "misses": self._pathname.misses},
+            "header": {"hits": self._header.hits, "misses": self._header.misses},
+            "mmap": {"hits": self._mmap.hits, "misses": self._mmap.misses},
+        }

@@ -1,0 +1,90 @@
+"""OS filesystem buffer cache model.
+
+The central memory effect in the paper (Section 4.1, "Memory effects") is
+that the server's own memory consumption competes with the filesystem cache:
+architectures with a large footprint (MP processes, many MT threads) leave
+less room for cached file data, shifting the point where the working set
+stops fitting and lowering the hit rate beyond it.  The buffer cache model
+therefore exposes an adjustable capacity: the simulated server computes its
+footprint and the remainder of physical memory becomes the cache.
+
+Caching granularity is whole files tracked by an LRU list, which matches how
+the evaluation reasons about working sets (file-grain locality from the
+access traces).
+"""
+
+from __future__ import annotations
+
+from repro.cache.lru import LRUCache
+
+
+class BufferCacheModel:
+    """LRU file cache with byte capacity and hit/miss accounting."""
+
+    def __init__(self, capacity_bytes: float):
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_bytes = float(capacity_bytes)
+        self._cache: LRUCache[object, int] = LRUCache(
+            max_cost=self.capacity_bytes, cost_fn=lambda size: float(size)
+        )
+        self.hits = 0
+        self.misses = 0
+        self.bytes_missed = 0
+
+    @property
+    def cached_bytes(self) -> float:
+        """Bytes of file data currently cached."""
+        return self._cache.total_cost
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from memory."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def resize(self, capacity_bytes: float) -> None:
+        """Change the cache capacity (server footprint changed); evicts as needed."""
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_bytes = float(capacity_bytes)
+        self._cache.max_cost = self.capacity_bytes
+        self._cache.put("__resize_probe__", 0)
+        self._cache.remove("__resize_probe__")
+
+    def access(self, file_id, size: int) -> int:
+        """Access ``file_id`` of ``size`` bytes; return the bytes that must come from disk.
+
+        A hit returns 0; a miss returns ``size`` and inserts the file (which
+        may evict colder files).  Files larger than the whole cache are never
+        retained — every access to them misses, as with a real buffer cache
+        being churned by a huge sequential read.
+        """
+        if size <= 0:
+            self.hits += 1
+            return 0
+        if self._cache.get(file_id) is not None:
+            self.hits += 1
+            return 0
+        self.misses += 1
+        self.bytes_missed += size
+        if size <= self.capacity_bytes:
+            self._cache.put(file_id, size)
+        return size
+
+    def contains(self, file_id) -> bool:
+        """Whether ``file_id`` is currently cached (does not affect recency)."""
+        return self._cache.peek(file_id) is not None
+
+    def warm(self, files) -> None:
+        """Pre-load ``files`` (an iterable of ``(file_id, size)``) into the cache."""
+        for file_id, size in files:
+            if size <= self.capacity_bytes:
+                self._cache.put(file_id, size)
+
+    def clear(self) -> None:
+        """Drop all cached file data and reset statistics."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+        self.bytes_missed = 0

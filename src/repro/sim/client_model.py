@@ -1,0 +1,92 @@
+"""Closed-loop simulated clients.
+
+"Each simulated HTTP client makes HTTP requests as fast as the server can
+handle them" (paper Section 6): a client issues a request, waits for the
+complete response, then immediately issues the next one.  WAN emulation
+(Section 6.4) adds a per-client link: the client cannot issue its next
+request until its (slow) link has drained the previous response, which is
+exactly how long-lived connections tie up server-side resources without
+adding server load.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Environment
+from repro.sim.server_models.base import SimulatedServer
+
+
+class ClosedLoopClient:
+    """One simulated client issuing back-to-back requests."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server: SimulatedServer,
+        workload,
+        client_id: int,
+        *,
+        keep_alive: bool = False,
+        think_time: float = 0.0,
+        stop_at: Optional[float] = None,
+    ):
+        self.env = env
+        self.server = server
+        self.workload = workload
+        self.client_id = client_id
+        self.keep_alive = keep_alive
+        self.think_time = think_time
+        self.stop_at = stop_at
+        self.requests_issued = 0
+        self.process = env.process(self._run(), name=f"client-{client_id}")
+
+    def _run(self):
+        while self.stop_at is None or self.env.now < self.stop_at:
+            file_id, size = self.workload.next_request(self.client_id)
+            self.requests_issued += 1
+            yield from self.server.handle_request(
+                self.client_id, file_id, size, keep_alive=self.keep_alive
+            )
+            # A slow client link keeps the connection (and whatever server
+            # resources it pins) occupied while the response drains.
+            drain = self.server.network.client_drain_time(size)
+            if drain > 0:
+                yield self.env.timeout(drain)
+            if self.think_time > 0:
+                yield self.env.timeout(self.think_time)
+
+
+def start_clients(
+    env: Environment,
+    server: SimulatedServer,
+    workload,
+    num_clients: int,
+    *,
+    keep_alive: bool = False,
+    think_time: float = 0.0,
+    stop_at: Optional[float] = None,
+    stagger: float = 1e-4,
+) -> list[ClosedLoopClient]:
+    """Create ``num_clients`` closed-loop clients, slightly staggered in time.
+
+    The stagger avoids every client hitting the server at exactly t=0, which
+    would be an artificial burst no real test harness produces.
+    """
+    clients = []
+    for index in range(num_clients):
+        def delayed_start(index=index):
+            yield env.timeout(index * stagger)
+            client = ClosedLoopClient(
+                env,
+                server,
+                workload,
+                index,
+                keep_alive=keep_alive,
+                think_time=think_time,
+                stop_at=stop_at,
+            )
+            clients.append(client)
+
+        env.process(delayed_start(), name=f"client-start-{index}")
+    return clients

@@ -1,0 +1,261 @@
+"""Process-oriented discrete-event simulation kernel.
+
+A deliberately small SimPy-like engine: simulation *processes* are Python
+generators that ``yield`` events (timeouts, other processes, resource
+requests); the :class:`Environment` owns the event queue and advances
+simulated time from one scheduled event to the next.  Determinism is
+absolute: given the same workload and seeds, every run produces identical
+results, which is what lets the benchmark suite assert the paper's
+qualitative shapes.
+
+Only the features the server models need are implemented: timeouts,
+process-completion events, manual events, and interrupt delivery (used to
+stop closed-loop clients at the end of the measurement window).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts *untriggered*; :meth:`succeed` (or :meth:`fail`)
+    schedules it, after which every waiting process is resumed with the
+    event's value (or has the failure exception thrown into it).
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self.triggered = False
+        #: True once the event has been popped from the queue and its
+        #: callbacks have run.
+        self.processed = False
+        self.ok = True
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.ok = True
+        self.value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters get ``exception`` thrown."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.ok = False
+        self.value = exception
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError("timeout delay must be non-negative")
+        super().__init__(env)
+        self.delay = delay
+        self.triggered = True
+        self.ok = True
+        self.value = value
+        env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an event that triggers when the generator returns
+    (its value is the generator's return value), so processes can wait for
+    one another simply by yielding them.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        self._interrupt: Optional[Interrupt] = None
+        # Kick the process off at the current simulation time.
+        bootstrap = Event(env)
+        bootstrap.succeed()
+        bootstrap.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resumption."""
+        if self.triggered:
+            return
+        self._interrupt = Interrupt(cause)
+        # Wake the process immediately (detaching it from whatever it waits on).
+        wake = Event(self.env)
+        wake.succeed()
+        wake.callbacks.append(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if self._waiting_on is not None and event is not self._waiting_on and self._interrupt is None:
+            # A stale wakeup (e.g. the event we stopped waiting on after an
+            # interrupt); ignore it.
+            return
+        self._waiting_on = None
+        try:
+            if self._interrupt is not None:
+                interrupt, self._interrupt = self._interrupt, None
+                target = self.generator.throw(interrupt)
+            elif event.ok:
+                target = self.generator.send(event.value)
+            else:
+                target = self.generator.throw(event.value)
+        except StopIteration as stop:
+            self.triggered = True
+            self.ok = True
+            self.value = stop.value
+            self.env._schedule(self)
+            return
+        except Interrupt:
+            # The process chose not to handle the interrupt: terminate it.
+            self.triggered = True
+            self.ok = True
+            self.value = None
+            self.env._schedule(self)
+            return
+
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+            )
+        if target.triggered and target.processed:
+            # The event already fired and ran its callbacks; resume on the
+            # next scheduling round to preserve run-to-completion semantics.
+            immediate = Event(self.env)
+            immediate.succeed(target.value)
+            immediate.ok = target.ok
+            self._waiting_on = immediate
+            immediate.callbacks.append(self._resume)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+
+class Environment:
+    """The simulation environment: clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self.processes_started = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention)."""
+        return self._now
+
+    # -- creating events -------------------------------------------------------
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event triggering ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start ``generator`` as a simulation process."""
+        self.processes_started += 1
+        return Process(self, generator, name=name)
+
+    # -- scheduling --------------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event.processed = True
+        for callback in callbacks:
+            callback(event)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue empties or simulated time reaches ``until``."""
+        if until is not None and until < self._now:
+            raise ValueError("cannot run backwards in time")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_all(self, max_events: int = 50_000_000) -> None:
+        """Run until no events remain (with a safety cap on event count)."""
+        count = 0
+        while self._queue:
+            self.step()
+            count += 1
+            if count > max_events:
+                raise RuntimeError("simulation exceeded the maximum event count")
+
+
+def all_of(env: Environment, events: Iterable[Event]) -> Event:
+    """An event that triggers once every event in ``events`` has triggered."""
+    events = list(events)
+    result = env.event()
+    remaining = {"count": len(events)}
+    if not events:
+        result.succeed([])
+        return result
+    values: list[Any] = [None] * len(events)
+
+    def make_callback(index: int):
+        def callback(event: Event) -> None:
+            values[index] = event.value
+            remaining["count"] -= 1
+            if remaining["count"] == 0 and not result.triggered:
+                result.succeed(values)
+
+        return callback
+
+    for index, event in enumerate(events):
+        if event.triggered and event.processed:
+            values[index] = event.value
+            remaining["count"] -= 1
+        else:
+            event.callbacks.append(make_callback(index))
+    if remaining["count"] == 0 and not result.triggered:
+        result.succeed(values)
+    return result

@@ -1,0 +1,86 @@
+"""Measurement collection for simulation runs.
+
+The paper reports two primary metrics: total output bandwidth (Mbit/s) and
+connection rate (requests/second).  The collector supports a warm-up period
+— counters only accumulate once the measurement window opens — because the
+interesting steady state (caches warm, all clients active) takes a little
+simulated time to reach, exactly as in real benchmarking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates per-request measurements inside the measurement window."""
+
+    #: Simulated time at which measurement starts (warm-up ends).
+    measure_from: float = 0.0
+    requests: int = 0
+    bytes_sent: int = 0
+    errors: int = 0
+    disk_reads: int = 0
+    response_time_total: float = 0.0
+    response_time_max: float = 0.0
+    _window_end: float = field(default=0.0, repr=False)
+
+    def record(
+        self,
+        now: float,
+        size: int,
+        response_time: float,
+        *,
+        from_disk: bool = False,
+        error: bool = False,
+    ) -> None:
+        """Record one completed request at simulated time ``now``."""
+        if now < self.measure_from:
+            return
+        self._window_end = max(self._window_end, now)
+        if error:
+            self.errors += 1
+            return
+        self.requests += 1
+        self.bytes_sent += size
+        self.response_time_total += response_time
+        self.response_time_max = max(self.response_time_max, response_time)
+        if from_disk:
+            self.disk_reads += 1
+
+    @property
+    def window(self) -> float:
+        """Length of the measurement window observed so far."""
+        return max(0.0, self._window_end - self.measure_from)
+
+    @property
+    def bandwidth_mbps(self) -> float:
+        """Output bandwidth in megabits per second."""
+        if self.window <= 0:
+            return 0.0
+        return (self.bytes_sent * 8) / (self.window * 1_000_000)
+
+    @property
+    def request_rate(self) -> float:
+        """Completed requests per second."""
+        if self.window <= 0:
+            return 0.0
+        return self.requests / self.window
+
+    @property
+    def mean_response_time(self) -> float:
+        """Average response time of measured requests (seconds)."""
+        return self.response_time_total / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-dict summary for experiment tables."""
+        return {
+            "requests": self.requests,
+            "bytes_sent": self.bytes_sent,
+            "errors": self.errors,
+            "disk_reads": self.disk_reads,
+            "bandwidth_mbps": self.bandwidth_mbps,
+            "request_rate": self.request_rate,
+            "mean_response_time": self.mean_response_time,
+        }

@@ -1,0 +1,74 @@
+"""Network model: shared server NIC plus optional per-client WAN links.
+
+The testbed connects the server to the client machines through switched
+Fast Ethernet; the server has multiple 100 Mbit/s interfaces, so the
+aggregate NIC capacity — not a single link — is the relevant bound.  The
+WAN experiment (Section 6.4) emulates slow, long-lived client connections;
+in the simulation those become per-client link rates, which stretch the time
+a response occupies server-side connection state without consuming NIC
+capacity for longer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Environment
+from repro.sim.platform import PlatformProfile
+from repro.sim.resources import Resource
+
+
+class NetworkModel:
+    """Transmission-time model for server responses."""
+
+    def __init__(
+        self,
+        env: Environment,
+        platform: PlatformProfile,
+        client_link_bits: Optional[float] = None,
+    ):
+        self.env = env
+        self.platform = platform
+        self.client_link_bits = (
+            client_link_bits if client_link_bits is not None else platform.client_link_bits
+        )
+        self._nic = Resource(env, capacity=1, name="nic")
+        self.bytes_transmitted = 0
+        self.transmissions = 0
+        self.busy_time = 0.0
+
+    def utilization(self) -> float:
+        """Fraction of simulated time the NIC spent transmitting."""
+        return self.busy_time / self.env.now if self.env.now > 0 else 0.0
+
+    def transmit(self, size: int):
+        """Simulation process: push ``size`` bytes through the server NIC.
+
+        The NIC is modeled as a FIFO server at the aggregate interface rate.
+        The caller (server model) decides whether its execution context waits
+        for the transmission (blocking write in MP/MT once socket buffers
+        fill) or continues immediately (event-driven architectures).
+        """
+        if size <= 0:
+            return
+        request = self._nic.request()
+        yield request
+        service = self.platform.nic_time(size)
+        try:
+            yield self.env.timeout(service)
+        finally:
+            self.busy_time += service
+            self.bytes_transmitted += size
+            self.transmissions += 1
+            self._nic.release(request)
+
+    def client_drain_time(self, size: int) -> float:
+        """Extra time a slow client link needs to drain ``size`` bytes.
+
+        Returns 0 for LAN clients.  For WAN clients this is the additional
+        connection lifetime beyond the server-side transmission, during
+        which per-connection server resources stay committed.
+        """
+        if not self.client_link_bits:
+            return 0.0
+        return (size * 8) / self.client_link_bits

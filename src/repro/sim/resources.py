@@ -1,0 +1,170 @@
+"""Resources for the simulation kernel: FIFO and priority servers.
+
+A :class:`Resource` models something with finite capacity that simulation
+processes must acquire before proceeding — the CPU, the disk arm, a helper
+slot, a worker process.  Requests queue FIFO (or by priority for
+:class:`PriorityResource`, used by the Zeus model's small-document
+preference).  :class:`Container` models a pooled quantity (bytes of memory)
+that processes put and get.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.sim.engine import Environment, Event
+
+
+class Request(Event):
+    """The event returned by :meth:`Resource.request`.
+
+    It triggers when the resource grants the slot.  The holder must call
+    :meth:`Resource.release` with this request when done.  Usage::
+
+        req = resource.request()
+        yield req
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+
+
+class Resource:
+    """A capacity-limited resource with a FIFO wait queue.
+
+    Attributes
+    ----------
+    capacity:
+        Number of simultaneous holders.
+    users:
+        Requests currently holding the resource.
+    queue_length:
+        Requests waiting for the resource.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.users: list[Request] = []
+        self._waiting: list[tuple[float, int, Request]] = []
+        self._sequence = 0
+        # Utilization accounting.
+        self._busy_time = 0.0
+        self._last_change = env.now
+        self.total_requests = 0
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests currently waiting."""
+        return len(self._waiting)
+
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of capacity-time used since the environment started."""
+        self._account()
+        total = (elapsed if elapsed is not None else self.env.now) * self.capacity
+        return self._busy_time / total if total > 0 else 0.0
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Ask for one slot; the returned event triggers when granted."""
+        self.total_requests += 1
+        request = Request(self, priority=priority)
+        self._sequence += 1
+        if len(self.users) < self.capacity and not self._waiting:
+            self._grant(request)
+        else:
+            heapq.heappush(self._waiting, (self._order_key(priority), self._sequence, request))
+        return request
+
+    def release(self, request: Request) -> None:
+        """Return a slot previously granted to ``request``."""
+        if request not in self.users:
+            raise ValueError("release of a request that does not hold the resource")
+        self._account()
+        self.users.remove(request)
+        while self._waiting and len(self.users) < self.capacity:
+            _, _, waiter = heapq.heappop(self._waiting)
+            self._grant(waiter)
+
+    def _grant(self, request: Request) -> None:
+        self._account()
+        self.users.append(request)
+        request.succeed(request)
+
+    def _order_key(self, priority: float) -> float:
+        # FIFO resources ignore priority; subclasses override.
+        return 0.0
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_time += len(self.users) * (now - self._last_change)
+        self._last_change = now
+
+
+class PriorityResource(Resource):
+    """A resource whose wait queue is ordered by priority (lower first).
+
+    The Zeus server model uses this to give requests for small documents
+    priority over large ones, the behaviour the paper invokes to explain
+    Zeus's later cache cliff on FreeBSD (Section 6.2).
+    """
+
+    def _order_key(self, priority: float) -> float:
+        return priority
+
+
+class Container:
+    """A pooled quantity (e.g. bytes of memory) with blocking gets.
+
+    Only the features the memory model needs: immediate ``put``, and ``get``
+    that blocks the calling process until enough quantity is available.
+    """
+
+    def __init__(self, env: Environment, capacity: float, initial: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= initial <= capacity:
+            raise ValueError("initial level must lie within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self.level = initial
+        self._waiting: list[tuple[float, Event]] = []
+
+    def put(self, amount: float) -> None:
+        """Add ``amount`` to the pool (clamped to capacity) and wake waiters."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        self.level = min(self.capacity, self.level + amount)
+        self._wake()
+
+    def get(self, amount: float) -> Event:
+        """An event that triggers once ``amount`` can be taken from the pool."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        event = Event(self.env)
+        if self.level >= amount and not self._waiting:
+            self.level -= amount
+            event.succeed(amount)
+        else:
+            self._waiting.append((amount, event))
+        return event
+
+    def _wake(self) -> None:
+        while self._waiting and self._waiting[0][0] <= self.level:
+            amount, event = self._waiting.pop(0)
+            self.level -= amount
+            event.succeed(amount)

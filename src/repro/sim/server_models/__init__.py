@@ -1,0 +1,60 @@
+"""Simulated server models for every architecture the paper evaluates.
+
+Six models are provided, all built on the same cost substrate
+(:class:`repro.sim.server_models.base.SimulatedServer`), mirroring the
+paper's same-code-base methodology:
+
+========  ==========================================================
+name      model
+========  ==========================================================
+flash     AMPED: event-driven main loop + disk helpers (the paper's Flash)
+sped      single-process event-driven, disk reads block everything
+mp        one process per concurrently served request, replicated caches
+mt        one thread per concurrently served request, shared caches + locks
+apache    MP without application-level caches and with higher per-request cost
+zeus      SPED with small-document priority and unaligned response headers
+========  ==========================================================
+"""
+
+from repro.sim.server_models.base import SimServerConfig, SimulatedServer
+from repro.sim.server_models.amped import AMPEDModel
+from repro.sim.server_models.sped import SPEDModel
+from repro.sim.server_models.mp import MPModel
+from repro.sim.server_models.mt import MTModel
+from repro.sim.server_models.apache import ApacheModel
+from repro.sim.server_models.zeus import ZeusModel
+
+#: Model name -> class, used by the simulation runner and experiments.
+MODEL_REGISTRY = {
+    "flash": AMPEDModel,
+    "amped": AMPEDModel,
+    "sped": SPEDModel,
+    "mp": MPModel,
+    "mt": MTModel,
+    "apache": ApacheModel,
+    "zeus": ZeusModel,
+}
+
+
+def create_model(name: str, *args, **kwargs) -> SimulatedServer:
+    """Instantiate a simulated server model by architecture name."""
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise ValueError(
+            f"unknown server model {name!r}; expected one of {sorted(MODEL_REGISTRY)}"
+        )
+    return MODEL_REGISTRY[key](*args, **kwargs)
+
+
+__all__ = [
+    "SimServerConfig",
+    "SimulatedServer",
+    "AMPEDModel",
+    "SPEDModel",
+    "MPModel",
+    "MTModel",
+    "ApacheModel",
+    "ZeusModel",
+    "MODEL_REGISTRY",
+    "create_model",
+]

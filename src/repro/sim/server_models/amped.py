@@ -1,0 +1,79 @@
+"""Simulated AMPED (Flash) server (paper Sections 3.4 and 5, Figure 5).
+
+The main event-driven process handles every request-processing step; when a
+request needs data that is not in memory, the main process instructs a
+helper over IPC to perform the blocking read and learns of its completion
+through ``select`` like any other I/O event.  Consequences encoded here:
+
+* disk waits never occupy the CPU (the main loop keeps serving other
+  requests), unlike SPED;
+* at most ``num_helpers`` disk operations can be outstanding, so the disk
+  sees a queue it can schedule (unlike SPED's single outstanding request);
+* each helper dispatch costs an IPC round trip plus a process switch on the
+  CPU, and every request pays the ``mincore`` residency test — the small
+  overhead that makes Flash trail Flash-SPED slightly on fully cached
+  workloads (Section 6.2);
+* helpers add a little memory per helper, not per connection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Environment
+from repro.sim.platform import PlatformProfile
+from repro.sim.resources import Resource
+from repro.sim.server_models.base import SimServerConfig, SimulatedServer
+
+
+class AMPEDModel(SimulatedServer):
+    """The Flash server: SPED speed on cached data, MP-like behaviour on disk."""
+
+    architecture = "amped"
+    uses_worker_pool = False
+
+    def __init__(
+        self,
+        env: Environment,
+        platform: PlatformProfile,
+        config: Optional[SimServerConfig] = None,
+        num_connections: int = 64,
+    ):
+        from dataclasses import replace
+
+        config = config or SimServerConfig()
+        # AMPED always performs the memory-residency test before sending
+        # (copied so the caller's config object is left untouched).
+        config = replace(config, residency_check=True)
+        super().__init__(env, platform, config, num_connections)
+        self.helpers = Resource(env, capacity=self.config.num_helpers, name="helpers")
+        self.helper_dispatches = 0
+
+    def memory_footprint(self) -> int:
+        return (
+            self.platform.server_base_memory
+            + self.platform.per_helper_memory * self.config.num_helpers
+            + self.platform.per_connection_memory * self.num_connections
+        )
+
+    def disk_read(self, size: int):
+        """Hand the blocking read to a helper; the main loop stays available."""
+        self.helper_dispatches += 1
+        # The dispatch and the completion notification cost CPU in the main
+        # process (IPC round trip plus the switch to the helper process).
+        yield from self.use_cpu(
+            self.platform.cost_ipc_roundtrip + self.platform.cost_process_switch
+        )
+        helper_token = self.helpers.request()
+        yield helper_token
+        try:
+            yield from self.disk.read(size)
+        finally:
+            self.helpers.release(helper_token)
+        # Completion notification processed by the main loop.
+        yield from self.use_cpu(self.platform.cost_ipc_roundtrip / 2)
+
+    def summary(self) -> dict:
+        data = super().summary()
+        data["helper_dispatches"] = self.helper_dispatches
+        return data

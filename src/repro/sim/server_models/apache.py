@@ -1,0 +1,70 @@
+"""Simulated Apache-like server (the paper's external MP reference point).
+
+Apache 1.3.1 uses the MP architecture on UNIX.  The paper attributes its
+performance gap to Flash-MP "only in part [to] its MP architecture and
+mostly … [to] its lack of aggressive optimizations like those used in
+Flash" (Section 6.2).  The model therefore inherits the MP concurrency
+structure but:
+
+* disables the three application-level caches entirely (every request pays
+  full pathname-translation, header-construction and file-access costs), and
+* adds an extra per-request CPU cost representing Apache's more general,
+  module-driven request processing path,
+* uses a larger per-process footprint (Apache processes are bigger than the
+  stripped Flash-MP workers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.sim.engine import Environment
+from repro.sim.platform import PlatformProfile
+from repro.sim.server_models.base import SimServerConfig
+from repro.sim.server_models.mp import MPModel
+
+#: Extra per-request CPU (seconds) for Apache's heavier processing path,
+#: expressed as a multiple of the FreeBSD base parse cost at calibration.
+APACHE_EXTRA_CPU_FREEBSD = 260e-6
+APACHE_EXTRA_CPU_SOLARIS = 620e-6
+
+#: Apache worker processes are substantially larger than Flash-MP workers.
+APACHE_PROCESS_MEMORY_MULTIPLIER = 2.2
+
+#: Apache reads file data into a user buffer and writes it to the socket
+#: instead of transmitting from a memory mapping, costing an extra copy of
+#: every byte served.
+APACHE_PER_BYTE_MULTIPLIER = 1.55
+
+
+class ApacheModel(MPModel):
+    """Apache v1.3.1 stand-in: MP concurrency without Flash's optimizations."""
+
+    architecture = "apache"
+
+    def __init__(
+        self,
+        env: Environment,
+        platform: PlatformProfile,
+        config: Optional[SimServerConfig] = None,
+        num_connections: int = 64,
+    ):
+        config = config or SimServerConfig()
+        extra = (
+            APACHE_EXTRA_CPU_SOLARIS
+            if platform.name == "solaris"
+            else APACHE_EXTRA_CPU_FREEBSD
+        )
+        config = replace(
+            config,
+            app_caches=config.app_caches.disabled(),
+            extra_per_request_cpu=config.extra_per_request_cpu + extra,
+            per_byte_multiplier=config.per_byte_multiplier * APACHE_PER_BYTE_MULTIPLIER,
+        )
+        platform = platform.scaled(
+            per_process_memory=int(
+                platform.per_process_memory * APACHE_PROCESS_MEMORY_MULTIPLIER
+            )
+        )
+        super().__init__(env, platform, config, num_connections)

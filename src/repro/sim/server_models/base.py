@@ -1,0 +1,289 @@
+"""Shared cost substrate for the simulated server architectures.
+
+Every simulated server processes the same abstract request lifecycle — the
+basic steps of the paper's Figure 1 — against the same resources (one CPU,
+one disk, an OS buffer cache sized by what the server's footprint leaves
+free, and the NIC).  The architectures differ *only* in the hooks:
+
+* how many execution contexts exist and whether a request must hold one for
+  its lifetime (:meth:`SimulatedServer.acquire_context`),
+* what happens when a request needs disk data
+  (:meth:`SimulatedServer.disk_read`): SPED holds the CPU hostage, AMPED
+  hands the wait to a helper, MP/MT block only their own context,
+* which per-request overheads apply (synchronization for MT, context
+  switches for MP, IPC and residency checks for AMPED),
+* how large the server's memory footprint is, which determines how much of
+  main memory remains for the filesystem cache
+  (:meth:`SimulatedServer.memory_footprint`).
+
+This is a direct encoding of the qualitative comparison in Section 4 of the
+paper; the evaluation figures emerge from running closed-loop clients
+against these models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.sim.appcache import AppCacheConfig, AppCacheOutcome, SimulatedAppCaches
+from repro.sim.buffer_cache import BufferCacheModel
+from repro.sim.disk import DiskModel
+from repro.sim.engine import Environment
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import NetworkModel
+from repro.sim.platform import MB, PlatformProfile
+from repro.sim.resources import Resource
+
+#: Approximate size of an HTTP response header on the wire.
+RESPONSE_HEADER_BYTES = 256
+
+
+@dataclass
+class SimServerConfig:
+    """Architecture-independent knobs of a simulated server."""
+
+    #: Worker processes (MP) or threads (MT); ignored by SPED/AMPED.
+    num_workers: int = 32
+    #: Helper processes for AMPED ("enough to keep the disk busy").
+    num_helpers: int = 8
+    #: Application-level cache configuration (Section 5 optimizations).
+    app_caches: AppCacheConfig = field(default_factory=AppCacheConfig)
+    #: Whether clients hold persistent connections; a worker-per-request
+    #: architecture must then dedicate a worker per *connection*, which is
+    #: the mechanism behind Figure 12's MP/MT decline.
+    persistent_connections: bool = False
+    #: Response headers padded to the alignment boundary (Section 5.5).
+    header_aligned: bool = True
+    #: Pay the mincore residency-test cost per request (AMPED only).
+    residency_check: bool = False
+    #: Additional per-request CPU cost, used by the Apache model to reflect
+    #: its lack of the aggressive optimizations beyond caching.
+    extra_per_request_cpu: float = 0.0
+    #: Multiplier on the per-byte send cost.  A server that does not use
+    #: memory-mapped files copies the data an extra time (read into a user
+    #: buffer, then write to the socket); the Apache model sets this > 1.
+    per_byte_multiplier: float = 1.0
+    #: Per-client WAN link rate in bits/second (None = LAN).
+    client_link_bits: Optional[float] = None
+
+    def with_caches(self, *, pathname: bool = True, mmap: bool = True, header: bool = True) -> "SimServerConfig":
+        """A copy with the given cache combination (Figure 11 variants)."""
+        caches = replace(
+            self.app_caches,
+            enable_pathname=pathname,
+            enable_mmap=mmap,
+            enable_header=header,
+        )
+        return replace(self, app_caches=caches)
+
+
+class SimulatedServer:
+    """Base class: request lifecycle over shared resources.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    platform:
+        Cost constants of the simulated operating system ("solaris" or
+        "freebsd" profile).
+    config:
+        Architecture-independent knobs.
+    num_connections:
+        Number of concurrent client connections the experiment will apply;
+        needed up front because the memory footprint (and therefore the
+        buffer cache size) depends on it for some architectures.
+    """
+
+    #: Architecture label ("sped", "amped", "mp", "mt", "apache", "zeus").
+    architecture = "base"
+    #: Whether a request must hold a worker context for its whole lifetime.
+    uses_worker_pool = False
+
+    def __init__(
+        self,
+        env: Environment,
+        platform: PlatformProfile,
+        config: Optional[SimServerConfig] = None,
+        num_connections: int = 64,
+    ):
+        self.env = env
+        self.platform = platform
+        self.config = config or SimServerConfig()
+        self.num_connections = num_connections
+
+        self.cpu = Resource(env, capacity=1, name="cpu")
+        self.disk = DiskModel(env, platform)
+        self.network = NetworkModel(env, platform, client_link_bits=self.config.client_link_bits)
+
+        footprint = self.memory_footprint()
+        available = (
+            platform.total_memory - platform.kernel_memory - footprint
+        ) * platform.buffer_cache_fraction
+        self.buffer_cache = BufferCacheModel(max(2 * MB, available))
+
+        self.metrics = MetricsCollector()
+        self.workers = self._make_worker_pool()
+        self._app_caches = self._make_app_caches()
+        self.requests_started = 0
+
+    # -- architecture hooks --------------------------------------------------------
+
+    def memory_footprint(self) -> int:
+        """Resident memory of the server, subtracted from the buffer cache.
+
+        The base implementation covers the event-driven architectures: one
+        process plus per-connection state.  Worker-pool architectures
+        override this to add per-process/per-thread overheads.
+        """
+        return (
+            self.platform.server_base_memory
+            + self.platform.per_connection_memory * self.num_connections
+        )
+
+    def _make_worker_pool(self) -> Optional[Resource]:
+        """The pool of execution contexts a request must hold (MP/MT only)."""
+        return None
+
+    def _make_app_caches(self):
+        """Application caches: one shared set by default (SPED/AMPED/MT)."""
+        return SimulatedAppCaches(self.config.app_caches)
+
+    def app_cache_lookup(self, worker_index: int, file_id, size: int) -> AppCacheOutcome:
+        """Consult the application caches for this request."""
+        return self._app_caches.lookup(file_id, size)
+
+    def architecture_request_overhead(self, outcome: AppCacheOutcome) -> float:
+        """Extra per-request CPU specific to the architecture (switches, locks, IPC)."""
+        return 0.0
+
+    def disk_read(self, size: int):
+        """Simulation process: obtain ``size`` bytes from disk.
+
+        The base implementation is the MP/MT behaviour: the calling context
+        blocks (it holds no shared resource while waiting) and pays a
+        context-switch on the way out and back.  SPED and AMPED override.
+        """
+        yield from self.use_cpu(self.blocking_switch_cost())
+        yield from self.disk.read(size)
+        yield from self.use_cpu(self.blocking_switch_cost())
+
+    def blocking_switch_cost(self) -> float:
+        """CPU cost of suspending/resuming this architecture's context."""
+        return 0.0
+
+    # -- resource helpers -----------------------------------------------------------
+
+    def use_cpu(self, duration: float):
+        """Simulation process: consume ``duration`` seconds of CPU."""
+        if duration <= 0:
+            return
+        request = self.cpu.request()
+        yield request
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.cpu.release(request)
+
+    def acquire_context(self):
+        """Simulation process: obtain a worker context (no-op if none needed)."""
+        if self.workers is None:
+            return None
+        request = self.workers.request()
+        yield request
+        return request
+
+    def release_context(self, token) -> None:
+        """Return a previously acquired worker context."""
+        if self.workers is not None and token is not None:
+            self.workers.release(token)
+
+    # -- the request lifecycle -----------------------------------------------------------
+
+    def handle_request(self, client_id: int, file_id, size: int, keep_alive: bool = False):
+        """Simulation process: serve one request end to end.
+
+        Returns ``(bytes_on_wire, from_disk)`` so the closed-loop client can
+        record metrics (the server also records them itself).
+        """
+        self.requests_started += 1
+        start = self.env.now
+        worker_index = self.requests_started % max(1, self.config.num_workers)
+        token = yield from self.acquire_context()
+        from_disk = False
+        try:
+            outcome = self.app_cache_lookup(worker_index, file_id, size)
+            cpu_time = self._request_cpu_time(outcome, keep_alive=keep_alive)
+            yield from self.use_cpu(cpu_time)
+
+            missing = self.buffer_cache.access(file_id, size)
+            if missing > 0:
+                from_disk = True
+                yield from self.disk_read(missing)
+
+            send_cpu = self.platform.send_cpu_time(
+                size + RESPONSE_HEADER_BYTES, aligned=self._response_aligned(size)
+            ) * self.config.per_byte_multiplier
+            yield from self.use_cpu(send_cpu)
+
+            # The response occupies the NIC for its wire time.  Worker-pool
+            # architectures (MP/MT) keep their context busy until this
+            # completes because the release happens after transmission;
+            # event-driven architectures hold nothing beyond the CPU bursts
+            # already accounted for.
+            wire_bytes = size + RESPONSE_HEADER_BYTES
+            yield from self.network.transmit(wire_bytes)
+        finally:
+            self.release_context(token)
+
+        self.metrics.record(
+            self.env.now,
+            size + RESPONSE_HEADER_BYTES,
+            self.env.now - start,
+            from_disk=from_disk,
+        )
+        return size + RESPONSE_HEADER_BYTES, from_disk
+
+    # -- cost assembly ------------------------------------------------------------------------
+
+    def _select_amortization(self) -> float:
+        """How many ready events a select/poll wakeup reports on average.
+
+        More concurrent connections mean more completed I/O events per
+        wakeup, amortizing the notification overhead — the "aggregation
+        effect" the paper uses to explain the initial performance rise as
+        clients are added (Section 6.4).
+        """
+        return min(4.0, max(1.0, self.num_connections / 16.0))
+
+    def _request_cpu_time(self, outcome: AppCacheOutcome, keep_alive: bool) -> float:
+        p = self.platform
+        total = p.cost_parse + p.cost_select_wakeup / self._select_amortization()
+        if not keep_alive:
+            total += p.cost_accept
+        total += p.cost_pathname_hit if outcome.pathname_hit else p.cost_pathname_miss
+        total += p.cost_header_hit if outcome.header_hit else p.cost_header_build
+        total += p.cost_mmap_hit if outcome.mmap_hit else p.cost_mmap_miss
+        if self.config.residency_check:
+            total += p.cost_residency_check
+        total += self.config.extra_per_request_cpu
+        total += self.architecture_request_overhead(outcome)
+        return total
+
+    def _response_aligned(self, size: int) -> bool:
+        return self.config.header_aligned
+
+    # -- reporting ---------------------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """A snapshot of the run's metrics and resource statistics."""
+        return {
+            "architecture": self.architecture,
+            "metrics": self.metrics.to_dict(),
+            "buffer_cache_hit_rate": self.buffer_cache.hit_rate,
+            "buffer_cache_capacity": self.buffer_cache.capacity_bytes,
+            "disk_utilization": self.disk.utilization(),
+            "nic_utilization": self.network.utilization(),
+            "memory_footprint": self.memory_footprint(),
+        }

@@ -1,0 +1,77 @@
+"""Simulated MP server (paper Section 3.1, Figure 2).
+
+One process per concurrently served request.  Processes never share state,
+so there is no synchronization — but the application-level caches are
+replicated per process and therefore configured much smaller (Section 6),
+the per-process memory overhead is substantial and grows with concurrency,
+and every blocking operation implies a full process context switch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.appcache import SimulatedAppCaches
+from repro.sim.engine import Environment
+from repro.sim.platform import PlatformProfile
+from repro.sim.resources import Resource
+from repro.sim.server_models.base import SimServerConfig, SimulatedServer
+
+
+class MPModel(SimulatedServer):
+    """Flash-MP: no shared state, replicated caches, heavyweight contexts."""
+
+    architecture = "mp"
+    uses_worker_pool = True
+
+    def __init__(
+        self,
+        env: Environment,
+        platform: PlatformProfile,
+        config: Optional[SimServerConfig] = None,
+        num_connections: int = 64,
+    ):
+        super().__init__(env, platform, config, num_connections)
+
+    @property
+    def effective_processes(self) -> int:
+        """Number of server processes the configuration implies.
+
+        With persistent connections every connection occupies a process
+        (the process cannot accept a new request while its connection is
+        open), so the process count follows the connection count; otherwise
+        the configured pool size applies.
+        """
+        if self.config.persistent_connections:
+            return max(self.config.num_workers, self.num_connections)
+        return self.config.num_workers
+
+    def memory_footprint(self) -> int:
+        return (
+            self.platform.server_base_memory
+            + self.platform.per_process_memory * self.effective_processes
+        )
+
+    def _make_worker_pool(self) -> Resource:
+        return Resource(self.env, capacity=self.effective_processes, name="mp-processes")
+
+    def _make_app_caches(self) -> list[SimulatedAppCaches]:
+        # Replicated, per-process caches: each is a scaled-down copy
+        # ("the caches in an MP server have to be configured smaller since
+        # they are replicated in each process", Section 6).
+        per_process = self.config.app_caches.per_process(self.effective_processes)
+        return [SimulatedAppCaches(per_process) for _ in range(self.effective_processes)]
+
+    def app_cache_lookup(self, worker_index: int, file_id, size: int):
+        caches = self._app_caches
+        return caches[worker_index % len(caches)].lookup(file_id, size)
+
+    def architecture_request_overhead(self, outcome) -> float:
+        # At least two full process switches per request (the process blocks
+        # on the socket read and again on the write), with no lock costs.
+        # As with MT, the scheduling term grows with the number of processes
+        # the kernel juggles, but processes are heavier than threads.
+        return self.platform.cost_process_switch * (2 + self.effective_processes / 128)
+
+    def blocking_switch_cost(self) -> float:
+        return self.platform.cost_process_switch

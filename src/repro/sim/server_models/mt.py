@@ -1,0 +1,69 @@
+"""Simulated MT server (paper Section 3.2, Figure 3).
+
+Multiple kernel threads share one address space; each thread carries one
+request through all its steps.  Shared caches avoid MP's replication but
+require synchronization on every access, and each blocking operation incurs
+thread switches.  Memory cost is one stack per thread — far less than a
+process, but it grows with the number of concurrently served requests,
+which is what degrades MT gradually in the many-connection experiment
+(Figure 12).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Environment
+from repro.sim.platform import PlatformProfile
+from repro.sim.resources import Resource
+from repro.sim.server_models.base import SimServerConfig, SimulatedServer
+
+
+class MTModel(SimulatedServer):
+    """Flash-MT: shared state with locks, a thread per active request."""
+
+    architecture = "mt"
+    uses_worker_pool = True
+
+    def __init__(
+        self,
+        env: Environment,
+        platform: PlatformProfile,
+        config: Optional[SimServerConfig] = None,
+        num_connections: int = 64,
+    ):
+        super().__init__(env, platform, config, num_connections)
+
+    @property
+    def effective_threads(self) -> int:
+        """Number of threads the server must maintain.
+
+        With persistent connections each connection pins a thread for its
+        lifetime, so the thread count follows the connection count; with
+        per-request connections the configured pool size bounds it.
+        """
+        if self.config.persistent_connections:
+            return max(self.config.num_workers, self.num_connections)
+        return self.config.num_workers
+
+    def memory_footprint(self) -> int:
+        return (
+            self.platform.server_base_memory
+            + self.platform.per_thread_memory * self.effective_threads
+            + self.platform.per_connection_memory * self.num_connections
+        )
+
+    def _make_worker_pool(self) -> Resource:
+        return Resource(self.env, capacity=self.effective_threads, name="mt-threads")
+
+    def architecture_request_overhead(self, outcome) -> float:
+        # Synchronization on the shared caches plus at least one scheduling
+        # round trip per request (the thread blocks on network reads/writes).
+        # The scheduling term grows with the number of threads the kernel
+        # must manage — the "per-thread switching and space overhead" behind
+        # MT's gradual decline with many concurrent connections (Figure 12).
+        scheduling = self.platform.cost_thread_switch * (2 + self.effective_threads / 128)
+        return self.platform.cost_synchronization + scheduling
+
+    def blocking_switch_cost(self) -> float:
+        return self.platform.cost_thread_switch

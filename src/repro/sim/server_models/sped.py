@@ -1,0 +1,38 @@
+"""Simulated SPED server (paper Section 3.3, Figure 4).
+
+A single event-driven process performs all client processing *and* all disk
+activity.  Because supposedly non-blocking file reads actually block on the
+operating systems of the study, a disk access stops every other request:
+in the model, the disk read is performed while holding the CPU, so nothing
+else can be processed until the read completes — and only one disk request
+can ever be outstanding, so SPED gets no benefit from disk-head scheduling
+or multiple disks (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from repro.sim.server_models.base import SimulatedServer
+
+
+class SPEDModel(SimulatedServer):
+    """Flash-SPED: fastest on cached content, collapses when the disk is hot."""
+
+    architecture = "sped"
+    uses_worker_pool = False
+
+    def memory_footprint(self) -> int:
+        # One process, one stack: "the SPED architecture has small memory
+        # requirements" — just the base image plus per-connection state.
+        return (
+            self.platform.server_base_memory
+            + self.platform.per_connection_memory * self.num_connections
+        )
+
+    def disk_read(self, size: int):
+        """Read from disk while holding the CPU: all processing stops."""
+        cpu_token = self.cpu.request()
+        yield cpu_token
+        try:
+            yield from self.disk.read(size)
+        finally:
+            self.cpu.release(cpu_token)

@@ -1,0 +1,48 @@
+"""Workloads: the request streams the paper's evaluation uses.
+
+Three kinds of workload drive the evaluation (Section 6):
+
+* the **synthetic single-file test** — every client repeatedly requests the
+  same cached file, with the file size swept across tests
+  (:mod:`repro.workload.synthetic`);
+* **trace-based workloads** replayed from the access logs of Rice
+  University web servers (the CS and Owlnet departmental servers, and the
+  ECE server truncated to different data-set sizes).  The real logs are not
+  available, so :mod:`repro.workload.traces` generates synthetic traces with
+  Zipf document popularity and log-normal file sizes whose aggregate
+  characteristics (data-set size, mean transfer size, locality) match what
+  the paper reports about each trace;
+* **access-log replay** for users who do have logs in Common Log Format
+  (:mod:`repro.workload.logs`).
+
+:mod:`repro.workload.dataset` materializes a workload's file catalog as real
+files on disk so the functional servers can serve the same workloads that
+the simulator models.
+"""
+
+from repro.workload.synthetic import SingleFileWorkload
+from repro.workload.traces import (
+    CS_TRACE,
+    ECE_TRACE,
+    OWLNET_TRACE,
+    TraceSpec,
+    TraceWorkload,
+)
+from repro.workload.zipf import ZipfSampler
+from repro.workload.logs import LogEntry, parse_common_log, replay_requests, write_common_log
+from repro.workload.dataset import materialize_catalog
+
+__all__ = [
+    "SingleFileWorkload",
+    "TraceWorkload",
+    "TraceSpec",
+    "CS_TRACE",
+    "OWLNET_TRACE",
+    "ECE_TRACE",
+    "ZipfSampler",
+    "LogEntry",
+    "parse_common_log",
+    "write_common_log",
+    "replay_requests",
+    "materialize_catalog",
+]

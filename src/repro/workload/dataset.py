@@ -1,0 +1,70 @@
+"""Materialize a workload's file catalog as real files on disk.
+
+The functional layer (real sockets, real servers) and the simulation layer
+share workload definitions.  For the functional layer the catalog must exist
+as actual files under a document root; this module writes them, generating
+deterministic pseudo-random content so responses have realistic bodies
+without shipping any data files in the repository.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Iterable
+
+
+def materialize_catalog(
+    document_root: str,
+    files: Iterable[tuple[str, int]],
+    *,
+    seed: int = 7,
+    max_total_bytes: int | None = None,
+) -> list[str]:
+    """Create the catalog's files under ``document_root``.
+
+    Parameters
+    ----------
+    document_root:
+        Directory to create the files in (created if missing).
+    files:
+        Iterable of ``(file_id, size)`` pairs; ``file_id`` may contain
+        slashes, which become subdirectories.
+    seed:
+        Seed for the deterministic content generator.
+    max_total_bytes:
+        Optional safety cap: stop once this much content has been written
+        (useful in tests that only need a small, representative subset).
+
+    Returns
+    -------
+    list of str
+        URL paths (leading slash, forward slashes) of the files created, in
+        catalog order — suitable to hand directly to the load generator.
+    """
+    rng = random.Random(seed)
+    os.makedirs(document_root, exist_ok=True)
+    created = []
+    written = 0
+    for file_id, size in files:
+        if max_total_bytes is not None and written + size > max_total_bytes:
+            break
+        relative = file_id.lstrip("/")
+        target = os.path.join(document_root, *relative.split("/"))
+        os.makedirs(os.path.dirname(target) or document_root, exist_ok=True)
+        with open(target, "wb") as handle:
+            handle.write(_content(rng, size))
+        created.append("/" + relative)
+        written += size
+    return created
+
+
+def _content(rng: random.Random, size: int) -> bytes:
+    """Deterministic filler content of exactly ``size`` bytes."""
+    if size <= 0:
+        return b""
+    # A repeated pseudo-random block keeps generation fast for large files
+    # while still producing non-trivial, non-compressible-looking bodies.
+    block = bytes(rng.getrandbits(8) for _ in range(min(size, 4096)))
+    repeats = size // len(block) + 1
+    return (block * repeats)[:size]

@@ -1,0 +1,140 @@
+"""Access-log parsing and replay (Common Log Format).
+
+The paper replays real server access logs against the servers under test.
+Users of this reproduction who have their own logs can do the same: this
+module parses NCSA Common Log Format lines into :class:`LogEntry` records,
+converts them into request streams for the load generator or the simulator,
+and can also serialize synthetic traces back out as logs (useful for
+round-trip tests and for feeding other tools).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+#: host ident authuser [date] "request" status bytes
+_CLF_PATTERN = re.compile(
+    r'^(?P<host>\S+)\s+(?P<ident>\S+)\s+(?P<user>\S+)\s+'
+    r'\[(?P<timestamp>[^\]]+)\]\s+'
+    r'"(?P<method>\S+)\s+(?P<path>\S+)(?:\s+(?P<protocol>[^"]+))?"\s+'
+    r'(?P<status>\d{3})\s+(?P<size>\d+|-)\s*$'
+)
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One parsed access-log line."""
+
+    host: str
+    timestamp: str
+    method: str
+    path: str
+    protocol: str
+    status: int
+    size: int
+
+    @property
+    def ok(self) -> bool:
+        """Whether the original response was successful (2xx)."""
+        return 200 <= self.status < 300
+
+
+def parse_common_log_line(line: str) -> Optional[LogEntry]:
+    """Parse one Common Log Format line; return ``None`` for malformed lines.
+
+    Real logs always contain some garbage (truncated lines, attack noise);
+    replay tooling must shrug it off rather than abort, so malformed lines
+    are skipped instead of raising.
+    """
+    match = _CLF_PATTERN.match(line.strip())
+    if not match:
+        return None
+    size_field = match.group("size")
+    return LogEntry(
+        host=match.group("host"),
+        timestamp=match.group("timestamp"),
+        method=match.group("method").upper(),
+        path=match.group("path"),
+        protocol=(match.group("protocol") or "HTTP/1.0").strip(),
+        status=int(match.group("status")),
+        size=0 if size_field == "-" else int(size_field),
+    )
+
+
+def parse_common_log(lines: Iterable[str]) -> Iterator[LogEntry]:
+    """Parse an iterable of log lines, yielding only well-formed entries."""
+    for line in lines:
+        if not line.strip():
+            continue
+        entry = parse_common_log_line(line)
+        if entry is not None:
+            yield entry
+
+
+def write_common_log(entries: Iterable[LogEntry]) -> Iterator[str]:
+    """Serialize entries back into Common Log Format lines."""
+    for entry in entries:
+        yield (
+            f'{entry.host} - - [{entry.timestamp}] '
+            f'"{entry.method} {entry.path} {entry.protocol}" '
+            f'{entry.status} {entry.size}'
+        )
+
+
+def replay_requests(
+    entries: Iterable[LogEntry],
+    *,
+    methods: tuple[str, ...] = ("GET",),
+    successful_only: bool = True,
+) -> list[tuple[str, int]]:
+    """Convert log entries into a ``(path, size)`` request stream.
+
+    The paper replays logs "as a loop to generate requests"; the returned
+    list is the loop body.  Error responses and non-GET methods are dropped
+    by default because they do not correspond to static files the servers
+    could serve again.
+    """
+    stream = []
+    for entry in entries:
+        if entry.method not in methods:
+            continue
+        if successful_only and not entry.ok:
+            continue
+        stream.append((entry.path, entry.size))
+    return stream
+
+
+def dataset_of(stream: Iterable[tuple[str, int]]) -> int:
+    """The data-set size of a request stream: total bytes of distinct paths.
+
+    Mirrors the paper's notion of data-set size used on the x-axis of the
+    real-workload figures.
+    """
+    seen: dict[str, int] = {}
+    for path, size in stream:
+        seen[path] = max(size, seen.get(path, 0))
+    return sum(seen.values())
+
+
+def truncate_to_dataset(
+    stream: list[tuple[str, int]], dataset_bytes: int
+) -> list[tuple[str, int]]:
+    """Truncate a request stream so its data-set size is at most ``dataset_bytes``.
+
+    This is the operation the paper applies to the ECE logs: cutting the log
+    at the point where the cumulative distinct content reaches the target
+    size, then replaying only the prefix.
+    """
+    seen: dict[str, int] = {}
+    total = 0
+    result = []
+    for path, size in stream:
+        if path not in seen:
+            if total + size > dataset_bytes:
+                break
+            seen[path] = size
+            total += size
+        result.append((path, size))
+    return result

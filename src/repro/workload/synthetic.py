@@ -1,0 +1,46 @@
+"""Synthetic single-file workload (paper Section 6.1).
+
+"A set of clients repeatedly request the same file, where the file size is
+varied in each test."  The workload is trivially cacheable, so it measures a
+server's peak request-processing rate and peak output bandwidth without any
+disk activity — which is why the architectures barely differ on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SingleFileWorkload:
+    """Every request asks for the same file of ``file_size`` bytes."""
+
+    file_size: int
+    file_id: str = "single-file"
+
+    def __post_init__(self) -> None:
+        if self.file_size < 0:
+            raise ValueError("file_size must be non-negative")
+
+    @property
+    def files(self) -> list[tuple[str, int]]:
+        """The catalog: one file."""
+        return [(self.file_id, self.file_size)]
+
+    @property
+    def dataset_size(self) -> int:
+        """Total bytes of distinct content."""
+        return self.file_size
+
+    @property
+    def mean_file_size(self) -> float:
+        """Average transfer size (trivially the file size)."""
+        return float(self.file_size)
+
+    def next_request(self, client_id: int = 0) -> tuple[str, int]:
+        """The next request made by ``client_id`` (always the same file)."""
+        return (self.file_id, self.file_size)
+
+    def request_path(self) -> str:
+        """The URL path the functional layer serves this workload under."""
+        return f"/{self.file_id}.bin"

@@ -1,0 +1,230 @@
+"""Trace-based workloads modeled on the Rice University server logs.
+
+The paper's realistic experiments replay access logs from three Rice
+University web servers:
+
+* the **CS** departmental server — a larger data set with larger average
+  transfers, disk-intensive relative to the testbed's memory;
+* the **Owlnet** server (personal pages of ~4500 students and staff) — a
+  smaller data set with good cache locality but smaller average transfers;
+* the **ECE** departmental server — used for the data-set-size sweep, where
+  the log is truncated at different points to produce working sets from
+  15 MB to 150 MB.
+
+The original logs are not available, so :class:`TraceWorkload` generates
+synthetic traces with the same aggregate characteristics: a file catalog
+whose sizes follow a log-normal body with a Pareto-ish tail (the standard
+model of web file sizes), request popularity following a Zipf-like
+distribution, and per-trace parameters (catalog size, mean file size, skew)
+chosen so the data-set size and mean transfer size land where the paper's
+description puts them.  :class:`TraceSpec` holds those parameters, and the
+three presets are exported as :data:`CS_TRACE`, :data:`OWLNET_TRACE` and
+:data:`ECE_TRACE`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.workload.zipf import ZipfSampler
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Parameters describing one synthetic access trace."""
+
+    name: str
+    #: Number of distinct files in the catalog.
+    num_files: int
+    #: Target total size of all distinct files (the data-set size).
+    dataset_bytes: int
+    #: Mean of the file-size distribution (bytes).
+    mean_file_size: int
+    #: Zipf skew of document popularity.
+    zipf_alpha: float = 0.9
+    #: Sigma of the underlying log-normal size distribution.
+    size_sigma: float = 1.4
+    #: Random seed (catalog and request stream are deterministic given it).
+    seed: int = 42
+
+    def scaled_to_dataset(self, dataset_bytes: int) -> "TraceSpec":
+        """A spec truncated/extended to a different data-set size.
+
+        This mirrors the paper's methodology for the ECE trace: "we use the
+        access logs … and truncate them as appropriate to achieve a given
+        dataset size."  Truncating a log keeps the same file population
+        characteristics but fewer distinct files, so the number of files is
+        scaled proportionally to the data-set size.
+        """
+        if dataset_bytes <= 0:
+            raise ValueError("dataset_bytes must be positive")
+        ratio = dataset_bytes / self.dataset_bytes
+        return replace(
+            self,
+            name=f"{self.name}-{dataset_bytes // MB}MB",
+            dataset_bytes=dataset_bytes,
+            num_files=max(16, int(round(self.num_files * ratio))),
+        )
+
+
+#: CS departmental server: big data set, larger transfers, disk-intensive.
+CS_TRACE = TraceSpec(
+    name="cs",
+    num_files=12000,
+    dataset_bytes=135 * MB,
+    mean_file_size=15 * 1024,
+    zipf_alpha=0.88,
+    size_sigma=1.1,
+    seed=101,
+)
+
+#: Owlnet personal-pages server: smaller data set, good locality, small files.
+OWLNET_TRACE = TraceSpec(
+    name="owlnet",
+    num_files=17000,
+    dataset_bytes=95 * MB,
+    mean_file_size=5_600,
+    zipf_alpha=0.97,
+    size_sigma=1.1,
+    seed=202,
+)
+
+#: ECE departmental server: the base trace for the data-set-size sweep.
+ECE_TRACE = TraceSpec(
+    name="ece",
+    num_files=10000,
+    dataset_bytes=150 * MB,
+    mean_file_size=15 * 1024,
+    zipf_alpha=0.60,
+    size_sigma=1.1,
+    seed=303,
+)
+
+
+class TraceWorkload:
+    """A synthetic access trace: file catalog plus per-client request streams.
+
+    The interface matches what the simulation's closed-loop clients and the
+    functional load generator need:
+
+    * :attr:`files` — the catalog as ``(file_id, size)`` pairs;
+    * :meth:`next_request` — the next request of a given client (each client
+      has an independent deterministic stream);
+    * :meth:`request_paths` / :meth:`path_for` — URL paths for the
+      functional layer, paired with :func:`repro.workload.dataset.materialize_catalog`.
+    """
+
+    def __init__(self, spec: TraceSpec):
+        self.spec = spec
+        self._files = self._build_catalog(spec)
+        self._popularity = self._assign_popularity(spec, len(self._files))
+        self._client_rngs: dict[int, ZipfSampler] = {}
+
+    # -- catalog construction ---------------------------------------------------
+
+    @staticmethod
+    def _build_catalog(spec: TraceSpec) -> list[tuple[str, int]]:
+        """Draw file sizes until the catalog reaches the target data-set size."""
+        rng = random.Random(spec.seed)
+        # Log-normal parameterized to the requested mean: mean = exp(mu + sigma^2/2).
+        sigma = spec.size_sigma
+        mu = math.log(spec.mean_file_size) - sigma * sigma / 2.0
+        sizes = []
+        for _ in range(spec.num_files):
+            size = int(rng.lognormvariate(mu, sigma)) + 64
+            sizes.append(size)
+        # Rescale so the total matches the requested data-set size exactly
+        # enough (integer rounding aside); this keeps the sweep's x-axis honest.
+        total = sum(sizes)
+        scale = spec.dataset_bytes / total
+        sizes = [max(64, int(size * scale)) for size in sizes]
+        return [(f"{spec.name}/file{i:06d}", size) for i, size in enumerate(sizes)]
+
+    @staticmethod
+    def _assign_popularity(spec: TraceSpec, count: int) -> list[int]:
+        """Map popularity rank -> file index.
+
+        Popularity is not correlated with size (rank order is a seeded
+        shuffle of the catalog), matching the empirical observation that hot
+        documents are not systematically the largest ones.
+        """
+        rng = random.Random(spec.seed + 1)
+        indices = list(range(count))
+        rng.shuffle(indices)
+        return indices
+
+    # -- catalog properties --------------------------------------------------------
+
+    @property
+    def files(self) -> list[tuple[str, int]]:
+        """The catalog as ``(file_id, size)`` pairs."""
+        return list(self._files)
+
+    @property
+    def dataset_size(self) -> int:
+        """Total bytes of distinct content."""
+        return sum(size for _, size in self._files)
+
+    @property
+    def mean_file_size(self) -> float:
+        """Mean file size of the catalog."""
+        return self.dataset_size / len(self._files) if self._files else 0.0
+
+    @property
+    def mean_transfer_size(self) -> float:
+        """Expected transfer size per request (popularity-weighted mean)."""
+        sampler = ZipfSampler(len(self._files), self.spec.zipf_alpha, seed=0)
+        total = 0.0
+        for rank in range(len(self._files)):
+            index = self._popularity[rank]
+            total += sampler.probability(rank) * self._files[index][1]
+        return total
+
+    def hottest_files(self, budget_bytes: int) -> list[tuple[str, int]]:
+        """The most popular files whose cumulative size fits ``budget_bytes``.
+
+        Used to warm the simulated buffer cache to its steady state before
+        measurement, and by tests to reason about expected hit rates.
+        """
+        chosen = []
+        used = 0
+        for rank in range(len(self._files)):
+            file_id, size = self._files[self._popularity[rank]]
+            if used + size > budget_bytes:
+                break
+            chosen.append((file_id, size))
+            used += size
+        return chosen
+
+    # -- request streams --------------------------------------------------------------
+
+    def next_request(self, client_id: int = 0) -> tuple[str, int]:
+        """The next request issued by ``client_id`` (deterministic per client)."""
+        sampler = self._client_rngs.get(client_id)
+        if sampler is None:
+            sampler = ZipfSampler(
+                len(self._files), self.spec.zipf_alpha, seed=self.spec.seed * 1000 + client_id
+            )
+            self._client_rngs[client_id] = sampler
+        rank = sampler.sample()
+        return self._files[self._popularity[rank]]
+
+    def request_stream(self, count: int, client_id: int = 0) -> list[tuple[str, int]]:
+        """A list of ``count`` requests from one client's stream."""
+        return [self.next_request(client_id) for _ in range(count)]
+
+    # -- functional-layer helpers --------------------------------------------------------
+
+    @staticmethod
+    def path_for(file_id: str) -> str:
+        """URL path under which :func:`materialize_catalog` exposes ``file_id``."""
+        return "/" + file_id
+
+    def request_paths(self, count: int, client_id: int = 0) -> list[str]:
+        """URL paths for ``count`` requests (for the functional load generator)."""
+        return [self.path_for(file_id) for file_id, _ in self.request_stream(count, client_id)]

@@ -1,0 +1,192 @@
+"""Unit and property-based tests for the generic LRU machinery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.lru import LRUCache, LRUList
+
+
+class TestLRUCacheBasics:
+    def test_put_get(self):
+        cache = LRUCache(max_entries=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert len(cache) == 1
+        assert "a" in cache
+
+    def test_miss_returns_default(self):
+        cache = LRUCache(max_entries=4)
+        assert cache.get("missing") is None
+        assert cache.get("missing", 42) == 42
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh a, so b is now coldest
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_peek_does_not_refresh(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.peek("a")         # does not refresh
+        cache.put("c", 3)
+        assert "a" not in cache
+
+    def test_update_replaces_value_and_refreshes(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_remove(self):
+        cache = LRUCache(max_entries=4)
+        cache.put("a", 1)
+        assert cache.remove("a") == 1
+        assert cache.remove("a") is None
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = LRUCache(max_entries=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.total_cost == 0
+
+    def test_hit_miss_statistics(self):
+        cache = LRUCache(max_entries=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(max_entries=-1)
+        with pytest.raises(ValueError):
+            LRUCache(max_cost=-1)
+
+
+class TestLRUCacheCostBound:
+    def test_cost_eviction(self):
+        cache = LRUCache(max_cost=100, cost_fn=lambda v: v)
+        cache.put("a", 60)
+        cache.put("b", 30)
+        assert len(cache) == 2
+        cache.put("c", 50)      # total would be 140 -> evict "a"
+        assert "a" not in cache
+        assert cache.total_cost == 80
+
+    def test_eviction_callback_invoked(self):
+        evicted = []
+        cache = LRUCache(max_entries=1, on_evict=lambda k, v: evicted.append((k, v)))
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert evicted == [("a", 1)]
+        assert cache.evictions == 1
+
+    def test_remove_does_not_invoke_eviction_callback(self):
+        evicted = []
+        cache = LRUCache(max_entries=4, on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", 1)
+        cache.remove("a")
+        assert evicted == []
+
+    def test_oversized_item_evicted_immediately(self):
+        cache = LRUCache(max_cost=10, cost_fn=lambda v: v)
+        cache.put("big", 50)
+        assert "big" not in cache
+
+    def test_keys_ordered_cold_to_hot(self):
+        cache = LRUCache(max_entries=4)
+        for key in ("a", "b", "c"):
+            cache.put(key, 0)
+        cache.get("a")
+        assert cache.keys() == ["b", "c", "a"]
+
+
+class TestLRUCacheProperties:
+    @given(
+        operations=st.lists(
+            st.tuples(st.sampled_from(["put", "get"]), st.integers(0, 20)),
+            max_size=200,
+        ),
+        max_entries=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_entry_bound_never_exceeded(self, operations, max_entries):
+        cache = LRUCache(max_entries=max_entries)
+        for op, key in operations:
+            if op == "put":
+                cache.put(key, key)
+            else:
+                cache.get(key)
+            assert len(cache) <= max_entries
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=100),
+        max_cost=st.integers(min_value=50, max_value=200),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_cost_bound_never_exceeded(self, sizes, max_cost):
+        cache = LRUCache(max_cost=max_cost, cost_fn=lambda v: v)
+        for index, size in enumerate(sizes):
+            cache.put(index, size)
+            assert cache.total_cost <= max_cost
+            # Internal consistency: recorded cost equals the sum of values.
+            assert cache.total_cost == sum(cache.peek(k) for k in cache.keys())
+
+    @given(
+        keys=st.lists(st.integers(0, 10), min_size=1, max_size=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_most_recent_put_is_always_present(self, keys):
+        cache = LRUCache(max_entries=3)
+        for key in keys:
+            cache.put(key, key)
+            assert key in cache
+
+
+class TestLRUList:
+    def test_touch_and_pop_coldest(self):
+        lru = LRUList()
+        lru.touch("a")
+        lru.touch("b")
+        lru.touch("a")          # refresh
+        assert lru.pop_coldest() == "b"
+        assert lru.pop_coldest() == "a"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(KeyError):
+            LRUList().pop_coldest()
+
+    def test_discard(self):
+        lru = LRUList()
+        lru.touch("a")
+        assert lru.discard("a")
+        assert not lru.discard("a")
+        assert len(lru) == 0
+
+    def test_coldest_peek(self):
+        lru = LRUList()
+        assert lru.coldest() is None
+        lru.touch("x")
+        lru.touch("y")
+        assert lru.coldest() == "x"
+        assert len(lru) == 2
+
+    def test_contains(self):
+        lru = LRUList()
+        lru.touch("k")
+        assert "k" in lru
+        assert "z" not in lru

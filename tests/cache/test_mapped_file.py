@@ -1,0 +1,163 @@
+"""Unit tests for the mapped-file chunk cache (paper Section 5.4)."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.mapped_file import ChunkKey, MappedFileCache
+
+
+@pytest.fixture
+def files(tmp_path):
+    small = tmp_path / "small.bin"
+    small.write_bytes(b"s" * 1000)
+    large = tmp_path / "large.bin"
+    large.write_bytes(bytes(range(256)) * 1024)        # 256 KB
+    empty = tmp_path / "empty.bin"
+    empty.write_bytes(b"")
+    return {"small": str(small), "large": str(large), "empty": str(empty)}
+
+
+class TestChunking:
+    def test_small_file_single_chunk(self, files):
+        cache = MappedFileCache(chunk_size=64 * 1024)
+        assert cache.chunk_count(1000) == 1
+
+    def test_large_file_multiple_chunks(self, files):
+        cache = MappedFileCache(chunk_size=64 * 1024)
+        assert cache.chunk_count(256 * 1024) == 4
+        assert cache.chunk_count(256 * 1024 + 1) == 5
+
+    def test_zero_size_counts_one_chunk(self):
+        assert MappedFileCache().chunk_count(0) == 1
+
+    def test_acquire_file_returns_all_chunks_in_order(self, files):
+        cache = MappedFileCache(chunk_size=64 * 1024)
+        chunks = cache.acquire_file(files["large"])
+        assert [c.key.index for c in chunks] == [0, 1, 2, 3]
+        assert sum(c.length for c in chunks) == 256 * 1024
+        data = b"".join(bytes(c.view()) for c in chunks)
+        with open(files["large"], "rb") as handle:
+            assert data == handle.read()
+        for chunk in chunks:
+            cache.release(chunk)
+
+    def test_empty_file(self, files):
+        cache = MappedFileCache()
+        chunk = cache.acquire(files["empty"])
+        assert chunk.length == 0
+        assert bytes(chunk.view()) == b""
+        cache.release(chunk)
+
+    def test_chunk_out_of_range(self, files):
+        cache = MappedFileCache(chunk_size=64 * 1024)
+        with pytest.raises(ValueError):
+            cache.acquire(files["small"], index=3)
+
+
+class TestReferenceCountingAndReuse:
+    def test_hit_reuses_mapping(self, files):
+        cache = MappedFileCache()
+        first = cache.acquire(files["small"])
+        cache.release(first)
+        second = cache.acquire(files["small"])
+        assert first is second
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.map_operations == 1
+        cache.release(second)
+
+    def test_release_unpinned_rejected(self, files):
+        cache = MappedFileCache()
+        chunk = cache.acquire(files["small"])
+        cache.release(chunk)
+        with pytest.raises(ValueError):
+            cache.release(chunk)
+
+    def test_active_chunks_not_evicted(self, files):
+        # Tiny budget: inactive chunks would be evicted immediately, but a
+        # pinned (active) chunk must survive any amount of pressure.
+        cache = MappedFileCache(chunk_size=64 * 1024, max_mapped_bytes=0)
+        active = cache.acquire(files["small"])
+        other = cache.acquire(files["large"], 0)
+        cache.release(other)               # becomes inactive -> evicted
+        assert other.closed
+        assert not active.closed
+        assert bytes(active.view()) == b"s" * 1000
+        cache.release(active)
+
+    def test_lazy_unmap_when_limit_exceeded(self, files):
+        cache = MappedFileCache(chunk_size=64 * 1024, max_mapped_bytes=128 * 1024)
+        chunks = cache.acquire_file(files["large"])      # 4 x 64 KB pinned
+        for chunk in chunks:
+            cache.release(chunk)
+        # Only 128 KB of inactive mappings may remain.
+        assert cache.inactive_bytes <= 128 * 1024
+        assert cache.unmap_operations >= 2
+
+    def test_lru_eviction_order(self, files):
+        cache = MappedFileCache(chunk_size=64 * 1024, max_mapped_bytes=128 * 1024)
+        chunks = cache.acquire_file(files["large"])
+        for chunk in chunks:
+            cache.release(chunk)
+        # Chunk 0 was released first, so it is the coldest and must be gone.
+        assert ChunkKey(files["large"], 0) not in cache._chunks
+
+    def test_statistics(self, files):
+        cache = MappedFileCache()
+        chunk = cache.acquire(files["small"])
+        cache.release(chunk)
+        cache.acquire(files["small"])
+        assert cache.hit_rate == 0.5
+        assert cache.mapped_bytes == 1000
+
+
+class TestInvalidate:
+    def test_invalidate_drops_inactive(self, files):
+        cache = MappedFileCache()
+        chunk = cache.acquire(files["small"])
+        cache.release(chunk)
+        assert cache.invalidate(files["small"]) == 1
+        assert len(cache) == 0
+
+    def test_invalidate_orphans_active(self, files):
+        cache = MappedFileCache()
+        chunk = cache.acquire(files["small"])
+        assert cache.invalidate(files["small"]) == 0
+        # The active mapping is orphaned but still usable by the in-flight
+        # response; a fresh acquire maps the file again.
+        assert not chunk.closed
+        again = cache.acquire(files["small"])
+        assert again is not chunk
+        cache.release(again)
+
+    def test_clear_releases_inactive(self, files):
+        cache = MappedFileCache()
+        chunk = cache.acquire(files["small"])
+        cache.release(chunk)
+        cache.clear()
+        assert len(cache) == 0
+        assert chunk.closed
+
+
+class TestPropertyBased:
+    @given(
+        acquisitions=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=40),
+        budget_chunks=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_inactive_bytes_never_exceed_budget(self, tmp_path_factory, acquisitions, budget_chunks):
+        """Invariant: inactive (unpinned) mapped bytes never exceed the limit."""
+        root = tmp_path_factory.mktemp("mmap-prop")
+        path = root / "data.bin"
+        path.write_bytes(b"x" * (4 * 64 * 1024))
+        chunk_size = 64 * 1024
+        cache = MappedFileCache(
+            chunk_size=chunk_size, max_mapped_bytes=budget_chunks * chunk_size
+        )
+        for index in acquisitions:
+            chunk = cache.acquire(str(path), index)
+            cache.release(chunk)
+            assert cache.inactive_bytes <= cache.max_mapped_bytes
+        cache.clear()

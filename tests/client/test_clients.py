@@ -1,0 +1,135 @@
+"""Unit and integration tests for the HTTP clients (simple + load generator)."""
+
+import pytest
+
+from repro.client.loadgen import LoadGenerator, LoadResult
+from repro.client.simple import HTTPResponse, fetch, parse_response
+from repro.core.config import ServerConfig
+from repro.core.server import FlashServer
+
+
+class TestParseResponse:
+    def test_full_response(self):
+        raw = (
+            b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 5\r\n\r\nhello"
+        )
+        response = parse_response(raw)
+        assert response.status == 200
+        assert response.reason == "OK"
+        assert response.headers["content-type"] == "text/plain"
+        assert response.body == b"hello"
+        assert response.content_length == 5
+
+    def test_missing_terminator_rejected(self):
+        with pytest.raises(ValueError):
+            parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 5")
+
+    def test_malformed_status_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_response(b"garbage\r\n\r\n")
+
+    def test_status_without_reason(self):
+        response = parse_response(b"HTTP/1.0 204\r\n\r\n")
+        assert response.status == 204
+        assert response.reason == ""
+
+    def test_content_length_default_zero(self):
+        assert HTTPResponse(status=200, reason="OK").content_length == 0
+
+
+class TestLoadResult:
+    def test_bandwidth_and_rate(self):
+        result = LoadResult(requests_completed=100, bytes_received=1_000_000, elapsed=2.0)
+        assert result.request_rate == pytest.approx(50.0)
+        assert result.bandwidth_mbps == pytest.approx(4.0)
+
+    def test_zero_elapsed_is_safe(self):
+        result = LoadResult()
+        assert result.bandwidth_mbps == 0.0
+        assert result.request_rate == 0.0
+
+    def test_to_dict_keys(self):
+        keys = set(LoadResult().to_dict())
+        assert {"requests_completed", "bandwidth_mbps", "request_rate", "errors"} <= keys
+
+
+class TestLoadGeneratorConfig:
+    def test_requires_a_stop_condition(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(("127.0.0.1", 80), "/")
+
+    def test_path_sources(self):
+        generator = LoadGenerator(("127.0.0.1", 80), ["/a", "/b"], max_requests=1)
+        assert [generator.next_path() for _ in range(4)] == ["/a", "/b", "/a", "/b"]
+
+        generator = LoadGenerator(("127.0.0.1", 80), "/only", max_requests=1)
+        assert generator.next_path() == "/only"
+
+        counter = iter(range(100))
+        generator = LoadGenerator(
+            ("127.0.0.1", 80), lambda: f"/n{next(counter)}", max_requests=1
+        )
+        assert generator.next_path() == "/n0"
+        assert generator.next_path() == "/n1"
+
+    def test_empty_iterable_rejected(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(("127.0.0.1", 80), [], max_requests=1)
+
+    def test_bad_path_type_rejected(self):
+        with pytest.raises(TypeError):
+            LoadGenerator(("127.0.0.1", 80), 42, max_requests=1)
+
+
+class TestEndToEndLoad:
+    @pytest.fixture
+    def server(self, tmp_path):
+        (tmp_path / "page.html").write_bytes(b"<html>" + b"x" * 2000 + b"</html>")
+        (tmp_path / "other.html").write_bytes(b"<html>other</html>")
+        server = FlashServer(ServerConfig(document_root=str(tmp_path), port=0))
+        server.start()
+        yield server
+        server.stop()
+
+    def test_fetch_against_real_server(self, server):
+        response = fetch(*server.address, "/page.html")
+        assert response.status == 200
+        assert len(response.body) == 2013
+
+    def test_load_generator_request_budget(self, server):
+        generator = LoadGenerator(
+            server.address, "/page.html", num_clients=4, max_requests=40
+        )
+        result = generator.run()
+        assert result.requests_completed >= 40
+        assert result.errors == 0
+        assert result.bytes_received > 40 * 2000
+
+    def test_load_generator_multiple_paths(self, server):
+        generator = LoadGenerator(
+            server.address, ["/page.html", "/other.html"], num_clients=2, max_requests=20
+        )
+        result = generator.run()
+        assert result.requests_completed >= 20
+        assert result.errors == 0
+
+    def test_load_generator_without_keep_alive(self, server):
+        generator = LoadGenerator(
+            server.address,
+            "/page.html",
+            num_clients=2,
+            max_requests=10,
+            keep_alive=False,
+        )
+        result = generator.run()
+        assert result.requests_completed >= 10
+        # Without keep-alive every request needs its own connection.
+        assert result.connects >= result.requests_completed
+
+    def test_per_client_accounting(self, server):
+        generator = LoadGenerator(
+            server.address, "/page.html", num_clients=3, max_requests=15
+        )
+        result = generator.run()
+        assert len(result.per_client) == 3
+        assert sum(c.requests_completed for c in result.per_client) == result.requests_completed

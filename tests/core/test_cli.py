@@ -1,0 +1,117 @@
+"""Unit tests for the command-line interface."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cli import build_parser, cmd_loadgen, main
+from repro.core.config import ServerConfig
+from repro.core.server import FlashServer
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--root", "/tmp/www", "--architecture", "sped", "--port", "1234"]
+        )
+        assert args.command == "serve"
+        assert args.architecture == "sped"
+        assert args.port == 1234
+
+    def test_serve_rejects_unknown_architecture(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--root", "x", "--architecture", "iis"])
+
+    def test_loadgen_arguments(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--port", "8080", "--path", "/a", "--path", "/b", "--clients", "4"]
+        )
+        assert args.path == ["/a", "/b"]
+        assert args.clients == 4
+
+    def test_experiment_arguments(self):
+        args = build_parser().parse_args(["experiment", "fig9", "--quick"])
+        assert args.figure == "fig9"
+        assert args.quick
+
+
+class TestLoadgenCommand:
+    def test_loadgen_against_real_server(self, tmp_path, capsys):
+        (tmp_path / "index.html").write_bytes(b"<html>cli</html>")
+        server = FlashServer(ServerConfig(document_root=str(tmp_path), port=0))
+        server.start()
+        try:
+            host, port = server.address
+            code = main(
+                [
+                    "loadgen",
+                    "--host", host,
+                    "--port", str(port),
+                    "--path", "/index.html",
+                    "--clients", "2",
+                    "--duration", "0.4",
+                ]
+            )
+        finally:
+            server.stop()
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "requests completed" in output
+        assert "errors:             0" in output
+
+    def test_loadgen_reports_failure_exit_code(self, capsys):
+        # Nothing listens on this port: every request fails, exit code 1.
+        args = build_parser().parse_args(
+            ["loadgen", "--port", "1", "--clients", "1", "--duration", "0.2"]
+        )
+        assert cmd_loadgen(args) == 1
+
+
+class TestExperimentCommand:
+    def test_experiment_prints_table(self, capsys):
+        code = main(["experiment", "fig11", "--quick"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "all (Flash)" in output
+        assert "no caching" in output
+
+
+class TestServeCommand:
+    def test_serve_starts_and_stops(self, tmp_path, monkeypatch, capsys):
+        """The serve command runs until interrupted; interrupt it immediately."""
+        (tmp_path / "index.html").write_bytes(b"<html>cli-serve</html>")
+
+        import repro.cli as cli_module
+
+        # Make the serve loop exit on its first sleep by raising KeyboardInterrupt.
+        class _InterruptingTime:
+            @staticmethod
+            def sleep(_seconds):
+                raise KeyboardInterrupt
+
+        real_import = __import__
+
+        def fake_sleep_import(name, *args, **kwargs):
+            module = real_import(name, *args, **kwargs)
+            if name == "time":
+                return _InterruptingTime
+            return module
+
+        monkeypatch.setattr("builtins.__import__", fake_sleep_import)
+        code = main(["serve", "--root", str(tmp_path), "--port", "0"])
+        monkeypatch.undo()
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "serving" in output
+        assert "shutting down" in output

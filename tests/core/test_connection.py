@@ -1,0 +1,268 @@
+"""Unit tests for the per-connection state machine, driven by a fake driver.
+
+The SPED and AMPED servers share this state machine; here it is exercised in
+isolation over a socketpair, with a scripted driver standing in for the
+server, so the parsing / sending / keep-alive / error transitions can be
+checked without real network timing.
+"""
+
+import socket
+
+import pytest
+
+from repro.core.config import ServerConfig
+from repro.core.connection import (
+    STATE_CLOSED,
+    STATE_READ_REQUEST,
+    STATE_SEND_RESPONSE,
+    STATE_WAIT_DISK,
+    Connection,
+)
+from repro.core.event_loop import EventLoop
+from repro.core.pipeline import ContentStore, StaticContent
+from repro.http.errors import NotFoundError
+
+
+class ScriptedDriver:
+    """A ConnectionDriver whose hooks are controlled by the test."""
+
+    def __init__(self, docroot, defer_disk=False):
+        self.config = ServerConfig(document_root=docroot, port=0)
+        self.loop = EventLoop()
+        self.store = ContentStore(self.config)
+        self.defer_disk = defer_disk
+        self.pending = []              # deferred (callback, args) pairs
+        self.closed_connections = []
+        self.cgi_bodies = {}
+
+    # -- driver hooks -----------------------------------------------------------
+
+    def translate_async(self, uri, callback):
+        try:
+            entry = self.store.translate(uri)
+        except Exception as exc:  # noqa: BLE001 - propagate as error argument
+            callback(None, exc)
+            return
+        if self.defer_disk:
+            self.pending.append((callback, (entry, None)))
+        else:
+            callback(entry, None)
+
+    def prepare_content_async(self, request, entry, callback):
+        content = self.store.build_response(request, entry)
+        callback(content, None)
+
+    def handle_cgi_async(self, request, callback):
+        body = self.cgi_bodies.get(request.path)
+        if body is None:
+            callback(None, NotFoundError("no such program"))
+        else:
+            callback(body, None)
+
+    def on_connection_closed(self, connection):
+        self.closed_connections.append(connection)
+
+    # -- test helpers -------------------------------------------------------------
+
+    def flush_pending(self):
+        pending, self.pending = self.pending, []
+        for callback, args in pending:
+            callback(*args)
+
+
+@pytest.fixture
+def docroot(tmp_path):
+    (tmp_path / "index.html").write_bytes(b"<html>state machine</html>")
+    (tmp_path / "big.bin").write_bytes(b"Z" * 100_000)
+    return str(tmp_path)
+
+
+def make_connection(driver):
+    """A Connection wired to one end of a socketpair; returns (conn, client sock)."""
+    server_side, client_side = socket.socketpair()
+    connection = Connection(server_side, ("test", 0), driver)
+    client_side.setblocking(True)
+    client_side.settimeout(5.0)
+    return connection, client_side
+
+
+def pump(driver, connection, client, limit=200):
+    """Run the event loop until the connection goes quiet; return client bytes."""
+    received = bytearray()
+    client.settimeout(0.02)
+    for _ in range(limit):
+        driver.loop.run_once(timeout=0.01)
+        try:
+            while True:
+                data = client.recv(65536)
+                if not data:
+                    return bytes(received)
+                received.extend(data)
+        except socket.timeout:
+            pass
+        if connection.state == STATE_READ_REQUEST and not driver.pending:
+            # Give it one more spin to settle outstanding writes.
+            if received:
+                break
+        if connection.state == STATE_CLOSED:
+            break
+    return bytes(received)
+
+
+class TestRequestResponseCycle:
+    def test_simple_request_gets_full_response(self, docroot):
+        driver = ScriptedDriver(docroot)
+        connection, client = make_connection(driver)
+        client.sendall(b"GET /index.html HTTP/1.0\r\n\r\n")
+        response = pump(driver, connection, client)
+        assert response.startswith(b"HTTP/1.1 200 OK")
+        assert b"<html>state machine</html>" in response
+        # HTTP/1.0 without keep-alive: the connection must be closed.
+        assert connection.state == STATE_CLOSED
+        assert driver.closed_connections == [connection]
+        client.close()
+
+    def test_keep_alive_serves_sequential_requests(self, docroot):
+        driver = ScriptedDriver(docroot)
+        connection, client = make_connection(driver)
+        client.sendall(b"GET /index.html HTTP/1.1\r\nHost: h\r\n\r\n")
+        first = pump(driver, connection, client)
+        assert b"200 OK" in first
+        assert connection.state == STATE_READ_REQUEST     # still open
+        client.sendall(b"GET /index.html HTTP/1.1\r\nHost: h\r\n\r\n")
+        second = pump(driver, connection, client)
+        assert b"200 OK" in second
+        assert connection.requests_served == 2
+        connection.close()
+        client.close()
+
+    def test_pipelined_requests_both_answered(self, docroot):
+        driver = ScriptedDriver(docroot)
+        connection, client = make_connection(driver)
+        client.sendall(
+            b"GET /index.html HTTP/1.1\r\nHost: h\r\n\r\n"
+            b"GET /index.html HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n"
+        )
+        response = pump(driver, connection, client)
+        assert response.count(b"200 OK") == 2
+        client.close()
+
+    def test_large_file_transmitted_completely(self, docroot):
+        driver = ScriptedDriver(docroot)
+        connection, client = make_connection(driver)
+        client.sendall(b"GET /big.bin HTTP/1.0\r\n\r\n")
+        response = pump(driver, connection, client, limit=2000)
+        header, _, body = response.partition(b"\r\n\r\n")
+        assert b"200 OK" in header
+        assert len(body) == 100_000
+        client.close()
+
+    def test_head_request_no_body(self, docroot):
+        driver = ScriptedDriver(docroot)
+        connection, client = make_connection(driver)
+        client.sendall(b"HEAD /big.bin HTTP/1.0\r\n\r\n")
+        response = pump(driver, connection, client)
+        header, _, body = response.partition(b"\r\n\r\n")
+        assert b"Content-Length: 100000" in header
+        assert body == b""
+        client.close()
+
+
+class TestDeferredDiskPath:
+    def test_connection_waits_for_helper_completion(self, docroot):
+        """With a deferring driver the connection parks in WAIT_DISK until the
+        'helper' completes, then resumes and sends the response — the AMPED
+        control flow in miniature."""
+        driver = ScriptedDriver(docroot, defer_disk=True)
+        connection, client = make_connection(driver)
+        client.sendall(b"GET /index.html HTTP/1.0\r\n\r\n")
+        for _ in range(10):
+            driver.loop.run_once(timeout=0.01)
+        assert connection.state == STATE_WAIT_DISK
+        assert driver.pending                      # translation parked
+        driver.flush_pending()                     # helper completes
+        response = pump(driver, connection, client)
+        assert b"200 OK" in response
+        client.close()
+
+    def test_client_disconnect_while_waiting_is_safe(self, docroot):
+        driver = ScriptedDriver(docroot, defer_disk=True)
+        connection, client = make_connection(driver)
+        client.sendall(b"GET /index.html HTTP/1.0\r\n\r\n")
+        for _ in range(10):
+            driver.loop.run_once(timeout=0.01)
+        connection.close()                          # e.g. reaped / reset
+        driver.flush_pending()                      # late completion arrives
+        assert connection.state == STATE_CLOSED     # must not blow up
+
+
+class TestErrorPaths:
+    def test_missing_file_gets_404(self, docroot):
+        driver = ScriptedDriver(docroot)
+        connection, client = make_connection(driver)
+        client.sendall(b"GET /nope.html HTTP/1.0\r\n\r\n")
+        response = pump(driver, connection, client)
+        assert response.startswith(b"HTTP/1.1 404")
+        client.close()
+
+    def test_malformed_request_gets_4xx_and_close(self, docroot):
+        driver = ScriptedDriver(docroot)
+        connection, client = make_connection(driver)
+        client.sendall(b"NONSENSE\r\n\r\n")
+        response = pump(driver, connection, client)
+        assert response[:12] in (b"HTTP/1.1 400", b"HTTP/1.1 501")
+        assert connection.state == STATE_CLOSED
+        client.close()
+
+    def test_cgi_error_reported(self, docroot):
+        driver = ScriptedDriver(docroot)
+        connection, client = make_connection(driver)
+        client.sendall(b"GET /cgi-bin/ghost HTTP/1.0\r\n\r\n")
+        response = pump(driver, connection, client)
+        assert b"404" in response.split(b"\r\n", 1)[0]
+        client.close()
+
+    def test_cgi_success(self, docroot):
+        driver = ScriptedDriver(docroot)
+        driver.cgi_bodies["/cgi-bin/app"] = b"<html>dynamic!</html>"
+        connection, client = make_connection(driver)
+        client.sendall(b"GET /cgi-bin/app HTTP/1.0\r\n\r\n")
+        response = pump(driver, connection, client)
+        assert b"200 OK" in response
+        assert b"<html>dynamic!</html>" in response
+        client.close()
+
+    def test_peer_reset_closes_connection(self, docroot):
+        driver = ScriptedDriver(docroot)
+        connection, client = make_connection(driver)
+        client.close()                              # peer goes away
+        for _ in range(10):
+            driver.loop.run_once(timeout=0.01)
+        assert connection.state == STATE_CLOSED
+
+
+class TestLifecycleBookkeeping:
+    def test_close_is_idempotent(self, docroot):
+        driver = ScriptedDriver(docroot)
+        connection, client = make_connection(driver)
+        connection.close()
+        connection.close()
+        assert driver.closed_connections == [connection]
+        client.close()
+
+    def test_idle_for_tracks_activity(self, docroot):
+        driver = ScriptedDriver(docroot)
+        connection, client = make_connection(driver)
+        assert connection.idle_for(connection.last_activity + 5.0) == pytest.approx(5.0)
+        connection.close()
+        client.close()
+
+    def test_stats_updated_per_request(self, docroot):
+        driver = ScriptedDriver(docroot)
+        connection, client = make_connection(driver)
+        client.sendall(b"GET /index.html HTTP/1.0\r\n\r\n")
+        pump(driver, connection, client)
+        assert driver.store.stats.requests == 1
+        assert driver.store.stats.responses_ok == 1
+        assert driver.store.stats.bytes_sent > 0
+        client.close()

@@ -1,0 +1,124 @@
+"""Unit tests for the selectors-based event loop."""
+
+import socket
+import threading
+import time
+
+from repro.core.event_loop import EVENT_READ, EVENT_WRITE, EventLoop
+
+
+class TestReadiness:
+    def test_read_callback_fires_when_data_arrives(self):
+        loop = EventLoop()
+        left, right = socket.socketpair()
+        received = []
+        left.setblocking(False)
+        loop.register(left, EVENT_READ, lambda sock, mask: received.append(sock.recv(100)))
+        right.send(b"ping")
+        loop.run_once(timeout=1.0)
+        assert received == [b"ping"]
+        loop.unregister(left)
+        left.close()
+        right.close()
+        loop.close()
+
+    def test_write_readiness(self):
+        loop = EventLoop()
+        left, right = socket.socketpair()
+        fired = []
+        loop.register(left, EVENT_WRITE, lambda sock, mask: fired.append(mask))
+        count = loop.run_once(timeout=1.0)
+        assert count == 1
+        assert fired and fired[0] & EVENT_WRITE
+        loop.close()
+        left.close()
+        right.close()
+
+    def test_modify_interest(self):
+        loop = EventLoop()
+        left, right = socket.socketpair()
+        events = []
+        loop.register(left, EVENT_WRITE, lambda sock, mask: events.append(("w", mask)))
+        loop.modify(left, EVENT_READ)
+        right.send(b"x")
+        loop.run_once(timeout=1.0)
+        assert events and events[0][1] & EVENT_READ
+        loop.close()
+        left.close()
+        right.close()
+
+    def test_unregister_unknown_is_noop(self):
+        loop = EventLoop()
+        left, right = socket.socketpair()
+        loop.unregister(left)          # never registered: must not raise
+        assert not loop.is_registered(left)
+        loop.close()
+        left.close()
+        right.close()
+
+    def test_is_registered(self):
+        loop = EventLoop()
+        left, right = socket.socketpair()
+        loop.register(left, EVENT_READ, lambda s, m: None)
+        assert loop.is_registered(left)
+        loop.unregister(left)
+        assert not loop.is_registered(left)
+        loop.close()
+        left.close()
+        right.close()
+
+
+class TestDeferredWork:
+    def test_call_soon_runs_next_iteration(self):
+        loop = EventLoop()
+        ran = []
+        loop.call_soon(lambda: ran.append(1))
+        loop.run_once(timeout=0)
+        assert ran == [1]
+        loop.close()
+
+    def test_call_later_respects_delay(self):
+        loop = EventLoop()
+        ran = []
+        loop.call_later(0.02, lambda: ran.append(time.monotonic()))
+        start = time.monotonic()
+        while not ran and time.monotonic() - start < 1.0:
+            loop.run_once(timeout=0.01)
+        assert ran
+        assert ran[0] - start >= 0.015
+        loop.close()
+
+    def test_timers_fire_in_order(self):
+        loop = EventLoop()
+        order = []
+        loop.call_later(0.02, lambda: order.append("late"))
+        loop.call_later(0.001, lambda: order.append("early"))
+        deadline = time.monotonic() + 1.0
+        while len(order) < 2 and time.monotonic() < deadline:
+            loop.run_once(timeout=0.01)
+        assert order == ["early", "late"]
+        loop.close()
+
+
+class TestRunForever:
+    def test_stop_condition(self):
+        loop = EventLoop()
+        stop = threading.Event()
+        loop.call_later(0.02, stop.set)
+        start = time.monotonic()
+        loop.run_forever(should_stop=stop.is_set, poll_interval=0.01)
+        assert time.monotonic() - start < 2.0
+        loop.close()
+
+    def test_explicit_stop(self):
+        loop = EventLoop()
+        loop.call_later(0.01, loop.stop)
+        loop.run_forever(poll_interval=0.01)
+        loop.close()
+
+    def test_iteration_counter(self):
+        loop = EventLoop()
+        loop.run_once(timeout=0)
+        loop.run_once(timeout=0)
+        assert loop.iterations == 2
+        loop.close()

@@ -1,0 +1,167 @@
+"""Unit tests for the AMPED helper pool and IPC protocol."""
+
+import os
+
+import pytest
+
+from repro.core.event_loop import EventLoop
+from repro.core.helpers import (
+    OP_READ,
+    OP_TRANSLATE,
+    HelperPool,
+    HelperRequest,
+    perform_helper_operation,
+    translation_entry_from_reply,
+)
+
+
+@pytest.fixture
+def docroot(tmp_path):
+    (tmp_path / "index.html").write_text("<html>hi</html>")
+    (tmp_path / "big.bin").write_bytes(b"b" * 100_000)
+    return str(tmp_path)
+
+
+class TestPerformHelperOperation:
+    def test_translate_success(self, docroot):
+        request = HelperRequest(seq=1, op=OP_TRANSLATE, uri="/index.html", document_root=docroot)
+        reply = perform_helper_operation(request)
+        assert reply.ok
+        assert reply.path == os.path.join(docroot, "index.html")
+        assert reply.size == len("<html>hi</html>")
+        entry = translation_entry_from_reply("/index.html", reply)
+        assert entry.filesystem_path == reply.path
+
+    def test_translate_missing_file(self, docroot):
+        request = HelperRequest(seq=2, op=OP_TRANSLATE, uri="/nope.html", document_root=docroot)
+        reply = perform_helper_operation(request)
+        assert not reply.ok
+        assert reply.error_type == "NotFoundError"
+        with pytest.raises(ValueError):
+            translation_entry_from_reply("/nope.html", reply)
+
+    def test_read_touches_whole_file(self, docroot):
+        request = HelperRequest(seq=3, op=OP_READ, path=os.path.join(docroot, "big.bin"))
+        reply = perform_helper_operation(request)
+        assert reply.ok
+        assert reply.bytes_touched == 100_000
+
+    def test_read_range(self, docroot):
+        request = HelperRequest(
+            seq=4, op=OP_READ, path=os.path.join(docroot, "big.bin"), offset=50_000, length=10_000
+        )
+        reply = perform_helper_operation(request)
+        assert reply.bytes_touched == 10_000
+
+    def test_unknown_operation_reported_as_failure(self):
+        reply = perform_helper_operation(HelperRequest(seq=5, op="defragment"))
+        assert not reply.ok
+        assert reply.error_type == "ValueError"
+
+
+class TestHelperPoolThreads:
+    def test_submit_and_wait(self, docroot):
+        pool = HelperPool(num_helpers=2, mode="thread")
+        replies = []
+        for name in ("index.html", "big.bin"):
+            pool.submit(
+                HelperRequest(seq=0, op=OP_TRANSLATE, uri=f"/{name}", document_root=docroot),
+                replies.append,
+            )
+        pool.wait_all(timeout=5.0)
+        assert len(replies) == 2
+        assert all(reply.ok for reply in replies)
+        assert pool.completed == 2
+        pool.shutdown()
+
+    def test_completions_delivered_through_event_loop(self, docroot):
+        loop = EventLoop()
+        pool = HelperPool(num_helpers=1, mode="thread")
+        pool.register(loop)
+        replies = []
+        pool.submit(
+            HelperRequest(seq=0, op=OP_TRANSLATE, uri="/index.html", document_root=docroot),
+            replies.append,
+        )
+        deadline = 200
+        while not replies and deadline:
+            loop.run_once(timeout=0.05)
+            deadline -= 1
+        assert replies and replies[0].ok
+        pool.unregister(loop)
+        pool.shutdown()
+        loop.close()
+
+    def test_errors_reported_not_raised(self, docroot):
+        pool = HelperPool(num_helpers=1, mode="thread")
+        replies = []
+        pool.submit(
+            HelperRequest(seq=0, op=OP_TRANSLATE, uri="/missing", document_root=docroot),
+            replies.append,
+        )
+        pool.wait_all(timeout=5.0)
+        assert replies and not replies[0].ok
+        pool.shutdown()
+
+    def test_more_requests_than_helpers(self, docroot):
+        pool = HelperPool(num_helpers=1, mode="thread")
+        replies = []
+        for _ in range(10):
+            pool.submit(
+                HelperRequest(seq=0, op=OP_READ, path=os.path.join(docroot, "big.bin")),
+                replies.append,
+            )
+        pool.wait_all(timeout=10.0)
+        assert len(replies) == 10
+        pool.shutdown()
+
+    def test_shutdown_idempotent(self):
+        pool = HelperPool(num_helpers=1, mode="thread")
+        pool.shutdown()
+        pool.shutdown()
+
+    def test_submit_after_shutdown_rejected(self, docroot):
+        pool = HelperPool(num_helpers=1, mode="thread")
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit(HelperRequest(seq=0, op=OP_READ, path="x"), lambda r: None)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            HelperPool(num_helpers=0)
+        with pytest.raises(ValueError):
+            HelperPool(mode="coroutine")
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="process helpers require fork")
+class TestHelperPoolProcesses:
+    def test_translate_via_process_helpers(self, docroot):
+        pool = HelperPool(num_helpers=2, mode="process")
+        replies = []
+        try:
+            for _ in range(4):
+                pool.submit(
+                    HelperRequest(
+                        seq=0, op=OP_TRANSLATE, uri="/index.html", document_root=docroot
+                    ),
+                    replies.append,
+                )
+            pool.wait_all(timeout=10.0)
+        finally:
+            pool.shutdown()
+        assert len(replies) == 4
+        assert all(reply.ok for reply in replies)
+
+    def test_backlog_when_all_helpers_busy(self, docroot):
+        pool = HelperPool(num_helpers=1, mode="process")
+        replies = []
+        try:
+            for _ in range(5):
+                pool.submit(
+                    HelperRequest(seq=0, op=OP_READ, path=os.path.join(docroot, "big.bin")),
+                    replies.append,
+                )
+            pool.wait_all(timeout=15.0)
+        finally:
+            pool.shutdown()
+        assert len(replies) == 5

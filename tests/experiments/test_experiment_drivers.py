@@ -1,0 +1,140 @@
+"""Smoke tests for the experiment drivers (small, fast configurations).
+
+The full-size runs (and the qualitative shape assertions against the paper)
+live in ``benchmarks/``; these tests only verify that each driver wires the
+workload, simulator and result container together correctly.
+"""
+
+import pytest
+
+from repro.experiments.dataset_sweep import DatasetSweepExperiment
+from repro.experiments.functional import FunctionalComparisonExperiment, FunctionalRunSettings
+from repro.experiments.optimization_breakdown import (
+    CACHE_COMBINATIONS,
+    OptimizationBreakdownExperiment,
+)
+from repro.experiments.single_file import SingleFileExperiment
+from repro.experiments.trace_replay import TraceReplayExperiment
+from repro.experiments.wan_clients import WANClientsExperiment
+from repro.workload.traces import ECE_TRACE
+
+
+class TestSingleFileExperiment:
+    def test_small_sweep(self):
+        experiment = SingleFileExperiment(
+            "freebsd",
+            servers=("flash", "sped"),
+            file_sizes_kb=(5, 20),
+            num_clients=8,
+            duration=0.4,
+            warmup=0.1,
+        )
+        result = experiment.run()
+        assert set(result.servers) == {"flash", "sped"}
+        assert result.x_values == [5, 20]
+        assert all(r.bandwidth_mbps > 0 for r in result.rows)
+
+    def test_default_server_lists_differ_by_platform(self):
+        assert "mt" in SingleFileExperiment("solaris").servers
+        assert "mt" not in SingleFileExperiment("freebsd").servers
+
+    def test_experiment_name(self):
+        assert SingleFileExperiment("solaris").name.startswith("fig06")
+        assert SingleFileExperiment("freebsd").name.startswith("fig07")
+
+    def test_connection_rate_variant(self):
+        experiment = SingleFileExperiment(
+            "freebsd", servers=("flash",), num_clients=8, duration=0.3, warmup=0.1
+        )
+        result = experiment.run_connection_rate()
+        assert result.x_values == [1, 5, 10, 15, 20]
+
+
+class TestTraceReplayExperiment:
+    def test_rows_carry_trace_names(self):
+        experiment = TraceReplayExperiment(
+            "solaris",
+            servers=("flash", "apache"),
+            traces={
+                "cs": ECE_TRACE.scaled_to_dataset(20 * 1024 * 1024),
+                "owlnet": ECE_TRACE.scaled_to_dataset(10 * 1024 * 1024),
+            },
+            num_clients=8,
+            duration=0.5,
+            warmup=0.1,
+        )
+        result = experiment.run()
+        traces = {r.details["trace"] for r in result.rows}
+        assert traces == {"cs", "owlnet"}
+        assert experiment.bandwidth(result, "flash", "cs") > 0
+        with pytest.raises(KeyError):
+            experiment.bandwidth(result, "zeus", "cs")
+
+
+class TestDatasetSweepExperiment:
+    def test_sweep_points(self):
+        experiment = DatasetSweepExperiment(
+            "freebsd",
+            servers=("flash", "sped"),
+            dataset_sizes_mb=(20, 60),
+            num_clients=8,
+            duration=0.5,
+            warmup=0.2,
+        )
+        result = experiment.run()
+        assert result.x_values == [20, 60]
+        assert {"flash", "sped"} == set(result.servers)
+        for row in result.rows:
+            assert 0 <= row.details["hit_rate"] <= 1
+
+    def test_platform_server_defaults(self):
+        assert "mt" in DatasetSweepExperiment("solaris").servers
+        assert "mt" not in DatasetSweepExperiment("freebsd").servers
+        assert DatasetSweepExperiment("freebsd").name.startswith("fig09")
+        assert DatasetSweepExperiment("solaris").name.startswith("fig10")
+
+
+class TestOptimizationBreakdownExperiment:
+    def test_eight_combinations(self):
+        assert len(CACHE_COMBINATIONS) == 8
+        labels = [label for label, *_ in CACHE_COMBINATIONS]
+        assert "all (Flash)" in labels and "no caching" in labels
+
+    def test_run_produces_rows_per_combination(self):
+        experiment = OptimizationBreakdownExperiment(
+            "freebsd", file_sizes_kb=(5,), num_clients=8, duration=0.4, warmup=0.1
+        )
+        result = experiment.run()
+        assert len(result.rows) == 8
+        assert result.value("all (Flash)", 5, "request_rate") > 0
+
+
+class TestWANClientsExperiment:
+    def test_client_sweep(self):
+        experiment = WANClientsExperiment(
+            "solaris",
+            servers=("flash", "mp"),
+            client_counts=(8, 32),
+            dataset_mb=20,
+            duration=0.5,
+            warmup=0.2,
+        )
+        result = experiment.run()
+        assert result.x_values == [8, 32]
+        assert set(result.servers) == {"flash", "mp"}
+
+
+class TestFunctionalComparisonExperiment:
+    def test_real_servers_compared(self, tmp_path):
+        experiment = FunctionalComparisonExperiment(
+            architectures=("amped", "sped"),
+            settings=FunctionalRunSettings(
+                file_size=2048, num_clients=2, duration=0.4, num_workers=2, num_helpers=1
+            ),
+            document_root=str(tmp_path),
+        )
+        result = experiment.run()
+        assert set(result.servers) == {"amped", "sped"}
+        for row in result.rows:
+            assert row.details["errors"] == 0
+            assert row.request_rate > 0

@@ -1,0 +1,94 @@
+"""Unit tests for the experiment result containers."""
+
+import pytest
+
+from repro.experiments.results import ExperimentResult, ResultRow
+
+
+def row(server, x, bandwidth, rate=0.0, **details):
+    return ResultRow(
+        experiment="test", server=server, x=x, bandwidth_mbps=bandwidth,
+        request_rate=rate, details=details,
+    )
+
+
+@pytest.fixture
+def result():
+    rows = [
+        row("flash", 10, 100.0, 1000),
+        row("flash", 20, 90.0, 500),
+        row("flash", 30, 40.0, 200),
+        row("sped", 10, 105.0, 1100),
+        row("sped", 20, 50.0, 300),
+        row("sped", 30, 20.0, 100),
+    ]
+    return ExperimentResult("test", x_label="size", rows=rows)
+
+
+class TestQueries:
+    def test_servers_and_x_values(self, result):
+        assert result.servers == ["flash", "sped"]
+        assert result.x_values == [10, 20, 30]
+
+    def test_series_sorted_by_x(self, result):
+        assert result.series("flash") == [(10, 100.0), (20, 90.0), (30, 40.0)]
+        assert result.series("flash", "request_rate")[0] == (10, 1000)
+
+    def test_value_lookup(self, result):
+        assert result.value("sped", 20) == 50.0
+        with pytest.raises(KeyError):
+            result.value("zeus", 20)
+
+    def test_mean(self, result):
+        assert result.mean("flash") == pytest.approx((100 + 90 + 40) / 3)
+        with pytest.raises(KeyError):
+            result.mean("apache")
+
+    def test_winner(self, result):
+        assert result.winner(10) == "sped"
+        assert result.winner(20) == "flash"
+        with pytest.raises(KeyError):
+            result.winner(99)
+
+    def test_ratio(self, result):
+        assert result.ratio("flash", "sped", 30) == pytest.approx(2.0)
+
+    def test_ratio_zero_denominator(self):
+        rows = [row("a", 1, 10.0), row("b", 1, 0.0)]
+        res = ExperimentResult("z", "x", rows)
+        assert res.ratio("a", "b", 1) == float("inf")
+
+    def test_drop_point_finds_cliff(self, result):
+        # flash peak 100; falls below 85% of peak only at x=30.
+        assert result.drop_point("flash", threshold=0.85) == 30
+        # sped falls below 85% of its 105 peak already at x=20.
+        assert result.drop_point("sped", threshold=0.85) == 20
+
+    def test_drop_point_none_when_flat(self):
+        rows = [row("a", 1, 10.0), row("a", 2, 9.9)]
+        res = ExperimentResult("flat", "x", rows)
+        assert res.drop_point("a", threshold=0.5) is None
+
+
+class TestRendering:
+    def test_to_table_contains_all_values(self, result):
+        table = result.to_table()
+        assert "flash" in table and "sped" in table
+        assert "100.0" in table and "20.0" in table
+        assert table.splitlines()[0].startswith("# test")
+
+    def test_to_table_handles_missing_cells(self):
+        rows = [row("a", 1, 10.0), row("b", 2, 5.0)]
+        table = ExperimentResult("sparse", "x", rows).to_table()
+        assert "10.0" in table and "5.0" in table
+
+    def test_to_dicts(self, result):
+        dicts = result.to_dicts()
+        assert len(dicts) == 6
+        assert dicts[0]["server"] == "flash"
+        assert "bandwidth_mbps" in dicts[0]
+
+    def test_add_row(self):
+        res = ExperimentResult("x", "x")
+        res.add(row("a", 1, 1.0))
+        assert len(res.rows) == 1

@@ -1,0 +1,63 @@
+"""Unit tests for HTTP status codes and error types."""
+
+import pytest
+
+from repro.http.errors import (
+    BadRequestError,
+    ForbiddenError,
+    HTTPError,
+    NotFoundError,
+    NotImplementedError_,
+    RequestTooLargeError,
+    STATUS_REASONS,
+    VersionNotSupportedError,
+    reason_phrase,
+)
+
+
+class TestReasonPhrase:
+    def test_known_codes(self):
+        assert reason_phrase(200) == "OK"
+        assert reason_phrase(404) == "Not Found"
+        assert reason_phrase(500) == "Internal Server Error"
+
+    def test_unknown_code_does_not_raise(self):
+        assert reason_phrase(299) == "Unknown"
+
+    def test_table_covers_common_server_codes(self):
+        for code in (200, 304, 400, 403, 404, 413, 500, 501, 503):
+            assert code in STATUS_REASONS
+
+
+class TestHTTPErrorHierarchy:
+    @pytest.mark.parametrize(
+        "cls,status",
+        [
+            (BadRequestError, 400),
+            (ForbiddenError, 403),
+            (NotFoundError, 404),
+            (RequestTooLargeError, 413),
+            (NotImplementedError_, 501),
+            (VersionNotSupportedError, 505),
+        ],
+    )
+    def test_status_codes(self, cls, status):
+        error = cls("boom")
+        assert error.status == status
+        assert isinstance(error, HTTPError)
+        assert error.message == "boom"
+
+    def test_default_message_is_reason_phrase(self):
+        assert NotFoundError().message == "Not Found"
+
+    def test_explicit_status_override(self):
+        error = HTTPError("service down", status=503)
+        assert error.status == 503
+        assert error.reason == "Service Unavailable"
+
+    def test_reason_property(self):
+        assert ForbiddenError("nope").reason == "Forbidden"
+
+    def test_is_exception(self):
+        with pytest.raises(HTTPError):
+            raise NotFoundError("missing")

@@ -1,0 +1,44 @@
+"""Unit tests for MIME type guessing."""
+
+import pytest
+
+from repro.http.mime import DEFAULT_MIME_TYPE, MIME_TYPES, guess_mime_type
+
+
+class TestGuessMimeType:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("/index.html", "text/html"),
+            ("/a/b/page.HTM", "text/html"),
+            ("photo.JPEG", "image/jpeg"),
+            ("paper.ps", "application/postscript"),
+            ("thesis.pdf", "application/pdf"),
+            ("archive.tar.gz", "application/gzip"),
+            ("data.json", "application/json"),
+            ("movie.mpg", "video/mpeg"),
+        ],
+    )
+    def test_known_extensions(self, path, expected):
+        assert guess_mime_type(path) == expected
+
+    def test_unknown_extension_uses_default(self):
+        assert guess_mime_type("file.xyzzy") == DEFAULT_MIME_TYPE
+
+    def test_no_extension_uses_default(self):
+        assert guess_mime_type("Makefile") == DEFAULT_MIME_TYPE
+
+    def test_custom_default(self):
+        assert guess_mime_type("Makefile", default="text/plain") == "text/plain"
+
+    def test_only_basename_is_considered(self):
+        # A dot in a directory name must not be mistaken for an extension.
+        assert guess_mime_type("/etc/conf.d/listing") == DEFAULT_MIME_TYPE
+
+    def test_case_insensitive(self):
+        assert guess_mime_type("LOGO.GIF") == "image/gif"
+
+    def test_table_values_are_valid_mime_shapes(self):
+        for ext, mime in MIME_TYPES.items():
+            assert "/" in mime, f"{ext} maps to malformed type {mime}"
+            assert ext == ext.lower()

@@ -1,0 +1,190 @@
+"""Unit tests for the incremental HTTP request parser."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.http.errors import (
+    BadRequestError,
+    NotImplementedError_,
+    RequestTooLargeError,
+    VersionNotSupportedError,
+)
+from repro.http.request import HTTPRequest, RequestParser
+
+
+def parse(raw: bytes) -> HTTPRequest:
+    parser = RequestParser()
+    assert parser.feed(raw)
+    return parser.request
+
+
+class TestBasicParsing:
+    def test_simple_get(self):
+        request = parse(b"GET /index.html HTTP/1.0\r\nHost: example\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/index.html"
+        assert request.version == "HTTP/1.0"
+        assert request.headers["host"] == "example"
+
+    def test_head_request(self):
+        request = parse(b"HEAD /x HTTP/1.1\r\nHost: h\r\n\r\n")
+        assert request.is_head
+
+    def test_query_string_split(self):
+        request = parse(b"GET /cgi-bin/app?a=1&b=2 HTTP/1.0\r\n\r\n")
+        assert request.path == "/cgi-bin/app"
+        assert request.query == "a=1&b=2"
+        assert request.is_cgi
+
+    def test_http09_simple_request(self):
+        request = parse(b"GET /old\r\n\r\n")
+        assert request.version == "HTTP/0.9"
+
+    def test_header_names_lowercased(self):
+        request = parse(b"GET / HTTP/1.0\r\nUser-AGENT: test\r\n\r\n")
+        assert request.header("user-agent") == "test"
+        assert request.header("User-Agent") == "test"
+        assert request.header("missing", "fallback") == "fallback"
+
+    def test_percent_encoded_path(self):
+        request = parse(b"GET /a%20b.html HTTP/1.0\r\n\r\n")
+        assert request.path == "/a b.html"
+
+    def test_lf_only_line_endings_accepted(self):
+        request = parse(b"GET /x HTTP/1.0\nHost: h\n\n")
+        assert request.path == "/x"
+
+    def test_header_continuation_folding(self):
+        request = parse(b"GET / HTTP/1.0\r\nX-Long: part1\r\n    part2\r\n\r\n")
+        assert request.headers["x-long"] == "part1 part2"
+
+
+class TestIncrementalFeeding:
+    def test_byte_at_a_time(self):
+        raw = b"GET /page.html HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n"
+        parser = RequestParser()
+        for i, byte in enumerate(raw):
+            done = parser.feed(bytes([byte]))
+            if i < len(raw) - 1:
+                assert not done or i == len(raw) - 1
+        assert parser.complete
+        assert parser.request.path == "/page.html"
+
+    def test_request_not_complete_until_blank_line(self):
+        parser = RequestParser()
+        assert not parser.feed(b"GET / HTTP/1.0\r\nHost: h\r\n")
+        assert not parser.complete
+        with pytest.raises(ValueError):
+            _ = parser.request
+        assert parser.feed(b"\r\n")
+
+    def test_pipelined_remainder_preserved(self):
+        raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"
+        parser = RequestParser()
+        assert parser.feed(raw)
+        assert parser.request.path == "/a"
+        second = RequestParser()
+        assert second.feed(parser.remainder)
+        assert second.request.path == "/b"
+
+    def test_post_body_collected(self):
+        raw = b"POST /cgi-bin/form HTTP/1.0\r\nContent-Length: 5\r\n\r\nhello"
+        parser = RequestParser()
+        assert parser.feed(raw)
+        assert parser.request.body == b"hello"
+
+    def test_post_body_split_across_feeds(self):
+        parser = RequestParser()
+        assert not parser.feed(b"POST /x HTTP/1.0\r\nContent-Length: 10\r\n\r\nhel")
+        assert not parser.complete
+        assert parser.feed(b"lo worldEXTRA")
+        assert parser.request.body == b"hello worl"
+        assert parser.remainder == b"dEXTRA"
+
+
+class TestErrors:
+    def test_unsupported_method(self):
+        with pytest.raises(NotImplementedError_):
+            parse(b"BREW /coffee HTTP/1.0\r\n\r\n")
+
+    def test_unsupported_version(self):
+        with pytest.raises(VersionNotSupportedError):
+            parse(b"GET / HTTP/3.0\r\n\r\n")
+
+    def test_malformed_request_line(self):
+        with pytest.raises(BadRequestError):
+            parse(b"GET\r\n\r\n")
+
+    def test_malformed_header_line(self):
+        with pytest.raises(BadRequestError):
+            parse(b"GET / HTTP/1.0\r\nbadheader\r\n\r\n")
+
+    def test_negative_content_length(self):
+        with pytest.raises(BadRequestError):
+            parse(b"POST / HTTP/1.0\r\nContent-Length: -5\r\n\r\n")
+
+    def test_non_numeric_content_length(self):
+        with pytest.raises(BadRequestError):
+            parse(b"POST / HTTP/1.0\r\nContent-Length: ten\r\n\r\n")
+
+    def test_oversized_header_rejected(self):
+        parser = RequestParser(max_header_bytes=128)
+        with pytest.raises(RequestTooLargeError):
+            parser.feed(b"GET /" + b"a" * 200 + b" HTTP/1.0\r\nX: 1\r\n")
+
+    def test_empty_request_line(self):
+        with pytest.raises(BadRequestError):
+            parse(b"\r\n\r\n")
+
+
+class TestKeepAliveSemantics:
+    def test_http11_default_keep_alive(self):
+        assert parse(b"GET / HTTP/1.1\r\nHost: h\r\n\r\n").keep_alive
+
+    def test_http11_explicit_close(self):
+        assert not parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive
+
+    def test_http10_default_close(self):
+        assert not parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive
+
+    def test_http10_explicit_keep_alive(self):
+        assert parse(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").keep_alive
+
+
+class TestPropertyBased:
+    @given(
+        path_bits=st.lists(
+            st.text(alphabet="abcdefghij0123456789_-", min_size=1, max_size=8),
+            min_size=1,
+            max_size=5,
+        ),
+        header_values=st.dictionaries(
+            st.sampled_from(["host", "accept", "user-agent", "referer"]),
+            st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126), max_size=20),
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_arbitrary_paths_and_headers(self, path_bits, header_values):
+        """Any well-formed request the parser sees round-trips faithfully."""
+        path = "/" + "/".join(path_bits)
+        lines = [f"GET {path} HTTP/1.1"]
+        lines.extend(f"{name}: {value}" for name, value in header_values.items())
+        raw = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        request = parse(raw)
+        assert request.method == "GET"
+        assert request.path == path
+        for name, value in header_values.items():
+            assert request.headers[name] == value.strip()
+
+    @given(split_at=st.integers(min_value=1, max_value=60))
+    @settings(max_examples=40, deadline=None)
+    def test_any_split_point_gives_same_result(self, split_at):
+        """Feeding the bytes in two arbitrary chunks never changes the parse."""
+        raw = b"GET /some/file.html HTTP/1.1\r\nHost: h\r\nAccept: */*\r\n\r\n"
+        split_at = min(split_at, len(raw) - 1)
+        parser = RequestParser()
+        parser.feed(raw[:split_at])
+        parser.feed(raw[split_at:])
+        assert parser.complete
+        assert parser.request.path == "/some/file.html"

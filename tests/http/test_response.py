@@ -1,0 +1,110 @@
+"""Unit tests for response-header generation and byte-position alignment."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.http.response import (
+    DEFAULT_ALIGNMENT,
+    ResponseHeaderBuilder,
+    build_error_response,
+    http_date,
+)
+
+
+class TestHttpDate:
+    def test_rfc1123_shape(self):
+        value = http_date(0)
+        assert value == "Thu, 01 Jan 1970 00:00:00 GMT"
+
+    def test_current_time_formats(self):
+        assert http_date().endswith("GMT")
+
+
+class TestResponseHeaderBuilder:
+    def test_status_line_and_fields(self):
+        header = ResponseHeaderBuilder(align=0).build(
+            200, content_length=123, content_type="text/plain", last_modified=0
+        )
+        text = header.raw.decode("latin-1")
+        assert text.startswith("HTTP/1.1 200 OK\r\n")
+        assert "Content-Length: 123\r\n" in text
+        assert "Content-Type: text/plain\r\n" in text
+        assert "Last-Modified: Thu, 01 Jan 1970 00:00:00 GMT\r\n" in text
+        assert text.endswith("\r\n\r\n")
+
+    def test_connection_header_reflects_keep_alive(self):
+        builder = ResponseHeaderBuilder(align=0)
+        assert b"Connection: keep-alive" in builder.build(200, keep_alive=True).raw
+        assert b"Connection: close" in builder.build(200, keep_alive=False).raw
+
+    def test_extra_headers_included(self):
+        header = ResponseHeaderBuilder(align=0).build(
+            200, extra_headers={"X-Custom": "yes"}
+        )
+        assert b"X-Custom: yes\r\n" in header.raw
+
+    def test_error_status_reason_phrase(self):
+        header = ResponseHeaderBuilder(align=0).build(404)
+        assert header.raw.startswith(b"HTTP/1.1 404 Not Found\r\n")
+
+    def test_negative_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            ResponseHeaderBuilder(align=-1)
+
+
+class TestAlignment:
+    """Section 5.5: headers padded to 32-byte boundaries."""
+
+    def test_default_alignment_is_32(self):
+        assert DEFAULT_ALIGNMENT == 32
+
+    def test_aligned_header_length_is_multiple_of_32(self):
+        header = ResponseHeaderBuilder().build(200, content_length=7)
+        assert len(header.raw) % 32 == 0
+        assert header.aligned
+
+    def test_padding_applied_via_server_field(self):
+        builder = ResponseHeaderBuilder()
+        header = builder.build(200, content_length=7)
+        if header.padding:
+            assert b"Server: " + builder.server_name.encode() + b" " in header.raw
+
+    def test_alignment_disabled(self):
+        header = ResponseHeaderBuilder(align=0).build(200, content_length=7)
+        assert header.padding == 0
+
+    @given(content_length=st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=100, deadline=None)
+    def test_any_content_length_stays_aligned(self, content_length):
+        """The padding must absorb the varying digit count of Content-Length."""
+        header = ResponseHeaderBuilder().build(200, content_length=content_length)
+        assert len(header.raw) % DEFAULT_ALIGNMENT == 0
+        assert 0 <= header.padding < DEFAULT_ALIGNMENT
+
+    @given(align=st.sampled_from([4, 8, 16, 32, 64]), length=st.integers(0, 10**7))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_alignment_honoured(self, align, length):
+        header = ResponseHeaderBuilder(align=align).build(200, content_length=length)
+        assert len(header.raw) % align == 0
+
+    def test_content_length_metadata(self):
+        header = ResponseHeaderBuilder().build(200, content_length=999)
+        assert header.content_length == 999
+        assert header.status == 200
+
+
+class TestErrorResponse:
+    def test_contains_status_and_body(self):
+        payload = build_error_response(404, "file not found")
+        assert payload.startswith(b"HTTP/1.1 404 Not Found\r\n")
+        assert b"file not found" in payload
+        assert b"<html>" in payload
+
+    def test_content_length_matches_body(self):
+        payload = build_error_response(403)
+        header_block, body = payload.split(b"\r\n\r\n", 1)
+        declared = None
+        for line in header_block.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                declared = int(line.split(b":", 1)[1])
+        assert declared == len(body)

@@ -1,0 +1,108 @@
+"""Unit tests for URI normalization and pathname translation."""
+
+import os
+
+import pytest
+
+from repro.http.errors import BadRequestError, ForbiddenError, NotFoundError
+from repro.http.uri import normalize_uri, split_query, translate_path
+
+
+class TestSplitQuery:
+    def test_with_query(self):
+        assert split_query("/cgi-bin/search?q=flash&x=1") == ("/cgi-bin/search", "q=flash&x=1")
+
+    def test_without_query(self):
+        assert split_query("/index.html") == ("/index.html", "")
+
+    def test_only_first_question_mark_splits(self):
+        assert split_query("/p?a=1?b=2") == ("/p", "a=1?b=2")
+
+
+class TestNormalizeUri:
+    def test_plain_path_unchanged(self):
+        assert normalize_uri("/a/b/c.html") == "/a/b/c.html"
+
+    def test_dot_segments_resolved(self):
+        assert normalize_uri("/a/b/../c//d.html") == "/a/c/d.html"
+
+    def test_percent_decoding(self):
+        assert normalize_uri("/%7Ebob/") == "/~bob/"
+
+    def test_trailing_slash_preserved(self):
+        assert normalize_uri("/docs/") == "/docs/"
+
+    def test_root(self):
+        assert normalize_uri("/") == "/"
+
+    def test_escape_above_root_rejected(self):
+        with pytest.raises(ForbiddenError):
+            normalize_uri("/../etc/passwd")
+
+    def test_deep_escape_rejected(self):
+        with pytest.raises(ForbiddenError):
+            normalize_uri("/a/../../etc/passwd")
+
+    def test_relative_uri_rejected(self):
+        with pytest.raises(BadRequestError):
+            normalize_uri("index.html")
+
+    def test_nul_byte_rejected(self):
+        with pytest.raises(BadRequestError):
+            normalize_uri("/a%00b")
+
+
+class TestTranslatePath:
+    @pytest.fixture
+    def docroot(self, tmp_path):
+        (tmp_path / "index.html").write_text("<html>root</html>")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "index.html").write_text("<html>sub</html>")
+        (tmp_path / "sub" / "page.txt").write_text("hello")
+        return str(tmp_path)
+
+    def test_plain_file(self, docroot):
+        path = translate_path("/sub/page.txt", docroot)
+        assert path == os.path.join(docroot, "sub", "page.txt")
+
+    def test_directory_resolves_to_index(self, docroot):
+        assert translate_path("/", docroot).endswith("index.html")
+        assert translate_path("/sub/", docroot).endswith(os.path.join("sub", "index.html"))
+
+    def test_missing_file_raises_not_found(self, docroot):
+        with pytest.raises(NotFoundError):
+            translate_path("/nope.html", docroot)
+
+    def test_missing_index_raises_not_found(self, docroot, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(NotFoundError):
+            translate_path("/empty/", docroot)
+
+    def test_escape_rejected(self, docroot):
+        with pytest.raises(ForbiddenError):
+            translate_path("/../secret.txt", docroot)
+
+    def test_user_dir_mapping(self, tmp_path):
+        # The paper's example: /~bob -> /home/users/bob/public_html/index.html
+        public = tmp_path / "home" / "bob" / "public_html"
+        public.mkdir(parents=True)
+        (public / "index.html").write_text("<html>bob</html>")
+        path = translate_path(
+            "/~bob/", str(tmp_path), user_dirs={"bob": str(public)}
+        )
+        assert path == str(public / "index.html")
+
+    def test_unknown_user_dir(self, tmp_path):
+        with pytest.raises(NotFoundError):
+            translate_path("/~alice/", str(tmp_path), user_dirs={"bob": "/x"})
+
+    def test_unreadable_file_raises_forbidden(self, docroot):
+        target = os.path.join(docroot, "sub", "page.txt")
+        os.chmod(target, 0o000)
+        try:
+            if os.access(target, os.R_OK):
+                pytest.skip("running as root: permission bits are not enforced")
+            with pytest.raises(ForbiddenError):
+                translate_path("/sub/page.txt", docroot)
+        finally:
+            os.chmod(target, 0o644)

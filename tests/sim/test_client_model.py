@@ -1,0 +1,93 @@
+"""Unit tests for the simulated closed-loop clients."""
+
+import pytest
+
+from repro.sim.client_model import ClosedLoopClient, start_clients
+from repro.sim.engine import Environment
+from repro.sim.platform import FREEBSD
+from repro.sim.server_models.base import SimServerConfig
+from repro.sim.server_models.sped import SPEDModel
+from repro.workload.synthetic import SingleFileWorkload
+
+KB = 1024
+
+
+def make_server(env, **config_kwargs):
+    config = SimServerConfig(**config_kwargs)
+    server = SPEDModel(env, FREEBSD, config, num_connections=8)
+    server.buffer_cache.warm(SingleFileWorkload(4 * KB).files)
+    return server
+
+
+class TestClosedLoopClient:
+    def test_client_issues_back_to_back_requests(self):
+        env = Environment()
+        server = make_server(env)
+        client = ClosedLoopClient(env, server, SingleFileWorkload(4 * KB), 0, stop_at=0.05)
+        env.run(until=0.05)
+        assert client.requests_issued > 1
+        assert server.metrics.requests >= client.requests_issued - 1
+
+    def test_stop_at_bounds_the_run(self):
+        env = Environment()
+        server = make_server(env)
+        ClosedLoopClient(env, server, SingleFileWorkload(4 * KB), 0, stop_at=0.02)
+        env.run(until=0.1)
+        # No request should complete after the stop time plus one in-flight
+        # request's worth of slack.
+        assert env.peek() == float("inf")
+
+    def test_think_time_reduces_request_rate(self):
+        workload = SingleFileWorkload(4 * KB)
+
+        def run(think_time):
+            env = Environment()
+            server = make_server(env)
+            ClosedLoopClient(env, server, workload, 0, think_time=think_time, stop_at=0.2)
+            env.run(until=0.2)
+            return server.metrics.requests
+
+        assert run(0.01) < run(0.0)
+
+    def test_wan_link_drain_slows_client(self):
+        workload = SingleFileWorkload(32 * KB)
+
+        def run(client_link_bits):
+            env = Environment()
+            server = SPEDModel(
+                env,
+                FREEBSD,
+                SimServerConfig(client_link_bits=client_link_bits),
+                num_connections=4,
+            )
+            server.buffer_cache.warm(workload.files)
+            ClosedLoopClient(env, server, workload, 0, stop_at=0.5)
+            env.run(until=0.5)
+            return server.metrics.requests
+
+        # A 1 Mb/s client link makes each 32 KB response take ~0.26 s to
+        # drain, so far fewer requests complete than with LAN clients.
+        assert run(1_000_000.0) < run(None) / 3
+
+
+class TestStartClients:
+    def test_staggered_start(self):
+        env = Environment()
+        server = make_server(env)
+        start_clients(env, server, SingleFileWorkload(4 * KB), 4, stop_at=0.05, stagger=1e-3)
+        env.run(until=0.05)
+        assert server.metrics.requests > 4
+
+    def test_keep_alive_skips_accept_cost(self):
+        workload = SingleFileWorkload(1 * KB)
+
+        def run(keep_alive):
+            env = Environment()
+            server = make_server(env)
+            start_clients(env, server, workload, 4, keep_alive=keep_alive, stop_at=0.3)
+            env.run(until=0.3)
+            return server.metrics.request_rate
+
+        # Persistent connections avoid the per-request accept cost, so the
+        # sustained rate is strictly higher.
+        assert run(True) > run(False)

@@ -1,0 +1,227 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import Environment, Interrupt, all_of
+
+
+class TestTimeAndTimeouts:
+    def test_time_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(1.5)
+            log.append(env.now)
+            yield env.timeout(0.5)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run_all()
+        assert log == [1.5, 2.0]
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_run_until_stops_at_bound(self):
+        env = Environment()
+        fired = []
+
+        def proc():
+            yield env.timeout(10)
+            fired.append(True)
+
+        env.process(proc())
+        env.run(until=5)
+        assert env.now == 5
+        assert not fired
+        env.run(until=20)
+        assert fired
+
+    def test_run_backwards_rejected(self):
+        env = Environment()
+        env.run(until=5)
+        with pytest.raises(ValueError):
+            env.run(until=1)
+
+    def test_event_ordering_is_fifo_for_same_time(self):
+        env = Environment()
+        order = []
+
+        def proc(name):
+            yield env.timeout(1.0)
+            order.append(name)
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.run_all()
+        assert order == ["a", "b"]
+
+
+class TestProcessInteraction:
+    def test_waiting_on_another_process(self):
+        env = Environment()
+        log = []
+
+        def child():
+            yield env.timeout(2)
+            log.append(("child", env.now))
+            return "result"
+
+        def parent():
+            value = yield env.process(child())
+            log.append(("parent", env.now, value))
+
+        env.process(parent())
+        env.run_all()
+        assert log == [("child", 2), ("parent", 2, "result")]
+
+    def test_waiting_on_completed_process(self):
+        env = Environment()
+        log = []
+
+        def quick():
+            yield env.timeout(1)
+            return 42
+
+        quick_process = env.process(quick())
+
+        def late():
+            yield env.timeout(5)
+            value = yield quick_process
+            log.append((env.now, value))
+
+        env.process(late())
+        env.run_all()
+        assert log == [(5, 42)]
+
+    def test_manual_event_succeed(self):
+        env = Environment()
+        gate = env.event()
+        log = []
+
+        def waiter():
+            value = yield gate
+            log.append((env.now, value))
+
+        def opener():
+            yield env.timeout(3)
+            gate.succeed("open")
+
+        env.process(waiter())
+        env.process(opener())
+        env.run_all()
+        assert log == [(3, "open")]
+
+    def test_event_failure_raises_in_waiter(self):
+        env = Environment()
+        gate = env.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield gate
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        def failer():
+            yield env.timeout(1)
+            gate.fail(RuntimeError("boom"))
+
+        env.process(waiter())
+        env.process(failer())
+        env.run_all()
+        assert caught == ["boom"]
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        gate = env.event()
+        gate.succeed()
+        with pytest.raises(RuntimeError):
+            gate.succeed()
+
+    def test_yielding_non_event_is_an_error(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(TypeError):
+            env.run_all()
+
+
+class TestInterrupts:
+    def test_interrupt_wakes_sleeping_process(self):
+        env = Environment()
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                log.append((env.now, interrupt.cause))
+
+        target = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(2)
+            target.interrupt("wake up")
+
+        env.process(interrupter())
+        env.run_all()
+        assert log == [(2, "wake up")]
+
+    def test_unhandled_interrupt_terminates_process(self):
+        env = Environment()
+
+        def sleeper():
+            yield env.timeout(100)
+
+        target = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(1)
+            target.interrupt()
+
+        env.process(interrupter())
+        env.run_all()
+        assert not target.is_alive
+
+    def test_interrupting_finished_process_is_noop(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1)
+
+        process = env.process(quick())
+        env.run_all()
+        process.interrupt()      # must not raise
+
+
+class TestAllOf:
+    def test_waits_for_every_event(self):
+        env = Environment()
+        log = []
+
+        def slow(duration, value):
+            yield env.timeout(duration)
+            return value
+
+        def parent():
+            values = yield all_of(env, [env.process(slow(2, "a")), env.process(slow(5, "b"))])
+            log.append((env.now, values))
+
+        env.process(parent())
+        env.run_all()
+        assert log == [(5, ["a", "b"])]
+
+    def test_empty_collection_triggers_immediately(self):
+        env = Environment()
+        event = all_of(env, [])
+        assert event.triggered

@@ -1,0 +1,159 @@
+"""Unit tests for simulation resources (FIFO, priority, container)."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.resources import Container, PriorityResource, Resource
+
+
+def hold(env, resource, duration, log, name, priority=0.0):
+    request = resource.request(priority=priority)
+    yield request
+    log.append(("start", name, env.now))
+    try:
+        yield env.timeout(duration)
+    finally:
+        resource.release(request)
+        log.append(("end", name, env.now))
+
+
+class TestResource:
+    def test_capacity_one_serializes(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        log = []
+        env.process(hold(env, resource, 2, log, "a"))
+        env.process(hold(env, resource, 3, log, "b"))
+        env.run_all()
+        assert log == [
+            ("start", "a", 0),
+            ("end", "a", 2),
+            ("start", "b", 2),
+            ("end", "b", 5),
+        ]
+
+    def test_capacity_two_overlaps(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        log = []
+        env.process(hold(env, resource, 2, log, "a"))
+        env.process(hold(env, resource, 2, log, "b"))
+        env.process(hold(env, resource, 2, log, "c"))
+        env.run_all()
+        starts = {name: time for kind, name, time in log if kind == "start"}
+        assert starts["a"] == 0 and starts["b"] == 0
+        assert starts["c"] == 2
+
+    def test_fifo_order(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        log = []
+        for name in ("a", "b", "c"):
+            env.process(hold(env, resource, 1, log, name))
+        env.run_all()
+        start_order = [name for kind, name, _ in log if kind == "start"]
+        assert start_order == ["a", "b", "c"]
+
+    def test_queue_length_and_in_use(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        log = []
+        env.process(hold(env, resource, 5, log, "a"))
+        env.process(hold(env, resource, 5, log, "b"))
+        env.run(until=1)
+        assert resource.in_use == 1
+        assert resource.queue_length == 1
+
+    def test_release_without_hold_rejected(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        request = resource.request()
+        resource.release(request)
+        with pytest.raises(ValueError):
+            resource.release(request)
+
+    def test_utilization(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        log = []
+        env.process(hold(env, resource, 2, log, "a"))
+        env.run_all()
+        env.run(until=4)
+        assert resource.utilization() == pytest.approx(0.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self):
+        env = Environment()
+        resource = PriorityResource(env, capacity=1)
+        log = []
+
+        def submit():
+            # Occupy the resource, then queue large before small: the small
+            # (lower priority value) one must be granted first.
+            yield env.timeout(0)
+            env.process(hold(env, resource, 1, log, "holder"))
+            yield env.timeout(0.1)
+            env.process(hold(env, resource, 1, log, "large", priority=100_000))
+            env.process(hold(env, resource, 1, log, "small", priority=10))
+
+        env.process(submit())
+        env.run_all()
+        start_order = [name for kind, name, _ in log if kind == "start"]
+        assert start_order == ["holder", "small", "large"]
+
+
+class TestContainer:
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        container = Container(env, capacity=100, initial=0)
+        log = []
+
+        def consumer():
+            yield container.get(30)
+            log.append(("got", env.now))
+
+        def producer():
+            yield env.timeout(4)
+            container.put(50)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run_all()
+        assert log == [("got", 4)]
+        assert container.level == 20
+
+    def test_immediate_get_when_available(self):
+        env = Environment()
+        container = Container(env, capacity=100, initial=60)
+        log = []
+
+        def consumer():
+            yield container.get(50)
+            log.append(env.now)
+
+        env.process(consumer())
+        env.run_all()
+        assert log == [0]
+
+    def test_put_clamped_to_capacity(self):
+        env = Environment()
+        container = Container(env, capacity=10, initial=5)
+        container.put(100)
+        assert container.level == 10
+
+    def test_invalid_parameters(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Container(env, capacity=0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=10, initial=20)
+        container = Container(env, capacity=10)
+        with pytest.raises(ValueError):
+            container.put(-1)
+        with pytest.raises(ValueError):
+            container.get(-1)

@@ -1,0 +1,293 @@
+"""Tests for the simulated server architectures and the simulation runner.
+
+These check the *mechanisms* the paper's arguments rest on — what blocks,
+what is replicated, who can keep multiple disk operations outstanding, whose
+footprint grows with what — plus the headline qualitative outcomes of the
+architecture comparison.
+"""
+
+import pytest
+
+from repro.sim.appcache import AppCacheConfig
+from repro.sim.engine import Environment
+from repro.sim.platform import FREEBSD, SOLARIS
+from repro.sim.runner import run_simulation
+from repro.sim.server_models import MODEL_REGISTRY, create_model
+from repro.sim.server_models.amped import AMPEDModel
+from repro.sim.server_models.apache import ApacheModel
+from repro.sim.server_models.base import SimServerConfig
+from repro.sim.server_models.mp import MPModel
+from repro.sim.server_models.mt import MTModel
+from repro.sim.server_models.sped import SPEDModel
+from repro.sim.server_models.zeus import ZeusModel
+from repro.workload.synthetic import SingleFileWorkload
+from repro.workload.traces import ECE_TRACE, TraceWorkload
+
+KB = 1024
+MB = 1024 * 1024
+
+
+class TestRegistry:
+    def test_all_paper_architectures_present(self):
+        assert {"flash", "sped", "mp", "mt", "apache", "zeus"} <= set(MODEL_REGISTRY)
+
+    def test_create_model(self):
+        env = Environment()
+        model = create_model("flash", env, FREEBSD)
+        assert isinstance(model, AMPEDModel)
+        with pytest.raises(ValueError):
+            create_model("iis", env, FREEBSD)
+
+
+class TestMemoryFootprints:
+    """Section 4.1 'Memory effects': footprint ordering by architecture."""
+
+    def make(self, cls, **kwargs):
+        return cls(Environment(), FREEBSD, SimServerConfig(**kwargs), num_connections=64)
+
+    def test_sped_smallest(self):
+        sped = self.make(SPEDModel)
+        mp = self.make(MPModel)
+        mt = self.make(MTModel)
+        amped = self.make(AMPEDModel)
+        assert sped.memory_footprint() < mt.memory_footprint() < mp.memory_footprint()
+        assert sped.memory_footprint() <= amped.memory_footprint()
+
+    def test_amped_footprint_scales_with_helpers_not_connections(self):
+        few = AMPEDModel(Environment(), FREEBSD, SimServerConfig(num_helpers=2), num_connections=64)
+        many = AMPEDModel(Environment(), FREEBSD, SimServerConfig(num_helpers=16), num_connections=64)
+        assert many.memory_footprint() > few.memory_footprint()
+        delta = many.memory_footprint() - few.memory_footprint()
+        assert delta == 14 * FREEBSD.per_helper_memory
+
+    def test_mp_footprint_grows_with_connections_when_persistent(self):
+        pooled = MPModel(
+            Environment(), FREEBSD, SimServerConfig(persistent_connections=False), num_connections=500
+        )
+        per_connection = MPModel(
+            Environment(), FREEBSD, SimServerConfig(persistent_connections=True), num_connections=500
+        )
+        assert per_connection.memory_footprint() > pooled.memory_footprint()
+        assert per_connection.effective_processes == 500
+
+    def test_larger_footprint_means_smaller_buffer_cache(self):
+        sped = self.make(SPEDModel)
+        mp = self.make(MPModel)
+        assert sped.buffer_cache.capacity_bytes > mp.buffer_cache.capacity_bytes
+
+    def test_apache_processes_bigger_than_flash_mp(self):
+        mp = self.make(MPModel)
+        apache = self.make(ApacheModel)
+        assert apache.memory_footprint() > mp.memory_footprint()
+
+
+class TestArchitectureMechanisms:
+    def test_mp_uses_replicated_per_process_caches(self):
+        mp = MPModel(Environment(), FREEBSD, SimServerConfig(num_workers=8), num_connections=16)
+        assert isinstance(mp._app_caches, list)
+        assert len(mp._app_caches) == 8
+
+    def test_event_driven_models_share_one_cache(self):
+        for cls in (SPEDModel, AMPEDModel, MTModel):
+            model = cls(Environment(), FREEBSD, SimServerConfig(), num_connections=16)
+            assert not isinstance(model._app_caches, list)
+
+    def test_amped_pays_residency_check(self):
+        amped = AMPEDModel(Environment(), FREEBSD, SimServerConfig(), num_connections=16)
+        sped = SPEDModel(Environment(), FREEBSD, SimServerConfig(), num_connections=16)
+        assert amped.config.residency_check
+        assert not sped.config.residency_check
+
+    def test_worker_pools_only_for_mp_mt(self):
+        assert MPModel(Environment(), FREEBSD, num_connections=8).workers is not None
+        assert MTModel(Environment(), FREEBSD, num_connections=8).workers is not None
+        assert SPEDModel(Environment(), FREEBSD, num_connections=8).workers is None
+        assert AMPEDModel(Environment(), FREEBSD, num_connections=8).workers is None
+
+    def test_zeus_headers_unaligned_for_six_digit_lengths(self):
+        zeus = ZeusModel(Environment(), FREEBSD, num_connections=8)
+        assert zeus._response_aligned(50 * KB)          # five digits: aligned
+        assert not zeus._response_aligned(150 * KB)     # six digits: misaligned
+
+    def test_sped_disk_read_blocks_the_cpu(self):
+        """While SPED reads from disk nothing else can use the CPU."""
+        env = Environment()
+        sped = SPEDModel(env, FREEBSD, SimServerConfig(), num_connections=4)
+        order = []
+
+        def disk_request():
+            yield from sped.disk_read(64 * KB)
+            order.append(("disk-done", env.now))
+
+        def cpu_request():
+            yield env.timeout(1e-4)             # arrives while the read runs
+            yield from sped.use_cpu(1e-4)
+            order.append(("cpu-done", env.now))
+
+        env.process(disk_request())
+        env.process(cpu_request())
+        env.run_all()
+        assert order[0][0] == "disk-done"
+        assert order[1][1] > order[0][1]
+
+    def test_amped_disk_read_leaves_cpu_available(self):
+        """An AMPED helper absorbs the disk wait; the main loop keeps running."""
+        env = Environment()
+        amped = AMPEDModel(env, FREEBSD, SimServerConfig(num_helpers=2), num_connections=4)
+        order = []
+
+        def disk_request():
+            yield from amped.disk_read(64 * KB)
+            order.append(("disk-done", env.now))
+
+        def cpu_request():
+            yield env.timeout(1e-4)
+            yield from amped.use_cpu(1e-4)
+            order.append(("cpu-done", env.now))
+
+        env.process(disk_request())
+        env.process(cpu_request())
+        env.run_all()
+        assert order[0][0] == "cpu-done"
+
+    def test_amped_disk_concurrency_bounded_by_helpers(self):
+        env = Environment()
+        amped = AMPEDModel(env, FREEBSD, SimServerConfig(num_helpers=2), num_connections=8)
+
+        def disk_request():
+            yield from amped.disk_read(16 * KB)
+
+        for _ in range(6):
+            env.process(disk_request())
+        env.run(until=0.001)
+        # At most num_helpers disk operations can be in flight or queued at
+        # the disk; the rest wait for a helper.
+        assert amped.disk.queue_depth <= 2
+        env.run_all()
+        assert amped.helper_dispatches == 6
+
+
+class TestHandleRequestLifecycle:
+    def test_cached_request_completes_without_disk(self):
+        env = Environment()
+        model = AMPEDModel(env, FREEBSD, SimServerConfig(), num_connections=4)
+        model.buffer_cache.warm([("f", 10 * KB)])
+        results = []
+
+        def client():
+            outcome = yield from model.handle_request(0, "f", 10 * KB)
+            results.append(outcome)
+
+        env.process(client())
+        env.run_all()
+        (wire_bytes, from_disk), = results
+        assert not from_disk
+        assert wire_bytes > 10 * KB
+        assert model.metrics.requests == 1
+        assert model.disk.reads == 0
+
+    def test_uncached_request_reads_disk(self):
+        env = Environment()
+        model = AMPEDModel(env, FREEBSD, SimServerConfig(), num_connections=4)
+        results = []
+
+        def client():
+            outcome = yield from model.handle_request(0, "cold", 10 * KB)
+            results.append(outcome)
+
+        env.process(client())
+        env.run_all()
+        assert results[0][1] is True
+        assert model.disk.reads == 1
+
+    def test_zeus_small_documents_admitted_first(self):
+        env = Environment()
+        zeus = ZeusModel(env, SOLARIS, num_connections=8)
+        zeus.buffer_cache.warm([("small", 1 * KB), ("large", 100 * KB)])
+        completions = []
+
+        def client(name, size, delay):
+            yield env.timeout(delay)
+            yield from zeus.handle_request(0, name, size)
+            completions.append(name)
+
+        # Saturate the CPU with a large request, then queue another large and
+        # a small one; the small one must complete first.
+        env.process(client("large", 100 * KB, 0.0))
+        env.process(client("large", 100 * KB, 1e-5))
+        env.process(client("small", 1 * KB, 2e-5))
+        env.run_all()
+        assert completions.index("small") < 2
+
+
+class TestRunSimulation:
+    def test_result_fields(self):
+        result = run_simulation(
+            "flash", SingleFileWorkload(6 * KB), platform="freebsd",
+            num_clients=8, duration=0.5, warmup=0.1,
+        )
+        assert result.architecture == "amped"
+        assert result.platform == "freebsd"
+        assert result.requests > 0
+        assert result.bandwidth_mbps > 0
+        assert 0 <= result.buffer_cache_hit_rate <= 1
+        assert "helper_dispatches" in result.extra
+        assert result.to_dict()["num_clients"] == 8
+
+    def test_deterministic(self):
+        kwargs = dict(platform="freebsd", num_clients=8, duration=0.5, warmup=0.1)
+        a = run_simulation("mp", SingleFileWorkload(4 * KB), **kwargs)
+        b = run_simulation("mp", SingleFileWorkload(4 * KB), **kwargs)
+        assert a.bandwidth_mbps == b.bandwidth_mbps
+        assert a.requests == b.requests
+
+    def test_platform_object_accepted(self):
+        result = run_simulation(
+            "sped", SingleFileWorkload(4 * KB), platform=FREEBSD,
+            num_clients=4, duration=0.3, warmup=0.1,
+        )
+        assert result.platform == "freebsd"
+
+    def test_app_cache_override(self):
+        cached = run_simulation(
+            "flash", SingleFileWorkload(1 * KB), platform="freebsd",
+            num_clients=16, duration=0.5, warmup=0.1,
+        )
+        uncached = run_simulation(
+            "flash", SingleFileWorkload(1 * KB), platform="freebsd",
+            num_clients=16, duration=0.5, warmup=0.1,
+            app_caches=AppCacheConfig().disabled(),
+        )
+        assert uncached.request_rate < cached.request_rate
+
+
+class TestQualitativeOutcomes:
+    """The headline claims of the architecture comparison, in miniature."""
+
+    def test_cached_workload_architectures_comparable(self):
+        """On a trivially cached workload architecture matters little; Apache
+        trails because it lacks the aggressive optimizations."""
+        results = {
+            name: run_simulation(
+                name, SingleFileWorkload(6 * KB), platform="freebsd",
+                num_clients=32, duration=1.0, warmup=0.3,
+            ).bandwidth_mbps
+            for name in ("flash", "sped", "mp", "mt", "apache")
+        }
+        flash_family = [results[n] for n in ("flash", "sped", "mp", "mt")]
+        assert max(flash_family) / min(flash_family) < 1.35
+        assert results["apache"] < 0.7 * results["flash"]
+
+    def test_sped_collapses_on_disk_bound_workload(self):
+        workload = TraceWorkload(ECE_TRACE)
+        kwargs = dict(platform="freebsd", num_clients=32, duration=1.5, warmup=0.5)
+        flash = run_simulation("flash", workload, **kwargs)
+        sped = run_simulation("sped", workload, **kwargs)
+        assert flash.bandwidth_mbps > 1.4 * sped.bandwidth_mbps
+
+    def test_solaris_slower_than_freebsd(self):
+        workload = SingleFileWorkload(6 * KB)
+        kwargs = dict(num_clients=32, duration=1.0, warmup=0.3)
+        freebsd = run_simulation("flash", workload, platform="freebsd", **kwargs)
+        solaris = run_simulation("flash", workload, platform="solaris", **kwargs)
+        assert solaris.request_rate < freebsd.request_rate

@@ -1,0 +1,258 @@
+"""Unit tests for the simulation substrate: disk, buffer cache, network,
+application caches, metrics and platform profiles."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.appcache import AppCacheConfig, SimulatedAppCaches
+from repro.sim.buffer_cache import BufferCacheModel
+from repro.sim.disk import DiskModel
+from repro.sim.engine import Environment
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import NetworkModel
+from repro.sim.platform import FREEBSD, SOLARIS, PlatformProfile, get_platform
+
+MB = 1024 * 1024
+
+
+class TestPlatformProfiles:
+    def test_lookup_by_name(self):
+        assert get_platform("freebsd") is FREEBSD
+        assert get_platform("SOLARIS") is SOLARIS
+        with pytest.raises(ValueError):
+            get_platform("windows-nt")
+
+    def test_solaris_slower_than_freebsd(self):
+        """The paper: Solaris results are up to ~50% lower on the same hardware."""
+        assert SOLARIS.cost_parse > FREEBSD.cost_parse
+        assert SOLARIS.cost_send_per_byte > FREEBSD.cost_send_per_byte
+        assert SOLARIS.cost_pathname_miss > FREEBSD.cost_pathname_miss
+
+    def test_send_cpu_time_scales_with_size(self):
+        small = FREEBSD.send_cpu_time(1_000)
+        large = FREEBSD.send_cpu_time(100_000)
+        assert large > small
+
+    def test_misaligned_copy_costs_more(self):
+        aligned = FREEBSD.send_cpu_time(100_000, aligned=True)
+        misaligned = FREEBSD.send_cpu_time(100_000, aligned=False)
+        assert misaligned > aligned
+
+    def test_disk_time_components(self):
+        single = FREEBSD.disk_time(64 * 1024, queue_depth=1)
+        assert single >= FREEBSD.disk_seek_time
+
+    def test_disk_scheduling_gain_with_queue_depth(self):
+        """Deeper queues reduce positioning time, but the gain saturates."""
+        d1 = FREEBSD.disk_time(8192, queue_depth=1)
+        d4 = FREEBSD.disk_time(8192, queue_depth=4)
+        d8 = FREEBSD.disk_time(8192, queue_depth=8)
+        d64 = FREEBSD.disk_time(8192, queue_depth=64)
+        assert d1 > d4 > d8
+        assert d8 == pytest.approx(d64)
+
+    def test_nic_time(self):
+        assert FREEBSD.nic_time(FREEBSD.nic_bandwidth_bits / 8) == pytest.approx(1.0)
+
+    def test_scaled_override(self):
+        custom = FREEBSD.scaled(disk_seek_time=0.001)
+        assert custom.disk_seek_time == 0.001
+        assert FREEBSD.disk_seek_time != 0.001
+
+
+class TestDiskModel:
+    def test_read_takes_service_time_and_counts(self):
+        env = Environment()
+        disk = DiskModel(env, FREEBSD)
+
+        def reader():
+            yield from disk.read(64 * 1024)
+
+        env.process(reader())
+        env.run_all()
+        assert disk.reads == 1
+        assert disk.bytes_read == 64 * 1024
+        assert env.now == pytest.approx(FREEBSD.disk_time(64 * 1024, queue_depth=1))
+
+    def test_reads_serialize_on_one_disk(self):
+        env = Environment()
+        disk = DiskModel(env, FREEBSD)
+        completion_times = []
+
+        def reader():
+            yield from disk.read(16 * 1024)
+            completion_times.append(env.now)
+
+        env.process(reader())
+        env.process(reader())
+        env.run_all()
+        assert len(completion_times) == 2
+        assert completion_times[1] > completion_times[0]
+        assert disk.utilization() == pytest.approx(1.0, rel=0.01)
+
+
+class TestBufferCacheModel:
+    def test_miss_then_hit(self):
+        cache = BufferCacheModel(1 * MB)
+        assert cache.access("f", 1000) == 1000
+        assert cache.access("f", 1000) == 0
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_under_pressure(self):
+        cache = BufferCacheModel(10_000)
+        cache.access("a", 6000)
+        cache.access("b", 6000)        # evicts a
+        assert cache.access("a", 6000) == 6000
+
+    def test_file_larger_than_cache_never_cached(self):
+        cache = BufferCacheModel(1000)
+        cache.access("huge", 5000)
+        assert cache.access("huge", 5000) == 5000
+
+    def test_warm_preloads(self):
+        cache = BufferCacheModel(1 * MB)
+        cache.warm([("a", 1000), ("b", 2000)])
+        assert cache.access("a", 1000) == 0
+        assert cache.cached_bytes >= 3000
+
+    def test_resize_evicts(self):
+        cache = BufferCacheModel(10_000)
+        cache.warm([("a", 4000), ("b", 4000)])
+        cache.resize(4000)
+        assert cache.cached_bytes <= 4000
+
+    def test_zero_size_access_is_hit(self):
+        cache = BufferCacheModel(100)
+        assert cache.access("empty", 0) == 0
+
+    def test_clear_resets(self):
+        cache = BufferCacheModel(1 * MB)
+        cache.access("a", 10)
+        cache.clear()
+        assert cache.hits == 0 and cache.misses == 0 and cache.cached_bytes == 0
+
+    @given(
+        accesses=st.lists(
+            st.tuples(st.integers(0, 10), st.integers(1, 5000)), min_size=1, max_size=300
+        ),
+        capacity=st.integers(min_value=1000, max_value=20000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cached_bytes_never_exceed_capacity(self, accesses, capacity):
+        cache = BufferCacheModel(capacity)
+        for file_id, size in accesses:
+            missing = cache.access(file_id, size)
+            assert missing in (0, size)
+            assert cache.cached_bytes <= capacity
+
+
+class TestNetworkModel:
+    def test_transmissions_serialize_at_nic_rate(self):
+        env = Environment()
+        network = NetworkModel(env, FREEBSD)
+        size = int(FREEBSD.nic_bandwidth_bits / 8 / 10)      # 0.1 s of wire time
+
+        def sender():
+            yield from network.transmit(size)
+
+        env.process(sender())
+        env.process(sender())
+        env.run_all()
+        assert env.now == pytest.approx(0.2, rel=0.01)
+        assert network.bytes_transmitted == 2 * size
+
+    def test_client_drain_time_lan_is_zero(self):
+        env = Environment()
+        network = NetworkModel(env, FREEBSD)
+        assert network.client_drain_time(100_000) == 0.0
+
+    def test_client_drain_time_wan(self):
+        env = Environment()
+        network = NetworkModel(env, FREEBSD, client_link_bits=56_000)
+        assert network.client_drain_time(7_000) == pytest.approx(1.0)
+
+    def test_zero_bytes_transmit_immediately(self):
+        env = Environment()
+        network = NetworkModel(env, FREEBSD)
+
+        def sender():
+            yield from network.transmit(0)
+
+        env.process(sender())
+        env.run_all()
+        assert env.now == 0.0
+
+
+class TestSimulatedAppCaches:
+    def test_hits_after_first_access(self):
+        caches = SimulatedAppCaches(AppCacheConfig())
+        first = caches.lookup("f", 1000)
+        second = caches.lookup("f", 1000)
+        assert not first.pathname_hit and not first.mmap_hit and not first.header_hit
+        assert second.pathname_hit and second.mmap_hit and second.header_hit
+
+    def test_disabled_caches_never_hit(self):
+        caches = SimulatedAppCaches(AppCacheConfig().disabled())
+        caches.lookup("f", 1000)
+        outcome = caches.lookup("f", 1000)
+        assert not (outcome.pathname_hit or outcome.mmap_hit or outcome.header_hit)
+
+    def test_mmap_cache_byte_bound(self):
+        config = AppCacheConfig(mmap_bytes=10_000)
+        caches = SimulatedAppCaches(config)
+        caches.lookup("a", 8_000)
+        caches.lookup("b", 8_000)          # evicts a from the mmap cache
+        outcome = caches.lookup("a", 8_000)
+        assert outcome.pathname_hit        # entry caches are big enough
+        assert not outcome.mmap_hit
+
+    def test_per_process_scaling(self):
+        base = AppCacheConfig()
+        per_process = base.per_process(32)
+        assert per_process.pathname_entries == 600
+        assert per_process.mmap_bytes == 4 * 1024 * 1024
+        with pytest.raises(ValueError):
+            base.per_process(0)
+
+    def test_stats_reporting(self):
+        caches = SimulatedAppCaches(AppCacheConfig())
+        caches.lookup("f", 10)
+        caches.lookup("f", 10)
+        stats = caches.stats()
+        assert stats["pathname"]["hits"] == 1
+        assert stats["pathname"]["misses"] == 1
+
+
+class TestMetricsCollector:
+    def test_warmup_excluded(self):
+        metrics = MetricsCollector(measure_from=1.0)
+        metrics.record(0.5, 1000, 0.01)
+        metrics.record(1.5, 1000, 0.01)
+        assert metrics.requests == 1
+        assert metrics.bytes_sent == 1000
+
+    def test_bandwidth_and_rate(self):
+        metrics = MetricsCollector(measure_from=0.0)
+        metrics.record(1.0, 500_000, 0.02)
+        metrics.record(2.0, 500_000, 0.04)
+        assert metrics.bandwidth_mbps == pytest.approx(4.0)
+        assert metrics.request_rate == pytest.approx(1.0)
+        assert metrics.mean_response_time == pytest.approx(0.03)
+
+    def test_errors_counted_separately(self):
+        metrics = MetricsCollector()
+        metrics.record(1.0, 0, 0.0, error=True)
+        assert metrics.errors == 1
+        assert metrics.requests == 0
+
+    def test_disk_reads_tracked(self):
+        metrics = MetricsCollector()
+        metrics.record(1.0, 100, 0.1, from_disk=True)
+        metrics.record(2.0, 100, 0.1, from_disk=False)
+        assert metrics.disk_reads == 1
+
+    def test_empty_collector_safe(self):
+        metrics = MetricsCollector()
+        assert metrics.bandwidth_mbps == 0.0
+        assert metrics.mean_response_time == 0.0
+        assert metrics.to_dict()["requests"] == 0

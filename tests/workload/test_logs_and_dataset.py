@@ -1,0 +1,115 @@
+"""Unit tests for access-log parsing/replay and on-disk catalog materialization."""
+
+import os
+
+import pytest
+
+from repro.workload.dataset import materialize_catalog
+from repro.workload.logs import (
+    LogEntry,
+    dataset_of,
+    parse_common_log,
+    parse_common_log_line,
+    replay_requests,
+    truncate_to_dataset,
+    write_common_log,
+)
+from repro.workload.traces import ECE_TRACE, TraceWorkload
+
+SAMPLE_LINES = [
+    '192.168.1.5 - - [10/Oct/1998:13:55:36 -0600] "GET /index.html HTTP/1.0" 200 2326',
+    'proxy.rice.edu - frank [10/Oct/1998:13:55:38 -0600] "GET /~bob/pic.gif HTTP/1.0" 200 14512',
+    'bad line that is not CLF at all',
+    '10.0.0.9 - - [10/Oct/1998:13:56:00 -0600] "POST /cgi-bin/form HTTP/1.0" 200 512',
+    '10.0.0.9 - - [10/Oct/1998:13:56:10 -0600] "GET /missing.html HTTP/1.0" 404 -',
+    '10.0.0.2 - - [10/Oct/1998:13:57:00 -0600] "GET /index.html HTTP/1.0" 200 2326',
+]
+
+
+class TestCommonLogParsing:
+    def test_parse_single_line(self):
+        entry = parse_common_log_line(SAMPLE_LINES[0])
+        assert entry == LogEntry(
+            host="192.168.1.5",
+            timestamp="10/Oct/1998:13:55:36 -0600",
+            method="GET",
+            path="/index.html",
+            protocol="HTTP/1.0",
+            status=200,
+            size=2326,
+        )
+        assert entry.ok
+
+    def test_malformed_line_returns_none(self):
+        assert parse_common_log_line(SAMPLE_LINES[2]) is None
+
+    def test_dash_size_is_zero(self):
+        entry = parse_common_log_line(SAMPLE_LINES[4])
+        assert entry.size == 0
+        assert not entry.ok
+
+    def test_parse_stream_skips_garbage_and_blanks(self):
+        entries = list(parse_common_log(SAMPLE_LINES + ["", "   "]))
+        assert len(entries) == 5
+
+    def test_round_trip_through_writer(self):
+        entries = list(parse_common_log(SAMPLE_LINES))
+        lines = list(write_common_log(entries))
+        reparsed = list(parse_common_log(lines))
+        assert reparsed == entries
+
+
+class TestReplay:
+    def test_replay_filters_to_successful_gets(self):
+        entries = parse_common_log(SAMPLE_LINES)
+        stream = replay_requests(entries)
+        assert stream == [
+            ("/index.html", 2326),
+            ("/~bob/pic.gif", 14512),
+            ("/index.html", 2326),
+        ]
+
+    def test_replay_can_include_posts(self):
+        entries = parse_common_log(SAMPLE_LINES)
+        stream = replay_requests(entries, methods=("GET", "POST"))
+        assert ("/cgi-bin/form", 512) in stream
+
+    def test_dataset_of_counts_distinct_paths(self):
+        stream = [("/a", 10), ("/b", 20), ("/a", 10)]
+        assert dataset_of(stream) == 30
+
+    def test_truncate_to_dataset(self):
+        stream = [("/a", 10), ("/b", 20), ("/a", 10), ("/c", 50), ("/b", 20)]
+        truncated = truncate_to_dataset(stream, 30)
+        assert dataset_of(truncated) <= 30
+        assert ("/c", 50) not in truncated
+        # Repeats of already-admitted paths are kept.
+        assert truncated.count(("/a", 10)) == 2
+
+
+class TestMaterializeCatalog:
+    def test_files_created_with_exact_sizes(self, tmp_path):
+        files = [("site/a.html", 100), ("site/img/b.gif", 2048), ("c.txt", 0)]
+        paths = materialize_catalog(str(tmp_path), files)
+        assert paths == ["/site/a.html", "/site/img/b.gif", "/c.txt"]
+        assert os.path.getsize(tmp_path / "site" / "a.html") == 100
+        assert os.path.getsize(tmp_path / "site" / "img" / "b.gif") == 2048
+        assert os.path.getsize(tmp_path / "c.txt") == 0
+
+    def test_content_deterministic(self, tmp_path):
+        materialize_catalog(str(tmp_path / "one"), [("f.bin", 500)], seed=3)
+        materialize_catalog(str(tmp_path / "two"), [("f.bin", 500)], seed=3)
+        with open(tmp_path / "one" / "f.bin", "rb") as a, open(tmp_path / "two" / "f.bin", "rb") as b:
+            assert a.read() == b.read()
+
+    def test_total_budget_cap(self, tmp_path):
+        files = [(f"f{i}.bin", 1000) for i in range(10)]
+        created = materialize_catalog(str(tmp_path), files, max_total_bytes=3500)
+        assert len(created) == 3
+
+    def test_trace_workload_round_trip(self, tmp_path):
+        """A truncated trace catalog can be materialized and referenced by path."""
+        workload = TraceWorkload(ECE_TRACE.scaled_to_dataset(2 * 1024 * 1024))
+        created = materialize_catalog(str(tmp_path), workload.files[:20])
+        for path in created:
+            assert os.path.isfile(os.path.join(str(tmp_path), path.lstrip("/")))

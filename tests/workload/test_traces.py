@@ -1,0 +1,97 @@
+"""Unit tests for synthetic trace workloads and the single-file workload."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.synthetic import SingleFileWorkload
+from repro.workload.traces import CS_TRACE, ECE_TRACE, OWLNET_TRACE, TraceSpec, TraceWorkload
+
+MB = 1024 * 1024
+
+
+class TestSingleFileWorkload:
+    def test_catalog_and_requests(self):
+        workload = SingleFileWorkload(8192)
+        assert workload.files == [("single-file", 8192)]
+        assert workload.dataset_size == 8192
+        assert workload.next_request(0) == ("single-file", 8192)
+        assert workload.next_request(5) == ("single-file", 8192)
+        assert workload.request_path() == "/single-file.bin"
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SingleFileWorkload(-1)
+
+
+class TestTraceSpecs:
+    def test_paper_presets_have_expected_relationships(self):
+        # CS: larger data set and larger transfers than Owlnet.
+        assert CS_TRACE.dataset_bytes > OWLNET_TRACE.dataset_bytes
+        assert CS_TRACE.mean_file_size > OWLNET_TRACE.mean_file_size
+        # ECE is the truncatable 150 MB sweep base.
+        assert ECE_TRACE.dataset_bytes == 150 * MB
+
+    def test_scaled_to_dataset(self):
+        scaled = ECE_TRACE.scaled_to_dataset(30 * MB)
+        assert scaled.dataset_bytes == 30 * MB
+        assert scaled.num_files < ECE_TRACE.num_files
+        assert scaled.name.endswith("30MB")
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            ECE_TRACE.scaled_to_dataset(0)
+
+
+class TestTraceWorkload:
+    def test_dataset_size_close_to_spec(self):
+        workload = TraceWorkload(ECE_TRACE.scaled_to_dataset(30 * MB))
+        assert workload.dataset_size == pytest.approx(30 * MB, rel=0.05)
+
+    def test_catalog_deterministic(self):
+        a = TraceWorkload(OWLNET_TRACE)
+        b = TraceWorkload(OWLNET_TRACE)
+        assert a.files == b.files
+
+    def test_request_stream_deterministic_per_client(self):
+        a = TraceWorkload(ECE_TRACE).request_stream(50, client_id=3)
+        b = TraceWorkload(ECE_TRACE).request_stream(50, client_id=3)
+        c = TraceWorkload(ECE_TRACE).request_stream(50, client_id=4)
+        assert a == b
+        assert a != c
+
+    def test_requests_reference_catalog_files(self):
+        workload = TraceWorkload(ECE_TRACE.scaled_to_dataset(15 * MB))
+        catalog = dict(workload.files)
+        for file_id, size in workload.request_stream(200, client_id=0):
+            assert catalog[file_id] == size
+
+    def test_popularity_skew(self):
+        """A small fraction of files should attract most requests."""
+        workload = TraceWorkload(ECE_TRACE)
+        stream = workload.request_stream(3000, client_id=0)
+        distinct = {file_id for file_id, _ in stream}
+        assert len(distinct) < len(workload.files) / 2
+
+    def test_hottest_files_fit_budget(self):
+        workload = TraceWorkload(ECE_TRACE)
+        budget = 10 * MB
+        hottest = workload.hottest_files(budget)
+        assert sum(size for _, size in hottest) <= budget
+        assert hottest                                  # non-empty
+
+    def test_mean_transfer_size_positive(self):
+        workload = TraceWorkload(OWLNET_TRACE)
+        assert 0 < workload.mean_transfer_size < workload.dataset_size
+
+    def test_request_paths_for_functional_layer(self):
+        workload = TraceWorkload(ECE_TRACE.scaled_to_dataset(15 * MB))
+        paths = workload.request_paths(10)
+        assert all(path.startswith("/") for path in paths)
+
+    @given(dataset_mb=st.integers(min_value=15, max_value=200))
+    @settings(max_examples=10, deadline=None)
+    def test_any_truncation_produces_consistent_catalog(self, dataset_mb):
+        spec = ECE_TRACE.scaled_to_dataset(dataset_mb * MB)
+        workload = TraceWorkload(spec)
+        assert workload.dataset_size == pytest.approx(dataset_mb * MB, rel=0.1)
+        assert all(size >= 64 for _, size in workload.files)

@@ -1,0 +1,91 @@
+"""Unit and property-based tests for Zipf popularity sampling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.zipf import ZipfSampler, interleave
+
+
+class TestZipfSampler:
+    def test_ranks_within_range(self):
+        sampler = ZipfSampler(100, alpha=0.9, seed=1)
+        samples = sampler.sample_many(1000)
+        assert all(0 <= rank < 100 for rank in samples)
+
+    def test_deterministic_given_seed(self):
+        a = ZipfSampler(50, alpha=0.8, seed=7).sample_many(200)
+        b = ZipfSampler(50, alpha=0.8, seed=7).sample_many(200)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = ZipfSampler(50, alpha=0.8, seed=7).sample_many(200)
+        b = ZipfSampler(50, alpha=0.8, seed=8).sample_many(200)
+        assert a != b
+
+    def test_skew_prefers_low_ranks(self):
+        sampler = ZipfSampler(1000, alpha=1.0, seed=3)
+        samples = sampler.sample_many(5000)
+        top_ten = sum(1 for rank in samples if rank < 10)
+        assert top_ten > 1500     # with alpha=1, top-10 of 1000 carries ~39% of mass
+
+    def test_alpha_zero_is_roughly_uniform(self):
+        sampler = ZipfSampler(10, alpha=0.0, seed=3)
+        samples = sampler.sample_many(5000)
+        counts = [samples.count(rank) for rank in range(10)]
+        assert max(counts) < 2 * min(counts)
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(200, alpha=0.9)
+        total = sum(sampler.probability(rank) for rank in range(200))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_probability_monotonically_decreasing(self):
+        sampler = ZipfSampler(50, alpha=0.7)
+        probabilities = [sampler.probability(rank) for rank in range(50)]
+        assert all(a >= b - 1e-12 for a, b in zip(probabilities, probabilities[1:]))
+
+    def test_expected_hit_rate(self):
+        sampler = ZipfSampler(100, alpha=0.9)
+        assert sampler.expected_hit_rate(0) == 0.0
+        assert sampler.expected_hit_rate(100) == pytest.approx(1.0)
+        assert 0 < sampler.expected_hit_rate(10) < 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, alpha=-1)
+        with pytest.raises(IndexError):
+            ZipfSampler(10).probability(10)
+
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        alpha=st.floats(min_value=0.0, max_value=1.5),
+        count=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_samples_always_valid(self, n, alpha, count):
+        sampler = ZipfSampler(n, alpha=alpha, seed=11)
+        for rank in sampler.sample_many(count):
+            assert 0 <= rank < n
+
+    @given(n=st.integers(min_value=2, max_value=300), alpha=st.floats(0.1, 1.2))
+    @settings(max_examples=50, deadline=None)
+    def test_hit_rate_monotone_in_cache_size(self, n, alpha):
+        sampler = ZipfSampler(n, alpha=alpha)
+        rates = [sampler.expected_hit_rate(k) for k in range(n + 1)]
+        assert all(b >= a - 1e-12 for a, b in zip(rates, rates[1:]))
+
+
+class TestInterleave:
+    def test_preserves_per_sequence_order(self):
+        a = [1, 2, 3]
+        b = [10, 20]
+        merged = interleave([a, b], seed=4)
+        assert [x for x in merged if x < 10] == a
+        assert [x for x in merged if x >= 10] == b
+        assert len(merged) == 5
+
+    def test_empty_sequences_ok(self):
+        assert interleave([[], [1]], seed=1) == [1]
+        assert interleave([[], []], seed=1) == []
