@@ -96,6 +96,133 @@ class MappedChunk:
         return self._closed
 
 
+@dataclass
+class CachedFD:
+    """One cached open file descriptor handed to in-flight responses.
+
+    The descriptor is owned by :class:`FileDescriptorCache`; holders pin it
+    by acquisition refcount and must release it when the response finishes.
+    ``orphaned`` marks descriptors whose cache entry was invalidated while
+    still pinned: they are closed on final release instead of being reused.
+    """
+
+    path: str
+    fd: int
+    refcount: int = 0
+    orphaned: bool = field(default=False, repr=False)
+    closed: bool = field(default=False, repr=False)
+
+
+class FileDescriptorCache:
+    """Cache of open file descriptors for the zero-copy (sendfile) path.
+
+    The paper's copy-avoidance argument extends naturally past ``mmap``:
+    with ``sendfile`` the response body never enters user space, but a
+    naive implementation pays an ``open``/``close`` pair per request.  This
+    cache keeps descriptors of recently served files open — the
+    filesystem-level analogue of the mapped-file cache — so a cache-hot
+    request performs *no* name lookup, no open and no copy.
+
+    Descriptors are reference counted exactly like mapped chunks: while a
+    response is transmitting from a descriptor it cannot be closed; idle
+    descriptors park on an LRU list bounded by ``max_entries``.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        self.max_entries = max_entries
+        self._entries: dict[str, CachedFD] = {}
+        self._free_list: LRUList[str] = LRUList()
+        self.hits = 0
+        self.misses = 0
+        self.open_operations = 0
+        self.close_operations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of acquisitions that reused an already open descriptor."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def acquire(self, path: str) -> CachedFD:
+        """Pin and return an open descriptor for ``path``, opening if needed.
+
+        Propagates ``OSError`` when the file cannot be opened; the caller
+        is expected to fall back to the buffered path in that case.
+        """
+        entry = self._entries.get(path)
+        if entry is not None:
+            self.hits += 1
+            if entry.refcount == 0:
+                self._free_list.discard(path)
+            entry.refcount += 1
+            return entry
+        self.misses += 1
+        fd = os.open(path, os.O_RDONLY)
+        self.open_operations += 1
+        entry = CachedFD(path=path, fd=fd, refcount=1)
+        self._entries[path] = entry
+        self._evict_to_limit()
+        return entry
+
+    def release(self, entry: CachedFD) -> None:
+        """Unpin ``entry``; idle descriptors stay cached on the LRU list."""
+        if entry.refcount <= 0:
+            raise ValueError(f"release of unpinned descriptor for {entry.path}")
+        entry.refcount -= 1
+        if entry.refcount > 0:
+            return
+        if entry.orphaned or self._entries.get(entry.path) is not entry:
+            self._close(entry)
+            return
+        self._free_list.touch(entry.path)
+        self._evict_to_limit()
+
+    def invalidate(self, path: str) -> None:
+        """Drop the cached descriptor for ``path``.
+
+        A pinned descriptor is orphaned — removed from the cache but kept
+        open for the in-flight response, which closes it on release.
+        """
+        entry = self._entries.pop(path, None)
+        if entry is None:
+            return
+        self._free_list.discard(path)
+        if entry.refcount == 0:
+            self._close(entry)
+        else:
+            entry.orphaned = True
+
+    def clear(self) -> None:
+        """Invalidate every cached descriptor."""
+        for path in list(self._entries):
+            self.invalidate(path)
+
+    def _close(self, entry: CachedFD) -> None:
+        if entry.closed:
+            return
+        entry.closed = True
+        try:
+            os.close(entry.fd)
+        except OSError:
+            pass
+        self.close_operations += 1
+
+    def _evict_to_limit(self) -> None:
+        while len(self._free_list) and len(self._entries) > self.max_entries:
+            path = self._free_list.coldest()
+            if path is None:
+                break
+            self._free_list.discard(path)
+            entry = self._entries.pop(path, None)
+            if entry is not None:
+                self._close(entry)
+
+
 class MappedFileCache:
     """Reference-counted cache of memory-mapped file chunks with lazy unmap.
 

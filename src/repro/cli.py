@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 
 from repro._version import __version__
 from repro.client.loadgen import LoadGenerator
+from repro.core.backends import available_backends
 from repro.core.config import ServerConfig
 from repro.servers import ARCHITECTURES, create_server
 
@@ -55,6 +56,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=32, help="MP/MT worker count")
     serve.add_argument(
         "--no-caches", action="store_true", help="disable all application-level caches"
+    )
+    serve.add_argument(
+        "--io-backend",
+        default="auto",
+        choices=("auto",) + available_backends(),
+        help="event-notification mechanism for the SPED/AMPED event loop "
+        "(default: auto = best available on this platform)",
+    )
+    serve.add_argument(
+        "--no-zero-copy",
+        action="store_true",
+        help="disable the sendfile zero-copy send path (use buffered writes)",
     )
 
     loadgen = subparsers.add_parser("loadgen", help="drive a server with simulated clients")
@@ -87,6 +100,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         num_helpers=args.helpers,
         num_workers=args.workers,
+        io_backend=args.io_backend,
+        zero_copy=not args.no_zero_copy,
     )
     if args.no_caches:
         config = config.without_caches()
@@ -94,6 +109,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     server.start()
     host, port = server.address
     print(f"{args.architecture} server serving {config.document_root} on http://{host}:{port}/")
+    if hasattr(server, "loop"):
+        send_path = "zero-copy (sendfile)" if config.zero_copy else "buffered"
+        print(f"io backend: {server.loop.backend_name}; send path: {send_path}")
     print("press Ctrl-C to stop")
     try:
         import time

@@ -1,0 +1,76 @@
+"""Pluggable event-notification backends for the event-driven servers.
+
+The event loop (:mod:`repro.core.event_loop`) drives one :class:`IOBackend`
+chosen by name — ``"select"``, ``"poll"`` or ``"epoll"`` — so the cost of
+the notification mechanism itself can be measured and compared, which is
+one of the axes the Flash paper's performance discussion turns on.
+
+``create_backend("auto")`` picks the best mechanism the platform offers
+(epoll > poll > select); ``available_backends()`` reports which names work
+here, which the conformance tests and the fig13 benchmark iterate over.
+"""
+
+from __future__ import annotations
+
+import select as _select
+
+from repro.core.backends.base import (
+    EVENT_READ,
+    EVENT_WRITE,
+    BackendKey,
+    IOBackend,
+    fileobj_to_fd,
+)
+from repro.core.backends.select_backend import SelectBackend
+
+#: Every backend name this package knows about, in preference order for
+#: ``"auto"`` (best first).  Availability is platform-dependent.
+KNOWN_BACKENDS = ("epoll", "poll", "select")
+
+_CLASSES: dict[str, type] = {"select": SelectBackend}
+
+if hasattr(_select, "poll"):
+    from repro.core.backends.poll_backend import PollBackend
+
+    _CLASSES["poll"] = PollBackend
+
+if hasattr(_select, "epoll"):
+    from repro.core.backends.epoll_backend import EpollBackend
+
+    _CLASSES["epoll"] = EpollBackend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backend names usable on this platform, best (for ``auto``) first."""
+    return tuple(name for name in KNOWN_BACKENDS if name in _CLASSES)
+
+
+def create_backend(name: str = "auto") -> IOBackend:
+    """Instantiate the backend called ``name`` (or the best one for ``auto``).
+
+    Raises ``ValueError`` for names this package has never heard of and
+    ``RuntimeError`` for known backends the platform does not provide.
+    """
+    key = name.lower()
+    if key == "auto":
+        key = available_backends()[0]
+    if key not in KNOWN_BACKENDS:
+        raise ValueError(
+            f"unknown io backend {name!r}; expected 'auto' or one of {sorted(KNOWN_BACKENDS)}"
+        )
+    cls = _CLASSES.get(key)
+    if cls is None:
+        raise RuntimeError(f"io backend {name!r} is not available on this platform")
+    return cls()
+
+
+__all__ = [
+    "EVENT_READ",
+    "EVENT_WRITE",
+    "BackendKey",
+    "IOBackend",
+    "KNOWN_BACKENDS",
+    "available_backends",
+    "create_backend",
+    "fileobj_to_fd",
+]

@@ -1,0 +1,166 @@
+"""Common interface of the pluggable event-notification backends.
+
+The Flash paper attributes much of the SPED/AMPED architectures' efficiency
+to the cost of the event-notification mechanism itself: the server performs
+one ``select``/``poll`` per iteration over *every* open connection, so the
+scan cost of the primitive is on the critical path (Sections 3.3 and 6.4).
+To let the reproduction measure that cost, the event loop no longer
+hardwires ``selectors.DefaultSelector``; instead it drives one of several
+:class:`IOBackend` implementations built directly on the OS primitives
+(``select(2)``, ``poll(2)``, ``epoll(7)``), selected by name through
+``ServerConfig.io_backend``.
+
+The interface mirrors the stdlib ``selectors`` contract closely (register /
+modify / unregister keyed by file object, ``poll`` returning ``(key, mask)``
+pairs) so the event loop, helper pool and CGI runner are oblivious to which
+mechanism is active.
+"""
+
+from __future__ import annotations
+
+import abc
+import selectors
+from typing import Callable, NamedTuple, Optional
+
+#: Readiness bitmask values, shared with :mod:`repro.core.event_loop`.
+EVENT_READ = selectors.EVENT_READ
+EVENT_WRITE = selectors.EVENT_WRITE
+
+_VALID_EVENTS = EVENT_READ | EVENT_WRITE
+
+
+class BackendKey(NamedTuple):
+    """Registration record for one watched file object."""
+
+    fileobj: object
+    fd: int
+    events: int
+    data: object
+
+
+def fileobj_to_fd(fileobj) -> int:
+    """Return the file descriptor behind ``fileobj``.
+
+    Accepts raw integer descriptors and any object with ``fileno()``.
+    Raises ``ValueError`` for invalid descriptors (e.g. closed sockets,
+    whose ``fileno()`` returns ``-1``).
+    """
+    if isinstance(fileobj, int):
+        fd = fileobj
+    else:
+        try:
+            fd = int(fileobj.fileno())
+        except (AttributeError, TypeError, ValueError) as exc:
+            raise ValueError(f"invalid file object: {fileobj!r}") from exc
+    if fd < 0:
+        raise ValueError(f"invalid file descriptor: {fd}")
+    return fd
+
+
+class IOBackend(abc.ABC):
+    """One event-notification mechanism behind the event loop.
+
+    Subclasses implement the three descriptor-set hooks plus :meth:`poll`;
+    the bookkeeping (fd -> :class:`BackendKey`) lives here so every backend
+    exposes identical registration semantics.
+    """
+
+    #: Short name used by ``create_backend`` and ``ServerConfig.io_backend``.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._keys: dict[int, BackendKey] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, fileobj, events: int, data=None) -> BackendKey:
+        """Start watching ``fileobj`` for ``events``; returns its key."""
+        if not events or events & ~_VALID_EVENTS:
+            raise ValueError(f"invalid events: {events!r}")
+        fd = fileobj_to_fd(fileobj)
+        if fd in self._keys:
+            raise KeyError(f"{fileobj!r} (fd {fd}) is already registered")
+        key = BackendKey(fileobj, fd, events, data)
+        self._keys[fd] = key
+        self._register_fd(fd, events)
+        return key
+
+    def modify(self, fileobj, events: int, data=None) -> BackendKey:
+        """Change the interest set (and data) of a registered ``fileobj``."""
+        if not events or events & ~_VALID_EVENTS:
+            raise ValueError(f"invalid events: {events!r}")
+        fd = fileobj_to_fd(fileobj)
+        old = self._keys.get(fd)
+        if old is None:
+            raise KeyError(f"{fileobj!r} is not registered")
+        key = BackendKey(fileobj, fd, events, data)
+        self._keys[fd] = key
+        if events != old.events:
+            self._modify_fd(fd, events)
+        return key
+
+    def unregister(self, fileobj) -> BackendKey:
+        """Stop watching ``fileobj``; returns the key it was registered with."""
+        fd = self._fd_of(fileobj)
+        key = self._keys.pop(fd)
+        self._unregister_fd(fd)
+        return key
+
+    def get_key(self, fileobj) -> BackendKey:
+        """The registration key of ``fileobj``; raises ``KeyError`` if absent."""
+        fd = self._fd_of(fileobj)
+        return self._keys[fd]
+
+    def get_map(self) -> dict[int, BackendKey]:
+        """A live view of all registrations, keyed by file descriptor."""
+        return self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def _fd_of(self, fileobj) -> int:
+        """Resolve ``fileobj`` to its registered fd.
+
+        Falls back to an identity scan of the registrations when
+        ``fileno()`` no longer answers (the object was closed before being
+        unregistered), matching ``selectors`` behaviour.
+        """
+        try:
+            fd = fileobj_to_fd(fileobj)
+        except ValueError:
+            for fd, key in self._keys.items():
+                if key.fileobj is fileobj:
+                    return fd
+            raise KeyError(f"{fileobj!r} is not registered") from None
+        if fd not in self._keys:
+            raise KeyError(f"{fileobj!r} is not registered")
+        return fd
+
+    # -- polling ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def poll(self, timeout: Optional[float] = None) -> list[tuple[BackendKey, int]]:
+        """Wait up to ``timeout`` seconds; return ready ``(key, mask)`` pairs.
+
+        ``timeout=None`` blocks until an event arrives; ``timeout=0`` polls.
+        A mask may include events beyond the interest set (error/hangup
+        conditions are reported as readiness so the owner observes EOF).
+        """
+
+    def close(self) -> None:
+        """Release any OS resources held by the backend."""
+        self._keys.clear()
+
+    # -- descriptor-set hooks (implemented per mechanism) --------------------
+
+    @abc.abstractmethod
+    def _register_fd(self, fd: int, events: int) -> None:
+        ...
+
+    @abc.abstractmethod
+    def _modify_fd(self, fd: int, events: int) -> None:
+        ...
+
+    @abc.abstractmethod
+    def _unregister_fd(self, fd: int) -> None:
+        ...

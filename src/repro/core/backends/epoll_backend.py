@@ -1,0 +1,76 @@
+"""``epoll(7)``-based backend (Linux).
+
+``epoll`` is the scalable event mechanism the paper's discussion of
+notification cost anticipates: registration cost is paid once per
+descriptor instead of once per call, so a wait degenerates to draining a
+ready list whose size tracks *activity*, not population.  With thousands of
+mostly idle WAN connections this is the backend that keeps per-iteration
+cost flat.
+"""
+
+from __future__ import annotations
+
+import select
+from typing import Optional
+
+from repro.core.backends.base import EVENT_READ, EVENT_WRITE, BackendKey, IOBackend
+
+
+class EpollBackend(IOBackend):
+    """Readiness notification via ``select.epoll`` (level-triggered)."""
+
+    name = "epoll"
+
+    def __init__(self) -> None:
+        if not hasattr(select, "epoll"):
+            raise RuntimeError("epoll(7) is not available on this platform")
+        super().__init__()
+        self._epoll = select.epoll()
+
+    @staticmethod
+    def _flags(events: int) -> int:
+        flags = 0
+        if events & EVENT_READ:
+            flags |= select.EPOLLIN
+        if events & EVENT_WRITE:
+            flags |= select.EPOLLOUT
+        return flags
+
+    def _register_fd(self, fd: int, events: int) -> None:
+        self._epoll.register(fd, self._flags(events))
+
+    def _modify_fd(self, fd: int, events: int) -> None:
+        self._epoll.modify(fd, self._flags(events))
+
+    def _unregister_fd(self, fd: int) -> None:
+        try:
+            self._epoll.unregister(fd)
+        except (OSError, ValueError):
+            pass
+
+    def poll(self, timeout: Optional[float] = None) -> list[tuple[BackendKey, int]]:
+        if timeout is None:
+            timeout = -1.0
+        elif timeout < 0:
+            timeout = 0.0
+        max_events = max(len(self._keys), 1)
+        try:
+            fd_events = self._epoll.poll(timeout, max_events)
+        except InterruptedError:
+            return []
+        ready = []
+        for fd, flags in fd_events:
+            key = self._keys.get(fd)
+            if key is None:
+                continue
+            mask = 0
+            if flags & ~select.EPOLLIN:
+                mask |= EVENT_WRITE
+            if flags & ~select.EPOLLOUT:
+                mask |= EVENT_READ
+            ready.append((key, mask))
+        return ready
+
+    def close(self) -> None:
+        self._epoll.close()
+        super().close()

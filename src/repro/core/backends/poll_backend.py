@@ -1,0 +1,86 @@
+"""``poll(2)``-based backend.
+
+``poll`` removes ``select``'s descriptor-number ceiling and its bitmap-size
+scan cost, but the kernel still walks the full interest list on every call
+— per-call cost stays linear in the number of open connections, merely with
+a better constant.  Comparing this backend against ``select`` and ``epoll``
+on the WAN-client workload reproduces the event-mechanism cost curve the
+paper discusses.
+"""
+
+from __future__ import annotations
+
+import math
+import select
+from typing import Optional
+
+from repro.core.backends.base import EVENT_READ, EVENT_WRITE, BackendKey, IOBackend
+
+#: Flag combinations corresponding to the two readiness events.  POLLPRI is
+#: deliberately not subscribed (matching the stdlib PollSelector): urgent
+#: data is never consumed by a normal recv, so subscribing to it would let
+#: one out-of-band byte busy-spin the event loop.
+_READ_FLAGS = select.POLLIN if hasattr(select, "poll") else 0
+_WRITE_FLAGS = select.POLLOUT if hasattr(select, "poll") else 0
+
+
+class PollBackend(IOBackend):
+    """Readiness notification via ``select.poll``."""
+
+    name = "poll"
+
+    def __init__(self) -> None:
+        if not hasattr(select, "poll"):
+            raise RuntimeError("poll(2) is not available on this platform")
+        super().__init__()
+        self._poll = select.poll()
+
+    @staticmethod
+    def _flags(events: int) -> int:
+        flags = 0
+        if events & EVENT_READ:
+            flags |= _READ_FLAGS
+        if events & EVENT_WRITE:
+            flags |= _WRITE_FLAGS
+        return flags
+
+    def _register_fd(self, fd: int, events: int) -> None:
+        self._poll.register(fd, self._flags(events))
+
+    def _modify_fd(self, fd: int, events: int) -> None:
+        self._poll.modify(fd, self._flags(events))
+
+    def _unregister_fd(self, fd: int) -> None:
+        try:
+            self._poll.unregister(fd)
+        except KeyError:
+            pass
+
+    def poll(self, timeout: Optional[float] = None) -> list[tuple[BackendKey, int]]:
+        if timeout is None:
+            ms: Optional[int] = None
+        elif timeout <= 0:
+            ms = 0
+        else:
+            # Round up so a strictly positive timeout never becomes a busy poll.
+            ms = math.ceil(timeout * 1000)
+        try:
+            fd_events = self._poll.poll(ms)
+        except InterruptedError:
+            return []
+        ready = []
+        for fd, flags in fd_events:
+            key = self._keys.get(fd)
+            if key is None:
+                continue
+            mask = 0
+            # Anything other than "writable only" wakes readers (POLLHUP and
+            # POLLERR must be surfaced so the owner can observe EOF/reset),
+            # and anything other than "readable only" wakes writers; this is
+            # the stdlib selectors convention.
+            if flags & ~select.POLLIN:
+                mask |= EVENT_WRITE
+            if flags & ~select.POLLOUT:
+                mask |= EVENT_READ
+            ready.append((key, mask))
+        return ready

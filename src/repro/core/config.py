@@ -19,6 +19,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.core.backends import KNOWN_BACKENDS
 from repro.http.response import DEFAULT_ALIGNMENT
 
 
@@ -71,6 +72,18 @@ class ServerConfig:
     #: Response header cache capacity (entries).
     header_cache_entries: int = 6000
 
+    # -- event notification and send path -----------------------------------
+    #: Event-notification mechanism behind the SPED/AMPED event loop:
+    #: ``"select"``, ``"poll"``, ``"epoll"`` or ``"auto"`` (best available).
+    io_backend: str = "auto"
+    #: Serve static bodies zero-copy with ``os.sendfile`` from the cached
+    #: open file descriptor (header still coalesced via vectored writes).
+    #: Dynamic (CGI) responses and platforms without ``sendfile`` always use
+    #: the buffered path, as does any response whose file cannot be opened.
+    zero_copy: bool = True
+    #: Open-descriptor cache capacity for the zero-copy send path.
+    fd_cache_entries: int = 128
+
     # -- protocol / optimization details ------------------------------------
     #: Byte-position alignment of response headers (Section 5.5); 0 disables.
     header_alignment: int = DEFAULT_ALIGNMENT
@@ -113,6 +126,12 @@ class ServerConfig:
             raise ValueError("residency_mode must be 'mincore', 'clock' or 'optimistic'")
         if self.mmap_chunk_size <= 0:
             raise ValueError("mmap_chunk_size must be positive")
+        if self.io_backend != "auto" and self.io_backend not in KNOWN_BACKENDS:
+            raise ValueError(
+                f"io_backend must be 'auto' or one of {sorted(KNOWN_BACKENDS)}"
+            )
+        if self.fd_cache_entries < 0:
+            raise ValueError("fd_cache_entries must be non-negative")
         self.document_root = os.path.abspath(self.document_root)
 
     def per_process_scaled(self, num_processes: Optional[int] = None) -> "ServerConfig":
@@ -141,12 +160,18 @@ class ServerConfig:
         )
 
     def without_caches(self) -> "ServerConfig":
-        """Return a copy with all three application-level caches disabled."""
+        """Return a copy with every application-level cache disabled.
+
+        Zero-copy is switched off too: the descriptor cache behind it is
+        itself an application-level cache, and leaving it on would skew the
+        no-caches baseline this configuration exists to measure.
+        """
         return replace(
             self,
             enable_pathname_cache=False,
             enable_header_cache=False,
             enable_mmap_cache=False,
+            zero_copy=False,
         )
 
     def with_optimizations(

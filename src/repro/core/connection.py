@@ -33,6 +33,11 @@ from typing import TYPE_CHECKING, Optional, Protocol
 
 from repro.core.event_loop import EVENT_READ, EVENT_WRITE
 from repro.core.pipeline import StaticContent
+from repro.core.send_path import (
+    BufferedSendPath,
+    SendfileSendPath,
+    sendfile_available,
+)
 from repro.http.errors import HTTPError
 from repro.http.request import HTTPRequest, RequestParser
 from repro.http.response import build_error_response
@@ -88,9 +93,7 @@ class Connection:
         "parser",
         "request",
         "content",
-        "_send_buffers",
-        "_send_index",
-        "_send_offset",
+        "_sender",
         "_interest",
         "_keep_alive",
         "last_activity",
@@ -114,9 +117,7 @@ class Connection:
         self.parser = RequestParser(max_header_bytes=driver.config.max_header_bytes)
         self.request: Optional[HTTPRequest] = None
         self.content: Optional[StaticContent] = None
-        self._send_buffers: list = []
-        self._send_index = 0
-        self._send_offset = 0
+        self._sender = None
         self._interest = 0
         self._keep_alive = False
         self.last_activity = time.monotonic()
@@ -193,7 +194,7 @@ class Connection:
             return
         self.content = content
         self.driver.store.stats.responses_ok += 1
-        self._queue_send([content.header, *content.segments])
+        self._start_send(self._make_sender(content))
 
     def _on_cgi_done(self, body: Optional[bytes], error) -> None:
         if self.state == STATE_CLOSED:
@@ -208,14 +209,49 @@ class Connection:
             keep_alive=self._keep_alive,
         ).raw
         self.driver.store.stats.responses_ok += 1
-        self._queue_send([header, body])
+        self._start_send(BufferedSendPath([header, body]))
 
     # -- sending --------------------------------------------------------------------
 
-    def _queue_send(self, buffers: list) -> None:
-        self._send_buffers = [buf for buf in buffers if len(buf)]
-        self._send_index = 0
-        self._send_offset = 0
+    def _make_sender(self, content: StaticContent):
+        """Pick the send path for ``content``: zero-copy when possible.
+
+        Static responses with a pinned open descriptor go out via
+        ``os.sendfile``; everything else (CGI, HEAD, errors, platforms
+        without ``sendfile``, descriptor-cache misses) takes the buffered
+        vectored-write path.
+        """
+        stats = self.driver.store.stats
+        if (
+            content.file_handle is not None
+            and self.driver.config.zero_copy
+            and sendfile_available()
+        ):
+            stats.sendfile_responses += 1
+            store = self.driver.store
+            segments = list(content.segments)
+            path = content.file_handle.path
+
+            def fallback_body():
+                # The mapped-chunk views double as the fallback buffers;
+                # with the mmap cache disabled the body was never read, so
+                # read it now (degradation is the rare path).
+                return segments if segments else [store.read_file(path)]
+
+            def on_fallback():
+                stats.sendfile_fallbacks += 1
+
+            return SendfileSendPath(
+                [content.header],
+                content.file_handle.fd,
+                content.content_length,
+                fallback_factory=fallback_body,
+                on_fallback=on_fallback,
+            )
+        return BufferedSendPath([content.header, *content.segments])
+
+    def _start_send(self, sender) -> None:
+        self._sender = sender
         self.state = STATE_SEND_RESPONSE
         self._set_interest(EVENT_WRITE)
         # Optimistically try to write immediately; most responses fit in the
@@ -223,33 +259,32 @@ class Connection:
         self._do_write()
 
     def _do_write(self) -> None:
-        while self._send_index < len(self._send_buffers):
-            buffer = self._send_buffers[self._send_index]
-            view = memoryview(buffer)[self._send_offset:]
-            if not len(view):
-                self._send_index += 1
-                self._send_offset = 0
-                continue
-            try:
-                sent = self.sock.send(view)
-            except (BlockingIOError, InterruptedError):
-                return
-            if sent == 0:
-                return
-            self._send_offset += sent
+        sender = self._sender
+        if sender is None:
+            return
+        sent = sender.send(self.sock)
+        if sent:
             self.bytes_sent += sent
             self.driver.store.stats.bytes_sent += sent
-            if self._send_offset >= len(buffer):
-                self._send_index += 1
-                self._send_offset = 0
-        self._finish_response()
+        if sender.done:
+            self._finish_response()
 
     def _finish_response(self) -> None:
         self.requests_served += 1
+        # Release the sender before the content: the buffered path holds
+        # memoryviews over mapped chunks, which must be dropped before the
+        # cache may unmap them.
+        if self._sender is not None:
+            if self._sender.under_delivered:
+                # The body came up short of the promised Content-Length
+                # (file shrank mid-transfer): the connection's framing is
+                # broken, so it must not be reused.
+                self._keep_alive = False
+            self._sender.release()
+            self._sender = None
         if self.content is not None:
             self.content.release(self.driver.store)
             self.content = None
-        self._send_buffers = []
         if not self._keep_alive:
             self.close()
             return
@@ -285,7 +320,7 @@ class Connection:
             builder=self.driver.store.header_builder,
             keep_alive=self._keep_alive,
         )
-        self._queue_send([payload])
+        self._start_send(BufferedSendPath([payload]))
 
     # -- lifecycle ------------------------------------------------------------------------
 
@@ -296,7 +331,9 @@ class Connection:
         self.state = STATE_CLOSED
         # Drop buffered views before releasing the chunks they point into,
         # otherwise the mapped-file cache cannot unmap them.
-        self._send_buffers = []
+        if self._sender is not None:
+            self._sender.release()
+            self._sender = None
         if self.content is not None:
             self.content.release(self.driver.store)
             self.content = None

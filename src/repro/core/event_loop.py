@@ -1,12 +1,18 @@
-"""``selectors``-based event loop used by the SPED and AMPED builds.
+"""Event loop used by the SPED and AMPED builds, over a pluggable backend.
 
 A SPED server is a state machine that performs one basic step of a request
-at a time: in each iteration it performs a ``select`` to find completed I/O
-events (new connection arrivals, completed file operations, client sockets
-with data or send-buffer space) and runs the corresponding step.  The AMPED
-build uses the same loop and additionally registers its helper IPC channels,
-so helper completions are observed exactly like any other I/O completion —
-which is the crux of the architecture (paper Section 3.4).
+at a time: in each iteration it waits for completed I/O events (new
+connection arrivals, completed file operations, client sockets with data or
+send-buffer space) and runs the corresponding step.  The AMPED build uses
+the same loop and additionally registers its helper IPC channels, so helper
+completions are observed exactly like any other I/O completion — which is
+the crux of the architecture (paper Section 3.4).
+
+The *notification mechanism* behind the wait is pluggable: the loop drives
+one of the :mod:`repro.core.backends` implementations (``select``, ``poll``
+or ``epoll``), chosen per server through ``ServerConfig.io_backend``, so
+the cost of the mechanism itself — a first-order term in the paper's
+performance discussion — can be measured rather than assumed.
 
 The loop is intentionally small: readiness callbacks keyed by file
 descriptor, deferred calls, and simple monotonic timers for connection
@@ -16,13 +22,17 @@ timeouts.  It has no knowledge of HTTP.
 from __future__ import annotations
 
 import heapq
-import selectors
 import time
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
-#: Event bitmask aliases re-exported so callers do not import ``selectors``.
-EVENT_READ = selectors.EVENT_READ
-EVENT_WRITE = selectors.EVENT_WRITE
+from repro.core.backends import (
+    EVENT_READ,
+    EVENT_WRITE,
+    IOBackend,
+    create_backend,
+)
+
+__all__ = ["EVENT_READ", "EVENT_WRITE", "EventLoop"]
 
 
 class EventLoop:
@@ -32,39 +42,58 @@ class EventLoop:
     object becomes ready.  Deferred calls registered with :meth:`call_soon`
     run at the start of the next iteration; timers registered with
     :meth:`call_later` run once their deadline passes.
+
+    Parameters
+    ----------
+    backend:
+        Which event-notification mechanism to use: a backend name
+        (``"auto"``, ``"select"``, ``"poll"``, ``"epoll"``) or an already
+        constructed :class:`~repro.core.backends.IOBackend` instance.
     """
 
-    def __init__(self) -> None:
-        self._selector = selectors.DefaultSelector()
+    def __init__(self, backend: Union[str, IOBackend] = "auto") -> None:
+        if isinstance(backend, str):
+            backend = create_backend(backend)
+        self._backend = backend
         self._pending: list[Callable[[], None]] = []
         self._timers: list[tuple[float, int, Callable[[], None]]] = []
         self._timer_seq = 0
         self._running = False
         self.iterations = 0
 
+    @property
+    def backend(self) -> IOBackend:
+        """The event-notification backend driving this loop."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the active notification mechanism (e.g. ``"epoll"``)."""
+        return self._backend.name
+
     # -- registration -------------------------------------------------------
 
     def register(self, fileobj, events: int, callback: Callable) -> None:
         """Start watching ``fileobj`` for ``events``."""
-        self._selector.register(fileobj, events, callback)
+        self._backend.register(fileobj, events, callback)
 
     def modify(self, fileobj, events: int, callback: Optional[Callable] = None) -> None:
         """Change the interest set (and optionally the callback) of ``fileobj``."""
         if callback is None:
-            callback = self._selector.get_key(fileobj).data
-        self._selector.modify(fileobj, events, callback)
+            callback = self._backend.get_key(fileobj).data
+        self._backend.modify(fileobj, events, callback)
 
     def unregister(self, fileobj) -> None:
         """Stop watching ``fileobj``.  Unknown file objects are ignored."""
         try:
-            self._selector.unregister(fileobj)
+            self._backend.unregister(fileobj)
         except (KeyError, ValueError):
             pass
 
     def is_registered(self, fileobj) -> bool:
         """Whether ``fileobj`` is currently being watched."""
         try:
-            self._selector.get_key(fileobj)
+            self._backend.get_key(fileobj)
             return True
         except (KeyError, ValueError):
             return False
@@ -83,10 +112,10 @@ class EventLoop:
     # -- execution ------------------------------------------------------------
 
     def run_once(self, timeout: Optional[float] = None) -> int:
-        """Run one iteration: deferred calls, due timers, then one ``select``.
+        """Run one iteration: deferred calls, due timers, then one poll.
 
         Returns the number of readiness events dispatched.  ``timeout``
-        bounds how long the ``select`` may block; it is clamped down to the
+        bounds how long the poll may block; it is clamped down to the
         next timer deadline so timers fire on time.
         """
         self.iterations += 1
@@ -107,12 +136,12 @@ class EventLoop:
         if self._pending:
             timeout = 0.0
 
-        if not self._selector.get_map():
+        if not len(self._backend):
             if timeout:
                 time.sleep(min(timeout, 0.05))
             return 0
 
-        events = self._selector.select(timeout)
+        events = self._backend.poll(timeout)
         for key, mask in events:
             callback = key.data
             callback(key.fileobj, mask)
@@ -135,5 +164,5 @@ class EventLoop:
         self._running = False
 
     def close(self) -> None:
-        """Release the underlying selector."""
-        self._selector.close()
+        """Release the underlying notification backend."""
+        self._backend.close()

@@ -18,7 +18,12 @@ import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
-from repro.cache.mapped_file import MappedChunk, MappedFileCache
+from repro.cache.mapped_file import (
+    CachedFD,
+    FileDescriptorCache,
+    MappedChunk,
+    MappedFileCache,
+)
 from repro.cache.pathname import PathnameCache, PathnameEntry
 from repro.cache.residency import (
     ClockResidencyPredictor,
@@ -28,6 +33,7 @@ from repro.cache.residency import (
 )
 from repro.cache.response_header import ResponseHeaderCache
 from repro.core.config import ServerConfig
+from repro.core.send_path import sendfile_available
 from repro.http.mime import guess_mime_type
 from repro.http.request import HTTPRequest
 from repro.http.response import ResponseHeaderBuilder
@@ -54,6 +60,8 @@ class ServerStats:
     blocking_translations: int = 0
     blocking_reads: int = 0
     cgi_requests: int = 0
+    sendfile_responses: int = 0
+    sendfile_fallbacks: int = 0
 
     def merge(self, other: "ServerStats") -> "ServerStats":
         """Return a new instance combining this one with ``other``.
@@ -89,6 +97,12 @@ class StaticContent:
         Total body length in bytes.
     status:
         HTTP status code of the response.
+    file_handle:
+        A pinned open descriptor for the served file, present when the
+        zero-copy (``sendfile``) send path may be used.  ``segments`` stays
+        populated as the buffered fallback (and, in AMPED, as the substrate
+        for the memory-residency test); a connection picks exactly one of
+        the two mechanisms per response.
     """
 
     header: bytes
@@ -96,6 +110,7 @@ class StaticContent:
     chunks: Sequence[MappedChunk] = field(default_factory=tuple)
     content_length: int = 0
     status: int = 200
+    file_handle: Optional[CachedFD] = None
 
     @property
     def total_length(self) -> int:
@@ -113,6 +128,9 @@ class StaticContent:
         chunks, self.chunks = self.chunks, ()
         for chunk in chunks:
             store.release_chunk(chunk)
+        handle, self.file_handle = self.file_handle, None
+        if handle is not None:
+            store.release_fd(handle)
 
 
 class ContentStore:
@@ -168,6 +186,12 @@ class ContentStore:
                 max_mapped_bytes=config.mmap_cache_bytes,
                 residency_tester=self.residency_tester,
             )
+
+        #: Open-descriptor cache for the zero-copy send path.  Always built
+        #: (it is a dict and an LRU list) but only populated when the
+        #: configuration enables ``zero_copy``, so the Figure 11-style
+        #: breakdowns can toggle it like any other optimization.
+        self.fd_cache = FileDescriptorCache(max_entries=config.fd_cache_entries)
 
         self.stats = ServerStats()
 
@@ -234,6 +258,7 @@ class ContentStore:
         entry: PathnameEntry,
         *,
         keep_alive: Optional[bool] = None,
+        map_body: bool = True,
     ) -> StaticContent:
         """Build the full static response for ``entry``.
 
@@ -241,6 +266,14 @@ class ContentStore:
         body comes from the mapped-file cache (zero-copy memoryviews over the
         mappings) or, with the mmap cache disabled, from a plain read.  HEAD
         requests get the header only.
+
+        When zero-copy is enabled a pinned open descriptor rides along for
+        the ``sendfile`` send path.  ``map_body=False`` lets a caller that
+        will definitely transmit via ``sendfile`` — and does not test memory
+        residency, i.e. SPED — skip pinning mapped chunks entirely, so the
+        request performs no map, no touch and no user-space body work at
+        all; AMPED keeps the chunks because they are the substrate of its
+        ``mincore`` residency test and helper page-warming.
         """
         if keep_alive is None:
             keep_alive = request.keep_alive and self.config.keep_alive
@@ -249,18 +282,59 @@ class ContentStore:
         if request.is_head:
             return StaticContent(header=header, segments=(), content_length=0)
 
-        if self.mmap_cache is not None:
-            chunks = self._acquire_chunks(entry)
+        handle = self._acquire_fd(entry)
+
+        if self.mmap_cache is not None and (map_body or handle is None):
+            try:
+                chunks = self._acquire_chunks(entry)
+            except BaseException:
+                if handle is not None:
+                    self.release_fd(handle)
+                raise
             segments = [chunk.view() for chunk in chunks]
             return StaticContent(
                 header=header,
                 segments=segments,
                 chunks=chunks,
                 content_length=entry.size,
+                file_handle=handle,
+            )
+
+        if handle is not None:
+            # Pure zero-copy: no user-space body buffering at all.  The
+            # buffered fallback (sendfile unsupported for this socket) reads
+            # the file lazily at degradation time.
+            return StaticContent(
+                header=header,
+                segments=(),
+                content_length=entry.size,
+                file_handle=handle,
             )
 
         data = self.read_file(entry.filesystem_path)
         return StaticContent(header=header, segments=[data], content_length=len(data))
+
+    def _acquire_fd(self, entry: PathnameEntry) -> Optional[CachedFD]:
+        """Pin a cached open descriptor for ``entry`` when zero-copy is on.
+
+        Open failures are swallowed: the response simply proceeds on the
+        buffered path (the translation step already established the file
+        exists, so failures here are transient descriptor pressure).
+        Platforms without ``sendfile`` never acquire descriptors — an fd
+        nobody can transmit from would only cost open/close per request.
+        """
+        if not self.config.zero_copy or entry.size <= 0 or not sendfile_available():
+            return None
+        try:
+            with self._maybe_lock():
+                return self.fd_cache.acquire(entry.filesystem_path)
+        except OSError:
+            return None
+
+    def release_fd(self, handle: CachedFD) -> None:
+        """Return a pinned descriptor to the descriptor cache."""
+        with self._maybe_lock():
+            self.fd_cache.release(handle)
 
     def _response_header(self, entry: PathnameEntry, keep_alive: bool) -> bytes:
         if self.header_cache is not None:
@@ -341,6 +415,7 @@ class ContentStore:
             self.header_cache.invalidate(entry.filesystem_path)
         if self.mmap_cache is not None:
             self.mmap_cache.invalidate(entry.filesystem_path)
+        self.fd_cache.invalidate(entry.filesystem_path)
 
     # -- misc -------------------------------------------------------------------
 
@@ -371,12 +446,20 @@ class ContentStore:
                 "hit_rate": self.mmap_cache.hit_rate,
                 "mapped_bytes": self.mmap_cache.mapped_bytes,
             }
+        if self.fd_cache.hits or self.fd_cache.misses:
+            stats["fd"] = {
+                "hits": self.fd_cache.hits,
+                "misses": self.fd_cache.misses,
+                "hit_rate": self.fd_cache.hit_rate,
+                "open": len(self.fd_cache),
+            }
         return stats
 
     def close(self) -> None:
-        """Release every mapping held by the mapped-file cache."""
+        """Release every mapping and descriptor held by the caches."""
         if self.mmap_cache is not None:
             self.mmap_cache.clear()
+        self.fd_cache.clear()
 
 
 class _NullContext:

@@ -1,0 +1,273 @@
+"""Response transmission strategies: buffered/vectored writes and sendfile.
+
+The Flash paper attributes a large share of SPED/AMPED throughput to
+eliminating data copies on the response path.  This module implements that
+layer as two interchangeable *send paths* the connection state machine
+drives one non-blocking step at a time:
+
+:class:`BufferedSendPath`
+    The portable path: a list of byte buffers (response header, body
+    segments) written with ``socket.sendmsg`` — a writev-style vectored
+    write that coalesces header and body into one system call — falling
+    back to plain ``send`` where ``sendmsg`` does not exist.
+
+:class:`SendfileSendPath`
+    The zero-copy path: headers go out via the buffered machinery, then the
+    body is transmitted with ``os.sendfile`` directly from the cached open
+    file descriptor, so file data never crosses into user space at all.
+    ``sendfile`` failures that mean "not supported here" degrade gracefully
+    to the buffered path mid-transfer, resuming at the exact byte offset
+    already reached.
+
+Both paths share the same tiny contract: ``send(sock)`` transmits as much
+as the socket accepts right now and returns the byte count, ``done`` says
+whether the response is fully out, and ``release()`` drops buffer views so
+pinned cache chunks can be unmapped.  Short writes, ``EAGAIN`` and client
+disconnects are the callers' three interesting cases; the first two are
+absorbed here (progress is remembered), the third surfaces as the usual
+``ConnectionError``/``OSError`` for the connection to handle.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import socket
+from typing import Callable, Optional, Sequence
+
+#: Cap on buffers per vectored write; IOV_MAX is at least 16 everywhere and
+#: 1024 on Linux — 64 covers a header plus every chunk of the largest files.
+_MAX_IOV = 64
+
+#: Cap on bytes per sendfile call (the largest count Linux accepts).
+_MAX_SENDFILE = 0x7FFF_F000
+
+#: ``sendfile`` errors that mean "this fd/socket combination cannot do
+#: zero-copy here" rather than "the connection died": fall back to buffered.
+SENDFILE_FALLBACK_ERRNOS = frozenset(
+    code
+    for code in (
+        getattr(errno, "EINVAL", None),
+        getattr(errno, "ENOSYS", None),
+        getattr(errno, "EOPNOTSUPP", None),
+        getattr(errno, "ENOTSOCK", None),
+        getattr(errno, "EOVERFLOW", None),
+        getattr(errno, "ESPIPE", None),
+    )
+    if code is not None
+)
+
+_HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
+
+#: Hint that more data follows immediately (Linux): lets the kernel merge
+#: the response header with the first sendfile payload instead of flushing
+#: a tiny header-only segment (TCP_NODELAY is set on every connection).
+_MSG_MORE = getattr(socket, "MSG_MORE", 0)
+
+
+def sendfile_available() -> bool:
+    """Whether this platform offers ``os.sendfile`` at all."""
+    return hasattr(os, "sendfile")
+
+
+class BufferedSendPath:
+    """Transmit a sequence of byte buffers with vectored non-blocking writes."""
+
+    #: Label used in logs/stats to identify the strategy.
+    kind = "buffered"
+
+    #: Whether fewer body bytes than promised were delivered (see
+    #: :attr:`SendfileSendPath.under_delivered`; never happens here, the
+    #: buffers *are* the promise).
+    under_delivered = False
+
+    def __init__(self, buffers: Sequence, flags: int = 0) -> None:
+        self._buffers = [memoryview(buf) for buf in buffers if len(buf)]
+        self._index = 0
+        self._offset = 0
+        self._flags = flags
+
+    @property
+    def done(self) -> bool:
+        """True once every buffer is fully transmitted."""
+        return self._index >= len(self._buffers)
+
+    @property
+    def remaining(self) -> int:
+        """Bytes not yet handed to the kernel."""
+        total = 0
+        for position in range(self._index, len(self._buffers)):
+            total += len(self._buffers[position])
+            if position == self._index:
+                total -= self._offset
+        return total
+
+    def send(self, sock: socket.socket) -> int:
+        """Write as much as the socket accepts now; returns bytes written.
+
+        A full socket buffer (``EAGAIN``) simply stops the attempt — call
+        again when the socket selects writable.  Connection failures
+        propagate to the caller.
+        """
+        total = 0
+        while self._index < len(self._buffers):
+            try:
+                sent = self._send_step(sock)
+            except (BlockingIOError, InterruptedError):
+                break
+            if sent == 0:
+                break
+            total += sent
+            self._advance(sent)
+        return total
+
+    def _send_step(self, sock: socket.socket) -> int:
+        head = self._buffers[self._index][self._offset:]
+        if _HAS_SENDMSG and self._index + 1 < len(self._buffers):
+            # Coalesce header and body segments into one writev-style call.
+            iov = [head, *self._buffers[self._index + 1 : self._index + _MAX_IOV]]
+            return sock.sendmsg(iov, (), self._flags)
+        return sock.send(head, self._flags)
+
+    def _advance(self, sent: int) -> None:
+        while sent > 0:
+            current = self._buffers[self._index]
+            left_in_buffer = len(current) - self._offset
+            if sent >= left_in_buffer:
+                sent -= left_in_buffer
+                self._index += 1
+                self._offset = 0
+            else:
+                self._offset += sent
+                sent = 0
+
+    def release(self) -> None:
+        """Drop all buffer views (lets mapped chunks be unmapped)."""
+        self._buffers = []
+        self._index = 0
+        self._offset = 0
+
+
+class SendfileSendPath:
+    """Transmit headers buffered, then the body zero-copy via ``os.sendfile``.
+
+    Parameters
+    ----------
+    header_buffers:
+        Buffers to send before the file body (the response header).
+    fd:
+        Open file descriptor to transmit from; owned by the caller (the
+        content store's descriptor cache) and must stay open until ``done``.
+    count:
+        Number of body bytes to send, starting at ``offset``.
+    offset:
+        Starting byte offset within the file.
+    fallback_factory:
+        Zero-argument callable returning the full body as a list of byte
+        buffers, used if ``sendfile`` turns out to be unsupported for this
+        fd/socket pair.  Only invoked on degradation, so the buffered copy
+        is never materialized on the happy path.
+    on_fallback:
+        Optional callable invoked once if the path degrades (stats hook).
+    """
+
+    kind = "sendfile"
+
+    def __init__(
+        self,
+        header_buffers: Sequence,
+        fd: int,
+        count: int,
+        offset: int = 0,
+        fallback_factory: Optional[Callable[[], Sequence]] = None,
+        on_fallback: Optional[Callable[[], None]] = None,
+    ) -> None:
+        # MSG_MORE keeps the header in the kernel until the first sendfile
+        # payload follows, so header and body still leave as one segment
+        # stream even though they travel through two system calls.
+        self._headers = BufferedSendPath(header_buffers, flags=_MSG_MORE)
+        self._fd = fd
+        self._start = offset
+        self._offset = offset
+        self._remaining = count
+        self._fallback_factory = fallback_factory
+        self._on_fallback = on_fallback
+        self._fallback: Optional[BufferedSendPath] = None
+        self.fell_back = False
+        #: True when the transfer ended short of ``count`` body bytes (the
+        #: file shrank mid-transfer and the fallback could not cover the
+        #: rest).  The response header already promised ``count`` bytes, so
+        #: the owner must close the connection rather than reuse it —
+        #: keep-alive framing would otherwise desynchronize.
+        self.under_delivered = False
+
+    @property
+    def done(self) -> bool:
+        """True once header and body (via either mechanism) are fully out."""
+        if self._fallback is not None:
+            return self._headers.done and self._fallback.done
+        return self._headers.done and self._remaining <= 0
+
+    @property
+    def body_bytes_sent(self) -> int:
+        """Body bytes transmitted so far via ``sendfile`` (pre-fallback)."""
+        return self._offset - self._start
+
+    def send(self, sock: socket.socket) -> int:
+        """Advance the response; returns bytes written this call."""
+        total = self._headers.send(sock)
+        if not self._headers.done:
+            return total
+        if self._fallback is not None:
+            return total + self._fallback.send(sock)
+        while self._remaining > 0:
+            try:
+                sent = os.sendfile(
+                    sock.fileno(), self._fd, self._offset,
+                    min(self._remaining, _MAX_SENDFILE),
+                )
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError as exc:
+                if exc.errno in SENDFILE_FALLBACK_ERRNOS:
+                    self._degrade()
+                    return total + self._fallback.send(sock)
+                raise
+            if sent == 0:
+                # EOF before the expected count (file truncated underneath
+                # us): degrade so the buffered path can finish — or fail —
+                # deterministically instead of spinning on sendfile.
+                self._degrade()
+                return total + self._fallback.send(sock)
+            self._offset += sent
+            self._remaining -= sent
+            total += sent
+        return total
+
+    def _degrade(self) -> None:
+        self.fell_back = True
+        if self._on_fallback is not None:
+            self._on_fallback()
+        buffers = list(self._fallback_factory()) if self._fallback_factory else []
+        # Resume exactly where sendfile stopped: skip the body bytes that
+        # already reached the socket.
+        skip = self.body_bytes_sent
+        resumed: list[memoryview] = []
+        for buf in buffers:
+            view = memoryview(buf)
+            if skip >= len(view):
+                skip -= len(view)
+                continue
+            resumed.append(view[skip:] if skip else view)
+            skip = 0
+        if sum(len(view) for view in resumed) < self._remaining:
+            self.under_delivered = True
+        self._fallback = BufferedSendPath(resumed)
+        self._remaining = 0
+
+    def release(self) -> None:
+        """Drop buffered views; the fd itself is released by the owner."""
+        self._headers.release()
+        if self._fallback is not None:
+            self._fallback.release()
+            self._fallback = None

@@ -52,7 +52,7 @@ class BaseEventDrivenServer:
         residency_tester: Optional[ResidencyTester] = None,
     ):
         self.config = config
-        self.loop = EventLoop()
+        self.loop = EventLoop(backend=config.io_backend)
         self.store = ContentStore(config, residency_tester=residency_tester)
         self.cgi_runner = CGIRunner(config.cgi_programs, prefix=config.cgi_prefix)
         self.cgi_runner.register(self.loop)

@@ -13,12 +13,15 @@ concurrency strategy, per the paper's methodology.
 
 from __future__ import annotations
 
+import os
+import select
 import socket
 from typing import Optional
 
 from repro.cgi.runner import CGIRunner
 from repro.core.config import ServerConfig
-from repro.core.pipeline import ContentStore
+from repro.core.pipeline import ContentStore, StaticContent
+from repro.core.send_path import SENDFILE_FALLBACK_ERRNOS, sendfile_available
 from repro.http.errors import HTTPError
 from repro.http.request import RequestParser
 from repro.http.response import build_error_response
@@ -83,9 +86,15 @@ def handle_client(
                 else:
                     store.stats.blocking_translations += 1
                     entry = store.translate(request.path)
-                    content = store.build_response(request, entry, keep_alive=keep_alive)
+                    # Like SPED, the blocking workers run no residency test,
+                    # so when the response will go out via sendfile there is
+                    # no reason to pin mapped chunks for it.
+                    map_body = not (config.zero_copy and sendfile_available())
+                    content = store.build_response(
+                        request, entry, keep_alive=keep_alive, map_body=map_body
+                    )
                     try:
-                        _send_all(sock, store, [content.header, *content.segments])
+                        _send_content(sock, store, content)
                     finally:
                         content.release(store)
                 store.stats.responses_ok += 1
@@ -107,6 +116,58 @@ def handle_client(
             sock.close()
         except OSError:
             pass
+
+
+def _send_content(sock: socket.socket, store: ContentStore, content: StaticContent) -> None:
+    """Transmit one static response, zero-copy when a descriptor is pinned.
+
+    ``os.sendfile`` is driven directly with explicit offsets: unlike
+    ``socket.sendfile`` it never seeks the descriptor, so MT workers can
+    serve the same cached descriptor concurrently (the fd's file position
+    is shared state).  ``sock.settimeout`` puts the fd in non-blocking
+    mode, so a full send buffer surfaces as ``BlockingIOError`` and is
+    waited out with ``select`` bounded by the socket timeout.
+    """
+    if content.file_handle is not None and sendfile_available():
+        _send_all(sock, store, [content.header])
+        store.stats.sendfile_responses += 1
+        _sendfile_blocking(sock, store, content)
+        return
+    _send_all(sock, store, [content.header, *content.segments])
+
+
+def _sendfile_blocking(sock: socket.socket, store: ContentStore, content: StaticContent) -> None:
+    fd = content.file_handle.fd
+    offset = 0
+    remaining = content.content_length
+    timeout = sock.gettimeout()
+    while remaining > 0:
+        try:
+            sent = os.sendfile(sock.fileno(), fd, offset, remaining)
+        except (BlockingIOError, InterruptedError):
+            _, writable, _ = select.select([], [sock], [], timeout)
+            if not writable:
+                raise socket.timeout("timed out waiting for send-buffer space")
+            continue
+        except OSError as exc:
+            if exc.errno not in SENDFILE_FALLBACK_ERRNOS:
+                raise
+            # sendfile unsupported for this fd/socket pair: finish the
+            # response buffered, resuming at the exact offset reached.
+            store.stats.sendfile_fallbacks += 1
+            _send_all(sock, store, [os.pread(fd, remaining, offset)])
+            return
+        if sent == 0:
+            # EOF before the expected count: the file shrank underneath us.
+            # The declared Content-Length can no longer be honoured, so the
+            # connection must die — continuing would desynchronize the
+            # client's HTTP framing on a keep-alive socket.
+            raise ConnectionError(
+                f"file shrank during sendfile: {remaining} bytes undelivered"
+            )
+        offset += sent
+        remaining -= sent
+        store.stats.bytes_sent += sent
 
 
 def _send_all(sock: socket.socket, store: ContentStore, buffers) -> None:

@@ -16,6 +16,7 @@ from typing import Optional
 from repro.cache.residency import ResidencyTester
 from repro.core.config import ServerConfig
 from repro.core.pipeline import ContentStore
+from repro.core.send_path import sendfile_available
 from repro.core.server import BaseEventDrivenServer
 from repro.http.request import HTTPRequest
 
@@ -43,13 +44,23 @@ class SPEDServer(BaseEventDrivenServer):
         self._skip_residency_test = True
 
     def prepare_content_async(self, request: HTTPRequest, entry, callback) -> None:
+        # With the zero-copy path active, SPED transmits straight from the
+        # cached descriptor and never consults the mapping (it does no
+        # residency test), so skip pinning mapped chunks for the response.
+        map_body = not (self.config.zero_copy and sendfile_available())
         try:
-            content = self.store.build_response(request, entry)
+            content = self.store.build_response(request, entry, map_body=map_body)
         except OSError as exc:
             callback(None, exc)
             return
         # Touch the data inline.  If it is not in memory, this blocks the
         # whole server while the disk read completes — SPED's defining cost.
-        if content.chunks:
+        # When the response will go out via sendfile the kernel pages the
+        # file in during transmission (still blocking this process on a
+        # miss, which is faithful SPED behaviour), so pre-touching the
+        # mapping would only add a redundant pass over the data.
+        if content.chunks and not (
+            self.config.zero_copy and content.file_handle is not None
+        ):
             ContentStore.touch_chunks(content.chunks)
         callback(content, None)

@@ -88,13 +88,34 @@ class TestBuildResponse:
         store.close()
 
     def test_read_backed_response_without_mmap_cache(self, docroot):
+        config = ServerConfig(
+            document_root=docroot, enable_mmap_cache=False, zero_copy=False
+        )
+        store = ContentStore(config)
+        request = parse(b"GET /index.html HTTP/1.0\r\n\r\n")
+        entry = store.translate("/index.html")
+        content = store.build_response(request, entry)
+        assert content.chunks == ()
+        assert content.file_handle is None
+        assert bytes(content.segments[0]) == b"<html>home</html>"
+        store.close()
+
+    def test_fd_backed_response_without_mmap_cache(self, docroot):
+        """Zero-copy with the mmap cache off: body stays out of user space."""
+        import os
+
         config = ServerConfig(document_root=docroot, enable_mmap_cache=False)
         store = ContentStore(config)
         request = parse(b"GET /index.html HTTP/1.0\r\n\r\n")
         entry = store.translate("/index.html")
         content = store.build_response(request, entry)
         assert content.chunks == ()
-        assert bytes(content.segments[0]) == b"<html>home</html>"
+        assert content.segments == ()
+        assert content.file_handle is not None
+        assert content.content_length == len(b"<html>home</html>")
+        assert os.pread(content.file_handle.fd, 6, 0) == b"<html>"
+        content.release(store)
+        store.close()
 
     def test_head_request_has_no_body(self, docroot):
         store = ContentStore(ServerConfig(document_root=docroot))

@@ -1,0 +1,504 @@
+"""Tests for the response send paths: buffered/vectored and zero-copy.
+
+Covers the contract the connection state machine relies on: short writes
+and ``EAGAIN`` preserve progress, a mid-transfer client disconnect
+surfaces as ``ConnectionError`` and leaves the machine consistent, the
+buffered fallback resumes at the exact byte offset ``sendfile`` reached,
+and — end to end over real sockets — both send paths produce
+byte-identical responses.  The keep-alive regression drives several
+sequential requests through the zero-copy path on one connection,
+exercising the per-response offset bookkeeping.
+"""
+
+import errno
+import os
+import socket
+import time
+
+import pytest
+
+from repro.core.config import ServerConfig
+from repro.core.connection import (
+    STATE_CLOSED,
+    STATE_READ_REQUEST,
+    STATE_SEND_RESPONSE,
+    Connection,
+)
+from repro.core.event_loop import EventLoop
+from repro.core.pipeline import ContentStore
+from repro.core.send_path import (
+    BufferedSendPath,
+    SendfileSendPath,
+    sendfile_available,
+)
+
+requires_sendfile = pytest.mark.skipif(
+    not sendfile_available(), reason="os.sendfile not available"
+)
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    left.setblocking(False)
+    yield left, right
+    left.close()
+    right.close()
+
+
+@pytest.fixture
+def tiny_buffer_pair():
+    """A socketpair whose sender-side buffer is as small as the OS allows."""
+    left, right = socket.socketpair()
+    left.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 4096)
+    right.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+    left.setblocking(False)
+    yield left, right
+    left.close()
+    right.close()
+
+
+def drain(sock, expected, deadline=5.0):
+    """Receive until ``expected`` bytes arrived (or the deadline passes)."""
+    sock.settimeout(0.05)
+    received = bytearray()
+    end = time.monotonic() + deadline
+    while len(received) < expected and time.monotonic() < end:
+        try:
+            data = sock.recv(65536)
+        except socket.timeout:
+            continue
+        if not data:
+            break
+        received.extend(data)
+    return bytes(received)
+
+
+class TestBufferedSendPath:
+    def test_single_buffer_round_trip(self, pair):
+        left, right = pair
+        sender = BufferedSendPath([b"hello world"])
+        sent = sender.send(left)
+        assert sent == len(b"hello world")
+        assert sender.done
+        assert drain(right, sent) == b"hello world"
+
+    def test_vectored_buffers_byte_identical(self, pair):
+        left, right = pair
+        parts = [b"HTTP/1.1 200 OK\r\n\r\n", b"abc" * 1000, b"", b"tail"]
+        sender = BufferedSendPath(parts)
+        total = sender.send(left)
+        expected = b"".join(parts)
+        assert total == len(expected)
+        assert sender.done
+        assert drain(right, total) == expected
+
+    def test_short_writes_preserve_progress(self, tiny_buffer_pair):
+        left, right = tiny_buffer_pair
+        payload = os.urandom(256 * 1024)
+        sender = BufferedSendPath([b"header:", payload])
+        expected = b"header:" + payload
+        received = bytearray()
+        deadline = time.monotonic() + 10.0
+        while not sender.done and time.monotonic() < deadline:
+            sender.send(left)          # fills the socket buffer, then EAGAIN
+            received.extend(drain(right, 1, deadline=0.2))
+        assert sender.done
+        received.extend(drain(right, len(expected) - len(received)))
+        assert bytes(received) == expected
+
+    def test_remaining_counts_unsent_bytes(self):
+        sender = BufferedSendPath([b"12345", b"678"])
+        assert sender.remaining == 8
+        sender._advance(6)
+        assert sender.remaining == 2
+
+    def test_release_drops_views(self, pair):
+        left, _ = pair
+        sender = BufferedSendPath([bytearray(b"xyz")])
+        sender.release()
+        assert sender.done
+
+
+@requires_sendfile
+class TestSendfileSendPath:
+    def test_header_then_file_byte_identical(self, pair, tmp_path):
+        left, right = pair
+        body = os.urandom(64 * 1024)
+        path = tmp_path / "body.bin"
+        path.write_bytes(body)
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            sender = SendfileSendPath([b"HDR:"], fd, len(body))
+            received = bytearray()
+            deadline = time.monotonic() + 10.0
+            while not sender.done and time.monotonic() < deadline:
+                sender.send(left)
+                received.extend(drain(right, 1, deadline=0.2))
+            assert sender.done
+            assert not sender.fell_back
+            received.extend(drain(right, 4 + len(body) - len(received)))
+            assert bytes(received) == b"HDR:" + body
+        finally:
+            os.close(fd)
+
+    def test_eagain_preserves_offset(self, tiny_buffer_pair, tmp_path):
+        """A full socket buffer pauses the transfer without losing bytes."""
+        left, right = tiny_buffer_pair
+        body = os.urandom(512 * 1024)
+        path = tmp_path / "big.bin"
+        path.write_bytes(body)
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            sender = SendfileSendPath([], fd, len(body))
+            first = sender.send(left)     # runs into EAGAIN well before done
+            assert 0 < first < len(body)
+            assert not sender.done
+            assert sender.body_bytes_sent == first
+            again = sender.send(left)     # buffer still full: no progress
+            assert again == 0
+            received = bytearray(drain(right, first))
+            deadline = time.monotonic() + 10.0
+            while not sender.done and time.monotonic() < deadline:
+                sender.send(left)
+                received.extend(drain(right, 1, deadline=0.2))
+            assert sender.done
+            received.extend(drain(right, len(body) - len(received)))
+            assert bytes(received) == body
+        finally:
+            os.close(fd)
+
+    def test_disconnect_mid_transfer_raises(self, tiny_buffer_pair, tmp_path):
+        left, right = tiny_buffer_pair
+        body = os.urandom(512 * 1024)
+        path = tmp_path / "big.bin"
+        path.write_bytes(body)
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            sender = SendfileSendPath([], fd, len(body))
+            sender.send(left)
+            right.close()
+            with pytest.raises(OSError) as excinfo:
+                deadline = time.monotonic() + 5.0
+                while not sender.done and time.monotonic() < deadline:
+                    sender.send(left)
+            assert isinstance(excinfo.value, ConnectionError) or excinfo.value.errno in (
+                errno.EPIPE,
+                errno.ECONNRESET,
+            )
+        finally:
+            os.close(fd)
+
+    def test_unsupported_in_fd_falls_back_buffered(self, pair, tmp_path):
+        """sendfile from a non-mmappable fd degrades to the buffered path."""
+        left, right = pair
+        body = b"fallback body " * 512
+        # A socket as in_fd makes sendfile fail with EINVAL/ENOTSOCK.
+        bad_in, bad_peer = socket.socketpair()
+        fallbacks = []
+        try:
+            sender = SendfileSendPath(
+                [b"HDR:"],
+                bad_in.fileno(),
+                len(body),
+                fallback_factory=lambda: [body],
+                on_fallback=lambda: fallbacks.append(True),
+            )
+            received = bytearray()
+            deadline = time.monotonic() + 10.0
+            while not sender.done and time.monotonic() < deadline:
+                sender.send(left)
+                received.extend(drain(right, 1, deadline=0.2))
+            assert sender.done
+            assert sender.fell_back
+            assert fallbacks == [True]
+            received.extend(drain(right, 4 + len(body) - len(received)))
+            assert bytes(received) == b"HDR:" + body
+        finally:
+            bad_in.close()
+            bad_peer.close()
+
+    def test_fallback_resumes_at_exact_offset(self, tiny_buffer_pair, tmp_path):
+        """Degrading mid-transfer must not resend or skip body bytes."""
+        left, right = tiny_buffer_pair
+        body = os.urandom(256 * 1024)
+        path = tmp_path / "shrink.bin"
+        path.write_bytes(body)
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            sender = SendfileSendPath(
+                [], fd, len(body), fallback_factory=lambda: [body]
+            )
+            sent = sender.send(left)          # partial transfer, then EAGAIN
+            assert 0 < sent < len(body)
+            # Truncate the file under the transfer: sendfile now reports EOF
+            # (returns 0) and the sender must finish from the fallback
+            # buffers, resuming exactly at body_bytes_sent.
+            os.truncate(path, sender.body_bytes_sent)
+            received = bytearray(drain(right, sent))
+            deadline = time.monotonic() + 10.0
+            while not sender.done and time.monotonic() < deadline:
+                sender.send(left)
+                received.extend(drain(right, 1, deadline=0.2))
+            assert sender.done
+            assert sender.fell_back
+            received.extend(drain(right, len(body) - len(received)))
+            assert bytes(received) == body
+            # The fallback covered every promised byte, so the connection
+            # may be kept alive.
+            assert not sender.under_delivered
+        finally:
+            os.close(fd)
+
+    def test_short_fallback_marks_under_delivery(self, tiny_buffer_pair, tmp_path):
+        """A body that cannot be completed must poison keep-alive reuse."""
+        left, right = tiny_buffer_pair
+        body = os.urandom(128 * 1024)
+        path = tmp_path / "shrink.bin"
+        path.write_bytes(body)
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            # The fallback can only produce the (now truncated) file, so
+            # the promised count is impossible to honour.
+            sender = SendfileSendPath(
+                [], fd, len(body),
+                fallback_factory=lambda: [path.read_bytes()],
+            )
+            sent = sender.send(left)
+            assert 0 < sent < len(body)
+            os.truncate(path, sender.body_bytes_sent)
+            received = bytearray(drain(right, sent))
+            deadline = time.monotonic() + 10.0
+            while not sender.done and time.monotonic() < deadline:
+                sender.send(left)
+                received.extend(drain(right, 1, deadline=0.2))
+            assert sender.done
+            assert sender.fell_back
+            assert sender.under_delivered
+        finally:
+            os.close(fd)
+
+
+# -- connection-level coverage ---------------------------------------------------
+
+
+class InlineDriver:
+    """Minimal ConnectionDriver running every hook inline (SPED-style)."""
+
+    def __init__(self, docroot, **config_kwargs):
+        self.config = ServerConfig(document_root=str(docroot), port=0, **config_kwargs)
+        self.loop = EventLoop()
+        self.store = ContentStore(self.config)
+        self.closed = []
+
+    def translate_async(self, uri, callback):
+        try:
+            entry = self.store.translate(uri)
+        except Exception as exc:  # noqa: BLE001 - propagate as error argument
+            callback(None, exc)
+            return
+        callback(entry, None)
+
+    def prepare_content_async(self, request, entry, callback):
+        callback(self.store.build_response(request, entry), None)
+
+    def handle_cgi_async(self, request, callback):
+        callback(b"<html>cgi</html>", None)
+
+    def on_connection_closed(self, connection):
+        self.closed.append(connection)
+
+    def shutdown(self):
+        self.store.close()
+        self.loop.close()
+
+
+@pytest.fixture
+def docroot(tmp_path):
+    (tmp_path / "small.txt").write_bytes(b"tiny body")
+    (tmp_path / "big.bin").write_bytes(os.urandom(400_000))
+    return tmp_path
+
+
+def parse_http(raw):
+    """Split one HTTP response into (header bytes, body bytes)."""
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return head, body
+
+
+def run_until(driver, predicate, deadline=5.0):
+    end = time.monotonic() + deadline
+    while not predicate() and time.monotonic() < end:
+        driver.loop.run_once(timeout=0.05)
+    assert predicate(), "condition not reached before deadline"
+
+
+@requires_sendfile
+class TestConnectionZeroCopy:
+    def _request(self, right, path, keep_alive=True):
+        token = b"keep-alive" if keep_alive else b"close"
+        right.sendall(
+            b"GET " + path + b" HTTP/1.1\r\nHost: t\r\nConnection: " + token + b"\r\n\r\n"
+        )
+
+    def test_eagain_leaves_state_machine_consistent(self, docroot):
+        left, right = socket.socketpair()
+        left.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 4096)
+        driver = InlineDriver(docroot)
+        try:
+            connection = Connection(left, ("test", 0), driver)
+            self._request(right, b"/big.bin")
+            run_until(driver, lambda: connection.state == STATE_SEND_RESPONSE)
+            # The body is far larger than the socket buffer: the first write
+            # hit EAGAIN, the response is in flight, resources stay pinned.
+            assert connection.content is not None
+            assert connection.content.file_handle.refcount == 1
+            assert driver.store.stats.sendfile_responses == 1
+
+            received = bytearray()
+
+            def pump():
+                received.extend(drain(right, 1, deadline=0.05))
+                return connection.state == STATE_READ_REQUEST
+
+            run_until(driver, pump, deadline=15.0)
+            expected = (docroot / "big.bin").read_bytes()
+            received.extend(drain(right, 500_000))
+            _, body = parse_http(bytes(received))
+            assert body == expected
+            # Response finished: every pinned resource was released and the
+            # connection is ready for the next request.
+            assert connection.content is None
+            assert connection._sender is None
+            assert not connection.closed
+        finally:
+            driver.shutdown()
+            left.close()
+            right.close()
+
+    def test_disconnect_mid_transfer_closes_cleanly(self, docroot):
+        left, right = socket.socketpair()
+        left.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 4096)
+        driver = InlineDriver(docroot)
+        try:
+            connection = Connection(left, ("test", 0), driver)
+            self._request(right, b"/big.bin")
+            run_until(driver, lambda: connection.state == STATE_SEND_RESPONSE)
+            content = connection.content
+            right.close()
+            run_until(driver, lambda: connection.state == STATE_CLOSED, deadline=10.0)
+            assert driver.closed == [connection]
+            # Pinned chunks and the cached descriptor were all released.
+            assert content.file_handle is None
+            assert content.chunks == ()
+            assert all(
+                chunk.refcount == 0
+                for chunk in driver.store.mmap_cache._chunks.values()
+            )
+        finally:
+            driver.shutdown()
+            left.close()
+
+    def test_keep_alive_sequential_requests_zero_copy(self, docroot):
+        """Offset bookkeeping must reset per response on one connection."""
+        left, right = socket.socketpair()
+        driver = InlineDriver(docroot)
+        try:
+            connection = Connection(left, ("test", 0), driver)
+            expected_small = (docroot / "small.txt").read_bytes()
+            expected_big = (docroot / "big.bin").read_bytes()
+            plan = [
+                (b"/small.txt", expected_small),
+                (b"/big.bin", expected_big),
+                (b"/small.txt", expected_small),
+                (b"/big.bin", expected_big),
+            ]
+            for index, (path, expected) in enumerate(plan, start=1):
+                self._request(right, path)
+                received = bytearray()
+
+                def pump():
+                    received.extend(drain(right, 1, deadline=0.05))
+                    return (
+                        connection.requests_served == index
+                        and connection.state == STATE_READ_REQUEST
+                    )
+
+                run_until(driver, pump, deadline=15.0)
+                received.extend(drain(right, len(expected) + 4096, deadline=0.3))
+                _, body = parse_http(bytes(received))
+                assert body == expected, f"response {index} corrupted"
+            assert driver.store.stats.sendfile_responses == len(plan)
+            assert driver.store.stats.sendfile_fallbacks == 0
+            # The descriptor cache served repeats without reopening.
+            assert driver.store.fd_cache.hits >= 2
+            assert not connection.closed
+        finally:
+            driver.shutdown()
+            left.close()
+            right.close()
+
+    def test_zero_copy_disabled_uses_buffered_path(self, docroot):
+        left, right = socket.socketpair()
+        driver = InlineDriver(docroot, zero_copy=False)
+        try:
+            connection = Connection(left, ("test", 0), driver)
+            self._request(right, b"/small.txt", keep_alive=False)
+            run_until(driver, lambda: connection.state == STATE_CLOSED, deadline=10.0)
+            raw = drain(right, 4096, deadline=0.5)
+            _, body = parse_http(raw)
+            assert body == b"tiny body"
+            assert driver.store.stats.sendfile_responses == 0
+        finally:
+            driver.shutdown()
+            left.close()
+            right.close()
+
+
+class TestSendPathsByteIdentical:
+    """Both send paths must emit identical bytes over a real socket pair."""
+
+    def fetch_raw(self, docroot, path, zero_copy):
+        left, right = socket.socketpair()
+        driver = InlineDriver(docroot, zero_copy=zero_copy)
+        try:
+            connection = Connection(left, ("test", 0), driver)
+            right.sendall(
+                b"GET " + path + b" HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+            )
+            received = bytearray()
+
+            def pump():
+                received.extend(drain(right, 1, deadline=0.05))
+                return connection.state == STATE_CLOSED
+
+            run_until(driver, pump, deadline=15.0)
+            received.extend(drain(right, 1 << 20, deadline=0.5))
+            return bytes(received)
+        finally:
+            driver.shutdown()
+            left.close()
+            right.close()
+
+    @staticmethod
+    def strip_date(raw):
+        """Drop the Date header: the only legitimately time-varying byte."""
+        return b"\r\n".join(
+            line for line in raw.split(b"\r\n") if not line.startswith(b"Date:")
+        )
+
+    @pytest.mark.parametrize("path", [b"/small.txt", b"/big.bin"])
+    def test_byte_identical_responses(self, docroot, path):
+        buffered = self.fetch_raw(docroot, path, zero_copy=False)
+        zero_copy = self.fetch_raw(docroot, path, zero_copy=True)
+        assert self.strip_date(buffered) == self.strip_date(zero_copy)
+        expected = (docroot / path.decode().lstrip("/")).read_bytes()
+        assert parse_http(buffered)[1] == expected
+
+    def test_sendfile_unavailable_falls_back(self, docroot, monkeypatch):
+        """With sendfile reported missing the zero-copy config still works."""
+        import repro.core.connection as connection_module
+
+        monkeypatch.setattr(connection_module, "sendfile_available", lambda: False)
+        raw = self.fetch_raw(docroot, b"/small.txt", zero_copy=True)
+        assert parse_http(raw)[1] == b"tiny body"
