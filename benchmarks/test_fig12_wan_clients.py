@@ -10,11 +10,23 @@ simultaneous clients sweeps from 16 to 500.  Paper shape asserted here:
   process;
 * MT holds up better than MP but worse than the event-driven architectures
   at the highest connection counts.
+
+The second benchmark extends the figure along the axis PR 1 opened: it
+crosses every architecture with every event-notification mechanism
+(``select``/``poll``/``epoll``) and reports the *event-mechanism cost
+curve*.  Under WAN conditions most connections are idle at any wakeup, so
+the stateless mechanisms re-scan an ever-growing interest set per event:
+the event-driven architectures (which watch every connection from one
+process) pay for it visibly at 500 clients, while the worker-pool
+architectures (a handful of descriptors per worker) barely notice which
+mechanism they run on.
 """
 
-from conftest import save_and_show
+import os
 
-from repro.experiments.wan_clients import WANClientsExperiment
+from conftest import RESULTS_DIR, save_and_show
+
+from repro.experiments.wan_clients import EVENT_BACKENDS, WANClientsExperiment
 
 
 def test_fig12_wan_clients(run_once):
@@ -46,3 +58,64 @@ def test_fig12_wan_clients(run_once):
     # MP's decline accelerates with connection count: it is worse at 500
     # than at the small end of the sweep.
     assert result.value("mp", many) < result.value("mp", few)
+
+
+def test_fig12_event_mechanism_sweep(run_once):
+    """WAN sweep crossed with the event-notification mechanism."""
+    experiment = WANClientsExperiment(
+        "solaris",
+        duration=2.0,
+        warmup=0.5,
+        client_counts=(16, 128, 500),
+        io_backends=EVENT_BACKENDS,
+    )
+    result = run_once(experiment.run)
+
+    counts = result.x_values
+    few, many = min(counts), max(counts)
+    servers = ("sped", "flash", "mt", "mp")
+
+    def bw(server, backend, x):
+        return result.value(f"{server}@{backend}", x)
+
+    # BENCH output: the event-mechanism cost curve — per-architecture
+    # bandwidth per backend, and the relative cost of the stateless
+    # mechanisms versus epoll at each connection count.
+    lines = [
+        "BENCH fig12-events: WAN clients x io_backend (solaris, ECE trace)",
+        f"{'arch':<6} {'clients':>7} " + " ".join(f"{b + ' Mb/s':>12}" for b in EVENT_BACKENDS)
+        + f" {'select/epoll':>13}",
+    ]
+    for server in servers:
+        for x in counts:
+            cells = " ".join(f"{bw(server, b, x):>12.1f}" for b in EVENT_BACKENDS)
+            relative = bw(server, "select", x) / bw(server, "epoll", x)
+            lines.append(f"{server:<6} {x:>7g} {cells} {relative:>13.3f}")
+    table = "\n".join(lines)
+    print("\n" + table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "fig12_event_mechanism.txt"), "w") as handle:
+        handle.write(table + "\n")
+
+    def gap(server, x):
+        """Fraction of epoll bandwidth the select scan cost eats at x clients."""
+        return 1.0 - bw(server, "select", x) / bw(server, "epoll", x)
+
+    for server in ("sped", "flash"):
+        # The event-driven architectures watch every connection from one
+        # process: at 500 WAN clients the stateless mechanisms' per-wakeup
+        # scan costs real bandwidth, and the cost *grows* with clients.
+        assert bw(server, "epoll", many) > bw(server, "select", many)
+        assert gap(server, many) > gap(server, few)
+        # poll sits between select and epoll (cheaper scan, still O(n)).
+        assert bw(server, "poll", many) >= bw(server, "select", many)
+        assert bw(server, "poll", many) <= 1.001 * bw(server, "epoll", many)
+
+    # Worker-pool architectures wait on a handful of descriptors per
+    # worker, so the mechanism barely matters to them even at 500 clients.
+    for server in ("mp", "mt"):
+        assert gap(server, many) < 0.05
+
+    # The cost curve is the event-driven architectures' problem: at 500
+    # clients select hurts flash more than it hurts mt.
+    assert gap("flash", many) > gap("mt", many)

@@ -111,6 +111,14 @@ class CachedFD:
     refcount: int = 0
     orphaned: bool = field(default=False, repr=False)
     closed: bool = field(default=False, repr=False)
+    #: Whether a readahead hint (``posix_fadvise WILLNEED``) has already
+    #: been issued for this descriptor — lets hot-path callers advise once
+    #: per descriptor lifetime instead of paying a syscall per request.
+    advised: bool = field(default=False, repr=False)
+    #: Monotonic deadline until which a *resident* residency-probe verdict
+    #: for this descriptor may be reused without re-probing (see
+    #: ``ContentStore.fd_resident``); 0 means never probed resident.
+    resident_probe_expiry: float = field(default=0.0, repr=False)
 
 
 class FileDescriptorCache:
@@ -218,9 +226,21 @@ class FileDescriptorCache:
             if path is None:
                 break
             self._free_list.discard(path)
-            entry = self._entries.pop(path, None)
-            if entry is not None:
-                self._close(entry)
+            entry = self._entries.get(path)
+            if entry is None:
+                continue
+            if entry.refcount > 0:
+                # Pinned descriptors must never be closed by eviction: a
+                # sendfile transfer may be mid-flight on this fd (resuming
+                # after a short write), and closing it would either break
+                # the transfer with EBADF or — worse — silently redirect
+                # it if the fd number is reused.  A pinned entry on the
+                # free list means the LRU bookkeeping desynchronized;
+                # dropping it from the list restores the invariant and the
+                # descriptor is parked again on its final release.
+                continue
+            del self._entries[path]
+            self._close(entry)
 
 
 class MappedFileCache:

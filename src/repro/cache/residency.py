@@ -17,6 +17,17 @@ This module provides three interchangeable testers:
   memory, adapted with fault feedback.
 * :class:`SimulatedResidencyOracle` — used by tests and by the simulation
   layer, where residency is defined by the simulated OS buffer cache.
+
+Every tester also answers the *fd-backed* residency query
+(``file_resident``) used by the zero-copy send path: a ``sendfile``
+response never maps the file, so there is no :class:`MappedChunk` to hand
+to ``is_resident``.  ``MincoreResidencyTester`` probes by building a
+*transient* private mapping of the descriptor — ``mmap`` itself faults no
+pages in, so ``mincore`` over the fresh mapping reports the true buffer
+cache state — and unmapping it immediately.  Where that is impossible it
+returns ``None`` ("cannot tell"), and the caller falls back to the clock
+predictor, which tracks fd-backed files with the same synthetic chunk keys
+the mapped path uses.
 """
 
 from __future__ import annotations
@@ -32,11 +43,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.cache.mapped_file import MappedChunk
 
 
+#: Chunk granularity the clock predictor uses to track fd-backed files; it
+#: matches the mapped-file cache's default chunk size so a file served via
+#: both routes is accounted once, not twice.
+FD_TRACKING_CHUNK = 64 * 1024
+
+
 class ResidencyTester(Protocol):
     """Interface shared by every residency tester."""
 
     def is_resident(self, chunk: "MappedChunk") -> bool:
         """Return True when all of ``chunk``'s pages are memory resident."""
+        ...
+
+    def file_resident(self, fd: int, length: int, path: str = "") -> Optional[bool]:
+        """Residency of an fd-backed (non-mmapped) byte range.
+
+        Returns True/False when the tester can answer, or ``None`` when it
+        cannot (the caller should then consult the clock predictor).
+        """
         ...
 
 
@@ -54,6 +79,27 @@ def _load_libc_mincore():
 
 _LIBC_MINCORE = _load_libc_mincore()
 _PAGE_SIZE = mmap.PAGESIZE
+
+
+def _mincore_over_buffer(data, length: int) -> Optional[bool]:
+    """Run ``mincore`` over ``length`` bytes of a writable buffer.
+
+    Returns True when every page is resident, False when any is missing,
+    and ``None`` when the system call cannot be reached (no libc symbol, a
+    read-only buffer that ctypes cannot address, or a failing call).
+    """
+    if _LIBC_MINCORE is None or length <= 0:
+        return None
+    pages = (length + _PAGE_SIZE - 1) // _PAGE_SIZE
+    vec = (ctypes.c_ubyte * pages)()
+    try:
+        address = ctypes.addressof(ctypes.c_char.from_buffer(data))
+    except (TypeError, ValueError):
+        return None
+    result = _LIBC_MINCORE(ctypes.c_void_p(address), ctypes.c_size_t(length), vec)
+    if result != 0:
+        return None
+    return all(byte & 1 for byte in vec)
 
 
 class MincoreResidencyTester:
@@ -82,25 +128,49 @@ class MincoreResidencyTester:
         data = chunk.data
         if not isinstance(data, mmap.mmap) or chunk.length == 0:
             return True
-        if _LIBC_MINCORE is None:
+        verdict = _mincore_over_buffer(data, chunk.length)
+        if verdict is None:
+            # No reachable mincore, or a read-only mapping ctypes cannot
+            # address: degrade to the configured optimistic/pessimistic
+            # answer, as on platforms without the system call.
             self.fallback_answers += 1
             return self.optimistic_fallback
-        pages = (chunk.length + _PAGE_SIZE - 1) // _PAGE_SIZE
-        vec = (ctypes.c_ubyte * pages)()
+        return verdict
+
+    def file_resident(self, fd: int, length: int, path: str = "") -> Optional[bool]:
+        """Probe residency of an fd-backed range via a transient mapping.
+
+        Creating the mapping faults no pages in (``ACCESS_COPY`` only
+        reserves address space), so ``mincore`` over it reflects the OS
+        buffer cache state of the file itself; the mapping is dropped
+        before returning.  Returns ``None`` when the probe is impossible
+        (no ``mincore``, unmappable descriptor, empty range) so the caller
+        can fall back to the clock predictor.
+        """
+        self.calls += 1
+        if length <= 0:
+            return True
+        if _LIBC_MINCORE is None or fd < 0:
+            # No reachable mincore — or a negative descriptor, which mmap
+            # would silently turn into an *anonymous* mapping (probing
+            # freshly allocated memory, not the file's cache state).
+            self.fallback_answers += 1
+            return None
         try:
-            address = ctypes.addressof(ctypes.c_char.from_buffer(data))
-        except (TypeError, ValueError):
-            # Read-only mappings cannot be exposed through ctypes; degrade
-            # exactly as on platforms without mincore.
+            # ACCESS_COPY (private, copy-on-write) for the same reason the
+            # mapped-file cache uses it: Python treats the mapping as
+            # writable, which lets ctypes take its address for mincore.
+            probe = mmap.mmap(fd, length, access=mmap.ACCESS_COPY)
+        except (OSError, ValueError, OverflowError):
             self.fallback_answers += 1
-            return self.optimistic_fallback
-        result = _LIBC_MINCORE(
-            ctypes.c_void_p(address), ctypes.c_size_t(chunk.length), vec
-        )
-        if result != 0:
+            return None
+        try:
+            verdict = _mincore_over_buffer(probe, length)
+        finally:
+            probe.close()
+        if verdict is None:
             self.fallback_answers += 1
-            return self.optimistic_fallback
-        return all(byte & 1 for byte in vec)
+        return verdict
 
 
 class ClockResidencyPredictor:
@@ -126,9 +196,17 @@ class ClockResidencyPredictor:
         max_cache_bytes: int = 1024 * 1024 * 1024,
         shrink_factor: float = 0.9,
         grow_factor: float = 1.05,
+        fd_chunk_bytes: int = FD_TRACKING_CHUNK,
     ):
         if estimated_cache_bytes <= 0:
             raise ValueError("estimated_cache_bytes must be positive")
+        if fd_chunk_bytes <= 0:
+            raise ValueError("fd_chunk_bytes must be positive")
+        #: Granularity at which fd-backed files are tracked.  Must match
+        #: the mapped-file cache's chunk size so a file served via both
+        #: routes shares one set of clock entries (the default matches
+        #: the mapped cache's default chunk size).
+        self.fd_chunk_bytes = fd_chunk_bytes
         self.estimated_cache_bytes = float(estimated_cache_bytes)
         self.min_cache_bytes = float(min_cache_bytes)
         self.max_cache_bytes = float(max_cache_bytes)
@@ -145,6 +223,32 @@ class ClockResidencyPredictor:
         key = (chunk.key.path, chunk.key.index)
         resident = key in self._recent
         self._touch(key, chunk.length)
+        return resident
+
+    def file_resident(self, fd: int, length: int, path: str = "") -> Optional[bool]:
+        """Predict residency for an fd-backed file from the clock state.
+
+        The file is tracked at the same chunk granularity as the mapped
+        path (synthetic ``(path, index)`` keys over :attr:`fd_chunk_bytes`
+        — configure it to the mapped cache's chunk size), so a file
+        alternating between mapped and ``sendfile`` service is one set of
+        clock entries, not two.  The descriptor is unused — the heuristic
+        never inspects real pages; ``path`` is the identity.  Always
+        answers (never ``None``): this predictor *is* the fallback of
+        last resort.
+        """
+        self.predictions += 1
+        if length <= 0:
+            return True
+        granularity = self.fd_chunk_bytes
+        chunks = (length + granularity - 1) // granularity
+        resident = True
+        for index in range(chunks):
+            key = (path, index)
+            if key not in self._recent:
+                resident = False
+            chunk_length = min(granularity, length - index * granularity)
+            self._touch(key, chunk_length)
         return resident
 
     def record_fault(self, chunk: "MappedChunk") -> None:
@@ -190,6 +294,13 @@ class SimulatedResidencyOracle:
     def is_resident(self, chunk: "MappedChunk") -> bool:
         self.queries += 1
         if chunk.key.path in self.resident_paths:
+            return True
+        return self.default_resident
+
+    def file_resident(self, fd: int, length: int, path: str = "") -> Optional[bool]:
+        """Scripted answer for fd-backed queries: same rule as chunks."""
+        self.queries += 1
+        if path in self.resident_paths:
             return True
         return self.default_resident
 

@@ -69,6 +69,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the sendfile zero-copy send path (use buffered writes)",
     )
+    serve.add_argument(
+        "--no-warming",
+        action="store_true",
+        help="disable sendfile-aware warming of cold fd-backed responses "
+        "(posix_fadvise WILLNEED + helper read-touch)",
+    )
+    serve.add_argument(
+        "--no-cork",
+        action="store_true",
+        help="disable TCP_CORK batching of pipelined keep-alive responses",
+    )
 
     loadgen = subparsers.add_parser("loadgen", help="drive a server with simulated clients")
     loadgen.add_argument("--host", default="127.0.0.1")
@@ -102,6 +113,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         io_backend=args.io_backend,
         zero_copy=not args.no_zero_copy,
+        helper_warming=not args.no_warming,
+        cork_responses=not args.no_cork,
     )
     if args.no_caches:
         config = config.without_caches()
@@ -111,7 +124,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"{args.architecture} server serving {config.document_root} on http://{host}:{port}/")
     if hasattr(server, "loop"):
         send_path = "zero-copy (sendfile)" if config.zero_copy else "buffered"
-        print(f"io backend: {server.loop.backend_name}; send path: {send_path}")
+        warming = "on" if (config.zero_copy and config.helper_warming) else "off"
+        cork = "on" if config.cork_responses else "off"
+        print(
+            f"io backend: {server.loop.backend_name}; send path: {send_path}; "
+            f"fd warming: {warming}; cork batching: {cork}"
+        )
     print("press Ctrl-C to stop")
     try:
         import time

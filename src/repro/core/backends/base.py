@@ -14,6 +14,33 @@ The interface mirrors the stdlib ``selectors`` contract closely (register /
 modify / unregister keyed by file object, ``poll`` returning ``(key, mask)``
 pairs) so the event loop, helper pool and CGI runner are oblivious to which
 mechanism is active.
+
+Readiness contract
+------------------
+
+Every backend delivers the same observable semantics, which the connection
+state machine depends on:
+
+* **Level-triggered.**  ``poll`` reports a descriptor ready as long as the
+  condition *holds*, not only on the transition — all three backends run in
+  level mode (``epoll`` is created without ``EPOLLET``).  The state machine
+  may therefore consume as much or as little of a readiness condition as it
+  likes per wakeup; unconsumed readiness is simply reported again.  An
+  edge-triggered backend would require drain-until-EAGAIN loops in every
+  handler and is deliberately not offered.
+* **One registration per descriptor.**  Registering an already watched fd
+  raises ``KeyError``; interest changes go through ``modify``.
+* **Error conditions surface as readiness.**  A mask may include events
+  beyond the interest set: hangups and errors (``POLLERR``/``POLLHUP``/
+  ``EPOLLHUP``…) are mapped onto READ|WRITE so the owner's next
+  ``recv``/``send`` observes EOF or the error — callers never need
+  mechanism-specific flags.
+* **No readiness invention.**  A descriptor is reported only if the kernel
+  reported it; spurious wakeups (possible with all three primitives) at
+  worst cost the caller a ``BlockingIOError``, which every handler absorbs.
+* **Timeouts.**  ``poll(None)`` blocks indefinitely, ``poll(0)`` performs a
+  non-blocking check, and a positive timeout is a ceiling (the call may
+  return early with events, never later than the timeout plus scheduling).
 """
 
 from __future__ import annotations

@@ -83,6 +83,19 @@ class ServerConfig:
     zero_copy: bool = True
     #: Open-descriptor cache capacity for the zero-copy send path.
     fd_cache_entries: int = 128
+    #: Warm cold fd-backed (sendfile) responses before transmission instead
+    #: of letting ``sendfile`` fault the pages in on the main loop's time.
+    #: AMPED probes residency on the bare descriptor (``mincore`` over a
+    #: transient map, clock-predictor fallback) and ships cold files to a
+    #: helper, which issues ``posix_fadvise(WILLNEED)`` plus a bounded
+    #: read-touch; SPED issues the ``fadvise`` hint inline (faithful SPED
+    #: still blocks on a miss).  Toggling this never changes response bytes.
+    helper_warming: bool = True
+    #: Batch back-to-back pipelined keep-alive responses with ``TCP_CORK``
+    #: (uncorked when the pipeline drains) so consecutive small responses
+    #: leave as full segments instead of one segment per response.  A no-op
+    #: on platforms without ``TCP_CORK``; never changes response bytes.
+    cork_responses: bool = True
 
     # -- protocol / optimization details ------------------------------------
     #: Byte-position alignment of response headers (Section 5.5); 0 disables.

@@ -35,6 +35,7 @@ from repro.core.event_loop import EVENT_READ, EVENT_WRITE
 from repro.core.pipeline import StaticContent
 from repro.core.send_path import (
     BufferedSendPath,
+    ResponseCork,
     SendfileSendPath,
     sendfile_available,
 )
@@ -94,6 +95,7 @@ class Connection:
         "request",
         "content",
         "_sender",
+        "_cork",
         "_interest",
         "_keep_alive",
         "last_activity",
@@ -118,6 +120,7 @@ class Connection:
         self.request: Optional[HTTPRequest] = None
         self.content: Optional[StaticContent] = None
         self._sender = None
+        self._cork = ResponseCork(sock, enabled=driver.config.cork_responses)
         self._interest = 0
         self._keep_alive = False
         self.last_activity = time.monotonic()
@@ -135,13 +138,28 @@ class Connection:
                 self._do_read()
             if mask & EVENT_WRITE and self.state == STATE_SEND_RESPONSE:
                 self._do_write()
-        except ConnectionError:
-            self.close()
         except OSError as exc:
-            if exc.errno in (errno.ECONNRESET, errno.EPIPE, errno.EBADF):
-                self.close()
-            else:
-                raise
+            self._absorb_disconnect(exc)
+
+    def _absorb_disconnect(self, exc: OSError) -> None:
+        """Close the connection on a peer failure; re-raise anything else.
+
+        The single classification point for socket errors, used by
+        :meth:`on_ready` and by every place the state machine writes to
+        the socket *outside* a readiness callback — the optimistic write
+        in :meth:`_start_send` runs on helper/CGI completion paths, and
+        without this guard a client that disconnected while its request
+        was being prepared would propagate ``BrokenPipeError`` into the
+        event loop and kill the server.
+        """
+        if isinstance(exc, ConnectionError) or exc.errno in (
+            errno.ECONNRESET,
+            errno.EPIPE,
+            errno.EBADF,
+        ):
+            self.close()
+            return
+        raise exc
 
     # -- reading and parsing ------------------------------------------------------
 
@@ -253,10 +271,24 @@ class Connection:
     def _start_send(self, sender) -> None:
         self._sender = sender
         self.state = STATE_SEND_RESPONSE
+        # A pipelined request is already buffered behind this response, so
+        # another response will follow immediately: cork the socket so the
+        # two (or more) leave the kernel as full segments instead of one
+        # short segment per response.  The cork pops in _finish_response
+        # once the pipeline drains.
+        if self._keep_alive and self.parser.remainder:
+            if self._cork.hold():
+                self.driver.store.stats.corked_responses += 1
         self._set_interest(EVENT_WRITE)
         # Optimistically try to write immediately; most responses fit in the
         # socket buffer, so this saves a full select round trip per request.
-        self._do_write()
+        # This call frequently runs from helper/CGI completion callbacks
+        # rather than from on_ready, so peer disconnects must be absorbed
+        # here — they cannot be allowed to unwind into the event loop.
+        try:
+            self._do_write()
+        except OSError as exc:
+            self._absorb_disconnect(exc)
 
     def _do_write(self) -> None:
         sender = self._sender
@@ -301,6 +333,16 @@ class Connection:
                     self._start_request(self.parser.request)
             except HTTPError as exc:
                 self._send_error(exc.status, exc.message, close_after=True)
+        if self.state in (STATE_READ_REQUEST, STATE_WAIT_DISK):
+            # Pop the cork when the pipeline drained (READ_REQUEST: no
+            # complete request is buffered) — and also when the next
+            # pipelined request went to disk (WAIT_DISK: helper or CGI
+            # dispatch).  Disk latency dwarfs any batching gain, so the
+            # finished responses must not sit corked in the kernel for up
+            # to the 200 ms cork timer while the disk seeks; _start_send
+            # re-corks for the disk-bound response if yet more requests
+            # are buffered behind it.
+            self._cork.flush()
 
     # -- errors ------------------------------------------------------------------------
 
@@ -329,6 +371,8 @@ class Connection:
         if self.state == STATE_CLOSED:
             return
         self.state = STATE_CLOSED
+        # Pop any held cork so batched bytes flush ahead of the FIN.
+        self._cork.flush()
         # Drop buffered views before releasing the chunks they point into,
         # otherwise the mapped-file cache cannot unmap them.
         if self._sender is not None:

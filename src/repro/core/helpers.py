@@ -14,6 +14,14 @@ Helpers handle one request at a time and are kept in reserve when idle.  To
 minimize IPC, helpers return only a completion notification, never file
 content (the main process transmits from its own mapping of the same file).
 
+Three operations are supported: pathname translation (``OP_TRANSLATE``),
+page-warming through a file mapping (``OP_READ``, the paper's read helper),
+and ``OP_WARM`` — the zero-copy variant of the read helper, which makes an
+fd-backed (``sendfile``) response memory resident via
+``posix_fadvise(WILLNEED)`` plus a bounded positional read-touch, so the
+main process can transmit straight from the descriptor without mapping the
+file at all.
+
 Two realizations are provided, selected by ``ServerConfig.helper_mode``:
 
 ``"process"``
@@ -48,7 +56,32 @@ from repro.http.uri import translate_path
 #: Helper operation codes.
 OP_TRANSLATE = "translate"
 OP_READ = "read"
+OP_WARM = "warm"
 OP_SHUTDOWN = "shutdown"
+
+#: Buffer size for the warm operation's read-touch passes.  One reusable
+#: buffer of this size bounds the helper's memory no matter how large the
+#: file being warmed is.
+WARM_READ_BUFFER = 256 * 1024
+
+_HAS_FADVISE = hasattr(os, "posix_fadvise") and hasattr(os, "POSIX_FADV_WILLNEED")
+
+
+def advise_willneed(fd: int, offset: int = 0, length: int = 0) -> bool:
+    """Hint the kernel to start reading ``fd``'s byte range into the cache.
+
+    Issues ``posix_fadvise(POSIX_FADV_WILLNEED)``, which kicks off readahead
+    asynchronously and returns immediately — cheap enough for SPED to call
+    inline on the main loop.  Returns False (and does nothing) on platforms
+    without ``posix_fadvise`` or when the advice is rejected.
+    """
+    if not _HAS_FADVISE:
+        return False
+    try:
+        os.posix_fadvise(fd, offset, length, os.POSIX_FADV_WILLNEED)
+        return True
+    except OSError:
+        return False
 
 
 @dataclass
@@ -60,14 +93,22 @@ class HelperRequest:
     seq:
         Sequence number used to match the completion to its callback.
     op:
-        ``OP_TRANSLATE`` (pathname translation + stat) or ``OP_READ``
-        (touch all pages of a file range so it becomes memory resident).
+        ``OP_TRANSLATE`` (pathname translation + stat), ``OP_READ`` (touch
+        all pages of a file range so it becomes memory resident) or
+        ``OP_WARM`` (``posix_fadvise(WILLNEED)`` + bounded read-touch on an
+        already open descriptor, for fd-backed ``sendfile`` responses).
     uri:
         Request path, for translations.
     path:
-        Filesystem path, for reads.
+        Filesystem path, for reads and warms.
+    fd:
+        Open file descriptor to warm (``OP_WARM`` only).  Valid only for
+        thread-mode helpers, which share the server's descriptor table; the
+        server passes ``-1`` to process-mode helpers, which re-open ``path``
+        (warming populates the shared OS buffer cache either way).  The
+        caller must keep the descriptor pinned until the reply arrives.
     offset, length:
-        Byte range to touch for reads (0, 0 means the whole file).
+        Byte range to touch for reads/warms (0, 0 means the whole file).
     document_root, user_dirs:
         Translation parameters (helpers in process mode cannot see the
         server's config object, so the request carries what it needs).
@@ -77,6 +118,7 @@ class HelperRequest:
     op: str
     uri: str = ""
     path: str = ""
+    fd: int = -1
     offset: int = 0
     length: int = 0
     document_root: str = ""
@@ -133,6 +175,17 @@ def perform_helper_operation(request: HelperRequest) -> HelperReply:
                 path=request.path,
                 bytes_touched=touched,
             )
+        if request.op == OP_WARM:
+            touched = _warm_file_range(
+                request.path, request.fd, request.offset, request.length
+            )
+            return HelperReply(
+                seq=request.seq,
+                op=request.op,
+                ok=True,
+                path=request.path,
+                bytes_touched=touched,
+            )
         raise ValueError(f"unknown helper operation: {request.op!r}")
     except Exception as exc:  # noqa: BLE001 - helpers must never die on a bad request
         return HelperReply(
@@ -167,6 +220,64 @@ def _touch_file_range(path: str, offset: int, length: int) -> int:
             touched += len(data)
             remaining -= len(data)
     return touched
+
+
+def _warm_file_range(path: str, fd: int, offset: int, length: int) -> int:
+    """Make a byte range of an fd-backed response memory resident.
+
+    This is the zero-copy analogue of :func:`_touch_file_range`: the main
+    process will transmit with ``os.sendfile`` straight from the descriptor,
+    so the helper's only job is to get the pages into the OS buffer cache —
+    no mapping coordination, no data crosses the IPC channel.
+
+    Two steps:
+
+    1. ``posix_fadvise(WILLNEED)`` tells the kernel to start readahead over
+       the whole range at once, so the disk sees one large sequential
+       request instead of the buffer-sized reads below.
+    2. A positional read-touch (``os.preadv`` into one reusable bounded
+       buffer) walks the range to guarantee the pages are actually resident
+       by completion time — ``WILLNEED`` alone is only a hint, and the main
+       process transmits assuming the helper's reply means "will not block".
+
+    ``os.preadv``/``os.pread`` never move the descriptor's file offset, so
+    warming is safe to run concurrently with a ``sendfile`` transfer from
+    the same (shared, thread-mode) descriptor.
+
+    When ``fd`` is negative (process-mode helpers do not share the server's
+    descriptor table) the helper opens ``path`` itself; the buffer cache it
+    fills is shared between processes all the same.
+    """
+    owns_fd = fd < 0
+    if owns_fd:
+        fd = os.open(path, os.O_RDONLY)
+    try:
+        size = os.fstat(fd).st_size
+        if length <= 0:
+            length = size - offset
+        length = max(0, min(length, size - offset))
+        advise_willneed(fd, offset, length)
+        buffer = bytearray(min(WARM_READ_BUFFER, max(1, length)))
+        view = memoryview(buffer)
+        read_at = getattr(os, "preadv", None)
+        touched = 0
+        position = offset
+        remaining = length
+        while remaining > 0:
+            want = min(len(buffer), remaining)
+            if read_at is not None:
+                got = read_at(fd, [view[:want]], position)
+            else:  # pragma: no cover - platforms without preadv
+                got = len(os.pread(fd, want, position))
+            if got <= 0:
+                break
+            touched += got
+            position += got
+            remaining -= got
+        return touched
+    finally:
+        if owns_fd:
+            os.close(fd)
 
 
 def translation_entry_from_reply(uri: str, reply: HelperReply) -> PathnameEntry:

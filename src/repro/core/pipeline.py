@@ -15,6 +15,7 @@ from __future__ import annotations
 import functools
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
@@ -39,6 +40,15 @@ from repro.http.request import HTTPRequest
 from repro.http.response import ResponseHeaderBuilder
 from repro.http.uri import translate_path
 
+#: How long (seconds) a *resident* fd-probe verdict may be reused for the
+#: same cached descriptor before re-probing.  The mincore probe was always
+#: advisory — pages can be evicted between probe and sendfile regardless —
+#: so a short reuse window widens that pre-existing race only marginally
+#: while removing an mmap+mincore+munmap syscall triple per request from
+#: the hot fully-cached path.  Cold verdicts are never cached: every cold
+#: request must trigger warming.
+FD_RESIDENT_PROBE_TTL = 0.1
+
 
 @dataclass
 class ServerStats:
@@ -62,6 +72,9 @@ class ServerStats:
     cgi_requests: int = 0
     sendfile_responses: int = 0
     sendfile_fallbacks: int = 0
+    sendfile_warms: int = 0
+    sendfile_warm_degradations: int = 0
+    corked_responses: int = 0
 
     def merge(self, other: "ServerStats") -> "ServerStats":
         """Return a new instance combining this one with ``other``.
@@ -193,6 +206,12 @@ class ContentStore:
         #: breakdowns can toggle it like any other optimization.
         self.fd_cache = FileDescriptorCache(max_entries=config.fd_cache_entries)
 
+        #: Lazily built clock predictor used as the fallback when the
+        #: configured tester cannot answer fd-backed residency queries
+        #: (e.g. ``mincore`` unreachable): Section 5.7's "predict instead
+        #: of ask" strategy applied to the zero-copy path.
+        self._fd_clock: Optional[ClockResidencyPredictor] = None
+
         self.stats = ServerStats()
 
     @staticmethod
@@ -205,7 +224,8 @@ class ContentStore:
         """
         if config.residency_mode == "clock":
             return ClockResidencyPredictor(
-                estimated_cache_bytes=config.clock_cache_estimate
+                estimated_cache_bytes=config.clock_cache_estimate,
+                fd_chunk_bytes=config.mmap_chunk_size,
             )
         if config.residency_mode == "optimistic":
             return SimulatedResidencyOracle(default_resident=True)
@@ -369,19 +389,59 @@ class ContentStore:
     # -- residency and blocking I/O ------------------------------------------
 
     def content_resident(self, content: StaticContent) -> bool:
-        """Test (via ``mincore``) whether every chunk of ``content`` is resident.
+        """Test (via ``mincore``) whether ``content``'s body is memory resident.
 
-        When the residency test is disabled (or the body did not come from
-        the mapped-file cache) the content is treated as resident, which is
-        exactly the behaviour of the Flash-SPED build.
+        Mapped bodies are tested chunk by chunk as before.  Fd-backed
+        (pure zero-copy) bodies have no mapping to test, so the query goes
+        through :meth:`fd_resident` — a transient-map ``mincore`` probe
+        with a clock-predictor fallback.  When the residency test is
+        disabled the content is treated as resident, which is exactly the
+        behaviour of the Flash-SPED build.
         """
-        if not self.config.enable_residency_test or not content.chunks:
+        if not self.config.enable_residency_test:
             return True
-        # Every chunk is tested (no short-circuit): mincore inspects the whole
-        # mapping, and the clock predictor must record every chunk it was
-        # asked about so its later predictions cover the whole file.
-        results = [self.mmap_cache.is_resident(chunk) for chunk in content.chunks]
-        return all(results)
+        if content.chunks:
+            # Every chunk is tested (no short-circuit): mincore inspects the
+            # whole mapping, and the clock predictor must record every chunk
+            # it was asked about so its later predictions cover the whole file.
+            results = [self.mmap_cache.is_resident(chunk) for chunk in content.chunks]
+            return all(results)
+        if content.file_handle is not None and content.content_length > 0:
+            return self.fd_resident(content.file_handle, content.content_length)
+        return True
+
+    def fd_resident(self, handle: CachedFD, length: int) -> bool:
+        """Residency of an fd-backed response body (no mapping involved).
+
+        Asks the configured tester's ``file_resident`` first; a ``None``
+        answer ("cannot tell" — typically no reachable ``mincore``) falls
+        back to a dedicated clock predictor so the AMPED build still avoids
+        blocking ``sendfile`` transmissions on platforms without the call.
+
+        Resident verdicts are remembered on the descriptor for
+        ``FD_RESIDENT_PROBE_TTL`` seconds, so a hot file served in a burst
+        pays one probe per window instead of one per request.
+        """
+        now = time.monotonic()
+        if handle.resident_probe_expiry > now:
+            return True
+        resident = self._fd_resident_probe(handle, length)
+        if resident:
+            handle.resident_probe_expiry = now + FD_RESIDENT_PROBE_TTL
+        return resident
+
+    def _fd_resident_probe(self, handle: CachedFD, length: int) -> bool:
+        probe = getattr(self.residency_tester, "file_resident", None)
+        if probe is not None:
+            verdict = probe(handle.fd, length, path=handle.path)
+            if verdict is not None:
+                return bool(verdict)
+        if self._fd_clock is None:
+            self._fd_clock = ClockResidencyPredictor(
+                estimated_cache_bytes=self.config.clock_cache_estimate,
+                fd_chunk_bytes=self.config.mmap_chunk_size,
+            )
+        return bool(self._fd_clock.file_resident(handle.fd, length, path=handle.path))
 
     @staticmethod
     def read_file(path: str) -> bytes:

@@ -19,13 +19,57 @@ drives one non-blocking step at a time:
     to the buffered path mid-transfer, resuming at the exact byte offset
     already reached.
 
-Both paths share the same tiny contract: ``send(sock)`` transmits as much
-as the socket accepts right now and returns the byte count, ``done`` says
-whether the response is fully out, and ``release()`` drops buffer views so
-pinned cache chunks can be unmapped.  Short writes, ``EAGAIN`` and client
-disconnects are the callers' three interesting cases; the first two are
-absorbed here (progress is remembered), the third surfaces as the usual
+Send-state contract
+-------------------
+
+Both paths share the same tiny send-state contract, which is what the
+connection state machine programs against:
+
+``send(sock) -> int``
+    Transmit as much as the socket accepts *right now* and return the byte
+    count.  Never blocks: a full socket buffer (``EAGAIN``) simply ends the
+    attempt with progress remembered, and the caller retries when the
+    socket selects writable.
+``done -> bool``
+    True once every byte of the response (header and body, via whichever
+    mechanism) has been handed to the kernel.
+``under_delivered -> bool``
+    True when fewer body bytes than the header promised were delivered
+    (only possible on the sendfile path, when the file shrank mid-transfer
+    and the fallback could not cover the rest).  The owner must then close
+    the connection instead of reusing it — another response on the same
+    connection would desynchronize keep-alive framing.
+``release()``
+    Drop all buffer views so pinned mapped chunks can be unmapped; the
+    descriptor behind a sendfile response is *not* closed here (its
+    refcount is owned by the FileDescriptorCache).
+
+Short writes, ``EAGAIN`` and client disconnects are the callers' three
+interesting cases; the first two are absorbed here (progress is
+remembered), the third surfaces as the usual
 ``ConnectionError``/``OSError`` for the connection to handle.
+
+Fallback-offset semantics
+-------------------------
+
+When ``sendfile`` degrades mid-transfer (unsupported fd/socket pair, or
+EOF before the promised count), the buffered fallback must resume at the
+*exact body byte* already on the wire: :class:`SendfileSendPath` tracks
+``body_bytes_sent = offset - start`` and slices that many bytes off the
+front of the fallback buffers before constructing the replacement
+:class:`BufferedSendPath`.  Bytes are therefore never duplicated or
+skipped across the degradation, and a response is byte-identical whichever
+mechanism (or mixture) delivered it.
+
+Pipelined-response batching
+---------------------------
+
+:class:`ResponseCork` batches back-to-back keep-alive responses with
+``TCP_CORK``: while the connection still has pipelined requests buffered,
+the cork holds partial segments in the kernel so consecutive small
+responses leave the NIC as full TCP segments; when the pipeline drains the
+cork is popped and everything flushes.  Corking changes segmentation only
+— the byte stream is identical with it on or off.
 """
 
 from __future__ import annotations
@@ -68,6 +112,69 @@ _MSG_MORE = getattr(socket, "MSG_MORE", 0)
 def sendfile_available() -> bool:
     """Whether this platform offers ``os.sendfile`` at all."""
     return hasattr(os, "sendfile")
+
+
+#: ``TCP_CORK`` constant (Linux).  0 means the platform has no cork and
+#: :class:`ResponseCork` degrades to a no-op.
+_TCP_CORK = getattr(socket, "TCP_CORK", 0)
+
+
+def cork_available() -> bool:
+    """Whether this platform offers ``TCP_CORK`` batching."""
+    return bool(_TCP_CORK)
+
+
+class ResponseCork:
+    """Batches back-to-back pipelined responses with ``TCP_CORK``.
+
+    With ``TCP_NODELAY`` set (every connection sets it), each response's
+    final short segment goes out immediately; for a pipelined burst of
+    small responses that means one undersized TCP segment per response.
+    Holding the cork across the burst lets the kernel pack consecutive
+    responses into full segments, and popping it on queue drain flushes
+    whatever remains — the kernel's 200 ms cork timer bounds the damage if
+    the owner ever forgets.
+
+    The class is idempotent and failure-silent: ``hold``/``flush`` track
+    state so redundant ``setsockopt`` calls are skipped, any ``OSError``
+    (e.g. the peer already disconnected) is swallowed, and on platforms
+    without ``TCP_CORK`` every method is a no-op.  Corking never changes
+    the bytes of a response, only how they are segmented on the wire.
+    """
+
+    __slots__ = ("_sock", "_held", "_enabled")
+
+    def __init__(self, sock: socket.socket, enabled: bool = True) -> None:
+        self._sock = sock
+        self._held = False
+        self._enabled = enabled and cork_available()
+
+    @property
+    def held(self) -> bool:
+        """True while the cork is in (responses are being batched)."""
+        return self._held
+
+    def hold(self) -> bool:
+        """Cork the socket; returns True if the cork is (now) in."""
+        if not self._enabled:
+            return False
+        if not self._held:
+            try:
+                self._sock.setsockopt(socket.IPPROTO_TCP, _TCP_CORK, 1)
+            except OSError:
+                return False
+            self._held = True
+        return True
+
+    def flush(self) -> None:
+        """Pop the cork, flushing any batched partial segment.  Idempotent."""
+        if not self._held:
+            return
+        self._held = False
+        try:
+            self._sock.setsockopt(socket.IPPROTO_TCP, _TCP_CORK, 0)
+        except OSError:
+            pass
 
 
 class BufferedSendPath:

@@ -31,11 +31,13 @@ from repro.core.event_loop import EVENT_READ, EventLoop
 from repro.core.helpers import (
     OP_READ,
     OP_TRANSLATE,
+    OP_WARM,
     HelperPool,
     HelperRequest,
     translation_entry_from_reply,
 )
-from repro.core.pipeline import ContentStore, ServerStats
+from repro.core.pipeline import ContentStore, ServerStats, StaticContent
+from repro.core.send_path import sendfile_available
 from repro.http.errors import HTTPError, NotFoundError
 from repro.http.request import HTTPRequest
 
@@ -276,11 +278,46 @@ class FlashServer(BaseEventDrivenServer):
         self.helpers.submit(request, on_reply)
 
     def prepare_content_async(self, request: HTTPRequest, entry, callback) -> None:
-        """Build the response; warm non-resident content through a read helper."""
+        """Build the response; warm non-resident content through a helper.
+
+        Two warming routes, chosen by how the body will be transmitted:
+
+        * mapped bodies keep the paper's original path — chunk-level
+          ``mincore`` then an ``OP_READ`` helper that touches the pages;
+        * fd-backed (``sendfile``) bodies skip mapping entirely when
+          ``helper_warming`` is enabled: residency is probed on the bare
+          descriptor and cold files go to an ``OP_WARM`` helper
+          (``posix_fadvise(WILLNEED)`` + bounded read-touch), so the
+          zero-copy fast path never pays map/touch/unmap work at all.
+        """
+        # With warming enabled the zero-copy response needs no mapped
+        # chunks: the fd residency probe replaces the chunk mincore test
+        # and the warm helper replaces the page-touch helper.
+        fd_route = (
+            self.config.zero_copy
+            and self.config.helper_warming
+            and sendfile_available()
+            and not request.is_head
+        )
         try:
-            content = self.store.build_response(request, entry)
+            content = self.store.build_response(request, entry, map_body=not fd_route)
         except (HTTPError, OSError) as exc:
             callback(None, exc)
+            return
+        if content.file_handle is not None and not content.chunks:
+            # Fd-backed (chunkless) response — also reachable with warming
+            # disabled when the mmap cache is off.  Residency can only be
+            # probed on the bare descriptor and warmed via OP_WARM, so with
+            # ``helper_warming`` off we keep the pre-warming behaviour:
+            # transmit optimistically, exactly like the no-chunk case
+            # always did (sendfile pages the file in, blocking this
+            # process — the configuration asked for it).
+            if self.config.helper_warming and not self.store.content_resident(content):
+                self.store.stats.helper_dispatches += 1
+                self.store.stats.blocking_reads += 1
+                self._warm_fd_async(entry, content, callback)
+                return
+            callback(content, None)
             return
         if self.store.content_resident(content):
             callback(content, None)
@@ -297,6 +334,61 @@ class FlashServer(BaseEventDrivenServer):
             if not reply.ok:
                 content.release(self.store)
                 callback(None, _reply_to_error(reply))
+                return
+            callback(content, None)
+
+        self.helpers.submit(helper_request, on_reply)
+
+    def _warm_fd_async(self, entry, content: StaticContent, callback) -> None:
+        """Ship a cold fd-backed response to an ``OP_WARM`` helper.
+
+        Thread-mode helpers share the server's descriptor table, so they
+        warm the pinned cached descriptor in place; process-mode helpers
+        get ``fd=-1`` and re-open by path (the OS buffer cache they fill is
+        shared between processes either way).  The descriptor stays pinned
+        by ``content`` until the completion callback runs, so it cannot be
+        evicted or closed while the helper reads from it.
+        """
+        self.store.stats.sendfile_warms += 1
+        fd = content.file_handle.fd if self.helpers.mode == "thread" else -1
+        helper_request = HelperRequest(
+            seq=0,
+            op=OP_WARM,
+            path=entry.filesystem_path,
+            fd=fd,
+            offset=0,
+            length=content.content_length,
+        )
+
+        def on_reply(reply) -> None:
+            if not reply.ok:
+                # The helper failed (or died) mid-warm.  Degrade to the
+                # buffered path rather than fail a servable request: read
+                # the body into user space and serve that.  The read is a
+                # deliberate last resort — it blocks the main loop on a
+                # known-cold file, trading the non-blocking invariant for
+                # availability on the (helper-failure) rare path.
+                self.store.stats.sendfile_warm_degradations += 1
+                expected = content.content_length
+                header = content.header
+                content.release(self.store)
+                try:
+                    data = self.store.read_file(entry.filesystem_path)
+                except OSError as exc:
+                    callback(None, exc)
+                    return
+                if len(data) != expected:
+                    # The file changed size since the header promised
+                    # ``expected`` bytes; serving the mismatched body would
+                    # desynchronize keep-alive framing (the buffered path
+                    # has no under_delivered escape hatch).  Fail this
+                    # request; pathname revalidation repairs the next one.
+                    callback(None, HTTPError("file changed during warming", status=500))
+                    return
+                degraded = StaticContent(
+                    header=header, segments=[data], content_length=len(data)
+                )
+                callback(degraded, None)
                 return
             callback(content, None)
 

@@ -31,9 +31,25 @@ DEFAULT_SERVERS = ("sped", "flash", "mt", "mp")
 #: Client counts on the figure's x axis.
 DEFAULT_CLIENT_COUNTS = (16, 32, 64, 128, 256, 500)
 
+#: Event-notification mechanisms the extended sweep can cross with the
+#: architectures (see ``io_backends`` below).
+EVENT_BACKENDS = ("select", "poll", "epoll")
+
 
 class WANClientsExperiment:
-    """Sweep the number of concurrent (persistent) client connections."""
+    """Sweep the number of concurrent (persistent) client connections.
+
+    With the default ``io_backends=None`` the experiment reproduces the
+    paper's Figure 12 exactly as before (every server on the simulator's
+    default O(ready) event mechanism).  Passing a sequence of backend
+    names — e.g. ``EVENT_BACKENDS`` — crosses every architecture with
+    every mechanism, which reproduces the *event-mechanism cost curve*:
+    under WAN conditions most connections are idle at any instant, so
+    stateless mechanisms (``select``/``poll``) re-scan an ever larger
+    interest set per wakeup while ``epoll`` stays flat.  Rows from the
+    sweep are labelled ``server@backend`` and carry ``io_backend`` in
+    their details.
+    """
 
     def __init__(
         self,
@@ -46,6 +62,7 @@ class WANClientsExperiment:
         client_link_bits: Optional[float] = None,
         duration: float = 4.0,
         warmup: float = 1.0,
+        io_backends: Optional[Sequence[str]] = None,
     ):
         self.platform = platform.lower()
         self.servers = tuple(servers)
@@ -55,37 +72,50 @@ class WANClientsExperiment:
         self.client_link_bits = client_link_bits
         self.duration = duration
         self.warmup = warmup
+        self.io_backends = tuple(io_backends) if io_backends else None
         self.name = "fig12-wan-clients"
 
+    @staticmethod
+    def series_label(server: str, backend: Optional[str]) -> str:
+        """Row label for one (architecture, event mechanism) combination."""
+        return server if backend is None else f"{server}@{backend}"
+
     def run(self) -> ExperimentResult:
-        """Run every server at every concurrency level."""
+        """Run every server (x every backend) at every concurrency level."""
         result = ExperimentResult(self.name, x_label="concurrent clients")
         spec = self.base_trace.scaled_to_dataset(self.dataset_mb * MB)
-        workload = TraceWorkload(spec)
+        backends: Sequence[Optional[str]] = self.io_backends or (None,)
         for num_clients in self.client_counts:
             for server in self.servers:
-                sim = run_simulation(
-                    server,
-                    workload,
-                    platform=self.platform,
-                    num_clients=num_clients,
-                    duration=self.duration,
-                    warmup=self.warmup,
-                    persistent_connections=True,
-                    client_link_bits=self.client_link_bits,
-                )
-                result.add(
-                    ResultRow(
-                        experiment=self.name,
-                        server=server,
-                        x=float(num_clients),
-                        bandwidth_mbps=sim.bandwidth_mbps,
-                        request_rate=sim.request_rate,
-                        details={
-                            "platform": self.platform,
-                            "hit_rate": sim.buffer_cache_hit_rate,
-                            "memory_footprint": sim.memory_footprint,
-                        },
+                for backend in backends:
+                    # A fresh (identically seeded) workload per run: the
+                    # per-client Zipf samplers are stateful, so sharing one
+                    # workload would hand every run a different request
+                    # stream and blur the backend/architecture comparison.
+                    sim = run_simulation(
+                        server,
+                        TraceWorkload(spec),
+                        platform=self.platform,
+                        num_clients=num_clients,
+                        duration=self.duration,
+                        warmup=self.warmup,
+                        persistent_connections=True,
+                        client_link_bits=self.client_link_bits,
+                        **({"io_backend": backend} if backend else {}),
                     )
-                )
+                    result.add(
+                        ResultRow(
+                            experiment=self.name,
+                            server=self.series_label(server, backend),
+                            x=float(num_clients),
+                            bandwidth_mbps=sim.bandwidth_mbps,
+                            request_rate=sim.request_rate,
+                            details={
+                                "platform": self.platform,
+                                "io_backend": sim.extra.get("io_backend", "epoll"),
+                                "hit_rate": sim.buffer_cache_hit_rate,
+                                "memory_footprint": sim.memory_footprint,
+                            },
+                        )
+                    )
         return result

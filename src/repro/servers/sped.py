@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.cache.residency import ResidencyTester
 from repro.core.config import ServerConfig
+from repro.core.helpers import advise_willneed
 from repro.core.pipeline import ContentStore
 from repro.core.send_path import sendfile_available
 from repro.core.server import BaseEventDrivenServer
@@ -63,4 +64,17 @@ class SPEDServer(BaseEventDrivenServer):
             self.config.zero_copy and content.file_handle is not None
         ):
             ContentStore.touch_chunks(content.chunks)
+        elif content.file_handle is not None and self.config.helper_warming:
+            # SPED has no helpers, but posix_fadvise(WILLNEED) returns
+            # immediately after queueing readahead, so the hint is safe on
+            # the main loop: a cold sendfile that follows overlaps with the
+            # readahead already in flight instead of paying the full
+            # synchronous read.  Faithful SPED still blocks on a miss.
+            # Advised once per cached-descriptor lifetime: SPED does no
+            # residency test, so per-request re-advising would put a
+            # syscall on the hot fully-cached path for nothing.
+            handle = content.file_handle
+            if not handle.advised:
+                handle.advised = True
+                advise_willneed(handle.fd, 0, content.content_length)
         callback(content, None)

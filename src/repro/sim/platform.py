@@ -91,6 +91,18 @@ class PlatformProfile:
     #: number of ready events, which grows with concurrency — the
     #: "aggregation effect" behind Figure 12's initial rise).
     cost_select_wakeup: float = 45e-6
+    #: Additional per-*watched-descriptor* cost a stateless notification
+    #: mechanism pays on every wakeup: ``select``/``poll`` hand the kernel
+    #: the whole interest set each call and scan the whole answer, so their
+    #: wakeup cost grows linearly with open connections even when only one
+    #: is ready.  A stateful mechanism (``epoll``) registers interest once
+    #: and pays O(ready events) — modelled as zero scan cost.  See
+    #: :meth:`event_wakeup_cost`.
+    cost_fd_scan: float = 0.4e-6
+    #: Scan-cost discount for ``poll`` relative to ``select``: poll walks a
+    #: flat pollfd array instead of rebuilding and scanning three fd_set
+    #: bitmasks, so its per-descriptor work is smaller.
+    poll_scan_factor: float = 0.6
 
     # -- concurrency costs ------------------------------------------------------------
     #: Process context switch (MP, and AMPED helper handoff).
@@ -137,6 +149,33 @@ class PlatformProfile:
         """Wire time to transmit ``size`` bytes at the NIC's full rate."""
         return (size * 8) / self.nic_bandwidth_bits
 
+    def event_wakeup_cost(self, backend: str, watched_fds: int) -> float:
+        """Per-wakeup CPU cost of one event-notification mechanism.
+
+        ``epoll`` models a stateful O(ready-events) mechanism: constant
+        ``cost_select_wakeup`` per wakeup, independent of how many
+        descriptors are watched (it also matches the profile's original
+        calibration, so results for the default backend are unchanged).
+        ``select`` adds a scan term linear in ``watched_fds``; ``poll``
+        pays the same shape discounted by :attr:`poll_scan_factor`.  This
+        is the event-mechanism cost curve the WAN experiment sweeps: as
+        long-lived connections accumulate, stateless mechanisms spend an
+        ever larger slice of each request's CPU budget re-declaring
+        interest in mostly idle descriptors.
+        """
+        if backend == "epoll":
+            return self.cost_select_wakeup
+        if backend == "select":
+            return self.cost_select_wakeup + self.cost_fd_scan * watched_fds
+        if backend == "poll":
+            return (
+                self.cost_select_wakeup
+                + self.cost_fd_scan * self.poll_scan_factor * watched_fds
+            )
+        raise ValueError(
+            f"unknown io backend {backend!r}; expected 'select', 'poll' or 'epoll'"
+        )
+
     def disk_time(self, size: int, queue_depth: int = 1) -> float:
         """Disk service time for a ``size``-byte read with ``queue_depth`` waiting.
 
@@ -179,6 +218,7 @@ SOLARIS = PlatformProfile(
     # the pronounced Zeus dip that Figure 7 (FreeBSD) does.
     misaligned_copy_multiplier=1.12,
     cost_select_wakeup=110e-6,
+    cost_fd_scan=1.0e-6,
     cost_process_switch=30e-6,
     cost_thread_switch=14e-6,
     cost_synchronization=20e-6,

@@ -72,6 +72,7 @@ def run_simulation(
     client_link_bits: Optional[float] = None,
     think_time: float = 0.0,
     warm_buffer_cache: bool = True,
+    io_backend: str = "epoll",
     server_kwargs: Optional[dict] = None,
 ) -> SimulationResult:
     """Run one simulated benchmark and return its result.
@@ -92,6 +93,7 @@ def run_simulation(
         app_caches=app_caches or AppCacheConfig(),
         persistent_connections=persistent_connections,
         client_link_bits=client_link_bits,
+        io_backend=io_backend,
     )
     server = create_model(
         architecture,
@@ -136,5 +138,8 @@ def run_simulation(
         disk_utilization=summary["disk_utilization"],
         nic_utilization=summary["nic_utilization"],
         memory_footprint=summary["memory_footprint"],
-        extra={"helper_dispatches": summary.get("helper_dispatches", 0)},
+        extra={
+            "helper_dispatches": summary.get("helper_dispatches", 0),
+            "io_backend": io_backend,
+        },
     )

@@ -66,6 +66,12 @@ class SimServerConfig:
     per_byte_multiplier: float = 1.0
     #: Per-client WAN link rate in bits/second (None = LAN).
     client_link_bits: Optional[float] = None
+    #: Event-notification mechanism the simulated server uses: ``"epoll"``
+    #: (stateful, O(ready) — the default, matching the original profile
+    #: calibration), ``"select"`` or ``"poll"`` (stateless: wakeup cost
+    #: grows with the number of watched descriptors).  See
+    #: :meth:`repro.sim.platform.PlatformProfile.event_wakeup_cost`.
+    io_backend: str = "epoll"
 
     def with_caches(self, *, pathname: bool = True, mmap: bool = True, header: bool = True) -> "SimServerConfig":
         """A copy with the given cache combination (Figure 11 variants)."""
@@ -257,9 +263,23 @@ class SimulatedServer:
         """
         return min(4.0, max(1.0, self.num_connections / 16.0))
 
+    def watched_descriptors(self) -> int:
+        """Descriptors one event wait covers (the stateless-scan cost driver).
+
+        An event-driven process watches every open connection in a single
+        ``select``/``poll``/``epoll`` call; worker-pool architectures
+        divide the connections among their workers, so each blocking
+        context waits on only its own share (with persistent connections
+        and many clients, that is about one descriptor per worker).
+        """
+        if self.uses_worker_pool:
+            return max(1, self.num_connections // max(1, self.config.num_workers))
+        return max(1, self.num_connections)
+
     def _request_cpu_time(self, outcome: AppCacheOutcome, keep_alive: bool) -> float:
         p = self.platform
-        total = p.cost_parse + p.cost_select_wakeup / self._select_amortization()
+        wakeup = p.event_wakeup_cost(self.config.io_backend, self.watched_descriptors())
+        total = p.cost_parse + wakeup / self._select_amortization()
         if not keep_alive:
             total += p.cost_accept
         total += p.cost_pathname_hit if outcome.pathname_hit else p.cost_pathname_miss

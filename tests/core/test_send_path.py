@@ -502,3 +502,78 @@ class TestSendPathsByteIdentical:
         monkeypatch.setattr(connection_module, "sendfile_available", lambda: False)
         raw = self.fetch_raw(docroot, b"/small.txt", zero_copy=True)
         assert parse_http(raw)[1] == b"tiny body"
+
+
+class TestResponseCork:
+    @staticmethod
+    def tcp_pair():
+        """TCP_CORK is TCP-only, so cork tests need a real TCP pair."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        client = socket.create_connection(listener.getsockname())
+        server_side, _ = listener.accept()
+        listener.close()
+        return server_side, client
+
+    def test_hold_and_flush_idempotent(self):
+        from repro.core.send_path import ResponseCork, cork_available
+
+        left, right = self.tcp_pair()
+        try:
+            cork = ResponseCork(left, enabled=True)
+            held = cork.hold()
+            assert held == cork_available()
+            assert cork.held == held
+            assert cork.hold() == held            # idempotent
+            cork.flush()
+            assert not cork.held
+            cork.flush()                          # idempotent
+        finally:
+            left.close()
+            right.close()
+
+    def test_disabled_cork_is_noop(self):
+        from repro.core.send_path import ResponseCork
+
+        left, right = socket.socketpair()
+        try:
+            cork = ResponseCork(left, enabled=False)
+            assert cork.hold() is False
+            assert not cork.held
+            cork.flush()
+        finally:
+            left.close()
+            right.close()
+
+    def test_closed_socket_is_harmless(self):
+        from repro.core.send_path import ResponseCork
+
+        left, right = socket.socketpair()
+        cork = ResponseCork(left, enabled=True)
+        left.close()
+        right.close()
+        assert cork.hold() is False               # swallowed OSError
+        cork.flush()
+
+    def test_corked_bytes_still_arrive_on_flush(self):
+        from repro.core.send_path import ResponseCork, cork_available
+
+        if not cork_available():
+            pytest.skip("TCP_CORK not available")
+        # A real TCP pair: cork, write a partial segment, uncork, observe it.
+        server_side, client = self.tcp_pair()
+        try:
+            cork = ResponseCork(server_side, enabled=True)
+            assert cork.hold()
+            server_side.sendall(b"first")
+            server_side.sendall(b"second")
+            cork.flush()
+            client.settimeout(2.0)
+            received = b""
+            while len(received) < 11:
+                received += client.recv(64)
+            assert received == b"firstsecond"
+        finally:
+            client.close()
+            server_side.close()

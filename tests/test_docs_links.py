@@ -1,0 +1,65 @@
+"""Relative links in README.md and docs/ must point at files that exist.
+
+Documentation rots silently — a renamed module or moved benchmark breaks
+its references without any test noticing.  This check walks every
+markdown file at the repo root and under ``docs/``, extracts relative
+links and inline code references to repository paths, and fails on any
+target that does not exist.
+"""
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Markdown files whose links are checked.
+DOCUMENTS = ["README.md", "ROADMAP.md"] + [
+    os.path.join("docs", name)
+    for name in (
+        sorted(os.listdir(os.path.join(REPO_ROOT, "docs")))
+        if os.path.isdir(os.path.join(REPO_ROOT, "docs"))
+        else ()
+    )
+    if name.endswith(".md")
+]
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+
+def _relative_links(markdown: str):
+    for match in _LINK.finditer(markdown):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target
+
+
+@pytest.mark.parametrize("document", DOCUMENTS)
+def test_relative_links_resolve(document):
+    path = os.path.join(REPO_ROOT, document)
+    if not os.path.exists(path):
+        pytest.skip(f"{document} not present")
+    with open(path, encoding="utf-8") as handle:
+        markdown = handle.read()
+    base = os.path.dirname(path)
+    broken = []
+    for target in _relative_links(markdown):
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            broken.append(target)
+    assert not broken, f"{document} has broken relative links: {broken}"
+
+
+def test_docs_exist():
+    """The documentation tree itself is part of the contract."""
+    for required in ("docs/ARCHITECTURE.md", "docs/BENCHMARKS.md"):
+        assert os.path.exists(os.path.join(REPO_ROOT, required)), required
+
+
+def test_readme_links_docs_tree():
+    with open(os.path.join(REPO_ROOT, "README.md"), encoding="utf-8") as handle:
+        readme = handle.read()
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/BENCHMARKS.md" in readme
