@@ -12,12 +12,19 @@ Three caches are maintained by the Flash server:
   memory-mapped chunks of files in an LRU free list so frequently requested
   content avoids repeated map/unmap system calls.
 
+:mod:`repro.cache.hot_response` unifies all of the above behind one probe:
+a **hot-response cache** keyed on the raw request-target bytes, whose
+entries hold the validated translation, precomposed header variants and
+pinned body resources — the single-lookup fast path for repeated static
+GETs.
+
 :mod:`repro.cache.residency` provides the memory-residency test (``mincore``)
 and the feedback-based clock heuristic fallback described in Section 5.7.
 :mod:`repro.cache.lru` provides the generic LRU machinery shared by all of
 the above and by the simulator's OS buffer cache.
 """
 
+from repro.cache.hot_response import HotEntry, HotResponseCache
 from repro.cache.lru import LRUCache, LRUList
 from repro.cache.mapped_file import ChunkKey, MappedFileCache, MappedChunk
 from repro.cache.pathname import PathnameCache, PathnameEntry
@@ -30,6 +37,8 @@ from repro.cache.residency import (
 from repro.cache.response_header import ResponseHeaderCache
 
 __all__ = [
+    "HotEntry",
+    "HotResponseCache",
     "LRUCache",
     "LRUList",
     "PathnameCache",

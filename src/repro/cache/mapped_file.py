@@ -20,7 +20,7 @@ from __future__ import annotations
 import mmap
 import os
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.cache.lru import LRUList
 from repro.cache.residency import MincoreResidencyTester, ResidencyTester
@@ -142,6 +142,12 @@ class FileDescriptorCache:
         self.max_entries = max_entries
         self._entries: dict[str, CachedFD] = {}
         self._free_list: LRUList[str] = LRUList()
+        #: Optional hook called with the path whenever a cached descriptor
+        #: is invalidated; the hot-response cache subscribes so its entries
+        #: never outlive the descriptor they pinned.  (LRU eviction never
+        #: touches pinned descriptors, so invalidation is the only way a
+        #: subscribed holder can lose one.)
+        self.on_invalidate: Optional[Callable[[str], None]] = None
         self.hits = 0
         self.misses = 0
         self.open_operations = 0
@@ -195,6 +201,8 @@ class FileDescriptorCache:
 
         A pinned descriptor is orphaned — removed from the cache but kept
         open for the in-flight response, which closes it on release.
+        Subscribed holders (the hot-response cache) are notified so they
+        release their pin; an orphan whose last pin drops is closed then.
         """
         entry = self._entries.pop(path, None)
         if entry is None:
@@ -204,6 +212,8 @@ class FileDescriptorCache:
             self._close(entry)
         else:
             entry.orphaned = True
+        if self.on_invalidate is not None:
+            self.on_invalidate(path)
 
     def clear(self) -> None:
         """Invalidate every cached descriptor."""
@@ -273,6 +283,9 @@ class MappedFileCache:
         self.chunk_size = chunk_size
         self.max_mapped_bytes = max_mapped_bytes
         self.residency_tester = residency_tester or MincoreResidencyTester()
+        #: Optional hook called with the path whenever chunks of a file are
+        #: invalidated (see :attr:`FileDescriptorCache.on_invalidate`).
+        self.on_invalidate: Optional[Callable[[str], None]] = None
         self._chunks: dict[ChunkKey, MappedChunk] = {}
         self._free_list: LRUList[ChunkKey] = LRUList()
         self._inactive_bytes = 0
@@ -365,6 +378,8 @@ class MappedFileCache:
                 # mapping is created next time, but leave the mmap alive for
                 # the in-flight response, which will close it on release.
                 del self._chunks[key]
+        if self.on_invalidate is not None:
+            self.on_invalidate(path)
         return dropped
 
     def clear(self) -> None:

@@ -80,6 +80,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable TCP_CORK batching of pipelined keep-alive responses",
     )
+    serve.add_argument(
+        "--no-hot-cache",
+        action="store_true",
+        help="disable the unified hot-response cache (single-lookup fast "
+        "path for repeated static GETs)",
+    )
+    serve.add_argument(
+        "--no-fast-parse",
+        action="store_true",
+        help="always run the full request parser, even for plain GETs",
+    )
 
     loadgen = subparsers.add_parser("loadgen", help="drive a server with simulated clients")
     loadgen.add_argument("--host", default="127.0.0.1")
@@ -115,6 +126,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         zero_copy=not args.no_zero_copy,
         helper_warming=not args.no_warming,
         cork_responses=not args.no_cork,
+        hot_cache=not args.no_hot_cache,
+        fast_parse=not args.no_fast_parse,
     )
     if args.no_caches:
         config = config.without_caches()
@@ -126,9 +139,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         send_path = "zero-copy (sendfile)" if config.zero_copy else "buffered"
         warming = "on" if (config.zero_copy and config.helper_warming) else "off"
         cork = "on" if config.cork_responses else "off"
+        hot = "on" if config.hot_cache else "off"
+        fast = "on" if config.fast_parse else "off"
         print(
             f"io backend: {server.loop.backend_name}; send path: {send_path}; "
-            f"fd warming: {warming}; cork batching: {cork}"
+            f"fd warming: {warming}; cork batching: {cork}; "
+            f"hot cache: {hot}; fast parse: {fast}"
         )
     print("press Ctrl-C to stop")
     try:

@@ -125,15 +125,7 @@ class _SimClient:
 
     def _prepare_request(self) -> None:
         path = self.generator.next_path()
-        keep_alive = self.generator.keep_alive
-        connection = "keep-alive" if keep_alive else "close"
-        host = "%s:%d" % self.generator.address
-        self._send_buffer = (
-            f"GET {path} HTTP/1.1\r\n"
-            f"Host: {host}\r\n"
-            f"Connection: {connection}\r\n"
-            "\r\n"
-        ).encode("latin-1")
+        self._send_buffer = self.generator.request_bytes(path)
         self._recv_buffer = bytearray()
         self._expected_length = None
         self._header_parsed = False
@@ -312,6 +304,7 @@ class LoadGenerator:
         self.max_requests = max_requests
         self.think_time = think_time
         self._next_path = self._make_path_source(paths)
+        self._request_cache: dict[str, bytes] = {}
         self.selector = selectors.DefaultSelector()
         self.total_requests = 0
         self.total_bytes = 0
@@ -342,6 +335,27 @@ class LoadGenerator:
     def next_path(self) -> str:
         """The next request path for whichever client asks."""
         return self._next_path()
+
+    def request_bytes(self, path: str) -> bytes:
+        """The encoded request for ``path``, composed once per distinct path.
+
+        The client side of the paper's setup must stay far cheaper than the
+        server side it measures; re-encoding an identical request for every
+        send would put avoidable per-request allocation work on the
+        load-generating core.
+        """
+        cached = self._request_cache.get(path)
+        if cached is None:
+            connection = "keep-alive" if self.keep_alive else "close"
+            host = "%s:%d" % self.address
+            cached = (
+                f"GET {path} HTTP/1.1\r\n"
+                f"Host: {host}\r\n"
+                f"Connection: {connection}\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            self._request_cache[path] = cached
+        return cached
 
     def finished(self) -> bool:
         """Whether the run's duration or request budget is exhausted."""

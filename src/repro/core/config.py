@@ -97,6 +97,29 @@ class ServerConfig:
     #: on platforms without ``TCP_CORK``; never changes response bytes.
     cork_responses: bool = True
 
+    # -- single-lookup hot path ----------------------------------------------
+    #: Serve repeated static GETs from the unified hot-response cache: one
+    #: dict probe keyed on the raw request-target bytes returns the
+    #: validated path, precomposed headers and pinned body resources,
+    #: retiring the pathname/header/fd triple-lookup chain from the hot
+    #: path.  Never changes response bytes; misses and ineligible requests
+    #: take the full pipeline exactly as before.
+    hot_cache: bool = True
+    #: Hot-response cache capacity (entries; each pins one descriptor and
+    #: the mapped chunks of one file).  Because pinned resources are exempt
+    #: from the fd/mmap caches' own eviction, the effective limit is
+    #: clamped to ``fd_cache_entries`` when zero-copy is active, and the
+    #: bytes pinned through mapped chunks share ``mmap_cache_bytes``.
+    hot_cache_entries: int = 1024
+    #: Seconds a hot entry's freshness verdict is trusted before the next
+    #: hit re-``stat``\s the file; 0 revalidates on every hit.
+    hot_cache_revalidate: float = 1.0
+    #: Recognize plain ``GET <target> HTTP/1.x`` requests on the receive
+    #: buffer without building an HTTPRequest or splitting header lines
+    #: (conditional/range/POST/CGI shapes always take the full parser).
+    #: Never changes response bytes.
+    fast_parse: bool = True
+
     # -- protocol / optimization details ------------------------------------
     #: Byte-position alignment of response headers (Section 5.5); 0 disables.
     header_alignment: int = DEFAULT_ALIGNMENT
@@ -145,6 +168,10 @@ class ServerConfig:
             )
         if self.fd_cache_entries < 0:
             raise ValueError("fd_cache_entries must be non-negative")
+        if self.hot_cache_entries < 1:
+            raise ValueError("hot_cache_entries must be at least 1")
+        if self.hot_cache_revalidate < 0:
+            raise ValueError("hot_cache_revalidate must be non-negative")
         self.document_root = os.path.abspath(self.document_root)
 
     def per_process_scaled(self, num_processes: Optional[int] = None) -> "ServerConfig":
@@ -177,7 +204,9 @@ class ServerConfig:
 
         Zero-copy is switched off too: the descriptor cache behind it is
         itself an application-level cache, and leaving it on would skew the
-        no-caches baseline this configuration exists to measure.
+        no-caches baseline this configuration exists to measure.  The
+        hot-response cache is the aggregation of all of the above, so it is
+        disabled as well.
         """
         return replace(
             self,
@@ -185,6 +214,7 @@ class ServerConfig:
             enable_header_cache=False,
             enable_mmap_cache=False,
             zero_copy=False,
+            hot_cache=False,
         )
 
     def with_optimizations(

@@ -36,11 +36,10 @@ from repro.core.pipeline import StaticContent
 from repro.core.send_path import (
     BufferedSendPath,
     ResponseCork,
-    SendfileSendPath,
-    sendfile_available,
+    choose_send_path,
 )
 from repro.http.errors import HTTPError
-from repro.http.request import HTTPRequest, RequestParser
+from repro.http.request import FastRequest, HTTPRequest, RequestParser
 from repro.http.response import build_error_response
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -78,6 +77,17 @@ class ConnectionDriver(Protocol):
         """Run the CGI program for ``request``; callback(body_bytes, error)."""
         ...
 
+    def hot_content_ready(self, content: "StaticContent") -> bool:
+        """Whether a hot-cache hit may be transmitted right now.
+
+        The AMPED build uses this to keep its non-blocking invariant on the
+        fast path: cold content is rejected and the request retakes the
+        full pipeline (which warms it through a helper).  SPED transmits
+        unconditionally.  Optional — drivers without the hook are treated
+        as always-ready.
+        """
+        ...
+
     def on_connection_closed(self, connection: "Connection") -> None:
         """Bookkeeping hook invoked exactly once per connection."""
         ...
@@ -94,10 +104,12 @@ class Connection:
         "parser",
         "request",
         "content",
+        "_entry",
         "_sender",
         "_cork",
         "_interest",
         "_keep_alive",
+        "_finishing",
         "last_activity",
         "requests_served",
         "bytes_sent",
@@ -116,13 +128,18 @@ class Connection:
         self.address = address
         self.driver = driver
         self.state = STATE_READ_REQUEST
-        self.parser = RequestParser(max_header_bytes=driver.config.max_header_bytes)
+        self.parser = RequestParser(
+            max_header_bytes=driver.config.max_header_bytes,
+            fast=getattr(driver.config, "fast_parse", False),
+        )
         self.request: Optional[HTTPRequest] = None
         self.content: Optional[StaticContent] = None
+        self._entry = None
         self._sender = None
         self._cork = ResponseCork(sock, enabled=driver.config.cork_responses)
         self._interest = 0
         self._keep_alive = False
+        self._finishing = False
         self.last_activity = time.monotonic()
         self.requests_served = 0
         self.bytes_sent = 0
@@ -177,20 +194,120 @@ class Connection:
             self._send_error(exc.status, exc.message, close_after=True)
             return
         if complete:
-            self._start_request(self.parser.request)
+            self._dispatch_parsed()
 
-    def _start_request(self, request: HTTPRequest) -> None:
+    def _dispatch_parsed(self) -> None:
+        """Route a complete request: hot path first, full pipeline otherwise."""
+        fast = self.parser.fast_request
+        if fast is not None:
+            self.driver.store.stats.fast_parses += 1
+            if self._try_hot_fast(fast):
+                return
+        try:
+            # Materializes the HTTPRequest lazily after a fast probe whose
+            # hot lookup missed.  The probe only accepts shapes the full
+            # parser accepts, but a parse failure here must still become an
+            # error response, never an exception in the event loop.
+            request = self.parser.request
+        except HTTPError as exc:
+            self._send_error(exc.status, exc.message, close_after=True)
+            return
+        # A fast-parsed request already consulted the hot cache (and missed
+        # or was cold-rejected); _start_request must not probe it again.
+        self._start_request(request, hot_consulted=fast is not None)
+
+    def _try_hot_fast(self, fast: FastRequest) -> bool:
+        """The single-lookup hot path for a fast-parsed request.
+
+        One probe of the hot-response cache on the raw target bytes; a hit
+        goes straight to transmission — no HTTPRequest, no translation, no
+        header build, no descriptor-cache probe.  Returns False (and leaves
+        all state untouched) when the request must take the full pipeline.
+        """
+        config = self.driver.config
+        if not config.hot_cache:
+            return False
+        keep_alive = bool(fast.keep_alive and config.keep_alive)
+        content = self.driver.store.hot_lookup(fast.target, keep_alive)
+        if content is None:
+            return False
+        if not self._hot_ready(content):
+            return False
+        stats = self.driver.store.stats
+        stats.requests += 1
+        stats.responses_ok += 1
+        self.request = None
+        self._keep_alive = keep_alive
+        self.content = content
+        self._start_send(self._make_sender(content))
+        return True
+
+    def _hot_ready(self, content: StaticContent) -> bool:
+        """Ask the driver whether a hot hit may transmit; release if not.
+
+        AMPED rejects content that went cold since it was cached — the
+        request then retakes the full pipeline, which warms it through a
+        helper, preserving the non-blocking invariant on the fast path.
+        """
+        if content.status != 200 or content.content_length == 0:
+            return True
+        ready = getattr(self.driver, "hot_content_ready", None)
+        if ready is None or ready(content):
+            return True
+        self.driver.store.stats.hot_cold_fallbacks += 1
+        content.release(self.driver.store)
+        return False
+
+    def _start_request(self, request: HTTPRequest, hot_consulted: bool = False) -> None:
         self.request = request
         self.driver.store.stats.requests += 1
         self._keep_alive = bool(request.keep_alive and self.driver.config.keep_alive)
-        self._set_interest(0)
         if request.is_cgi:
+            self._set_interest(0)
             self.state = STATE_WAIT_DISK
             self.driver.store.stats.cgi_requests += 1
             self.driver.handle_cgi_async(request, self._on_cgi_done)
-            return
-        self.state = STATE_WAIT_DISK
-        self.driver.translate_async(request.path, self._on_translated)
+        else:
+            if not hot_consulted and self._try_hot_request(request):
+                return
+            self._set_interest(0)
+            self.state = STATE_WAIT_DISK
+            self.driver.translate_async(request.path, self._on_translated)
+        # Cork-aware latency bound: the dispatch above may have completed
+        # synchronously (cache hits advance state immediately).  If this
+        # request genuinely parked on disk, earlier corked responses must
+        # not sit in the kernel for up to the 200 ms cork timer while the
+        # disk seeks — flush them now; _start_send re-corks later if yet
+        # more pipelined requests are buffered behind the disk-bound one.
+        if self.state == STATE_WAIT_DISK:
+            self._cork.flush()
+
+    def _try_hot_request(self, request: HTTPRequest) -> bool:
+        """Hot-cache consult for a fully parsed request (fast probe missed
+        or fast parsing is disabled).
+
+        GET and HEAD are eligible — the entry reproduces exactly what
+        ``build_response`` would return for them, including the 304 answer
+        to a matching ``If-Modified-Since``.  The raw request URI is the
+        key, so any spelling the fast probe declines (escapes, dot
+        segments) simply misses and takes the full path.
+        """
+        if not self.driver.config.hot_cache or request.method not in ("GET", "HEAD"):
+            return False
+        content = self.driver.store.hot_lookup(
+            request.uri.encode("latin-1"),
+            self._keep_alive,
+            head=request.is_head,
+            if_modified_since=request.if_modified_since,
+        )
+        if content is None:
+            return False
+        if not self._hot_ready(content):
+            return False
+        self.driver.store.stats.responses_ok += 1
+        self.content = content
+        self._start_send(self._make_sender(content))
+        return True
 
     # -- translation / content callbacks -------------------------------------------
 
@@ -200,6 +317,7 @@ class Connection:
         if error is not None:
             self._send_http_error(error)
             return
+        self._entry = entry
         self.driver.prepare_content_async(self.request, entry, self._on_content_ready)
 
     def _on_content_ready(self, content: Optional[StaticContent], error) -> None:
@@ -207,11 +325,17 @@ class Connection:
             if content is not None:
                 content.release(self.driver.store)
             return
+        entry, self._entry = self._entry, None
         if error is not None:
             self._send_http_error(error)
             return
         self.content = content
         self.driver.store.stats.responses_ok += 1
+        if entry is not None and self.request is not None:
+            # Populate the single-lookup hot path: the next request for
+            # this raw target skips translation, header build and the
+            # descriptor probe entirely (refused shapes are a no-op).
+            self.driver.store.hot_insert(self.request, entry, content)
         self._start_send(self._make_sender(content))
 
     def _on_cgi_done(self, body: Optional[bytes], error) -> None:
@@ -232,41 +356,13 @@ class Connection:
     # -- sending --------------------------------------------------------------------
 
     def _make_sender(self, content: StaticContent):
-        """Pick the send path for ``content``: zero-copy when possible.
-
-        Static responses with a pinned open descriptor go out via
-        ``os.sendfile``; everything else (CGI, HEAD, errors, platforms
-        without ``sendfile``, descriptor-cache misses) takes the buffered
-        vectored-write path.
-        """
-        stats = self.driver.store.stats
-        if (
-            content.file_handle is not None
-            and self.driver.config.zero_copy
-            and sendfile_available()
-        ):
-            stats.sendfile_responses += 1
-            store = self.driver.store
-            segments = list(content.segments)
-            path = content.file_handle.path
-
-            def fallback_body():
-                # The mapped-chunk views double as the fallback buffers;
-                # with the mmap cache disabled the body was never read, so
-                # read it now (degradation is the rare path).
-                return segments if segments else [store.read_file(path)]
-
-            def on_fallback():
-                stats.sendfile_fallbacks += 1
-
-            return SendfileSendPath(
-                [content.header],
-                content.file_handle.fd,
-                content.content_length,
-                fallback_factory=fallback_body,
-                on_fallback=on_fallback,
-            )
-        return BufferedSendPath([content.header, *content.segments])
+        """Pick the send path for ``content`` (see ``choose_send_path``)."""
+        return choose_send_path(
+            content,
+            store=self.driver.store,
+            config=self.driver.config,
+            stats=self.driver.store.stats,
+        )
 
     def _start_send(self, sender) -> None:
         self._sender = sender
@@ -280,6 +376,12 @@ class Connection:
             if self._cork.hold():
                 self.driver.store.stats.corked_responses += 1
         self._set_interest(EVENT_WRITE)
+        if self._finishing:
+            # Called from inside the pipelined drain loop: that loop
+            # transmits the response itself — writing here would recurse
+            # back through _finish_response, one stack level per pipelined
+            # request, and a long burst would overflow the stack.
+            return
         # Optimistically try to write immediately; most responses fit in the
         # socket buffer, so this saves a full select round trip per request.
         # This call frequently runs from helper/CGI completion callbacks
@@ -302,47 +404,76 @@ class Connection:
             self._finish_response()
 
     def _finish_response(self) -> None:
-        self.requests_served += 1
-        # Release the sender before the content: the buffered path holds
-        # memoryviews over mapped chunks, which must be dropped before the
-        # cache may unmap them.
-        if self._sender is not None:
-            if self._sender.under_delivered:
-                # The body came up short of the promised Content-Length
-                # (file shrank mid-transfer): the connection's framing is
-                # broken, so it must not be reused.
-                self._keep_alive = False
-            self._sender.release()
-            self._sender = None
-        if self.content is not None:
-            self.content.release(self.driver.store)
-            self.content = None
-        if not self._keep_alive:
-            self.close()
-            return
-        remainder = self.parser.remainder
-        self.parser = RequestParser(max_header_bytes=self.driver.config.max_header_bytes)
-        self.request = None
-        self.state = STATE_READ_REQUEST
-        self._set_interest(EVENT_READ)
-        if remainder:
-            # Pipelined request already buffered: parse it without waiting
-            # for the socket to become readable again.
-            try:
-                if self.parser.feed(remainder):
-                    self._start_request(self.parser.request)
-            except HTTPError as exc:
-                self._send_error(exc.status, exc.message, close_after=True)
-        if self.state in (STATE_READ_REQUEST, STATE_WAIT_DISK):
-            # Pop the cork when the pipeline drained (READ_REQUEST: no
-            # complete request is buffered) — and also when the next
-            # pipelined request went to disk (WAIT_DISK: helper or CGI
-            # dispatch).  Disk latency dwarfs any batching gain, so the
-            # finished responses must not sit corked in the kernel for up
-            # to the 200 ms cork timer while the disk seeks; _start_send
-            # re-corks for the disk-bound response if yet more requests
-            # are buffered behind it.
-            self._cork.flush()
+        """Epilogue of a transmitted response, plus the pipelined drain loop.
+
+        Any number of pipelined requests may complete synchronously behind
+        the finished response (cache hits — above all hot-cache hits —
+        never leave the event-loop tick).  Each iteration finishes one
+        response, starts the next buffered request, and transmits its
+        response inline; iterating instead of recursing through
+        ``_start_send → _do_write → _finish_response`` keeps the stack flat
+        no matter how many requests a client packs into one segment.
+        """
+        self._finishing = True
+        try:
+            while True:
+                self.requests_served += 1
+                # Release the sender before the content: the buffered path
+                # holds memoryviews over mapped chunks, which must be
+                # dropped before the cache may unmap them.
+                if self._sender is not None:
+                    if self._sender.under_delivered:
+                        # The body came up short of the promised
+                        # Content-Length (file shrank mid-transfer): the
+                        # connection's framing is broken, so it must not be
+                        # reused.
+                        self._keep_alive = False
+                    self._sender.release()
+                    self._sender = None
+                if self.content is not None:
+                    self.content.release(self.driver.store)
+                    self.content = None
+                if not self._keep_alive:
+                    self.close()
+                    return
+                remainder = self.parser.remainder
+                self.parser.reset()
+                self.request = None
+                self.state = STATE_READ_REQUEST
+                self._set_interest(EVENT_READ)
+                if remainder:
+                    # Pipelined request already buffered: parse it without
+                    # waiting for the socket to become readable again.
+                    try:
+                        if self.parser.feed(remainder):
+                            self._dispatch_parsed()
+                    except HTTPError as exc:
+                        self._send_error(exc.status, exc.message, close_after=True)
+                if self.state == STATE_READ_REQUEST:
+                    # Pipeline drained: no complete request is buffered, so
+                    # nothing follows immediately and the batched responses
+                    # must flush.  (A pipelined request that parked on disk
+                    # flushed the cork already, inside _start_request — the
+                    # cork-aware latency bound.)
+                    self._cork.flush()
+                    return
+                if self.state != STATE_SEND_RESPONSE or self._sender is None:
+                    # WAIT_DISK (the helper/CGI completion re-enters later,
+                    # with _finishing clear) or CLOSED.
+                    return
+                # The next response started synchronously: transmit it here
+                # and loop to finish it.  OSErrors propagate to the same
+                # absorb points that guard _do_write.
+                sent = self._sender.send(self.sock)
+                if sent:
+                    self.bytes_sent += sent
+                    self.driver.store.stats.bytes_sent += sent
+                if not self._sender.done:
+                    # Socket buffer full: the event loop resumes the
+                    # transfer when the socket selects writable.
+                    return
+        finally:
+            self._finishing = False
 
     # -- errors ------------------------------------------------------------------------
 

@@ -280,6 +280,17 @@ def _warm_file_range(path: str, fd: int, offset: int, length: int) -> int:
             os.close(fd)
 
 
+def _death_reply(seq: int) -> HelperReply:
+    """The failure reply synthesized for an operation whose helper died."""
+    return HelperReply(
+        seq=seq,
+        op="",
+        ok=False,
+        error_type="HelperDiedError",
+        error_message="helper process died mid-operation",
+    )
+
+
 def translation_entry_from_reply(uri: str, reply: HelperReply) -> PathnameEntry:
     """Convert a successful translation reply into a pathname-cache entry."""
     if not reply.ok:
@@ -316,8 +327,13 @@ class HelperPool:
         self._seq = 0
         self._callbacks: dict[int, Callable[[HelperReply], None]] = {}
         self._closed = False
+        self._loop = None
         self.dispatched = 0
         self.completed = 0
+        #: Helpers that died mid-operation (process mode: the pipe EOFed).
+        #: Each death synthesizes a failed reply for the operation the
+        #: helper owned, so its requester degrades instead of hanging.
+        self.helpers_died = 0
 
         if mode == "thread":
             self._init_threads()
@@ -354,6 +370,7 @@ class HelperPool:
 
     def register(self, loop) -> None:
         """Register the pool's completion channels with an event loop."""
+        self._loop = loop
         if self.mode == "thread":
             loop.register(
                 self._wakeup_recv,
@@ -375,6 +392,7 @@ class HelperPool:
         else:
             for conn in self._parent_conns:
                 loop.unregister(conn)
+        self._loop = None
 
     def process_completions(self) -> int:
         """Run callbacks for every completion available right now.
@@ -406,11 +424,8 @@ class HelperPool:
         if self.mode == "thread":
             return self.process_completions()
         processed = 0
-        for conn in self._parent_conns:
-            while conn.poll():
-                reply = conn.recv()
-                self._finish_process(conn, reply)
-                processed += 1
+        for conn in list(self._parent_conns):
+            processed += self._drain_process(conn)
         return processed
 
     def wait_all(self, timeout: float = 10.0) -> None:
@@ -510,24 +525,96 @@ class HelperPool:
             self._idle_processes.append(parent_conn)
 
     def _submit_process(self, request: HelperRequest) -> None:
+        if not self._parent_conns:
+            # Every helper has died: nothing can ever run this operation.
+            # Fail it immediately so the requester degrades instead of
+            # waiting on a completion that will never arrive.
+            self._complete(_death_reply(request.seq))
+            return
         if self._idle_processes:
             conn = self._idle_processes.pop()
             self._busy[conn] = request.seq
-            conn.send(request)
+            try:
+                conn.send(request)
+            except (BrokenPipeError, OSError):
+                self._helper_died(conn)
         else:
             self._backlog.append(request)
 
-    def _drain_process(self, conn) -> None:
-        while conn.poll():
-            reply = conn.recv()
+    def _drain_process(self, conn) -> int:
+        """Run completions available on one helper pipe; returns the count.
+
+        A pipe that EOFs (or errors) means the helper process died — on a
+        segfault, an OOM kill, an operator mistake — while it may have
+        owned an in-flight operation.  The death is absorbed here:
+        :meth:`_helper_died` synthesizes a failed reply for that operation
+        and the pool degrades to the surviving helpers.
+        """
+        processed = 0
+        while True:
+            try:
+                if not conn.poll():
+                    return processed
+                reply = conn.recv()
+            except (EOFError, OSError):
+                self._helper_died(conn)
+                return processed
             self._finish_process(conn, reply)
+            processed += 1
+
+    def _helper_died(self, conn) -> None:
+        """Absorb the death of the helper behind ``conn`` and degrade.
+
+        The dead helper's pipe is unregistered from the event loop (an
+        EOFed pipe reports readable forever) and closed, its process
+        reaped, and the operation it owned — if any — completed with a
+        synthesized failure so the requester's degradation path runs (the
+        AMPED server falls back to a buffered read, exactly as for an
+        in-band helper error).  Surviving helpers keep serving the
+        backlog; if none survive, queued and future operations fail fast.
+
+        Idempotent per connection: one death can be observed twice (a send
+        failure inside the drain loop, then the poll on the now-closed
+        pipe), and the second observation must be a no-op.
+        """
+        if conn not in self._parent_conns:
+            return
+        self.helpers_died += 1
+        seq = self._busy.pop(conn, None)
+        if self._loop is not None:
+            try:
+                self._loop.unregister(conn)
+            except (KeyError, ValueError):
+                pass
+        if conn in self._idle_processes:
+            self._idle_processes.remove(conn)
+        if conn in self._parent_conns:
+            index = self._parent_conns.index(conn)
+            self._parent_conns.pop(index)
+            process = self._processes.pop(index)
+            process.join(timeout=0.1)
+            if process.is_alive():  # pragma: no cover - EOF implies death
+                process.terminate()
+        try:
+            conn.close()
+        except OSError:
+            pass
+        if seq is not None:
+            self._complete(_death_reply(seq))
+        if not self._parent_conns:
+            backlog, self._backlog = self._backlog, []
+            for request in backlog:
+                self._complete(_death_reply(request.seq))
 
     def _finish_process(self, conn, reply: HelperReply) -> None:
         self._busy.pop(conn, None)
         if self._backlog:
             next_request = self._backlog.pop(0)
             self._busy[conn] = next_request.seq
-            conn.send(next_request)
+            try:
+                conn.send(next_request)
+            except (BrokenPipeError, OSError):
+                self._helper_died(conn)
         else:
             self._idle_processes.append(conn)
         self._complete(reply)

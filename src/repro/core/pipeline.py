@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro.cache.hot_response import HotEntry, HotResponseCache
 from repro.cache.mapped_file import (
     CachedFD,
     FileDescriptorCache,
@@ -37,7 +38,7 @@ from repro.core.config import ServerConfig
 from repro.core.send_path import sendfile_available
 from repro.http.mime import guess_mime_type
 from repro.http.request import HTTPRequest
-from repro.http.response import ResponseHeaderBuilder
+from repro.http.response import ResponseHeaderBuilder, if_modified_since_matches
 from repro.http.uri import translate_path
 
 #: How long (seconds) a *resident* fd-probe verdict may be reused for the
@@ -75,6 +76,12 @@ class ServerStats:
     sendfile_warms: int = 0
     sendfile_warm_degradations: int = 0
     corked_responses: int = 0
+    hot_hits: int = 0
+    hot_misses: int = 0
+    hot_insertions: int = 0
+    hot_cold_fallbacks: int = 0
+    fast_parses: int = 0
+    not_modified_responses: int = 0
 
     def merge(self, other: "ServerStats") -> "ServerStats":
         """Return a new instance combining this one with ``other``.
@@ -168,7 +175,10 @@ class ContentStore:
         self.config = config
         self.header_builder = ResponseHeaderBuilder(align=config.header_alignment)
         self.residency_tester = residency_tester or self._default_residency_tester(config)
-        self._lock = threading.Lock() if thread_safe else None
+        # Reentrant: cache-invalidation hooks (pathname revalidation ->
+        # fd/mmap invalidate -> hot-cache release) run inside locked
+        # sections and re-enter through the public release methods.
+        self._lock = threading.RLock() if thread_safe else None
 
         translate = functools.partial(
             translate_path,
@@ -205,6 +215,37 @@ class ContentStore:
         #: configuration enables ``zero_copy``, so the Figure 11-style
         #: breakdowns can toggle it like any other optimization.
         self.fd_cache = FileDescriptorCache(max_entries=config.fd_cache_entries)
+
+        #: Unified hot-response cache: one probe on the raw request-target
+        #: bytes returns a fully precomposed response (validated path,
+        #: header variants, pinned descriptor/chunks), retiring the
+        #: pathname/header/fd triple-lookup chain from the hot path.
+        self.hot_cache: Optional[HotResponseCache] = None
+        if config.hot_cache:
+            # Hot entries pin the resources they precompose, and pinned
+            # resources are exempt from their owning caches' eviction — so
+            # the hot cache must respect those caches' budgets itself:
+            # entry count clamps to the descriptor budget when zero-copy
+            # will pin an fd per entry, and chunk-pinning entries share the
+            # mapped-file byte budget.
+            max_entries = config.hot_cache_entries
+            if config.zero_copy and sendfile_available():
+                max_entries = min(max_entries, max(1, config.fd_cache_entries))
+            self.hot_cache = HotResponseCache(
+                max_entries=max_entries,
+                max_pinned_bytes=(
+                    config.mmap_cache_bytes if self.mmap_cache is not None else 0
+                ),
+                revalidate_interval=config.hot_cache_revalidate,
+                release_fd=self.release_fd,
+                release_chunk=self.release_chunk,
+            )
+            # Entries must never outlive their pinned resources: when the
+            # descriptor or chunk caches invalidate a file, the hot entry
+            # is dropped in the same call.
+            self.fd_cache.on_invalidate = self.hot_cache.invalidate_path
+            if self.mmap_cache is not None:
+                self.mmap_cache.on_invalidate = self.hot_cache.invalidate_path
 
         #: Lazily built clock predictor used as the fallback when the
         #: configured tester cannot answer fd-backed residency queries
@@ -297,6 +338,21 @@ class ContentStore:
         """
         if keep_alive is None:
             keep_alive = request.keep_alive and self.config.keep_alive
+
+        # RFC 7232: If-Modified-Since applies to GET and HEAD only; other
+        # methods (a POST to a static path) must ignore it.
+        modified_since = (
+            request.if_modified_since if request.method in ("GET", "HEAD") else None
+        )
+        if modified_since and if_modified_since_matches(modified_since, entry.mtime):
+            self.stats.not_modified_responses += 1
+            return StaticContent(
+                header=self._not_modified_header(entry, keep_alive),
+                segments=(),
+                content_length=0,
+                status=304,
+            )
+
         header = self._response_header(entry, keep_alive)
 
         if request.is_head:
@@ -369,6 +425,136 @@ class ContentStore:
             last_modified=entry.mtime,
             keep_alive=keep_alive,
         ).raw
+
+    def _not_modified_header(self, entry: PathnameEntry, keep_alive: bool) -> bytes:
+        """Build the 304 header for ``entry``.
+
+        Built fresh (not cached per request): conditional requests are the
+        rare path, and the hot-response cache precomposes its own 304
+        variants with this same method, so the bytes agree everywhere.
+        """
+        return self.header_builder.build(
+            304,
+            content_length=0,
+            content_type=guess_mime_type(entry.filesystem_path),
+            last_modified=entry.mtime,
+            keep_alive=keep_alive,
+        ).raw
+
+    # -- the single-lookup hot path --------------------------------------------
+
+    def hot_lookup(
+        self,
+        target: bytes,
+        keep_alive: bool,
+        *,
+        head: bool = False,
+        if_modified_since: Optional[str] = None,
+    ) -> Optional[StaticContent]:
+        """Serve ``target`` from the hot-response cache, if it can be.
+
+        One dict probe.  On a hit the returned :class:`StaticContent`
+        carries freshly pinned references to the entry's descriptor and
+        chunks, so the caller releases it exactly like a slow-path
+        response.  Returns ``None`` on a miss (or stale entry) — the caller
+        then runs the full pipeline, whose successful result re-populates
+        the cache via :meth:`hot_insert`.
+        """
+        if self.hot_cache is None:
+            return None
+        with self._maybe_lock():
+            entry = self.hot_cache.lookup(target)
+            if entry is None:
+                self.stats.hot_misses += 1
+                return None
+            self.stats.hot_hits += 1
+            if if_modified_since and if_modified_since_matches(
+                if_modified_since, entry.mtime
+            ):
+                self.stats.not_modified_responses += 1
+                return StaticContent(
+                    header=entry.header_not_modified(keep_alive),
+                    segments=(),
+                    content_length=0,
+                    status=304,
+                )
+            if head:
+                return StaticContent(
+                    header=entry.header(keep_alive), segments=(), content_length=0
+                )
+            return self._pin_hot_entry(entry, keep_alive)
+
+    def _pin_hot_entry(self, entry: HotEntry, keep_alive: bool) -> StaticContent:
+        """Build a transmittable response from a hot entry.
+
+        The entry's own pins guarantee the descriptor and chunks are alive
+        and off their caches' free lists, so the per-request pin is a bare
+        refcount increment — no cache probe, no allocation beyond the
+        response container itself.
+        """
+        handle = entry.file_handle
+        if handle is not None:
+            handle.refcount += 1
+        for chunk in entry.chunks:
+            chunk.refcount += 1
+        return StaticContent(
+            header=entry.header(keep_alive),
+            segments=entry.segments,
+            chunks=entry.chunks,
+            content_length=entry.content_length,
+            file_handle=handle,
+        )
+
+    def hot_insert(
+        self, request: HTTPRequest, entry: PathnameEntry, content: StaticContent
+    ) -> bool:
+        """Precompose and cache the hot response for ``request``'s raw target.
+
+        Called after a successful slow-path build.  Only the common
+        cacheable shape is admitted: a plain static ``GET`` whose response
+        has pinned transmission resources (a descriptor and/or mapped
+        chunks) to reuse.  Everything else simply keeps taking the full
+        pipeline.  Returns True when an entry was (re)inserted.
+        """
+        if self.hot_cache is None or content.status != 200:
+            return False
+        if (
+            request.method != "GET"
+            or request.is_head
+            or request.is_cgi
+            or request.query
+            or request.version not in ("HTTP/1.0", "HTTP/1.1")
+        ):
+            return False
+        if content.file_handle is None and not content.chunks:
+            return False
+        target = request.uri.encode("latin-1")
+        with self._maybe_lock():
+            # Pin on the cache's behalf: these references are what ties the
+            # entry's lifetime to its resources (insert takes ownership).
+            handle = content.file_handle
+            if handle is not None:
+                handle.refcount += 1
+            for chunk in content.chunks:
+                chunk.refcount += 1
+            hot_entry = HotEntry(
+                target=target,
+                path=entry.filesystem_path,
+                size=entry.size,
+                mtime=entry.mtime,
+                content_length=content.content_length,
+                header_keep=self._response_header(entry, True),
+                header_close=self._response_header(entry, False),
+                header_304_keep=self._not_modified_header(entry, True),
+                header_304_close=self._not_modified_header(entry, False),
+                file_handle=handle,
+                chunks=tuple(content.chunks),
+                segments=tuple(content.segments),
+            )
+            admitted = self.hot_cache.insert(hot_entry)
+        if admitted:
+            self.stats.hot_insertions += 1
+        return admitted
 
     def _acquire_chunks(self, entry: PathnameEntry) -> list[MappedChunk]:
         assert self.mmap_cache is not None
@@ -471,6 +657,12 @@ class ContentStore:
     # -- invalidation ----------------------------------------------------------
 
     def _on_pathname_invalidated(self, uri: str, entry: PathnameEntry) -> None:
+        # The hot cache goes first so its pins are released before the
+        # descriptor/chunk caches decide what they can close.  (The fd and
+        # mmap hooks below would drop it too; this direct call also covers
+        # configurations where those caches are disabled.)
+        if self.hot_cache is not None:
+            self.hot_cache.invalidate_path(entry.filesystem_path)
         if self.header_cache is not None:
             self.header_cache.invalidate(entry.filesystem_path)
         if self.mmap_cache is not None:
@@ -513,10 +705,19 @@ class ContentStore:
                 "hit_rate": self.fd_cache.hit_rate,
                 "open": len(self.fd_cache),
             }
+        if self.hot_cache is not None:
+            stats["hot"] = self.hot_cache.stats()
         return stats
 
     def close(self) -> None:
-        """Release every mapping and descriptor held by the caches."""
+        """Release every mapping and descriptor held by the caches.
+
+        The hot cache unpins first — its entries hold references into the
+        descriptor and chunk caches, which could otherwise not release
+        everything.
+        """
+        if self.hot_cache is not None:
+            self.hot_cache.clear()
         if self.mmap_cache is not None:
             self.mmap_cache.clear()
         self.fd_cache.clear()

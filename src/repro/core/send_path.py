@@ -255,6 +255,44 @@ class BufferedSendPath:
         self._offset = 0
 
 
+def choose_send_path(content, *, store, config, stats):
+    """Pick the send path for a static response: zero-copy when possible.
+
+    The single decision point shared by the slow pipeline and the
+    hot-response fast path (both hand it a
+    :class:`~repro.core.pipeline.StaticContent`): responses with a pinned
+    open descriptor go out via ``os.sendfile``; everything else (CGI, HEAD,
+    304, errors, platforms without ``sendfile``, descriptor-cache misses)
+    takes the buffered vectored-write path.
+    """
+    if (
+        content.file_handle is not None
+        and config.zero_copy
+        and sendfile_available()
+    ):
+        stats.sendfile_responses += 1
+        segments = list(content.segments)
+        path = content.file_handle.path
+
+        def fallback_body():
+            # The mapped-chunk views double as the fallback buffers; with
+            # the mmap cache disabled the body was never read, so read it
+            # now (degradation is the rare path).
+            return segments if segments else [store.read_file(path)]
+
+        def on_fallback():
+            stats.sendfile_fallbacks += 1
+
+        return SendfileSendPath(
+            [content.header],
+            content.file_handle.fd,
+            content.content_length,
+            fallback_factory=fallback_body,
+            on_fallback=on_fallback,
+        )
+    return BufferedSendPath([content.header, *content.segments])
+
+
 class SendfileSendPath:
     """Transmit headers buffered, then the body zero-copy via ``os.sendfile``.
 

@@ -148,6 +148,16 @@ class BaseEventDrivenServer:
         """Forward a dynamic request to its persistent CGI application."""
         self.cgi_runner.submit(request, callback)
 
+    def hot_content_ready(self, content) -> bool:
+        """Transmit hot-cache hits unconditionally (SPED behaviour).
+
+        SPED never tests residency — a cold page simply blocks the whole
+        process during transmission, which is its defining cost — so a hot
+        hit goes straight to the send path.  AMPED overrides this to keep
+        its non-blocking invariant.
+        """
+        return True
+
     def on_connection_closed(self, connection: Connection) -> None:
         """Forget a finished connection."""
         self._connections.discard(connection)
@@ -393,6 +403,22 @@ class FlashServer(BaseEventDrivenServer):
             callback(content, None)
 
         self.helpers.submit(helper_request, on_reply)
+
+    def hot_content_ready(self, content: StaticContent) -> bool:
+        """Gate hot-cache hits on memory residency (AMPED invariant).
+
+        The single-lookup fast path must not let the main loop block on a
+        page fault: a hit whose body went cold since it was cached is
+        rejected, the connection releases the pinned response and retakes
+        the full pipeline — which dispatches the usual ``OP_WARM``/
+        ``OP_READ`` helper before transmitting.  ``content_resident``
+        answers from the chunk ``mincore`` test or the fd-probe TTL cache,
+        so the fully-resident hot path pays at most one probe per TTL
+        window, not one per request.
+        """
+        if not self.config.enable_residency_test:
+            return True
+        return self.store.content_resident(content)
 
     # -- lifecycle ---------------------------------------------------------------------
 

@@ -11,6 +11,28 @@ waiting for the rest.
 :class:`RequestParser` therefore exposes a ``feed()`` interface: the server
 hands it whatever bytes ``recv()`` produced and asks whether a complete
 request is available yet.
+
+Fast-path probing
+-----------------
+
+The overwhelmingly common request on a cached workload is a small
+``GET <target> HTTP/1.x`` with a handful of unremarkable headers.  Building
+a full :class:`HTTPRequest` for it — decoding the block, splitting header
+lines, populating a dict, normalizing the URI — is almost pure allocation
+overhead when the server's hot-response cache already knows the answer for
+the raw target bytes.  :func:`probe_fast_request` therefore recognizes that
+shape directly on the parse buffer: it extracts the raw target and the
+keep-alive disposition with a few C-level ``find`` calls and *no* header
+dict, request object or URI normalization.  Anything unusual — other
+methods, query strings, percent-escapes, dot segments, conditional or
+range headers, header folding, bare-LF line endings — makes the probe
+decline, and the request takes the existing full parser, byte-identically.
+
+A parser constructed with ``fast=True`` runs the probe first and exposes
+the result as :attr:`RequestParser.fast_request`; the full
+:class:`HTTPRequest` is still available lazily through
+:attr:`RequestParser.request` (materialized from the retained header block)
+for callers whose hot-cache lookup misses.
 """
 
 from __future__ import annotations
@@ -34,6 +56,150 @@ SUPPORTED_VERSIONS = ("HTTP/0.9", "HTTP/1.0", "HTTP/1.1")
 #: Default cap on the size of a request header block, matching the defensive
 #: limits production servers of the era used (Apache: 8 KB per line).
 DEFAULT_MAX_HEADER_BYTES = 16 * 1024
+
+#: Largest header block the fast probe will examine; bigger requests are
+#: unusual enough that the full parser should look at them anyway.
+FAST_PROBE_LIMIT = 4096
+
+#: Longest request target the fast probe accepts (hot-cache keys are the
+#: raw target bytes, so unbounded targets would let a client balloon them).
+FAST_TARGET_LIMIT = 512
+
+#: Header names whose presence must force the full parser: they change how
+#: the request is interpreted (body framing, conditionals) in ways the fast
+#: path deliberately does not implement.  Conditional headers are matched
+#: by their ``if-`` prefix instead of appearing here.
+_SLOW_HEADER_NAMES = frozenset(
+    (
+        b"content-length",
+        b"transfer-encoding",
+        b"range",
+        b"expect",
+        b"upgrade",
+    )
+)
+
+#: Byte substrings that disqualify a target from the fast path: queries and
+#: escapes need decoding, ``/.`` covers ``.``/``..`` segments (and
+#: conservatively dotfiles), ``//`` needs slash collapsing, and spaces mean
+#: the request line had more than three words.  All of them simply fall
+#: back to the full parser, which handles them exactly as before.
+_SLOW_TARGET_MARKS = (b"?", b"%", b"#", b" ", b"\\", b"\x00", b"//", b"/.")
+
+#: Dynamic-content prefix; matches :attr:`HTTPRequest.is_cgi`.
+_CGI_PREFIX = b"/cgi-bin/"
+
+#: Sentinel returned by :func:`probe_fast_request` when the request shape is
+#: definitively unsupported (as opposed to "need more bytes", which is None).
+FAST_MISS = object()
+
+
+class FastRequest:
+    """The result of a successful fast probe: just enough to consult the
+    hot-response cache.
+
+    Attributes
+    ----------
+    target:
+        The raw request-target bytes exactly as they appeared on the wire
+        (the hot-response cache key).
+    keep_alive:
+        The connection disposition, computed with the same rules as
+        :attr:`HTTPRequest.keep_alive`.
+    """
+
+    __slots__ = ("target", "keep_alive")
+
+    def __init__(self, target: bytes, keep_alive: bool):
+        self.target = target
+        self.keep_alive = keep_alive
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FastRequest(target={self.target!r}, keep_alive={self.keep_alive})"
+
+
+def probe_fast_request(data):
+    """Recognize a plain ``GET <target> HTTP/1.x`` request without parsing it.
+
+    Parameters
+    ----------
+    data:
+        The accumulated receive buffer (``bytes`` or ``bytearray``).
+
+    Returns
+    -------
+    ``None`` when no CRLF-terminated header block is complete yet (feed more
+    bytes and probe again); :data:`FAST_MISS` when the block is complete but
+    the shape is unsupported (hand the buffer to the full parser); otherwise
+    a ``(FastRequest, header_end)`` pair where ``header_end`` is the offset
+    one past the terminating blank line.
+
+    The probe is deliberately conservative: *any* doubt — unusual method or
+    version, decodable target, conditional/range/body headers, folded or
+    malformed header lines — returns :data:`FAST_MISS` so the full parser
+    decides, keeping fast-on and fast-off behaviour byte-identical.
+    """
+    end = data.find(b"\r\n\r\n", 0, FAST_PROBE_LIMIT)
+    if end < 0:
+        if len(data) >= FAST_PROBE_LIMIT:
+            return FAST_MISS
+        return None
+    if not data.startswith(b"GET /"):
+        return FAST_MISS
+    # Every line break in the block must be a CRLF pair.  A bare LF inside
+    # a line is a line break to the full parser (which splits on both) but
+    # line *content* to the CRLF-delimited scan below — the probe would
+    # read a different header structure than the parser, so it declines.
+    if data.count(b"\n", 0, end) != data.count(b"\r\n", 0, end):
+        return FAST_MISS
+    eol = data.find(b"\r\n")
+    separator = data.rfind(b" ", 4, eol)
+    if separator <= 4:
+        return FAST_MISS
+    version = data[separator + 1 : eol]
+    if version == b"HTTP/1.1":
+        keep_alive = True
+    elif version == b"HTTP/1.0":
+        keep_alive = False
+    else:
+        return FAST_MISS
+    if separator - 4 > FAST_TARGET_LIMIT:
+        return FAST_MISS
+    target = bytes(data[4:separator])
+    for mark in _SLOW_TARGET_MARKS:
+        if mark in target:
+            return FAST_MISS
+    if target.startswith(_CGI_PREFIX):
+        return FAST_MISS
+
+    # Walk the header lines with C-level finds.  Every line must be a
+    # well-formed ``Name: value`` (so a fast accept can never mask a 400
+    # the full parser would have produced), must not be a folded
+    # continuation, and must not name anything in the slow set.
+    position = eol + 2
+    connection_value = None
+    while position < end:
+        newline = data.find(b"\r\n", position, end)
+        line_end = end if newline < 0 else newline
+        first = data[position]
+        if first == 0x20 or first == 0x09:  # folded header: full parser's job
+            return FAST_MISS
+        colon = data.find(b":", position, line_end)
+        if colon <= position:
+            return FAST_MISS
+        name = bytes(data[position:colon]).strip().lower()
+        if not name or name in _SLOW_HEADER_NAMES or name.startswith(b"if-"):
+            return FAST_MISS
+        if name == b"connection":
+            connection_value = bytes(data[colon + 1 : line_end]).strip().lower()
+        position = line_end + 2
+
+    if connection_value is not None:
+        if keep_alive:  # HTTP/1.1: persistent unless an explicit close
+            keep_alive = connection_value != b"close"
+        else:  # HTTP/1.0: persistent only on an explicit keep-alive
+            keep_alive = connection_value == b"keep-alive"
+    return FastRequest(target, keep_alive), end + 4
 
 
 @dataclass
@@ -113,27 +279,67 @@ class RequestParser:
 
     The parser retains any bytes following the parsed request (pipelined
     requests on a persistent connection) in :attr:`remainder`; callers reuse
-    them by constructing a new parser and feeding the remainder first.
+    them by calling :meth:`reset` and feeding the remainder first (or by
+    constructing a fresh parser).
+
+    With ``fast=True`` the parser first offers each buffer to
+    :func:`probe_fast_request`; on a hit, :attr:`fast_request` is set, the
+    parser reports :attr:`complete`, and no :class:`HTTPRequest` is built
+    unless a caller actually asks for :attr:`request` (hot-cache miss).
     """
 
-    def __init__(self, max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES):
+    def __init__(
+        self,
+        max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES,
+        fast: bool = False,
+    ):
         self.max_header_bytes = max_header_bytes
+        self._fast_enabled = fast
         self._buffer = bytearray()
         self._request: HTTPRequest | None = None
         self._body_needed = 0
         self._headers_done = False
+        self._fast_possible = fast
+        self.fast_request: FastRequest | None = None
+        self.remainder = b""
+
+    def reset(self) -> None:
+        """Ready the parser for the next request on the same connection.
+
+        Equivalent to constructing a new parser with the same settings, but
+        without the object churn — the connection state machine calls this
+        once per keep-alive response.
+        """
+        self._buffer.clear()
+        self._request = None
+        self._body_needed = 0
+        self._headers_done = False
+        self._fast_possible = self._fast_enabled
+        self.fast_request = None
         self.remainder = b""
 
     @property
     def complete(self) -> bool:
         """True when a full request (header and any body) has been parsed."""
-        return self._request is not None and self._body_needed == 0
+        return (
+            self._request is not None or self.fast_request is not None
+        ) and self._body_needed == 0
 
     @property
     def request(self) -> HTTPRequest:
-        """The parsed request.  Only valid when :attr:`complete` is True."""
-        if self._request is None or self._body_needed:
+        """The parsed request.  Only valid when :attr:`complete` is True.
+
+        After a fast-probe hit the full object is materialized lazily from
+        the retained header block, so callers that never need it (hot-cache
+        hits) never pay for it — and callers that do get exactly the object
+        the full parser would have produced.
+        """
+        if self._body_needed:
             raise ValueError("request is not complete")
+        if self._request is None:
+            if self.fast_request is None:
+                raise ValueError("request is not complete")
+            self._request = self._parse_header_block(bytes(self._buffer))
         return self._request
 
     def feed(self, data: bytes) -> bool:
@@ -147,6 +353,19 @@ class RequestParser:
             self.remainder += data
             return True
         self._buffer.extend(data)
+        if self._fast_possible and not self._headers_done:
+            probed = probe_fast_request(self._buffer)
+            if probed is FAST_MISS:
+                self._fast_possible = False
+            elif probed is not None:
+                fast, header_end = probed
+                self.fast_request = fast
+                self._headers_done = True
+                self.remainder = bytes(self._buffer[header_end:])
+                # Keep only the header block (sans blank line): it is the
+                # substrate for lazy materialization in :attr:`request`.
+                del self._buffer[header_end - 4 :]
+                return True
         if not self._headers_done:
             self._try_parse_headers()
         if self._headers_done and self._body_needed:

@@ -34,6 +34,31 @@ def http_date(timestamp: float | None = None) -> str:
     return email.utils.formatdate(timestamp, usegmt=True)
 
 
+def if_modified_since_matches(value: str, mtime: float) -> bool:
+    """Whether an ``If-Modified-Since`` value makes a 304 the right answer.
+
+    The common case — the client echoing back exactly the ``Last-Modified``
+    string the server sent — is decided by string comparison; anything else
+    is parsed as an HTTP date and compared at second granularity (the
+    granularity ``Last-Modified`` is expressed in).  Unparseable values
+    answer False, which degrades to a full 200 response (never incorrect,
+    only less efficient — the same behaviour production servers choose).
+    """
+    if value == http_date(mtime):
+        return True
+    try:
+        parsed = email.utils.parsedate_to_datetime(value)
+    except (TypeError, ValueError, OverflowError):
+        return False
+    if parsed is None:
+        return False
+    if parsed.tzinfo is None:
+        from datetime import timezone
+
+        parsed = parsed.replace(tzinfo=timezone.utc)
+    return int(mtime) <= parsed.timestamp()
+
+
 @dataclass(frozen=True)
 class ResponseHeader:
     """An encoded response header together with its metadata.

@@ -29,6 +29,12 @@ class SPEDServer(BaseEventDrivenServer):
     only fixes the architecture label and disables the memory-residency test
     (SPED transmits mapped data directly; the paper attributes Flash's small
     deficit on fully cached workloads to the residency test AMPED must do).
+
+    The single-lookup hot path applies to SPED in its purest form: the base
+    ``hot_content_ready`` hook accepts every hot-response-cache hit without
+    a residency gate, so a repeat GET goes from the fast parse straight to
+    ``sendfile`` — and a cold page simply blocks the process during
+    transmission, faithful to SPED.
     """
 
     architecture = "sped"

@@ -7,6 +7,7 @@ checked without real network timing.
 """
 
 import socket
+import time
 
 import pytest
 
@@ -266,3 +267,83 @@ class TestLifecycleBookkeeping:
         assert driver.store.stats.responses_ok == 1
         assert driver.store.stats.bytes_sent > 0
         client.close()
+
+
+class SelectiveDeferDriver(ScriptedDriver):
+    """Defers translation only for paths containing 'cold' — so a pipelined
+    burst can mix an instant cache-hit response with a disk-bound one."""
+
+    def __init__(self, docroot):
+        super().__init__(docroot, defer_disk=False)
+
+    def translate_async(self, uri, callback):
+        try:
+            entry = self.store.translate(uri)
+        except Exception as exc:  # noqa: BLE001 - propagate as error argument
+            callback(None, exc)
+            return
+        if "cold" in uri:
+            self.pending.append((callback, (entry, None)))
+        else:
+            callback(entry, None)
+
+
+class TestCorkLatencyBound:
+    """A pipelined request that parks on disk must not leave earlier corked
+    responses held in the kernel for the duration of the disk wait."""
+
+    @staticmethod
+    def tcp_connection(driver):
+        """TCP_CORK needs a real TCP socket (socketpairs are AF_UNIX)."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        client = socket.create_connection(listener.getsockname())
+        server_side, _ = listener.accept()
+        listener.close()
+        connection = Connection(server_side, ("test", 0), driver)
+        client.settimeout(5.0)
+        return connection, client
+
+    def test_cork_flushed_when_pipelined_request_waits_on_disk(self, tmp_path):
+        from repro.core.send_path import cork_available
+
+        if not cork_available():
+            pytest.skip("platform has no TCP_CORK")
+        (tmp_path / "cold.bin").write_bytes(b"C" * 2048)
+        driver = SelectiveDeferDriver(str(tmp_path))
+        (tmp_path / "index.html").write_bytes(b"<html>fast</html>")
+        connection, client = self.tcp_connection(driver)
+        try:
+            client.sendall(
+                b"GET /index.html HTTP/1.1\r\nHost: h\r\n\r\n"
+                b"GET /cold.bin HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n"
+            )
+            deadline = time.monotonic() + 5.0
+            while not driver.pending and time.monotonic() < deadline:
+                driver.loop.run_once(timeout=0.05)
+            # The cold request is parked on (deferred) disk I/O...
+            assert driver.pending
+            assert connection.state == STATE_WAIT_DISK
+            # ...and the cork was explicitly popped when it parked, so the
+            # first (corked) response is not stuck behind the disk wait.
+            assert connection._cork.held is False
+            assert driver.store.stats.corked_responses >= 1
+            first = client.recv(65536)
+            assert b"<html>fast</html>" in first
+            # Completing the disk operation finishes the pipeline normally.
+            driver.flush_pending()
+            received = bytearray(first)
+            while b"C" * 2048 not in received:
+                driver.loop.run_once(timeout=0.05)
+                try:
+                    data = client.recv(65536)
+                except socket.timeout:
+                    continue
+                if not data:
+                    break
+                received.extend(data)
+            assert b"C" * 2048 in received
+        finally:
+            connection.close()
+            client.close()

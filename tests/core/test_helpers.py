@@ -165,3 +165,121 @@ class TestHelperPoolProcesses:
         finally:
             pool.shutdown()
         assert len(replies) == 5
+
+
+class TestProcessHelperDeath:
+    """A helper process that dies mid-operation must not hang its requester
+    or kill the pool: the EOFed pipe synthesizes a failed reply and the
+    pool degrades to the survivors."""
+
+    @staticmethod
+    def crash_pool(num_helpers, monkeypatch):
+        """A process pool whose helpers exit hard inside OP_READ."""
+        import repro.core.helpers as helpers_module
+
+        def die(path, offset, length):
+            os._exit(17)
+
+        # Patched before fork: the helper children inherit the crash.
+        monkeypatch.setattr(helpers_module, "_touch_file_range", die)
+        return HelperPool(num_helpers=num_helpers, mode="process")
+
+    def test_death_synthesizes_failed_reply(self, docroot, monkeypatch):
+        pool = self.crash_pool(2, monkeypatch)
+        replies = []
+        try:
+            pool.submit(
+                HelperRequest(seq=0, op=OP_READ, path=os.path.join(docroot, "big.bin")),
+                replies.append,
+            )
+            pool.wait_all(timeout=10.0)
+        finally:
+            pool.shutdown()
+        assert len(replies) == 1
+        assert not replies[0].ok
+        assert replies[0].error_type == "HelperDiedError"
+        assert pool.helpers_died == 1
+
+    def test_pool_degrades_to_survivors(self, docroot, monkeypatch):
+        pool = self.crash_pool(2, monkeypatch)
+        replies = []
+        try:
+            pool.submit(
+                HelperRequest(seq=0, op=OP_READ, path=os.path.join(docroot, "big.bin")),
+                replies.append,
+            )
+            pool.wait_all(timeout=10.0)
+            # One helper is gone; translations still complete on the other.
+            pool.submit(
+                HelperRequest(
+                    seq=0, op=OP_TRANSLATE, uri="/index.html", document_root=docroot
+                ),
+                replies.append,
+            )
+            pool.wait_all(timeout=10.0)
+        finally:
+            pool.shutdown()
+        assert len(replies) == 2
+        assert not replies[0].ok
+        assert replies[1].ok
+        assert pool.helpers_died == 1
+
+    def test_all_helpers_dead_fails_fast(self, docroot, monkeypatch):
+        pool = self.crash_pool(1, monkeypatch)
+        replies = []
+        try:
+            pool.submit(
+                HelperRequest(seq=0, op=OP_READ, path=os.path.join(docroot, "big.bin")),
+                replies.append,
+            )
+            pool.wait_all(timeout=10.0)
+            # No helpers remain: a new submission fails immediately instead
+            # of waiting forever.
+            pool.submit(
+                HelperRequest(seq=0, op=OP_READ, path=os.path.join(docroot, "big.bin")),
+                replies.append,
+            )
+        finally:
+            pool.shutdown()
+        assert len(replies) == 2
+        assert all(not reply.ok for reply in replies)
+        assert all(reply.error_type == "HelperDiedError" for reply in replies)
+
+    def test_death_observed_through_event_loop(self, docroot, monkeypatch):
+        """The AMPED observation path: the dead helper's pipe EOF arrives
+        as a readiness event and the completion runs from the loop."""
+        import time
+
+        pool = self.crash_pool(1, monkeypatch)
+        loop = EventLoop()
+        replies = []
+        try:
+            pool.register(loop)
+            pool.submit(
+                HelperRequest(seq=0, op=OP_READ, path=os.path.join(docroot, "big.bin")),
+                replies.append,
+            )
+            deadline = time.monotonic() + 10.0
+            while not replies and time.monotonic() < deadline:
+                loop.run_once(timeout=0.05)
+        finally:
+            pool.shutdown()
+            loop.close()
+        assert len(replies) == 1
+        assert replies[0].error_type == "HelperDiedError"
+
+
+class TestHelperDeathIdempotent:
+    def test_double_observation_counts_one_death(self, docroot):
+        """One helper death can be observed twice (send failure, then the
+        poll on the closed pipe); the second observation is a no-op."""
+        pool = HelperPool(num_helpers=2, mode="process")
+        try:
+            conn = pool._parent_conns[0]
+            pool._helper_died(conn)
+            assert pool.helpers_died == 1
+            pool._helper_died(conn)           # already reaped: no-op
+            assert pool.helpers_died == 1
+            assert len(pool._parent_conns) == 1
+        finally:
+            pool.shutdown()

@@ -221,6 +221,41 @@ class TestInvalidationPropagation:
         store = ContentStore(ServerConfig(document_root=docroot))
         store.translate("/index.html")
         stats = store.cache_stats()
-        assert set(stats) == {"pathname", "header", "mmap"}
+        assert set(stats) == {"pathname", "header", "mmap", "hot"}
         assert stats["pathname"]["misses"] == 1
         store.close()
+
+
+class TestConditionalMethodGate:
+    def test_post_ignores_if_modified_since(self, docroot):
+        """RFC 7232: If-Modified-Since applies to GET/HEAD only — a POST
+        with a matching date must still get the full 200 body."""
+        from repro.http.request import HTTPRequest
+        from repro.http.response import http_date
+
+        store = ContentStore(ServerConfig(document_root=docroot))
+        try:
+            entry = store.translate("/index.html")
+            stamp = http_date(entry.mtime)
+            post = HTTPRequest(
+                method="POST",
+                uri="/index.html",
+                path="/index.html",
+                version="HTTP/1.1",
+                headers={"if-modified-since": stamp},
+            )
+            content = store.build_response(post, entry)
+            assert content.status == 200
+            assert content.content_length == entry.size
+            content.release(store)
+            get = HTTPRequest(
+                method="GET",
+                uri="/index.html",
+                path="/index.html",
+                version="HTTP/1.1",
+                headers={"if-modified-since": stamp},
+            )
+            not_modified = store.build_response(get, entry)
+            assert not_modified.status == 304
+        finally:
+            store.close()

@@ -350,9 +350,13 @@ class TestConnectionZeroCopy:
             self._request(right, b"/big.bin")
             run_until(driver, lambda: connection.state == STATE_SEND_RESPONSE)
             # The body is far larger than the socket buffer: the first write
-            # hit EAGAIN, the response is in flight, resources stay pinned.
+            # hit EAGAIN, the response is in flight, resources stay pinned
+            # (one pin for the in-flight transfer, one held by the
+            # hot-response cache that just learned this target).
             assert connection.content is not None
-            assert connection.content.file_handle.refcount == 1
+            assert connection.content.file_handle.refcount == 2
+            assert driver.store.hot_cache is not None
+            assert len(driver.store.hot_cache) == 1
             assert driver.store.stats.sendfile_responses == 1
 
             received = bytearray()
@@ -391,6 +395,13 @@ class TestConnectionZeroCopy:
             # Pinned chunks and the cached descriptor were all released.
             assert content.file_handle is None
             assert content.chunks == ()
+            # The connection's pins are gone; the only remaining references
+            # are the hot-response cache's own (at most one per chunk).
+            assert all(
+                chunk.refcount <= 1
+                for chunk in driver.store.mmap_cache._chunks.values()
+            )
+            driver.store.hot_cache.clear()
             assert all(
                 chunk.refcount == 0
                 for chunk in driver.store.mmap_cache._chunks.values()
@@ -430,8 +441,10 @@ class TestConnectionZeroCopy:
                 assert body == expected, f"response {index} corrupted"
             assert driver.store.stats.sendfile_responses == len(plan)
             assert driver.store.stats.sendfile_fallbacks == 0
-            # The descriptor cache served repeats without reopening.
-            assert driver.store.fd_cache.hits >= 2
+            # Repeats never reopened a descriptor: the hot-response cache
+            # served them from the pinned fds of the first two responses.
+            assert driver.store.fd_cache.open_operations == 2
+            assert driver.store.stats.hot_hits >= 2
             assert not connection.closed
         finally:
             driver.shutdown()
@@ -497,9 +510,9 @@ class TestSendPathsByteIdentical:
 
     def test_sendfile_unavailable_falls_back(self, docroot, monkeypatch):
         """With sendfile reported missing the zero-copy config still works."""
-        import repro.core.connection as connection_module
+        import repro.core.send_path as send_path_module
 
-        monkeypatch.setattr(connection_module, "sendfile_available", lambda: False)
+        monkeypatch.setattr(send_path_module, "sendfile_available", lambda: False)
         raw = self.fetch_raw(docroot, b"/small.txt", zero_copy=True)
         assert parse_http(raw)[1] == b"tiny body"
 

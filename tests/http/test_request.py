@@ -188,3 +188,200 @@ class TestPropertyBased:
         parser.feed(raw[split_at:])
         assert parser.complete
         assert parser.request.path == "/some/file.html"
+
+
+class TestFastParse:
+    """The allocation-free fast probe and its equivalence with the full parser."""
+
+    @staticmethod
+    def fast(raw, *chunks):
+        parser = RequestParser(fast=True)
+        parser.feed(raw)
+        for chunk in chunks:
+            parser.feed(chunk)
+        return parser
+
+    def test_plain_get_hits_fast_path(self):
+        parser = self.fast(b"GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert parser.complete
+        assert parser.fast_request is not None
+        assert parser.fast_request.target == b"/index.html"
+        assert parser.fast_request.keep_alive is True
+        assert parser.remainder == b""
+
+    def test_lazy_materialization_matches_full_parse(self):
+        raw = b"GET /a/b.html HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n"
+        parser = self.fast(raw)
+        assert parser.fast_request is not None
+        materialized = parser.request          # built on demand
+        reference = parse(raw)
+        assert materialized.method == reference.method
+        assert materialized.uri == reference.uri
+        assert materialized.path == reference.path
+        assert materialized.version == reference.version
+        assert materialized.headers == reference.headers
+        assert materialized.keep_alive == reference.keep_alive
+
+    @pytest.mark.parametrize(
+        "raw, keep_alive",
+        [
+            (b"GET / HTTP/1.1\r\n\r\n", True),
+            (b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", False),
+            (b"GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n", False),
+            (b"GET / HTTP/1.0\r\n\r\n", False),
+            (b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", True),
+            (b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n", True),
+            (b"GET / HTTP/1.1\r\nConnection: close, te\r\n\r\n", True),
+        ],
+    )
+    def test_keep_alive_matches_full_parser(self, raw, keep_alive):
+        parser = self.fast(raw)
+        assert parser.fast_request is not None
+        assert parser.fast_request.keep_alive is keep_alive
+        assert parse(raw).keep_alive is keep_alive
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"HEAD /x HTTP/1.1\r\n\r\n",                       # method
+            b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nok",  # method + body
+            b"GET /x?q=1 HTTP/1.1\r\n\r\n",                    # query string
+            b"GET /a%20b HTTP/1.1\r\n\r\n",                    # percent escape
+            b"GET /a//b HTTP/1.1\r\n\r\n",                     # slash collapsing
+            b"GET /a/../b HTTP/1.1\r\n\r\n",                   # dot segments
+            b"GET /cgi-bin/app HTTP/1.1\r\n\r\n",              # dynamic prefix
+            b"GET /x HTTP/0.9\r\n\r\n",                        # old version
+            b"GET /x HTTP/1.1\r\nIf-Modified-Since: t\r\n\r\n",  # conditional
+            b"GET /x HTTP/1.1\r\nRange: bytes=0-1\r\n\r\n",    # range
+            b"GET /x HTTP/1.1\r\nHost: a\r\n b\r\n\r\n",       # folded header
+            b"GET /x\r\n\r\n",                                 # HTTP/0.9 simple
+            b"GET /x HTTP/1.1\nHost: a\n\n",                   # bare-LF endings
+        ],
+    )
+    def test_unusual_shapes_take_full_parser(self, raw):
+        """Every unsupported shape must parse exactly as with fast off."""
+        parser = self.fast(raw)
+        assert parser.fast_request is None
+        assert parser.complete
+        reference_parser = RequestParser()
+        reference_parser.feed(raw)
+        reference = reference_parser.request
+        request = parser.request
+        assert request.method == reference.method
+        assert request.uri == reference.uri
+        assert request.headers == reference.headers
+        assert parser.remainder == reference_parser.remainder
+
+    def test_malformed_header_line_still_rejected(self):
+        """A junk header line must 400 with fast parsing on, exactly as off."""
+        raw = b"GET /x HTTP/1.1\r\ngarbage-without-colon\r\n\r\n"
+        parser = RequestParser(fast=True)
+        with pytest.raises(BadRequestError):
+            parser.feed(raw)
+        assert parser.fast_request is None  # probe declined; full parse owns it
+
+    def test_extra_spaces_in_request_line_rejected_both_ways(self):
+        raw = b"GET /a b HTTP/1.1\r\n\r\n"
+        for fast in (True, False):
+            parser = RequestParser(fast=fast)
+            with pytest.raises(BadRequestError):
+                parser.feed(raw)
+                parser.request
+
+    def test_pipelined_requests_leave_remainder(self):
+        first = b"GET /one HTTP/1.1\r\nHost: x\r\n\r\n"
+        second = b"GET /two HTTP/1.1\r\nHost: x\r\n\r\n"
+        parser = self.fast(first + second)
+        assert parser.fast_request.target == b"/one"
+        assert parser.remainder == second
+        parser.reset()
+        assert parser.feed(parser.remainder or second)
+        # reset cleared the remainder; feed the captured second request
+        parser2 = RequestParser(fast=True)
+        parser2.feed(second)
+        assert parser2.fast_request.target == b"/two"
+
+    def test_byte_at_a_time_delivery_still_hits_fast_path(self):
+        raw = b"GET /slow.html HTTP/1.1\r\nHost: x\r\n\r\n"
+        parser = RequestParser(fast=True)
+        for index in range(len(raw)):
+            complete = parser.feed(raw[index : index + 1])
+        assert complete
+        assert parser.fast_request is not None
+        assert parser.fast_request.target == b"/slow.html"
+
+    def test_reset_reuses_parser_for_next_request(self):
+        parser = RequestParser(fast=True)
+        parser.feed(b"GET /a HTTP/1.1\r\n\r\n")
+        assert parser.fast_request.target == b"/a"
+        parser.reset()
+        assert not parser.complete
+        parser.feed(b"GET /b HTTP/1.0\r\n\r\n")
+        assert parser.fast_request.target == b"/b"
+        assert parser.fast_request.keep_alive is False
+
+    def test_connection_header_with_spaced_name_matches_full_parser(self):
+        """'Connection : close' (space before colon) must not be missed."""
+        raw = b"GET / HTTP/1.1\r\nConnection : close\r\n\r\n"
+        parser = self.fast(raw)
+        if parser.fast_request is not None:
+            assert parser.fast_request.keep_alive is parse(raw).keep_alive
+
+    @given(
+        target=st.text(
+            alphabet="abcdefghij0123456789_-./~", min_size=1, max_size=30
+        ),
+        version=st.sampled_from(["HTTP/1.0", "HTTP/1.1"]),
+        connection=st.sampled_from([None, "close", "keep-alive", "Close", "weird"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_fast_and_full_always_agree(self, target, version, connection):
+        """Whenever the probe accepts a request, its verdicts are identical
+        to the full parser's."""
+        lines = [f"GET /{target} {version}", "Host: h"]
+        if connection is not None:
+            lines.append(f"Connection: {connection}")
+        raw = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        parser = RequestParser(fast=True)
+        try:
+            parser.feed(raw)
+        except Exception:
+            # Full-parse rejection (e.g. traversal): fast must not have
+            # claimed the request first.
+            assert parser.fast_request is None
+            return
+        if parser.fast_request is None:
+            return
+        reference = parse(raw)
+        assert parser.fast_request.target == b"/" + target.encode("latin-1")
+        assert parser.fast_request.keep_alive == reference.keep_alive
+        assert parser.request.uri == reference.uri
+
+
+class TestFastParseBareLF:
+    """Bare LFs anywhere in the block are line breaks to the full parser
+    but would be line content to the probe's CRLF scan: the probe must
+    decline so both parser modes stay byte-identical."""
+
+    def test_bare_lf_in_header_value_declines(self):
+        raw = b"GET /x HTTP/1.1\r\nConnection: close\nX: b\r\n\r\n"
+        parser = RequestParser(fast=True)
+        parser.feed(raw)
+        assert parser.fast_request is None
+        # Full parser (both modes) sees the Connection header and closes.
+        assert parser.request.keep_alive is False
+        assert parse(raw).keep_alive is False
+
+    def test_bare_lf_splitting_header_name_declines(self):
+        raw = b"GET /x HTTP/1.1\r\nConn\nection: close\r\n\r\n"
+        parser = RequestParser(fast=True)
+        with pytest.raises(BadRequestError):
+            parser.feed(raw)                  # "Conn" has no colon: 400
+        assert parser.fast_request is None
+
+    def test_bare_lf_in_target_declines(self):
+        raw = b"GET /a\nb HTTP/1.1\r\n\r\n"
+        parser = RequestParser(fast=True)
+        with pytest.raises(BadRequestError):
+            parser.feed(raw)                  # >3 request-line words: 400
+        assert parser.fast_request is None

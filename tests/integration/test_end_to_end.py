@@ -47,9 +47,10 @@ class TestTraceServedByFlash:
             server.stop()
         assert result.errors == 0
         assert result.requests_completed >= 100
-        # Each path was requested at least once; the pathname cache must have
-        # absorbed the repeats (100 requests over 50 distinct URIs).
-        assert server.store.pathname_cache.hits > 0
+        # Each path was requested at least once; the repeats (100 requests
+        # over 50 distinct URIs) must have been absorbed by the single-probe
+        # hot-response cache, ahead of the pathname cache.
+        assert server.store.stats.hot_hits > 0
         assert server.stats.responses_ok >= 100
 
     def test_served_bytes_match_catalog_sizes(self, small_trace_site):
