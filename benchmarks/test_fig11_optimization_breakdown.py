@@ -123,7 +123,7 @@ def _make_catalog(docroot):
             handle.write(payload)
 
 
-def _hotpath_loadgen(port, duration, paths):
+def _hotpath_loadgen(port, duration, paths, extra_args=()):
     env = dict(os.environ)
     env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
     command = [
@@ -131,6 +131,7 @@ def _hotpath_loadgen(port, duration, paths):
         "--host", "127.0.0.1", "--port", str(port),
         "--clients", str(HOTPATH_CLIENTS_PER_PROCESS),
         "--duration", str(duration),
+        *extra_args,
     ]
     for path in paths:
         command.extend(["--path", path])
@@ -146,9 +147,9 @@ def _hotpath_parse(output, label):
     return float(match.group(1).replace(",", ""))
 
 
-def _hotpath_clients(port, duration, paths):
+def _hotpath_clients(port, duration, paths, extra_args=()):
     processes = [
-        _hotpath_loadgen(port, duration, paths)
+        _hotpath_loadgen(port, duration, paths, extra_args)
         for _ in range(HOTPATH_CLIENT_PROCESSES)
     ]
     outputs = [process.communicate(timeout=180)[0] for process in processes]
@@ -310,3 +311,102 @@ def test_fig11_hotpath_ablation(run_once):
         f"({both_on['request_rate']:.0f} vs {both_off['request_rate']:.0f} req/s)"
     )
     assert both_on["allocs_per_request"] < both_off["allocs_per_request"]
+
+
+# -- live range-mix ablation (BENCH fig11-range) -------------------------------
+
+#: Range mixes measured: a pure full-GET workload and a half-ranged one
+#: (the segment-fetcher / resumed-download regime the Range tentpole opens).
+RANGE_FRACTIONS = [0.0, 0.5]
+RANGE_SPEC = "0-1023"
+
+
+def _measure_range_mix(docroot, paths, fraction):
+    config = ServerConfig(
+        document_root=docroot,
+        port=0,
+        num_helpers=2,
+    )
+    server = create_server("sped", config)
+    server.start()
+    try:
+        port = server.address[1]
+        extra = (
+            ["--range-fraction", str(fraction), "--range-bytes", RANGE_SPEC]
+            if fraction > 0
+            else []
+        )
+        _hotpath_clients(port, HOTPATH_WARMUP, paths, extra)
+        clients = _hotpath_clients(port, HOTPATH_DURATION, paths, extra)
+        stats = server.stats.snapshot()
+    finally:
+        server.stop()
+    return {
+        "fraction": fraction,
+        "request_rate": clients["request_rate"],
+        "requests": clients["requests"],
+        "errors": clients["errors"],
+        "range_responses": stats["range_responses"],
+        "range_unsatisfiable": stats["range_unsatisfiable"],
+        "hot_hits": stats["hot_hits"],
+        # Server-side totals include the warmup round; the mix share must
+        # be computed against the same window the 206 counter covers.
+        "server_requests": stats["requests"],
+    }
+
+
+def test_fig11_range_ablation(run_once):
+    """Live-server range-mix ablation (BENCH fig11-range).
+
+    The same cached Zipf workload is driven with ``--range-fraction`` off
+    and at 0.5: a correctness gate (zero client errors, the 206 path
+    engaged exactly when the mix is on, no unsatisfiable ranges) plus the
+    throughput rows the artifact records.  No speed floor — a 206 moves
+    fewer bytes per request, so the interesting number is the recorded
+    rate, not a ratio gate that CI noise would flip.
+    """
+    paths = _zipf_paths()
+    with tempfile.TemporaryDirectory() as docroot:
+        _make_catalog(docroot)
+
+        def run_grid():
+            return [
+                _measure_range_mix(docroot, paths, fraction)
+                for fraction in RANGE_FRACTIONS
+            ]
+
+        rows = run_once(run_grid)
+
+    lines = [
+        "BENCH fig11-range: cached Zipf workload, SPED, range mix ablation "
+        f"(--range-fraction, Range: bytes={RANGE_SPEC})",
+        f"{'mix':<5} {'req/s':>9} {'requests':>9} {'206s':>8} "
+        f"{'hot hits':>9} {'errors':>6}",
+    ]
+    for row in rows:
+        label = "off" if row["fraction"] == 0 else f"{row['fraction']:.2f}"
+        lines.append(
+            f"{label:<5} {row['request_rate']:>9.0f} {row['requests']:>9.0f} "
+            f"{row['range_responses']:>8.0f} {row['hot_hits']:>9.0f} "
+            f"{row['errors']:>6.0f}"
+        )
+    off_row, on_row = rows[0], rows[-1]
+    ratio = on_row["request_rate"] / max(off_row["request_rate"], 1e-9)
+    lines.append(
+        f"BENCH fig11-range: range mix on vs off: {ratio:.2f}x requests/s, "
+        f"{on_row['range_responses']:.0f} partial responses served"
+    )
+    table = "\n".join(lines)
+    print("\n" + table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "fig11_range.txt"), "w") as handle:
+        handle.write(table + "\n")
+
+    for row in rows:
+        assert row["errors"] == 0, row
+        assert row["range_unsatisfiable"] == 0, row
+    assert off_row["range_responses"] == 0
+    assert on_row["range_responses"] > 0
+    # The deterministic mix is close to the requested fraction.
+    share = on_row["range_responses"] / max(on_row["server_requests"], 1)
+    assert 0.3 <= share <= 0.7, f"206 share {share:.2f} far from the 0.5 mix"

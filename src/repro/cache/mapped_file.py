@@ -119,6 +119,12 @@ class CachedFD:
     #: for this descriptor may be reused without re-probing (see
     #: ``ContentStore.fd_resident``); 0 means never probed resident.
     resident_probe_expiry: float = field(default=0.0, repr=False)
+    #: Byte interval ``[start, end)`` the cached verdict actually covers.
+    #: Probes are window-scoped (Range responses probe only their own
+    #: window), so a reused verdict must cover the new window — a warm
+    #: 1 KB head must not vouch for a cold 2 GB file.
+    resident_probe_start: int = field(default=0, repr=False)
+    resident_probe_end: int = field(default=0, repr=False)
 
 
 class FileDescriptorCache:

@@ -56,11 +56,15 @@ class ResidencyTester(Protocol):
         """Return True when all of ``chunk``'s pages are memory resident."""
         ...
 
-    def file_resident(self, fd: int, length: int, path: str = "") -> Optional[bool]:
+    def file_resident(
+        self, fd: int, length: int, path: str = "", offset: int = 0
+    ) -> Optional[bool]:
         """Residency of an fd-backed (non-mmapped) byte range.
 
-        Returns True/False when the tester can answer, or ``None`` when it
-        cannot (the caller should then consult the clock predictor).
+        ``(offset, length)`` is the window the caller intends to transmit
+        (a Range response probes only its own window).  Returns True/False
+        when the tester can answer, or ``None`` when it cannot (the caller
+        should then consult the clock predictor).
         """
         ...
 
@@ -137,15 +141,20 @@ class MincoreResidencyTester:
             return self.optimistic_fallback
         return verdict
 
-    def file_resident(self, fd: int, length: int, path: str = "") -> Optional[bool]:
-        """Probe residency of an fd-backed range via a transient mapping.
+    def file_resident(
+        self, fd: int, length: int, path: str = "", offset: int = 0
+    ) -> Optional[bool]:
+        """Probe residency of an fd-backed window via a transient mapping.
 
         Creating the mapping faults no pages in (``ACCESS_COPY`` only
         reserves address space), so ``mincore`` over it reflects the OS
         buffer cache state of the file itself; the mapping is dropped
-        before returning.  Returns ``None`` when the probe is impossible
-        (no ``mincore``, unmappable descriptor, empty range) so the caller
-        can fall back to the clock predictor.
+        before returning.  The mapping starts at ``offset`` rounded down
+        to the allocation granularity (``mmap`` requires it), so a range
+        probe inspects only its own window plus at most one page of
+        lead-in.  Returns ``None`` when the probe is impossible (no
+        ``mincore``, unmappable descriptor, empty range) so the caller can
+        fall back to the clock predictor.
         """
         self.calls += 1
         if length <= 0:
@@ -156,16 +165,18 @@ class MincoreResidencyTester:
             # freshly allocated memory, not the file's cache state).
             self.fallback_answers += 1
             return None
+        aligned = offset - (offset % mmap.ALLOCATIONGRANULARITY)
+        span = length + (offset - aligned)
         try:
             # ACCESS_COPY (private, copy-on-write) for the same reason the
             # mapped-file cache uses it: Python treats the mapping as
             # writable, which lets ctypes take its address for mincore.
-            probe = mmap.mmap(fd, length, access=mmap.ACCESS_COPY)
+            probe = mmap.mmap(fd, span, access=mmap.ACCESS_COPY, offset=aligned)
         except (OSError, ValueError, OverflowError):
             self.fallback_answers += 1
             return None
         try:
-            verdict = _mincore_over_buffer(probe, length)
+            verdict = _mincore_over_buffer(probe, span)
         finally:
             probe.close()
         if verdict is None:
@@ -225,29 +236,35 @@ class ClockResidencyPredictor:
         self._touch(key, chunk.length)
         return resident
 
-    def file_resident(self, fd: int, length: int, path: str = "") -> Optional[bool]:
-        """Predict residency for an fd-backed file from the clock state.
+    def file_resident(
+        self, fd: int, length: int, path: str = "", offset: int = 0
+    ) -> Optional[bool]:
+        """Predict residency for an fd-backed window from the clock state.
 
         The file is tracked at the same chunk granularity as the mapped
         path (synthetic ``(path, index)`` keys over :attr:`fd_chunk_bytes`
         — configure it to the mapped cache's chunk size), so a file
         alternating between mapped and ``sendfile`` service is one set of
-        clock entries, not two.  The descriptor is unused — the heuristic
-        never inspects real pages; ``path`` is the identity.  Always
-        answers (never ``None``): this predictor *is* the fallback of
-        last resort.
+        clock entries, not two.  Only the chunks the ``(offset, length)``
+        window intersects are consulted and touched — a Range response
+        neither depends on nor keeps alive the rest of the file.  The
+        descriptor is unused — the heuristic never inspects real pages;
+        ``path`` is the identity.  Always answers (never ``None``): this
+        predictor *is* the fallback of last resort.
         """
         self.predictions += 1
         if length <= 0:
             return True
         granularity = self.fd_chunk_bytes
-        chunks = (length + granularity - 1) // granularity
+        end = offset + length
+        first = offset // granularity
+        last = (end - 1) // granularity
         resident = True
-        for index in range(chunks):
+        for index in range(first, last + 1):
             key = (path, index)
             if key not in self._recent:
                 resident = False
-            chunk_length = min(granularity, length - index * granularity)
+            chunk_length = min(granularity, end - index * granularity)
             self._touch(key, chunk_length)
         return resident
 
@@ -297,7 +314,9 @@ class SimulatedResidencyOracle:
             return True
         return self.default_resident
 
-    def file_resident(self, fd: int, length: int, path: str = "") -> Optional[bool]:
+    def file_resident(
+        self, fd: int, length: int, path: str = "", offset: int = 0
+    ) -> Optional[bool]:
         """Scripted answer for fd-backed queries: same rule as chunks."""
         self.queries += 1
         if path in self.resident_paths:

@@ -102,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--no-keep-alive", action="store_true")
     loadgen.add_argument("--think-time", type=float, default=0.0,
                          help="per-client pause between requests (emulates WAN clients)")
+    loadgen.add_argument("--range-fraction", type=float, default=0.0,
+                         help="fraction of requests issued as single-range GETs "
+                         "(deterministically interleaved; 0 disables)")
+    loadgen.add_argument("--range-bytes", default="0-1023",
+                         help="byte range the ranged requests ask for "
+                         "(Range: bytes=<spec>; default 0-1023)")
 
     experiment = subparsers.add_parser("experiment", help="regenerate a paper figure")
     experiment.add_argument(
@@ -156,6 +162,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("\nshutting down")
     finally:
         server.stop()
+        stats = getattr(server, "stats", None)
+        if stats is not None:
+            print(
+                f"served {stats.requests} requests "
+                f"({stats.responses_ok} ok, {stats.responses_error} errors, "
+                f"{stats.not_modified_responses} not-modified, "
+                f"{stats.range_responses} partial, "
+                f"{stats.range_unsatisfiable} range-unsatisfiable); "
+                f"hot hits: {stats.hot_hits}, batched: {stats.hot_batched}"
+            )
     return 0
 
 
@@ -169,6 +185,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         duration=args.duration,
         keep_alive=not args.no_keep_alive,
         think_time=args.think_time,
+        range_fraction=args.range_fraction,
+        range_spec=args.range_bytes,
     )
     result = generator.run()
     print(f"clients:            {args.clients}")

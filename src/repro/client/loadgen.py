@@ -125,7 +125,9 @@ class _SimClient:
 
     def _prepare_request(self) -> None:
         path = self.generator.next_path()
-        self._send_buffer = self.generator.request_bytes(path)
+        self._send_buffer = self.generator.request_bytes(
+            path, ranged=self.generator.next_is_ranged()
+        )
         self._recv_buffer = bytearray()
         self._expected_length = None
         self._header_parsed = False
@@ -282,6 +284,14 @@ class LoadGenerator:
     think_time:
         Idle delay a client waits between completing a response and issuing
         its next request; non-zero values emulate slow (WAN) clients.
+    range_fraction:
+        Fraction of requests issued as single-range GETs
+        (``Range: bytes=<range_spec>``), interleaved deterministically
+        (error diffusion, so a 0.25 mix is exactly every 4th request) —
+        the knob the range-ablation benchmarks turn.  0 disables.
+    range_spec:
+        The byte range requested by ranged requests (default the first KB,
+        the shape a segment fetcher or resumed download probes with).
     """
 
     def __init__(
@@ -294,17 +304,24 @@ class LoadGenerator:
         duration: Optional[float] = None,
         max_requests: Optional[int] = None,
         think_time: float = 0.0,
+        range_fraction: float = 0.0,
+        range_spec: str = "0-1023",
     ):
         if duration is None and max_requests is None:
             raise ValueError("specify duration, max_requests or both")
+        if not 0.0 <= range_fraction <= 1.0:
+            raise ValueError("range_fraction must be between 0 and 1")
         self.address = address
         self.num_clients = num_clients
         self.keep_alive = keep_alive
         self.duration = duration
         self.max_requests = max_requests
         self.think_time = think_time
+        self.range_fraction = range_fraction
+        self.range_spec = range_spec
+        self._range_debt = 0.0
         self._next_path = self._make_path_source(paths)
-        self._request_cache: dict[str, bytes] = {}
+        self._request_cache: dict[tuple[str, bool], bytes] = {}
         self.selector = selectors.DefaultSelector()
         self.total_requests = 0
         self.total_bytes = 0
@@ -336,25 +353,42 @@ class LoadGenerator:
         """The next request path for whichever client asks."""
         return self._next_path()
 
-    def request_bytes(self, path: str) -> bytes:
-        """The encoded request for ``path``, composed once per distinct path.
+    def next_is_ranged(self) -> bool:
+        """Whether the next request should carry the Range header.
+
+        Error-diffusion on :attr:`range_fraction`: deterministic (the
+        benchmarks need repeatable mixes without an RNG) and exact over any
+        window — a 0.25 mix issues precisely every 4th request ranged.
+        """
+        if self.range_fraction <= 0.0:
+            return False
+        self._range_debt += self.range_fraction
+        if self._range_debt >= 1.0:
+            self._range_debt -= 1.0
+            return True
+        return False
+
+    def request_bytes(self, path: str, ranged: bool = False) -> bytes:
+        """The encoded request for ``path``, composed once per distinct shape.
 
         The client side of the paper's setup must stay far cheaper than the
         server side it measures; re-encoding an identical request for every
         send would put avoidable per-request allocation work on the
-        load-generating core.
+        load-generating core.  Ranged and full requests cache separately.
         """
-        cached = self._request_cache.get(path)
+        cached = self._request_cache.get((path, ranged))
         if cached is None:
             connection = "keep-alive" if self.keep_alive else "close"
             host = "%s:%d" % self.address
+            range_line = f"Range: bytes={self.range_spec}\r\n" if ranged else ""
             cached = (
                 f"GET {path} HTTP/1.1\r\n"
                 f"Host: {host}\r\n"
+                f"{range_line}"
                 f"Connection: {connection}\r\n"
                 "\r\n"
             ).encode("latin-1")
-            self._request_cache[path] = cached
+            self._request_cache[(path, ranged)] = cached
         return cached
 
     def finished(self) -> bool:

@@ -37,9 +37,16 @@ from repro.core.send_path import (
     BufferedSendPath,
     ResponseCork,
     choose_send_path,
+    sendfile_available,
 )
 from repro.http.errors import HTTPError
-from repro.http.request import FastRequest, HTTPRequest, RequestParser
+from repro.http.request import (
+    FAST_MISS,
+    FastRequest,
+    HTTPRequest,
+    RequestParser,
+    probe_fast_request,
+)
 from repro.http.response import build_error_response
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -106,6 +113,7 @@ class Connection:
         "content",
         "_entry",
         "_sender",
+        "_batch_contents",
         "_cork",
         "_interest",
         "_keep_alive",
@@ -136,6 +144,10 @@ class Connection:
         self.content: Optional[StaticContent] = None
         self._entry = None
         self._sender = None
+        #: Responses whose buffers were merged into the current sender by
+        #: the pipelined-hot-hit batch; their pins are released together
+        #: with the primary response once the combined write finishes.
+        self._batch_contents: list[StaticContent] = []
         self._cork = ResponseCork(sock, enabled=driver.config.cork_responses)
         self._interest = 0
         self._keep_alive = False
@@ -248,8 +260,10 @@ class Connection:
         AMPED rejects content that went cold since it was cached — the
         request then retakes the full pipeline, which warms it through a
         helper, preserving the non-blocking invariant on the fast path.
+        Both full (200) and range (206) bodies are gated; bodyless answers
+        (304, HEAD, 416) transmit unconditionally.
         """
-        if content.status != 200 or content.content_length == 0:
+        if content.content_length == 0:
             return True
         ready = getattr(self.driver, "hot_content_ready", None)
         if ready is None or ready(content):
@@ -288,9 +302,12 @@ class Connection:
 
         GET and HEAD are eligible — the entry reproduces exactly what
         ``build_response`` would return for them, including the 304 answer
-        to a matching ``If-Modified-Since``.  The raw request URI is the
-        key, so any spelling the fast probe declines (escapes, dot
-        segments) simply misses and takes the full path.
+        to a matching ``If-Modified-Since`` and the 206/416 answers to a
+        ``Range`` header (the range-aware read-side hit: the window is
+        served from the entry's pinned descriptor/chunks without retaking
+        translation).  The raw request URI is the key, so any spelling the
+        fast probe declines (escapes, dot segments) simply misses and
+        takes the full path.
         """
         if not self.driver.config.hot_cache or request.method not in ("GET", "HEAD"):
             return False
@@ -299,6 +316,8 @@ class Connection:
             self._keep_alive,
             head=request.is_head,
             if_modified_since=request.if_modified_since,
+            range_header=request.range_header,
+            if_range=request.if_range,
         )
         if content is None:
             return False
@@ -380,8 +399,13 @@ class Connection:
             # Called from inside the pipelined drain loop: that loop
             # transmits the response itself — writing here would recurse
             # back through _finish_response, one stack level per pipelined
-            # request, and a long burst would overflow the stack.
+            # request, and a long burst would overflow the stack.  (The
+            # loop also batches, so merging here would double up.)
             return
+        # Merge any immediately-ready pipelined hot hits into this sender
+        # before the optimistic write, so a burst that arrived in one
+        # segment leaves in one vectored write as well.
+        self._batch_pipelined()
         # Optimistically try to write immediately; most responses fit in the
         # socket buffer, so this saves a full select round trip per request.
         # This call frequently runs from helper/CGI completion callbacks
@@ -433,6 +457,7 @@ class Connection:
                 if self.content is not None:
                     self.content.release(self.driver.store)
                     self.content = None
+                self._release_batch()
                 if not self._keep_alive:
                     self.close()
                     return
@@ -461,9 +486,11 @@ class Connection:
                     # WAIT_DISK (the helper/CGI completion re-enters later,
                     # with _finishing clear) or CLOSED.
                     return
-                # The next response started synchronously: transmit it here
-                # and loop to finish it.  OSErrors propagate to the same
-                # absorb points that guard _do_write.
+                # The next response started synchronously: merge any
+                # further immediately-ready hot hits into its vector, then
+                # transmit here and loop to finish it.  OSErrors propagate
+                # to the same absorb points that guard _do_write.
+                self._batch_pipelined()
                 sent = self._sender.send(self.sock)
                 if sent:
                     self.bytes_sent += sent
@@ -474,6 +501,73 @@ class Connection:
                     return
         finally:
             self._finishing = False
+
+    def _batch_pipelined(self) -> None:
+        """Merge immediately-ready pipelined hot hits into the current sender.
+
+        A pipelined burst of cached responses used to pay one ``sendmsg``
+        per tiny response even under ``TCP_CORK``.  When the response that
+        just started synchronously is on the buffered path, peel further
+        complete plain-GET requests off the parser remainder, look them up
+        in the hot-response cache, and append each precomposed hit's header
+        and body views to the in-flight vector — the whole burst then
+        leaves through a single vectored write.  Any doubt (fast-probe
+        decline, hot miss, a sendfile-backed hit, cold content, a close
+        disposition) stops the merge, and the unconsumed requests take the
+        normal drain loop exactly as before — batching changes syscall
+        count, never bytes.
+        """
+        sender = self._sender
+        if type(sender) is not BufferedSendPath:
+            return
+        config = self.driver.config
+        if not (config.hot_cache and getattr(config, "fast_parse", False)):
+            return
+        store = self.driver.store
+        stats = store.stats
+        while self._keep_alive and self.parser.remainder:
+            probed = probe_fast_request(self.parser.remainder)
+            if probed is None or probed is FAST_MISS:
+                return
+            fast, header_end = probed
+            keep_alive = bool(fast.keep_alive and config.keep_alive)
+            content = store.hot_lookup(fast.target, keep_alive)
+            if content is None:
+                return
+            if (
+                content.file_handle is not None
+                and config.zero_copy
+                and sendfile_available()
+            ):
+                # This hit would transmit via sendfile; it cannot ride a
+                # buffered vector.  Leave the request for the normal loop.
+                content.release(store)
+                return
+            if content.content_length > 0:
+                ready = getattr(self.driver, "hot_content_ready", None)
+                if ready is not None and not ready(content):
+                    # Cold content: the normal loop will re-consult the
+                    # cache and retake the full (warming) pipeline.
+                    content.release(store)
+                    return
+            # Commit: consume the request and merge the response.
+            self.parser.remainder = self.parser.remainder[header_end:]
+            stats.requests += 1
+            stats.responses_ok += 1
+            stats.fast_parses += 1
+            stats.hot_batched += 1
+            self.requests_served += 1
+            self._keep_alive = keep_alive
+            sender.extend([content.header, *content.segments])
+            self._batch_contents.append(content)
+
+    def _release_batch(self) -> None:
+        """Release every response batched into the just-finished sender."""
+        if not self._batch_contents:
+            return
+        batch, self._batch_contents = self._batch_contents, []
+        for content in batch:
+            content.release(self.driver.store)
 
     # -- errors ------------------------------------------------------------------------
 
@@ -512,6 +606,7 @@ class Connection:
         if self.content is not None:
             self.content.release(self.driver.store)
             self.content = None
+        self._release_batch()
         self.driver.loop.unregister(self.sock)
         try:
             self.sock.close()

@@ -35,10 +35,16 @@ from repro.cache.residency import (
 )
 from repro.cache.response_header import ResponseHeaderCache
 from repro.core.config import ServerConfig
-from repro.core.send_path import sendfile_available
+from repro.core.send_path import sendfile_available, window_views
 from repro.http.mime import guess_mime_type
-from repro.http.request import HTTPRequest
-from repro.http.response import ResponseHeaderBuilder, if_modified_since_matches
+from repro.http.request import RANGE_UNSATISFIABLE, HTTPRequest, parse_range
+from repro.http.response import (
+    ResponseHeaderBuilder,
+    content_range,
+    content_range_unsatisfied,
+    if_modified_since_matches,
+    if_range_matches,
+)
 from repro.http.uri import translate_path
 
 #: How long (seconds) a *resident* fd-probe verdict may be reused for the
@@ -82,6 +88,9 @@ class ServerStats:
     hot_cold_fallbacks: int = 0
     fast_parses: int = 0
     not_modified_responses: int = 0
+    range_responses: int = 0
+    range_unsatisfiable: int = 0
+    hot_batched: int = 0
 
     def merge(self, other: "ServerStats") -> "ServerStats":
         """Return a new instance combining this one with ``other``.
@@ -123,6 +132,12 @@ class StaticContent:
         populated as the buffered fallback (and, in AMPED, as the substrate
         for the memory-residency test); a connection picks exactly one of
         the two mechanisms per response.
+    body_offset:
+        First file byte of the transmitted body window.  0 for full
+        responses; a satisfied Range (206) response sets it to the range's
+        first-byte position, and every send mechanism (``sendfile``
+        offsets, sliced chunk views, the buffered fallback) transmits
+        exactly ``(body_offset, content_length)``.
     """
 
     header: bytes
@@ -131,6 +146,7 @@ class StaticContent:
     content_length: int = 0
     status: int = 200
     file_handle: Optional[CachedFD] = None
+    body_offset: int = 0
 
     @property
     def total_length(self) -> int:
@@ -335,15 +351,20 @@ class ContentStore:
         request performs no map, no touch and no user-space body work at
         all; AMPED keeps the chunks because they are the substrate of its
         ``mincore`` residency test and helper page-warming.
+
+        A single-range ``Range`` header (RFC 7233) narrows the body to its
+        ``(offset, length)`` window and the status to 206; unsatisfiable
+        ranges answer 416 with ``Content-Range: bytes */<size>``, and
+        shapes this server does not serve partially (multi-range, invalid
+        specs, a failed ``If-Range`` precondition) degrade to the full 200.
         """
         if keep_alive is None:
             keep_alive = request.keep_alive and self.config.keep_alive
 
-        # RFC 7232: If-Modified-Since applies to GET and HEAD only; other
-        # methods (a POST to a static path) must ignore it.
-        modified_since = (
-            request.if_modified_since if request.method in ("GET", "HEAD") else None
-        )
+        # RFC 7232: the conditional and range headers apply to GET and HEAD
+        # only; other methods (a POST to a static path) must ignore them.
+        conditional = request.method in ("GET", "HEAD")
+        modified_since = request.if_modified_since if conditional else None
         if modified_since and if_modified_since_matches(modified_since, entry.mtime):
             self.stats.not_modified_responses += 1
             return StaticContent(
@@ -353,42 +374,88 @@ class ContentStore:
                 status=304,
             )
 
-        header = self._response_header(entry, keep_alive)
+        window = self._resolve_range(request, entry.size, entry.mtime) if conditional else None
+        if window is RANGE_UNSATISFIABLE:
+            self.stats.range_unsatisfiable += 1
+            return StaticContent(
+                header=self._range_unsatisfiable_header(
+                    entry.filesystem_path, entry.size, entry.mtime, keep_alive
+                ),
+                segments=(),
+                content_length=0,
+                status=416,
+            )
+
+        if window is None:
+            header = self._response_header(entry, keep_alive)
+            offset, length, status = 0, entry.size, 200
+        else:
+            offset, length = window
+            status = 206
+            self.stats.range_responses += 1
+            header = self._range_header(
+                entry.filesystem_path, entry.size, entry.mtime, offset, length, keep_alive
+            )
 
         if request.is_head:
-            return StaticContent(header=header, segments=(), content_length=0)
+            return StaticContent(header=header, segments=(), content_length=0, status=status)
 
         handle = self._acquire_fd(entry)
 
         if self.mmap_cache is not None and (map_body or handle is None):
             try:
-                chunks = self._acquire_chunks(entry)
+                chunks = self._acquire_chunks(entry, offset, length)
             except BaseException:
                 if handle is not None:
                     self.release_fd(handle)
                 raise
-            segments = [chunk.view() for chunk in chunks]
+            segments = self._chunk_window_segments(chunks, offset, length)
             return StaticContent(
                 header=header,
                 segments=segments,
                 chunks=chunks,
-                content_length=entry.size,
+                content_length=length,
+                status=status,
                 file_handle=handle,
+                body_offset=offset,
             )
 
         if handle is not None:
             # Pure zero-copy: no user-space body buffering at all.  The
             # buffered fallback (sendfile unsupported for this socket) reads
-            # the file lazily at degradation time.
+            # the window lazily at degradation time.
             return StaticContent(
                 header=header,
                 segments=(),
-                content_length=entry.size,
+                content_length=length,
+                status=status,
                 file_handle=handle,
+                body_offset=offset,
             )
 
-        data = self.read_file(entry.filesystem_path)
-        return StaticContent(header=header, segments=[data], content_length=len(data))
+        data = self.read_file_range(entry.filesystem_path, offset, length)
+        return StaticContent(
+            header=header,
+            segments=[data],
+            content_length=len(data),
+            status=status,
+            body_offset=offset,
+        )
+
+    def _resolve_range(self, request: HTTPRequest, size: int, mtime: float):
+        """Resolve ``request``'s Range header against ``(size, mtime)``.
+
+        Returns ``None`` (serve the full representation — no Range header,
+        an ignorable spec, or a failed ``If-Range`` precondition), a
+        ``(offset, length)`` window, or :data:`RANGE_UNSATISFIABLE`.
+        """
+        value = request.range_header
+        if not value:
+            return None
+        if_range = request.if_range
+        if if_range and not if_range_matches(if_range, mtime):
+            return None
+        return parse_range(value, size)
 
     def _acquire_fd(self, entry: PathnameEntry) -> Optional[CachedFD]:
         """Pin a cached open descriptor for ``entry`` when zero-copy is on.
@@ -441,6 +508,44 @@ class ContentStore:
             keep_alive=keep_alive,
         ).raw
 
+    def _range_header(
+        self,
+        path: str,
+        size: int,
+        mtime: float,
+        offset: int,
+        length: int,
+        keep_alive: bool,
+    ) -> bytes:
+        """Build the 206 header for a satisfied ``(offset, length)`` window.
+
+        Built fresh per response: range shapes are client-chosen and
+        unbounded, so precomposing them would let a client balloon the
+        header cache.  The slow path and the hot-cache read-side hit both
+        use this method, so the bytes agree everywhere.
+        """
+        return self.header_builder.build(
+            206,
+            content_length=length,
+            content_type=guess_mime_type(path),
+            last_modified=mtime,
+            keep_alive=keep_alive,
+            extra_headers={"Content-Range": content_range(offset, length, size)},
+        ).raw
+
+    def _range_unsatisfiable_header(
+        self, path: str, size: int, mtime: float, keep_alive: bool
+    ) -> bytes:
+        """Build the 416 header (RFC 7233 §4.4: ``Content-Range: bytes */N``)."""
+        return self.header_builder.build(
+            416,
+            content_length=0,
+            content_type=guess_mime_type(path),
+            last_modified=mtime,
+            keep_alive=keep_alive,
+            extra_headers={"Content-Range": content_range_unsatisfied(size)},
+        ).raw
+
     # -- the single-lookup hot path --------------------------------------------
 
     def hot_lookup(
@@ -450,6 +555,8 @@ class ContentStore:
         *,
         head: bool = False,
         if_modified_since: Optional[str] = None,
+        range_header: Optional[str] = None,
+        if_range: Optional[str] = None,
     ) -> Optional[StaticContent]:
         """Serve ``target`` from the hot-response cache, if it can be.
 
@@ -459,6 +566,12 @@ class ContentStore:
         response.  Returns ``None`` on a miss (or stale entry) — the caller
         then runs the full pipeline, whose successful result re-populates
         the cache via :meth:`hot_insert`.
+
+        A ``Range`` header turns a hit into the *range-aware read-side
+        hit*: the window is validated against the entry's cached size, a
+        206 (or 416) header is built fresh, and the body is a slice over
+        the entry's already-pinned descriptor/chunks — no translation, no
+        descriptor-cache probe, no re-``stat``.
         """
         if self.hot_cache is None:
             return None
@@ -478,31 +591,85 @@ class ContentStore:
                     content_length=0,
                     status=304,
                 )
+            window = None
+            if range_header and (not if_range or if_range_matches(if_range, entry.mtime)):
+                window = parse_range(range_header, entry.size)
+                if window is RANGE_UNSATISFIABLE:
+                    self.stats.range_unsatisfiable += 1
+                    return StaticContent(
+                        header=self._range_unsatisfiable_header(
+                            entry.path, entry.size, entry.mtime, keep_alive
+                        ),
+                        segments=(),
+                        content_length=0,
+                        status=416,
+                    )
             if head:
+                if window is None:
+                    header = entry.header(keep_alive)
+                    status = 200
+                else:
+                    offset, length = window
+                    status = 206
+                    self.stats.range_responses += 1
+                    header = self._range_header(
+                        entry.path, entry.size, entry.mtime, offset, length, keep_alive
+                    )
                 return StaticContent(
-                    header=entry.header(keep_alive), segments=(), content_length=0
+                    header=header, segments=(), content_length=0, status=status
                 )
-            return self._pin_hot_entry(entry, keep_alive)
+            return self._pin_hot_entry(entry, keep_alive, window=window)
 
-    def _pin_hot_entry(self, entry: HotEntry, keep_alive: bool) -> StaticContent:
+    def _pin_hot_entry(
+        self,
+        entry: HotEntry,
+        keep_alive: bool,
+        window: Optional[tuple[int, int]] = None,
+    ) -> StaticContent:
         """Build a transmittable response from a hot entry.
 
         The entry's own pins guarantee the descriptor and chunks are alive
         and off their caches' free lists, so the per-request pin is a bare
         refcount increment — no cache probe, no allocation beyond the
-        response container itself.
+        response container itself.  With a ``window`` the response is the
+        206 slice over the same pinned resources: chunk-backed bodies pin
+        (and residency-test, and release) only the chunks the window
+        intersects — exactly like the slow path's windowed acquisition —
+        while fd-backed bodies carry an ``os.sendfile`` offset.
         """
         handle = entry.file_handle
         if handle is not None:
             handle.refcount += 1
-        for chunk in entry.chunks:
+        if window is None:
+            for chunk in entry.chunks:
+                chunk.refcount += 1
+            return StaticContent(
+                header=entry.header(keep_alive),
+                segments=entry.segments,
+                chunks=entry.chunks,
+                content_length=entry.content_length,
+                file_handle=handle,
+            )
+        offset, length = window
+        end = offset + length
+        chunks = tuple(
+            chunk
+            for chunk in entry.chunks
+            if chunk.offset < end and chunk.offset + chunk.length > offset
+        )
+        for chunk in chunks:
             chunk.refcount += 1
+        self.stats.range_responses += 1
         return StaticContent(
-            header=entry.header(keep_alive),
-            segments=entry.segments,
-            chunks=entry.chunks,
-            content_length=entry.content_length,
+            header=self._range_header(
+                entry.path, entry.size, entry.mtime, offset, length, keep_alive
+            ),
+            segments=self._chunk_window_segments(chunks, offset, length),
+            chunks=chunks,
+            content_length=length,
+            status=206,
             file_handle=handle,
+            body_offset=offset,
         )
 
     def hot_insert(
@@ -556,11 +723,45 @@ class ContentStore:
             self.stats.hot_insertions += 1
         return admitted
 
-    def _acquire_chunks(self, entry: PathnameEntry) -> list[MappedChunk]:
+    def _acquire_chunks(
+        self,
+        entry: PathnameEntry,
+        offset: int = 0,
+        length: Optional[int] = None,
+    ) -> list[MappedChunk]:
+        """Pin the mapped chunks covering ``(offset, length)`` of ``entry``.
+
+        A full response pins every chunk; a Range window pins only the
+        chunks it intersects, so a small range over a large file maps (and
+        warms, and residency-tests) just that slice of it.
+        """
         assert self.mmap_cache is not None
         with self._maybe_lock():
-            count = self.mmap_cache.chunk_count(entry.size)
-            return [self.mmap_cache.acquire(entry.filesystem_path, i) for i in range(count)]
+            if length is None:
+                length = entry.size
+            if length <= 0:
+                return []
+            chunk_size = self.mmap_cache.chunk_size
+            first = offset // chunk_size
+            last = (offset + length - 1) // chunk_size
+            return [
+                self.mmap_cache.acquire(entry.filesystem_path, i)
+                for i in range(first, last + 1)
+            ]
+
+    @staticmethod
+    def _chunk_window_segments(
+        chunks: Sequence[MappedChunk], offset: int, length: int
+    ) -> list:
+        """Body segments for the ``(offset, length)`` window over ``chunks``.
+
+        ``chunks`` are the (contiguous) chunks intersecting the window; the
+        first and last views are trimmed to the window's edges.
+        """
+        if not chunks:
+            return []
+        views = [chunk.view() for chunk in chunks]
+        return window_views(views, offset - chunks[0].offset, length)
 
     def release_chunk(self, chunk: MappedChunk) -> None:
         """Return a pinned chunk to the mapped-file cache (or unmap it)."""
@@ -593,11 +794,19 @@ class ContentStore:
             results = [self.mmap_cache.is_resident(chunk) for chunk in content.chunks]
             return all(results)
         if content.file_handle is not None and content.content_length > 0:
-            return self.fd_resident(content.file_handle, content.content_length)
+            # Probe exactly the transmitted window: a range far into the
+            # file must not pass because the head is warm, and a tail
+            # range must not fail (and re-warm forever) because of a cold
+            # head it will never transmit.
+            return self.fd_resident(
+                content.file_handle,
+                content.content_length,
+                offset=content.body_offset,
+            )
         return True
 
-    def fd_resident(self, handle: CachedFD, length: int) -> bool:
-        """Residency of an fd-backed response body (no mapping involved).
+    def fd_resident(self, handle: CachedFD, length: int, offset: int = 0) -> bool:
+        """Residency of an fd-backed response-body window (no mapping).
 
         Asks the configured tester's ``file_resident`` first; a ``None``
         answer ("cannot tell" — typically no reachable ``mincore``) falls
@@ -606,20 +815,40 @@ class ContentStore:
 
         Resident verdicts are remembered on the descriptor for
         ``FD_RESIDENT_PROBE_TTL`` seconds, so a hot file served in a burst
-        pays one probe per window instead of one per request.
+        pays one probe per window instead of one per request.  The cached
+        verdict records the byte interval it covered: probes are
+        window-scoped, and a warm range must not vouch for bytes it never
+        inspected (nor the other way around).
         """
         now = time.monotonic()
-        if handle.resident_probe_expiry > now:
+        end = offset + length
+        if (
+            handle.resident_probe_expiry > now
+            and offset >= handle.resident_probe_start
+            and end <= handle.resident_probe_end
+        ):
             return True
-        resident = self._fd_resident_probe(handle, length)
+        resident = self._fd_resident_probe(handle, length, offset)
         if resident:
+            start = offset
+            if (
+                handle.resident_probe_expiry > now
+                and handle.resident_probe_start <= end
+                and offset <= handle.resident_probe_end
+            ):
+                # The fresh verdict overlaps (or abuts) a still-valid one:
+                # the union is covered by probes within the TTL window.
+                start = min(start, handle.resident_probe_start)
+                end = max(end, handle.resident_probe_end)
+            handle.resident_probe_start = start
+            handle.resident_probe_end = end
             handle.resident_probe_expiry = now + FD_RESIDENT_PROBE_TTL
         return resident
 
-    def _fd_resident_probe(self, handle: CachedFD, length: int) -> bool:
+    def _fd_resident_probe(self, handle: CachedFD, length: int, offset: int = 0) -> bool:
         probe = getattr(self.residency_tester, "file_resident", None)
         if probe is not None:
-            verdict = probe(handle.fd, length, path=handle.path)
+            verdict = probe(handle.fd, length, path=handle.path, offset=offset)
             if verdict is not None:
                 return bool(verdict)
         if self._fd_clock is None:
@@ -627,13 +856,29 @@ class ContentStore:
                 estimated_cache_bytes=self.config.clock_cache_estimate,
                 fd_chunk_bytes=self.config.mmap_chunk_size,
             )
-        return bool(self._fd_clock.file_resident(handle.fd, length, path=handle.path))
+        return bool(
+            self._fd_clock.file_resident(
+                handle.fd, length, path=handle.path, offset=offset
+            )
+        )
 
     @staticmethod
     def read_file(path: str) -> bytes:
         """Plain blocking file read, used when the mmap cache is disabled."""
         with open(path, "rb") as handle:
             return handle.read()
+
+    @staticmethod
+    def read_file_range(path: str, offset: int, length: int) -> bytes:
+        """Blocking read of a ``(offset, length)`` window of ``path``.
+
+        The buffered body source for Range responses (and the sendfile
+        fallback's window read); ``(0, size)`` degenerates to a full read.
+        """
+        with open(path, "rb") as handle:
+            if offset:
+                handle.seek(offset)
+            return handle.read(length)
 
     @staticmethod
     def touch_chunks(chunks: Iterable[MappedChunk]) -> int:

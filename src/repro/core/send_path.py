@@ -114,6 +114,36 @@ def sendfile_available() -> bool:
     return hasattr(os, "sendfile")
 
 
+def window_views(buffers: Sequence, offset: int, length: int) -> list:
+    """Slice a ``(offset, length)`` window out of a buffer sequence.
+
+    The buffers are treated as one contiguous byte stream (the way the
+    mapped-chunk views of a file body are); the result is a list of
+    zero-copy ``memoryview`` slices covering exactly the window.  Used by
+    the Range send paths: a 206 body is an arbitrary window over the same
+    pinned chunks a 200 transmits in full.
+    """
+    views: list[memoryview] = []
+    skip = offset
+    remaining = length
+    for buf in buffers:
+        if remaining <= 0:
+            break
+        view = memoryview(buf)
+        if skip >= len(view):
+            skip -= len(view)
+            continue
+        if skip:
+            view = view[skip:]
+            skip = 0
+        if len(view) > remaining:
+            view = view[:remaining]
+        if len(view):
+            views.append(view)
+        remaining -= len(view)
+    return views
+
+
 #: ``TCP_CORK`` constant (Linux).  0 means the platform has no cork and
 #: :class:`ResponseCork` degrades to a no-op.
 _TCP_CORK = getattr(socket, "TCP_CORK", 0)
@@ -248,6 +278,19 @@ class BufferedSendPath:
                 self._offset += sent
                 sent = 0
 
+    def extend(self, buffers: Sequence) -> None:
+        """Append another response's buffers to this in-flight write.
+
+        The substrate of pipelined-hot-hit batching: when several cached
+        responses are ready in the same event-loop tick, their header and
+        body buffers are merged into one vector so the whole burst leaves
+        through a single ``sendmsg`` instead of one syscall per tiny
+        response.  Appending never disturbs transmission progress — the
+        cursor (`_index`/`_offset`) only ever points at bytes not yet
+        handed to the kernel.
+        """
+        self._buffers.extend(memoryview(buf) for buf in buffers if len(buf))
+
     def release(self) -> None:
         """Drop all buffer views (lets mapped chunks be unmapped)."""
         self._buffers = []
@@ -263,7 +306,9 @@ def choose_send_path(content, *, store, config, stats):
     :class:`~repro.core.pipeline.StaticContent`): responses with a pinned
     open descriptor go out via ``os.sendfile``; everything else (CGI, HEAD,
     304, errors, platforms without ``sendfile``, descriptor-cache misses)
-    takes the buffered vectored-write path.
+    takes the buffered vectored-write path.  Range (206) responses carry a
+    non-zero ``body_offset``; both mechanisms transmit exactly the
+    ``(body_offset, content_length)`` window.
     """
     if (
         content.file_handle is not None
@@ -273,12 +318,15 @@ def choose_send_path(content, *, store, config, stats):
         stats.sendfile_responses += 1
         segments = list(content.segments)
         path = content.file_handle.path
+        offset = content.body_offset
+        count = content.content_length
 
         def fallback_body():
-            # The mapped-chunk views double as the fallback buffers; with
-            # the mmap cache disabled the body was never read, so read it
+            # The mapped-chunk views double as the fallback buffers (they
+            # are already sliced to the response window); with the mmap
+            # cache disabled the body was never read, so read the window
             # now (degradation is the rare path).
-            return segments if segments else [store.read_file(path)]
+            return segments if segments else [store.read_file_range(path, offset, count)]
 
         def on_fallback():
             stats.sendfile_fallbacks += 1
@@ -286,7 +334,8 @@ def choose_send_path(content, *, store, config, stats):
         return SendfileSendPath(
             [content.header],
             content.file_handle.fd,
-            content.content_length,
+            count,
+            offset=offset,
             fallback_factory=fallback_body,
             on_fallback=on_fallback,
         )

@@ -334,10 +334,16 @@ class FlashServer(BaseEventDrivenServer):
             return
         # The requested file is (partly) not in memory: instruct a helper to
         # bring it in, then transmit without risk of blocking (paper §3.4).
+        # Only the transmitted window is touched — a Range response must
+        # not pay (or wait for) a whole-file read.
         self.store.stats.helper_dispatches += 1
         self.store.stats.blocking_reads += 1
         helper_request = HelperRequest(
-            seq=0, op=OP_READ, path=entry.filesystem_path, offset=0, length=entry.size
+            seq=0,
+            op=OP_READ,
+            path=entry.filesystem_path,
+            offset=content.body_offset,
+            length=content.content_length,
         )
 
         def on_reply(reply) -> None:
@@ -366,7 +372,7 @@ class FlashServer(BaseEventDrivenServer):
             op=OP_WARM,
             path=entry.filesystem_path,
             fd=fd,
-            offset=0,
+            offset=content.body_offset,
             length=content.content_length,
         )
 
@@ -380,10 +386,14 @@ class FlashServer(BaseEventDrivenServer):
                 # availability on the (helper-failure) rare path.
                 self.store.stats.sendfile_warm_degradations += 1
                 expected = content.content_length
+                offset = content.body_offset
+                status = content.status
                 header = content.header
                 content.release(self.store)
                 try:
-                    data = self.store.read_file(entry.filesystem_path)
+                    data = self.store.read_file_range(
+                        entry.filesystem_path, offset, expected
+                    )
                 except OSError as exc:
                     callback(None, exc)
                     return
@@ -396,7 +406,11 @@ class FlashServer(BaseEventDrivenServer):
                     callback(None, HTTPError("file changed during warming", status=500))
                     return
                 degraded = StaticContent(
-                    header=header, segments=[data], content_length=len(data)
+                    header=header,
+                    segments=[data],
+                    content_length=len(data),
+                    status=status,
+                    body_offset=offset,
                 )
                 callback(degraded, None)
                 return

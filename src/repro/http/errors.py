@@ -12,6 +12,7 @@ from __future__ import annotations
 STATUS_REASONS = {
     200: "OK",
     204: "No Content",
+    206: "Partial Content",
     301: "Moved Permanently",
     302: "Found",
     304: "Not Modified",
@@ -21,6 +22,7 @@ STATUS_REASONS = {
     408: "Request Timeout",
     413: "Request Entity Too Large",
     414: "Request-URI Too Long",
+    416: "Range Not Satisfiable",
     500: "Internal Server Error",
     501: "Not Implemented",
     503: "Service Unavailable",

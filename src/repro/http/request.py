@@ -93,6 +93,79 @@ _CGI_PREFIX = b"/cgi-bin/"
 #: definitively unsupported (as opposed to "need more bytes", which is None).
 FAST_MISS = object()
 
+#: Sentinel returned by :func:`parse_range` when the Range header is
+#: syntactically valid but no requested byte lies inside the representation
+#: (RFC 7233 §4.4): the response must be a 416 with ``Content-Range:
+#: bytes */<size>``.
+RANGE_UNSATISFIABLE = object()
+
+
+def parse_range(value: str, size: int):
+    """Parse a ``Range`` header value against a ``size``-byte representation.
+
+    Implements the single-range subset of RFC 7233 the static pipeline
+    serves:
+
+    * ``bytes=first-last`` — clamped to the representation
+      (``last >= size`` truncates to the final byte);
+    * ``bytes=first-`` — from ``first`` to the end;
+    * ``bytes=-N`` — the final ``N`` bytes (the whole file when ``N`` is
+      larger than it).
+
+    Returns
+    -------
+    ``(offset, length)`` for a satisfiable single range;
+    ``None`` when the header must be *ignored* and the response degrades to
+    a full 200 — non-``bytes`` units, multi-range requests (this server
+    serves single ranges only; a 200 is always a correct answer), or
+    syntactically invalid specs (RFC 7233 §3.1: invalid ⇒ ignore);
+    :data:`RANGE_UNSATISFIABLE` when the spec is valid but selects nothing —
+    ``first >= size``, a zero-length suffix, or any range against an empty
+    file — which must become a 416.
+    """
+    if not value:
+        return None
+    unit, sep, spec = value.partition("=")
+    if not sep or unit.strip().lower() != "bytes":
+        return None
+    spec = spec.strip()
+    if not spec:
+        return None
+    if "," in spec:
+        # Multi-range: a multipart/byteranges body is more machinery than
+        # the workloads need; RFC 7233 permits answering with the full
+        # representation instead.
+        return None
+    first, dash, last = spec.partition("-")
+    if not dash:
+        return None
+    first = first.strip()
+    last = last.strip()
+    if not first:
+        # Suffix form: the final N bytes.
+        if not last.isdigit():
+            return None
+        suffix = int(last)
+        if suffix == 0 or size <= 0:
+            return RANGE_UNSATISFIABLE
+        length = min(suffix, size)
+        return size - length, length
+    if not first.isdigit():
+        return None
+    start = int(first)
+    if last:
+        if not last.isdigit():
+            return None
+        end = int(last)
+        if end < start:
+            return None
+    else:
+        end = size - 1
+    if start >= size:
+        return RANGE_UNSATISFIABLE
+    end = min(end, size - 1)
+    return start, end - start + 1
+
 
 class FastRequest:
     """The result of a successful fast probe: just enough to consult the
@@ -261,6 +334,16 @@ class HTTPRequest:
     def if_modified_since(self) -> str | None:
         """The If-Modified-Since header value, if any."""
         return self.headers.get("if-modified-since")
+
+    @property
+    def range_header(self) -> str | None:
+        """The raw Range header value, if any (see :func:`parse_range`)."""
+        return self.headers.get("range")
+
+    @property
+    def if_range(self) -> str | None:
+        """The If-Range header value, if any."""
+        return self.headers.get("if-range")
 
     def header(self, name: str, default: str | None = None) -> str | None:
         """Case-insensitive header lookup."""

@@ -34,29 +34,87 @@ def http_date(timestamp: float | None = None) -> str:
     return email.utils.formatdate(timestamp, usegmt=True)
 
 
+def serialized_timestamp(mtime: float) -> float:
+    """The whole-second timestamp ``Last-Modified: {http_date(mtime)}`` carries.
+
+    Validator comparisons must use *this* second, not ``int(mtime)``: the
+    serializer (``email.utils.formatdate`` →
+    ``datetime.fromtimestamp``) rounds the fraction to the nearest
+    microsecond before flooring to seconds, so an mtime within half a
+    microsecond of the next second serializes one second *later* than
+    ``int()`` truncation says.  Comparing with ``int(mtime)`` would then
+    304 against a validator older than the ``Last-Modified`` the server
+    itself advertises for the file.
+    """
+    parsed = email.utils.parsedate_to_datetime(http_date(mtime))
+    return parsed.timestamp()
+
+
+def _parse_http_date(value: str):
+    """Parse an HTTP date to an aware datetime, or ``None`` when malformed."""
+    try:
+        parsed = email.utils.parsedate_to_datetime(value)
+    except (TypeError, ValueError, OverflowError):
+        return None
+    if parsed is None:
+        return None
+    if parsed.tzinfo is None:
+        from datetime import timezone
+
+        parsed = parsed.replace(tzinfo=timezone.utc)
+    return parsed
+
+
 def if_modified_since_matches(value: str, mtime: float) -> bool:
     """Whether an ``If-Modified-Since`` value makes a 304 the right answer.
 
     The common case — the client echoing back exactly the ``Last-Modified``
     string the server sent — is decided by string comparison; anything else
     is parsed as an HTTP date and compared at second granularity (the
-    granularity ``Last-Modified`` is expressed in).  Unparseable values
-    answer False, which degrades to a full 200 response (never incorrect,
-    only less efficient — the same behaviour production servers choose).
+    granularity ``Last-Modified`` is expressed in), using the same
+    truncation the header serializer applies to ``mtime`` (see
+    :func:`serialized_timestamp`).  Unparseable values answer False, which
+    degrades to a full 200 response (never incorrect, only less efficient —
+    the same behaviour production servers choose).
     """
     if value == http_date(mtime):
         return True
-    try:
-        parsed = email.utils.parsedate_to_datetime(value)
-    except (TypeError, ValueError, OverflowError):
-        return False
+    parsed = _parse_http_date(value)
     if parsed is None:
         return False
-    if parsed.tzinfo is None:
-        from datetime import timezone
+    return serialized_timestamp(mtime) <= parsed.timestamp()
 
-        parsed = parsed.replace(tzinfo=timezone.utc)
-    return int(mtime) <= parsed.timestamp()
+
+def if_range_matches(value: str, mtime: float) -> bool:
+    """Whether an ``If-Range`` validator still selects the current file.
+
+    RFC 7233 §3.2: a Date-form ``If-Range`` matches only on an *exact*
+    (strong) match with the representation's ``Last-Modified`` — unlike
+    ``If-Modified-Since``, "not newer" is not good enough, because a
+    mismatch means the client's partial copy may be of different bytes.
+    Entity-tag forms (this server never emits an ``ETag``) and unparseable
+    values answer False, which degrades the Range request to a full 200 —
+    always a correct answer, per the RFC.
+    """
+    value = value.strip()
+    if not value or value.startswith('"') or value.startswith("W/"):
+        return False
+    if value == http_date(mtime):
+        return True
+    parsed = _parse_http_date(value)
+    if parsed is None:
+        return False
+    return serialized_timestamp(mtime) == parsed.timestamp()
+
+
+def content_range(offset: int, length: int, size: int) -> str:
+    """The ``Content-Range`` value for a satisfied range (RFC 7233 §4.2)."""
+    return f"bytes {offset}-{offset + length - 1}/{size}"
+
+
+def content_range_unsatisfied(size: int) -> str:
+    """The ``Content-Range`` value carried by a 416 (RFC 7233 §4.4)."""
+    return f"bytes */{size}"
 
 
 @dataclass(frozen=True)

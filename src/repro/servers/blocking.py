@@ -84,15 +84,23 @@ def handle_client(
                     ).raw
                     _send_all(sock, store, [header, body])
                 else:
-                    store.stats.blocking_translations += 1
-                    entry = store.translate(request.path)
-                    # Like SPED, the blocking workers run no residency test,
-                    # so when the response will go out via sendfile there is
-                    # no reason to pin mapped chunks for it.
-                    map_body = not (config.zero_copy and sendfile_available())
-                    content = store.build_response(
-                        request, entry, keep_alive=keep_alive, map_body=map_body
-                    )
+                    content = _lookup_hot(store, config, request, keep_alive)
+                    if content is None:
+                        store.stats.blocking_translations += 1
+                        entry = store.translate(request.path)
+                        # Like SPED, the blocking workers run no residency
+                        # test, so when the response will go out via
+                        # sendfile there is no reason to pin mapped chunks
+                        # for it.
+                        map_body = not (config.zero_copy and sendfile_available())
+                        content = store.build_response(
+                            request, entry, keep_alive=keep_alive, map_body=map_body
+                        )
+                        # Populate the single-lookup hot path: the next
+                        # repeat GET (in this worker/process) skips
+                        # translation, header build and the descriptor
+                        # probe, exactly like the event-driven builds.
+                        store.hot_insert(request, entry, content)
                     try:
                         _send_content(sock, store, content)
                     finally:
@@ -118,6 +126,35 @@ def handle_client(
             pass
 
 
+def _lookup_hot(
+    store: ContentStore,
+    config: ServerConfig,
+    request,
+    keep_alive: bool,
+) -> Optional[StaticContent]:
+    """The blocking-handler side of the single-lookup hot path.
+
+    MP and MT workers used to pay the three-probe slow path for every
+    repeat GET (so the fig11 ablation said nothing about them); this gives
+    them the same one-probe fast path as the event-driven builds, gated on
+    the same ``hot_cache`` toggle and byte-identical by construction (the
+    entries precompose their headers with the shared builder).  Workers
+    transmit hot hits unconditionally, like SPED: the blocking
+    architectures run no residency test — a cold page simply blocks this
+    worker, which is exactly their concurrency model.
+    """
+    if not config.hot_cache or request.method not in ("GET", "HEAD"):
+        return None
+    return store.hot_lookup(
+        request.uri.encode("latin-1"),
+        keep_alive,
+        head=request.is_head,
+        if_modified_since=request.if_modified_since,
+        range_header=request.range_header,
+        if_range=request.if_range,
+    )
+
+
 def _send_content(sock: socket.socket, store: ContentStore, content: StaticContent) -> None:
     """Transmit one static response, zero-copy when a descriptor is pinned.
 
@@ -138,7 +175,7 @@ def _send_content(sock: socket.socket, store: ContentStore, content: StaticConte
 
 def _sendfile_blocking(sock: socket.socket, store: ContentStore, content: StaticContent) -> None:
     fd = content.file_handle.fd
-    offset = 0
+    offset = content.body_offset
     remaining = content.content_length
     timeout = sock.gettimeout()
     while remaining > 0:

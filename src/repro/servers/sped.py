@@ -78,9 +78,13 @@ class SPEDServer(BaseEventDrivenServer):
             # synchronous read.  Faithful SPED still blocks on a miss.
             # Advised once per cached-descriptor lifetime: SPED does no
             # residency test, so per-request re-advising would put a
-            # syscall on the hot fully-cached path for nothing.
+            # syscall on the hot fully-cached path for nothing.  Only the
+            # transmitted window is hinted; a Range (206) response's
+            # partial advise does not consume the descriptor's one
+            # full-body advise.
             handle = content.file_handle
             if not handle.advised:
-                handle.advised = True
-                advise_willneed(handle.fd, 0, content.content_length)
+                advise_willneed(handle.fd, content.body_offset, content.content_length)
+                if content.status == 200:
+                    handle.advised = True
         callback(content, None)

@@ -354,3 +354,121 @@ class TestBudgetClamping:
             assert store.hot_cache.max_entries == 1024
         finally:
             store.close()
+
+
+class TestWindowScopedResidency:
+    """Regressions from review: residency verdicts and hot-range pins are
+    window-scoped."""
+
+    class _WindowTester:
+        """Scripted per-window fd residency: warm only below ``warm_end``."""
+
+        def __init__(self, warm_end):
+            self.warm_end = warm_end
+            self.probes = []
+
+        def is_resident(self, chunk):
+            return True
+
+        def file_resident(self, fd, length, path="", offset=0):
+            self.probes.append((offset, length))
+            return offset + length <= self.warm_end
+
+    def _fd_store(self, tmp_path, tester, size=200_000):
+        (tmp_path / "file.bin").write_bytes(b"x" * size)
+        config = ServerConfig(document_root=str(tmp_path), port=0)
+        return ContentStore(config, residency_tester=tester)
+
+    def test_small_window_verdict_does_not_vouch_for_larger(self, tmp_path):
+        tester = self._WindowTester(warm_end=1024)
+        store = self._fd_store(tmp_path, tester)
+        try:
+            handle = store.fd_cache.acquire(str(tmp_path / "file.bin"))
+            try:
+                # The warm 1 KB head passes and is cached...
+                assert store.fd_resident(handle, 1024, offset=0) is True
+                # ...but must not vouch for the cold full file within the TTL.
+                assert store.fd_resident(handle, 200_000, offset=0) is False
+                assert tester.probes == [(0, 1024), (0, 200_000)]
+            finally:
+                store.release_fd(handle)
+        finally:
+            store.close()
+
+    def test_covered_window_reuses_cached_verdict(self, tmp_path):
+        tester = self._WindowTester(warm_end=10_000)
+        store = self._fd_store(tmp_path, tester)
+        try:
+            handle = store.fd_cache.acquire(str(tmp_path / "file.bin"))
+            try:
+                assert store.fd_resident(handle, 8192, offset=0) is True
+                # A sub-window of the cached interval pays no new probe.
+                assert store.fd_resident(handle, 1024, offset=2048) is True
+                assert len(tester.probes) == 1
+            finally:
+                store.release_fd(handle)
+        finally:
+            store.close()
+
+    def test_tail_window_probes_only_its_own_bytes(self, tmp_path):
+        """A tail range over a cold-head file must pass residency: the
+        probe covers (offset, length), not (0, offset+length) — otherwise
+        every such request re-warms forever."""
+        tester = self._WindowTester(warm_end=0)
+        tester.file_resident = lambda fd, length, path="", offset=0: offset >= 100_000
+        store = self._fd_store(tmp_path, tester)
+        try:
+            request = get_request(
+                "/file.bin", headers={"range": "bytes=150000-150999"}
+            )
+            entry = store.translate("/file.bin")
+            content = store.build_response(request, entry, map_body=False)
+            try:
+                assert content.status == 206
+                assert content.body_offset == 150_000
+                assert store.content_resident(content) is True
+            finally:
+                content.release(store)
+        finally:
+            store.close()
+
+    def test_hot_range_hit_pins_only_intersecting_chunks(self, tmp_path):
+        """A hot-cache range hit pins (and later releases) only the chunks
+        its window touches, like the slow path's windowed acquisition."""
+        size = 200_000                         # 4 chunks at 64 KB
+        (tmp_path / "file.bin").write_bytes(bytes(i % 251 for i in range(size)))
+        config = ServerConfig(
+            document_root=str(tmp_path),
+            port=0,
+            zero_copy=False,                   # chunk-backed entries
+            hot_cache_revalidate=1000.0,
+        )
+        store = ContentStore(config)
+        try:
+            request = get_request("/file.bin")
+            entry = store.translate("/file.bin")
+            full = store.build_response(request, entry)
+            assert store.hot_insert(request, entry, full)
+            full.release(store)
+            total_chunks = len(store.hot_cache.lookup(b"/file.bin").chunks)
+            assert total_chunks == 4
+            content = store.hot_lookup(
+                b"/file.bin", True, range_header="bytes=70000-70999"
+            )
+            try:
+                assert content is not None and content.status == 206
+                assert len(content.chunks) == 1          # window inside chunk 1
+                assert content.chunks[0].offset == 65536
+                assert b"".join(
+                    bytes(view) for view in content.segments
+                ) == bytes(i % 251 for i in range(70_000, 71_000))
+                # Only the pinned chunk's refcount rose.
+                hot_entry = store.hot_cache.lookup(b"/file.bin")
+                refcounts = [chunk.refcount for chunk in hot_entry.chunks]
+                assert refcounts == [1, 2, 1, 1]
+            finally:
+                content.release(store)
+            hot_entry = store.hot_cache.lookup(b"/file.bin")
+            assert [chunk.refcount for chunk in hot_entry.chunks] == [1, 1, 1, 1]
+        finally:
+            store.close()

@@ -133,3 +133,59 @@ class TestEndToEndLoad:
         result = generator.run()
         assert len(result.per_client) == 3
         assert sum(c.requests_completed for c in result.per_client) == result.requests_completed
+
+
+class TestRangeFraction:
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(("127.0.0.1", 1), "/", max_requests=1, range_fraction=1.5)
+
+    def test_error_diffusion_is_exact(self):
+        generator = LoadGenerator(
+            ("127.0.0.1", 1), "/", max_requests=1, range_fraction=0.25
+        )
+        mix = [generator.next_is_ranged() for _ in range(100)]
+        assert sum(mix) == 25
+        # Deterministic interleave: exactly every 4th request is ranged.
+        assert all(mix[i] == (i % 4 == 3) for i in range(100))
+
+    def test_zero_fraction_never_ranges(self):
+        generator = LoadGenerator(("127.0.0.1", 1), "/", max_requests=1)
+        assert not any(generator.next_is_ranged() for _ in range(50))
+
+    def test_ranged_request_bytes_carry_header(self):
+        generator = LoadGenerator(
+            ("127.0.0.1", 1), "/x", max_requests=1,
+            range_fraction=0.5, range_spec="0-511",
+        )
+        full = generator.request_bytes("/x", ranged=False)
+        ranged = generator.request_bytes("/x", ranged=True)
+        assert b"Range:" not in full
+        assert b"Range: bytes=0-511\r\n" in ranged
+        # Cached separately per shape.
+        assert generator.request_bytes("/x", ranged=True) is ranged
+
+    def test_range_mix_against_real_server(self, tmp_path):
+        body = bytes(range(256)) * 16
+        (tmp_path / "f.bin").write_bytes(body)
+        server = FlashServer(ServerConfig(document_root=str(tmp_path), port=0))
+        server.start()
+        try:
+            generator = LoadGenerator(
+                server.address,
+                "/f.bin",
+                num_clients=2,
+                max_requests=40,
+                duration=10.0,
+                range_fraction=0.5,
+                range_spec="0-1023",
+            )
+            result = generator.run()
+        finally:
+            server.stop()
+        assert result.errors == 0
+        assert result.requests_completed >= 40
+        stats = server.stats
+        assert stats.range_responses > 0
+        # The mix is half-and-half: both full and partial responses flowed.
+        assert stats.responses_ok > stats.range_responses

@@ -590,3 +590,107 @@ class TestResponseCork:
         finally:
             client.close()
             server_side.close()
+
+
+class TestWindowViews:
+    def test_slices_across_buffer_boundaries(self):
+        from repro.core.send_path import window_views
+
+        buffers = [b"aaaa", b"bbbb", b"cccc"]
+        views = window_views(buffers, 2, 8)
+        assert b"".join(views) == b"aabbbbcc"
+
+    def test_whole_stream(self):
+        from repro.core.send_path import window_views
+
+        buffers = [b"aaaa", b"bbbb"]
+        assert b"".join(window_views(buffers, 0, 8)) == b"aaaabbbb"
+
+    def test_window_inside_one_buffer(self):
+        from repro.core.send_path import window_views
+
+        assert b"".join(window_views([b"abcdef"], 2, 3)) == b"cde"
+
+    def test_empty_window(self):
+        from repro.core.send_path import window_views
+
+        assert window_views([b"abcdef"], 2, 0) == []
+
+    def test_zero_copy_views(self):
+        from repro.core.send_path import window_views
+
+        backing = bytearray(b"0123456789")
+        (view,) = window_views([backing], 3, 4)
+        assert bytes(view) == b"3456"
+        backing[3] = ord(b"X")
+        assert bytes(view) == b"X456"  # a view, not a copy
+
+
+class TestBufferedExtend:
+    def test_extend_appends_after_partial_send(self, pair):
+        left, right = pair
+        path = BufferedSendPath([b"first-"])
+        assert path.send(left) == 6
+        path.extend([b"second-", b"", b"third"])
+        while not path.done:
+            path.send(left)
+        assert drain(right, len(b"first-second-third")) == b"first-second-third"
+
+    def test_extend_revives_done_path(self, pair):
+        left, right = pair
+        path = BufferedSendPath([b"one"])
+        while not path.done:
+            path.send(left)
+        assert path.done
+        path.extend([b"two"])
+        assert not path.done
+        while not path.done:
+            path.send(left)
+        assert drain(right, 6) == b"onetwo"
+
+
+class TestSendfileWindow:
+    @requires_sendfile
+    def test_offset_window_byte_identical(self, pair, tmp_path):
+        left, right = pair
+        payload = bytes(range(256)) * 64
+        file_path = tmp_path / "w.bin"
+        file_path.write_bytes(payload)
+        fd = os.open(file_path, os.O_RDONLY)
+        try:
+            path = SendfileSendPath([b"HDR"], fd, 1000, offset=500)
+            while not path.done:
+                path.send(left)
+        finally:
+            os.close(fd)
+        assert drain(right, 1003) == b"HDR" + payload[500:1500]
+
+    @requires_sendfile
+    def test_window_fallback_resumes_inside_window(self, tmp_path):
+        """Degrading mid-window must resume at the window byte reached."""
+        payload = bytes(range(256)) * 64
+        file_path = tmp_path / "w.bin"
+        file_path.write_bytes(payload)
+        # An fd sendfile cannot serve: a pipe in place of the file.
+        read_end, write_end = os.pipe()
+        left, right = socket.socketpair()
+        left.setblocking(False)
+        try:
+            window = payload[500:1500]
+            path = SendfileSendPath(
+                [b"HDR"],
+                read_end,
+                1000,
+                offset=500,
+                fallback_factory=lambda: [window],
+            )
+            while not path.done:
+                path.send(left)
+            assert path.fell_back
+            assert not path.under_delivered
+            assert drain(right, 1003) == b"HDR" + window
+        finally:
+            os.close(read_end)
+            os.close(write_end)
+            left.close()
+            right.close()

@@ -172,7 +172,7 @@ class TestContentStoreFdResidency:
         def is_resident(self, chunk):
             return True
 
-        def file_resident(self, fd, length, path=""):
+        def file_resident(self, fd, length, path="", offset=0):
             return None
 
     def _store(self, docroot, tester):

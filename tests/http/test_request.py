@@ -385,3 +385,84 @@ class TestFastParseBareLF:
         with pytest.raises(BadRequestError):
             parser.feed(raw)                  # >3 request-line words: 400
         assert parser.fast_request is None
+
+
+class TestParseRange:
+    """RFC 7233 single-range parsing against a representation size."""
+
+    def setup_method(self):
+        from repro.http.request import RANGE_UNSATISFIABLE, parse_range
+
+        self.parse_range = staticmethod(parse_range)
+        self.UNSAT = RANGE_UNSATISFIABLE
+
+    def test_simple_window(self):
+        assert self.parse_range("bytes=0-1023", 4096) == (0, 1024)
+
+    def test_interior_window(self):
+        assert self.parse_range("bytes=100-199", 4096) == (100, 100)
+
+    def test_single_byte(self):
+        assert self.parse_range("bytes=0-0", 4096) == (0, 1)
+        assert self.parse_range("bytes=4095-4095", 4096) == (4095, 1)
+
+    def test_open_ended(self):
+        assert self.parse_range("bytes=4000-", 4096) == (4000, 96)
+
+    def test_last_clamped_to_size(self):
+        assert self.parse_range("bytes=4000-999999", 4096) == (4000, 96)
+
+    def test_suffix(self):
+        assert self.parse_range("bytes=-100", 4096) == (3996, 100)
+
+    def test_suffix_larger_than_file_is_whole_file(self):
+        assert self.parse_range("bytes=-999999", 4096) == (0, 4096)
+
+    def test_suffix_zero_unsatisfiable(self):
+        assert self.parse_range("bytes=-0", 4096) is self.UNSAT
+
+    def test_first_past_end_unsatisfiable(self):
+        assert self.parse_range("bytes=4096-", 4096) is self.UNSAT
+        assert self.parse_range("bytes=5000-6000", 4096) is self.UNSAT
+
+    def test_empty_file_unsatisfiable(self):
+        assert self.parse_range("bytes=0-", 0) is self.UNSAT
+        assert self.parse_range("bytes=-5", 0) is self.UNSAT
+
+    def test_multi_range_degrades_to_full(self):
+        assert self.parse_range("bytes=0-1,5-9", 4096) is None
+
+    def test_other_units_ignored(self):
+        assert self.parse_range("lines=0-5", 4096) is None
+
+    def test_malformed_ignored(self):
+        for value in (
+            "bytes=", "bytes=-", "bytes=a-b", "bytes=5", "bytes=5-3",
+            "bytes", "", "bytes= - ", "bytes=+1-2", "bytes=1-2x",
+        ):
+            assert self.parse_range(value, 4096) is None, value
+
+    def test_whitespace_tolerated(self):
+        assert self.parse_range("bytes = 0 - 99", 4096) == (0, 100)
+
+    @given(
+        size=st.integers(1, 1 << 20),
+        first=st.integers(0, 1 << 21),
+        last=st.integers(0, 1 << 21),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_window_always_inside_representation(self, size, first, last):
+        from repro.http.request import parse_range
+
+        result = parse_range(f"bytes={first}-{last}", size)
+        if last < first:
+            assert result is None
+        elif first >= size:
+            from repro.http.request import RANGE_UNSATISFIABLE
+
+            assert result is RANGE_UNSATISFIABLE
+        else:
+            offset, length = result
+            assert offset == first
+            assert length >= 1
+            assert offset + length <= size

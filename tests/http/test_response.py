@@ -108,3 +108,107 @@ class TestErrorResponse:
             if line.lower().startswith(b"content-length:"):
                 declared = int(line.split(b":", 1)[1])
         assert declared == len(body)
+
+
+class TestIfModifiedSinceTruncation:
+    """Validator comparisons must use the serializer's second, not int().
+
+    ``email.utils.formatdate`` (via ``datetime.fromtimestamp``) rounds the
+    fractional part to the nearest microsecond before flooring to seconds,
+    so an mtime within half a microsecond of the next second serializes one
+    second *later* than ``int(mtime)``.  The old ``int(mtime) <=
+    parsed.timestamp()`` comparison then 304'd against a validator older
+    than the Last-Modified the server itself advertises for the file — a
+    stale client copy was confirmed fresh.
+    """
+
+    def test_fractional_mtime_rounding_up_is_modified(self):
+        from repro.http.response import if_modified_since_matches
+
+        mtime = 1_000_000_000.9999996          # serializes as second ...01
+        assert http_date(mtime) != http_date(int(mtime))
+        stale_validator = http_date(int(mtime))  # client cached second ...00
+        # The file's advertised Last-Modified is one second later than the
+        # client's validator: the copy is stale, the answer must be 200.
+        assert not if_modified_since_matches(stale_validator, mtime)
+
+    def test_fractional_mtime_same_second_still_matches(self):
+        from repro.http.response import if_modified_since_matches
+
+        mtime = 1_000_000_000.25               # serializes as second ...00
+        assert if_modified_since_matches(http_date(int(mtime)), mtime)
+        assert if_modified_since_matches(http_date(mtime), mtime)
+
+    def test_older_validator_never_matches(self):
+        from repro.http.response import if_modified_since_matches
+
+        mtime = 1_000_000_000.5
+        assert not if_modified_since_matches(http_date(int(mtime) - 1), mtime)
+
+    def test_newer_validator_matches(self):
+        from repro.http.response import if_modified_since_matches
+
+        mtime = 1_000_000_000.5
+        assert if_modified_since_matches(http_date(int(mtime) + 60), mtime)
+
+
+class TestIfRange:
+    def test_exact_date_matches(self):
+        from repro.http.response import if_range_matches
+
+        mtime = 1_000_000_000.25
+        assert if_range_matches(http_date(mtime), mtime)
+
+    def test_strong_comparison_rejects_newer_and_older(self):
+        from repro.http.response import if_range_matches
+
+        mtime = 1_000_000_000.25
+        assert not if_range_matches(http_date(int(mtime) - 1), mtime)
+        # Unlike If-Modified-Since, a *newer* date is also a mismatch:
+        # only an exact validator proves the partial copy is of these bytes.
+        assert not if_range_matches(http_date(int(mtime) + 60), mtime)
+
+    def test_entity_tag_forms_never_match(self):
+        from repro.http.response import if_range_matches
+
+        assert not if_range_matches('"abc123"', 1_000_000_000.0)
+        assert not if_range_matches('W/"abc123"', 1_000_000_000.0)
+
+    def test_garbage_never_matches(self):
+        from repro.http.response import if_range_matches
+
+        assert not if_range_matches("yesterday-ish", 1_000_000_000.0)
+        assert not if_range_matches("", 1_000_000_000.0)
+
+
+class TestContentRange:
+    def test_satisfied(self):
+        from repro.http.response import content_range
+
+        assert content_range(0, 1024, 4096) == "bytes 0-1023/4096"
+        assert content_range(100, 1, 4096) == "bytes 100-100/4096"
+
+    def test_unsatisfied(self):
+        from repro.http.response import content_range_unsatisfied
+
+        assert content_range_unsatisfied(4096) == "bytes */4096"
+
+    def test_206_header_carries_content_range(self):
+        header = ResponseHeaderBuilder().build(
+            206,
+            content_length=1024,
+            extra_headers={"Content-Range": "bytes 0-1023/4096"},
+        )
+        assert header.raw.startswith(b"HTTP/1.1 206 Partial Content\r\n")
+        assert b"Content-Range: bytes 0-1023/4096\r\n" in header.raw
+        assert b"Content-Length: 1024\r\n" in header.raw
+        assert len(header.raw) % DEFAULT_ALIGNMENT == 0
+
+    def test_416_header_carries_star_form(self):
+        header = ResponseHeaderBuilder().build(
+            416,
+            content_length=0,
+            extra_headers={"Content-Range": "bytes */4096"},
+        )
+        assert header.raw.startswith(b"HTTP/1.1 416 Range Not Satisfiable\r\n")
+        assert b"Content-Range: bytes */4096\r\n" in header.raw

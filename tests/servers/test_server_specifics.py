@@ -96,8 +96,23 @@ class TestMTServer:
         finally:
             server.stop()
         # All requests were counted in the single shared stats object, and
-        # after the first the shared pathname cache served the rest.
+        # after the first the shared hot-response cache served the rest
+        # from one probe (the blocking-handler side of the single-lookup
+        # hot path).
         assert server.stats.requests >= 6
+        assert server.stats.hot_hits >= 5
+
+    def test_shared_pathname_cache_without_hot_path(self, docroot):
+        server = MTServer(
+            ServerConfig(document_root=docroot, port=0, num_workers=4, hot_cache=False)
+        )
+        server.start()
+        try:
+            for _ in range(6):
+                assert fetch(*server.address, "/index.html").status == 200
+        finally:
+            server.stop()
+        # With the hot path off, repeats exercise the shared pathname cache.
         assert server.store.pathname_cache.hits >= 5
 
     def test_stop_is_clean(self, docroot):
