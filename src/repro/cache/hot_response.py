@@ -73,6 +73,10 @@ class HotEntry:
         Raw request-target bytes (the cache key).
     path, size, mtime:
         The validated translation this entry was built from.
+    etag:
+        The strong entity-tag minted at translation time; conditional
+        read-side hits compare ``If-None-Match``/``If-Match``/``If-Range``
+        validators against it without re-translation.
     content_length:
         Body length in bytes (equals ``size``).
     header_keep, header_close:
@@ -102,6 +106,7 @@ class HotEntry:
     header_close: bytes
     header_304_keep: bytes
     header_304_close: bytes
+    etag: str = ""
     file_handle: Optional[object] = None
     chunks: Sequence = ()
     segments: Sequence = ()

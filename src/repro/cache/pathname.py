@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.cache.lru import LRUCache
+from repro.http.response import make_etag
 
 #: Default entry limit used by the paper's evaluation for the full Flash
 #: configuration (Section 6: "a pathname cache limit of 6000 entries").
@@ -44,12 +45,32 @@ class PathnameEntry:
         File size in bytes at translation time.
     mtime:
         File modification time at translation time.
+    mtime_ns:
+        Modification time in integer nanoseconds (``stat.st_mtime_ns``),
+        the second ingredient of the strong entity-tag minted at
+        translation time.  ``0`` (legacy constructors) falls back to a
+        value derived from ``mtime``.
     """
 
     uri: str
     filesystem_path: str
     size: int
     mtime: float
+    mtime_ns: int = 0
+
+    @property
+    def etag(self) -> str:
+        """The strong entity-tag for the file state this entry validated.
+
+        Minted from ``(size, mtime_ns)`` — see
+        :func:`repro.http.response.make_etag`.  Every translation site
+        records ``st_mtime_ns``, so the tag is identical no matter which
+        architecture (or helper) performed the translation; the
+        float-derived fallback only serves tests that construct entries
+        by hand.
+        """
+        mtime_ns = self.mtime_ns or int(self.mtime * 1_000_000_000)
+        return make_etag(self.size, mtime_ns)
 
 
 class PathnameCache:
@@ -139,6 +160,7 @@ class PathnameCache:
             filesystem_path=path,
             size=stat.st_size,
             mtime=stat.st_mtime,
+            mtime_ns=stat.st_mtime_ns,
         )
         self._cache.put(uri, entry)
         return entry

@@ -67,9 +67,17 @@ class ResponseHeaderCache:
         mtime: float,
         *,
         keep_alive: bool = False,
+        etag: Optional[str] = None,
     ) -> ResponseHeader:
-        """Return a 200 response header for the file, building it on a miss."""
-        key = (path, size, mtime, keep_alive)
+        """Return a 200 response header for the file, building it on a miss.
+
+        ``etag`` is the strong validator minted at translation time; it is
+        derived from the same ``(size, mtime)`` identity the key carries,
+        so a changed tag always changes the key and the lookup naturally
+        misses.  Static 200s advertise ``Accept-Ranges: bytes`` — this
+        cache only ever serves the static pipeline.
+        """
+        key = (path, size, mtime, keep_alive, etag)
         header = self._cache.get(key)
         if header is not None:
             return header
@@ -79,6 +87,8 @@ class ResponseHeaderCache:
             content_type=guess_mime_type(path),
             last_modified=mtime,
             keep_alive=keep_alive,
+            etag=etag,
+            accept_ranges=True,
         )
         self._cache.put(key, header)
         return header

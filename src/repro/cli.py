@@ -108,6 +108,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--range-bytes", default="0-1023",
                          help="byte range the ranged requests ask for "
                          "(Range: bytes=<spec>; default 0-1023)")
+    loadgen.add_argument("--conditional-fraction", type=float, default=0.0,
+                         help="fraction of requests issued as If-None-Match "
+                         "revalidations replaying captured ETags "
+                         "(deterministically interleaved; 0 disables)")
 
     experiment = subparsers.add_parser("experiment", help="regenerate a paper figure")
     experiment.add_argument(
@@ -168,7 +172,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"served {stats.requests} requests "
                 f"({stats.responses_ok} ok, {stats.responses_error} errors, "
                 f"{stats.not_modified_responses} not-modified, "
-                f"{stats.range_responses} partial, "
+                f"{stats.precondition_failed} precondition-failed, "
+                f"{stats.range_responses} partial "
+                f"({stats.range_multipart_responses} multipart), "
                 f"{stats.range_unsatisfiable} range-unsatisfiable); "
                 f"hot hits: {stats.hot_hits}, batched: {stats.hot_batched}"
             )
@@ -187,6 +193,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         think_time=args.think_time,
         range_fraction=args.range_fraction,
         range_spec=args.range_bytes,
+        conditional_fraction=args.conditional_fraction,
     )
     result = generator.run()
     print(f"clients:            {args.clients}")
@@ -194,6 +201,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     print(f"requests completed: {result.requests_completed}")
     print(f"connection rate:    {result.request_rate:,.1f} requests/s")
     print(f"output bandwidth:   {result.bandwidth_mbps:.2f} Mb/s")
+    print(f"not modified:       {result.not_modified}")
     print(f"errors:             {result.errors}")
     return 0 if result.errors == 0 else 1
 

@@ -32,6 +32,7 @@ class ClientResult:
     bytes_received: int = 0
     errors: int = 0
     connects: int = 0
+    not_modified: int = 0
 
 
 @dataclass
@@ -47,6 +48,7 @@ class LoadResult:
     bytes_received: int = 0
     errors: int = 0
     connects: int = 0
+    not_modified: int = 0
     elapsed: float = 0.0
     per_client: list = field(default_factory=list)
 
@@ -70,6 +72,7 @@ class LoadResult:
             "requests_completed": self.requests_completed,
             "bytes_received": self.bytes_received,
             "errors": self.errors,
+            "not_modified": self.not_modified,
             "elapsed": self.elapsed,
             "bandwidth_mbps": self.bandwidth_mbps,
             "request_rate": self.request_rate,
@@ -96,6 +99,8 @@ class _SimClient:
         self._header_parsed = False
         self._body_start = 0
         self._registered_events = 0
+        self._path = ""
+        self._status = 0
 
     # -- connection management -------------------------------------------------
 
@@ -125,13 +130,16 @@ class _SimClient:
 
     def _prepare_request(self) -> None:
         path = self.generator.next_path()
-        self._send_buffer = self.generator.request_bytes(
-            path, ranged=self.generator.next_is_ranged()
-        )
+        self._path = path
+        shape = self.generator.next_request_shape()
+        etag = self.generator.captured_etag(path) if shape == "conditional" else None
+        ranged = shape == "ranged"
+        self._send_buffer = self.generator.request_bytes(path, ranged=ranged, etag=etag)
         self._recv_buffer = bytearray()
         self._expected_length = None
         self._header_parsed = False
         self._body_start = 0
+        self._status = 0
 
     # -- readiness handling ------------------------------------------------------
 
@@ -188,13 +196,23 @@ class _SimClient:
         self._header_parsed = True
         self._body_start = end + 4
         self._expected_length = 0
-        for line in header.split("\r\n")[1:]:
-            if line.lower().startswith("content-length:"):
+        lines = header.split("\r\n")
+        status_parts = lines[0].split(" ", 2)
+        try:
+            self._status = int(status_parts[1]) if len(status_parts) > 1 else 0
+        except ValueError:
+            self._status = 0
+        for line in lines[1:]:
+            lowered = line.lower()
+            if lowered.startswith("content-length:"):
                 try:
                     self._expected_length = int(line.split(":", 1)[1].strip())
                 except ValueError:
                     self._expected_length = 0
-                break
+            elif lowered.startswith("etag:"):
+                # Remember the validator so later conditional requests can
+                # replay it as If-None-Match.
+                self.generator.record_etag(self._path, line.split(":", 1)[1].strip())
 
     def _response_complete(self) -> bool:
         if self._expected_length is None:
@@ -204,6 +222,9 @@ class _SimClient:
     def _complete_response(self, reconnect: bool) -> None:
         self.result.requests_completed += 1
         self.generator.total_requests += 1
+        if self._status == 304:
+            self.result.not_modified += 1
+            self.generator.total_not_modified += 1
         if self.generator.finished():
             self._close()
             self.state = self.DONE
@@ -292,6 +313,15 @@ class LoadGenerator:
     range_spec:
         The byte range requested by ranged requests (default the first KB,
         the shape a segment fetcher or resumed download probes with).
+    conditional_fraction:
+        Fraction of requests issued as conditional revalidations
+        (``If-None-Match`` replaying the ``ETag`` captured from an earlier
+        response for the same path), interleaved with the same
+        error-diffusion determinism as ``range_fraction`` — the
+        CDN-revalidation mix the fig11-conditional ablation drives.  A
+        path whose validator has not been captured yet is fetched
+        unconditionally (and captures it for the next slot).  304s are
+        counted separately from 200s in the results.
     """
 
     def __init__(
@@ -306,11 +336,14 @@ class LoadGenerator:
         think_time: float = 0.0,
         range_fraction: float = 0.0,
         range_spec: str = "0-1023",
+        conditional_fraction: float = 0.0,
     ):
         if duration is None and max_requests is None:
             raise ValueError("specify duration, max_requests or both")
         if not 0.0 <= range_fraction <= 1.0:
             raise ValueError("range_fraction must be between 0 and 1")
+        if not 0.0 <= conditional_fraction <= 1.0:
+            raise ValueError("conditional_fraction must be between 0 and 1")
         self.address = address
         self.num_clients = num_clients
         self.keep_alive = keep_alive
@@ -319,13 +352,17 @@ class LoadGenerator:
         self.think_time = think_time
         self.range_fraction = range_fraction
         self.range_spec = range_spec
+        self.conditional_fraction = conditional_fraction
         self._range_debt = 0.0
+        self._conditional_debt = 0.0
+        self._etags: dict[str, str] = {}
         self._next_path = self._make_path_source(paths)
-        self._request_cache: dict[tuple[str, bool], bytes] = {}
+        self._request_cache: dict[tuple[str, bool, Optional[str]], bytes] = {}
         self.selector = selectors.DefaultSelector()
         self.total_requests = 0
         self.total_bytes = 0
         self.total_errors = 0
+        self.total_not_modified = 0
         self._deadline: Optional[float] = None
         self._restarts: list[tuple[float, _SimClient]] = []
 
@@ -368,27 +405,78 @@ class LoadGenerator:
             return True
         return False
 
-    def request_bytes(self, path: str, ranged: bool = False) -> bytes:
+    def next_is_conditional(self) -> bool:
+        """Whether the next request should be a conditional revalidation.
+
+        Same error-diffusion scheme as :meth:`next_is_ranged`, on its own
+        accumulator, so the two mixes interleave deterministically and
+        independently.
+        """
+        if self.conditional_fraction <= 0.0:
+            return False
+        self._conditional_debt += self.conditional_fraction
+        if self._conditional_debt >= 1.0:
+            self._conditional_debt -= 1.0
+            return True
+        return False
+
+    def next_request_shape(self) -> str:
+        """Decide the next request's shape: conditional, ranged or plain.
+
+        A request carries at most one special header, so when both mixes
+        are active their slots must not collide.  The conditional
+        accumulator wins a collision, but the range accumulator still
+        *advances* on every request and simply carries its debt to the
+        next free slot — both fractions therefore converge to their exact
+        shares (within one startup slot) as long as they sum to at most 1;
+        beyond that, ranged requests fill whatever slots revalidations
+        leave, with the carry capped so the debt cannot grow without
+        bound.
+        """
+        conditional = self.next_is_conditional()
+        if self.range_fraction > 0.0:
+            self._range_debt += self.range_fraction
+            if not conditional and self._range_debt >= 1.0:
+                self._range_debt -= 1.0
+                return "ranged"
+            self._range_debt = min(self._range_debt, 2.0)
+        return "conditional" if conditional else "plain"
+
+    def record_etag(self, path: str, etag: str) -> None:
+        """Remember the validator a response for ``path`` advertised."""
+        if etag:
+            self._etags[path] = etag
+
+    def captured_etag(self, path: str) -> Optional[str]:
+        """The last ``ETag`` seen for ``path``, if any response carried one."""
+        return self._etags.get(path)
+
+    def request_bytes(
+        self, path: str, ranged: bool = False, etag: Optional[str] = None
+    ) -> bytes:
         """The encoded request for ``path``, composed once per distinct shape.
 
         The client side of the paper's setup must stay far cheaper than the
         server side it measures; re-encoding an identical request for every
         send would put avoidable per-request allocation work on the
-        load-generating core.  Ranged and full requests cache separately.
+        load-generating core.  Ranged, conditional (one entry per replayed
+        validator) and plain requests cache separately.
         """
-        cached = self._request_cache.get((path, ranged))
+        cached = self._request_cache.get((path, ranged, etag))
         if cached is None:
             connection = "keep-alive" if self.keep_alive else "close"
             host = "%s:%d" % self.address
             range_line = f"Range: bytes={self.range_spec}\r\n" if ranged else ""
+            conditional_line = f"If-None-Match: {etag}\r\n" if etag else ""
             cached = (
                 f"GET {path} HTTP/1.1\r\n"
                 f"Host: {host}\r\n"
                 f"{range_line}"
+                f"{conditional_line}"
                 f"Connection: {connection}\r\n"
                 "\r\n"
             ).encode("latin-1")
-            self._request_cache[(path, ranged)] = cached
+            self._request_cache[(path, ranged, etag)] = cached
         return cached
 
     def finished(self) -> bool:
@@ -432,6 +520,7 @@ class LoadGenerator:
             result.bytes_received += client.result.bytes_received
             result.errors += client.result.errors
             result.connects += client.result.connects
+            result.not_modified += client.result.not_modified
         return result
 
     def _fire_restarts(self) -> None:

@@ -301,13 +301,16 @@ class Connection:
         or fast parsing is disabled).
 
         GET and HEAD are eligible — the entry reproduces exactly what
-        ``build_response`` would return for them, including the 304 answer
-        to a matching ``If-Modified-Since`` and the 206/416 answers to a
-        ``Range`` header (the range-aware read-side hit: the window is
-        served from the entry's pinned descriptor/chunks without retaking
-        translation).  The raw request URI is the key, so any spelling the
-        fast probe declines (escapes, dot segments) simply misses and
-        takes the full path.
+        ``build_response`` would return for them, including the RFC 7232
+        conditional answers (a precomposed 304 for a matching
+        ``If-None-Match``/``If-Modified-Since``, a 412 for a failed
+        ``If-Match``/``If-Unmodified-Since``, in §6 precedence order) and
+        the 206/416 answers to a ``Range`` header (the range-aware
+        read-side hit: the windows — one, or several as
+        ``multipart/byteranges`` — are served from the entry's pinned
+        descriptor/chunks without retaking translation).  The raw request
+        URI is the key, so any spelling the fast probe declines (escapes,
+        dot segments) simply misses and takes the full path.
         """
         if not self.driver.config.hot_cache or request.method not in ("GET", "HEAD"):
             return False
@@ -316,6 +319,9 @@ class Connection:
             self._keep_alive,
             head=request.is_head,
             if_modified_since=request.if_modified_since,
+            if_none_match=request.if_none_match,
+            if_match=request.if_match,
+            if_unmodified_since=request.if_unmodified_since,
             range_header=request.range_header,
             if_range=request.if_range,
         )

@@ -139,6 +139,7 @@ class HelperReply:
     path: str = ""
     size: int = 0
     mtime: float = 0.0
+    mtime_ns: int = 0
     bytes_touched: int = 0
     error_type: str = ""
     error_message: str = ""
@@ -165,6 +166,7 @@ def perform_helper_operation(request: HelperRequest) -> HelperReply:
                 path=path,
                 size=stat.st_size,
                 mtime=stat.st_mtime,
+                mtime_ns=stat.st_mtime_ns,
             )
         if request.op == OP_READ:
             touched = _touch_file_range(request.path, request.offset, request.length)
@@ -295,7 +297,13 @@ def translation_entry_from_reply(uri: str, reply: HelperReply) -> PathnameEntry:
     """Convert a successful translation reply into a pathname-cache entry."""
     if not reply.ok:
         raise ValueError("cannot build a PathnameEntry from a failed reply")
-    return PathnameEntry(uri=uri, filesystem_path=reply.path, size=reply.size, mtime=reply.mtime)
+    return PathnameEntry(
+        uri=uri,
+        filesystem_path=reply.path,
+        size=reply.size,
+        mtime=reply.mtime,
+        mtime_ns=reply.mtime_ns,
+    )
 
 
 class HelperPool:

@@ -37,13 +37,19 @@ from repro.cache.response_header import ResponseHeaderCache
 from repro.core.config import ServerConfig
 from repro.core.send_path import sendfile_available, window_views
 from repro.http.mime import guess_mime_type
-from repro.http.request import RANGE_UNSATISFIABLE, HTTPRequest, parse_range
+from repro.http.request import RANGE_UNSATISFIABLE, HTTPRequest, parse_ranges
 from repro.http.response import (
     ResponseHeaderBuilder,
     content_range,
     content_range_unsatisfied,
+    if_match_matches,
     if_modified_since_matches,
+    if_none_match_matches,
     if_range_matches,
+    if_unmodified_since_matches,
+    multipart_boundary,
+    multipart_part_head,
+    multipart_trailer,
 )
 from repro.http.uri import translate_path
 
@@ -90,6 +96,8 @@ class ServerStats:
     not_modified_responses: int = 0
     range_responses: int = 0
     range_unsatisfiable: int = 0
+    range_multipart_responses: int = 0
+    precondition_failed: int = 0
     hot_batched: int = 0
 
     def merge(self, other: "ServerStats") -> "ServerStats":
@@ -106,6 +114,25 @@ class ServerStats:
     def snapshot(self) -> dict:
         """A plain-dict copy, convenient for logging and tests."""
         return dict(vars(self))
+
+
+@dataclass(frozen=True)
+class RangePart:
+    """One body part of a ``multipart/byteranges`` 206 response.
+
+    Attributes
+    ----------
+    head:
+        The part's framing bytes — delimiter, per-part ``Content-Type``
+        and ``Content-Range`` headers, blank line — transmitted verbatim
+        before the file window.
+    offset, length:
+        The file-byte window this part carries.
+    """
+
+    head: bytes
+    offset: int
+    length: int
 
 
 @dataclass
@@ -134,10 +161,18 @@ class StaticContent:
         the two mechanisms per response.
     body_offset:
         First file byte of the transmitted body window.  0 for full
-        responses; a satisfied Range (206) response sets it to the range's
-        first-byte position, and every send mechanism (``sendfile``
+        responses; a satisfied single-range (206) response sets it to the
+        range's first-byte position, and every send mechanism (``sendfile``
         offsets, sliced chunk views, the buffered fallback) transmits
         exactly ``(body_offset, content_length)``.
+    parts:
+        For a ``multipart/byteranges`` 206: the ordered
+        :class:`RangePart` sequence.  ``content_length`` then counts the
+        whole framed body (part heads + file windows + trailer), and the
+        zero-copy path iterates one ``sendfile`` window per part instead
+        of reading ``body_offset``.
+    trailer:
+        The closing multipart delimiter, transmitted after the final part.
     """
 
     header: bytes
@@ -147,11 +182,38 @@ class StaticContent:
     status: int = 200
     file_handle: Optional[CachedFD] = None
     body_offset: int = 0
+    parts: Sequence[RangePart] = ()
+    trailer: bytes = b""
 
     @property
     def total_length(self) -> int:
         """Header plus body length."""
         return len(self.header) + self.content_length
+
+    @property
+    def is_multipart(self) -> bool:
+        """True for a ``multipart/byteranges`` response."""
+        return bool(self.parts)
+
+    def body_windows(self) -> list[tuple[int, int]]:
+        """The file-byte windows this response transmits, in order."""
+        if self.parts:
+            return [(part.offset, part.length) for part in self.parts]
+        return [(self.body_offset, self.content_length)]
+
+    def warm_window(self) -> tuple[int, int]:
+        """The single file-byte span covering every transmitted window.
+
+        Warming helpers take one ``(offset, length)`` request; a multipart
+        response warms the covering span — it may touch bytes between
+        scattered windows, but a single helper round trip (and one
+        completion callback) is the right trade for the rare multi-range
+        cold case.
+        """
+        windows = self.body_windows()
+        start = min(offset for offset, _ in windows)
+        end = max(offset + length for offset, length in windows)
+        return start, end - start
 
     def release(self, store: "ContentStore") -> None:
         """Return pinned chunks to the mapped-file cache.  Idempotent.
@@ -325,7 +387,13 @@ class ContentStore:
     def _translate_direct(self, uri: str) -> PathnameEntry:
         path = self._translate_uncached(uri)
         stat = os.stat(path)
-        return PathnameEntry(uri=uri, filesystem_path=path, size=stat.st_size, mtime=stat.st_mtime)
+        return PathnameEntry(
+            uri=uri,
+            filesystem_path=path,
+            size=stat.st_size,
+            mtime=stat.st_mtime,
+            mtime_ns=stat.st_mtime_ns,
+        )
 
     # -- response construction -------------------------------------------------
 
@@ -352,30 +420,34 @@ class ContentStore:
         all; AMPED keeps the chunks because they are the substrate of its
         ``mincore`` residency test and helper page-warming.
 
-        A single-range ``Range`` header (RFC 7233) narrows the body to its
-        ``(offset, length)`` window and the status to 206; unsatisfiable
-        ranges answer 416 with ``Content-Range: bytes */<size>``, and
-        shapes this server does not serve partially (multi-range, invalid
+        Conditional headers (RFC 7232) are evaluated in the §6 precedence
+        order against the entry's strong entity-tag and mtime —
+        ``If-Match`` then ``If-Unmodified-Since`` (412 on failure),
+        ``If-None-Match`` (304) which when present suppresses
+        ``If-Modified-Since`` entirely.  A ``Range`` header (RFC 7233)
+        narrows the body to one ``(offset, length)`` window for a plain
+        206, or to a ``multipart/byteranges`` 206 when several ranges are
+        satisfiable; unsatisfiable ranges answer 416 with ``Content-Range:
+        bytes */<size>``, and shapes this server must ignore (invalid
         specs, a failed ``If-Range`` precondition) degrade to the full 200.
         """
         if keep_alive is None:
             keep_alive = request.keep_alive and self.config.keep_alive
 
-        # RFC 7232: the conditional and range headers apply to GET and HEAD
-        # only; other methods (a POST to a static path) must ignore them.
+        # The conditional and range headers apply to GET and HEAD only;
+        # other methods (a POST to a static path) must ignore them.
         conditional = request.method in ("GET", "HEAD")
-        modified_since = request.if_modified_since if conditional else None
-        if modified_since and if_modified_since_matches(modified_since, entry.mtime):
-            self.stats.not_modified_responses += 1
-            return StaticContent(
-                header=self._not_modified_header(entry, keep_alive),
-                segments=(),
-                content_length=0,
-                status=304,
-            )
+        if conditional:
+            answer = self._evaluate_conditionals(request, entry, keep_alive)
+            if answer is not None:
+                return answer
 
-        window = self._resolve_range(request, entry.size, entry.mtime) if conditional else None
-        if window is RANGE_UNSATISFIABLE:
+        windows = (
+            self._resolve_ranges(request, entry.size, entry.mtime, entry.etag)
+            if conditional
+            else None
+        )
+        if windows is RANGE_UNSATISFIABLE:
             self.stats.range_unsatisfiable += 1
             return StaticContent(
                 header=self._range_unsatisfiable_header(
@@ -385,16 +457,29 @@ class ContentStore:
                 content_length=0,
                 status=416,
             )
+        if windows is not None and len(windows) > 1:
+            return self._build_multipart(
+                request, entry, windows, keep_alive, map_body=map_body
+            )
 
-        if window is None:
+        if windows is None:
             header = self._response_header(entry, keep_alive)
             offset, length, status = 0, entry.size, 200
         else:
-            offset, length = window
+            # A single satisfiable window — whether from single-range
+            # syntax or a multi-range set with one survivor — collapses to
+            # the ordinary 206.
+            offset, length = windows[0]
             status = 206
             self.stats.range_responses += 1
             header = self._range_header(
-                entry.filesystem_path, entry.size, entry.mtime, offset, length, keep_alive
+                entry.filesystem_path,
+                entry.size,
+                entry.mtime,
+                entry.etag,
+                offset,
+                length,
+                keep_alive,
             )
 
         if request.is_head:
@@ -442,20 +527,214 @@ class ContentStore:
             body_offset=offset,
         )
 
-    def _resolve_range(self, request: HTTPRequest, size: int, mtime: float):
-        """Resolve ``request``'s Range header against ``(size, mtime)``.
+    def _evaluate_conditionals(
+        self, request: HTTPRequest, entry: PathnameEntry, keep_alive: bool
+    ) -> Optional[StaticContent]:
+        """Apply the RFC 7232 preconditions; a non-``None`` result is final.
+
+        §6 evaluation order, against the validators minted at translation
+        time: ``If-Match`` first (strong ETag comparison; failure is 412),
+        then — only when ``If-Match`` is absent — ``If-Unmodified-Since``
+        (412), then ``If-None-Match`` (weak comparison; a match is a 304
+        for the GET/HEAD methods this path serves), and only when
+        ``If-None-Match`` is absent, ``If-Modified-Since``.  A request
+        whose preconditions all pass returns ``None`` and proceeds to the
+        range/body logic.
+        """
+        etag = entry.etag
+        if_match = request.if_match
+        if if_match:
+            if not if_match_matches(if_match, etag):
+                return self._precondition_failed(entry, keep_alive)
+        else:
+            unmodified_since = request.if_unmodified_since
+            if unmodified_since and not if_unmodified_since_matches(
+                unmodified_since, entry.mtime
+            ):
+                return self._precondition_failed(entry, keep_alive)
+        if_none_match = request.if_none_match
+        if if_none_match:
+            if if_none_match_matches(if_none_match, etag):
+                return self._not_modified(entry, keep_alive)
+            # A failed If-None-Match suppresses If-Modified-Since (§3.3):
+            # the client's tag is stale, so the full response must follow
+            # even when the date alone would have said 304.
+            return None
+        modified_since = request.if_modified_since
+        if modified_since and if_modified_since_matches(modified_since, entry.mtime):
+            return self._not_modified(entry, keep_alive)
+        return None
+
+    def _not_modified(self, entry: PathnameEntry, keep_alive: bool) -> StaticContent:
+        self.stats.not_modified_responses += 1
+        return StaticContent(
+            header=self._not_modified_header(entry, keep_alive),
+            segments=(),
+            content_length=0,
+            status=304,
+        )
+
+    def _precondition_failed(
+        self, entry: PathnameEntry, keep_alive: bool
+    ) -> StaticContent:
+        self.stats.precondition_failed += 1
+        return StaticContent(
+            header=self._precondition_failed_header(
+                entry.filesystem_path, entry.mtime, entry.etag, keep_alive
+            ),
+            segments=(),
+            content_length=0,
+            status=412,
+        )
+
+    def _resolve_ranges(
+        self, request: HTTPRequest, size: int, mtime: float, etag: str
+    ):
+        """Resolve ``request``'s Range header against ``(size, mtime, etag)``.
 
         Returns ``None`` (serve the full representation — no Range header,
-        an ignorable spec, or a failed ``If-Range`` precondition), a
-        ``(offset, length)`` window, or :data:`RANGE_UNSATISFIABLE`.
+        an ignorable spec, or a failed ``If-Range`` precondition), a list
+        of ``(offset, length)`` windows (one entry: plain 206; several:
+        ``multipart/byteranges``), or :data:`RANGE_UNSATISFIABLE`.
         """
         value = request.range_header
         if not value:
             return None
         if_range = request.if_range
-        if if_range and not if_range_matches(if_range, mtime):
+        if if_range and not if_range_matches(if_range, mtime, etag):
             return None
-        return parse_range(value, size)
+        return parse_ranges(value, size)
+
+    def _plan_multipart(
+        self,
+        path: str,
+        size: int,
+        mtime: float,
+        etag: str,
+        windows: Sequence[tuple[int, int]],
+        keep_alive: bool,
+    ) -> tuple[bytes, list[RangePart], bytes, int]:
+        """Frame a ``multipart/byteranges`` response for ``windows``.
+
+        Returns ``(header, parts, trailer, total_body_length)``.  The
+        boundary is deterministic in the file's validator and the window
+        list, and the header/part bytes are built with the shared builder —
+        so the slow path and the hot-cache read-side hit produce
+        byte-identical multipart responses, the same parity contract every
+        other response shape already honours.  Built fresh per response
+        (never cached): window sets are client-chosen and unbounded.
+        """
+        content_type = guess_mime_type(path)
+        boundary = multipart_boundary(etag, windows)
+        parts: list[RangePart] = []
+        total = 0
+        for index, (offset, length) in enumerate(windows):
+            head = multipart_part_head(
+                boundary, content_type, offset, length, size, first=index == 0
+            )
+            parts.append(RangePart(head=head, offset=offset, length=length))
+            total += len(head) + length
+        trailer = multipart_trailer(boundary)
+        total += len(trailer)
+        header = self.header_builder.build(
+            206,
+            content_length=total,
+            content_type=f"multipart/byteranges; boundary={boundary}",
+            last_modified=mtime,
+            etag=etag,
+            keep_alive=keep_alive,
+        ).raw
+        return header, parts, trailer, total
+
+    def _build_multipart(
+        self,
+        request: HTTPRequest,
+        entry: PathnameEntry,
+        windows: Sequence[tuple[int, int]],
+        keep_alive: bool,
+        *,
+        map_body: bool,
+    ) -> StaticContent:
+        """Build the ``multipart/byteranges`` 206 for several windows.
+
+        Mirrors the single-window body routes: pinned mapped chunks per
+        window (the buffered/vectored path, with the part framing
+        interleaved into the segment vector), a pinned descriptor driving
+        one ``sendfile`` window per part, or positional buffered reads
+        when neither cache applies.
+        """
+        self.stats.range_responses += 1
+        self.stats.range_multipart_responses += 1
+        header, parts, trailer, total = self._plan_multipart(
+            entry.filesystem_path,
+            entry.size,
+            entry.mtime,
+            entry.etag,
+            windows,
+            keep_alive,
+        )
+        if request.is_head:
+            return StaticContent(header=header, segments=(), content_length=0, status=206)
+
+        handle = self._acquire_fd(entry)
+
+        if self.mmap_cache is not None and (map_body or handle is None):
+            chunks: list[MappedChunk] = []
+            segments: list = []
+            try:
+                for part in parts:
+                    part_chunks = self._acquire_chunks(entry, part.offset, part.length)
+                    chunks.extend(part_chunks)
+                    segments.append(part.head)
+                    segments.extend(
+                        self._chunk_window_segments(part_chunks, part.offset, part.length)
+                    )
+            except BaseException:
+                for chunk in chunks:
+                    self.release_chunk(chunk)
+                if handle is not None:
+                    self.release_fd(handle)
+                raise
+            segments.append(trailer)
+            return StaticContent(
+                header=header,
+                segments=segments,
+                chunks=chunks,
+                content_length=total,
+                status=206,
+                file_handle=handle,
+                parts=parts,
+                trailer=trailer,
+            )
+
+        if handle is not None:
+            # Pure zero-copy: one sendfile window per part; the buffered
+            # fallback reads each window lazily at degradation time.
+            return StaticContent(
+                header=header,
+                segments=(),
+                content_length=total,
+                status=206,
+                file_handle=handle,
+                parts=parts,
+                trailer=trailer,
+            )
+
+        segments = []
+        for part in parts:
+            segments.append(part.head)
+            segments.append(
+                self.read_file_range(entry.filesystem_path, part.offset, part.length)
+            )
+        segments.append(trailer)
+        return StaticContent(
+            header=header,
+            segments=segments,
+            content_length=total,
+            status=206,
+            parts=parts,
+            trailer=trailer,
+        )
 
     def _acquire_fd(self, entry: PathnameEntry) -> Optional[CachedFD]:
         """Pin a cached open descriptor for ``entry`` when zero-copy is on.
@@ -483,7 +762,11 @@ class ContentStore:
         if self.header_cache is not None:
             with self._maybe_lock():
                 return self.header_cache.get(
-                    entry.filesystem_path, entry.size, entry.mtime, keep_alive=keep_alive
+                    entry.filesystem_path,
+                    entry.size,
+                    entry.mtime,
+                    keep_alive=keep_alive,
+                    etag=entry.etag,
                 ).raw
         return self.header_builder.build(
             200,
@@ -491,21 +774,27 @@ class ContentStore:
             content_type=guess_mime_type(entry.filesystem_path),
             last_modified=entry.mtime,
             keep_alive=keep_alive,
+            etag=entry.etag,
+            accept_ranges=True,
         ).raw
 
-    def _not_modified_header(self, entry: PathnameEntry, keep_alive: bool) -> bytes:
-        """Build the 304 header for ``entry``.
+    def _not_modified_header(self, entry, keep_alive: bool) -> bytes:
+        """Build the 304 header for ``entry`` (Pathname or hot entry shape).
 
-        Built fresh (not cached per request): conditional requests are the
-        rare path, and the hot-response cache precomposes its own 304
-        variants with this same method, so the bytes agree everywhere.
+        Built fresh (not cached per request): conditional requests take
+        the full path only on a hot miss, and the hot-response cache
+        precomposes its own 304 variants with this same method, so the
+        bytes agree everywhere.  RFC 7232 §4.1: the 304 carries the same
+        validators the 200 would have — ``Last-Modified`` and ``ETag``.
         """
+        path = getattr(entry, "filesystem_path", None) or entry.path
         return self.header_builder.build(
             304,
             content_length=0,
-            content_type=guess_mime_type(entry.filesystem_path),
+            content_type=guess_mime_type(path),
             last_modified=entry.mtime,
             keep_alive=keep_alive,
+            etag=entry.etag,
         ).raw
 
     def _range_header(
@@ -513,6 +802,7 @@ class ContentStore:
         path: str,
         size: int,
         mtime: float,
+        etag: str,
         offset: int,
         length: int,
         keep_alive: bool,
@@ -530,7 +820,25 @@ class ContentStore:
             content_type=guess_mime_type(path),
             last_modified=mtime,
             keep_alive=keep_alive,
+            etag=etag,
             extra_headers={"Content-Range": content_range(offset, length, size)},
+        ).raw
+
+    def _precondition_failed_header(
+        self, path: str, mtime: float, etag: str, keep_alive: bool
+    ) -> bytes:
+        """Build the 412 header (RFC 7232 §4.2): bodyless, current validators.
+
+        The validators ride along so a client whose stored tag failed the
+        precondition can resynchronize without an extra GET.
+        """
+        return self.header_builder.build(
+            412,
+            content_length=0,
+            content_type=guess_mime_type(path),
+            last_modified=mtime,
+            keep_alive=keep_alive,
+            etag=etag,
         ).raw
 
     def _range_unsatisfiable_header(
@@ -555,6 +863,9 @@ class ContentStore:
         *,
         head: bool = False,
         if_modified_since: Optional[str] = None,
+        if_none_match: Optional[str] = None,
+        if_match: Optional[str] = None,
+        if_unmodified_since: Optional[str] = None,
         range_header: Optional[str] = None,
         if_range: Optional[str] = None,
     ) -> Optional[StaticContent]:
@@ -567,10 +878,15 @@ class ContentStore:
         then runs the full pipeline, whose successful result re-populates
         the cache via :meth:`hot_insert`.
 
-        A ``Range`` header turns a hit into the *range-aware read-side
-        hit*: the window is validated against the entry's cached size, a
-        206 (or 416) header is built fresh, and the body is a slice over
-        the entry's already-pinned descriptor/chunks — no translation, no
+        Conditional headers are answered against the entry's cached
+        validators in the same RFC 7232 §6 precedence order as
+        :meth:`build_response` — the cheapest possible response, a
+        precomposed bodyless 304, without re-translation or a header
+        build.  A ``Range`` header turns a hit into the *range-aware
+        read-side hit*: the windows are validated against the entry's
+        cached size, a 206 (plain or ``multipart/byteranges``) or 416
+        header is built fresh, and the body is sliced over the entry's
+        already-pinned descriptor/chunks — no translation, no
         descriptor-cache probe, no re-``stat``.
         """
         if self.hot_cache is None:
@@ -581,9 +897,36 @@ class ContentStore:
                 self.stats.hot_misses += 1
                 return None
             self.stats.hot_hits += 1
-            if if_modified_since and if_modified_since_matches(
-                if_modified_since, entry.mtime
+            # RFC 7232 §6 precedence, mirroring _evaluate_conditionals.
+            if if_match:
+                if not if_match_matches(if_match, entry.etag):
+                    self.stats.precondition_failed += 1
+                    return StaticContent(
+                        header=self._precondition_failed_header(
+                            entry.path, entry.mtime, entry.etag, keep_alive
+                        ),
+                        segments=(),
+                        content_length=0,
+                        status=412,
+                    )
+            elif if_unmodified_since and not if_unmodified_since_matches(
+                if_unmodified_since, entry.mtime
             ):
+                self.stats.precondition_failed += 1
+                return StaticContent(
+                    header=self._precondition_failed_header(
+                        entry.path, entry.mtime, entry.etag, keep_alive
+                    ),
+                    segments=(),
+                    content_length=0,
+                    status=412,
+                )
+            not_modified = False
+            if if_none_match:
+                not_modified = if_none_match_matches(if_none_match, entry.etag)
+            elif if_modified_since:
+                not_modified = if_modified_since_matches(if_modified_since, entry.mtime)
+            if not_modified:
                 self.stats.not_modified_responses += 1
                 return StaticContent(
                     header=entry.header_not_modified(keep_alive),
@@ -591,10 +934,12 @@ class ContentStore:
                     content_length=0,
                     status=304,
                 )
-            window = None
-            if range_header and (not if_range or if_range_matches(if_range, entry.mtime)):
-                window = parse_range(range_header, entry.size)
-                if window is RANGE_UNSATISFIABLE:
+            windows = None
+            if range_header and (
+                not if_range or if_range_matches(if_range, entry.mtime, entry.etag)
+            ):
+                windows = parse_ranges(range_header, entry.size)
+                if windows is RANGE_UNSATISFIABLE:
                     self.stats.range_unsatisfiable += 1
                     return StaticContent(
                         header=self._range_unsatisfiable_header(
@@ -605,42 +950,60 @@ class ContentStore:
                         status=416,
                     )
             if head:
-                if window is None:
+                if windows is None:
                     header = entry.header(keep_alive)
                     status = 200
                 else:
-                    offset, length = window
                     status = 206
                     self.stats.range_responses += 1
-                    header = self._range_header(
-                        entry.path, entry.size, entry.mtime, offset, length, keep_alive
-                    )
+                    if len(windows) > 1:
+                        self.stats.range_multipart_responses += 1
+                        header, _, _, _ = self._plan_multipart(
+                            entry.path,
+                            entry.size,
+                            entry.mtime,
+                            entry.etag,
+                            windows,
+                            keep_alive,
+                        )
+                    else:
+                        offset, length = windows[0]
+                        header = self._range_header(
+                            entry.path,
+                            entry.size,
+                            entry.mtime,
+                            entry.etag,
+                            offset,
+                            length,
+                            keep_alive,
+                        )
                 return StaticContent(
                     header=header, segments=(), content_length=0, status=status
                 )
-            return self._pin_hot_entry(entry, keep_alive, window=window)
+            return self._pin_hot_entry(entry, keep_alive, windows=windows)
 
     def _pin_hot_entry(
         self,
         entry: HotEntry,
         keep_alive: bool,
-        window: Optional[tuple[int, int]] = None,
+        windows: Optional[Sequence[tuple[int, int]]] = None,
     ) -> StaticContent:
         """Build a transmittable response from a hot entry.
 
         The entry's own pins guarantee the descriptor and chunks are alive
         and off their caches' free lists, so the per-request pin is a bare
         refcount increment — no cache probe, no allocation beyond the
-        response container itself.  With a ``window`` the response is the
+        response container itself.  With ``windows`` the response is the
         206 slice over the same pinned resources: chunk-backed bodies pin
-        (and residency-test, and release) only the chunks the window
+        (and residency-test, and release) only the chunks each window
         intersects — exactly like the slow path's windowed acquisition —
-        while fd-backed bodies carry an ``os.sendfile`` offset.
+        while fd-backed bodies carry ``os.sendfile`` offsets (one window
+        per part in the multipart case).
         """
         handle = entry.file_handle
         if handle is not None:
             handle.refcount += 1
-        if window is None:
+        if windows is None:
             for chunk in entry.chunks:
                 chunk.refcount += 1
             return StaticContent(
@@ -650,19 +1013,22 @@ class ContentStore:
                 content_length=entry.content_length,
                 file_handle=handle,
             )
-        offset, length = window
-        end = offset + length
-        chunks = tuple(
-            chunk
-            for chunk in entry.chunks
-            if chunk.offset < end and chunk.offset + chunk.length > offset
-        )
+        self.stats.range_responses += 1
+        if len(windows) > 1:
+            return self._pin_hot_multipart(entry, keep_alive, windows, handle)
+        offset, length = windows[0]
+        chunks = self._intersecting_entry_chunks(entry, offset, length)
         for chunk in chunks:
             chunk.refcount += 1
-        self.stats.range_responses += 1
         return StaticContent(
             header=self._range_header(
-                entry.path, entry.size, entry.mtime, offset, length, keep_alive
+                entry.path,
+                entry.size,
+                entry.mtime,
+                entry.etag,
+                offset,
+                length,
+                keep_alive,
             ),
             segments=self._chunk_window_segments(chunks, offset, length),
             chunks=chunks,
@@ -670,6 +1036,67 @@ class ContentStore:
             status=206,
             file_handle=handle,
             body_offset=offset,
+        )
+
+    @staticmethod
+    def _intersecting_entry_chunks(
+        entry: HotEntry, offset: int, length: int
+    ) -> tuple[MappedChunk, ...]:
+        end = offset + length
+        return tuple(
+            chunk
+            for chunk in entry.chunks
+            if chunk.offset < end and chunk.offset + chunk.length > offset
+        )
+
+    def _pin_hot_multipart(
+        self,
+        entry: HotEntry,
+        keep_alive: bool,
+        windows: Sequence[tuple[int, int]],
+        handle: Optional[CachedFD],
+    ) -> StaticContent:
+        """The multipart flavour of the range-aware read-side hit.
+
+        Same plan as the slow path's :meth:`_build_multipart` (so the
+        bytes agree), but every body window is a slice over the entry's
+        already-pinned chunks or descriptor.
+        """
+        self.stats.range_multipart_responses += 1
+        header, parts, trailer, total = self._plan_multipart(
+            entry.path, entry.size, entry.mtime, entry.etag, windows, keep_alive
+        )
+        if not entry.chunks:
+            return StaticContent(
+                header=header,
+                segments=(),
+                content_length=total,
+                status=206,
+                file_handle=handle,
+                parts=parts,
+                trailer=trailer,
+            )
+        chunks: list[MappedChunk] = []
+        segments: list = []
+        for part in parts:
+            part_chunks = self._intersecting_entry_chunks(entry, part.offset, part.length)
+            for chunk in part_chunks:
+                chunk.refcount += 1
+            chunks.extend(part_chunks)
+            segments.append(part.head)
+            segments.extend(
+                self._chunk_window_segments(part_chunks, part.offset, part.length)
+            )
+        segments.append(trailer)
+        return StaticContent(
+            header=header,
+            segments=segments,
+            chunks=chunks,
+            content_length=total,
+            status=206,
+            file_handle=handle,
+            parts=parts,
+            trailer=trailer,
         )
 
     def hot_insert(
@@ -709,6 +1136,7 @@ class ContentStore:
                 path=entry.filesystem_path,
                 size=entry.size,
                 mtime=entry.mtime,
+                etag=entry.etag,
                 content_length=content.content_length,
                 header_keep=self._response_header(entry, True),
                 header_close=self._response_header(entry, False),
@@ -794,15 +1222,18 @@ class ContentStore:
             results = [self.mmap_cache.is_resident(chunk) for chunk in content.chunks]
             return all(results)
         if content.file_handle is not None and content.content_length > 0:
-            # Probe exactly the transmitted window: a range far into the
+            # Probe exactly the transmitted windows: a range far into the
             # file must not pass because the head is warm, and a tail
             # range must not fail (and re-warm forever) because of a cold
-            # head it will never transmit.
-            return self.fd_resident(
-                content.file_handle,
-                content.content_length,
-                offset=content.body_offset,
-            )
+            # head it will never transmit.  A multipart response probes
+            # one window per part (no short-circuit, so the clock
+            # predictor records every window it was asked about).
+            results = [
+                self.fd_resident(content.file_handle, length, offset=offset)
+                for offset, length in content.body_windows()
+                if length > 0
+            ]
+            return all(results)
         return True
 
     def fd_resident(self, handle: CachedFD, length: int, offset: int = 0) -> bool:

@@ -308,7 +308,9 @@ def choose_send_path(content, *, store, config, stats):
     304, errors, platforms without ``sendfile``, descriptor-cache misses)
     takes the buffered vectored-write path.  Range (206) responses carry a
     non-zero ``body_offset``; both mechanisms transmit exactly the
-    ``(body_offset, content_length)`` window.
+    ``(body_offset, content_length)`` window.  ``multipart/byteranges``
+    responses become a :class:`MultipartSendfileSendPath` — one iterated
+    ``sendfile`` window per part, framing bytes buffered between them.
     """
     if (
         content.file_handle is not None
@@ -316,8 +318,23 @@ def choose_send_path(content, *, store, config, stats):
         and sendfile_available()
     ):
         stats.sendfile_responses += 1
-        segments = list(content.segments)
         path = content.file_handle.path
+
+        def on_fallback():
+            stats.sendfile_fallbacks += 1
+
+        if content.is_multipart:
+            return MultipartSendfileSendPath(
+                content.header,
+                content.parts,
+                content.trailer,
+                content.file_handle.fd,
+                read_range=lambda offset, count: store.read_file_range(
+                    path, offset, count
+                ),
+                on_fallback=on_fallback,
+            )
+        segments = list(content.segments)
         offset = content.body_offset
         count = content.content_length
 
@@ -327,9 +344,6 @@ def choose_send_path(content, *, store, config, stats):
             # cache disabled the body was never read, so read the window
             # now (degradation is the rare path).
             return segments if segments else [store.read_file_range(path, offset, count)]
-
-        def on_fallback():
-            stats.sendfile_fallbacks += 1
 
         return SendfileSendPath(
             [content.header],
@@ -465,3 +479,115 @@ class SendfileSendPath:
         if self._fallback is not None:
             self._fallback.release()
             self._fallback = None
+
+
+class MultipartSendfileSendPath:
+    """Transmit a ``multipart/byteranges`` 206 zero-copy, window by window.
+
+    The response interleaves small framing buffers (the HTTP header, each
+    part's delimiter + ``Content-Range`` block, the closing delimiter) with
+    arbitrary file windows.  Each part becomes one :class:`SendfileSendPath`
+    stage — its framing rides as the stage's header buffers (the first
+    stage also carries the HTTP response header), its window is an iterated
+    ``os.sendfile`` at the part's offset, and its degradation fallback is a
+    positional read of exactly that window — followed by one buffered stage
+    for the trailer.  Stages run strictly in sequence, so the byte stream
+    is identical to the buffered path's interleaved segment vector.
+
+    Parameters
+    ----------
+    header:
+        The encoded HTTP response header.
+    parts:
+        The ordered part sequence (``head``/``offset``/``length`` each).
+    trailer:
+        The closing multipart delimiter.
+    fd:
+        Open descriptor to transmit windows from; owned by the caller.
+    read_range:
+        ``(offset, length) -> bytes`` positional reader used when a window
+        must degrade to the buffered path.
+    on_fallback:
+        Optional stats hook, invoked at most once per response no matter
+        how many windows degrade.
+    """
+
+    kind = "sendfile"
+
+    def __init__(
+        self,
+        header: bytes,
+        parts: Sequence,
+        trailer: bytes,
+        fd: int,
+        read_range: Callable[[int, int], Sequence],
+        on_fallback: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self._fell_back = False
+
+        def stage_fallback() -> None:
+            # Latch: a response that degrades several windows is still one
+            # degraded response in the stats.
+            if not self._fell_back:
+                self._fell_back = True
+                if on_fallback is not None:
+                    on_fallback()
+
+        self._stages: list = []
+        for index, part in enumerate(parts):
+            headers = [header, part.head] if index == 0 else [part.head]
+            self._stages.append(
+                SendfileSendPath(
+                    headers,
+                    fd,
+                    part.length,
+                    offset=part.offset,
+                    fallback_factory=(
+                        lambda offset=part.offset, length=part.length: [
+                            read_range(offset, length)
+                        ]
+                    ),
+                    on_fallback=stage_fallback,
+                )
+            )
+        self._stages.append(BufferedSendPath([trailer] if parts else [header, trailer]))
+        self._current = 0
+
+    @property
+    def fell_back(self) -> bool:
+        """True once any window degraded to the buffered path."""
+        return self._fell_back
+
+    @property
+    def done(self) -> bool:
+        """True once every stage (framing and windows) is fully out."""
+        return self._current >= len(self._stages)
+
+    @property
+    def under_delivered(self) -> bool:
+        """True when any window came up short of its promised length."""
+        return any(getattr(stage, "under_delivered", False) for stage in self._stages)
+
+    def send(self, sock: socket.socket) -> int:
+        """Advance the response; returns bytes written this call."""
+        total = 0
+        while self._current < len(self._stages):
+            stage = self._stages[self._current]
+            sent = stage.send(sock)
+            total += sent
+            if not stage.done:
+                break
+            self._current += 1
+            if stage.under_delivered:
+                # The promised framing is already broken; transmitting the
+                # remaining parts would only desynchronize further.
+                self._current = len(self._stages)
+                break
+        return total
+
+    def release(self) -> None:
+        """Drop every stage's buffered views; the fd is owner-released."""
+        for stage in self._stages:
+            stage.release()
+        self._stages = []
+        self._current = 0

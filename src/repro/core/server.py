@@ -338,12 +338,13 @@ class FlashServer(BaseEventDrivenServer):
         # not pay (or wait for) a whole-file read.
         self.store.stats.helper_dispatches += 1
         self.store.stats.blocking_reads += 1
+        warm_offset, warm_length = content.warm_window()
         helper_request = HelperRequest(
             seq=0,
             op=OP_READ,
             path=entry.filesystem_path,
-            offset=content.body_offset,
-            length=content.content_length,
+            offset=warm_offset,
+            length=warm_length,
         )
 
         def on_reply(reply) -> None:
@@ -367,13 +368,14 @@ class FlashServer(BaseEventDrivenServer):
         """
         self.store.stats.sendfile_warms += 1
         fd = content.file_handle.fd if self.helpers.mode == "thread" else -1
+        warm_offset, warm_length = content.warm_window()
         helper_request = HelperRequest(
             seq=0,
             op=OP_WARM,
             path=entry.filesystem_path,
             fd=fd,
-            offset=content.body_offset,
-            length=content.content_length,
+            offset=warm_offset,
+            length=warm_length,
         )
 
         def on_reply(reply) -> None:
@@ -386,18 +388,36 @@ class FlashServer(BaseEventDrivenServer):
                 # availability on the (helper-failure) rare path.
                 self.store.stats.sendfile_warm_degradations += 1
                 expected = content.content_length
-                offset = content.body_offset
                 status = content.status
                 header = content.header
+                parts = tuple(content.parts)
+                trailer = content.trailer
+                offset = content.body_offset
                 content.release(self.store)
+                segments = []
+                read = 0
                 try:
-                    data = self.store.read_file_range(
-                        entry.filesystem_path, offset, expected
-                    )
+                    if parts:
+                        # Multipart: re-read each window positionally and
+                        # re-interleave the part framing.
+                        for part in parts:
+                            data = self.store.read_file_range(
+                                entry.filesystem_path, part.offset, part.length
+                            )
+                            segments.extend([part.head, data])
+                            read += len(part.head) + len(data)
+                        segments.append(trailer)
+                        read += len(trailer)
+                    else:
+                        data = self.store.read_file_range(
+                            entry.filesystem_path, offset, expected
+                        )
+                        segments.append(data)
+                        read = len(data)
                 except OSError as exc:
                     callback(None, exc)
                     return
-                if len(data) != expected:
+                if read != expected:
                     # The file changed size since the header promised
                     # ``expected`` bytes; serving the mismatched body would
                     # desynchronize keep-alive framing (the buffered path
@@ -407,10 +427,12 @@ class FlashServer(BaseEventDrivenServer):
                     return
                 degraded = StaticContent(
                     header=header,
-                    segments=[data],
-                    content_length=len(data),
+                    segments=segments,
+                    content_length=read,
                     status=status,
                     body_offset=offset,
+                    parts=parts,
+                    trailer=trailer,
                 )
                 callback(degraded, None)
                 return

@@ -20,6 +20,7 @@ STATUS_REASONS = {
     403: "Forbidden",
     404: "Not Found",
     408: "Request Timeout",
+    412: "Precondition Failed",
     413: "Request Entity Too Large",
     414: "Request-URI Too Long",
     416: "Range Not Satisfiable",

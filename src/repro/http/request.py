@@ -93,78 +93,129 @@ _CGI_PREFIX = b"/cgi-bin/"
 #: definitively unsupported (as opposed to "need more bytes", which is None).
 FAST_MISS = object()
 
-#: Sentinel returned by :func:`parse_range` when the Range header is
-#: syntactically valid but no requested byte lies inside the representation
-#: (RFC 7233 §4.4): the response must be a 416 with ``Content-Range:
-#: bytes */<size>``.
+#: Sentinel returned by :func:`parse_range`/:func:`parse_ranges` when the
+#: Range header is syntactically valid but no requested byte lies inside the
+#: representation (RFC 7233 §4.4): the response must be a 416 with
+#: ``Content-Range: bytes */<size>``.
 RANGE_UNSATISFIABLE = object()
 
+#: Cap on byte-range specs honoured per request.  An attacker can pack
+#: thousands of tiny ranges into one header and multiply the response
+#: (every part repeats the multipart framing); past the cap the header is
+#: simply ignored and the full representation is served — the defensive
+#: choice production servers make (RFC 7233 §6.1 explicitly sanctions it).
+MAX_RANGE_PARTS = 32
 
-def parse_range(value: str, size: int):
-    """Parse a ``Range`` header value against a ``size``-byte representation.
+#: Internal sentinel: one spec inside a byte-range-set was syntactically
+#: invalid, which invalidates the whole header (RFC 7233 §3.1).
+_RANGE_INVALID = object()
 
-    Implements the single-range subset of RFC 7233 the static pipeline
-    serves:
 
-    * ``bytes=first-last`` — clamped to the representation
-      (``last >= size`` truncates to the final byte);
-    * ``bytes=first-`` — from ``first`` to the end;
-    * ``bytes=-N`` — the final ``N`` bytes (the whole file when ``N`` is
-      larger than it).
+def _parse_one_range_spec(spec: str, size: int):
+    """Parse one ``byte-range-spec`` against a ``size``-byte representation.
 
-    Returns
-    -------
-    ``(offset, length)`` for a satisfiable single range;
-    ``None`` when the header must be *ignored* and the response degrades to
-    a full 200 — non-``bytes`` units, multi-range requests (this server
-    serves single ranges only; a 200 is always a correct answer), or
-    syntactically invalid specs (RFC 7233 §3.1: invalid ⇒ ignore);
-    :data:`RANGE_UNSATISFIABLE` when the spec is valid but selects nothing —
-    ``first >= size``, a zero-length suffix, or any range against an empty
-    file — which must become a 416.
+    Returns a clamped ``(offset, length)`` window, :data:`RANGE_UNSATISFIABLE`
+    when the spec is valid but selects no byte, or :data:`_RANGE_INVALID`
+    when it is not a byte-range-spec at all.
     """
-    if not value:
-        return None
-    unit, sep, spec = value.partition("=")
-    if not sep or unit.strip().lower() != "bytes":
-        return None
-    spec = spec.strip()
-    if not spec:
-        return None
-    if "," in spec:
-        # Multi-range: a multipart/byteranges body is more machinery than
-        # the workloads need; RFC 7233 permits answering with the full
-        # representation instead.
-        return None
     first, dash, last = spec.partition("-")
     if not dash:
-        return None
+        return _RANGE_INVALID
     first = first.strip()
     last = last.strip()
     if not first:
         # Suffix form: the final N bytes.
         if not last.isdigit():
-            return None
+            return _RANGE_INVALID
         suffix = int(last)
         if suffix == 0 or size <= 0:
             return RANGE_UNSATISFIABLE
         length = min(suffix, size)
         return size - length, length
     if not first.isdigit():
-        return None
+        return _RANGE_INVALID
     start = int(first)
     if last:
         if not last.isdigit():
-            return None
+            return _RANGE_INVALID
         end = int(last)
         if end < start:
-            return None
+            return _RANGE_INVALID
     else:
         end = size - 1
     if start >= size:
         return RANGE_UNSATISFIABLE
     end = min(end, size - 1)
     return start, end - start + 1
+
+
+def parse_ranges(value: str, size: int):
+    """Parse a ``Range`` header value against a ``size``-byte representation.
+
+    Implements the byte-range forms of RFC 7233, including comma-separated
+    range sets:
+
+    * ``bytes=first-last`` — clamped to the representation
+      (``last >= size`` truncates to the final byte);
+    * ``bytes=first-`` — from ``first`` to the end;
+    * ``bytes=-N`` — the final ``N`` bytes (the whole file when ``N`` is
+      larger than it);
+    * any comma-separated combination of the above, preserved in request
+      order (RFC 7233 §4.1 permits parts in any order, and a client that
+      asked for a specific order presumably wants it).
+
+    Returns
+    -------
+    A list of satisfiable ``(offset, length)`` windows — a single-element
+    list for a plain single range *and* for a multi-range set in which only
+    one spec is satisfiable (the caller collapses that case to an ordinary
+    206); ``None`` when the header must be *ignored* and the response
+    degrades to a full 200 — non-``bytes`` units, any syntactically invalid
+    spec in the set (RFC 7233 §3.1: an invalid set invalidates the whole
+    header), or more than :data:`MAX_RANGE_PARTS` specs;
+    :data:`RANGE_UNSATISFIABLE` when every spec is valid but none selects a
+    byte — ``first >= size``, a zero-length suffix, or any range against an
+    empty file — which must become a 416.
+    """
+    if not value:
+        return None
+    unit, sep, spec = value.partition("=")
+    if not sep or unit.strip().lower() != "bytes":
+        return None
+    specs = [item.strip() for item in spec.split(",")]
+    specs = [item for item in specs if item]
+    if not specs or len(specs) > MAX_RANGE_PARTS:
+        return None
+    windows: list[tuple[int, int]] = []
+    unsatisfiable = False
+    for item in specs:
+        window = _parse_one_range_spec(item, size)
+        if window is _RANGE_INVALID:
+            return None
+        if window is RANGE_UNSATISFIABLE:
+            unsatisfiable = True
+            continue
+        windows.append(window)
+    if windows:
+        return windows
+    return RANGE_UNSATISFIABLE if unsatisfiable else None
+
+
+def parse_range(value: str, size: int):
+    """Single-range subset of :func:`parse_ranges` (legacy entry point).
+
+    Returns ``(offset, length)``, ``None`` (ignore the header — including
+    every multi-range set, which only the full pipeline's
+    ``multipart/byteranges`` machinery serves), or
+    :data:`RANGE_UNSATISFIABLE`.  Kept for callers that can only transmit a
+    single contiguous window.
+    """
+    if value and "," in value:
+        return None
+    windows = parse_ranges(value, size)
+    if windows is None or windows is RANGE_UNSATISFIABLE:
+        return windows
+    return windows[0]
 
 
 class FastRequest:
@@ -334,6 +385,21 @@ class HTTPRequest:
     def if_modified_since(self) -> str | None:
         """The If-Modified-Since header value, if any."""
         return self.headers.get("if-modified-since")
+
+    @property
+    def if_none_match(self) -> str | None:
+        """The If-None-Match header value, if any (RFC 7232 §3.2)."""
+        return self.headers.get("if-none-match")
+
+    @property
+    def if_match(self) -> str | None:
+        """The If-Match header value, if any (RFC 7232 §3.1)."""
+        return self.headers.get("if-match")
+
+    @property
+    def if_unmodified_since(self) -> str | None:
+        """The If-Unmodified-Since header value, if any (RFC 7232 §3.4)."""
+        return self.headers.get("if-unmodified-since")
 
     @property
     def range_header(self) -> str | None:

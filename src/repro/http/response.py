@@ -17,7 +17,9 @@ can quantify the cost of *not* doing it (the Zeus anomaly in Figure 7).
 from __future__ import annotations
 
 import email.utils
+import hashlib
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.http.errors import reason_phrase
 
@@ -48,6 +50,124 @@ def serialized_timestamp(mtime: float) -> float:
     """
     parsed = email.utils.parsedate_to_datetime(http_date(mtime))
     return parsed.timestamp()
+
+
+def make_etag(size: int, mtime_ns: int) -> str:
+    """Mint the strong entity-tag for a ``(size, mtime_ns)`` file identity.
+
+    RFC 7232 §2.3: the tag is an opaque quoted string; this server derives
+    it from the two fields pathname translation already collects, at
+    nanosecond mtime granularity — strictly finer than the one-second
+    ``Last-Modified`` validator, which is what makes the tag *strong* (two
+    distinct on-disk states within the same second still get distinct
+    tags).  The quotes are part of the returned value so it can be emitted
+    and compared verbatim.
+    """
+    return f'"{size:x}-{mtime_ns:x}"'
+
+
+def parse_etag_list(value: str) -> Optional[list[str]]:
+    """Split an ``If-Match``/``If-None-Match`` value into entity-tags.
+
+    Returns ``["*"]`` for the wildcard form, a list of raw tags (weak
+    prefix and quotes preserved, e.g. ``'W/"abc"'``) for a tag list, or
+    ``None`` when the value is malformed — which callers treat as "no tag
+    matches", degrading to the unconditional answer.  Commas *inside*
+    quoted tags are honoured (RFC 7232 permits them in ``etagc``), so the
+    scan walks quote pairs instead of naively splitting on commas.
+    """
+    value = value.strip()
+    if not value:
+        return None
+    if value == "*":
+        return ["*"]
+    tags: list[str] = []
+    position = 0
+    length = len(value)
+    while position < length:
+        while position < length and value[position] in " \t,":
+            position += 1
+        if position >= length:
+            break
+        start = position
+        if value.startswith("W/", position):
+            position += 2
+        if position >= length or value[position] != '"':
+            return None
+        closing = value.find('"', position + 1)
+        if closing < 0:
+            return None
+        position = closing + 1
+        tags.append(value[start:position])
+    return tags or None
+
+
+def _is_weak(tag: str) -> bool:
+    return tag.startswith("W/")
+
+
+def _opaque(tag: str) -> str:
+    """The quoted opaque part of a tag, with any weak prefix removed."""
+    return tag[2:] if _is_weak(tag) else tag
+
+
+def etag_strong_match(candidate: str, current: str) -> bool:
+    """RFC 7232 §2.3.2 strong comparison: equal octets, neither tag weak."""
+    if _is_weak(candidate) or _is_weak(current):
+        return False
+    return candidate == current
+
+
+def etag_weak_match(candidate: str, current: str) -> bool:
+    """RFC 7232 §2.3.2 weak comparison: equal opaque parts, weakness ignored."""
+    return _opaque(candidate) == _opaque(current)
+
+
+def if_none_match_matches(value: str, etag: str) -> bool:
+    """Whether an ``If-None-Match`` value forbids returning the selected
+    representation (GET/HEAD answer: 304).
+
+    Uses the *weak* comparison (RFC 7232 §3.2): a cache revalidating a
+    stored response cares about equivalence, not byte identity.  Malformed
+    lists answer False (serve the full response — never incorrect).
+    """
+    tags = parse_etag_list(value)
+    if tags is None:
+        return False
+    if tags == ["*"]:
+        return True
+    return any(etag_weak_match(tag, etag) for tag in tags)
+
+
+def if_match_matches(value: str, etag: str) -> bool:
+    """Whether an ``If-Match`` precondition holds for the current ``etag``.
+
+    Uses the *strong* comparison (RFC 7232 §3.1): If-Match guards state-
+    changing requests against lost updates, where "equivalent" is not good
+    enough.  A failed (or malformed) precondition answers False and the
+    response becomes a 412.
+    """
+    tags = parse_etag_list(value)
+    if tags is None:
+        return False
+    if tags == ["*"]:
+        return True
+    return any(etag_strong_match(tag, etag) for tag in tags)
+
+
+def if_unmodified_since_matches(value: str, mtime: float) -> bool:
+    """Whether an ``If-Unmodified-Since`` precondition holds.
+
+    True when the file has *not* been modified after the supplied date,
+    compared at the second granularity ``Last-Modified`` is expressed in
+    (see :func:`serialized_timestamp`).  RFC 7232 §3.4: an unparseable
+    value means the header must be ignored, so it answers True (the
+    precondition does not fail).
+    """
+    parsed = _parse_http_date(value)
+    if parsed is None:
+        return True
+    return serialized_timestamp(mtime) <= parsed.timestamp()
 
 
 def _parse_http_date(value: str):
@@ -85,20 +205,28 @@ def if_modified_since_matches(value: str, mtime: float) -> bool:
     return serialized_timestamp(mtime) <= parsed.timestamp()
 
 
-def if_range_matches(value: str, mtime: float) -> bool:
+def if_range_matches(value: str, mtime: float, etag: Optional[str] = None) -> bool:
     """Whether an ``If-Range`` validator still selects the current file.
 
-    RFC 7233 §3.2: a Date-form ``If-Range`` matches only on an *exact*
-    (strong) match with the representation's ``Last-Modified`` — unlike
-    ``If-Modified-Since``, "not newer" is not good enough, because a
-    mismatch means the client's partial copy may be of different bytes.
-    Entity-tag forms (this server never emits an ``ETag``) and unparseable
-    values answer False, which degrades the Range request to a full 200 —
-    always a correct answer, per the RFC.
+    RFC 7233 §3.2 admits both validator forms, each under the *strong*
+    comparison — unlike ``If-Modified-Since``, "not newer" is not good
+    enough, because a mismatch means the client's partial copy may be of
+    different bytes:
+
+    * an entity-tag form (the value starts with ``"`` or ``W/``) matches
+      only on a strong ETag comparison with ``etag`` — a weak tag never
+      matches, per §2.3.2;
+    * a Date form matches only on an *exact* match with the
+      representation's ``Last-Modified`` second.
+
+    Unparseable values answer False, which degrades the Range request to a
+    full 200 — always a correct answer, per the RFC.
     """
     value = value.strip()
-    if not value or value.startswith('"') or value.startswith("W/"):
+    if not value:
         return False
+    if value.startswith('"') or value.startswith("W/"):
+        return etag is not None and etag_strong_match(value, etag)
     if value == http_date(mtime):
         return True
     parsed = _parse_http_date(value)
@@ -115,6 +243,56 @@ def content_range(offset: int, length: int, size: int) -> str:
 def content_range_unsatisfied(size: int) -> str:
     """The ``Content-Range`` value carried by a 416 (RFC 7233 §4.4)."""
     return f"bytes */{size}"
+
+
+# -- multipart/byteranges framing (RFC 7233 §4.1 / Appendix A) ----------------
+
+def multipart_boundary(etag: str, windows: Sequence[tuple[int, int]]) -> str:
+    """A boundary string for a multipart/byteranges response.
+
+    Deterministic by design: derived from the representation's entity-tag
+    and the requested windows, so the same multi-range request against the
+    same file bytes produces byte-identical responses across architectures
+    and cache toggles — the property the parity tests pin down.  (A
+    deterministic boundary could in principle be embedded in adversarial
+    file content; the digest makes that require engineering a collision
+    against the file's own validator, which static workloads do not do.)
+    """
+    digest = hashlib.sha256()
+    digest.update(etag.encode("latin-1"))
+    for offset, length in windows:
+        digest.update(b"%d-%d;" % (offset, length))
+    return "flashrepro" + digest.hexdigest()[:24]
+
+
+def multipart_part_head(
+    boundary: str,
+    content_type: str,
+    offset: int,
+    length: int,
+    size: int,
+    *,
+    first: bool = False,
+) -> bytes:
+    """The framing that precedes one body part of a multipart 206.
+
+    Every part after the first is introduced by the CRLF that terminates
+    the previous part's bytes (the delimiter is ``CRLF "--" boundary``,
+    RFC 2046 §5.1.1); the first part omits it so the body starts directly
+    with the dash-boundary, matching the RFC 7233 Appendix A example.
+    """
+    lead = b"" if first else b"\r\n"
+    return lead + (
+        f"--{boundary}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Range: {content_range(offset, length, size)}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def multipart_trailer(boundary: str) -> bytes:
+    """The closing delimiter that ends a multipart/byteranges body."""
+    return f"\r\n--{boundary}--\r\n".encode("latin-1")
 
 
 @dataclass(frozen=True)
@@ -182,13 +360,19 @@ class ResponseHeaderBuilder:
         last_modified: float | None = None,
         date: float | None = None,
         keep_alive: bool = False,
+        etag: str | None = None,
+        accept_ranges: bool = False,
         extra_headers: dict[str, str] | None = None,
     ) -> ResponseHeader:
         """Build a response header.
 
         The header is padded (by extending the ``Server`` field) so that its
         total encoded length is a multiple of :attr:`align`, reproducing the
-        byte-position alignment optimization of Section 5.5.
+        byte-position alignment optimization of Section 5.5.  ``etag``
+        (already quoted, see :func:`make_etag`) is emitted verbatim;
+        ``accept_ranges`` advertises byte-range support — the static
+        pipeline sets it on its 200s, while CGI and error responses (which
+        the range machinery never serves) leave it off.
         """
         lines = [f"{self.version} {status} {reason_phrase(status)}"]
         lines.append(f"Date: {http_date(date)}")
@@ -196,6 +380,10 @@ class ResponseHeaderBuilder:
         lines.append(f"Content-Length: {content_length}")
         if last_modified is not None:
             lines.append(f"Last-Modified: {http_date(last_modified)}")
+        if etag is not None:
+            lines.append(f"ETag: {etag}")
+        if accept_ranges:
+            lines.append("Accept-Ranges: bytes")
         lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
         if extra_headers:
             for name, value in extra_headers.items():

@@ -150,6 +150,9 @@ def _lookup_hot(
         keep_alive,
         head=request.is_head,
         if_modified_since=request.if_modified_since,
+        if_none_match=request.if_none_match,
+        if_match=request.if_match,
+        if_unmodified_since=request.if_unmodified_since,
         range_header=request.range_header,
         if_range=request.if_range,
     )
@@ -164,19 +167,36 @@ def _send_content(sock: socket.socket, store: ContentStore, content: StaticConte
     is shared state).  ``sock.settimeout`` puts the fd in non-blocking
     mode, so a full send buffer surfaces as ``BlockingIOError`` and is
     waited out with ``select`` bounded by the socket timeout.
+
+    A ``multipart/byteranges`` response alternates buffered part framing
+    with one positional ``sendfile`` window per part — the blocking-worker
+    mirror of the event-driven builds' iterated-window send path.
     """
     if content.file_handle is not None and sendfile_available():
-        _send_all(sock, store, [content.header])
         store.stats.sendfile_responses += 1
-        _sendfile_blocking(sock, store, content)
+        if content.is_multipart:
+            _send_all(sock, store, [content.header])
+            for part in content.parts:
+                _send_all(sock, store, [part.head])
+                _sendfile_blocking(sock, store, content, part.offset, part.length)
+            _send_all(sock, store, [content.trailer])
+            return
+        _send_all(sock, store, [content.header])
+        _sendfile_blocking(
+            sock, store, content, content.body_offset, content.content_length
+        )
         return
     _send_all(sock, store, [content.header, *content.segments])
 
 
-def _sendfile_blocking(sock: socket.socket, store: ContentStore, content: StaticContent) -> None:
+def _sendfile_blocking(
+    sock: socket.socket,
+    store: ContentStore,
+    content: StaticContent,
+    offset: int,
+    remaining: int,
+) -> None:
     fd = content.file_handle.fd
-    offset = content.body_offset
-    remaining = content.content_length
     timeout = sock.gettimeout()
     while remaining > 0:
         try:

@@ -84,7 +84,10 @@ class SPEDServer(BaseEventDrivenServer):
             # full-body advise.
             handle = content.file_handle
             if not handle.advised:
-                advise_willneed(handle.fd, content.body_offset, content.content_length)
+                # Only the transmitted span is hinted (a multipart 206
+                # advises the window-covering span in one call).
+                warm_offset, warm_length = content.warm_window()
+                advise_willneed(handle.fd, warm_offset, warm_length)
                 if content.status == 200:
                     handle.advised = True
         callback(content, None)

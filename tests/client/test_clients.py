@@ -189,3 +189,97 @@ class TestRangeFraction:
         assert stats.range_responses > 0
         # The mix is half-and-half: both full and partial responses flowed.
         assert stats.responses_ok > stats.range_responses
+
+
+class TestConditionalFraction:
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(
+                ("127.0.0.1", 1), "/", max_requests=1, conditional_fraction=-0.1
+            )
+
+    def test_error_diffusion_is_exact(self):
+        generator = LoadGenerator(
+            ("127.0.0.1", 1), "/", max_requests=1, conditional_fraction=0.25
+        )
+        mix = [generator.next_is_conditional() for _ in range(100)]
+        assert sum(mix) == 25
+        # Deterministic interleave: exactly every 4th request revalidates.
+        assert all(mix[i] == (i % 4 == 3) for i in range(100))
+
+    def test_zero_fraction_never_conditional(self):
+        generator = LoadGenerator(("127.0.0.1", 1), "/", max_requests=1)
+        assert not any(generator.next_is_conditional() for _ in range(50))
+
+    def test_captured_etag_replayed_as_if_none_match(self):
+        generator = LoadGenerator(
+            ("127.0.0.1", 1), "/x", max_requests=1, conditional_fraction=0.5
+        )
+        assert generator.captured_etag("/x") is None
+        generator.record_etag("/x", '"abc-def"')
+        assert generator.captured_etag("/x") == '"abc-def"'
+        plain = generator.request_bytes("/x")
+        conditional = generator.request_bytes("/x", etag='"abc-def"')
+        assert b"If-None-Match" not in plain
+        assert b'If-None-Match: "abc-def"\r\n' in conditional
+        # Cached separately per replayed validator.
+        assert generator.request_bytes("/x", etag='"abc-def"') is conditional
+        assert generator.request_bytes("/x", etag='"other"') is not conditional
+
+    def test_conditional_mix_against_real_server(self, tmp_path):
+        body = bytes(range(256)) * 16
+        (tmp_path / "f.bin").write_bytes(body)
+        server = FlashServer(ServerConfig(document_root=str(tmp_path), port=0))
+        server.start()
+        try:
+            generator = LoadGenerator(
+                server.address,
+                "/f.bin",
+                num_clients=2,
+                max_requests=40,
+                duration=10.0,
+                conditional_fraction=0.5,
+            )
+            result = generator.run()
+        finally:
+            server.stop()
+        assert result.errors == 0
+        assert result.requests_completed >= 40
+        # 304s are counted separately from 200s, on both sides of the wire.
+        assert result.not_modified > 0
+        assert result.not_modified < result.requests_completed
+        assert server.stats.not_modified_responses == result.not_modified
+        assert result.to_dict()["not_modified"] == result.not_modified
+
+    def test_combined_mixes_stay_exact(self):
+        """range_fraction must not be diluted by conditional_fraction:
+        the range accumulator advances every request and carries collided
+        slots forward, so both shares are exact over the window."""
+        generator = LoadGenerator(
+            ("127.0.0.1", 1), "/", max_requests=1,
+            range_fraction=0.25, conditional_fraction=0.5,
+        )
+        shapes = [generator.next_request_shape() for _ in range(100)]
+        assert shapes.count("conditional") == 50
+        # Exact 0.25 cadence (every 4th request), shifted one slot by the
+        # first collision with a revalidation: 24 fires land in the first
+        # 100 requests, the 25th on request 101.
+        assert shapes.count("ranged") == 24
+        assert shapes.count("plain") == 26
+        more = [generator.next_request_shape() for _ in range(100)]
+        assert (shapes + more).count("ranged") == 49
+
+    def test_combined_mixes_saturated(self):
+        """Fractions summing past 1: revalidation slots win, ranged fills
+        every remaining slot, and the carry stays bounded."""
+        generator = LoadGenerator(
+            ("127.0.0.1", 1), "/", max_requests=1,
+            range_fraction=0.75, conditional_fraction=0.5,
+        )
+        shapes = [generator.next_request_shape() for _ in range(100)]
+        assert shapes.count("conditional") == 50
+        # Ranged fills every slot revalidations leave from the first
+        # accumulated fire onward (the bounded carry keeps it saturated).
+        assert shapes.count("ranged") == 49
+        assert shapes.count("plain") == 1
+        assert all(shape != "plain" for shape in shapes[2:])

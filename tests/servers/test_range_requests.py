@@ -153,11 +153,30 @@ class TestUnsatisfiable:
 
 
 class TestDegradeToFull:
-    def test_multi_range_gets_full_200(self, docroot):
+    def test_multi_range_now_gets_multipart_206(self, docroot):
+        """What used to degrade to a full 200 is a real multipart 206 now
+        (the deep framing checks live in test_multipart_ranges.py)."""
         server = SPEDServer(config_for(docroot))
         server.start()
         try:
             response = get_range(server.address, "/big.bin", "0-1,100-199")
+        finally:
+            server.stop()
+        assert response.status == 206
+        assert response.headers["content-type"].startswith(
+            "multipart/byteranges; boundary="
+        )
+        assert BIG[0:2] in response.body and BIG[100:200] in response.body
+        assert server.stats.range_responses == 1
+        assert server.stats.range_multipart_responses == 1
+
+    def test_too_many_ranges_degrade_to_full_200(self, docroot):
+        """Past MAX_RANGE_PARTS the header is ignored (RFC 7233 §6.1)."""
+        spec = ",".join(f"{i}-{i}" for i in range(0, 80, 2))
+        server = SPEDServer(config_for(docroot))
+        server.start()
+        try:
+            response = get_range(server.address, "/big.bin", spec)
         finally:
             server.stop()
         assert response.status == 200
@@ -404,9 +423,11 @@ class TestToggleByteIdentity:
                     finally:
                         server.stop()
         reference = streams[(True, True, True)]
-        assert reference.count(b"HTTP/1.1 206 Partial Content") == 3
+        # Three single-window 206s plus the multipart one for "0-1,5-9".
+        assert reference.count(b"HTTP/1.1 206 Partial Content") == 4
+        assert reference.count(b"multipart/byteranges; boundary=") == 1
         assert reference.count(b"HTTP/1.1 416 Range Not Satisfiable") == 1
-        assert reference.count(b"HTTP/1.1 200 OK") == 2  # full GET + degrade
+        assert reference.count(b"HTTP/1.1 200 OK") == 1  # the full GET
         for combo, stream in streams.items():
             assert stream == reference, f"bytes differ for {combo}"
 
