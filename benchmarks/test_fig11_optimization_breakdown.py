@@ -510,3 +510,122 @@ def test_fig11_conditional_ablation(run_once):
     # The deterministic mix is close to the requested fraction.
     share = on_row["not_modified"] / max(on_row["server_requests"], 1)
     assert 0.3 <= share <= 0.7, f"304 share {share:.2f} far from the 0.5 mix"
+
+
+# -- live slow-client ablation (BENCH fig11-slowclient) ------------------------
+
+#: Slowloris loads measured: the clean baseline, then the same fast-client
+#: pool with this many dribbling writers attached — connections trickling
+#: one header byte per interval that never complete a request head.
+SLOWCLIENT_WRITERS = [0, 4]
+#: The attacked server's absolute request-head budget.  Short enough that
+#: even the CI smoke window reaps each dribbler; the dribble interval sits
+#: well inside it, so only the *absolute* budget (never a per-byte reset)
+#: can end the connection.
+SLOWCLIENT_HEADER_TIMEOUT = 0.3
+SLOWCLIENT_DRIBBLE_INTERVAL = 0.1
+#: The fast lane with the attack attached must keep at least this fraction
+#: of the clean request rate.  0 disables the gate — shared CI runners are
+#: too noisy for throughput ratios, so the smoke job checks correctness
+#: only and the real ratio accrues in the per-PR artifact.
+SLOWCLIENT_RATE_FLOOR = float(os.environ.get("FIG11_SLOWCLIENT_RATE_FLOOR", "0.5"))
+
+
+def _measure_slowclient(docroot, paths, slow_writers):
+    config = ServerConfig(
+        document_root=docroot,
+        port=0,
+        num_helpers=2,
+        header_timeout=SLOWCLIENT_HEADER_TIMEOUT,
+    )
+    server = create_server("sped", config)
+    server.start()
+    try:
+        port = server.address[1]
+        extra = (
+            [
+                "--slow-writers", str(slow_writers),
+                "--dribble-bytes", "1",
+                "--dribble-interval", str(SLOWCLIENT_DRIBBLE_INTERVAL),
+            ]
+            if slow_writers > 0
+            else []
+        )
+        _hotpath_clients(port, HOTPATH_WARMUP, paths, extra)
+        clients = _hotpath_clients(port, HOTPATH_DURATION, paths, extra)
+        stats = server.stats.snapshot()
+    finally:
+        server.stop()
+    return {
+        "writers": slow_writers,
+        "request_rate": clients["request_rate"],
+        "requests": clients["requests"],
+        "errors": clients["errors"],
+        "timeouts_header": stats["timeouts_header"],
+        "timeouts_write_stall": stats["timeouts_write_stall"],
+        "server_requests": stats["requests"],
+    }
+
+
+def test_fig11_slowclient_ablation(run_once):
+    """Slow-client hardening under load (BENCH fig11-slowclient).
+
+    The cached Zipf workload is measured clean, then with slowloris
+    writers attached: each dribbles one header byte per interval and never
+    finishes a request head, so only the absolute header budget can end
+    it.  Correctness gate: zero fast-client errors in both rows, no reaps
+    in the clean row, the attacked row answering the dribblers 408 on the
+    header deadline while the fast lane keeps completing requests.  The
+    throughput ratio is gated by ``FIG11_SLOWCLIENT_RATE_FLOOR`` locally
+    and disabled in the CI smoke like every other throughput gate.
+    """
+    paths = _zipf_paths()
+    with tempfile.TemporaryDirectory() as docroot:
+        _make_catalog(docroot)
+
+        def run_grid():
+            return [
+                _measure_slowclient(docroot, paths, writers)
+                for writers in SLOWCLIENT_WRITERS
+            ]
+
+        rows = run_once(run_grid)
+
+    lines = [
+        "BENCH fig11-slowclient: cached Zipf workload, SPED, slowloris "
+        f"writers attached (--slow-writers, {SLOWCLIENT_HEADER_TIMEOUT:.1f}s "
+        "header budget)",
+        f"{'slow':<5} {'req/s':>9} {'requests':>9} {'408s':>8} {'errors':>6}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['writers']:<5} {row['request_rate']:>9.0f} "
+            f"{row['requests']:>9.0f} {row['timeouts_header']:>8.0f} "
+            f"{row['errors']:>6.0f}"
+        )
+    clean, attacked = rows[0], rows[-1]
+    ratio = attacked["request_rate"] / max(clean["request_rate"], 1e-9)
+    lines.append(
+        f"BENCH fig11-slowclient: {attacked['writers']} slowloris attached "
+        f"vs clean: {ratio:.2f}x requests/s, "
+        f"{attacked['timeouts_header']:.0f} dribblers reaped with 408"
+    )
+    table = "\n".join(lines)
+    print("\n" + table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "fig11_slowclient.txt"), "w") as handle:
+        handle.write(table + "\n")
+
+    for row in rows:
+        assert row["errors"] == 0, row
+        assert row["timeouts_write_stall"] == 0, row
+    # The clean row never trips a deadline; the attacked row reaps the
+    # dribblers on the header budget while the fast lane stays healthy.
+    assert clean["timeouts_header"] == 0
+    assert attacked["timeouts_header"] >= 1
+    assert attacked["requests"] > 0
+    if SLOWCLIENT_RATE_FLOOR > 0:
+        assert ratio >= SLOWCLIENT_RATE_FLOOR, (
+            f"fast lane dropped to {ratio:.2f}x of clean under slowloris "
+            f"({attacked['request_rate']:.0f} vs {clean['request_rate']:.0f} req/s)"
+        )

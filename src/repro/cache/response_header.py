@@ -28,7 +28,8 @@ DEFAULT_MAX_ENTRIES = 6000
 class ResponseHeaderCache:
     """Caches pre-built 200-OK response headers keyed by file identity.
 
-    The key is ``(path, size, mtime, keep_alive)``: if any of those change
+    The key is ``(path, size, mtime, keep_alive, etag, cache_max_age)``: if
+    any of those change
     the lookup naturally misses and a fresh header is built, so staleness can
     only arise through the pathname cache holding a stale size/mtime — which
     is exactly the condition the pathname cache revalidates.
@@ -68,6 +69,7 @@ class ResponseHeaderCache:
         *,
         keep_alive: bool = False,
         etag: Optional[str] = None,
+        cache_max_age: Optional[int] = None,
     ) -> ResponseHeader:
         """Return a 200 response header for the file, building it on a miss.
 
@@ -75,9 +77,11 @@ class ResponseHeaderCache:
         derived from the same ``(size, mtime)`` identity the key carries,
         so a changed tag always changes the key and the lookup naturally
         misses.  Static 200s advertise ``Accept-Ranges: bytes`` — this
-        cache only ever serves the static pipeline.
+        cache only ever serves the static pipeline.  ``cache_max_age``
+        rides in the key so reconfiguring the freshness lifetime can never
+        resurrect a header built under the old one.
         """
-        key = (path, size, mtime, keep_alive, etag)
+        key = (path, size, mtime, keep_alive, etag, cache_max_age)
         header = self._cache.get(key)
         if header is not None:
             return header
@@ -89,6 +93,7 @@ class ResponseHeaderCache:
             keep_alive=keep_alive,
             etag=etag,
             accept_ranges=True,
+            cache_max_age=cache_max_age,
         )
         self._cache.put(key, header)
         return header

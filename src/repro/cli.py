@@ -91,6 +91,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="always run the full request parser, even for plain GETs",
     )
+    serve.add_argument(
+        "--header-timeout", type=float, default=15.0, metavar="SECONDS",
+        help="absolute budget for a complete request head; expiry answers "
+        "408 and closes (0 disables; default 15)",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="keep-alive idle budget between requests (0 disables; "
+        "default 30)",
+    )
+    serve.add_argument(
+        "--write-stall-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="maximum time with no response byte accepted by the peer "
+        "before the connection is reaped (0 disables; default 30)",
+    )
+    serve.add_argument(
+        "--cache-max-age", type=int, default=0, metavar="SECONDS",
+        help="emit Cache-Control: max-age=N (and Expires) on static "
+        "200/206 responses (0 omits the headers; default 0)",
+    )
 
     loadgen = subparsers.add_parser("loadgen", help="drive a server with simulated clients")
     loadgen.add_argument("--host", default="127.0.0.1")
@@ -112,6 +132,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fraction of requests issued as If-None-Match "
                          "revalidations replaying captured ETags "
                          "(deterministically interleaved; 0 disables)")
+    loadgen.add_argument("--slow-writers", type=int, default=0,
+                         help="misbehaving clients dribbling an incomplete "
+                         "request head (slowloris), attached alongside the "
+                         "real clients")
+    loadgen.add_argument("--slow-readers", type=int, default=0,
+                         help="misbehaving clients that request a response "
+                         "and then drain it at the dribble rate, stalling "
+                         "the server's send")
+    loadgen.add_argument("--dribble-bytes", type=int, default=1,
+                         help="bytes a misbehaving client moves per dribble "
+                         "(default 1)")
+    loadgen.add_argument("--dribble-interval", type=float, default=0.5,
+                         help="seconds between a misbehaving client's "
+                         "dribbles (default 0.5)")
 
     experiment = subparsers.add_parser("experiment", help="regenerate a paper figure")
     experiment.add_argument(
@@ -122,6 +156,28 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--quick", action="store_true", help="coarser, faster settings")
 
     return parser
+
+
+def _format_summary(stats) -> str:
+    """The shutdown summary line for ``serve``.
+
+    Split out of :func:`cmd_serve` so a unit test can pin the stats field
+    names it reads — the timeout counters in particular must not drift
+    from the names the servers increment.
+    """
+    return (
+        f"served {stats.requests} requests "
+        f"({stats.responses_ok} ok, {stats.responses_error} errors, "
+        f"{stats.not_modified_responses} not-modified, "
+        f"{stats.precondition_failed} precondition-failed, "
+        f"{stats.range_responses} partial "
+        f"({stats.range_multipart_responses} multipart), "
+        f"{stats.range_unsatisfiable} range-unsatisfiable); "
+        f"hot hits: {stats.hot_hits}, batched: {stats.hot_batched}; "
+        f"timeouts: {stats.timeouts_header} header, "
+        f"{stats.timeouts_idle} idle, "
+        f"{stats.timeouts_write_stall} write-stall"
+    )
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -138,6 +194,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cork_responses=not args.no_cork,
         hot_cache=not args.no_hot_cache,
         fast_parse=not args.no_fast_parse,
+        header_timeout=args.header_timeout,
+        idle_timeout=args.idle_timeout,
+        write_stall_timeout=args.write_stall_timeout,
+        cache_max_age=args.cache_max_age,
     )
     if args.no_caches:
         config = config.without_caches()
@@ -168,16 +228,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         server.stop()
         stats = getattr(server, "stats", None)
         if stats is not None:
-            print(
-                f"served {stats.requests} requests "
-                f"({stats.responses_ok} ok, {stats.responses_error} errors, "
-                f"{stats.not_modified_responses} not-modified, "
-                f"{stats.precondition_failed} precondition-failed, "
-                f"{stats.range_responses} partial "
-                f"({stats.range_multipart_responses} multipart), "
-                f"{stats.range_unsatisfiable} range-unsatisfiable); "
-                f"hot hits: {stats.hot_hits}, batched: {stats.hot_batched}"
-            )
+            print(_format_summary(stats))
     return 0
 
 
@@ -194,6 +245,10 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         range_fraction=args.range_fraction,
         range_spec=args.range_bytes,
         conditional_fraction=args.conditional_fraction,
+        slow_writers=args.slow_writers,
+        slow_readers=args.slow_readers,
+        dribble_bytes=args.dribble_bytes,
+        dribble_interval=args.dribble_interval,
     )
     result = generator.run()
     print(f"clients:            {args.clients}")
@@ -203,6 +258,11 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     print(f"output bandwidth:   {result.bandwidth_mbps:.2f} Mb/s")
     print(f"not modified:       {result.not_modified}")
     print(f"errors:             {result.errors}")
+    if args.slow_writers or args.slow_readers:
+        print(f"slow clients:       {args.slow_writers} writers, "
+              f"{args.slow_readers} readers")
+        print(f"reaped:             {result.reaped}")
+        print(f"rejected with 408:  {result.rejected_408}")
     return 0 if result.errors == 0 else 1
 
 

@@ -10,6 +10,12 @@ duration or request budget is exhausted.
 
 The result object reports the two metrics the paper plots: total output
 bandwidth (Mb/s) and connection (request) rate (requests/second).
+
+A misbehaving-client mode (``slow_writers``/``slow_readers``) attaches
+slowloris writers and stalled readers alongside the real load, so the
+slow-client-hardening benchmarks can measure whether the server's
+progress-based deadlines keep the fast clients' throughput intact while
+the attackers are being reaped.
 """
 
 from __future__ import annotations
@@ -33,6 +39,11 @@ class ClientResult:
     errors: int = 0
     connects: int = 0
     not_modified: int = 0
+    #: Misbehaving-client counters (zero for well-behaved clients): times
+    #: the server closed the connection on a deadline, and 408 responses
+    #: received by a slowloris writer before the close.
+    reaped: int = 0
+    rejected_408: int = 0
 
 
 @dataclass
@@ -49,6 +60,8 @@ class LoadResult:
     errors: int = 0
     connects: int = 0
     not_modified: int = 0
+    reaped: int = 0
+    rejected_408: int = 0
     elapsed: float = 0.0
     per_client: list = field(default_factory=list)
 
@@ -73,6 +86,8 @@ class LoadResult:
             "bytes_received": self.bytes_received,
             "errors": self.errors,
             "not_modified": self.not_modified,
+            "reaped": self.reaped,
+            "rejected_408": self.rejected_408,
             "elapsed": self.elapsed,
             "bandwidth_mbps": self.bandwidth_mbps,
             "request_rate": self.request_rate,
@@ -283,6 +298,213 @@ class _SimClient:
         self._registered_events = 0
 
 
+class _SlowClient:
+    """A deliberately misbehaving client attached alongside the real load.
+
+    Two modes, matching the two resource-holding attacks the server's
+    per-connection deadlines defend against:
+
+    ``writer``
+        A slowloris: connects and dribbles an incomplete request head
+        ``dribble_bytes`` at a time every ``dribble_interval`` seconds,
+        never terminating it.  A hardened server answers ``408`` when its
+        header budget expires and closes; the client counts the 408
+        (``rejected_408``) and the close (``reaped``), then reconnects.
+
+    ``reader``
+        A stalled reader: shrinks its receive buffer, sends one complete
+        GET from the workload, then drains the response at only
+        ``dribble_bytes`` per interval — far slower than the server
+        sends, so the server's transmit stalls.  A hardened server reaps
+        it when its write-stall budget expires; the client counts the
+        close and reconnects.
+
+    Slow clients never contribute to ``requests_completed``; their job is
+    to *hold server resources* so the run shows whether the fast clients'
+    throughput survives their presence.
+    """
+
+    WRITER = "writer"
+    READER = "reader"
+    DONE = _SimClient.DONE
+
+    def __init__(self, generator: "LoadGenerator", client_id: int, mode: str):
+        self.generator = generator
+        self.client_id = client_id
+        self.mode = mode
+        self.result = ClientResult()
+        self.sock: Optional[socket.socket] = None
+        self.state = self.DONE
+        self._registered_events = 0
+        self._script = b""
+        self._position = 0
+        self._saw_408 = False
+
+    def start(self) -> None:
+        self._connect()
+
+    def _connect(self) -> None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setblocking(False)
+        if self.mode == self.READER:
+            # A tiny receive buffer makes the kernel push back on the
+            # server's send almost immediately, so the stall is visible
+            # even for moderate response sizes.
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+            except OSError:
+                pass
+        self.sock = sock
+        self.result.connects += 1
+        self._saw_408 = False
+        self._position = 0
+        self.state = self.mode
+        try:
+            sock.connect(self.generator.address)
+        except BlockingIOError:
+            pass
+        except OSError:
+            self.result.errors += 1
+            self._close()
+            self.state = self.DONE
+            return
+        host = "%s:%d" % self.generator.address
+        if self.mode == self.WRITER:
+            # An incomplete head: no terminating blank line, and short
+            # enough to stay under any header-size limit, so the only
+            # thing that can end it is the server's header deadline.
+            self._script = (
+                f"GET / HTTP/1.1\r\nHost: {host}\r\nX-Slowloris: "
+            ).encode("latin-1") + b"a" * 512
+            # Watch for the 408 (and the close that follows it).
+            self._register(_READ)
+            self.generator.schedule_call(
+                self.generator.dribble_interval, self._dribble
+            )
+        else:
+            path = self.generator.next_path()
+            self._script = self.generator.request_bytes(path)
+            # Send the complete request as soon as the connect finishes,
+            # then switch to timer-paced dribble reads.
+            self._register(_WRITE)
+
+    # -- readiness and timers ---------------------------------------------------
+
+    def on_ready(self, mask: int) -> None:
+        if self.sock is None:
+            return
+        if mask & _WRITE and self.mode == self.READER:
+            try:
+                while self._position < len(self._script):
+                    self._position += self.sock.send(self._script[self._position:])
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._reaped()
+                return
+            # Request fully sent: stop listening (a genuinely stalled
+            # reader ignores readability) and start the slow drain.
+            self._unregister()
+            self.generator.schedule_call(
+                self.generator.dribble_interval, self._dribble
+            )
+            return
+        if mask & _READ and self.mode == self.WRITER:
+            try:
+                data = self.sock.recv(4096)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._reaped()
+                return
+            if not data:
+                self._reaped()
+                return
+            if not self._saw_408 and b" 408 " in data:
+                self._saw_408 = True
+                self.result.rejected_408 += 1
+
+    def _dribble(self) -> None:
+        """One paced step: a few head bytes out, or a few body bytes in."""
+        if self.sock is None or self.state == self.DONE:
+            return
+        if self.generator.finished():
+            return
+        if self.mode == self.WRITER:
+            chunk = self._script[
+                self._position : self._position + self.generator.dribble_bytes
+            ]
+            if chunk:
+                try:
+                    self._position += self.sock.send(chunk)
+                except (BlockingIOError, InterruptedError):
+                    pass
+                except OSError:
+                    self._reaped()
+                    return
+        else:
+            # recv alone would hide an abortive reap for minutes: the
+            # kernel serves the already-buffered bytes before surfacing
+            # the reset, and at this drain rate the buffer lasts ages.
+            # SO_ERROR reports the pending reset immediately.
+            try:
+                error = self.sock.getsockopt(socket.SOL_SOCKET, socket.SO_ERROR)
+            except OSError:
+                error = 1
+            if error:
+                self._reaped()
+                return
+            try:
+                data = self.sock.recv(self.generator.dribble_bytes)
+            except (BlockingIOError, InterruptedError):
+                data = None
+            except OSError:
+                self._reaped()
+                return
+            if data == b"":
+                self._reaped()
+                return
+        self.generator.schedule_call(self.generator.dribble_interval, self._dribble)
+
+    def _reaped(self) -> None:
+        """The server ended the connection: count it and come back for more."""
+        self.result.reaped += 1
+        self._close()
+        if self.generator.finished():
+            self.state = self.DONE
+        else:
+            self._connect()
+
+    # -- teardown and selector plumbing (mirrors _SimClient) --------------------
+
+    def _close(self) -> None:
+        if self.sock is not None:
+            self._unregister()
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
+    def _register(self, events: int) -> None:
+        if self.sock is None:
+            return
+        selector = self.generator.selector
+        if self._registered_events == 0:
+            selector.register(self.sock, events, self)
+        elif events != self._registered_events:
+            selector.modify(self.sock, events, self)
+        self._registered_events = events
+
+    def _unregister(self) -> None:
+        if self.sock is not None and self._registered_events:
+            try:
+                self.generator.selector.unregister(self.sock)
+            except (KeyError, ValueError):
+                pass
+        self._registered_events = 0
+
+
 class LoadGenerator:
     """Drives a server with ``num_clients`` concurrent simulated clients.
 
@@ -322,6 +544,16 @@ class LoadGenerator:
         path whose validator has not been captured yet is fetched
         unconditionally (and captures it for the next slot).  304s are
         counted separately from 200s in the results.
+    slow_writers / slow_readers:
+        Number of deliberately misbehaving clients attached *alongside*
+        the ``num_clients`` real ones: slowloris writers dribbling an
+        incomplete request head, and stalled readers draining a response
+        slower than the server sends it (see :class:`_SlowClient`).  They
+        complete no requests; the run's ``reaped``/``rejected_408``
+        counters report how the server dealt with them.
+    dribble_bytes / dribble_interval:
+        The misbehaving clients' byte rate: ``dribble_bytes`` moved every
+        ``dribble_interval`` seconds.
     """
 
     def __init__(
@@ -337,6 +569,10 @@ class LoadGenerator:
         range_fraction: float = 0.0,
         range_spec: str = "0-1023",
         conditional_fraction: float = 0.0,
+        slow_writers: int = 0,
+        slow_readers: int = 0,
+        dribble_bytes: int = 1,
+        dribble_interval: float = 0.5,
     ):
         if duration is None and max_requests is None:
             raise ValueError("specify duration, max_requests or both")
@@ -353,6 +589,10 @@ class LoadGenerator:
         self.range_fraction = range_fraction
         self.range_spec = range_spec
         self.conditional_fraction = conditional_fraction
+        self.slow_writers = slow_writers
+        self.slow_readers = slow_readers
+        self.dribble_bytes = max(1, dribble_bytes)
+        self.dribble_interval = max(0.001, dribble_interval)
         self._range_debt = 0.0
         self._conditional_debt = 0.0
         self._etags: dict[str, str] = {}
@@ -365,6 +605,7 @@ class LoadGenerator:
         self.total_not_modified = 0
         self._deadline: Optional[float] = None
         self._restarts: list[tuple[float, _SimClient]] = []
+        self._calls: list[tuple[float, Callable[[], None]]] = []
 
     @staticmethod
     def _make_path_source(paths) -> Callable[[], str]:
@@ -491,44 +732,64 @@ class LoadGenerator:
         """Re-start ``client`` after ``delay`` seconds (think-time emulation)."""
         self._restarts.append((time.monotonic() + delay, client))
 
+    def schedule_call(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` seconds of loop time.
+
+        The generic timer the misbehaving clients pace their dribbles
+        with; fired from the same place as think-time restarts.
+        """
+        self._calls.append((time.monotonic() + delay, callback))
+
     def run(self) -> LoadResult:
         """Run the load and return aggregate results."""
         start = time.monotonic()
         if self.duration is not None:
             self._deadline = start + self.duration
         clients = [_SimClient(self, i) for i in range(self.num_clients)]
-        for client in clients:
+        slow = [
+            _SlowClient(self, i, _SlowClient.WRITER) for i in range(self.slow_writers)
+        ] + [
+            _SlowClient(self, i, _SlowClient.READER) for i in range(self.slow_readers)
+        ]
+        everyone = clients + slow
+        for client in everyone:
             client.start()
 
         while not self.finished():
-            self._fire_restarts()
-            active = any(client.state != _SimClient.DONE for client in clients)
-            if not active and not self._restarts:
+            self._fire_timers()
+            active = any(client.state != _SimClient.DONE for client in everyone)
+            if not active and not self._restarts and not self._calls:
                 break
             events = self.selector.select(timeout=0.05)
             for key, mask in events:
                 key.data.on_ready(mask)
 
-        for client in clients:
+        for client in everyone:
             client._close()
         self.selector.close()
         elapsed = time.monotonic() - start
 
-        result = LoadResult(elapsed=elapsed, per_client=[c.result for c in clients])
-        for client in clients:
+        result = LoadResult(elapsed=elapsed, per_client=[c.result for c in everyone])
+        for client in everyone:
             result.requests_completed += client.result.requests_completed
             result.bytes_received += client.result.bytes_received
             result.errors += client.result.errors
             result.connects += client.result.connects
             result.not_modified += client.result.not_modified
+            result.reaped += client.result.reaped
+            result.rejected_408 += client.result.rejected_408
         return result
 
-    def _fire_restarts(self) -> None:
-        if not self._restarts:
-            return
+    def _fire_timers(self) -> None:
         now = time.monotonic()
-        due = [item for item in self._restarts if item[0] <= now]
-        self._restarts = [item for item in self._restarts if item[0] > now]
-        for _, client in due:
-            if not self.finished():
-                client._connect()
+        if self._restarts:
+            due = [item for item in self._restarts if item[0] <= now]
+            self._restarts = [item for item in self._restarts if item[0] > now]
+            for _, client in due:
+                if not self.finished():
+                    client._connect()
+        if self._calls:
+            calls = [item for item in self._calls if item[0] <= now]
+            self._calls = [item for item in self._calls if item[0] > now]
+            for _, callback in calls:
+                callback()

@@ -140,7 +140,32 @@ class ServerConfig:
     #: Whether persistent (keep-alive) connections are honoured.
     keep_alive: bool = True
     #: Idle timeout, in seconds, after which a connection is reaped.
+    #: Retained as the legacy spelling of :attr:`idle_timeout`; the two are
+    #: kept in sync by ``__post_init__`` (``idle_timeout`` wins when both
+    #: are set).  ``<= 0`` disables idle reaping.
     connection_timeout: float = 30.0
+
+    # -- per-connection deadlines (slow-client hardening) ---------------------
+    #: Budget, in seconds, from the arrival of a connection (or of the first
+    #: byte of a keep-alive follow-up request) to a *complete* request head.
+    #: This is an absolute budget, deliberately not reset per byte — a
+    #: slowloris peer dribbling one header byte per interval exhausts it and
+    #: is answered ``408 Request Timeout``.  ``<= 0`` disables it.
+    header_timeout: float = 15.0
+    #: Seconds an idle keep-alive connection (between complete exchanges)
+    #: may sit before being reaped.  ``None`` aliases
+    #: :attr:`connection_timeout`; ``<= 0`` disables idle reaping.
+    idle_timeout: Optional[float] = None
+    #: Seconds a response transmission may go without moving any byte to
+    #: the peer before the connection is reaped.  Reset on *progress*
+    #: (bytes actually transmitted), not on mere writability, so a reader
+    #: draining one byte per interval still advances it but a fully
+    #: stalled reader does not.  ``<= 0`` disables it.
+    write_stall_timeout: float = 30.0
+
+    #: ``Cache-Control: max-age=N`` (plus a matching ``Expires``) emitted on
+    #: static 200/206 responses; ``0`` (the default) emits neither header.
+    cache_max_age: int = 0
 
     # -- dynamic content ----------------------------------------------------
     #: URI prefix that routes to CGI-style applications.
@@ -172,6 +197,19 @@ class ServerConfig:
             raise ValueError("hot_cache_entries must be at least 1")
         if self.hot_cache_revalidate < 0:
             raise ValueError("hot_cache_revalidate must be non-negative")
+        if self.cache_max_age < 0:
+            raise ValueError("cache_max_age must be non-negative")
+        # Sync the idle-timeout aliases, then normalize every timeout so
+        # "disabled" has exactly one spelling (0.0): legacy callers that set
+        # connection_timeout keep working, new callers use idle_timeout, and
+        # a non-positive value means "no deadline" everywhere instead of the
+        # old ``call_later(0, ...)`` busy-loop.
+        if self.idle_timeout is None:
+            self.idle_timeout = self.connection_timeout
+        self.idle_timeout = max(0.0, self.idle_timeout)
+        self.connection_timeout = self.idle_timeout
+        self.header_timeout = max(0.0, self.header_timeout)
+        self.write_stall_timeout = max(0.0, self.write_stall_timeout)
         self.document_root = os.path.abspath(self.document_root)
 
     def per_process_scaled(self, num_processes: Optional[int] = None) -> "ServerConfig":

@@ -22,12 +22,35 @@ States
     handling partial writes and full send buffers.
 ``CLOSED``
     The connection is finished and its resources are released.
+
+Deadlines
+---------
+
+Every connection carries at most one armed deadline on the event loop's
+hashed timer wheel, keyed by what the connection is waiting for:
+
+``header``
+    Armed at accept (and again when the first byte of a keep-alive
+    follow-up request arrives): an *absolute* budget to a complete request
+    head.  Deliberately not reset when bytes trickle in — that reset is
+    exactly what made a one-byte-per-interval slowloris client immortal.
+    Expiry answers ``408 Request Timeout`` with ``Connection: close``.
+``idle``
+    Armed between complete keep-alive exchanges.  Expiry closes silently.
+``write``
+    Armed while a response is being transmitted; reset whenever ``send``
+    moves at least one byte (progress, not mere writability).  Expiry
+    flushes the cork, releases every pinned resource and closes.
+
+No deadline is armed in ``WAIT_DISK``: the peer is not the party being
+waited on there, and helper latency is the server's own business.
 """
 
 from __future__ import annotations
 
 import errno
 import socket
+import struct
 import time
 from typing import TYPE_CHECKING, Optional, Protocol
 
@@ -118,6 +141,8 @@ class Connection:
         "_interest",
         "_keep_alive",
         "_finishing",
+        "_deadline_handle",
+        "_deadline_kind",
         "last_activity",
         "requests_served",
         "bytes_sent",
@@ -152,16 +177,28 @@ class Connection:
         self._interest = 0
         self._keep_alive = False
         self._finishing = False
+        self._deadline_handle = None
+        self._deadline_kind = None
         self.last_activity = time.monotonic()
         self.requests_served = 0
         self.bytes_sent = 0
         self._set_interest(EVENT_READ)
+        # The header budget starts at accept: a peer that connects and
+        # never produces a complete request head is answered 408.
+        self._arm_deadline("header")
 
     # -- readiness callbacks ----------------------------------------------------
 
     def on_ready(self, _fileobj, mask: int) -> None:
-        """Event-loop callback: advance the state machine."""
-        self.last_activity = time.monotonic()
+        """Event-loop callback: advance the state machine.
+
+        ``last_activity`` is *not* touched here: a readiness event proves
+        nothing about the peer (a writable socket stays writable while the
+        client reads nothing at all).  The clock advances only where bytes
+        actually move — in ``_do_read`` and in the senders' progress
+        accounting — so the deadlines measure peer progress, not kernel
+        readiness.
+        """
         try:
             if mask & EVENT_READ and self.state == STATE_READ_REQUEST:
                 self._do_read()
@@ -190,6 +227,74 @@ class Connection:
             return
         raise exc
 
+    # -- deadlines ----------------------------------------------------------------
+
+    def _arm_deadline(self, kind: Optional[str]) -> None:
+        """Arm (or, with ``None``, clear) this connection's single deadline.
+
+        ``kind`` selects the configured budget: ``"header"`` →
+        ``header_timeout``, ``"idle"`` → ``idle_timeout``, ``"write"`` →
+        ``write_stall_timeout``.  A non-positive budget means that
+        deadline is disabled and nothing is armed.  O(1) either way — the
+        handles live on the event loop's hashed timer wheel.
+        """
+        wheel = getattr(self.driver.loop, "wheel", None)
+        if self._deadline_handle is not None:
+            if wheel is not None:
+                wheel.cancel(self._deadline_handle)
+            self._deadline_handle = None
+        self._deadline_kind = kind
+        if kind is None or wheel is None:
+            return
+        config = self.driver.config
+        if kind == "header":
+            delay = getattr(config, "header_timeout", 0.0)
+        elif kind == "write":
+            delay = getattr(config, "write_stall_timeout", 0.0)
+        else:
+            delay = getattr(config, "idle_timeout", None)
+            if delay is None:
+                delay = getattr(config, "connection_timeout", 0.0)
+        if delay is None or delay <= 0:
+            return
+        self._deadline_handle = wheel.schedule(delay, self._on_deadline)
+
+    def _on_deadline(self) -> None:
+        """Wheel callback: the armed budget ran out without progress."""
+        if self.state == STATE_CLOSED:
+            return
+        kind = self._deadline_kind
+        self._deadline_handle = None
+        self._deadline_kind = None
+        stats = self.driver.store.stats
+        if kind == "header" and self.state == STATE_READ_REQUEST:
+            # Mid-parse expiry: answer 408 and close.  _send_error goes
+            # through _start_send, which arms a write deadline — so a
+            # slowloris peer that also refuses to *read* the 408 is still
+            # reaped by the write-stall budget, pins and all.
+            stats.timeouts_header += 1
+            self._send_error(408, "request header timeout", close_after=True)
+            return
+        if kind == "write":
+            stats.timeouts_write_stall += 1
+            # Abortive close: an orderly close would leave the kernel
+            # background-flushing the send buffer to a peer that is not
+            # reading — megabytes the stalled reader keeps pinned long
+            # after the application forgot the connection.  RST frees
+            # that memory with the fd.
+            try:
+                self.sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+            except OSError:
+                pass
+        else:
+            stats.timeouts_idle += 1
+        # close() flushes the cork and releases the sender, content and
+        # batch pins — the full mid-send teardown contract.
+        self.close()
+
     # -- reading and parsing ------------------------------------------------------
 
     def _do_read(self) -> None:
@@ -200,6 +305,11 @@ class Connection:
         if not data:
             self.close()
             return
+        self.last_activity = time.monotonic()
+        if self._deadline_kind == "idle":
+            # First byte of a keep-alive follow-up request: the idle wait
+            # is over and the header budget starts now.
+            self._arm_deadline("header")
         try:
             complete = self.parser.feed(data)
         except HTTPError as exc:
@@ -279,6 +389,9 @@ class Connection:
         if request.is_cgi:
             self._set_interest(0)
             self.state = STATE_WAIT_DISK
+            # No socket deadline while parked on disk/CGI: the peer is not
+            # the party being waited on.  _start_send re-arms on completion.
+            self._arm_deadline(None)
             self.driver.store.stats.cgi_requests += 1
             self.driver.handle_cgi_async(request, self._on_cgi_done)
         else:
@@ -286,6 +399,7 @@ class Connection:
                 return
             self._set_interest(0)
             self.state = STATE_WAIT_DISK
+            self._arm_deadline(None)
             self.driver.translate_async(request.path, self._on_translated)
         # Cork-aware latency bound: the dispatch above may have completed
         # synchronously (cache hits advance state immediately).  If this
@@ -392,6 +506,9 @@ class Connection:
     def _start_send(self, sender) -> None:
         self._sender = sender
         self.state = STATE_SEND_RESPONSE
+        # Progress-based write-stall budget: rearmed by every send that
+        # moves at least one byte, never by mere writability.
+        self._arm_deadline("write")
         # A pipelined request is already buffered behind this response, so
         # another response will follow immediately: cork the socket so the
         # two (or more) leave the kernel as full segments instead of one
@@ -428,10 +545,16 @@ class Connection:
             return
         sent = sender.send(self.sock)
         if sent:
+            self.last_activity = time.monotonic()
             self.bytes_sent += sent
             self.driver.store.stats.bytes_sent += sent
         if sender.done:
             self._finish_response()
+        elif sent:
+            # Bytes moved but the response is not finished: the peer made
+            # progress, so the write-stall budget restarts.  (No progress
+            # leaves the armed deadline counting down.)
+            self._arm_deadline("write")
 
     def _finish_response(self) -> None:
         """Epilogue of a transmitted response, plus the pipelined drain loop.
@@ -472,6 +595,10 @@ class Connection:
                 self.request = None
                 self.state = STATE_READ_REQUEST
                 self._set_interest(EVENT_READ)
+                # Buffered pipelined bytes mean a request head is already in
+                # flight (header budget); an empty buffer means the exchange
+                # is complete and the keep-alive idle budget applies.
+                self._arm_deadline("header" if remainder else "idle")
                 if remainder:
                     # Pipelined request already buffered: parse it without
                     # waiting for the socket to become readable again.
@@ -499,11 +626,15 @@ class Connection:
                 self._batch_pipelined()
                 sent = self._sender.send(self.sock)
                 if sent:
+                    self.last_activity = time.monotonic()
                     self.bytes_sent += sent
                     self.driver.store.stats.bytes_sent += sent
                 if not self._sender.done:
                     # Socket buffer full: the event loop resumes the
-                    # transfer when the socket selects writable.
+                    # transfer when the socket selects writable.  Bytes
+                    # moved, so the write-stall budget restarts.
+                    if sent:
+                        self._arm_deadline("write")
                     return
         finally:
             self._finishing = False
@@ -602,6 +733,7 @@ class Connection:
         if self.state == STATE_CLOSED:
             return
         self.state = STATE_CLOSED
+        self._arm_deadline(None)
         # Pop any held cork so batched bytes flush ahead of the FIN.
         self._cork.flush()
         # Drop buffered views before releasing the chunks they point into,
@@ -627,7 +759,13 @@ class Connection:
         return self.state == STATE_CLOSED
 
     def idle_for(self, now: Optional[float] = None) -> float:
-        """Seconds since the last readiness event on this connection."""
+        """Seconds since a byte last moved on this connection.
+
+        Readiness events do not count: a socket can select readable or
+        writable forever while the peer makes no progress at all, and it
+        was exactly that conflation that let slow clients dodge the old
+        sweep-based reaper.
+        """
         return (now or time.monotonic()) - self.last_activity
 
     # -- internals ----------------------------------------------------------------------

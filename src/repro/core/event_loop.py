@@ -31,6 +31,7 @@ from repro.core.backends import (
     IOBackend,
     create_backend,
 )
+from repro.core.timer_wheel import TimerWheel
 
 __all__ = ["EVENT_READ", "EVENT_WRITE", "EventLoop"]
 
@@ -60,6 +61,11 @@ class EventLoop:
         self._timer_seq = 0
         self._running = False
         self.iterations = 0
+        #: Hashed timer wheel for the high-churn per-connection deadlines:
+        #: O(1) schedule *and* cancel, where the heap above would retain a
+        #: tombstone per cancelled timer.  The heap remains for the rare,
+        #: never-cancelled housekeeping timers (:meth:`call_later`).
+        self.wheel = TimerWheel()
 
     @property
     def backend(self) -> IOBackend:
@@ -128,11 +134,16 @@ class EventLoop:
         while self._timers and self._timers[0][0] <= now:
             _, _, callback = heapq.heappop(self._timers)
             callback()
+        self.wheel.advance(now)
 
         if self._timers:
             next_deadline = self._timers[0][0] - time.monotonic()
             if timeout is None or next_deadline < timeout:
                 timeout = max(0.0, next_deadline)
+        if len(self.wheel) and (timeout is None or timeout > self.wheel.tick):
+            # Armed deadlines bound the poll to one wheel tick so expiries
+            # fire within a tick of their nominal time.
+            timeout = self.wheel.tick
         if self._pending:
             timeout = 0.0
 

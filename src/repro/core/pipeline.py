@@ -99,6 +99,12 @@ class ServerStats:
     range_multipart_responses: int = 0
     precondition_failed: int = 0
     hot_batched: int = 0
+    #: Connections reaped by the per-connection deadline system, by which
+    #: budget expired: the absolute request-head budget (answered 408), the
+    #: keep-alive idle budget, and the progress-based write-stall budget.
+    timeouts_header: int = 0
+    timeouts_idle: int = 0
+    timeouts_write_stall: int = 0
 
     def merge(self, other: "ServerStats") -> "ServerStats":
         """Return a new instance combining this one with ``other``.
@@ -252,6 +258,14 @@ class ContentStore:
     ):
         self.config = config
         self.header_builder = ResponseHeaderBuilder(align=config.header_alignment)
+        #: Freshness lifetime stamped on static 200/206 headers
+        #: (``Cache-Control: max-age=N`` + ``Expires``); ``None`` when the
+        #: knob is 0/disabled so the emission sites stay byte-identical to
+        #: a server without the feature.  Validator-only responses
+        #: (304/412/416) and CGI/error output never carry it.
+        self._cache_max_age: Optional[int] = (
+            config.cache_max_age if config.cache_max_age > 0 else None
+        )
         self.residency_tester = residency_tester or self._default_residency_tester(config)
         # Reentrant: cache-invalidation hooks (pathname revalidation ->
         # fd/mmap invalidate -> hot-cache release) run inside locked
@@ -643,6 +657,7 @@ class ContentStore:
             last_modified=mtime,
             etag=etag,
             keep_alive=keep_alive,
+            cache_max_age=self._cache_max_age,
         ).raw
         return header, parts, trailer, total
 
@@ -767,6 +782,7 @@ class ContentStore:
                     entry.mtime,
                     keep_alive=keep_alive,
                     etag=entry.etag,
+                    cache_max_age=self._cache_max_age,
                 ).raw
         return self.header_builder.build(
             200,
@@ -776,6 +792,7 @@ class ContentStore:
             keep_alive=keep_alive,
             etag=entry.etag,
             accept_ranges=True,
+            cache_max_age=self._cache_max_age,
         ).raw
 
     def _not_modified_header(self, entry, keep_alive: bool) -> bytes:
@@ -821,6 +838,7 @@ class ContentStore:
             last_modified=mtime,
             keep_alive=keep_alive,
             etag=etag,
+            cache_max_age=self._cache_max_age,
             extra_headers={"Content-Range": content_range(offset, length, size)},
         ).raw
 

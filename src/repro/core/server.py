@@ -2,8 +2,10 @@
 
 :class:`BaseEventDrivenServer` contains everything the SPED and AMPED builds
 share: the listening socket, the ``selectors`` event loop, connection
-management, dynamic-content dispatch and idle-connection reaping.  The two
-builds differ only in the driver hooks that decide where potentially
+management and dynamic-content dispatch.  (Slow-client reaping is not a
+server-level sweep: each connection arms its own header/idle/write-stall
+deadline on the event loop's timer wheel — see :mod:`repro.core.connection`.)
+The two builds differ only in the driver hooks that decide where potentially
 blocking work runs:
 
 * :class:`FlashServer` (AMPED) consults the pathname cache and, on a miss,
@@ -20,7 +22,6 @@ from __future__ import annotations
 
 import socket
 import threading
-import time
 from typing import Optional
 
 from repro.cache.residency import ResidencyTester
@@ -64,7 +65,6 @@ class BaseEventDrivenServer:
         self._thread: Optional[threading.Thread] = None
         self._bound = threading.Event()
         self._closed = False
-        self._schedule_reaper()
 
     # -- binding and addresses ---------------------------------------------------
 
@@ -214,19 +214,13 @@ class BaseEventDrivenServer:
     def __exit__(self, *exc) -> None:
         self.stop()
 
-    # -- idle-connection reaping ----------------------------------------------------
-
-    def _schedule_reaper(self) -> None:
-        self.loop.call_later(self.config.connection_timeout / 2, self._reap_idle)
-
-    def _reap_idle(self) -> None:
-        if self._closed:
-            return
-        now = time.monotonic()
-        for connection in list(self._connections):
-            if connection.idle_for(now) > self.config.connection_timeout:
-                connection.close()
-        self._schedule_reaper()
+    # Idle-connection reaping lives in the per-connection deadline system
+    # now: every Connection arms header/idle/write-stall deadlines on the
+    # event loop's hashed timer wheel (see repro.core.connection), which
+    # replaced the periodic full-sweep reaper this class used to run — the
+    # sweep cost O(connections) per pass, reset its clock on readiness
+    # rather than progress (so slow clients dodged it), and busy-looped
+    # when the timeout was configured to 0.
 
 
 class FlashServer(BaseEventDrivenServer):

@@ -1,0 +1,157 @@
+"""Hashed timer wheel for per-connection deadlines.
+
+An event-driven server that reaps misbehaving peers needs one deadline per
+connection, rearmed on every state transition (and, for write stalls, on
+every byte of progress).  A binary heap makes *cancellation* O(log n) at
+best — and with thousands of connections each rearming its deadline many
+times per second, almost every scheduled timer is cancelled before it
+fires.  The classical fix (Varghese & Lauck) is a *hashed timer wheel*:
+
+* the time axis is divided into fixed ``tick``-second slots arranged in a
+  circular array;
+* scheduling hashes the deadline to ``int(deadline / tick) % slots`` — an
+  O(1) insert into that slot's set;
+* cancellation removes the handle from its slot — O(1);
+* a cursor advances over the slots as time passes, firing entries whose
+  deadline has been reached.  Entries hashed into a slot more than one
+  wheel revolution away simply *stay in the slot* when the cursor passes
+  (their deadline check fails) and fire on a later revolution — the
+  "rounds" of the classical formulation, kept implicit here.
+
+With the defaults (0.1 s ticks, 1024 slots — one revolution every
+~102 s) every connection-timeout shape the server uses lands within one
+revolution, so an entry is normally touched exactly once: when it fires
+or when it is cancelled.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["TimerHandle", "TimerWheel"]
+
+
+class TimerHandle:
+    """One scheduled deadline; returned by :meth:`TimerWheel.schedule`.
+
+    The handle is the cancellation token: O(1) :meth:`TimerWheel.cancel`
+    removes it from its slot.  ``cancelled`` distinguishes "never fired"
+    from "fired" for callers that care (the connection state machine does
+    not — it nulls its reference either way).
+    """
+
+    __slots__ = ("deadline", "callback", "cancelled", "_slot")
+
+    def __init__(self, deadline: float, callback: Callable[[], None]):
+        self.deadline = deadline
+        self.callback = callback
+        self.cancelled = False
+        #: The slot set currently holding this handle; ``None`` once the
+        #: handle has fired or been cancelled.
+        self._slot: Optional[set] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("armed" if self._slot else "fired")
+        return f"<TimerHandle deadline={self.deadline:.3f} {state}>"
+
+
+class TimerWheel:
+    """A hashed timer wheel with O(1) schedule and cancel.
+
+    Parameters
+    ----------
+    tick:
+        Slot granularity in seconds.  Deadlines fire within one tick of
+        their nominal time (the event loop polls at least this often while
+        any deadline is armed).
+    slots:
+        Number of slots; one revolution spans ``tick * slots`` seconds.
+    now:
+        Start of the time axis (monotonic seconds); defaults to the
+        current monotonic clock.
+    """
+
+    def __init__(self, tick: float = 0.1, slots: int = 1024,
+                 now: Optional[float] = None):
+        if tick <= 0:
+            raise ValueError("tick must be positive")
+        if slots < 2:
+            raise ValueError("slots must be at least 2")
+        self.tick = tick
+        self.nslots = slots
+        self._slots: list[set] = [set() for _ in range(slots)]
+        self._count = 0
+        self._cursor = int((time.monotonic() if now is None else now) / tick)
+
+    def __len__(self) -> int:
+        """Number of armed (not yet fired or cancelled) handles."""
+        return self._count
+
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 now: Optional[float] = None) -> TimerHandle:
+        """Arm ``callback`` to fire ``delay`` seconds from ``now``; O(1).
+
+        Negative delays clamp to zero (the entry fires on the next
+        :meth:`advance`).
+        """
+        if now is None:
+            now = time.monotonic()
+        deadline = now + max(0.0, delay)
+        handle = TimerHandle(deadline, callback)
+        # Hash to the first tick boundary *past* the deadline: the slot for
+        # tick T is scanned while ``now`` may still be inside T, and an
+        # entry found before its deadline would be skipped and not seen
+        # again for a full revolution.  Rounding up guarantees the deadline
+        # has passed by the time the cursor reaches the slot (entries fire
+        # within one tick after their nominal time, never before).
+        index = int(deadline / self.tick) + 1
+        if index <= self._cursor:
+            index = self._cursor + 1
+        slot = self._slots[index % self.nslots]
+        slot.add(handle)
+        handle._slot = slot
+        self._count += 1
+        return handle
+
+    def cancel(self, handle: Optional[TimerHandle]) -> None:
+        """Disarm ``handle``; O(1).  Fired/cancelled/None handles are no-ops."""
+        if handle is None or handle._slot is None:
+            return
+        handle._slot.discard(handle)
+        handle._slot = None
+        handle.cancelled = True
+        self._count -= 1
+
+    def advance(self, now: Optional[float] = None) -> int:
+        """Move the cursor to ``now``, firing every due entry; returns count.
+
+        Visits only the slots the cursor crosses (capped at one full
+        revolution — after ``nslots`` steps every slot has been seen, so a
+        longer jump, e.g. after a suspended process resumes, degenerates
+        to one full sweep).  Entries in a visited slot whose deadline lies
+        a revolution or more ahead stay put and fire on a later pass.
+        Callbacks may schedule or cancel other handles freely; a handle
+        scheduled during the sweep has a deadline in the future and is
+        never fired by the sweep that created it.
+        """
+        if now is None:
+            now = time.monotonic()
+        target = int(now / self.tick)
+        if target <= self._cursor:
+            return 0
+        fired = 0
+        steps = min(target - self._cursor, self.nslots)
+        for step in range(1, steps + 1):
+            slot = self._slots[(self._cursor + step) % self.nslots]
+            if not slot:
+                continue
+            due = [handle for handle in slot if handle.deadline <= now]
+            for handle in due:
+                slot.discard(handle)
+                handle._slot = None
+                self._count -= 1
+                fired += 1
+                handle.callback()
+        self._cursor = target
+        return fired

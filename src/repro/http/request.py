@@ -164,6 +164,14 @@ def parse_ranges(value: str, size: int):
       order (RFC 7233 §4.1 permits parts in any order, and a client that
       asked for a specific order presumably wants it).
 
+    Overlapping and adjacent windows are coalesced (RFC 7233 §4.1: "it
+    ought to be coalesced into a single range ... a client cannot rely on
+    receiving the same ranges that it requested"), so ``bytes=0-4,5-9``
+    is served as one ten-byte part rather than a two-part multipart body;
+    windows separated by a gap stay distinct.  Coalescing keeps
+    first-occurrence order — only genuinely disjoint windows remain, and
+    each sits where its earliest member appeared in the request.
+
     Returns
     -------
     A list of satisfiable ``(offset, length)`` windows — a single-element
@@ -197,8 +205,35 @@ def parse_ranges(value: str, size: int):
             continue
         windows.append(window)
     if windows:
-        return windows
+        return _coalesce_windows(windows)
     return RANGE_UNSATISFIABLE if unsatisfiable else None
+
+
+def _coalesce_windows(windows: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge overlapping/adjacent ``(offset, length)`` windows to a fixed point.
+
+    Iterated because one merge can bridge two previously disjoint windows
+    (``0-4, 10-14, 5-9`` collapses to one); bounded by
+    :data:`MAX_RANGE_PARTS` inputs, so the quadratic worst case is tiny.
+    """
+    merged = True
+    while merged:
+        merged = False
+        coalesced: list[tuple[int, int]] = []
+        for offset, length in windows:
+            for index, (seen_offset, seen_length) in enumerate(coalesced):
+                # Overlapping or touching: [a, a+la] and [b, b+lb] unify
+                # whenever neither window starts past the other's end.
+                if offset <= seen_offset + seen_length and seen_offset <= offset + length:
+                    start = min(seen_offset, offset)
+                    end = max(seen_offset + seen_length, offset + length)
+                    coalesced[index] = (start, end - start)
+                    merged = True
+                    break
+            else:
+                coalesced.append((offset, length))
+        windows = coalesced
+    return windows
 
 
 def parse_range(value: str, size: int):

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import email.utils
 import hashlib
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -362,6 +363,7 @@ class ResponseHeaderBuilder:
         keep_alive: bool = False,
         etag: str | None = None,
         accept_ranges: bool = False,
+        cache_max_age: int | None = None,
         extra_headers: dict[str, str] | None = None,
     ) -> ResponseHeader:
         """Build a response header.
@@ -372,7 +374,12 @@ class ResponseHeaderBuilder:
         (already quoted, see :func:`make_etag`) is emitted verbatim;
         ``accept_ranges`` advertises byte-range support — the static
         pipeline sets it on its 200s, while CGI and error responses (which
-        the range machinery never serves) leave it off.
+        the range machinery never serves) leave it off.  ``cache_max_age``
+        emits an explicit freshness lifetime (``Cache-Control: max-age=N``
+        plus the ``Expires`` fallback for HTTP/1.0 caches); ``Expires`` is
+        derived from the same instant as ``Date`` so the pair stays
+        mutually consistent even when the header is served from the
+        response-header cache later.
         """
         lines = [f"{self.version} {status} {reason_phrase(status)}"]
         lines.append(f"Date: {http_date(date)}")
@@ -384,6 +391,10 @@ class ResponseHeaderBuilder:
             lines.append(f"ETag: {etag}")
         if accept_ranges:
             lines.append("Accept-Ranges: bytes")
+        if cache_max_age is not None:
+            base = time.time() if date is None else date
+            lines.append(f"Cache-Control: max-age={cache_max_age}")
+            lines.append(f"Expires: {http_date(base + cache_max_age)}")
         lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
         if extra_headers:
             for name, value in extra_headers.items():

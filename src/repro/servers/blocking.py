@@ -9,6 +9,24 @@ operating system scheduling other workers whenever this one blocks.
 The handler reuses the exact same pipeline (:class:`ContentStore`) as the
 event-driven builds so that the only difference between architectures is the
 concurrency strategy, per the paper's methodology.
+
+The slow-client deadlines the event-driven builds arm on their timer wheel
+are honoured here with phase-based socket timeouts driven by the same
+configuration knobs:
+
+* waiting for a keep-alive follow-up request uses ``idle_timeout`` (expiry
+  closes silently);
+* once the first byte of a request head has arrived, an *absolute*
+  ``header_timeout`` budget applies — each ``recv`` gets the remaining
+  budget, so a slowloris client dribbling single bytes cannot extend it —
+  and expiry answers ``408 Request Timeout``;
+* transmission runs under ``write_stall_timeout``: ``sendall`` treats its
+  timeout as a bound on the whole call (Python ≥ 3.5 semantics), and the
+  ``sendfile`` loop waits for buffer space at most that long per window —
+  both close the connection on expiry.
+
+``<= 0`` disables the corresponding deadline, exactly as in the
+event-driven builds.
 """
 
 from __future__ import annotations
@@ -16,6 +34,8 @@ from __future__ import annotations
 import os
 import select
 import socket
+import struct
+import time
 from typing import Optional
 
 from repro.cgi.runner import CGIRunner
@@ -43,8 +63,11 @@ def handle_client(
     """
     served = 0
     store.stats.connections_accepted += 1
+    header_timeout = config.header_timeout
+    # ``None`` puts the socket in plain blocking mode: deadline disabled.
+    idle_timeout = config.idle_timeout if config.idle_timeout > 0 else None
+    write_timeout = config.write_stall_timeout if config.write_stall_timeout > 0 else None
     try:
-        sock.settimeout(config.connection_timeout)
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
@@ -54,15 +77,54 @@ def handle_client(
             parser = RequestParser(max_header_bytes=config.max_header_bytes)
             try:
                 complete = parser.feed(leftover) if leftover else False
+                # The header budget is absolute — from the start of header
+                # reading (accept, buffered pipelined bytes, or the first
+                # byte after a keep-alive idle wait) to a complete head.
+                # Each recv gets the *remaining* budget, so a client
+                # dribbling one byte per interval cannot extend it.
+                reading_head = bool(leftover) or served == 0
+                header_deadline = (
+                    time.monotonic() + header_timeout
+                    if reading_head and header_timeout > 0
+                    else None
+                )
                 while not complete:
+                    if not reading_head:
+                        # Between keep-alive exchanges: the idle budget
+                        # applies until the next request's first byte.
+                        sock.settimeout(idle_timeout)
+                        try:
+                            data = sock.recv(config.socket_io_size)
+                        except socket.timeout:
+                            store.stats.timeouts_idle += 1
+                            return served
+                        if not data:
+                            return served
+                        reading_head = True
+                        if header_timeout > 0:
+                            header_deadline = time.monotonic() + header_timeout
+                        complete = parser.feed(data)
+                        continue
+                    remaining = None
+                    if header_deadline is not None:
+                        remaining = header_deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise socket.timeout("request header timeout")
+                    sock.settimeout(remaining)
                     data = sock.recv(config.socket_io_size)
                     if not data:
                         return served
                     complete = parser.feed(data)
             except HTTPError as exc:
+                sock.settimeout(write_timeout)
                 _send_error(sock, store, exc.status, exc.message)
                 return served
             except socket.timeout:
+                # Mid-parse expiry: the partial head is answered 408, like
+                # the event-driven builds' header-deadline expiry.
+                store.stats.timeouts_header += 1
+                sock.settimeout(write_timeout)
+                _send_error(sock, store, 408, "request header timeout")
                 return served
 
             request = parser.request
@@ -70,6 +132,7 @@ def handle_client(
             store.stats.requests += 1
             keep_alive = bool(request.keep_alive and config.keep_alive)
 
+            sock.settimeout(write_timeout)
             try:
                 if request.is_cgi:
                     store.stats.cgi_requests += 1
@@ -110,6 +173,22 @@ def handle_client(
                 _send_error(sock, store, exc.status, exc.message, keep_alive=keep_alive)
                 if not keep_alive:
                     return served
+            except socket.timeout:
+                # No byte moved within the write-stall budget (sendall
+                # bounds the whole transfer; the sendfile loop bounds each
+                # wait for buffer space): reap the stalled reader.
+                # Abortively — an orderly close would leave the kernel
+                # background-flushing the send buffer to a peer that is
+                # not reading.
+                store.stats.timeouts_write_stall += 1
+                try:
+                    sock.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_LINGER,
+                        struct.pack("ii", 1, 0),
+                    )
+                except OSError:
+                    pass
+                return served
             except OSError:
                 return served
 

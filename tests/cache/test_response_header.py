@@ -66,3 +66,20 @@ class TestResponseHeaderCache:
         cache = ResponseHeaderCache(builder=ResponseHeaderBuilder(align=32))
         header = cache.get("/f.html", 12345, 1.0)
         assert len(header.raw) % 32 == 0
+
+
+class TestCacheMaxAgeKeying:
+    def test_max_age_variants_cached_separately(self):
+        cache = ResponseHeaderCache()
+        plain = cache.get("/www/a.html", 100, 1000.0)
+        fresh = cache.get("/www/a.html", 100, 1000.0, cache_max_age=600)
+        assert b"Cache-Control" not in plain.raw
+        assert b"Cache-Control: max-age=600" in fresh.raw
+        assert cache.misses == 2
+
+    def test_same_max_age_hits(self):
+        cache = ResponseHeaderCache()
+        first = cache.get("/www/a.html", 100, 1000.0, cache_max_age=60)
+        second = cache.get("/www/a.html", 100, 1000.0, cache_max_age=60)
+        assert first is second
+        assert cache.hits == 1

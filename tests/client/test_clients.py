@@ -283,3 +283,19 @@ class TestConditionalFraction:
         assert shapes.count("ranged") == 49
         assert shapes.count("plain") == 1
         assert all(shape != "plain" for shape in shapes[2:])
+
+
+class TestSlowClientCounters:
+    def test_result_dict_carries_misbehaving_counters(self):
+        result = LoadResult(reaped=3, rejected_408=2, elapsed=1.0)
+        summary = result.to_dict()
+        assert summary["reaped"] == 3
+        assert summary["rejected_408"] == 2
+
+    def test_dribble_knobs_clamped(self):
+        generator = LoadGenerator(
+            ("127.0.0.1", 1), "/", max_requests=1,
+            slow_writers=1, dribble_bytes=0, dribble_interval=0.0,
+        )
+        assert generator.dribble_bytes == 1
+        assert generator.dribble_interval > 0.0

@@ -53,6 +53,52 @@ class TestParser:
         assert args.figure == "fig9"
         assert args.quick
 
+    def test_serve_timeout_and_caching_knobs(self):
+        args = build_parser().parse_args(["serve", "--root", "/tmp/www"])
+        assert args.header_timeout == 15.0
+        assert args.idle_timeout is None
+        assert args.write_stall_timeout == 30.0
+        assert args.cache_max_age == 0
+        args = build_parser().parse_args(
+            ["serve", "--root", "/tmp/www",
+             "--header-timeout", "5", "--idle-timeout", "10",
+             "--write-stall-timeout", "2.5", "--cache-max-age", "600"]
+        )
+        assert args.header_timeout == 5.0
+        assert args.idle_timeout == 10.0
+        assert args.write_stall_timeout == 2.5
+        assert args.cache_max_age == 600
+
+    def test_loadgen_slow_client_knobs(self):
+        args = build_parser().parse_args(["loadgen", "--port", "8080"])
+        assert args.slow_writers == 0 and args.slow_readers == 0
+        args = build_parser().parse_args(
+            ["loadgen", "--port", "8080", "--slow-writers", "3",
+             "--slow-readers", "2", "--dribble-bytes", "4",
+             "--dribble-interval", "0.1"]
+        )
+        assert args.slow_writers == 3
+        assert args.slow_readers == 2
+        assert args.dribble_bytes == 4
+        assert args.dribble_interval == 0.1
+
+
+class TestServeSummary:
+    def test_summary_reads_real_stats_fields(self):
+        """_format_summary against a real ServerStats: if a counter the
+        summary prints is renamed server-side, this breaks loudly instead
+        of at shutdown in production."""
+        from repro.cli import _format_summary
+        from repro.core.pipeline import ServerStats
+
+        stats = ServerStats()
+        stats.timeouts_header = 3
+        stats.timeouts_idle = 2
+        stats.timeouts_write_stall = 1
+        summary = _format_summary(stats)
+        assert "timeouts: 3 header, 2 idle, 1 write-stall" in summary
+        assert "served 0 requests" in summary
+
 
 class TestLoadgenCommand:
     def test_loadgen_against_real_server(self, tmp_path, capsys):

@@ -34,6 +34,43 @@ class TestValidation:
             ServerConfig(**kwargs)
 
 
+class TestTimeoutKnobs:
+    def test_idle_timeout_defaults_to_connection_timeout(self):
+        config = ServerConfig(connection_timeout=12.5)
+        assert config.idle_timeout == 12.5
+
+    def test_idle_timeout_overrides_and_syncs_legacy_spelling(self):
+        config = ServerConfig(connection_timeout=30.0, idle_timeout=7.0)
+        assert config.idle_timeout == 7.0
+        assert config.connection_timeout == 7.0  # the two names stay aliased
+
+    @pytest.mark.parametrize("value", [0, -1, -30.0])
+    def test_nonpositive_timeouts_normalize_to_disabled(self, value):
+        """``<= 0`` means *disabled* — the regression where 0 made the old
+        sweep reaper treat every connection as instantly expired."""
+        config = ServerConfig(
+            connection_timeout=value,
+            header_timeout=value,
+            write_stall_timeout=value,
+        )
+        assert config.idle_timeout == 0.0
+        assert config.connection_timeout == 0.0
+        assert config.header_timeout == 0.0
+        assert config.write_stall_timeout == 0.0
+
+    def test_timeout_defaults(self):
+        config = ServerConfig()
+        assert config.header_timeout == 15.0
+        assert config.idle_timeout == 30.0
+        assert config.write_stall_timeout == 30.0
+
+    def test_cache_max_age_validated(self):
+        assert ServerConfig(cache_max_age=3600).cache_max_age == 3600
+        assert ServerConfig().cache_max_age == 0
+        with pytest.raises(ValueError):
+            ServerConfig(cache_max_age=-1)
+
+
 class TestPerProcessScaling:
     def test_paper_configuration(self):
         """At 32 processes the caches shrink to ~4 MB / ~600 entries."""

@@ -27,8 +27,8 @@ from repro.http.errors import NotFoundError
 class ScriptedDriver:
     """A ConnectionDriver whose hooks are controlled by the test."""
 
-    def __init__(self, docroot, defer_disk=False):
-        self.config = ServerConfig(document_root=docroot, port=0)
+    def __init__(self, docroot, defer_disk=False, **config_overrides):
+        self.config = ServerConfig(document_root=docroot, port=0, **config_overrides)
         self.loop = EventLoop()
         self.store = ContentStore(self.config)
         self.defer_disk = defer_disk
@@ -347,3 +347,175 @@ class TestCorkLatencyBound:
         finally:
             connection.close()
             client.close()
+
+
+class TestDeadlines:
+    """The per-connection deadline system, driven through the real wheel.
+
+    These run against the wall clock with sub-second budgets; the loop is
+    spun until the expected expiry, with generous upper bounds so slow CI
+    machines cannot flake them.
+    """
+
+    @staticmethod
+    def spin(driver, connection, client, *, until, timeout=3.0):
+        """Run the loop until ``until()`` or ``timeout``; return client bytes."""
+        received = bytearray()
+        client.settimeout(0.02)
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline and not until(received):
+            driver.loop.run_once(timeout=0.02)
+            try:
+                while True:
+                    data = client.recv(65536)
+                    if not data:
+                        return bytes(received)
+                    received.extend(data)
+            except socket.timeout:
+                pass
+        # The condition may have been met before this call even looped
+        # (synchronous completions): drain whatever is already buffered.
+        try:
+            while True:
+                data = client.recv(65536)
+                if not data:
+                    break
+                received.extend(data)
+        except (socket.timeout, OSError):
+            pass
+        return bytes(received)
+
+    def test_header_deadline_answers_408_and_closes(self, docroot):
+        driver = ScriptedDriver(docroot, header_timeout=0.25)
+        connection, client = make_connection(driver)
+        client.sendall(b"GET /index.html HTT")  # head never completes
+        received = self.spin(
+            driver, connection, client,
+            until=lambda buf: connection.state == STATE_CLOSED,
+        )
+        assert b" 408 " in received
+        assert b"Connection: close" in received
+        assert connection.state == STATE_CLOSED
+        assert driver.store.stats.timeouts_header == 1
+        client.close()
+
+    def test_header_budget_is_absolute_not_per_byte(self, docroot):
+        """The original bug: readiness/bytes reset the idle clock, so a
+        client dribbling one byte per interval could hold a connection
+        forever.  The header budget must expire regardless of dribbles."""
+        driver = ScriptedDriver(docroot, header_timeout=0.4)
+        connection, client = make_connection(driver)
+        client.sendall(b"GET /")
+        start = time.monotonic()
+        received = bytearray()
+        client.settimeout(0.01)
+        while connection.state != STATE_CLOSED and time.monotonic() - start < 3.0:
+            try:
+                client.sendall(b"a")  # a byte moves: the dribble
+            except OSError:
+                pass
+            end = time.monotonic() + 0.1
+            while time.monotonic() < end:
+                driver.loop.run_once(timeout=0.02)
+                try:
+                    data = client.recv(65536)
+                    if data:
+                        received.extend(data)
+                except socket.timeout:
+                    pass
+                except OSError:
+                    break
+        elapsed = time.monotonic() - start
+        assert connection.state == STATE_CLOSED
+        assert b" 408 " in bytes(received)
+        # Expired on the absolute budget (plus slack), not dribble-extended.
+        assert elapsed < 2.5
+        assert driver.store.stats.timeouts_header == 1
+        client.close()
+
+    def test_idle_deadline_reaps_keepalive_connection(self, docroot):
+        driver = ScriptedDriver(docroot, idle_timeout=0.25)
+        connection, client = make_connection(driver)
+        client.sendall(b"GET /index.html HTTP/1.1\r\nHost: h\r\n\r\n")
+        response = pump(driver, connection, client)
+        assert b"200 OK" in response
+        assert connection.state == STATE_READ_REQUEST  # parked, keep-alive
+        self.spin(
+            driver, connection, client,
+            until=lambda buf: connection.state == STATE_CLOSED,
+        )
+        assert connection.state == STATE_CLOSED
+        assert driver.store.stats.timeouts_idle == 1
+        assert driver.store.stats.timeouts_header == 0
+        client.close()
+
+    def test_wait_disk_carries_no_deadline(self, docroot):
+        """A connection parked on disk I/O is the server's fault, not the
+        client's — no budget may expire while the helper works."""
+        driver = ScriptedDriver(
+            docroot, defer_disk=True,
+            header_timeout=0.2, idle_timeout=0.2, write_stall_timeout=0.2,
+        )
+        connection, client = make_connection(driver)
+        client.sendall(b"GET /big.bin HTTP/1.0\r\n\r\n")
+        self.spin(driver, connection, client,
+                  until=lambda buf: bool(driver.pending), timeout=2.0)
+        assert connection.state == STATE_WAIT_DISK
+        assert connection._deadline_kind is None
+        # Far past every configured budget: still parked, still open.
+        self.spin(driver, connection, client, until=lambda buf: False, timeout=0.5)
+        assert connection.state == STATE_WAIT_DISK
+        driver.flush_pending()
+        received = self.spin(
+            driver, connection, client,
+            until=lambda buf: connection.state == STATE_CLOSED,
+        )
+        assert b"Z" * 1000 in received
+        for field in ("timeouts_header", "timeouts_idle", "timeouts_write_stall"):
+            assert getattr(driver.store.stats, field) == 0, field
+        client.close()
+
+    def test_disabled_timeouts_schedule_nothing(self, docroot):
+        """``connection_timeout=0`` (and friends) must disable reaping —
+        the regression where 0 turned the reaper into a busy loop that
+        closed every connection instantly."""
+        driver = ScriptedDriver(
+            docroot, connection_timeout=0,
+            header_timeout=0, write_stall_timeout=0,
+        )
+        assert driver.config.idle_timeout == 0.0
+        connection, client = make_connection(driver)
+        assert len(driver.loop.wheel) == 0
+        self.spin(driver, connection, client, until=lambda buf: False, timeout=0.3)
+        assert connection.state == STATE_READ_REQUEST
+        client.sendall(b"GET /index.html HTTP/1.1\r\nHost: h\r\n\r\n")
+        response = pump(driver, connection, client)
+        assert b"200 OK" in response
+        assert len(driver.loop.wheel) == 0
+        assert connection.state == STATE_READ_REQUEST
+        connection.close()
+        client.close()
+
+    def test_close_cancels_the_armed_deadline(self, docroot):
+        driver = ScriptedDriver(docroot)
+        connection, client = make_connection(driver)
+        assert len(driver.loop.wheel) == 1  # the header deadline
+        connection.close()
+        assert len(driver.loop.wheel) == 0
+        client.close()
+
+    def test_first_byte_after_idle_starts_header_budget(self, docroot):
+        driver = ScriptedDriver(docroot, idle_timeout=30.0, header_timeout=0.25)
+        connection, client = make_connection(driver)
+        client.sendall(b"GET /index.html HTTP/1.1\r\nHost: h\r\n\r\n")
+        pump(driver, connection, client)
+        assert connection._deadline_kind == "idle"
+        client.sendall(b"GET /ind")  # follow-up head starts... and stalls
+        received = self.spin(
+            driver, connection, client,
+            until=lambda buf: connection.state == STATE_CLOSED,
+        )
+        assert connection.state == STATE_CLOSED
+        assert b" 408 " in received
+        assert driver.store.stats.timeouts_header == 1
+        client.close()

@@ -1,0 +1,157 @@
+"""Unit tests for the hashed timer wheel behind per-connection deadlines.
+
+Every test drives the wheel with explicit ``now`` values, so the contract
+is checked deterministically: entries fire within one tick *after* their
+deadline and never before, cancellation is O(1) and final, entries more
+than a revolution out survive cursor passes, and a large clock jump
+degenerates to one full sweep without losing anything.
+"""
+
+import pytest
+
+from repro.core.timer_wheel import TimerWheel
+
+
+def make_wheel(tick=0.1, slots=1024, start=1000.0):
+    return TimerWheel(tick=tick, slots=slots, now=start)
+
+
+class TestScheduleAndFire:
+    def test_fires_after_deadline_never_before(self):
+        wheel = make_wheel()
+        fired = []
+        wheel.schedule(0.3, lambda: fired.append("a"), now=1000.0)
+        # Walk the clock in ticks: nothing may fire while now < deadline.
+        clock = 1000.0
+        while clock < 1000.3:
+            clock += 0.1
+            wheel.advance(now=clock)
+            if clock < 1000.3:
+                assert fired == []
+        # Within one tick past the deadline the entry must have fired.
+        wheel.advance(now=clock + 0.1)
+        assert fired == ["a"]
+
+    def test_multiple_entries_fire_in_one_sweep(self):
+        wheel = make_wheel()
+        fired = []
+        for index in range(5):
+            wheel.schedule(0.1 * (index + 1), lambda i=index: fired.append(i),
+                           now=1000.0)
+        count = wheel.advance(now=1001.0)
+        assert count == 5
+        assert sorted(fired) == [0, 1, 2, 3, 4]
+        assert len(wheel) == 0
+
+    def test_negative_delay_clamps_and_fires_next_advance(self):
+        wheel = make_wheel()
+        fired = []
+        wheel.schedule(-5.0, lambda: fired.append("x"), now=1000.0)
+        wheel.advance(now=1000.2)
+        assert fired == ["x"]
+
+    def test_advance_backwards_or_same_tick_is_a_noop(self):
+        wheel = make_wheel()
+        fired = []
+        wheel.schedule(0.05, lambda: fired.append("x"), now=1000.0)
+        assert wheel.advance(now=1000.0) == 0
+        assert wheel.advance(now=999.0) == 0
+        assert fired == []
+
+    def test_len_tracks_armed_entries(self):
+        wheel = make_wheel()
+        handles = [wheel.schedule(1.0, lambda: None, now=1000.0) for _ in range(3)]
+        assert len(wheel) == 3
+        wheel.cancel(handles[0])
+        assert len(wheel) == 2
+        wheel.advance(now=1002.0)
+        assert len(wheel) == 0
+
+
+class TestCancel:
+    def test_cancelled_entry_never_fires(self):
+        wheel = make_wheel()
+        fired = []
+        handle = wheel.schedule(0.2, lambda: fired.append("x"), now=1000.0)
+        wheel.cancel(handle)
+        wheel.advance(now=1001.0)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent_and_tolerates_none(self):
+        wheel = make_wheel()
+        handle = wheel.schedule(0.2, lambda: None, now=1000.0)
+        wheel.cancel(handle)
+        wheel.cancel(handle)
+        wheel.cancel(None)
+        assert len(wheel) == 0
+
+    def test_cancel_after_fire_is_a_noop(self):
+        wheel = make_wheel()
+        handle = wheel.schedule(0.1, lambda: None, now=1000.0)
+        wheel.advance(now=1001.0)
+        wheel.cancel(handle)
+        assert len(wheel) == 0
+        assert not handle.cancelled  # it fired; it was never cancelled
+
+
+class TestRevolutions:
+    def test_entry_beyond_one_revolution_survives_cursor_passes(self):
+        # 8 slots x 0.01s tick = 0.08s per revolution; a 0.3s deadline
+        # sits almost four revolutions out and must survive the cursor
+        # passing its slot several times.
+        wheel = make_wheel(tick=0.01, slots=8, start=0.0)
+        fired = []
+        wheel.schedule(0.3, lambda: fired.append("late"), now=0.0)
+        clock = 0.0
+        while clock < 0.29:
+            clock += 0.01
+            wheel.advance(now=clock)
+            assert fired == []
+        wheel.advance(now=0.31)
+        assert fired == ["late"]
+
+    def test_clock_jump_larger_than_revolution_fires_everything_due(self):
+        wheel = make_wheel(tick=0.1, slots=16, start=1000.0)  # 1.6s revolution
+        fired = []
+        for index in range(10):
+            wheel.schedule(0.2 * (index + 1), lambda i=index: fired.append(i),
+                           now=1000.0)
+        # Jump 100s (many revolutions) in one advance: the sweep caps at
+        # one full revolution of slot visits but must still fire all.
+        count = wheel.advance(now=1100.0)
+        assert count == 10
+        assert sorted(fired) == list(range(10))
+
+
+class TestReentrancy:
+    def test_callback_scheduling_does_not_fire_in_same_sweep(self):
+        wheel = make_wheel()
+        fired = []
+
+        def rearm():
+            fired.append("first")
+            wheel.schedule(0.2, lambda: fired.append("second"), now=1000.5)
+
+        wheel.schedule(0.2, rearm, now=1000.0)
+        wheel.advance(now=1000.5)
+        assert fired == ["first"]
+        wheel.advance(now=1001.0)
+        assert fired == ["first", "second"]
+
+    def test_callback_cancelling_sibling_prevents_its_fire(self):
+        wheel = make_wheel()
+        fired = []
+        sibling = wheel.schedule(0.35, lambda: fired.append("sibling"), now=1000.0)
+        wheel.schedule(0.15, lambda: wheel.cancel(sibling), now=1000.0)
+        wheel.advance(now=1000.25)
+        wheel.advance(now=1001.0)
+        assert fired == []
+
+
+class TestValidation:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            TimerWheel(tick=0.0)
+        with pytest.raises(ValueError):
+            TimerWheel(slots=1)

@@ -140,14 +140,33 @@ class TestParseRanges:
     def test_multi_window_in_request_order(self):
         assert parse_ranges("bytes=100-199,0-9", self.SIZE) == [(100, 100), (0, 10)]
 
-    def test_overlapping_windows_are_served_as_requested(self):
-        assert parse_ranges("bytes=0-99,50-149", self.SIZE) == [(0, 100), (50, 100)]
+    def test_overlapping_windows_coalesce(self):
+        # RFC 7233 §4.1: overlapping ranges ought to be coalesced; a client
+        # cannot rely on receiving the exact ranges it requested.
+        assert parse_ranges("bytes=0-99,50-149", self.SIZE) == [(0, 150)]
+
+    def test_touching_windows_coalesce(self):
+        assert parse_ranges("bytes=0-4,5-9", self.SIZE) == [(0, 10)]
+
+    def test_gapped_windows_stay_distinct(self):
+        assert parse_ranges("bytes=0-4,6-9", self.SIZE) == [(0, 5), (6, 4)]
+
+    def test_coalescing_bridges_through_a_late_window(self):
+        # The middle window only becomes mergeable once 5-9 joins 0-4, so
+        # coalescing must iterate to a fixed point.
+        assert parse_ranges("bytes=0-4,10-14,5-9", self.SIZE) == [(0, 15)]
+
+    def test_coalesced_window_keeps_first_occurrence_order(self):
+        assert parse_ranges("bytes=100-199,0-9,150-249", self.SIZE) == [
+            (100, 150),
+            (0, 10),
+        ]
 
     def test_mixed_forms(self):
+        # The open-ended 500- window swallows the overlapping -10 suffix.
         assert parse_ranges("bytes=0-0,500-,-10", self.SIZE) == [
             (0, 1),
             (500, 500),
-            (990, 10),
         ]
 
     def test_single_survivor_collapses_to_one_window(self):
@@ -165,13 +184,16 @@ class TestParseRanges:
         assert parse_ranges("lines=0-9", self.SIZE) is None
 
     def test_parts_cap(self):
-        within = ",".join(f"{i}-{i}" for i in range(MAX_RANGE_PARTS))
-        beyond = ",".join(f"{i}-{i}" for i in range(MAX_RANGE_PARTS + 1))
+        # Gapped singletons so coalescing leaves them distinct; the cap
+        # applies to the spec count *before* coalescing.
+        within = ",".join(f"{2 * i}-{2 * i}" for i in range(MAX_RANGE_PARTS))
+        beyond = ",".join(f"{2 * i}-{2 * i}" for i in range(MAX_RANGE_PARTS + 1))
         assert len(parse_ranges(f"bytes={within}", self.SIZE)) == MAX_RANGE_PARTS
         assert parse_ranges(f"bytes={beyond}", self.SIZE) is None
 
     def test_trailing_and_empty_elements_tolerated(self):
-        assert parse_ranges("bytes=0-9,,10-19,", self.SIZE) == [(0, 10), (10, 10)]
+        # 0-9 and 10-19 touch, so the tolerated list also coalesces.
+        assert parse_ranges("bytes=0-9,,10-19,", self.SIZE) == [(0, 20)]
 
     def test_parse_range_still_declines_multi(self):
         # The legacy single-window entry point must keep its contract.

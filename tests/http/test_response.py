@@ -212,3 +212,29 @@ class TestContentRange:
         )
         assert header.raw.startswith(b"HTTP/1.1 416 Range Not Satisfiable\r\n")
         assert b"Content-Range: bytes */4096\r\n" in header.raw
+
+
+class TestCacheControl:
+    def test_max_age_emits_cache_control_and_expires(self):
+        builder = ResponseHeaderBuilder()
+        header = builder.build(
+            200, content_length=5, date=1_700_000_000.0, cache_max_age=600
+        )
+        assert b"Cache-Control: max-age=600\r\n" in header.raw
+        expected_expires = http_date(1_700_000_000.0 + 600)
+        assert f"Expires: {expected_expires}\r\n".encode("latin-1") in header.raw
+
+    def test_expires_is_consistent_with_date(self):
+        builder = ResponseHeaderBuilder()
+        header = builder.build(200, date=1_700_000_000.0, cache_max_age=60)
+        assert f"Date: {http_date(1_700_000_000.0)}".encode("latin-1") in header.raw
+        assert f"Expires: {http_date(1_700_000_060.0)}".encode("latin-1") in header.raw
+
+    def test_default_omits_freshness_headers(self):
+        header = ResponseHeaderBuilder().build(200, content_length=5)
+        assert b"Cache-Control" not in header.raw
+        assert b"Expires" not in header.raw
+
+    def test_alignment_still_holds_with_freshness_headers(self):
+        header = ResponseHeaderBuilder(align=32).build(200, cache_max_age=86400)
+        assert len(header.raw) % 32 == 0

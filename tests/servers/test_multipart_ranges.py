@@ -105,7 +105,7 @@ def expected_parts(windows, data=BIG):
 MULTI_SHAPES = [
     ("0-9,100-199", [(0, 10), (100, 100)]),
     ("65530-65545,131066-131081", [(65530, 16), (131066, 16)]),  # chunk straddles
-    ("0-99,50-149", [(0, 100), (50, 100)]),                       # overlapping
+    ("0-99,50-149,150000-150009", [(0, 150), (150000, 10)]),      # overlap coalesces
     ("150000-150009,5-9,65530-65545", [(150000, 10), (5, 5), (65530, 16)]),  # unsorted
     ("-16,0-15", [(199984, 16), (0, 16)]),                        # suffix first
     ("60000-140000,199999-", [(60000, 80001), (199999, 1)]),      # multi-chunk span

@@ -1,0 +1,228 @@
+"""End-to-end slow-client hardening tests (the PR's acceptance battery).
+
+Across all four architectures (AMPED/SPED/MT/MP) and both send paths:
+
+* a slowloris dribbling one byte of request head at a time is answered
+  ``408 Request Timeout`` and closed within the header budget — while a
+  concurrent well-behaved client keeps getting 200s;
+* a stalled reader (tiny receive window, never drains) is reaped within
+  the write-stall budget, mid-``sendfile`` and mid-buffered alike, with
+  the connection bookkeeping balanced afterwards (no leaked connection,
+  fd or pin);
+* an idle keep-alive connection is reaped on the idle budget;
+* the load generator's misbehaving-client mode observes the same from
+  the client side (``reaped``/``rejected_408`` counters) without hurting
+  the real clients.
+
+Budgets are a few hundred milliseconds with multi-second allowances, so
+slow CI machines cannot flake these.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.client.loadgen import LoadGenerator
+from repro.client.simple import fetch
+from repro.core.config import ServerConfig
+from repro.core.server import FlashServer
+from repro.servers.mp import MPServer
+from repro.servers.mt import MTServer
+from repro.servers.sped import SPEDServer
+
+ARCHITECTURES = [
+    pytest.param(FlashServer, id="amped"),
+    pytest.param(SPEDServer, id="sped"),
+    pytest.param(MTServer, id="mt"),
+    pytest.param(MPServer, id="mp"),
+]
+
+#: Large enough that neither the server's (autotuned) send buffer nor the
+#: client's shrunken receive buffer can absorb the whole body — the send
+#: must genuinely stall mid-flight.
+BIG_SIZE = 16_000_000
+
+
+@pytest.fixture(scope="module")
+def docroot(tmp_path_factory):
+    root = tmp_path_factory.mktemp("slowroot")
+    (root / "index.html").write_bytes(b"<html>fast lane</html>")
+    (root / "big.bin").write_bytes(b"S" * BIG_SIZE)
+    return str(root)
+
+
+def make_server(server_cls, docroot, **overrides):
+    overrides.setdefault("num_helpers", 2)
+    overrides.setdefault("num_workers", 4)
+    overrides.setdefault("header_timeout", 0.4)
+    overrides.setdefault("idle_timeout", 0.4)
+    overrides.setdefault("write_stall_timeout", 0.4)
+    return server_cls(ServerConfig(document_root=docroot, port=0, **overrides))
+
+
+def fetch_with_retry(address, path, deadline=5.0, **kwargs):
+    """fetch() with connect retries: MP workers may still be forking."""
+    end = time.monotonic() + deadline
+    while True:
+        try:
+            return fetch(*address, path, **kwargs)
+        except OSError:
+            if time.monotonic() >= end:
+                raise
+            time.sleep(0.05)
+
+
+def read_until_closed(sock, deadline=4.0):
+    """Drain ``sock`` until EOF/reset or ``deadline``; returns (bytes, closed)."""
+    sock.settimeout(0.1)
+    received = bytearray()
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        try:
+            data = sock.recv(65536)
+        except socket.timeout:
+            continue
+        except OSError:
+            return bytes(received), True
+        if not data:
+            return bytes(received), True
+        received.extend(data)
+    return bytes(received), False
+
+
+class TestSlowlorisGets408:
+    @pytest.mark.parametrize("server_cls", ARCHITECTURES)
+    def test_dribbler_rejected_while_fast_client_served(self, docroot, server_cls):
+        server = make_server(server_cls, docroot)
+        server.start()
+        try:
+            assert fetch_with_retry(server.address, "/index.html").status == 200
+            dribbler = socket.create_connection(server.address)
+            dribbler.sendall(b"GET /index.html HTT")  # head never completes
+            # The fast lane stays open while the dribbler sits on its fd.
+            for _ in range(3):
+                response = fetch_with_retry(server.address, "/index.html")
+                assert response.status == 200
+                assert response.body == b"<html>fast lane</html>"
+            received, closed = read_until_closed(dribbler)
+            dribbler.close()
+            assert closed, "dribbler must be disconnected by the header deadline"
+            assert b" 408 " in received
+            assert b"Connection: close" in received
+            # And the fast lane survived the reaping.
+            assert fetch_with_retry(server.address, "/index.html").status == 200
+        finally:
+            server.stop()
+        stats = server.stats
+        assert stats.timeouts_header >= 1
+        assert stats.timeouts_idle == 0
+        assert stats.connections_closed == stats.connections_accepted
+
+
+class TestWriteStallReaped:
+    @pytest.mark.parametrize("zero_copy", [True, False],
+                             ids=["sendfile", "buffered"])
+    @pytest.mark.parametrize("server_cls", ARCHITECTURES)
+    def test_stalled_reader_reaped_mid_send(self, docroot, server_cls, zero_copy):
+        server = make_server(server_cls, docroot, zero_copy=zero_copy)
+        server.start()
+        try:
+            assert fetch_with_retry(server.address, "/index.html").status == 200
+            staller = socket.socket()
+            # A tiny receive window: the server's transmit jams almost
+            # immediately, far short of the 16 MB body.
+            staller.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+            staller.connect(server.address)
+            staller.sendall(b"GET /big.bin HTTP/1.1\r\nHost: t\r\n\r\n")
+            start = time.monotonic()
+            # Never read: the only way the wait can end is the server
+            # abortively reaping the stalled connection.
+            staller.settimeout(0.1)
+            reaped = False
+            while time.monotonic() - start < 6.0:
+                try:
+                    error = staller.getsockopt(socket.SOL_SOCKET, socket.SO_ERROR)
+                except OSError:
+                    reaped = True
+                    break
+                if error:
+                    reaped = True
+                    break
+                time.sleep(0.05)
+            staller.close()
+            assert reaped, "stalled reader must be reaped by the write-stall budget"
+            # The server is still healthy and the pins were released: a
+            # fresh client gets the same file in full.
+            response = fetch_with_retry(server.address, "/big.bin", deadline=30.0)
+            assert response.status == 200
+            assert len(response.body) == BIG_SIZE
+        finally:
+            server.stop()
+        stats = server.stats
+        assert stats.timeouts_write_stall >= 1
+        assert stats.connections_closed == stats.connections_accepted
+        if isinstance(server, (FlashServer, SPEDServer)):
+            assert server.open_connections == 0
+
+
+class TestIdleKeepAliveReaped:
+    @pytest.mark.parametrize("server_cls", ARCHITECTURES)
+    def test_idle_connection_closed_on_idle_budget(self, docroot, server_cls):
+        server = make_server(server_cls, docroot, header_timeout=5.0)
+        server.start()
+        try:
+            fetch_with_retry(server.address, "/index.html")
+            idler = socket.create_connection(server.address)
+            idler.sendall(b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
+            received, closed = read_until_closed(idler)
+            idler.close()
+            # The response arrived in full, then the idle budget expired
+            # and the server closed the parked keep-alive connection —
+            # without answering 408 (no request head was in flight).
+            assert b"200 OK" in received
+            assert b"fast lane" in received
+            assert closed
+            assert b" 408 " not in received
+        finally:
+            server.stop()
+        stats = server.stats
+        assert stats.timeouts_idle >= 1
+        assert stats.timeouts_header == 0
+        assert stats.connections_closed == stats.connections_accepted
+
+
+class TestLoadgenMisbehavingClients:
+    def test_slow_writers_counted_without_hurting_fast_clients(self, docroot):
+        server = make_server(FlashServer, docroot, header_timeout=0.3)
+        server.start()
+        try:
+            generator = LoadGenerator(
+                server.address, "/index.html",
+                num_clients=4, duration=1.6,
+                slow_writers=2, dribble_bytes=1, dribble_interval=0.1,
+            )
+            result = generator.run()
+        finally:
+            server.stop()
+        assert result.errors == 0
+        assert result.requests_completed > 50
+        assert result.rejected_408 >= 1
+        assert result.reaped >= 1
+        assert server.stats.timeouts_header >= 1
+
+    def test_slow_readers_counted(self, docroot):
+        server = make_server(FlashServer, docroot, write_stall_timeout=0.3)
+        server.start()
+        try:
+            generator = LoadGenerator(
+                server.address, "/big.bin",
+                num_clients=1, duration=2.5,
+                slow_readers=1, dribble_bytes=1, dribble_interval=0.1,
+            )
+            result = generator.run()
+        finally:
+            server.stop()
+        assert result.errors == 0
+        assert result.reaped >= 1
+        assert server.stats.timeouts_write_stall >= 1
