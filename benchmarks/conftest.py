@@ -23,12 +23,22 @@ RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"
 
 
 def save_and_show(result, metric="bandwidth_mbps", name=None):
-    """Write an experiment result table to disk and echo it to stdout."""
+    """Write an experiment result's table and BENCH json to disk.
+
+    The ``.txt`` table is the human-readable rendering; the
+    ``BENCH_<name>.json`` next to it is the schema-validated payload CI
+    archives, so every figure's numbers accumulate machine-readably
+    across PRs.  Both use the same base name.
+    """
+    from repro.experiments.results import ExperimentResult
+
     os.makedirs(RESULTS_DIR, exist_ok=True)
+    if name and name != result.name:
+        result = ExperimentResult(name, result.x_label, result.rows)
     table = result.to_table(metric=metric)
-    filename = f"{name or result.name}.txt"
-    with open(os.path.join(RESULTS_DIR, filename), "w") as handle:
+    with open(os.path.join(RESULTS_DIR, f"{result.name}.txt"), "w") as handle:
         handle.write(table + "\n")
+    result.write_json(RESULTS_DIR)
     print("\n" + table)
     return table
 

@@ -16,22 +16,24 @@ A second benchmark in this file (``BENCH fig11-hotpath``) extends the
 breakdown to the *live* servers and to this reproduction's own
 optimizations: the unified hot-response cache and the allocation-free fast
 request parse are ablated (on/off × on/off) on a cached Zipf workload,
-measuring requests/second under external load-generator processes and
-per-request allocation counts under ``tracemalloc``.
+measuring requests/second and latency percentiles under a multi-process
+:class:`~repro.client.coordinator.LoadCoordinator` and per-request
+allocation counts under ``tracemalloc``.  Every live ablation writes its
+``.txt`` table plus a schema-valid ``BENCH_fig11_*.json`` payload with
+p50/p99/p999 and the latency CDF.
 """
 
 import os
 import random
-import re
-import subprocess
-import sys
 import tempfile
 import tracemalloc
 
 from conftest import RESULTS_DIR, save_and_show
 
+from repro.client.coordinator import LoadCoordinator
 from repro.core.config import ServerConfig
 from repro.experiments.optimization_breakdown import OptimizationBreakdownExperiment
+from repro.experiments.results import ExperimentResult, ResultRow
 from repro.http.request import RequestParser
 from repro.servers import create_server
 
@@ -91,11 +93,11 @@ HOTPATH_GAIN_FLOOR = float(os.environ.get("FIG11_HOTPATH_GAIN_FLOOR", "1.25"))
 #: reversed) and scored by its best pass, which filters out runs degraded
 #: by scheduler noise on small shared-core hosts.
 HOTPATH_PASSES = int(os.environ.get("FIG11_HOTPATH_PASSES", "2"))
-HOTPATH_CLIENT_PROCESSES = 1
+#: Client-side worker processes per measurement (cluster loadgen).
+HOTPATH_WORKERS = int(os.environ.get("FIG11_WORKERS", "2"))
 HOTPATH_CLIENTS_PER_PROCESS = 4
 HOTPATH_ALLOC_REQUESTS = 300
-
-_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+HOTPATH_SEED = 23
 
 HOTPATH_GRID = [
     (True, True),
@@ -123,41 +125,66 @@ def _make_catalog(docroot):
             handle.write(payload)
 
 
-def _hotpath_loadgen(port, duration, paths, extra_args=()):
-    env = dict(os.environ)
-    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
-    command = [
-        sys.executable, "-m", "repro", "loadgen",
-        "--host", "127.0.0.1", "--port", str(port),
-        "--clients", str(HOTPATH_CLIENTS_PER_PROCESS),
-        "--duration", str(duration),
-        *extra_args,
-    ]
-    for path in paths:
-        command.extend(["--path", path])
-    return subprocess.Popen(
-        command, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
-        text=True, env=env,
+def _hotpath_clients(port, duration, paths, **load_kwargs):
+    """Drive the server from ``HOTPATH_WORKERS`` separate client processes.
+
+    The coordinator spawns the load generators, so the client side never
+    shares an interpreter (or its GIL) with the server under test; the
+    returned numbers are the parent's exact merge of the per-worker
+    counters and latency histograms.
+    """
+    coordinator = LoadCoordinator(
+        ("127.0.0.1", port),
+        paths,
+        workers=HOTPATH_WORKERS,
+        num_clients=HOTPATH_CLIENTS_PER_PROCESS,
+        duration=duration,
+        seed=HOTPATH_SEED,
+        **load_kwargs,
+    )
+    merged = coordinator.run().merged
+    elapsed = max(merged.elapsed, 1e-9)
+    return {
+        "request_rate": merged.requests_completed / elapsed,
+        "requests": merged.requests_completed,
+        "errors": merged.errors,
+        "bandwidth_mbps": merged.bytes_received * 8 / elapsed / 1e6,
+        "latency": merged.latency,
+    }
+
+
+def _write_fig11_bench(name, rows, x_of, detail_keys):
+    """Emit one live ablation as ``BENCH_<name>.json`` next to its table."""
+    result = ExperimentResult(name, "cell")
+    for row in rows:
+        latency = row["latency"]
+        result.add(
+            ResultRow(
+                experiment=name,
+                server="sped",
+                x=float(x_of(row)),
+                bandwidth_mbps=row["bandwidth_mbps"],
+                request_rate=row["request_rate"],
+                details={key: row[key] for key in detail_keys},
+                latency_ms=latency.summary_ms(),
+                latency_cdf=latency.cdf_ms(),
+            )
+        )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    result.write_json(RESULTS_DIR)
+
+
+def _latency_cells(row):
+    """The p50/p99/p999 table cells (ms) for one live ablation row."""
+    latency = row["latency"]
+    return (
+        f"{latency.percentile(0.50) * 1e3:>8.2f} "
+        f"{latency.percentile(0.99) * 1e3:>8.2f} "
+        f"{latency.percentile(0.999) * 1e3:>8.2f}"
     )
 
 
-def _hotpath_parse(output, label):
-    match = re.search(rf"{label}:\s+([0-9.,]+)", output)
-    assert match is not None, f"loadgen output missing {label!r}:\n{output}"
-    return float(match.group(1).replace(",", ""))
-
-
-def _hotpath_clients(port, duration, paths, extra_args=()):
-    processes = [
-        _hotpath_loadgen(port, duration, paths, extra_args)
-        for _ in range(HOTPATH_CLIENT_PROCESSES)
-    ]
-    outputs = [process.communicate(timeout=180)[0] for process in processes]
-    return {
-        "request_rate": sum(_hotpath_parse(out, "connection rate") for out in outputs),
-        "requests": sum(_hotpath_parse(out, "requests completed") for out in outputs),
-        "errors": sum(_hotpath_parse(out, "errors") for out in outputs),
-    }
+_LATENCY_HEADER = f"{'p50ms':>8} {'p99ms':>8} {'p999ms':>8}"
 
 
 def _allocations_per_request(*, hot_cache, fast_parse):
@@ -230,6 +257,8 @@ def _measure_hotpath(docroot, paths, *, hot_cache, fast_parse):
         "request_rate": clients["request_rate"],
         "requests": clients["requests"],
         "errors": clients["errors"],
+        "bandwidth_mbps": clients["bandwidth_mbps"],
+        "latency": clients["latency"],
         "allocs_per_request": allocs,
         "hot_hits": stats["hot_hits"],
         "fast_parses": stats["fast_parses"],
@@ -269,7 +298,7 @@ def test_fig11_hotpath_ablation(run_once):
     onoff = {True: "on", False: "off"}
     header = (
         f"{'hot':<4} {'fast':<5} {'req/s':>9} {'requests':>9} "
-        f"{'allocs/req':>11} {'errors':>6}"
+        f"{'allocs/req':>11} {_LATENCY_HEADER} {'errors':>6}"
     )
     lines = [
         "BENCH fig11-hotpath: cached Zipf workload, SPED, "
@@ -280,7 +309,8 @@ def test_fig11_hotpath_ablation(run_once):
         lines.append(
             f"{onoff[row['hot']]:<4} {onoff[row['fast']]:<5} "
             f"{row['request_rate']:>9.0f} {row['requests']:>9.0f} "
-            f"{row['allocs_per_request']:>11.1f} {row['errors']:>6.0f}"
+            f"{row['allocs_per_request']:>11.1f} {_latency_cells(row)} "
+            f"{row['errors']:>6.0f}"
         )
     by_key = {(row["hot"], row["fast"]): row for row in rows}
     both_on = by_key[(True, True)]
@@ -296,6 +326,15 @@ def test_fig11_hotpath_ablation(run_once):
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, "fig11_hotpath.txt"), "w") as handle:
         handle.write(table + "\n")
+    _write_fig11_bench(
+        "fig11_hotpath",
+        rows,
+        x_of=lambda row: HOTPATH_GRID.index((row["hot"], row["fast"])),
+        detail_keys=(
+            "hot", "fast", "requests", "errors", "allocs_per_request",
+            "hot_hits", "fast_parses",
+        ),
+    )
 
     for row in rows:
         assert row["errors"] == 0, row
@@ -332,12 +371,12 @@ def _measure_range_mix(docroot, paths, fraction):
     try:
         port = server.address[1]
         extra = (
-            ["--range-fraction", str(fraction), "--range-bytes", RANGE_SPEC]
+            {"range_fraction": fraction, "range_spec": RANGE_SPEC}
             if fraction > 0
-            else []
+            else {}
         )
-        _hotpath_clients(port, HOTPATH_WARMUP, paths, extra)
-        clients = _hotpath_clients(port, HOTPATH_DURATION, paths, extra)
+        _hotpath_clients(port, HOTPATH_WARMUP, paths, **extra)
+        clients = _hotpath_clients(port, HOTPATH_DURATION, paths, **extra)
         stats = server.stats.snapshot()
     finally:
         server.stop()
@@ -346,6 +385,8 @@ def _measure_range_mix(docroot, paths, fraction):
         "request_rate": clients["request_rate"],
         "requests": clients["requests"],
         "errors": clients["errors"],
+        "bandwidth_mbps": clients["bandwidth_mbps"],
+        "latency": clients["latency"],
         "range_responses": stats["range_responses"],
         "range_unsatisfiable": stats["range_unsatisfiable"],
         "hot_hits": stats["hot_hits"],
@@ -381,14 +422,14 @@ def test_fig11_range_ablation(run_once):
         "BENCH fig11-range: cached Zipf workload, SPED, range mix ablation "
         f"(--range-fraction, Range: bytes={RANGE_SPEC})",
         f"{'mix':<5} {'req/s':>9} {'requests':>9} {'206s':>8} "
-        f"{'hot hits':>9} {'errors':>6}",
+        f"{'hot hits':>9} {_LATENCY_HEADER} {'errors':>6}",
     ]
     for row in rows:
         label = "off" if row["fraction"] == 0 else f"{row['fraction']:.2f}"
         lines.append(
             f"{label:<5} {row['request_rate']:>9.0f} {row['requests']:>9.0f} "
             f"{row['range_responses']:>8.0f} {row['hot_hits']:>9.0f} "
-            f"{row['errors']:>6.0f}"
+            f"{_latency_cells(row)} {row['errors']:>6.0f}"
         )
     off_row, on_row = rows[0], rows[-1]
     ratio = on_row["request_rate"] / max(off_row["request_rate"], 1e-9)
@@ -401,6 +442,15 @@ def test_fig11_range_ablation(run_once):
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, "fig11_range.txt"), "w") as handle:
         handle.write(table + "\n")
+    _write_fig11_bench(
+        "fig11_range",
+        rows,
+        x_of=lambda row: row["fraction"],
+        detail_keys=(
+            "fraction", "requests", "errors", "range_responses",
+            "range_unsatisfiable", "hot_hits", "server_requests",
+        ),
+    )
 
     for row in rows:
         assert row["errors"] == 0, row
@@ -431,9 +481,9 @@ def _measure_conditional_mix(docroot, paths, fraction):
     server.start()
     try:
         port = server.address[1]
-        extra = ["--conditional-fraction", str(fraction)] if fraction > 0 else []
-        _hotpath_clients(port, HOTPATH_WARMUP, paths, extra)
-        clients = _hotpath_clients(port, HOTPATH_DURATION, paths, extra)
+        extra = {"conditional_fraction": fraction} if fraction > 0 else {}
+        _hotpath_clients(port, HOTPATH_WARMUP, paths, **extra)
+        clients = _hotpath_clients(port, HOTPATH_DURATION, paths, **extra)
         stats = server.stats.snapshot()
     finally:
         server.stop()
@@ -442,6 +492,8 @@ def _measure_conditional_mix(docroot, paths, fraction):
         "request_rate": clients["request_rate"],
         "requests": clients["requests"],
         "errors": clients["errors"],
+        "bandwidth_mbps": clients["bandwidth_mbps"],
+        "latency": clients["latency"],
         "not_modified": stats["not_modified_responses"],
         "precondition_failed": stats["precondition_failed"],
         "hot_hits": stats["hot_hits"],
@@ -478,14 +530,14 @@ def test_fig11_conditional_ablation(run_once):
         "BENCH fig11-conditional: cached Zipf workload, SPED, conditional mix "
         "ablation (--conditional-fraction, If-None-Match revalidation)",
         f"{'mix':<5} {'req/s':>9} {'requests':>9} {'304s':>8} "
-        f"{'hot hits':>9} {'errors':>6}",
+        f"{'hot hits':>9} {_LATENCY_HEADER} {'errors':>6}",
     ]
     for row in rows:
         label = "off" if row["fraction"] == 0 else f"{row['fraction']:.2f}"
         lines.append(
             f"{label:<5} {row['request_rate']:>9.0f} {row['requests']:>9.0f} "
             f"{row['not_modified']:>8.0f} {row['hot_hits']:>9.0f} "
-            f"{row['errors']:>6.0f}"
+            f"{_latency_cells(row)} {row['errors']:>6.0f}"
         )
     off_row, on_row = rows[0], rows[-1]
     ratio = on_row["request_rate"] / max(off_row["request_rate"], 1e-9)
@@ -498,6 +550,15 @@ def test_fig11_conditional_ablation(run_once):
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, "fig11_conditional.txt"), "w") as handle:
         handle.write(table + "\n")
+    _write_fig11_bench(
+        "fig11_conditional",
+        rows,
+        x_of=lambda row: row["fraction"],
+        detail_keys=(
+            "fraction", "requests", "errors", "not_modified",
+            "precondition_failed", "hot_hits", "server_requests",
+        ),
+    )
 
     for row in rows:
         assert row["errors"] == 0, row
@@ -543,24 +604,28 @@ def _measure_slowclient(docroot, paths, slow_writers):
     try:
         port = server.address[1]
         extra = (
-            [
-                "--slow-writers", str(slow_writers),
-                "--dribble-bytes", "1",
-                "--dribble-interval", str(SLOWCLIENT_DRIBBLE_INTERVAL),
-            ]
+            {
+                "slow_writers": slow_writers,
+                "dribble_bytes": 1,
+                "dribble_interval": SLOWCLIENT_DRIBBLE_INTERVAL,
+            }
             if slow_writers > 0
-            else []
+            else {}
         )
-        _hotpath_clients(port, HOTPATH_WARMUP, paths, extra)
-        clients = _hotpath_clients(port, HOTPATH_DURATION, paths, extra)
+        _hotpath_clients(port, HOTPATH_WARMUP, paths, **extra)
+        clients = _hotpath_clients(port, HOTPATH_DURATION, paths, **extra)
         stats = server.stats.snapshot()
     finally:
         server.stop()
     return {
-        "writers": slow_writers,
+        # slow_writers is per worker process; the table reports the total
+        # number of dribblers actually attached to the server.
+        "writers": slow_writers * HOTPATH_WORKERS,
         "request_rate": clients["request_rate"],
         "requests": clients["requests"],
         "errors": clients["errors"],
+        "bandwidth_mbps": clients["bandwidth_mbps"],
+        "latency": clients["latency"],
         "timeouts_header": stats["timeouts_header"],
         "timeouts_write_stall": stats["timeouts_write_stall"],
         "server_requests": stats["requests"],
@@ -595,13 +660,14 @@ def test_fig11_slowclient_ablation(run_once):
         "BENCH fig11-slowclient: cached Zipf workload, SPED, slowloris "
         f"writers attached (--slow-writers, {SLOWCLIENT_HEADER_TIMEOUT:.1f}s "
         "header budget)",
-        f"{'slow':<5} {'req/s':>9} {'requests':>9} {'408s':>8} {'errors':>6}",
+        f"{'slow':<5} {'req/s':>9} {'requests':>9} {'408s':>8} "
+        f"{_LATENCY_HEADER} {'errors':>6}",
     ]
     for row in rows:
         lines.append(
             f"{row['writers']:<5} {row['request_rate']:>9.0f} "
             f"{row['requests']:>9.0f} {row['timeouts_header']:>8.0f} "
-            f"{row['errors']:>6.0f}"
+            f"{_latency_cells(row)} {row['errors']:>6.0f}"
         )
     clean, attacked = rows[0], rows[-1]
     ratio = attacked["request_rate"] / max(clean["request_rate"], 1e-9)
@@ -615,6 +681,15 @@ def test_fig11_slowclient_ablation(run_once):
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, "fig11_slowclient.txt"), "w") as handle:
         handle.write(table + "\n")
+    _write_fig11_bench(
+        "fig11_slowclient",
+        rows,
+        x_of=lambda row: row["writers"],
+        detail_keys=(
+            "writers", "requests", "errors", "timeouts_header",
+            "timeouts_write_stall", "server_requests",
+        ),
+    )
 
     for row in rows:
         assert row["errors"] == 0, row

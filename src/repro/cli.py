@@ -14,19 +14,28 @@ Three subcommands cover the library's main uses:
             --clients 32 --duration 5
 
 ``experiment``
-    Regenerate one of the paper's figures as a text table::
+    Regenerate one of the paper's figures as a text table (optionally a
+    ``BENCH_<fig>.json`` payload)::
 
         python -m repro experiment fig9
-        python -m repro experiment fig11 --quick
+        python -m repro experiment fig11 --quick --json results/
+
+``validate-bench``
+    Check ``BENCH_*.json`` payloads against the result schema (the check
+    CI runs on every archived benchmark artifact)::
+
+        python -m repro validate-bench benchmarks/results/BENCH_*.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
 from repro._version import __version__
+from repro.client.coordinator import LoadCoordinator
 from repro.client.loadgen import LoadGenerator
 from repro.core.backends import available_backends
 from repro.core.config import ServerConfig
@@ -146,6 +155,27 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--dribble-interval", type=float, default=0.5,
                          help="seconds between a misbehaving client's "
                          "dribbles (default 0.5)")
+    loadgen.add_argument("--workers", type=int, default=1,
+                         help="load-generator worker processes; above 1 the "
+                         "run is coordinated across spawned processes and "
+                         "the printed numbers are the exact merge "
+                         "(default 1)")
+    loadgen.add_argument("--pin-cpus", action="store_true",
+                         help="pin each worker process to one allowed CPU "
+                         "(best effort, Linux sched_setaffinity)")
+    loadgen.add_argument("--arrival-rate", type=float, default=None,
+                         metavar="REQ_PER_S",
+                         help="open-loop mode: offer requests on a seeded "
+                         "Poisson schedule at this total rate instead of "
+                         "as fast as the server answers (closed loop)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="base seed for the open-loop schedule; worker "
+                         "seeds derive from (seed, worker index) so one "
+                         "seed reproduces the whole cluster (default 0)")
+    loadgen.add_argument("--json", metavar="FILE", default=None,
+                         help="also write the full machine-readable result "
+                         "(merged + per-worker counters, latency summary) "
+                         "as JSON ('-' for stdout)")
 
     experiment = subparsers.add_parser("experiment", help="regenerate a paper figure")
     experiment.add_argument(
@@ -154,6 +184,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="which figure to regenerate",
     )
     experiment.add_argument("--quick", action="store_true", help="coarser, faster settings")
+    experiment.add_argument("--json", metavar="DIR", default=None,
+                            help="also write the schema-valid BENCH_<fig>.json "
+                            "payload into this directory")
+
+    validate = subparsers.add_parser(
+        "validate-bench",
+        help="validate BENCH_*.json payloads against the result schema",
+    )
+    validate.add_argument("files", nargs="+", metavar="FILE",
+                          help="BENCH json files to check")
 
     return parser
 
@@ -233,36 +273,90 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
-    """Run the event-driven load generator and print its summary."""
+    """Run the load generator (single- or multi-process) and print its summary."""
     paths = args.path or ["/"]
-    generator = LoadGenerator(
-        (args.host, args.port),
-        paths,
-        num_clients=args.clients,
-        duration=args.duration,
-        keep_alive=not args.no_keep_alive,
-        think_time=args.think_time,
-        range_fraction=args.range_fraction,
-        range_spec=args.range_bytes,
-        conditional_fraction=args.conditional_fraction,
-        slow_writers=args.slow_writers,
-        slow_readers=args.slow_readers,
-        dribble_bytes=args.dribble_bytes,
-        dribble_interval=args.dribble_interval,
-    )
-    result = generator.run()
-    print(f"clients:            {args.clients}")
+    if args.workers > 1:
+        if args.think_time:
+            print("--think-time is a single-process knob; drop it or use "
+                  "--workers 1", file=sys.stderr)
+            return 2
+        coordinator = LoadCoordinator(
+            (args.host, args.port),
+            paths,
+            workers=args.workers,
+            num_clients=args.clients,
+            duration=args.duration,
+            keep_alive=not args.no_keep_alive,
+            range_fraction=args.range_fraction,
+            range_spec=args.range_bytes,
+            conditional_fraction=args.conditional_fraction,
+            slow_writers=args.slow_writers,
+            slow_readers=args.slow_readers,
+            dribble_bytes=args.dribble_bytes,
+            dribble_interval=args.dribble_interval,
+            arrival_rate=args.arrival_rate,
+            seed=args.seed,
+            pin_cpus=args.pin_cpus,
+        )
+        cluster = coordinator.run()
+        result = cluster.merged
+        payload = cluster.to_dict()
+    else:
+        generator = LoadGenerator(
+            (args.host, args.port),
+            paths,
+            num_clients=args.clients,
+            duration=args.duration,
+            keep_alive=not args.no_keep_alive,
+            think_time=args.think_time,
+            range_fraction=args.range_fraction,
+            range_spec=args.range_bytes,
+            conditional_fraction=args.conditional_fraction,
+            slow_writers=args.slow_writers,
+            slow_readers=args.slow_readers,
+            dribble_bytes=args.dribble_bytes,
+            dribble_interval=args.dribble_interval,
+            arrival_rate=args.arrival_rate,
+            seed=args.seed,
+        )
+        result = generator.run()
+        payload = result.to_dict()
+    if args.workers > 1:
+        print(f"workers:            {args.workers}"
+              f"{' (pinned)' if args.pin_cpus else ''}")
+    print(f"clients:            {args.clients * args.workers}")
     print(f"duration:           {result.elapsed:.2f} s")
     print(f"requests completed: {result.requests_completed}")
     print(f"connection rate:    {result.request_rate:,.1f} requests/s")
     print(f"output bandwidth:   {result.bandwidth_mbps:.2f} Mb/s")
     print(f"not modified:       {result.not_modified}")
     print(f"errors:             {result.errors}")
+    summary = result.latency.summary_ms()
+    if summary["count"]:
+        print(f"latency p50/p90/p99/p999: {summary['p50_ms']:.2f}/"
+              f"{summary['p90_ms']:.2f}/{summary['p99_ms']:.2f}/"
+              f"{summary['p999_ms']:.2f} ms")
+        print(f"latency mean/max:   {summary['mean_ms']:.2f}/"
+              f"{summary['max_ms']:.2f} ms")
+    if args.arrival_rate is not None:
+        print(f"offered rate:       {args.arrival_rate:,.1f} requests/s "
+              "(open loop)")
+        print(f"dispatched:         {result.dispatched}")
+        print(f"max lateness:       {result.lateness_max * 1e3:.2f} ms")
+        print(f"max backlog:        {result.max_backlog}")
     if args.slow_writers or args.slow_readers:
         print(f"slow clients:       {args.slow_writers} writers, "
-              f"{args.slow_readers} readers")
+              f"{args.slow_readers} readers"
+              f"{' per worker' if args.workers > 1 else ''}")
         print(f"reaped:             {result.reaped}")
         print(f"rejected with 408:  {result.rejected_408}")
+    if args.json:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
     return 0 if result.errors == 0 else 1
 
 
@@ -292,7 +386,31 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     experiment, metric = factories[args.figure]()
     result = experiment.run()
     print(result.to_table(metric=metric))
+    if args.json:
+        path = result.write_json(args.json)
+        print(f"wrote {path}")
     return 0
+
+
+def cmd_validate_bench(args: argparse.Namespace) -> int:
+    """Validate BENCH json files against the result schema."""
+    from repro.experiments.results import validate_bench_payload
+
+    failures = 0
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            validate_bench_payload(payload)
+        except (OSError, ValueError) as exc:
+            # json.JSONDecodeError is a ValueError, so malformed JSON and
+            # schema violations report uniformly.
+            print(f"{path}: FAIL: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        print(f"{path}: ok ({len(payload['rows'])} rows, "
+              f"schema v{payload['schema_version']})")
+    return 1 if failures else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -303,6 +421,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
         "experiment": cmd_experiment,
+        "validate-bench": cmd_validate_bench,
     }
     return handlers[args.command](args)
 

@@ -1,14 +1,36 @@
-"""HTTP clients: a simple blocking client and the event-driven load generator.
+"""HTTP clients: blocking fetcher, event-driven loadgen, cluster coordinator.
 
 The paper's measurements use "an event-driven program that simulates
 multiple HTTP clients; each simulated HTTP client makes HTTP requests as
 fast as the server can handle them" (Section 6).
-:class:`repro.client.loadgen.LoadGenerator` is that program;
+:class:`repro.client.loadgen.LoadGenerator` is that program — extended
+with an open-loop Poisson arrival mode and per-request latency histograms
+(:mod:`repro.client.latency`).  :class:`repro.client.coordinator.LoadCoordinator`
+scales it to N worker processes (optionally CPU-pinned) whose counters and
+latency reservoirs the parent merges exactly.
 :mod:`repro.client.simple` provides a small blocking client used by tests
 and examples to check individual responses.
 """
 
+from repro.client.coordinator import ClusterResult, LoadCoordinator, merge_results
+from repro.client.latency import (
+    LatencyHistogram,
+    derive_worker_seed,
+    poisson_offsets,
+)
 from repro.client.loadgen import ClientResult, LoadGenerator, LoadResult
 from repro.client.simple import HTTPResponse, fetch
 
-__all__ = ["LoadGenerator", "LoadResult", "ClientResult", "fetch", "HTTPResponse"]
+__all__ = [
+    "LoadGenerator",
+    "LoadResult",
+    "ClientResult",
+    "LoadCoordinator",
+    "ClusterResult",
+    "merge_results",
+    "LatencyHistogram",
+    "derive_worker_seed",
+    "poisson_offsets",
+    "fetch",
+    "HTTPResponse",
+]

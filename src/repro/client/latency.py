@@ -1,0 +1,310 @@
+"""Latency statistics for the load-generation layer.
+
+The measurement problem this module solves: a cluster-scale load run is N
+worker processes, each observing its own stream of per-request latencies,
+and the parent must report percentiles (p50/p90/p99/p999), mean/max and a
+CDF over the *union* of those streams.  Keeping raw samples would make the
+merge exact but allocation-heavy (millions of floats per worker crossing a
+pipe); sampling reservoirs merge cheaply but make tail percentiles (p999)
+noisy — the one number the open-loop benchmarks exist to pin down.
+
+:class:`LatencyHistogram` takes the third route, the one HdrHistogram-style
+recorders use: a **fixed-bucket log-scale histogram**.  Bucket boundaries
+are a pure function of three class constants, so every worker builds the
+identical bucket layout and the parent's merge is a lossless element-wise
+add — merging shards then reading a percentile gives *exactly* the same
+answer as recording every sample into one histogram.  Sums are kept in
+integer nanoseconds so the mean, too, is independent of merge order.
+
+Quantile error is bounded by the bucket width: with
+:data:`~LatencyHistogram.BUCKETS_PER_DECADE` = 60 a reported percentile is
+within ``10**(1/60) - 1`` (≈ 3.9 %) above the true sample value, and never
+above the observed maximum.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Iterable, Iterator, Optional
+
+__all__ = [
+    "LatencyHistogram",
+    "derive_worker_seed",
+    "poisson_offsets",
+    "exponential_arrivals",
+]
+
+
+def derive_worker_seed(base_seed: int, worker_index: int) -> int:
+    """A per-worker RNG seed derived deterministically from the run seed.
+
+    Every worker must draw an *independent* arrival schedule, yet the whole
+    run must be reproducible from one ``--seed`` regardless of worker
+    count.  Deriving through SHA-256 of ``(base_seed, worker_index)``
+    guarantees both: the mapping is stable across runs, Python versions and
+    platforms (no reliance on ``hash()``, which is salted per process), and
+    adjacent worker indexes land in unrelated parts of the seed space
+    instead of the correlated streams ``base_seed + worker_index`` would
+    give some PRNGs.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{worker_index}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def exponential_arrivals(rate: float, seed: int) -> Iterator[float]:
+    """Infinite stream of absolute arrival offsets for a Poisson process.
+
+    Yields monotonically increasing offsets (seconds from the start of the
+    run) whose inter-arrival gaps are exponentially distributed with the
+    given ``rate`` (requests/second).  Fully determined by ``seed``: the
+    schedule is decided before the run, which is the defining property of
+    *open-loop* load — the server's slowness cannot throttle the offered
+    load, it can only grow the backlog.
+    """
+    if rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    rng = random.Random(seed)
+    offset = 0.0
+    while True:
+        offset += rng.expovariate(rate)
+        yield offset
+
+
+def poisson_offsets(rate: float, seed: int, count: int) -> list[float]:
+    """The first ``count`` arrival offsets of :func:`exponential_arrivals`.
+
+    Convenience for tests and tooling that inspect the schedule a worker
+    would follow for a given ``(rate, seed)``.
+    """
+    stream = exponential_arrivals(rate, seed)
+    return [next(stream) for _ in range(count)]
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-scale latency recorder with lossless merging.
+
+    Buckets span :data:`MIN_LATENCY` .. :data:`MIN_LATENCY` ·
+    10^:data:`DECADES` (1 µs .. 100 s) with :data:`BUCKETS_PER_DECADE`
+    geometrically spaced buckets per decade, plus one underflow and one
+    overflow bucket.  All instances share the layout, so :meth:`merge` is
+    element-wise and exact.
+    """
+
+    #: Lower edge of the first regular bucket (seconds).
+    MIN_LATENCY = 1e-6
+    #: Geometric resolution: relative bucket width is ``10**(1/60)-1`` ≈ 3.9 %.
+    BUCKETS_PER_DECADE = 60
+    #: Decades covered above :data:`MIN_LATENCY` (1 µs → 100 s).
+    DECADES = 8
+
+    _REGULAR = BUCKETS_PER_DECADE * DECADES
+    #: Total bucket count: underflow + regular + overflow.
+    NUM_BUCKETS = _REGULAR + 2
+
+    __slots__ = ("counts", "count", "sum_ns", "min_ns", "max_ns")
+
+    def __init__(self) -> None:
+        self.counts = [0] * self.NUM_BUCKETS
+        self.count = 0
+        #: Totals in integer nanoseconds: integer addition is associative,
+        #: so the merged mean is bit-identical to the unsharded mean.
+        self.sum_ns = 0
+        self.min_ns: Optional[int] = None
+        self.max_ns: Optional[int] = None
+
+    # -- recording -----------------------------------------------------------
+
+    def _bucket_index(self, seconds: float) -> int:
+        if seconds < self.MIN_LATENCY:
+            return 0
+        index = 1 + int(math.log10(seconds / self.MIN_LATENCY) * self.BUCKETS_PER_DECADE)
+        if index > self._REGULAR:
+            return self.NUM_BUCKETS - 1
+        return index
+
+    def record(self, seconds: float) -> None:
+        """Add one latency observation (seconds)."""
+        if seconds < 0.0:
+            seconds = 0.0
+        nanos = int(seconds * 1e9)
+        self.counts[self._bucket_index(seconds)] += 1
+        self.count += 1
+        self.sum_ns += nanos
+        if self.min_ns is None or nanos < self.min_ns:
+            self.min_ns = nanos
+        if self.max_ns is None or nanos > self.max_ns:
+            self.max_ns = nanos
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram into this one, losslessly.
+
+        Bucket layouts are a class invariant, so the merge is a plain
+        element-wise add; reading any percentile afterwards yields exactly
+        what recording both sample streams into one histogram would have.
+        """
+        if other.NUM_BUCKETS != self.NUM_BUCKETS:  # pragma: no cover - class invariant
+            raise ValueError("histogram bucket layouts differ")
+        for index, value in enumerate(other.counts):
+            if value:
+                self.counts[index] += value
+        self.count += other.count
+        self.sum_ns += other.sum_ns
+        if other.min_ns is not None and (self.min_ns is None or other.min_ns < self.min_ns):
+            self.min_ns = other.min_ns
+        if other.max_ns is not None and (self.max_ns is None or other.max_ns > self.max_ns):
+            self.max_ns = other.max_ns
+
+    @classmethod
+    def merged(cls, shards: Iterable["LatencyHistogram"]) -> "LatencyHistogram":
+        """A new histogram holding the union of ``shards``."""
+        whole = cls()
+        for shard in shards:
+            whole.merge(shard)
+        return whole
+
+    # -- reading -------------------------------------------------------------
+
+    def _bucket_upper_edge(self, index: int) -> float:
+        """Upper edge of bucket ``index`` in seconds."""
+        if index <= 0:
+            return self.MIN_LATENCY
+        if index >= self.NUM_BUCKETS - 1:
+            # Overflow: the exact observed maximum is the only honest bound.
+            return (self.max_ns or 0) / 1e9
+        return self.MIN_LATENCY * 10 ** (index / self.BUCKETS_PER_DECADE)
+
+    def percentile(self, fraction: float) -> float:
+        """The latency (seconds) at or below which ``fraction`` of samples fall.
+
+        Returns the containing bucket's upper edge, clamped to the exact
+        observed maximum — so the reported value is never below the true
+        quantile and never above the slowest sample.  Empty histogram → 0.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(fraction * self.count))
+        cumulative = 0
+        for index, value in enumerate(self.counts):
+            cumulative += value
+            if cumulative >= rank:
+                return min(self._bucket_upper_edge(index), (self.max_ns or 0) / 1e9)
+        return (self.max_ns or 0) / 1e9  # pragma: no cover - rank <= count
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds (0 when empty); exact under merging."""
+        if self.count == 0:
+            return 0.0
+        return self.sum_ns / self.count / 1e9
+
+    @property
+    def max(self) -> float:
+        """Largest observation in seconds (0 when empty)."""
+        return (self.max_ns or 0) / 1e9
+
+    @property
+    def min(self) -> float:
+        """Smallest observation in seconds (0 when empty)."""
+        return (self.min_ns or 0) / 1e9
+
+    def summary_ms(self) -> dict:
+        """The percentile summary the BENCH json schema embeds, in ms.
+
+        Key set is fixed (``LATENCY_KEYS`` in
+        :mod:`repro.experiments.results` validates against it).
+        """
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean * 1e3, 6),
+            "min_ms": round(self.min * 1e3, 6),
+            "max_ms": round(self.max * 1e3, 6),
+            "p50_ms": round(self.percentile(0.50) * 1e3, 6),
+            "p90_ms": round(self.percentile(0.90) * 1e3, 6),
+            "p99_ms": round(self.percentile(0.99) * 1e3, 6),
+            "p999_ms": round(self.percentile(0.999) * 1e3, 6),
+        }
+
+    def cdf_ms(self) -> list[list[float]]:
+        """The cumulative distribution as ``[upper_edge_ms, fraction]`` pairs.
+
+        One point per occupied bucket, fractions nondecreasing and ending
+        at 1.0 — the format the paper's WAN-figure CDFs use and the BENCH
+        json schema validates.  Empty histogram → empty list.
+        """
+        points: list[list[float]] = []
+        cumulative = 0
+        for index, value in enumerate(self.counts):
+            if not value:
+                continue
+            cumulative += value
+            points.append(
+                [
+                    round(min(self._bucket_upper_edge(index), self.max) * 1e3, 6),
+                    round(cumulative / self.count, 9),
+                ]
+            )
+        if points:
+            points[-1][1] = 1.0
+        return points
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Picklable/JSON-able snapshot; sparse, exact, merge-preserving."""
+        return {
+            "scheme": "log10",
+            "min_latency_s": self.MIN_LATENCY,
+            "buckets_per_decade": self.BUCKETS_PER_DECADE,
+            "decades": self.DECADES,
+            "count": self.count,
+            "sum_ns": self.sum_ns,
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+            "buckets": [[i, v] for i, v in enumerate(self.counts) if v],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LatencyHistogram":
+        """Rebuild a histogram snapshotted by :meth:`to_dict`.
+
+        Refuses snapshots recorded with a different bucket layout — a
+        silent re-bucketing would break the exact-merge guarantee.
+        """
+        if (
+            payload.get("scheme") != "log10"
+            or payload.get("min_latency_s") != cls.MIN_LATENCY
+            or payload.get("buckets_per_decade") != cls.BUCKETS_PER_DECADE
+            or payload.get("decades") != cls.DECADES
+        ):
+            raise ValueError("incompatible histogram layout")
+        histogram = cls()
+        histogram.count = int(payload["count"])
+        histogram.sum_ns = int(payload["sum_ns"])
+        histogram.min_ns = None if payload["min_ns"] is None else int(payload["min_ns"])
+        histogram.max_ns = None if payload["max_ns"] is None else int(payload["max_ns"])
+        for index, value in payload["buckets"]:
+            histogram.counts[int(index)] = int(value)
+        return histogram
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return (
+            self.counts == other.counts
+            and self.count == other.count
+            and self.sum_ns == other.sum_ns
+            and self.min_ns == other.min_ns
+            and self.max_ns == other.max_ns
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatencyHistogram(count={self.count}, mean={self.mean * 1e3:.3f}ms, "
+            f"p99={self.percentile(0.99) * 1e3:.3f}ms)"
+        )

@@ -23,8 +23,11 @@ from __future__ import annotations
 import selectors
 import socket
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
+
+from repro.client.latency import LatencyHistogram, exponential_arrivals
 
 _READ = selectors.EVENT_READ
 _WRITE = selectors.EVENT_WRITE
@@ -39,6 +42,12 @@ class ClientResult:
     errors: int = 0
     connects: int = 0
     not_modified: int = 0
+    #: Status-class counters: 2xx successes, and the 206 subset of them.
+    #: Kept separately so a multi-process run's merged counters can be
+    #: cross-checked exactly against the per-worker sums and the server's
+    #: own response-class counters.
+    responses_2xx: int = 0
+    responses_206: int = 0
     #: Misbehaving-client counters (zero for well-behaved clients): times
     #: the server closed the connection on a deadline, and 408 responses
     #: received by a slowloris writer before the close.
@@ -60,10 +69,25 @@ class LoadResult:
     errors: int = 0
     connects: int = 0
     not_modified: int = 0
+    responses_2xx: int = 0
+    responses_206: int = 0
     reaped: int = 0
     rejected_408: int = 0
     elapsed: float = 0.0
     per_client: list = field(default_factory=list)
+    #: Per-request latency distribution (seconds recorded; read in ms).
+    #: Closed loop measures send-start → response-complete; open loop
+    #: measures *scheduled arrival* → response-complete, so queueing delay
+    #: under overload lands in the tail percentiles instead of vanishing.
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: Open-loop accounting: requests dispatched from the arrival
+    #: schedule, the total/worst dispatch lateness (seconds a request
+    #: waited past its scheduled arrival before a client picked it up),
+    #: and the deepest backlog observed.  All zero in closed-loop runs.
+    dispatched: int = 0
+    lateness_sum: float = 0.0
+    lateness_max: float = 0.0
+    max_backlog: int = 0
 
     @property
     def bandwidth_mbps(self) -> float:
@@ -86,20 +110,40 @@ class LoadResult:
             "bytes_received": self.bytes_received,
             "errors": self.errors,
             "not_modified": self.not_modified,
+            "responses_2xx": self.responses_2xx,
+            "responses_206": self.responses_206,
             "reaped": self.reaped,
             "rejected_408": self.rejected_408,
             "elapsed": self.elapsed,
             "bandwidth_mbps": self.bandwidth_mbps,
             "request_rate": self.request_rate,
+            "dispatched": self.dispatched,
+            "lateness_sum": self.lateness_sum,
+            "lateness_max": self.lateness_max,
+            "max_backlog": self.max_backlog,
+            "latency": self.latency.summary_ms(),
         }
 
 
 class _SimClient:
-    """State machine for one simulated HTTP client."""
+    """State machine for one simulated HTTP client.
+
+    Two operating modes, decided by the generator:
+
+    *closed loop* (the paper's client): the client re-issues a request the
+    moment the previous response completes, so offered load adapts to the
+    server's speed.
+
+    *open loop*: the client is one slot in a connection pool.  It sits
+    :data:`IDLE` until the generator dispatches a scheduled arrival to it,
+    serves exactly that one request, and goes idle again — the arrival
+    schedule, not the server, decides when requests happen.
+    """
 
     CONNECTING = "connecting"
     SENDING = "sending"
     RECEIVING = "receiving"
+    IDLE = "idle"
     DONE = "done"
 
     def __init__(self, generator: "LoadGenerator", client_id: int):
@@ -116,12 +160,31 @@ class _SimClient:
         self._registered_events = 0
         self._path = ""
         self._status = 0
+        #: Open-loop: the arrival time this in-flight request was scheduled
+        #: for; closed-loop: ``None`` (latency is measured from send start).
+        self._scheduled: Optional[float] = None
+        self._sent_at = 0.0
 
     # -- connection management -------------------------------------------------
 
     def start(self) -> None:
-        """Open a connection and issue the first request."""
+        """Open a connection and issue the first request (closed loop)."""
         self._connect()
+
+    def dispatch(self, scheduled: float) -> None:
+        """Issue one request for the arrival scheduled at ``scheduled``.
+
+        Open-loop entry point: reuses the parked keep-alive connection when
+        one survives, otherwise connects fresh.
+        """
+        self._scheduled = scheduled
+        if self.sock is None:
+            self._connect()
+            return
+        self._prepare_request()
+        self.state = self.SENDING
+        self._register(_WRITE)
+        self._do_send()
 
     def _connect(self) -> None:
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -155,17 +218,36 @@ class _SimClient:
         self._header_parsed = False
         self._body_start = 0
         self._status = 0
+        self._sent_at = time.monotonic()
 
     # -- readiness handling ------------------------------------------------------
 
     def on_ready(self, mask: int) -> None:
         try:
+            if mask & _READ and self.state == self.IDLE:
+                self._drain_idle()
+                return
             if mask & _WRITE and self.state in (self.CONNECTING, self.SENDING):
                 self._do_send()
             if mask & _READ and self.state == self.RECEIVING:
                 self._do_recv()
         except (ConnectionError, OSError):
             self._fail()
+
+    def _drain_idle(self) -> None:
+        """Readability while parked: the server closed (or broke) the
+        parked keep-alive connection — e.g. its idle deadline fired.  Drop
+        the socket quietly; the next dispatch reconnects.  Not an error:
+        no request was in flight."""
+        assert self.sock is not None
+        try:
+            data = self.sock.recv(4096)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            data = b""
+        if not data:
+            self._close()
 
     def _do_send(self) -> None:
         assert self.sock is not None
@@ -235,14 +317,30 @@ class _SimClient:
         return len(self._recv_buffer) - self._body_start >= self._expected_length
 
     def _complete_response(self, reconnect: bool) -> None:
+        now = time.monotonic()
         self.result.requests_completed += 1
         self.generator.total_requests += 1
-        if self._status == 304:
+        if 200 <= self._status < 300:
+            self.result.responses_2xx += 1
+            if self._status == 206:
+                self.result.responses_206 += 1
+        elif self._status == 304:
             self.result.not_modified += 1
             self.generator.total_not_modified += 1
+        # Open loop: latency includes time spent queued past the scheduled
+        # arrival, so overload surfaces as queueing delay.  Closed loop:
+        # time from send start (connect included for fresh connections).
+        start = self._scheduled if self._scheduled is not None else self._sent_at
+        self.generator.latency.record(now - start)
+        self._scheduled = None
         if self.generator.finished():
             self._close()
             self.state = self.DONE
+            return
+        if self.generator.open_loop:
+            if reconnect:
+                self._close()
+            self.generator.client_idle(self)
             return
         if self.generator.think_time > 0:
             self._close()
@@ -263,10 +361,16 @@ class _SimClient:
         self.result.errors += 1
         self.generator.total_errors += 1
         self._close()
-        if not self.generator.finished():
-            self._connect()
-        else:
+        self._scheduled = None
+        if self.generator.finished():
             self.state = self.DONE
+        elif self.generator.open_loop:
+            # The scheduled arrival this request represented is consumed
+            # (counted as an error, not retried): retrying would inflate
+            # the offered load beyond the schedule.
+            self.generator.client_idle(self)
+        else:
+            self._connect()
 
     def _close(self) -> None:
         if self.sock is not None:
@@ -554,6 +658,22 @@ class LoadGenerator:
     dribble_bytes / dribble_interval:
         The misbehaving clients' byte rate: ``dribble_bytes`` moved every
         ``dribble_interval`` seconds.
+    arrival_rate:
+        Switches the generator to **open-loop** mode: requests are issued
+        on a deterministic seeded Poisson schedule at this many
+        requests/second, independent of how fast the server answers.
+        ``num_clients`` becomes the connection-pool bound (the maximum
+        concurrency); arrivals that find no idle connection queue in a
+        backlog, and the time they wait there is reported as dispatch
+        lateness and counted into response latency — so an overloaded
+        server shows up as growing queueing delay rather than silently
+        throttled offered load (the failure mode closed-loop clients
+        hide).  ``None`` (default) keeps the paper's closed-loop behaviour.
+    seed:
+        Seed for the open-loop arrival schedule.  The same ``(seed,
+        arrival_rate)`` pair reproduces the identical schedule run-to-run;
+        multi-worker runs derive per-worker seeds via
+        :func:`repro.client.latency.derive_worker_seed`.
     """
 
     def __init__(
@@ -573,6 +693,8 @@ class LoadGenerator:
         slow_readers: int = 0,
         dribble_bytes: int = 1,
         dribble_interval: float = 0.5,
+        arrival_rate: Optional[float] = None,
+        seed: int = 0,
     ):
         if duration is None and max_requests is None:
             raise ValueError("specify duration, max_requests or both")
@@ -580,6 +702,10 @@ class LoadGenerator:
             raise ValueError("range_fraction must be between 0 and 1")
         if not 0.0 <= conditional_fraction <= 1.0:
             raise ValueError("conditional_fraction must be between 0 and 1")
+        if arrival_rate is not None and arrival_rate <= 0.0:
+            raise ValueError("arrival_rate must be positive (or None for closed loop)")
+        if arrival_rate is not None and think_time > 0.0:
+            raise ValueError("think_time is a closed-loop knob; open loop paces by schedule")
         self.address = address
         self.num_clients = num_clients
         self.keep_alive = keep_alive
@@ -593,6 +719,9 @@ class LoadGenerator:
         self.slow_readers = slow_readers
         self.dribble_bytes = max(1, dribble_bytes)
         self.dribble_interval = max(0.001, dribble_interval)
+        self.arrival_rate = arrival_rate
+        self.seed = seed
+        self.open_loop = arrival_rate is not None
         self._range_debt = 0.0
         self._conditional_debt = 0.0
         self._etags: dict[str, str] = {}
@@ -603,6 +732,18 @@ class LoadGenerator:
         self.total_bytes = 0
         self.total_errors = 0
         self.total_not_modified = 0
+        self.latency = LatencyHistogram()
+        self.dispatched = 0
+        self.lateness_sum = 0.0
+        self.lateness_max = 0.0
+        self.max_backlog = 0
+        self._backlog: deque[float] = deque()
+        self._idle: list[_SimClient] = []
+        self._arrivals = (
+            exponential_arrivals(arrival_rate, seed) if self.open_loop else None
+        )
+        self._next_arrival: Optional[float] = None
+        self._start_time = 0.0
         self._deadline: Optional[float] = None
         self._restarts: list[tuple[float, _SimClient]] = []
         self._calls: list[tuple[float, Callable[[], None]]] = []
@@ -740,9 +881,59 @@ class LoadGenerator:
         """
         self._calls.append((time.monotonic() + delay, callback))
 
+    # -- open-loop dispatching ---------------------------------------------------
+
+    def client_idle(self, client: _SimClient) -> None:
+        """An open-loop client finished (or failed) its request.
+
+        Hand it the oldest backlogged arrival immediately, or park it in
+        the idle pool.  Parked clients with a live keep-alive connection
+        stay registered for readability so a server-side close is noticed
+        while they wait.
+        """
+        if self._backlog and not self.finished():
+            self._dispatch(client, self._backlog.popleft())
+            return
+        client.state = _SimClient.IDLE
+        self._idle.append(client)
+        if client.sock is not None:
+            client._register(_READ)
+
+    def _dispatch(self, client: _SimClient, scheduled: float) -> None:
+        now = time.monotonic()
+        lateness = max(0.0, now - scheduled)
+        self.dispatched += 1
+        self.lateness_sum += lateness
+        if lateness > self.lateness_max:
+            self.lateness_max = lateness
+        client.dispatch(scheduled)
+
+    def _pump_open_loop(self) -> None:
+        """Move due arrivals into the backlog and the backlog onto idle clients."""
+        now = time.monotonic()
+        assert self._arrivals is not None
+        if self._next_arrival is None:
+            self._next_arrival = self._start_time + next(self._arrivals)
+        while self._next_arrival <= now:
+            self._backlog.append(self._next_arrival)
+            self._next_arrival = self._start_time + next(self._arrivals)
+        if len(self._backlog) > self.max_backlog:
+            self.max_backlog = len(self._backlog)
+        while self._backlog and self._idle and not self.finished():
+            client = self._idle.pop()
+            client._unregister()
+            self._dispatch(client, self._backlog.popleft())
+
+    def _poll_timeout(self) -> float:
+        timeout = 0.05
+        if self.open_loop and self._next_arrival is not None and not self._backlog:
+            timeout = min(timeout, max(0.0, self._next_arrival - time.monotonic()))
+        return timeout
+
     def run(self) -> LoadResult:
         """Run the load and return aggregate results."""
         start = time.monotonic()
+        self._start_time = start
         if self.duration is not None:
             self._deadline = start + self.duration
         clients = [_SimClient(self, i) for i in range(self.num_clients)]
@@ -752,15 +943,26 @@ class LoadGenerator:
             _SlowClient(self, i, _SlowClient.READER) for i in range(self.slow_readers)
         ]
         everyone = clients + slow
-        for client in everyone:
-            client.start()
+        if self.open_loop:
+            # Clients start parked; the arrival schedule decides when each
+            # first connects.
+            for client in clients:
+                client.state = _SimClient.IDLE
+                self._idle.append(client)
+            for client in slow:
+                client.start()
+        else:
+            for client in everyone:
+                client.start()
 
         while not self.finished():
             self._fire_timers()
+            if self.open_loop:
+                self._pump_open_loop()
             active = any(client.state != _SimClient.DONE for client in everyone)
             if not active and not self._restarts and not self._calls:
                 break
-            events = self.selector.select(timeout=0.05)
+            events = self.selector.select(timeout=self._poll_timeout())
             for key, mask in events:
                 key.data.on_ready(mask)
 
@@ -769,13 +971,23 @@ class LoadGenerator:
         self.selector.close()
         elapsed = time.monotonic() - start
 
-        result = LoadResult(elapsed=elapsed, per_client=[c.result for c in everyone])
+        result = LoadResult(
+            elapsed=elapsed,
+            per_client=[c.result for c in everyone],
+            latency=self.latency,
+            dispatched=self.dispatched,
+            lateness_sum=self.lateness_sum,
+            lateness_max=self.lateness_max,
+            max_backlog=self.max_backlog,
+        )
         for client in everyone:
             result.requests_completed += client.result.requests_completed
             result.bytes_received += client.result.bytes_received
             result.errors += client.result.errors
             result.connects += client.result.connects
             result.not_modified += client.result.not_modified
+            result.responses_2xx += client.result.responses_2xx
+            result.responses_206 += client.result.responses_206
             result.reaped += client.result.reaped
             result.rejected_408 += client.result.rejected_408
         return result

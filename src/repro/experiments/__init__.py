@@ -22,7 +22,13 @@ E8          —       functional (real-socket) comparison    :class:`FunctionalC
 ==========  ============================================  ==========================
 """
 
-from repro.experiments.results import ExperimentResult, ResultRow
+from repro.experiments.results import (
+    SCHEMA_VERSION,
+    ExperimentResult,
+    ResultRow,
+    bench_json_name,
+    validate_bench_payload,
+)
 from repro.experiments.single_file import SingleFileExperiment
 from repro.experiments.trace_replay import TraceReplayExperiment
 from repro.experiments.dataset_sweep import DatasetSweepExperiment
@@ -33,6 +39,9 @@ from repro.experiments.functional import FunctionalComparisonExperiment
 __all__ = [
     "ExperimentResult",
     "ResultRow",
+    "SCHEMA_VERSION",
+    "bench_json_name",
+    "validate_bench_payload",
     "SingleFileExperiment",
     "TraceReplayExperiment",
     "DatasetSweepExperiment",

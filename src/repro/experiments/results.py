@@ -1,16 +1,163 @@
-"""Result containers shared by every experiment driver.
+"""Result containers and the BENCH json schema shared by every emitter.
 
 An experiment produces a list of :class:`ResultRow` (one per server per
 x-axis point), wrapped in an :class:`ExperimentResult` that can render a
 text table (what the benchmark harness prints, mirroring the figures' data)
 and answer simple queries ("series for server X", "value at x", "ratio
 between two servers") that the qualitative shape assertions are built from.
+
+The same container is the unit of machine-readable output: every
+experiment and benchmark emits a versioned ``BENCH_<name>.json`` payload
+(:meth:`ExperimentResult.to_payload` / :meth:`~ExperimentResult.write_json`)
+next to its ``.txt`` table, so the perf trajectory across PRs accumulates
+in a form CI can validate and archive.  :func:`validate_bench_payload` is
+the schema: key sets are **exact** — a missing or extra key is an error,
+not a warning — because silent schema drift is how a perf trajectory rots.
 """
 
 from __future__ import annotations
 
+import json
+import numbers
+import os
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
+
+__all__ = [
+    "ResultRow",
+    "ExperimentResult",
+    "validate_bench_payload",
+    "bench_json_name",
+    "SCHEMA_VERSION",
+    "TOP_KEYS",
+    "ROW_KEYS",
+    "OPTIONAL_ROW_KEYS",
+    "LATENCY_KEYS",
+]
+
+#: Version of the BENCH json layout.  Bump when a key is added, removed or
+#: changes meaning; consumers compare it exactly.
+SCHEMA_VERSION = 1
+
+#: Exact key set of the top-level payload object.
+TOP_KEYS = frozenset({"schema_version", "name", "x_label", "rows"})
+
+#: Exact key set of every row object (before the optional latency keys).
+ROW_KEYS = frozenset(
+    {"experiment", "server", "x", "bandwidth_mbps", "request_rate", "details"}
+)
+
+#: Keys a row may carry in addition to :data:`ROW_KEYS`.  ``latency_ms`` is
+#: :meth:`repro.client.latency.LatencyHistogram.summary_ms`; ``latency_cdf``
+#: is :meth:`~repro.client.latency.LatencyHistogram.cdf_ms`.
+OPTIONAL_ROW_KEYS = frozenset({"latency_ms", "latency_cdf"})
+
+#: Exact key set of a ``latency_ms`` summary object.
+LATENCY_KEYS = frozenset(
+    {"count", "mean_ms", "min_ms", "max_ms", "p50_ms", "p90_ms", "p99_ms", "p999_ms"}
+)
+
+
+def bench_json_name(name: str) -> str:
+    """The canonical file name for a result's BENCH json (``BENCH_<name>.json``)."""
+    return f"BENCH_{name}.json"
+
+
+def _is_scalar(value: object) -> bool:
+    return value is None or isinstance(value, (str, bool, numbers.Real))
+
+
+def _fail(message: str) -> None:
+    raise ValueError(f"BENCH payload invalid: {message}")
+
+
+def _check_keys(obj: dict, required: frozenset, optional: frozenset, where: str) -> None:
+    keys = set(obj)
+    missing = required - keys
+    if missing:
+        _fail(f"{where} missing keys {sorted(missing)}")
+    extra = keys - required - optional
+    if extra:
+        _fail(f"{where} has extra keys {sorted(extra)}")
+
+
+def validate_bench_payload(payload: object) -> dict:
+    """Validate a BENCH json payload against the schema; return it.
+
+    Strict on both sides: missing keys and extra keys are errors, as are
+    non-scalar ``details`` values, a wrong ``schema_version``, malformed
+    ``latency_ms`` summaries, and non-monotone ``latency_cdf`` point lists.
+    Raises :class:`ValueError` with a message naming the offending field.
+    """
+    if not isinstance(payload, dict):
+        _fail(f"top level must be an object, got {type(payload).__name__}")
+    _check_keys(payload, TOP_KEYS, frozenset(), "top level")
+    if payload["schema_version"] != SCHEMA_VERSION:
+        _fail(
+            f"schema_version is {payload['schema_version']!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    if not isinstance(payload["name"], str) or not payload["name"]:
+        _fail("name must be a non-empty string")
+    if not isinstance(payload["x_label"], str):
+        _fail("x_label must be a string")
+    rows = payload["rows"]
+    if not isinstance(rows, list):
+        _fail("rows must be a list")
+    for position, row in enumerate(rows):
+        where = f"rows[{position}]"
+        if not isinstance(row, dict):
+            _fail(f"{where} must be an object")
+        _check_keys(row, ROW_KEYS, OPTIONAL_ROW_KEYS, where)
+        for key in ("experiment", "server"):
+            if not isinstance(row[key], str) or not row[key]:
+                _fail(f"{where}.{key} must be a non-empty string")
+        for key in ("x", "bandwidth_mbps", "request_rate"):
+            if isinstance(row[key], bool) or not isinstance(row[key], numbers.Real):
+                _fail(f"{where}.{key} must be a number")
+        details = row["details"]
+        if not isinstance(details, dict):
+            _fail(f"{where}.details must be an object")
+        for key, value in details.items():
+            if not isinstance(key, str):
+                _fail(f"{where}.details keys must be strings")
+            if not _is_scalar(value):
+                _fail(
+                    f"{where}.details[{key!r}] must be a scalar, "
+                    f"got {type(value).__name__}"
+                )
+        if "latency_ms" in row:
+            latency = row["latency_ms"]
+            if not isinstance(latency, dict):
+                _fail(f"{where}.latency_ms must be an object")
+            _check_keys(latency, LATENCY_KEYS, frozenset(), f"{where}.latency_ms")
+            for key, value in latency.items():
+                if isinstance(value, bool) or not isinstance(value, numbers.Real):
+                    _fail(f"{where}.latency_ms.{key} must be a number")
+        if "latency_cdf" in row:
+            cdf = row["latency_cdf"]
+            if not isinstance(cdf, list):
+                _fail(f"{where}.latency_cdf must be a list")
+            previous = 0.0
+            for point_index, point in enumerate(cdf):
+                if (
+                    not isinstance(point, list)
+                    or len(point) != 2
+                    or any(
+                        isinstance(v, bool) or not isinstance(v, numbers.Real)
+                        for v in point
+                    )
+                ):
+                    _fail(
+                        f"{where}.latency_cdf[{point_index}] must be a "
+                        "[latency_ms, fraction] number pair"
+                    )
+                if not previous <= point[1] <= 1.0:
+                    _fail(f"{where}.latency_cdf fractions must be nondecreasing in [0, 1]")
+                previous = point[1]
+            if cdf and cdf[-1][1] != 1.0:
+                _fail(f"{where}.latency_cdf must end at fraction 1.0")
+    return payload
 
 
 @dataclass(frozen=True)
@@ -27,8 +174,29 @@ class ResultRow:
     bandwidth_mbps: float
     #: Secondary metric: completed requests per second.
     request_rate: float
-    #: Free-form extra measurements (hit rates, utilizations, ...).
+    #: Free-form extra measurements (hit rates, utilizations, ...); values
+    #: must be scalars so the row serializes under the BENCH schema.
     details: dict = field(default_factory=dict)
+    #: Optional latency summary (``LatencyHistogram.summary_ms()`` shape).
+    latency_ms: Optional[dict] = None
+    #: Optional latency CDF (``LatencyHistogram.cdf_ms()`` shape).
+    latency_cdf: Optional[list] = None
+
+    def to_payload_row(self) -> dict:
+        """This row as a BENCH-schema row object."""
+        row: dict = {
+            "experiment": self.experiment,
+            "server": self.server,
+            "x": self.x,
+            "bandwidth_mbps": self.bandwidth_mbps,
+            "request_rate": self.request_rate,
+            "details": dict(self.details),
+        }
+        if self.latency_ms is not None:
+            row["latency_ms"] = dict(self.latency_ms)
+        if self.latency_cdf is not None:
+            row["latency_cdf"] = [list(point) for point in self.latency_cdf]
+        return row
 
 
 class ExperimentResult:
@@ -145,3 +313,48 @@ class ExperimentResult:
             }
             for row in self.rows
         ]
+
+    # -- BENCH json ------------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """This result as a schema-valid BENCH json payload.
+
+        Validates before returning, so an emitter cannot produce a payload
+        the CI schema check would reject.
+        """
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "x_label": self.x_label,
+            "rows": [row.to_payload_row() for row in self.rows],
+        }
+        return validate_bench_payload(payload)
+
+    def write_json(self, directory: str) -> str:
+        """Write ``BENCH_<name>.json`` into ``directory``; return the path."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, bench_json_name(self.name))
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ExperimentResult":
+        """Rebuild an :class:`ExperimentResult` from a validated payload."""
+        validate_bench_payload(payload)
+        result = cls(payload["name"], payload["x_label"])
+        for row in payload["rows"]:
+            result.add(
+                ResultRow(
+                    experiment=row["experiment"],
+                    server=row["server"],
+                    x=row["x"],
+                    bandwidth_mbps=row["bandwidth_mbps"],
+                    request_rate=row["request_rate"],
+                    details=dict(row["details"]),
+                    latency_ms=row.get("latency_ms"),
+                    latency_cdf=row.get("latency_cdf"),
+                )
+            )
+        return result

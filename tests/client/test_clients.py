@@ -51,6 +51,14 @@ class TestLoadResult:
     def test_to_dict_keys(self):
         keys = set(LoadResult().to_dict())
         assert {"requests_completed", "bandwidth_mbps", "request_rate", "errors"} <= keys
+        assert {"responses_2xx", "responses_206", "dispatched", "latency"} <= keys
+
+    def test_to_dict_latency_summary(self):
+        result = LoadResult()
+        result.latency.record(0.002)
+        summary = result.to_dict()["latency"]
+        assert summary["count"] == 1
+        assert summary["p99_ms"] == pytest.approx(2.0)
 
 
 class TestLoadGeneratorConfig:
@@ -133,6 +141,31 @@ class TestEndToEndLoad:
         result = generator.run()
         assert len(result.per_client) == 3
         assert sum(c.requests_completed for c in result.per_client) == result.requests_completed
+
+    def test_status_class_counters(self, server):
+        generator = LoadGenerator(
+            server.address, "/page.html", num_clients=2, max_requests=20
+        )
+        result = generator.run()
+        # Plain GETs on an existing file: every completion is a 2xx.
+        assert result.responses_2xx == result.requests_completed
+        assert result.responses_206 == 0
+        assert sum(c.responses_2xx for c in result.per_client) == result.responses_2xx
+        # Every completed request contributed one latency sample.
+        assert result.latency.count == result.requests_completed
+        assert result.latency.percentile(0.5) > 0.0
+
+    def test_206_counted_as_2xx_and_206(self, server):
+        generator = LoadGenerator(
+            server.address, "/page.html",
+            num_clients=2, max_requests=20, duration=10.0,
+            range_fraction=0.5, range_spec="0-99",
+        )
+        result = generator.run()
+        assert result.errors == 0
+        assert result.responses_206 > 0
+        assert result.responses_2xx == result.requests_completed
+        assert result.responses_206 < result.responses_2xx
 
 
 class TestRangeFraction:

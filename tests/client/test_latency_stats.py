@@ -1,0 +1,196 @@
+"""Unit tests for the latency histogram and percentile math.
+
+The BENCH json payloads report p50/p90/p99/p999 straight out of
+:class:`repro.client.latency.LatencyHistogram`; these tests pin the math
+against known quantile references and the merge-exactness guarantee the
+multi-process coordinator depends on.
+"""
+
+import math
+
+import pytest
+
+from repro.client.latency import LatencyHistogram
+
+#: One bucket's relative width: a reported percentile may sit at most this
+#: factor above the true sample quantile (and never above the maximum).
+BUCKET_FACTOR = 10 ** (1 / LatencyHistogram.BUCKETS_PER_DECADE)
+
+
+def _reference_quantile(samples, fraction):
+    """The sample quantile the histogram approximates: the value at rank
+    ``ceil(fraction * n)`` of the sorted samples."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestKnownQuantiles:
+    def test_uniform_grid_percentiles_within_bucket_error(self):
+        # 1 ms .. 1000 ms in 1 ms steps: every quantile is known exactly.
+        samples = [i / 1000 for i in range(1, 1001)]
+        histogram = LatencyHistogram()
+        for sample in samples:
+            histogram.record(sample)
+        for fraction in (0.50, 0.90, 0.99, 0.999):
+            true = _reference_quantile(samples, fraction)
+            reported = histogram.percentile(fraction)
+            assert true <= reported <= true * BUCKET_FACTOR, (
+                f"p{fraction}: {reported} not within one bucket above {true}"
+            )
+
+    def test_two_cluster_distribution(self):
+        # 90% fast (1 ms), 10% slow (100 ms): the tail quantiles must land
+        # on the slow cluster, the median on the fast one.
+        histogram = LatencyHistogram()
+        for _ in range(900):
+            histogram.record(0.001)
+        for _ in range(100):
+            histogram.record(0.100)
+        assert histogram.percentile(0.50) <= 0.001 * BUCKET_FACTOR
+        assert histogram.percentile(0.90) <= 0.001 * BUCKET_FACTOR
+        assert 0.100 <= histogram.percentile(0.91) <= 0.100 * BUCKET_FACTOR
+        assert histogram.percentile(0.999) == pytest.approx(0.100)
+
+    def test_mean_is_exact(self):
+        histogram = LatencyHistogram()
+        for sample in (0.001, 0.002, 0.003):
+            histogram.record(sample)
+        assert histogram.mean == pytest.approx(0.002)
+
+    def test_min_max_are_exact(self):
+        histogram = LatencyHistogram()
+        for sample in (0.0042, 0.019, 0.00077):
+            histogram.record(sample)
+        assert histogram.min == pytest.approx(0.00077)
+        assert histogram.max == pytest.approx(0.019)
+
+    def test_single_sample_every_percentile_is_that_sample(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.0123)
+        for fraction in (0.01, 0.50, 0.99, 0.999, 1.0):
+            # Clamping to the observed max makes the answer exact.
+            assert histogram.percentile(fraction) == pytest.approx(0.0123)
+
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.percentile(0.99) == 0.0
+        assert histogram.mean == 0.0
+        assert histogram.max == 0.0
+        assert histogram.cdf_ms() == []
+        summary = histogram.summary_ms()
+        assert summary["count"] == 0
+        assert summary["p999_ms"] == 0.0
+
+    def test_percentile_fraction_validated(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError):
+            histogram.percentile(0.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.1)
+
+    def test_negative_and_subresolution_samples(self):
+        histogram = LatencyHistogram()
+        histogram.record(-1.0)  # clock skew clamps to zero, never throws
+        histogram.record(1e-9)  # below MIN_LATENCY lands in underflow
+        assert histogram.count == 2
+        assert histogram.percentile(0.5) <= LatencyHistogram.MIN_LATENCY
+
+    def test_overflow_sample_reports_observed_max(self):
+        histogram = LatencyHistogram()
+        histogram.record(250.0)  # beyond the 100 s top edge
+        assert histogram.percentile(0.99) == pytest.approx(250.0)
+
+
+class TestMergeExactness:
+    def _shards(self):
+        shards = [LatencyHistogram() for _ in range(4)]
+        whole = LatencyHistogram()
+        sample = 0.0001
+        for index in range(1000):
+            shard = shards[index % 4]
+            shard.record(sample)
+            whole.record(sample)
+            sample *= 1.007  # sweep several decades
+        return shards, whole
+
+    def test_merge_of_shards_equals_whole(self):
+        shards, whole = self._shards()
+        merged = LatencyHistogram.merged(shards)
+        # Not approximately: the fixed layout makes the merge an identity.
+        assert merged == whole
+        assert merged.summary_ms() == whole.summary_ms()
+        assert merged.cdf_ms() == whole.cdf_ms()
+
+    def test_merge_order_does_not_matter(self):
+        shards, _ = self._shards()
+        forward = LatencyHistogram.merged(shards)
+        backward = LatencyHistogram.merged(reversed(shards))
+        assert forward == backward
+        assert forward.mean == backward.mean
+
+    def test_merge_with_empty_shard_is_identity(self):
+        shards, whole = self._shards()
+        merged = LatencyHistogram.merged([*shards, LatencyHistogram()])
+        assert merged == whole
+
+    def test_counts_add(self):
+        shards, _ = self._shards()
+        merged = LatencyHistogram.merged(shards)
+        assert merged.count == sum(shard.count for shard in shards)
+        assert merged.sum_ns == sum(shard.sum_ns for shard in shards)
+
+
+class TestCdf:
+    def test_cdf_monotone_and_complete(self):
+        histogram = LatencyHistogram()
+        for sample in (0.001, 0.002, 0.002, 0.05, 1.5):
+            histogram.record(sample)
+        cdf = histogram.cdf_ms()
+        assert cdf[-1][1] == 1.0
+        fractions = [fraction for _, fraction in cdf]
+        assert fractions == sorted(fractions)
+        edges = [edge for edge, _ in cdf]
+        assert edges == sorted(edges)
+        # One point per occupied bucket: 0.002 repeats share a bucket.
+        assert len(cdf) == 4
+
+    def test_cdf_last_edge_is_observed_max(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.010)
+        histogram.record(0.500)
+        cdf = histogram.cdf_ms()
+        assert cdf[-1][0] == pytest.approx(500.0)
+
+
+class TestSerialization:
+    def test_roundtrip_is_exact(self):
+        histogram = LatencyHistogram()
+        for index in range(100):
+            histogram.record(0.0005 * (index + 1))
+        clone = LatencyHistogram.from_dict(histogram.to_dict())
+        assert clone == histogram
+        assert clone.summary_ms() == histogram.summary_ms()
+
+    def test_empty_roundtrip(self):
+        clone = LatencyHistogram.from_dict(LatencyHistogram().to_dict())
+        assert clone == LatencyHistogram()
+
+    def test_incompatible_layout_rejected(self):
+        payload = LatencyHistogram().to_dict()
+        payload["buckets_per_decade"] = 30
+        with pytest.raises(ValueError, match="incompatible histogram layout"):
+            LatencyHistogram.from_dict(payload)
+
+    def test_wrong_scheme_rejected(self):
+        payload = LatencyHistogram().to_dict()
+        payload["scheme"] = "linear"
+        with pytest.raises(ValueError, match="incompatible histogram layout"):
+            LatencyHistogram.from_dict(payload)
+
+    def test_snapshot_is_sparse(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.001)
+        payload = histogram.to_dict()
+        assert len(payload["buckets"]) == 1

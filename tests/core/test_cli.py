@@ -69,6 +69,32 @@ class TestParser:
         assert args.write_stall_timeout == 2.5
         assert args.cache_max_age == 600
 
+    def test_loadgen_cluster_knobs(self):
+        args = build_parser().parse_args(["loadgen", "--port", "8080"])
+        assert args.workers == 1
+        assert not args.pin_cpus
+        assert args.arrival_rate is None
+        assert args.seed == 0
+        assert args.json is None
+        args = build_parser().parse_args(
+            ["loadgen", "--port", "8080", "--workers", "4", "--pin-cpus",
+             "--arrival-rate", "500", "--seed", "42", "--json", "-"]
+        )
+        assert args.workers == 4
+        assert args.pin_cpus
+        assert args.arrival_rate == 500.0
+        assert args.seed == 42
+        assert args.json == "-"
+
+    def test_experiment_json_flag(self):
+        args = build_parser().parse_args(["experiment", "fig9", "--json", "out"])
+        assert args.json == "out"
+
+    def test_validate_bench_arguments(self):
+        args = build_parser().parse_args(["validate-bench", "a.json", "b.json"])
+        assert args.command == "validate-bench"
+        assert args.files == ["a.json", "b.json"]
+
     def test_loadgen_slow_client_knobs(self):
         args = build_parser().parse_args(["loadgen", "--port", "8080"])
         assert args.slow_writers == 0 and args.slow_readers == 0
@@ -130,6 +156,91 @@ class TestLoadgenCommand:
             ["loadgen", "--port", "1", "--clients", "1", "--duration", "0.2"]
         )
         assert cmd_loadgen(args) == 1
+
+    def test_open_loop_loadgen_prints_latency_and_schedule(self, tmp_path, capsys):
+        (tmp_path / "index.html").write_bytes(b"<html>cli</html>")
+        server = FlashServer(ServerConfig(document_root=str(tmp_path), port=0))
+        server.start()
+        try:
+            host, port = server.address
+            json_path = tmp_path / "run.json"
+            code = main(
+                [
+                    "loadgen",
+                    "--host", host,
+                    "--port", str(port),
+                    "--path", "/index.html",
+                    "--clients", "2",
+                    "--duration", "0.5",
+                    "--arrival-rate", "120",
+                    "--seed", "7",
+                    "--json", str(json_path),
+                ]
+            )
+        finally:
+            server.stop()
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "latency p50/p90/p99/p999:" in output
+        assert "offered rate:       120.0 requests/s (open loop)" in output
+        assert "dispatched:" in output
+        assert "max backlog:" in output
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["dispatched"] > 0
+        assert payload["latency"]["count"] == payload["requests_completed"]
+
+    def test_workers_reject_think_time(self, capsys):
+        args = build_parser().parse_args(
+            ["loadgen", "--port", "1", "--workers", "2", "--think-time", "0.5",
+             "--duration", "0.2"]
+        )
+        assert cmd_loadgen(args) == 2
+        assert "single-process" in capsys.readouterr().err
+
+
+class TestValidateBenchCommand:
+    def _write(self, tmp_path, name, payload):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_valid_payload_accepted(self, tmp_path, capsys):
+        from repro.experiments.results import ExperimentResult, ResultRow
+
+        result = ExperimentResult("cli_check", "x")
+        result.add(ResultRow("cli_check", "sped", 1.0, 2.0, 3.0, {}))
+        path = result.write_json(str(tmp_path))
+        assert main(["validate-bench", path]) == 0
+        assert "ok (1 rows, schema v1)" in capsys.readouterr().out
+
+    def test_invalid_payload_rejected(self, tmp_path, capsys):
+        path = self._write(tmp_path, "BENCH_bad.json", {"schema_version": 1})
+        assert main(["validate-bench", path]) == 1
+        assert "missing keys" in capsys.readouterr().err
+
+    def test_malformed_json_rejected(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_broken.json"
+        path.write_text("{not json")
+        assert main(["validate-bench", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_missing_file_rejected(self, tmp_path, capsys):
+        assert main(["validate-bench", str(tmp_path / "absent.json")]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_one_bad_file_fails_the_batch(self, tmp_path, capsys):
+        from repro.experiments.results import ExperimentResult
+
+        good = ExperimentResult("ok", "x").write_json(str(tmp_path))
+        bad = self._write(tmp_path, "BENCH_nope.json", {"rows": []})
+        assert main(["validate-bench", good, bad]) == 1
+        captured = capsys.readouterr()
+        assert "ok (0 rows" in captured.out
+        assert "FAIL" in captured.err
 
 
 class TestExperimentCommand:

@@ -1,0 +1,177 @@
+"""Strict validation grid for the BENCH json schema.
+
+CI runs this validator over every archived ``BENCH_*.json``; these tests
+pin its strictness on both sides — missing keys and extra keys both fail,
+at every nesting level the schema defines.
+"""
+
+import copy
+
+import pytest
+
+from repro.experiments.results import (
+    LATENCY_KEYS,
+    ROW_KEYS,
+    SCHEMA_VERSION,
+    TOP_KEYS,
+    bench_json_name,
+    validate_bench_payload,
+)
+
+
+def good_payload():
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": "fig11_hotpath",
+        "x_label": "cell",
+        "rows": [
+            {
+                "experiment": "fig11_hotpath",
+                "server": "sped",
+                "x": 0.0,
+                "bandwidth_mbps": 12.5,
+                "request_rate": 950.0,
+                "details": {"hot": True, "fast": True, "errors": 0, "note": None},
+                "latency_ms": {
+                    "count": 100,
+                    "mean_ms": 1.2,
+                    "min_ms": 0.3,
+                    "max_ms": 9.0,
+                    "p50_ms": 1.0,
+                    "p90_ms": 2.0,
+                    "p99_ms": 5.0,
+                    "p999_ms": 9.0,
+                },
+                "latency_cdf": [[1.0, 0.5], [9.0, 1.0]],
+            }
+        ],
+    }
+
+
+class TestAccepts:
+    def test_full_payload(self):
+        payload = good_payload()
+        assert validate_bench_payload(payload) is payload
+
+    def test_latency_keys_optional(self):
+        payload = good_payload()
+        del payload["rows"][0]["latency_ms"]
+        del payload["rows"][0]["latency_cdf"]
+        validate_bench_payload(payload)
+
+    def test_empty_rows(self):
+        payload = good_payload()
+        payload["rows"] = []
+        validate_bench_payload(payload)
+
+    def test_empty_cdf(self):
+        payload = good_payload()
+        payload["rows"][0]["latency_cdf"] = []
+        validate_bench_payload(payload)
+
+    def test_bench_json_name(self):
+        assert bench_json_name("fig11_hotpath") == "BENCH_fig11_hotpath.json"
+
+
+class TestRejects:
+    def _expect_invalid(self, payload, match):
+        with pytest.raises(ValueError, match=match):
+            validate_bench_payload(payload)
+
+    def test_non_object_top_level(self):
+        self._expect_invalid([], "object")
+
+    @pytest.mark.parametrize("key", sorted(TOP_KEYS))
+    def test_missing_top_key(self, key):
+        payload = good_payload()
+        del payload[key]
+        self._expect_invalid(payload, "missing keys")
+
+    def test_extra_top_key(self):
+        payload = good_payload()
+        payload["timestamp"] = "2026-08-08"
+        self._expect_invalid(payload, "extra keys")
+
+    def test_wrong_schema_version(self):
+        payload = good_payload()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        self._expect_invalid(payload, "schema_version")
+
+    def test_empty_name(self):
+        payload = good_payload()
+        payload["name"] = ""
+        self._expect_invalid(payload, "name")
+
+    @pytest.mark.parametrize("key", sorted(ROW_KEYS))
+    def test_missing_row_key(self, key):
+        payload = good_payload()
+        del payload["rows"][0][key]
+        self._expect_invalid(payload, "missing keys")
+
+    def test_extra_row_key(self):
+        payload = good_payload()
+        payload["rows"][0]["surprise"] = 1
+        self._expect_invalid(payload, "extra keys")
+
+    def test_non_numeric_metric(self):
+        payload = good_payload()
+        payload["rows"][0]["bandwidth_mbps"] = "fast"
+        self._expect_invalid(payload, "bandwidth_mbps")
+
+    def test_boolean_metric_rejected(self):
+        # bool is an int subclass; the schema still refuses it as a metric.
+        payload = good_payload()
+        payload["rows"][0]["x"] = True
+        self._expect_invalid(payload, r"rows\[0\].x")
+
+    def test_nested_details_rejected(self):
+        payload = good_payload()
+        payload["rows"][0]["details"]["nested"] = {"a": 1}
+        self._expect_invalid(payload, "scalar")
+
+    def test_list_in_details_rejected(self):
+        payload = good_payload()
+        payload["rows"][0]["details"]["series"] = [1, 2]
+        self._expect_invalid(payload, "scalar")
+
+    @pytest.mark.parametrize("key", sorted(LATENCY_KEYS))
+    def test_missing_latency_key(self, key):
+        payload = good_payload()
+        del payload["rows"][0]["latency_ms"][key]
+        self._expect_invalid(payload, "missing keys")
+
+    def test_extra_latency_key(self):
+        payload = good_payload()
+        payload["rows"][0]["latency_ms"]["p75_ms"] = 1.5
+        self._expect_invalid(payload, "extra keys")
+
+    def test_non_numeric_latency_value(self):
+        payload = good_payload()
+        payload["rows"][0]["latency_ms"]["p99_ms"] = "slow"
+        self._expect_invalid(payload, "latency_ms")
+
+    def test_cdf_non_pair_rejected(self):
+        payload = good_payload()
+        payload["rows"][0]["latency_cdf"] = [[1.0]]
+        self._expect_invalid(payload, "latency_cdf")
+
+    def test_cdf_decreasing_fractions_rejected(self):
+        payload = good_payload()
+        payload["rows"][0]["latency_cdf"] = [[1.0, 0.9], [2.0, 0.5]]
+        self._expect_invalid(payload, "nondecreasing")
+
+    def test_cdf_fraction_above_one_rejected(self):
+        payload = good_payload()
+        payload["rows"][0]["latency_cdf"] = [[1.0, 1.5]]
+        self._expect_invalid(payload, "nondecreasing")
+
+    def test_cdf_not_ending_at_one_rejected(self):
+        payload = good_payload()
+        payload["rows"][0]["latency_cdf"] = [[1.0, 0.5]]
+        self._expect_invalid(payload, "end at fraction 1.0")
+
+    def test_validation_does_not_mutate(self):
+        payload = good_payload()
+        snapshot = copy.deepcopy(payload)
+        validate_bench_payload(payload)
+        assert payload == snapshot

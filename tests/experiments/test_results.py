@@ -92,3 +92,59 @@ class TestRendering:
         res = ExperimentResult("x", "x")
         res.add(row("a", 1, 1.0))
         assert len(res.rows) == 1
+
+
+class TestBenchPayload:
+    def test_to_payload_shape(self, result):
+        payload = result.to_payload()
+        assert payload["schema_version"] == 1
+        assert payload["name"] == "test"
+        assert payload["x_label"] == "size"
+        assert len(payload["rows"]) == 6
+        assert payload["rows"][0]["server"] == "flash"
+        assert "latency_ms" not in payload["rows"][0]
+
+    def test_payload_roundtrip(self, result):
+        rebuilt = ExperimentResult.from_payload(result.to_payload())
+        assert rebuilt.name == result.name
+        assert rebuilt.x_label == result.x_label
+        assert rebuilt.rows == result.rows
+
+    def test_roundtrip_with_latency(self):
+        latency = {
+            "count": 5, "mean_ms": 1.0, "min_ms": 0.5, "max_ms": 2.0,
+            "p50_ms": 1.0, "p90_ms": 1.5, "p99_ms": 2.0, "p999_ms": 2.0,
+        }
+        res = ExperimentResult("lat", "x")
+        res.add(
+            ResultRow(
+                "lat", "sped", 1.0, 2.0, 3.0, {"k": 1},
+                latency_ms=latency, latency_cdf=[[1.0, 0.8], [2.0, 1.0]],
+            )
+        )
+        rebuilt = ExperimentResult.from_payload(res.to_payload())
+        assert rebuilt.rows[0].latency_ms == latency
+        assert rebuilt.rows[0].latency_cdf == [[1.0, 0.8], [2.0, 1.0]]
+
+    def test_write_json_emits_canonical_name(self, result, tmp_path):
+        import json
+
+        path = result.write_json(str(tmp_path))
+        assert path.endswith("BENCH_test.json")
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload == result.to_payload()
+
+    def test_write_json_creates_missing_directory(self, result, tmp_path):
+        # The CLI's `experiment --json DIR` may name a directory that does
+        # not exist yet; write_json must create it instead of failing.
+        path = result.write_json(str(tmp_path / "fresh" / "nested"))
+        import os
+
+        assert os.path.exists(path)
+
+    def test_non_scalar_details_rejected_at_emit(self):
+        res = ExperimentResult("bad", "x")
+        res.add(ResultRow("bad", "s", 1.0, 1.0, 1.0, {"nested": {"a": 1}}))
+        with pytest.raises(ValueError, match="details"):
+            res.to_payload()
