@@ -1,0 +1,333 @@
+"""Chaos under load — the fleet's availability story (BENCH fig11-chaos).
+
+The paper's architectural claim is that Flash stays responsive where other
+designs collapse; PR 8's overload-and-failure layer extends that claim past
+the point of failure.  This benchmark is the chaos e2e: a supervised
+``SO_REUSEPORT`` shard fleet serves a cached workload from multi-process
+load generators while the harness
+
+* SIGKILLs two shards mid-run (the supervisor must restart each),
+* injects one accept-time fd-exhaustion event per generation-0 shard
+  (the reserve-descriptor guard must shed cleanly and resume), and
+* attaches connection flooders that drive every shard into its admission
+  limit (the 503 shedding path must engage).
+
+Well-behaved clients run in chaos mode (``retry_resets``): a 503 or a
+mid-exchange reset is retried, so a request only *fails* if it never
+completes.  Availability is ``completed / (completed + errors)`` and must
+stay at or above ``FIG11_CHAOS_AVAILABILITY_FLOOR`` (default 0.99); the
+acceptance run records zero hard errors.  Afterwards one drain request must
+stop the whole fleet to exit 0 within the drain budget.
+
+Every knob is env-overridable so the CI smoke job can shrink the run while
+local/PR runs use the full window.
+"""
+
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR
+
+from repro.client.coordinator import LoadCoordinator
+from repro.core.config import ServerConfig
+from repro.core.supervisor import ShardSupervisor
+from repro.experiments.results import ExperimentResult, ResultRow
+from repro.testing.faults import faults
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"),
+    reason="SO_REUSEPORT not available",
+)
+
+#: Fleet size (the acceptance run uses 4 shards).
+CHAOS_SHARDS = int(os.environ.get("FIG11_CHAOS_SHARDS", "4"))
+#: Shards SIGKILLed during the chaos window.
+CHAOS_KILLS = int(os.environ.get("FIG11_CHAOS_KILLS", "2"))
+#: Load window lengths (seconds).
+CHAOS_DURATION = float(os.environ.get("FIG11_CHAOS_DURATION", "6.0"))
+BASELINE_DURATION = float(os.environ.get("FIG11_CHAOS_BASELINE", "2.0"))
+#: Client-side worker processes and per-process client counts.
+CHAOS_WORKERS = int(os.environ.get("FIG11_WORKERS", "2"))
+CHAOS_CLIENTS_PER_PROCESS = 3
+CHAOS_FLOOD_PER_PROCESS = 3
+#: Per-shard admission limit — low enough that the flooders push every
+#: shard over its watermark.
+CHAOS_MAX_CONNECTIONS = int(os.environ.get("FIG11_CHAOS_MAX_CONNECTIONS", "2"))
+#: Availability gate: completed / (completed + hard errors).
+AVAILABILITY_FLOOR = float(
+    os.environ.get("FIG11_CHAOS_AVAILABILITY_FLOOR", "0.99")
+)
+
+CHAOS_SEED = 31
+PAYLOAD = b"fleet-chaos-" * 64  # 768 bytes: bookkeeping-dominated regime
+
+
+def _make_docroot(tmp_path):
+    (tmp_path / "doc.html").write_bytes(PAYLOAD)
+    return str(tmp_path)
+
+
+def _fleet_config(docroot):
+    return ServerConfig(
+        document_root=docroot,
+        port=0,
+        num_workers=2,
+        num_helpers=1,
+        max_connections=CHAOS_MAX_CONNECTIONS,
+        # Short header budget so held flood connections are reaped quickly
+        # and admission slots keep cycling.
+        header_timeout=0.75,
+        drain_timeout=3.0,
+    )
+
+
+def _wait_ready(address, timeout=10.0):
+    from repro.client.simple import fetch
+
+    deadline = time.monotonic() + timeout
+    last = None
+    while time.monotonic() < deadline:
+        try:
+            if fetch(*address, "/doc.html").status == 200:
+                return
+        except OSError as exc:
+            last = exc
+        time.sleep(0.05)
+    raise AssertionError(f"fleet did not become ready: {last!r}")
+
+
+def _run_load(port, duration, *, flood=0):
+    """Drive the fleet from ``CHAOS_WORKERS`` client processes in chaos
+    mode: 503s and mid-exchange resets are retried, never counted as
+    completions, and only a never-completed request is a hard error."""
+    coordinator = LoadCoordinator(
+        ("127.0.0.1", port),
+        ["/doc.html"],
+        workers=CHAOS_WORKERS,
+        num_clients=CHAOS_CLIENTS_PER_PROCESS,
+        duration=duration,
+        keep_alive=False,
+        flood_connections=flood,
+        retry_backoff=0.02,
+        retry_resets=True,
+        dribble_interval=0.1,
+        seed=CHAOS_SEED,
+    )
+    return coordinator.run().merged
+
+
+def _availability(merged):
+    total = merged.requests_completed + merged.errors
+    return merged.requests_completed / total if total else 0.0
+
+
+def _wait_for(predicate, timeout, message):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(message)
+
+
+def _drain_fleet(supervisor, config):
+    """One drain request must stop the whole fleet to exit 0 within the
+    drain budget (plus scheduling slack for 1-CPU hosts)."""
+    started = time.monotonic()
+    supervisor.request_drain()
+    assert supervisor.wait(timeout=config.drain_timeout + 10.0), (
+        "fleet did not drain in time"
+    )
+    return time.monotonic() - started
+
+
+def _measure_baseline(docroot):
+    config = _fleet_config(docroot)
+    supervisor = ShardSupervisor(config, "sped", shards=CHAOS_SHARDS)
+    supervisor.start()
+    try:
+        _wait_ready(supervisor.address)
+        merged = _run_load(supervisor.address[1], BASELINE_DURATION)
+        drain_seconds = _drain_fleet(supervisor, config)
+        stats = supervisor.stats.snapshot()
+    finally:
+        supervisor.stop()
+    return {
+        "phase": "baseline",
+        "merged": merged,
+        "kills": 0,
+        "restarts": supervisor.restarts,
+        "shard_deaths": supervisor.shard_deaths,
+        "exit_code": supervisor.exit_code,
+        "drain_seconds": drain_seconds,
+        "stats": stats,
+    }
+
+
+def _measure_chaos(docroot):
+    config = _fleet_config(docroot)
+    # Every generation-0 shard inherits one armed accept-time EMFILE on
+    # fork; replacements fork after the reset below, so they start clean.
+    faults.arm("accept_emfile", count=1)
+    try:
+        supervisor = ShardSupervisor(
+            config,
+            "sped",
+            shards=CHAOS_SHARDS,
+            backoff_base=0.2,
+            stable_seconds=0.5,
+        )
+        supervisor.start()
+    finally:
+        faults.reset()
+    try:
+        _wait_ready(supervisor.address)
+        box = {}
+
+        def drive():
+            box["merged"] = _run_load(
+                supervisor.address[1],
+                CHAOS_DURATION,
+                flood=CHAOS_FLOOD_PER_PROCESS,
+            )
+
+        loader = threading.Thread(target=drive)
+        loader.start()
+        try:
+            # Let the load establish, then kill shards one at a time,
+            # waiting for the supervisor to replace each before the next.
+            time.sleep(1.0)
+            for kill in range(1, CHAOS_KILLS + 1):
+                victim = supervisor.shard_pids()[0]
+                os.kill(victim, signal.SIGKILL)
+                _wait_for(
+                    lambda k=kill: supervisor.restarts >= k
+                    and len(supervisor.shard_pids()) == CHAOS_SHARDS,
+                    timeout=15.0,
+                    message=f"shard kill #{kill} was not restarted",
+                )
+                time.sleep(0.5)
+        finally:
+            loader.join()
+        merged = box["merged"]
+        drain_seconds = _drain_fleet(supervisor, config)
+        stats = supervisor.stats.snapshot()
+    finally:
+        supervisor.stop()
+    return {
+        "phase": "chaos",
+        "merged": merged,
+        "kills": CHAOS_KILLS,
+        "restarts": supervisor.restarts,
+        "shard_deaths": supervisor.shard_deaths,
+        "exit_code": supervisor.exit_code,
+        "drain_seconds": drain_seconds,
+        "stats": stats,
+    }
+
+
+def test_fig11_chaos(run_once, tmp_path):
+    docroot = _make_docroot(tmp_path)
+
+    def run_phases():
+        return [_measure_baseline(docroot), _measure_chaos(docroot)]
+
+    rows = run_once(run_phases)
+
+    result = ExperimentResult("fig11_chaos", "phase")
+    lines = [
+        f"BENCH fig11-chaos: {CHAOS_SHARDS}-shard SPED fleet, "
+        f"{CHAOS_KILLS} SIGKILLs + per-shard fd exhaustion + connection "
+        "flood under sustained load",
+        f"{'phase':<9} {'req/s':>8} {'requests':>9} {'resets':>7} "
+        f"{'503s':>6} {'retries':>8} {'avail':>7} {'restarts':>8} "
+        f"{'drain s':>8} {'errors':>6}",
+    ]
+    for index, row in enumerate(rows):
+        merged = row["merged"]
+        availability = _availability(merged)
+        lines.append(
+            f"{row['phase']:<9} {merged.request_rate:>8.0f} "
+            f"{merged.requests_completed:>9d} "
+            f"{merged.connection_resets:>7d} {merged.rejected_503:>6d} "
+            f"{merged.retries:>8d} {availability:>7.4f} "
+            f"{row['restarts']:>8d} {row['drain_seconds']:>8.2f} "
+            f"{merged.errors:>6d}"
+        )
+        stats = row["stats"]
+        result.add(
+            ResultRow(
+                experiment="fig11_chaos",
+                server="sped-fleet",
+                x=float(index),
+                bandwidth_mbps=merged.bandwidth_mbps,
+                request_rate=merged.request_rate,
+                details={
+                    "phase": row["phase"],
+                    "shards": CHAOS_SHARDS,
+                    "kills": row["kills"],
+                    "restarts": row["restarts"],
+                    "shard_deaths": row["shard_deaths"],
+                    "requests_completed": merged.requests_completed,
+                    "errors": merged.errors,
+                    "availability": _availability(merged),
+                    "connection_resets": merged.connection_resets,
+                    "rejected_503": merged.rejected_503,
+                    "retries": merged.retries,
+                    "connections_shed": stats["connections_shed"],
+                    "fd_exhaustion_events": stats["fd_exhaustion_events"],
+                    "accept_pauses": stats["accept_pauses"],
+                    "drain_exit_code": row["exit_code"],
+                    "drain_seconds": row["drain_seconds"],
+                },
+                latency_ms=merged.latency.summary_ms(),
+                latency_cdf=merged.latency.cdf_ms(),
+            )
+        )
+    chaos = rows[-1]
+    merged = chaos["merged"]
+    availability = _availability(merged)
+    lines.append(
+        f"BENCH fig11-chaos: availability {availability:.4f} through "
+        f"{chaos['kills']} shard kills ({chaos['restarts']} restarts, "
+        f"{merged.connection_resets} resets retried, "
+        f"{merged.rejected_503} sheds); fleet drained to exit "
+        f"{chaos['exit_code']} in {chaos['drain_seconds']:.2f}s"
+    )
+    table = "\n".join(lines)
+    print("\n" + table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "fig11_chaos.txt"), "w") as handle:
+        handle.write(table + "\n")
+    result.write_json(RESULTS_DIR)
+
+    baseline = rows[0]
+    # Clean fleet: work completed, no hard errors, drain to exit 0.
+    assert baseline["merged"].requests_completed > 0
+    assert baseline["merged"].errors == 0
+    assert baseline["exit_code"] == 0
+
+    # Chaos: every kill was noticed and restarted, nothing else died.
+    assert chaos["shard_deaths"] == CHAOS_KILLS
+    assert chaos["restarts"] == CHAOS_KILLS
+    # The fd-exhaustion guard engaged on the surviving generation-0 shards
+    # and the fleet aggregate reports it (SIGKILLed shards lose theirs).
+    assert chaos["stats"]["fd_exhaustion_events"] >= 1
+    # The flooders pushed shards over the admission watermark: 503s were
+    # shed server-side and observed client-side.
+    assert chaos["stats"]["connections_shed"] >= 1
+    assert merged.rejected_503 >= 1
+    # Well-behaved clients: zero hard failures, availability at the gate.
+    assert merged.requests_completed > 0
+    assert merged.errors == 0, merged
+    assert availability >= AVAILABILITY_FLOOR, (
+        f"availability {availability:.4f} below {AVAILABILITY_FLOOR}"
+    )
+    # One drain request stopped the whole fleet to exit 0 in budget.
+    assert chaos["exit_code"] == 0
+    assert chaos["drain_seconds"] <= _fleet_config(docroot).drain_timeout + 10.0

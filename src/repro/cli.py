@@ -120,6 +120,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit Cache-Control: max-age=N (and Expires) on static "
         "200/206 responses (0 omits the headers; default 0)",
     )
+    serve.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="run N supervised server processes sharing the port via "
+        "SO_REUSEPORT; dead shards are restarted with exponential "
+        "backoff, and SIGTERM drains the whole fleet (default 1: a "
+        "single unsupervised server)",
+    )
+    serve.add_argument(
+        "--max-connections", type=int, default=0, metavar="N",
+        help="admission control: above N concurrently open connections, "
+        "new arrivals are answered 503 with Retry-After and closed "
+        "(0 disables; default 0)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="graceful-shutdown budget: on SIGTERM/SIGINT the server "
+        "stops accepting and waits this long for in-flight responses "
+        "before force-closing stragglers (default 5)",
+    )
+    serve.add_argument(
+        "--retry-after", type=int, default=1, metavar="SECONDS",
+        help="Retry-After value advertised on 503 shed responses "
+        "(default 1)",
+    )
 
     loadgen = subparsers.add_parser("loadgen", help="drive a server with simulated clients")
     loadgen.add_argument("--host", default="127.0.0.1")
@@ -149,6 +173,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="misbehaving clients that request a response "
                          "and then drain it at the dribble rate, stalling "
                          "the server's send")
+    loadgen.add_argument("--connection-flood", type=int, default=0,
+                         metavar="N", dest="connection_flood",
+                         help="connection-flood clients that open and hold "
+                         "connections without sending, driving the server "
+                         "into its admission limit (each refloods one "
+                         "dribble interval after being shed)")
+    loadgen.add_argument("--retry-backoff", type=float, default=0.05,
+                         metavar="SECONDS",
+                         help="closed-loop pause before a well-behaved "
+                         "client retries a request the server shed with "
+                         "503 (default 0.05)")
+    loadgen.add_argument("--retry-resets", action="store_true",
+                         dest="retry_resets",
+                         help="chaos mode: retry (instead of failing) a "
+                         "closed-loop request whose connection was reset "
+                         "mid-exchange, e.g. because the serving shard "
+                         "was killed")
     loadgen.add_argument("--dribble-bytes", type=int, default=1,
                          help="bytes a misbehaving client moves per dribble "
                          "(default 1)")
@@ -216,12 +257,26 @@ def _format_summary(stats) -> str:
         f"hot hits: {stats.hot_hits}, batched: {stats.hot_batched}; "
         f"timeouts: {stats.timeouts_header} header, "
         f"{stats.timeouts_idle} idle, "
-        f"{stats.timeouts_write_stall} write-stall"
+        f"{stats.timeouts_write_stall} write-stall; "
+        f"overload: {stats.connections_shed} shed (503), "
+        f"{stats.fd_exhaustion_events} fd-exhaustion, "
+        f"{stats.accept_pauses} accept-pauses, "
+        f"{stats.drain_forced_closes} drain-force-closed"
     )
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run a real server in the foreground until interrupted."""
+    """Run a real server (or a supervised shard fleet) in the foreground.
+
+    Both stop paths — SIGTERM from a process manager and Ctrl-C at a
+    terminal — trigger the same graceful drain: stop accepting, finish
+    in-flight responses under ``--drain-timeout``, print the shutdown
+    summary, exit 0.
+    """
+    import signal
+    import threading
+    import time
+
     config = ServerConfig(
         document_root=args.root,
         host=args.host,
@@ -238,10 +293,82 @@ def cmd_serve(args: argparse.Namespace) -> int:
         idle_timeout=args.idle_timeout,
         write_stall_timeout=args.write_stall_timeout,
         cache_max_age=args.cache_max_age,
+        max_connections=args.max_connections,
+        drain_timeout=args.drain_timeout,
+        retry_after=args.retry_after,
     )
     if args.no_caches:
         config = config.without_caches()
+
+    def _install_drain_handlers(handler):
+        # signal.signal returns the handler it replaced; keep it so the
+        # caller's handlers survive an in-process cmd_serve (tests embed
+        # the CLI — a leaked handler would swallow later SIGTERMs).
+        saved = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                saved.append((sig, signal.signal(sig, handler)))
+            except ValueError:  # pragma: no cover - not on the main thread
+                pass
+        return saved
+
+    def _restore_drain_handlers(saved):
+        for sig, previous in saved:
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, TypeError):  # pragma: no cover
+                pass
+
+    if args.shards > 1:
+        # Imported lazily: the single-server path must not require
+        # SO_REUSEPORT support.
+        from repro.core.supervisor import ShardSupervisor
+
+        supervisor = ShardSupervisor(
+            config, architecture=args.architecture, shards=args.shards
+        )
+        # Handlers go in before the banner: a SIGTERM racing the startup
+        # message must drain, not kill.  run_forever re-installs the same
+        # behaviour on the main thread.
+        saved = _install_drain_handlers(lambda *_: supervisor.request_drain())
+        host, port = supervisor.address
+        print(
+            f"{args.architecture} fleet: {args.shards} shards sharing "
+            f"http://{host}:{port}/ via SO_REUSEPORT, serving "
+            f"{config.document_root}"
+        )
+        print("press Ctrl-C (or send SIGTERM) to drain and stop")
+        try:
+            code = supervisor.run_forever(install_signals=True)
+        except KeyboardInterrupt:
+            # A second Ctrl-C during the drain lands here: stop hard.
+            supervisor.stop()
+            code = 0
+        finally:
+            _restore_drain_handlers(saved)
+        print(
+            f"\nfleet stopped: {supervisor.shard_deaths} shard deaths, "
+            f"{supervisor.restarts} restarts"
+        )
+        print(_format_summary(supervisor.stats))
+        return code
+
     server = create_server(args.architecture, config)
+    drain_started = threading.Event()
+
+    def _trigger_drain(_signum=None, _frame=None) -> None:
+        if drain_started.is_set():
+            return
+        drain_started.set()
+        print(
+            f"\ndraining: waiting up to {config.drain_timeout:.1f}s "
+            "for in-flight responses"
+        )
+        server.request_drain()
+
+    # Handlers go in before the banner: a SIGTERM racing the startup
+    # message must drain, not kill.
+    saved = _install_drain_handlers(_trigger_drain)
     server.start()
     host, port = server.address
     print(f"{args.architecture} server serving {config.document_root} on http://{host}:{port}/")
@@ -256,15 +383,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"fd warming: {warming}; cork batching: {cork}; "
             f"hot cache: {hot}; fast parse: {fast}"
         )
-    print("press Ctrl-C to stop")
+    print("press Ctrl-C (or send SIGTERM) to drain and stop")
     try:
-        import time
-
-        while True:
-            time.sleep(0.5)
-    except KeyboardInterrupt:
-        print("\nshutting down")
+        while not drain_started.is_set():
+            time.sleep(0.2)
+    except KeyboardInterrupt:  # pragma: no cover - handler normally installed
+        _trigger_drain()
+    try:
+        if hasattr(server, "drain"):
+            server.drain()
     finally:
+        _restore_drain_handlers(saved)
         server.stop()
         stats = getattr(server, "stats", None)
         if stats is not None:
@@ -292,6 +421,9 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             conditional_fraction=args.conditional_fraction,
             slow_writers=args.slow_writers,
             slow_readers=args.slow_readers,
+            flood_connections=args.connection_flood,
+            retry_backoff=args.retry_backoff,
+            retry_resets=args.retry_resets,
             dribble_bytes=args.dribble_bytes,
             dribble_interval=args.dribble_interval,
             arrival_rate=args.arrival_rate,
@@ -314,6 +446,9 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             conditional_fraction=args.conditional_fraction,
             slow_writers=args.slow_writers,
             slow_readers=args.slow_readers,
+            flood_connections=args.connection_flood,
+            retry_backoff=args.retry_backoff,
+            retry_resets=args.retry_resets,
             dribble_bytes=args.dribble_bytes,
             dribble_interval=args.dribble_interval,
             arrival_rate=args.arrival_rate,
@@ -350,6 +485,14 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
               f"{' per worker' if args.workers > 1 else ''}")
         print(f"reaped:             {result.reaped}")
         print(f"rejected with 408:  {result.rejected_408}")
+    if args.connection_flood or result.rejected_503 or result.retries:
+        if args.connection_flood:
+            print(f"flood clients:      {args.connection_flood}"
+                  f"{' per worker' if args.workers > 1 else ''}")
+        print(f"rejected with 503:  {result.rejected_503}")
+        print(f"retries:            {result.retries}")
+    if args.retry_resets or result.connection_resets:
+        print(f"connection resets:  {result.connection_resets}")
     if args.json:
         text = json.dumps(payload, indent=2, sort_keys=True)
         if args.json == "-":

@@ -56,6 +56,9 @@ class WorkerSpec:
     conditional_fraction: float
     slow_writers: int
     slow_readers: int
+    flood_connections: int
+    retry_backoff: float
+    retry_resets: bool
     dribble_bytes: int
     dribble_interval: float
     arrival_rate: Optional[float]
@@ -82,6 +85,9 @@ def _run_worker(spec: WorkerSpec, queue) -> None:
         conditional_fraction=spec.conditional_fraction,
         slow_writers=spec.slow_writers,
         slow_readers=spec.slow_readers,
+        flood_connections=spec.flood_connections,
+        retry_backoff=spec.retry_backoff,
+        retry_resets=spec.retry_resets,
         dribble_bytes=spec.dribble_bytes,
         dribble_interval=spec.dribble_interval,
         arrival_rate=spec.arrival_rate,
@@ -110,6 +116,9 @@ def merge_results(results: Sequence[LoadResult]) -> LoadResult:
         merged.responses_206 += result.responses_206
         merged.reaped += result.reaped
         merged.rejected_408 += result.rejected_408
+        merged.rejected_503 += result.rejected_503
+        merged.retries += result.retries
+        merged.connection_resets += result.connection_resets
         merged.dispatched += result.dispatched
         merged.lateness_sum += result.lateness_sum
         merged.lateness_max = max(merged.lateness_max, result.lateness_max)
@@ -147,9 +156,10 @@ class LoadCoordinator:
     the cluster-level additions:
 
     workers:
-        Number of worker processes.  ``num_clients`` and ``slow_writers``
-        / ``slow_readers`` are *per worker*; ``arrival_rate`` and
-        ``max_requests`` are cluster totals split evenly across workers.
+        Number of worker processes.  ``num_clients``, ``slow_writers`` /
+        ``slow_readers`` and ``flood_connections`` are *per worker*;
+        ``arrival_rate`` and ``max_requests`` are cluster totals split
+        evenly across workers.
     seed:
         Base seed; worker ``i`` runs on ``derive_worker_seed(seed, i)``.
     pin_cpus:
@@ -173,6 +183,9 @@ class LoadCoordinator:
         conditional_fraction: float = 0.0,
         slow_writers: int = 0,
         slow_readers: int = 0,
+        flood_connections: int = 0,
+        retry_backoff: float = 0.05,
+        retry_resets: bool = False,
         dribble_bytes: int = 1,
         dribble_interval: float = 0.5,
         arrival_rate: Optional[float] = None,
@@ -200,6 +213,9 @@ class LoadCoordinator:
         self.conditional_fraction = conditional_fraction
         self.slow_writers = slow_writers
         self.slow_readers = slow_readers
+        self.flood_connections = flood_connections
+        self.retry_backoff = retry_backoff
+        self.retry_resets = retry_resets
         self.dribble_bytes = dribble_bytes
         self.dribble_interval = dribble_interval
         self.arrival_rate = arrival_rate
@@ -245,6 +261,9 @@ class LoadCoordinator:
                 conditional_fraction=self.conditional_fraction,
                 slow_writers=self.slow_writers,
                 slow_readers=self.slow_readers,
+                flood_connections=self.flood_connections,
+                retry_backoff=self.retry_backoff,
+                retry_resets=self.retry_resets,
                 dribble_bytes=self.dribble_bytes,
                 dribble_interval=self.dribble_interval,
                 arrival_rate=per_worker_rate,

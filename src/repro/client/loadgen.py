@@ -53,6 +53,14 @@ class ClientResult:
     #: received by a slowloris writer before the close.
     reaped: int = 0
     rejected_408: int = 0
+    #: Overload counters: 503 responses received (admission shedding —
+    #: counted by both well-behaved clients and connection flooders, never
+    #: as completed requests), and closed-loop retries issued after a shed.
+    rejected_503: int = 0
+    retries: int = 0
+    #: Chaos-mode counter: connections reset mid-exchange that were retried
+    #: instead of recorded as errors (``retry_resets``).
+    connection_resets: int = 0
 
 
 @dataclass
@@ -73,6 +81,9 @@ class LoadResult:
     responses_206: int = 0
     reaped: int = 0
     rejected_408: int = 0
+    rejected_503: int = 0
+    retries: int = 0
+    connection_resets: int = 0
     elapsed: float = 0.0
     per_client: list = field(default_factory=list)
     #: Per-request latency distribution (seconds recorded; read in ms).
@@ -114,6 +125,9 @@ class LoadResult:
             "responses_206": self.responses_206,
             "reaped": self.reaped,
             "rejected_408": self.rejected_408,
+            "rejected_503": self.rejected_503,
+            "retries": self.retries,
+            "connection_resets": self.connection_resets,
             "elapsed": self.elapsed,
             "bandwidth_mbps": self.bandwidth_mbps,
             "request_rate": self.request_rate,
@@ -318,6 +332,11 @@ class _SimClient:
 
     def _complete_response(self, reconnect: bool) -> None:
         now = time.monotonic()
+        if self._status == 503:
+            # Admission shedding: not a completed request and not an
+            # error — the server explicitly asked us to come back later.
+            self._rejected()
+            return
         self.result.requests_completed += 1
         self.generator.total_requests += 1
         if 200 <= self._status < 300:
@@ -355,9 +374,44 @@ class _SimClient:
             self._register(_WRITE)
             self._do_send()
 
+    def _rejected(self) -> None:
+        """The server shed this request with a 503.
+
+        Closed loop: back off ``retry_backoff`` seconds and retry — the
+        chaos benchmarks count a well-behaved client as *failed* only if
+        its request never completes, so a shed followed by a successful
+        retry preserves availability.  Open loop: the scheduled arrival is
+        consumed (retrying would inflate offered load past the schedule),
+        so the shed is only counted.
+        """
+        self.result.rejected_503 += 1
+        self._close()
+        self._scheduled = None
+        if self.generator.finished():
+            self.state = self.DONE
+        elif self.generator.open_loop:
+            self.generator.client_idle(self)
+        else:
+            self.result.retries += 1
+            self.generator.schedule_restart(self, self.generator.retry_backoff)
+
     # -- failure and teardown ---------------------------------------------------------
 
     def _fail(self) -> None:
+        if self.generator.retry_resets and not self.generator.open_loop:
+            # Chaos mode: a well-behaved client retries an idempotent GET
+            # whose connection broke mid-exchange (a shard died under it)
+            # instead of recording a hard failure.  The reset is still
+            # counted so availability reports can see the churn.
+            self.result.connection_resets += 1
+            self._close()
+            self._scheduled = None
+            if self.generator.finished():
+                self.state = self.DONE
+            else:
+                self.result.retries += 1
+                self.generator.schedule_restart(self, self.generator.retry_backoff)
+            return
         self.result.errors += 1
         self.generator.total_errors += 1
         self._close()
@@ -609,6 +663,128 @@ class _SlowClient:
         self._registered_events = 0
 
 
+class _FloodClient:
+    """A connection flooder attached alongside the real load.
+
+    Models the overload attack the admission-control benchmarks defend
+    against: each flooder opens a connection and then simply *holds* it,
+    consuming one of the server's connection slots (and a file
+    descriptor) while contributing no requests.  An admission-controlled
+    server above its high watermark answers ``503 Retry-After`` and
+    closes; the flooder counts the 503 (``rejected_503``) and the close
+    (``reaped``), waits one ``dribble_interval``, and floods again.  An
+    *unprotected* server silently accumulates the held connections until
+    its fd limit — which is exactly the contrast the chaos figure plots.
+
+    Flood clients never complete requests; their job is to drive the
+    server into (and hold it at) its admission limit so the run shows
+    whether well-behaved clients still get served.
+    """
+
+    DONE = _SimClient.DONE
+    FLOODING = "flooding"
+
+    def __init__(self, generator: "LoadGenerator", client_id: int):
+        self.generator = generator
+        self.client_id = client_id
+        self.result = ClientResult()
+        self.sock: Optional[socket.socket] = None
+        self.state = self.DONE
+        self._registered_events = 0
+        self._saw_503 = False
+
+    def start(self) -> None:
+        self._connect()
+
+    def _connect(self) -> None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setblocking(False)
+        self.sock = sock
+        self.result.connects += 1
+        self._saw_503 = False
+        self.state = self.FLOODING
+        try:
+            sock.connect(self.generator.address)
+        except BlockingIOError:
+            pass
+        except OSError:
+            # Connect refused outright (listen queue gone, fd pressure on
+            # our own side, ...): pace the retry so a dead server does not
+            # turn the flooder into a busy loop.
+            self.result.errors += 1
+            self._close()
+            self._retry_later()
+            return
+        # Hold the connection and watch for the server's verdict: either
+        # a 503 + close (admission shedding) or a bare close (fd guard).
+        self._register(_READ)
+
+    def on_ready(self, mask: int) -> None:
+        if self.sock is None or not mask & _READ:
+            return
+        try:
+            data = self.sock.recv(4096)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._shed()
+            return
+        if not data:
+            self._shed()
+            return
+        if not self._saw_503 and b" 503 " in data:
+            self._saw_503 = True
+            self.result.rejected_503 += 1
+
+    def _shed(self) -> None:
+        """The server ended the held connection: count it, flood again."""
+        self.result.reaped += 1
+        self._close()
+        self._retry_later()
+
+    def _retry_later(self) -> None:
+        if self.generator.finished():
+            self.state = self.DONE
+            return
+        self.generator.schedule_call(self.generator.dribble_interval, self._reflood)
+
+    def _reflood(self) -> None:
+        if self.state != self.DONE and self.sock is None:
+            if self.generator.finished():
+                self.state = self.DONE
+            else:
+                self._connect()
+
+    # -- teardown and selector plumbing (mirrors _SimClient) --------------------
+
+    def _close(self) -> None:
+        if self.sock is not None:
+            self._unregister()
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
+    def _register(self, events: int) -> None:
+        if self.sock is None:
+            return
+        selector = self.generator.selector
+        if self._registered_events == 0:
+            selector.register(self.sock, events, self)
+        elif events != self._registered_events:
+            selector.modify(self.sock, events, self)
+        self._registered_events = events
+
+    def _unregister(self) -> None:
+        if self.sock is not None and self._registered_events:
+            try:
+                self.generator.selector.unregister(self.sock)
+            except (KeyError, ValueError):
+                pass
+        self._registered_events = 0
+
+
 class LoadGenerator:
     """Drives a server with ``num_clients`` concurrent simulated clients.
 
@@ -655,6 +831,25 @@ class LoadGenerator:
         slower than the server sends it (see :class:`_SlowClient`).  They
         complete no requests; the run's ``reaped``/``rejected_408``
         counters report how the server dealt with them.
+    flood_connections:
+        Number of connection-flood clients attached alongside the real
+        load: each opens a connection and holds it without sending until
+        the server sheds it (503 + close above the admission watermark,
+        or a bare close from the fd-exhaustion guard), then floods again
+        after one ``dribble_interval`` (see :class:`_FloodClient`).  The
+        overload half of the chaos benchmarks.
+    retry_backoff:
+        Closed-loop delay before a well-behaved client retries a request
+        the server shed with 503 (``Retry-After`` is deliberately not
+        honoured verbatim: benchmark runs are seconds long, so retries
+        use this much shorter pause to keep pressure on the server).
+    retry_resets:
+        Chaos mode for closed-loop runs: a connection reset mid-exchange
+        (the shard serving it was killed) is retried after
+        ``retry_backoff`` and counted in ``connection_resets`` rather than
+        recorded as a hard error — the behaviour of a well-behaved client
+        retrying an idempotent GET.  Open-loop runs ignore this (a retry
+        would inflate the offered load past the arrival schedule).
     dribble_bytes / dribble_interval:
         The misbehaving clients' byte rate: ``dribble_bytes`` moved every
         ``dribble_interval`` seconds.
@@ -691,6 +886,9 @@ class LoadGenerator:
         conditional_fraction: float = 0.0,
         slow_writers: int = 0,
         slow_readers: int = 0,
+        flood_connections: int = 0,
+        retry_backoff: float = 0.05,
+        retry_resets: bool = False,
         dribble_bytes: int = 1,
         dribble_interval: float = 0.5,
         arrival_rate: Optional[float] = None,
@@ -717,6 +915,9 @@ class LoadGenerator:
         self.conditional_fraction = conditional_fraction
         self.slow_writers = slow_writers
         self.slow_readers = slow_readers
+        self.flood_connections = flood_connections
+        self.retry_backoff = max(0.0, retry_backoff)
+        self.retry_resets = retry_resets
         self.dribble_bytes = max(1, dribble_bytes)
         self.dribble_interval = max(0.001, dribble_interval)
         self.arrival_rate = arrival_rate
@@ -941,6 +1142,8 @@ class LoadGenerator:
             _SlowClient(self, i, _SlowClient.WRITER) for i in range(self.slow_writers)
         ] + [
             _SlowClient(self, i, _SlowClient.READER) for i in range(self.slow_readers)
+        ] + [
+            _FloodClient(self, i) for i in range(self.flood_connections)
         ]
         everyone = clients + slow
         if self.open_loop:
@@ -990,6 +1193,9 @@ class LoadGenerator:
             result.responses_206 += client.result.responses_206
             result.reaped += client.result.reaped
             result.rejected_408 += client.result.rejected_408
+            result.rejected_503 += client.result.rejected_503
+            result.retries += client.result.retries
+            result.connection_resets += client.result.connection_resets
         return result
 
     def _fire_timers(self) -> None:

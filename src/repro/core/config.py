@@ -167,6 +167,30 @@ class ServerConfig:
     #: static 200/206 responses; ``0`` (the default) emits neither header.
     cache_max_age: int = 0
 
+    # -- overload and lifecycle (admission control, drain, shard fleet) -------
+    #: Maximum concurrently open client connections before admission control
+    #: sheds new arrivals with ``503 Service Unavailable`` (the connection is
+    #: still *accepted* so the client gets an answer instead of a backlog
+    #: timeout).  ``0`` (the default) disables count-based shedding; the
+    #: fd-exhaustion sentinel guard operates regardless.
+    max_connections: int = 0
+    #: Hysteresis watermark for admission control: once shedding starts it
+    #: continues until open connections drain to
+    #: ``admission_resume × max_connections``, so a server hovering at the
+    #: limit sheds in bursts instead of flapping per-accept.
+    admission_resume: float = 0.9
+    #: Seconds advertised in the shed response's ``Retry-After`` header.
+    retry_after: int = 1
+    #: Seconds a draining server (SIGTERM/SIGINT received) waits for
+    #: in-flight responses to complete before force-closing stragglers and
+    #: exiting.  ``<= 0`` means close immediately.
+    drain_timeout: float = 5.0
+    #: Bind the listening socket with ``SO_REUSEPORT`` so several shard
+    #: processes can share one port (the kernel load-balances accepts).
+    #: The supervisor sets this for every shard; standalone servers leave
+    #: it off so an accidental double-bind stays an error.
+    reuse_port: bool = False
+
     # -- dynamic content ----------------------------------------------------
     #: URI prefix that routes to CGI-style applications.
     cgi_prefix: str = "/cgi-bin/"
@@ -199,6 +223,13 @@ class ServerConfig:
             raise ValueError("hot_cache_revalidate must be non-negative")
         if self.cache_max_age < 0:
             raise ValueError("cache_max_age must be non-negative")
+        if self.max_connections < 0:
+            raise ValueError("max_connections must be non-negative")
+        if not 0.0 < self.admission_resume <= 1.0:
+            raise ValueError("admission_resume must be in (0, 1]")
+        if self.retry_after < 0:
+            raise ValueError("retry_after must be non-negative")
+        self.drain_timeout = max(0.0, self.drain_timeout)
         # Sync the idle-timeout aliases, then normalize every timeout so
         # "disabled" has exactly one spelling (0.0): legacy callers that set
         # connection_timeout keep working, new callers use idle_timeout, and

@@ -349,7 +349,7 @@ class Connection:
         config = self.driver.config
         if not config.hot_cache:
             return False
-        keep_alive = bool(fast.keep_alive and config.keep_alive)
+        keep_alive = self._effective_keep_alive(fast.keep_alive)
         content = self.driver.store.hot_lookup(fast.target, keep_alive)
         if content is None:
             return False
@@ -382,10 +382,27 @@ class Connection:
         content.release(self.driver.store)
         return False
 
+    def _effective_keep_alive(self, requested: bool) -> bool:
+        """The keep-alive disposition for the request being dispatched.
+
+        During drain a response may stay keep-alive only while further
+        pipelined bytes are buffered behind it — in-flight pipelined
+        requests complete — and the last buffered response carries
+        ``Connection: close`` so a well-behaved client moves elsewhere.
+        """
+        keep_alive = bool(requested and self.driver.config.keep_alive)
+        if (
+            keep_alive
+            and getattr(self.driver, "draining", False)
+            and not self.parser.remainder
+        ):
+            keep_alive = False
+        return keep_alive
+
     def _start_request(self, request: HTTPRequest, hot_consulted: bool = False) -> None:
         self.request = request
         self.driver.store.stats.requests += 1
-        self._keep_alive = bool(request.keep_alive and self.driver.config.keep_alive)
+        self._keep_alive = self._effective_keep_alive(request.keep_alive)
         if request.is_cgi:
             self._set_interest(0)
             self.state = STATE_WAIT_DISK
@@ -590,6 +607,15 @@ class Connection:
                 if not self._keep_alive:
                     self.close()
                     return
+                if not self.parser.remainder and getattr(
+                    self.driver, "draining", False
+                ):
+                    # Drain began while this (pre-drain, keep-alive
+                    # flavored) response was in flight and nothing further
+                    # is buffered: going idle now would leave the
+                    # connection for the drain deadline to force-close.
+                    self.close()
+                    return
                 remainder = self.parser.remainder
                 self.parser.reset()
                 self.request = None
@@ -668,6 +694,14 @@ class Connection:
                 return
             fast, header_end = probed
             keep_alive = bool(fast.keep_alive and config.keep_alive)
+            if (
+                keep_alive
+                and getattr(self.driver, "draining", False)
+                and not self.parser.remainder[header_end:]
+            ):
+                # Last buffered pipelined request during drain: its
+                # response must carry ``Connection: close``.
+                keep_alive = False
             content = store.hot_lookup(fast.target, keep_alive)
             if content is None:
                 return
@@ -757,6 +791,18 @@ class Connection:
     def closed(self) -> bool:
         """True once :meth:`close` has run."""
         return self.state == STATE_CLOSED
+
+    def drain_idle(self) -> bool:
+        """Whether this connection may be closed immediately at drain start.
+
+        True only for a keep-alive connection parked *between* complete
+        exchanges (the ``idle`` deadline is the armed kind exactly then):
+        the peer is owed nothing.  A fresh connection that has not produced
+        a request yet keeps its header budget — its first response will
+        carry ``Connection: close`` — and anything mid-request or
+        mid-response runs to completion under the drain deadline.
+        """
+        return self.state == STATE_READ_REQUEST and self._deadline_kind == "idle"
 
     def idle_for(self, now: Optional[float] = None) -> float:
         """Seconds since a byte last moved on this connection.

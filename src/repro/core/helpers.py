@@ -630,6 +630,8 @@ class HelperPool:
 
 def _process_helper_main(conn) -> None:
     """Entry point of a helper process: serve requests until shutdown."""
+    from repro.testing.faults import faults
+
     while True:
         try:
             request = conn.recv()
@@ -637,6 +639,11 @@ def _process_helper_main(conn) -> None:
             return
         if request.op == OP_SHUTDOWN:
             return
+        if faults.take("helper_death"):
+            # Injected helper crash: die abruptly mid-operation, exactly
+            # like a segfault would — the parent sees pipe EOF and must
+            # synthesize a failure reply and degrade to the survivors.
+            os._exit(1)
         reply = perform_helper_operation(request)
         try:
             conn.send(reply)

@@ -12,6 +12,7 @@ or a worker thread), which is decided by the server front ends in
 
 from __future__ import annotations
 
+import errno
 import functools
 import os
 import threading
@@ -105,6 +106,14 @@ class ServerStats:
     timeouts_header: int = 0
     timeouts_idle: int = 0
     timeouts_write_stall: int = 0
+    #: Overload and lifecycle accounting: arrivals answered 503 by admission
+    #: control, accept-time fd-exhaustion events survived via the sentinel
+    #: guard, accept-interest pauses entered because of exhaustion, and
+    #: in-flight connections force-closed when the drain deadline expired.
+    connections_shed: int = 0
+    fd_exhaustion_events: int = 0
+    accept_pauses: int = 0
+    drain_forced_closes: int = 0
 
     def merge(self, other: "ServerStats") -> "ServerStats":
         """Return a new instance combining this one with ``other``.
@@ -1324,6 +1333,13 @@ class ContentStore:
         The buffered body source for Range responses (and the sendfile
         fallback's window read); ``(0, size)`` degenerates to a full read.
         """
+        from repro.testing.faults import faults
+
+        if faults.take("disk_read"):
+            # Injected media failure: the read errors like a dying disk
+            # would, exercising the 404/500 conversion on every
+            # architecture's buffered read route.
+            raise OSError(errno.EIO, f"injected disk read failure: {path}")
         with open(path, "rb") as handle:
             if offset:
                 handle.seek(offset)

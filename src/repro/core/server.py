@@ -26,6 +26,12 @@ from typing import Optional
 
 from repro.cache.residency import ResidencyTester
 from repro.cgi.runner import CGIRunner
+from repro.core.admission import (
+    ACCEPT_RESOURCE,
+    ACCEPT_TRANSIENT,
+    AdmissionController,
+    classify_accept_error,
+)
 from repro.core.config import ServerConfig
 from repro.core.connection import Connection
 from repro.core.event_loop import EVENT_READ, EventLoop
@@ -41,6 +47,12 @@ from repro.core.pipeline import ContentStore, ServerStats, StaticContent
 from repro.core.send_path import sendfile_available
 from repro.http.errors import HTTPError, NotFoundError
 from repro.http.request import HTTPRequest
+from repro.testing.faults import faults
+
+#: Fallback resume delay for an accept pause that nothing will unblock: a
+#: pause taken with zero open connections (descriptor pressure from outside
+#: the connection table) has no close event to ride, so a timer retries.
+ACCEPT_RETRY_INTERVAL = 1.0
 
 
 class BaseEventDrivenServer:
@@ -65,6 +77,21 @@ class BaseEventDrivenServer:
         self._thread: Optional[threading.Thread] = None
         self._bound = threading.Event()
         self._closed = False
+        self.admission = AdmissionController(
+            max_connections=config.max_connections,
+            resume_fraction=config.admission_resume,
+            retry_after=config.retry_after,
+        )
+        #: Accept-pause state for the fd-exhaustion guard: while paused the
+        #: listener is unregistered from the loop (a level-triggered backend
+        #: would otherwise spin on the forever-readable listener) and it is
+        #: re-registered once connections drain below the pause-time count.
+        self._accept_paused = False
+        self._paused_at_count = 0
+        self._pause_generation = 0
+        #: Drain state (SIGTERM/SIGINT graceful shutdown).
+        self._draining = False
+        self._drain_generation = 0
 
     # -- binding and addresses ---------------------------------------------------
 
@@ -74,6 +101,10 @@ class BaseEventDrivenServer:
             return
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if self.config.reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise RuntimeError("SO_REUSEPORT is not available on this platform")
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
         sock.bind((self.config.host, self.config.port))
         sock.listen(self.config.listen_backlog)
         sock.setblocking(False)
@@ -110,15 +141,77 @@ class BaseEventDrivenServer:
         # be reported by a single select wakeup.
         assert self._listen_sock is not None
         while True:
+            if faults.take("accept_emfile"):
+                # Injected fd exhaustion: behave exactly as if accept(2)
+                # itself had failed with EMFILE.
+                self._on_fd_exhaustion()
+                return
             try:
                 client_sock, address = self._listen_sock.accept()
             except (BlockingIOError, InterruptedError):
                 return
-            except OSError:
+            except OSError as exc:
+                kind = classify_accept_error(exc)
+                if kind == ACCEPT_TRANSIENT:
+                    # The arrival aborted between SYN and accept (or a
+                    # signal landed): the next pending connection may be
+                    # fine, keep draining the backlog.
+                    continue
+                if kind == ACCEPT_RESOURCE:
+                    self._on_fd_exhaustion()
+                # Fatal (EBADF and friends): the listener is gone, which is
+                # the normal shutdown race — stop the accept sweep.
                 return
             self.store.stats.connections_accepted += 1
+            if not self.admission.admit(len(self._connections)):
+                # Over the connection bound: answer the precomposed 503 and
+                # close, so the client learns immediately instead of timing
+                # out in the backlog.
+                self.store.stats.connections_shed += 1
+                self.admission.shed(client_sock)
+                continue
             connection = Connection(client_sock, address, self)
             self._connections.add(connection)
+
+    def _on_fd_exhaustion(self) -> None:
+        """Survive accept-time EMFILE/ENFILE: shed one arrival, pause accepts."""
+        self.store.stats.fd_exhaustion_events += 1
+        self.admission.shed_one_pending(self._listen_sock)
+        self._pause_accepting()
+
+    def _pause_accepting(self) -> None:
+        """Drop accept interest until established connections drain.
+
+        Level-triggered backends re-report a readable listener every poll;
+        without the pause an EMFILE storm becomes a 100% CPU spin of
+        failing accepts.
+        """
+        if self._accept_paused or self._draining or self._listen_sock is None:
+            return
+        self._accept_paused = True
+        self._paused_at_count = len(self._connections)
+        self._pause_generation += 1
+        self.store.stats.accept_pauses += 1
+        self.loop.unregister(self._listen_sock)
+        # Timed fallback: descriptor pressure from outside the connection
+        # table (helpers, caches, other subsystems) produces no
+        # connection-closed event to ride, so retry on a timer as well.
+        generation = self._pause_generation
+        self.loop.call_later(
+            ACCEPT_RETRY_INTERVAL, lambda: self._timed_resume(generation)
+        )
+
+    def _timed_resume(self, generation: int) -> None:
+        if generation == self._pause_generation and self._accept_paused:
+            self._resume_accepting()
+
+    def _resume_accepting(self) -> None:
+        if not self._accept_paused:
+            return
+        self._accept_paused = False
+        self._pause_generation += 1
+        if self._listen_sock is not None and not self._draining:
+            self.loop.register(self._listen_sock, EVENT_READ, self._on_accept_ready)
 
     # -- driver hooks (overridden per architecture) -----------------------------------
 
@@ -159,8 +252,100 @@ class BaseEventDrivenServer:
         return True
 
     def on_connection_closed(self, connection: Connection) -> None:
-        """Forget a finished connection."""
+        """Forget a finished connection; unblock paused accepts and drains."""
         self._connections.discard(connection)
+        if self._accept_paused:
+            open_count = len(self._connections)
+            if open_count < self._paused_at_count and self.admission.may_resume(
+                open_count
+            ):
+                self._resume_accepting()
+        if self._draining and not self._connections:
+            self._finish_drain()
+
+    # -- graceful drain ---------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """Whether the server is in drain mode (stopping gracefully)."""
+        return self._draining
+
+    def request_drain(self) -> None:
+        """Enter drain mode: stop accepting, finish in-flight responses.
+
+        Safe to call from a signal handler or another thread: it only
+        appends to the loop's deferred-call list (a plain list append,
+        atomic under the GIL); all drain work runs on the loop thread.
+        The event loop exits — and :meth:`run_forever` returns — once
+        every in-flight response completes or ``drain_timeout`` expires,
+        whichever comes first.
+        """
+        self.loop.call_soon(self._begin_drain)
+
+    def _begin_drain(self) -> None:
+        if self._draining or self._closed:
+            return
+        self._draining = True
+        # Closing the listener (not merely unregistering it) removes this
+        # process from the kernel's SO_REUSEPORT hash, so in a shard fleet
+        # new arrivals immediately redistribute to the surviving shards.
+        if self._listen_sock is not None:
+            self.loop.unregister(self._listen_sock)
+            try:
+                self._listen_sock.close()
+            except OSError:
+                pass
+            self._listen_sock = None
+        # Idle keep-alive connections are owed nothing: close them now.
+        # Connections mid-request or mid-response run to completion below
+        # (their responses carry ``Connection: close`` — see
+        # repro.core.connection's drain awareness).
+        for connection in list(self._connections):
+            if connection.drain_idle():
+                connection.close()
+        if not self._connections:
+            self._finish_drain()
+            return
+        timeout = self.config.drain_timeout
+        generation = self._drain_generation
+        if timeout <= 0:
+            self._drain_expired(generation)
+        else:
+            self.loop.call_later(timeout, lambda: self._drain_expired(generation))
+
+    def _drain_expired(self, generation: int) -> None:
+        """Drain deadline: force-close the stragglers still in flight."""
+        if generation != self._drain_generation or not self._draining:
+            return
+        for connection in list(self._connections):
+            self.store.stats.drain_forced_closes += 1
+            connection.close()
+
+    def _finish_drain(self) -> None:
+        """All connections drained: stop the loop so run_forever returns."""
+        if not self._draining:
+            return
+        self._drain_generation += 1
+        self._stop_event.set()
+        self.loop.stop()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Request a drain and wait for the event loop to wind down.
+
+        For servers running on a background thread (:meth:`start`): returns
+        True when the drain completed (all connections finished or were
+        force-closed at the deadline) within ``drain_timeout`` plus a small
+        grace.  The caller still owns :meth:`stop`/:meth:`close` for
+        resource release, exactly as after a normal run.
+        """
+        self.request_drain()
+        budget = self.config.drain_timeout if timeout is None else timeout
+        finished = self._stop_event.wait(budget + 2.0)
+        if self._thread is not None:
+            self._thread.join(timeout=budget + 2.0)
+            if not self._thread.is_alive():
+                self._thread = None
+        return finished
 
     # -- running --------------------------------------------------------------------
 
@@ -204,6 +389,7 @@ class BaseEventDrivenServer:
             self.loop.unregister(self._listen_sock)
             self._listen_sock.close()
             self._listen_sock = None
+        self.admission.close()
         self.cgi_runner.shutdown()
         self.store.close()
         self.loop.close()

@@ -36,7 +36,7 @@ import select
 import socket
 import struct
 import time
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.cgi.runner import CGIRunner
 from repro.core.config import ServerConfig
@@ -46,6 +46,11 @@ from repro.http.errors import HTTPError
 from repro.http.request import RequestParser
 from repro.http.response import build_error_response
 
+#: While a ``drain_check`` is supplied, idle keep-alive waits poll in
+#: quanta of this many seconds so a blocking worker notices a drain
+#: promptly instead of after a full ``idle_timeout``.
+DRAIN_POLL_INTERVAL = 0.2
+
 
 def handle_client(
     sock: socket.socket,
@@ -53,6 +58,7 @@ def handle_client(
     config: ServerConfig,
     cgi_runner: Optional[CGIRunner] = None,
     max_requests: Optional[int] = None,
+    drain_check: Optional[Callable[[], bool]] = None,
 ) -> int:
     """Serve one client connection to completion with blocking I/O.
 
@@ -60,6 +66,12 @@ def handle_client(
     always closed before returning.  Exceptions from client misbehaviour are
     converted into HTTP error responses; unexpected internal errors close
     the connection after a 500.
+
+    ``drain_check`` is the MT/MP drain hook: while it returns True the
+    connection winds down gracefully — the response to the last buffered
+    request carries ``Connection: close`` (buffered pipelined requests
+    still complete first), and an idle keep-alive wait returns immediately
+    instead of sitting out its idle budget.
     """
     served = 0
     store.stats.connections_accepted += 1
@@ -88,14 +100,45 @@ def handle_client(
                     if reading_head and header_timeout > 0
                     else None
                 )
+                idle_deadline = (
+                    time.monotonic() + idle_timeout
+                    if not reading_head and idle_timeout is not None
+                    else None
+                )
                 while not complete:
                     if not reading_head:
                         # Between keep-alive exchanges: the idle budget
                         # applies until the next request's first byte.
-                        sock.settimeout(idle_timeout)
+                        # With a drain hook the wait polls in short quanta
+                        # so a draining worker closes its idle connections
+                        # promptly — an idle peer is owed nothing.
+                        if drain_check is not None and drain_check():
+                            return served
+                        wait = (
+                            None
+                            if idle_deadline is None
+                            else idle_deadline - time.monotonic()
+                        )
+                        if wait is not None and wait <= 0:
+                            store.stats.timeouts_idle += 1
+                            return served
+                        if drain_check is not None:
+                            wait = (
+                                DRAIN_POLL_INTERVAL
+                                if wait is None
+                                else min(wait, DRAIN_POLL_INTERVAL)
+                            )
+                        sock.settimeout(wait)
                         try:
                             data = sock.recv(config.socket_io_size)
                         except socket.timeout:
+                            if drain_check is not None and (
+                                idle_deadline is None
+                                or time.monotonic() < idle_deadline
+                            ):
+                                # A poll quantum expired, not the idle
+                                # budget: re-check drain and keep waiting.
+                                continue
                             store.stats.timeouts_idle += 1
                             return served
                         if not data:
@@ -131,6 +174,12 @@ def handle_client(
             leftover = parser.remainder
             store.stats.requests += 1
             keep_alive = bool(request.keep_alive and config.keep_alive)
+            if keep_alive and drain_check is not None and drain_check() and not leftover:
+                # Draining and nothing further is buffered: this response is
+                # the connection's last, and it says so.  (Buffered
+                # pipelined requests keep the connection alive until the
+                # last of them — in-flight work completes.)
+                keep_alive = False
 
             sock.settimeout(write_timeout)
             try:

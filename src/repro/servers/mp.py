@@ -16,15 +16,26 @@ Apache's pre-forking model on UNIX.
 
 from __future__ import annotations
 
+import errno
 import multiprocessing
 import os
 import socket
+import time
 from typing import Optional
 
 from repro.cgi.runner import CGIRunner
+from repro.core.admission import (
+    ACCEPT_BACKOFF_INITIAL,
+    ACCEPT_BACKOFF_MAX,
+    ACCEPT_RESOURCE,
+    ACCEPT_TRANSIENT,
+    AdmissionController,
+    classify_accept_error,
+)
 from repro.core.config import ServerConfig
 from repro.core.pipeline import ContentStore, ServerStats
 from repro.servers.blocking import handle_client
+from repro.testing.faults import faults
 
 
 class MPServer:
@@ -42,7 +53,13 @@ class MPServer:
             "fork" if hasattr(os, "fork") else "spawn"
         )
         self._stop_event = self._context.Event()
+        self._drain_event = self._context.Event()
         self._stats_queue = self._context.Queue()
+        #: Cross-process open-connection count backing admission control:
+        #: workers increment under the Value's lock around each served
+        #: connection, so every worker's (per-process) controller sees the
+        #: fleet-wide total.
+        self._open_count = self._context.Value("i", 0)
         self._collected_stats = ServerStats()
         self._closed = False
 
@@ -54,6 +71,10 @@ class MPServer:
             return
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if self.config.reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise RuntimeError("SO_REUSEPORT is not available on this platform")
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
         sock.bind((self.config.host, self.config.port))
         sock.listen(self.config.listen_backlog)
         sock.settimeout(0.2)
@@ -85,7 +106,9 @@ class MPServer:
                     self._listen_sock,
                     self.worker_config,
                     self._stop_event,
+                    self._drain_event,
                     self._stats_queue,
+                    self._open_count,
                 ),
                 name=f"mp-worker-{index}",
                 daemon=True,
@@ -93,6 +116,51 @@ class MPServer:
             process.start()
             self._processes.append(process)
         return self
+
+    # -- graceful drain -------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """Whether the server is in drain mode (stopping gracefully)."""
+        return self._drain_event.is_set()
+
+    @property
+    def open_connections(self) -> int:
+        """Number of connections currently being served by workers."""
+        with self._open_count.get_lock():
+            return self._open_count.value
+
+    def request_drain(self) -> None:
+        """Enter drain mode (signal-safe): workers stop accepting, finish
+        their in-flight exchanges with ``Connection: close``, and exit."""
+        self._drain_event.set()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Drain and wait; returns True when every worker exited in time.
+
+        After ``drain_timeout`` (or ``timeout``) expires, straggler worker
+        processes are terminated — the drain deadline force-closes
+        whatever connections they were still serving.
+        """
+        self.request_drain()
+        budget = self.config.drain_timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        for process in self._processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        stragglers = [process for process in self._processes if process.is_alive()]
+        for process in stragglers:
+            self._collected_stats.drain_forced_closes += 1
+            process.terminate()
+            process.join(timeout=1.0)
+        if stragglers:
+            # Terminated workers never decremented the shared open-connection
+            # counter for whatever they were serving; with every worker gone
+            # the true count is zero, so reconcile it.
+            with self._open_count.get_lock():
+                self._open_count.value = 0
+        self._drain_stats()
+        self._processes = [p for p in self._processes if p.is_alive()]
+        return not self._processes
 
     def stop(self, timeout: float = 5.0) -> None:
         """Stop every worker, consolidate statistics and release resources."""
@@ -144,28 +212,78 @@ class MPServer:
         self.stop()
 
 
-def _mp_worker_main(listen_sock, worker_config, stop_event, stats_queue) -> None:
+def _mp_worker_main(
+    listen_sock, worker_config, stop_event, drain_event, stats_queue, open_count
+) -> None:
     """Entry point of an MP worker: accept and serve until shutdown.
 
     Each worker builds its own :class:`ContentStore` (private, smaller
     caches) and its own CGI runner, then loops accepting one connection at a
-    time and handling it to completion with blocking I/O.
+    time and handling it to completion with blocking I/O.  The admission
+    controller is per-process (hysteresis state and the sentinel fd live in
+    this worker's address space) but counts against the fleet-wide shared
+    ``open_count``, so ``max_connections`` bounds the whole server.
     """
     store = ContentStore(worker_config)
     cgi_runner = CGIRunner(worker_config.cgi_programs, prefix=worker_config.cgi_prefix)
+    admission = AdmissionController(
+        max_connections=worker_config.max_connections,
+        resume_fraction=worker_config.admission_resume,
+        retry_after=worker_config.retry_after,
+    )
+    backoff = ACCEPT_BACKOFF_INITIAL
     try:
-        while not stop_event.is_set():
+        while not stop_event.is_set() and not drain_event.is_set():
             try:
+                if faults.take("accept_emfile"):
+                    raise OSError(errno.EMFILE, "injected fd exhaustion")
                 client_sock, _address = listen_sock.accept()
             except socket.timeout:
                 continue
-            except OSError:
+            except OSError as exc:
+                kind = classify_accept_error(exc)
+                if kind == ACCEPT_TRANSIENT:
+                    # The arrival aborted (or a signal landed): retry now.
+                    continue
+                if kind == ACCEPT_RESOURCE:
+                    # Out of descriptors: retrying immediately cannot
+                    # succeed and used to end the worker (or, with a bare
+                    # ``continue``, busy-spin it).  Shed one backlogged
+                    # arrival through the sentinel reserve and back off
+                    # exponentially until something drains.
+                    store.stats.fd_exhaustion_events += 1
+                    admission.shed_one_pending(listen_sock)
+                    stop_event.wait(backoff)
+                    backoff = min(backoff * 2, ACCEPT_BACKOFF_MAX)
+                    continue
+                # Fatal: the listener is gone (shutdown race) — worker done.
                 break
-            handle_client(client_sock, store, worker_config, cgi_runner)
+            backoff = ACCEPT_BACKOFF_INITIAL
+            with open_count.get_lock():
+                current = open_count.value
+            if not admission.admit(current):
+                store.stats.connections_accepted += 1
+                store.stats.connections_shed += 1
+                admission.shed(client_sock)
+                continue
+            with open_count.get_lock():
+                open_count.value += 1
+            try:
+                handle_client(
+                    client_sock,
+                    store,
+                    worker_config,
+                    cgi_runner,
+                    drain_check=drain_event.is_set,
+                )
+            finally:
+                with open_count.get_lock():
+                    open_count.value -= 1
     finally:
         try:
             stats_queue.put(store.stats.snapshot())
         except Exception:
             pass
+        admission.close()
         cgi_runner.shutdown()
         store.close()

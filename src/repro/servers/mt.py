@@ -14,14 +14,25 @@ the kernel shares it for real MT servers.
 
 from __future__ import annotations
 
+import errno
 import socket
 import threading
+import time
 from typing import Optional
 
 from repro.cgi.runner import CGIRunner
+from repro.core.admission import (
+    ACCEPT_BACKOFF_INITIAL,
+    ACCEPT_BACKOFF_MAX,
+    ACCEPT_RESOURCE,
+    ACCEPT_TRANSIENT,
+    AdmissionController,
+    classify_accept_error,
+)
 from repro.core.config import ServerConfig
 from repro.core.pipeline import ContentStore, ServerStats
 from repro.servers.blocking import handle_client
+from repro.testing.faults import faults
 
 
 class MTServer:
@@ -36,7 +47,18 @@ class MTServer:
         self._listen_sock: Optional[socket.socket] = None
         self._threads: list[threading.Thread] = []
         self._stop_event = threading.Event()
+        self._drain_event = threading.Event()
         self._closed = False
+        #: One controller shared by every worker thread (it is locked
+        #: internally); the in-flight connection sockets back both the
+        #: admission count and the drain-deadline force-close.
+        self.admission = AdmissionController(
+            max_connections=config.max_connections,
+            resume_fraction=config.admission_resume,
+            retry_after=config.retry_after,
+        )
+        self._active_lock = threading.Lock()
+        self._active: set[socket.socket] = set()
 
     # -- binding --------------------------------------------------------------
 
@@ -46,6 +68,10 @@ class MTServer:
             return
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if self.config.reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise RuntimeError("SO_REUSEPORT is not available on this platform")
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
         sock.bind((self.config.host, self.config.port))
         sock.listen(self.config.listen_backlog)
         # A short accept timeout lets worker threads notice shutdown without
@@ -86,15 +112,101 @@ class MTServer:
         return self
 
     def _worker_main(self) -> None:
-        assert self._listen_sock is not None
-        while not self._stop_event.is_set():
+        listen_sock = self._listen_sock
+        assert listen_sock is not None
+        backoff = ACCEPT_BACKOFF_INITIAL
+        while not self._stop_event.is_set() and not self._drain_event.is_set():
             try:
-                client_sock, _address = self._listen_sock.accept()
+                if faults.take("accept_emfile"):
+                    raise OSError(errno.EMFILE, "injected fd exhaustion")
+                client_sock, _address = listen_sock.accept()
             except socket.timeout:
                 continue
-            except OSError:
+            except OSError as exc:
+                kind = classify_accept_error(exc)
+                if kind == ACCEPT_TRANSIENT:
+                    # The arrival aborted (or a signal landed): the next one
+                    # may be fine, retry immediately.
+                    continue
+                if kind == ACCEPT_RESOURCE:
+                    # Out of descriptors (or buffers): retrying immediately
+                    # cannot succeed and used to busy-spin this thread.
+                    # Shed one backlogged arrival through the sentinel
+                    # reserve, then back off exponentially (woken early by
+                    # shutdown) until something drains.
+                    self.store.stats.fd_exhaustion_events += 1
+                    self.admission.shed_one_pending(listen_sock)
+                    self._stop_event.wait(backoff)
+                    backoff = min(backoff * 2, ACCEPT_BACKOFF_MAX)
+                    continue
+                # Fatal (EBADF and friends): the listener is gone, which is
+                # the normal shutdown race — this worker is done.
                 return
-            handle_client(client_sock, self.store, self.config, self.cgi_runner)
+            backoff = ACCEPT_BACKOFF_INITIAL
+            with self._active_lock:
+                open_count = len(self._active)
+            if not self.admission.admit(open_count):
+                self.store.stats.connections_accepted += 1
+                self.store.stats.connections_shed += 1
+                self.admission.shed(client_sock)
+                continue
+            with self._active_lock:
+                self._active.add(client_sock)
+            try:
+                handle_client(
+                    client_sock,
+                    self.store,
+                    self.config,
+                    self.cgi_runner,
+                    drain_check=self._drain_event.is_set,
+                )
+            finally:
+                with self._active_lock:
+                    self._active.discard(client_sock)
+
+    # -- graceful drain ---------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """Whether the server is in drain mode (stopping gracefully)."""
+        return self._drain_event.is_set()
+
+    @property
+    def open_connections(self) -> int:
+        """Number of connections currently being served by workers."""
+        with self._active_lock:
+            return len(self._active)
+
+    def request_drain(self) -> None:
+        """Enter drain mode (signal-safe): workers stop accepting, finish
+        their in-flight exchanges with ``Connection: close``, and exit."""
+        self._drain_event.set()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Drain and wait; returns True when every worker exited in time.
+
+        After ``drain_timeout`` (or ``timeout``) expires, stragglers'
+        client sockets are shut down so their blocking calls fail and the
+        workers exit — the drain deadline force-closes what it must.
+        """
+        self.request_drain()
+        budget = self.config.drain_timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        stragglers = [thread for thread in self._threads if thread.is_alive()]
+        if stragglers:
+            with self._active_lock:
+                for client in list(self._active):
+                    self.store.stats.drain_forced_closes += 1
+                    try:
+                        client.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+            for thread in stragglers:
+                thread.join(timeout=1.0)
+        self._threads = [thread for thread in self._threads if thread.is_alive()]
+        return not self._threads
 
     def stop(self, timeout: float = 5.0) -> None:
         """Stop accepting, wait for workers and release resources."""
@@ -112,6 +224,7 @@ class MTServer:
         if self._listen_sock is not None:
             self._listen_sock.close()
             self._listen_sock = None
+        self.admission.close()
         self.cgi_runner.shutdown()
         self.store.close()
 

@@ -1,0 +1,11 @@
+"""Test-support machinery that ships with the library.
+
+:mod:`repro.testing.faults` is the fault-injection harness the chaos
+benchmarks and the robustness e2e tests drive: named failure points
+compiled into the server code fire a scripted number of times when a
+fault plan arms them, and are zero-cost no-ops otherwise.
+"""
+
+from repro.testing.faults import FaultPlan, faults
+
+__all__ = ["FaultPlan", "faults"]

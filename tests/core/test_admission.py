@@ -1,0 +1,181 @@
+"""Unit tests for the admission controller and accept-error triage.
+
+The overload path must be exact: hysteresis boundaries are off-by-one
+territory, the 503 payload is parsed by real clients, and the fd sentinel
+is the only thing standing between EMFILE and a busy-spinning accept loop.
+"""
+
+import errno
+import os
+import socket
+
+import pytest
+
+from repro.core.admission import (
+    ACCEPT_FATAL,
+    ACCEPT_RESOURCE,
+    ACCEPT_TRANSIENT,
+    AdmissionController,
+    classify_accept_error,
+    shed_response,
+)
+
+
+class TestClassifyAcceptError:
+    @pytest.mark.parametrize(
+        "code",
+        [errno.ECONNABORTED, errno.EINTR, errno.EAGAIN, errno.EWOULDBLOCK],
+    )
+    def test_transient(self, code):
+        assert classify_accept_error(OSError(code, "x")) == ACCEPT_TRANSIENT
+
+    @pytest.mark.parametrize(
+        "code", [errno.EMFILE, errno.ENFILE, errno.ENOBUFS, errno.ENOMEM]
+    )
+    def test_resource(self, code):
+        assert classify_accept_error(OSError(code, "x")) == ACCEPT_RESOURCE
+
+    @pytest.mark.parametrize("code", [errno.EBADF, errno.EINVAL, errno.ENOTSOCK])
+    def test_fatal(self, code):
+        assert classify_accept_error(OSError(code, "x")) == ACCEPT_FATAL
+
+    def test_unknown_errno_is_fatal(self):
+        assert classify_accept_error(OSError(None, "x")) == ACCEPT_FATAL
+
+
+class TestShedResponse:
+    def test_payload_shape(self):
+        payload = shed_response(retry_after=7)
+        head, _, body = payload.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 503 ")
+        assert b"Retry-After: 7\r\n" in head
+        assert b"Connection: close" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+
+    def test_default_retry_after(self):
+        assert b"Retry-After: 1\r\n" in shed_response()
+
+
+class TestAdmissionHysteresis:
+    def test_disabled_always_admits(self):
+        ctrl = AdmissionController(max_connections=0)
+        try:
+            assert ctrl.admit(10_000)
+            assert not ctrl.shedding
+            assert ctrl.may_resume(10_000)
+        finally:
+            ctrl.close()
+
+    def test_sheds_at_bound_and_resumes_at_watermark(self):
+        ctrl = AdmissionController(max_connections=10, resume_fraction=0.8)
+        try:
+            assert ctrl.low_watermark == 8
+            assert ctrl.admit(9)
+            # Crossing the bound starts shedding ...
+            assert not ctrl.admit(10)
+            assert ctrl.shedding
+            # ... and hysteresis keeps shedding below the bound ...
+            assert not ctrl.admit(9)
+            # ... until the count drains to the watermark.
+            assert ctrl.admit(8)
+            assert not ctrl.shedding
+        finally:
+            ctrl.close()
+
+    def test_watermark_is_below_bound_even_at_one(self):
+        ctrl = AdmissionController(max_connections=1, resume_fraction=1.0)
+        try:
+            assert ctrl.low_watermark == 0
+            assert not ctrl.admit(1)
+            assert ctrl.admit(0)
+        finally:
+            ctrl.close()
+
+    def test_may_resume_uses_watermark(self):
+        ctrl = AdmissionController(max_connections=10, resume_fraction=0.8)
+        try:
+            assert not ctrl.may_resume(9)
+            assert ctrl.may_resume(8)
+        finally:
+            ctrl.close()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_connections=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(max_connections=5, resume_fraction=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_connections=5, resume_fraction=1.5)
+
+
+class TestShedAndSentinel:
+    def test_shed_sends_503_and_closes(self):
+        ctrl = AdmissionController(max_connections=1, retry_after=3)
+        server_side, client_side = socket.socketpair()
+        try:
+            ctrl.shed(server_side)
+            data = bytearray()
+            while True:
+                chunk = client_side.recv(4096)
+                if not chunk:
+                    break
+                data.extend(chunk)
+            assert data.startswith(b"HTTP/1.1 503 ")
+            assert b"Retry-After: 3\r\n" in data
+        finally:
+            client_side.close()
+            ctrl.close()
+
+    def test_shed_one_pending_answers_backlogged_arrival(self):
+        ctrl = AdmissionController(max_connections=0)
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(8)
+            with socket.create_connection(listener.getsockname(), timeout=5) as cli:
+                ctrl.shed_one_pending(listener)
+                cli.settimeout(5)
+                data = cli.recv(4096)
+                assert data.startswith(b"HTTP/1.1 503 ")
+            # The sentinel is re-opened afterwards: a second exhaustion
+            # event still has a descriptor in reserve.
+            assert ctrl._sentinel is not None
+        finally:
+            listener.close()
+            ctrl.close()
+
+    def test_shed_one_pending_with_nothing_pending(self):
+        ctrl = AdmissionController(max_connections=0)
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(8)
+            listener.setblocking(False)
+            ctrl.shed_one_pending(listener)  # must not raise
+            assert ctrl._sentinel is not None
+        finally:
+            listener.close()
+            ctrl.close()
+
+    def test_shed_one_pending_without_listener(self):
+        ctrl = AdmissionController(max_connections=0)
+        try:
+            ctrl.shed_one_pending(None)
+            assert ctrl._sentinel is not None
+        finally:
+            ctrl.close()
+
+    def test_close_is_idempotent(self):
+        ctrl = AdmissionController(max_connections=0)
+        sentinel = ctrl._sentinel
+        assert sentinel is not None
+        ctrl.close()
+        assert ctrl._sentinel is None
+        # Double close must not close an fd number that may have been
+        # reused by someone else in the meantime.
+        replacement = os.open(os.devnull, os.O_RDONLY)
+        try:
+            ctrl.close()
+            os.fstat(replacement)  # still valid: not closed out from under us
+        finally:
+            os.close(replacement)

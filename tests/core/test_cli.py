@@ -279,4 +279,5 @@ class TestServeCommand:
         assert code == 0
         output = capsys.readouterr().out
         assert "serving" in output
-        assert "shutting down" in output
+        assert "draining" in output
+        assert "overload:" in output  # shutdown summary printed on the interrupt path

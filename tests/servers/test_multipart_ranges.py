@@ -285,3 +285,80 @@ class TestBlockingArchitecturesMultipart:
         assert response.status == 206
         assert parse_multipart(response) == expected_parts([(0, 10), (65530, 16)])
         assert server.stats.range_multipart_responses >= 1
+
+
+class TestPreconditionsBeatMultipart:
+    """RFC 7232 §6 audit (PR 8): a failed ``If-Match`` or
+    ``If-Unmodified-Since`` answers 412 even when the request also carries
+    a multi-range ``Range`` header — the precondition is evaluated before
+    range selection, on the slow path and on the hot-cache path alike."""
+
+    @pytest.mark.parametrize("server_cls", [SPEDServer, FlashServer])
+    @pytest.mark.parametrize(
+        "precondition",
+        [
+            {"If-Match": '"deadbeef-0"'},
+            {"If-Unmodified-Since": "Thu, 01 Jan 1970 00:00:00 GMT"},
+        ],
+        ids=["if-match", "if-unmodified-since"],
+    )
+    def test_412_beats_multipart_on_slow_and_hot_paths(
+        self, docroot, server_cls, precondition
+    ):
+        server = server_cls(config_for(docroot))
+        server.start()
+        try:
+            # Slow path: first-ever request for the target.
+            cold = get_ranges(server.address, "0-9,100-199", **precondition)
+            # Prime the hot cache with a plain 200, then repeat the
+            # conditional multi-range request as a hot lookup.
+            full = fetch(*server.address, "/big.bin")
+            hot = get_ranges(server.address, "0-9,100-199", **precondition)
+        finally:
+            server.stop()
+        for response in (cold, hot):
+            assert response.status == 412
+            # The 412 carries current validators, never multipart framing.
+            assert response.headers["etag"] == full.headers["etag"]
+            assert "multipart" not in response.headers.get("content-type", "")
+
+    @pytest.mark.parametrize("server_cls", [MTServer, MPServer])
+    def test_blocking_workers_agree(self, docroot, server_cls):
+        server = server_cls(config_for(docroot, num_workers=2))
+        server.start()
+        try:
+            import time
+            deadline = time.monotonic() + 5.0
+            cold = None
+            while time.monotonic() < deadline:
+                try:
+                    cold = get_ranges(
+                        server.address, "0-9,100-199", **{"If-Match": '"stale-1"'}
+                    )
+                    break
+                except OSError:
+                    time.sleep(0.05)
+            fetch(*server.address, "/big.bin")
+            hot = get_ranges(
+                server.address, "0-9,100-199", **{"If-Match": '"stale-1"'}
+            )
+        finally:
+            server.stop()
+        assert cold is not None
+        for response in (cold, hot):
+            assert response.status == 412
+            assert "multipart" not in response.headers.get("content-type", "")
+
+    def test_passing_precondition_still_serves_multipart(self, docroot):
+        server = SPEDServer(config_for(docroot))
+        server.start()
+        try:
+            full = fetch(*server.address, "/big.bin")
+            etag = full.headers["etag"]
+            response = get_ranges(
+                server.address, "0-9,100-199", **{"If-Match": etag}
+            )
+        finally:
+            server.stop()
+        assert response.status == 206
+        assert parse_multipart(response) == expected_parts([(0, 10), (100, 100)])
