@@ -51,7 +51,9 @@ def test_fig11_optimization_breakdown(run_once):
 
     # Full Flash is the best combination at every size.
     for size_kb in sizes:
-        best = max(result.rows, key=lambda row: row.request_rate if row.x == size_kb else -1)
+        best = max(
+            result.rows, key=lambda row, s=size_kb: row.request_rate if row.x == s else -1
+        )
         assert rate("all (Flash)", size_kb) >= 0.98 * best.request_rate
 
     # Without optimizations, small-file performance roughly halves.

@@ -1,0 +1,35 @@
+"""repro-lint: project-specific static analysis + runtime sanitizers.
+
+Static half (``python -m repro.analysis`` / ``repro-lint``): AST rules
+RL001–RL005 encoding the reproduction's architecture invariants — no
+blocking on the event loop, balanced fd lifecycles, lock discipline,
+honest stats counters, exception-safe loop callbacks.  See
+docs/ANALYSIS.md for the rule catalogue and annotation syntax.
+
+Runtime half (:mod:`repro.analysis.sanitize`, enabled with
+``REPRO_SANITIZE=1``): an fd-leak tracker, a loop-stall watchdog, and a
+lock-order recorder that harden the test suite against the same bug
+classes dynamically.
+"""
+
+from repro.analysis.framework import (
+    Finding,
+    LintError,
+    ModuleInfo,
+    Project,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+)
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+]

@@ -1,0 +1,192 @@
+"""Command-line front end for ``repro-lint``.
+
+Usage::
+
+    repro-lint [PATHS...] [--format human|json] [--select RL001,RL003]
+               [--docs PATH] [--list-rules]
+
+Exit codes: 0 — clean; 1 — findings; 2 — usage or analysis error (syntax
+error, unreadable file, unknown rule).
+
+The run collects every ``*.py`` under the given paths (default ``src``),
+parses them once, executes all registered rules, drops findings covered by
+a justified ``# repro-lint: allow[RLxxx] -- why`` annotation, and reports
+unjustified annotations as RL000 — so the suppression inventory itself
+stays honest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis import rules  # noqa: F401  (registers RL001–RL005)
+from repro.analysis.framework import (
+    META_RULE_ID,
+    Finding,
+    LintError,
+    ModuleInfo,
+    Project,
+    all_rules,
+    get_rule,
+)
+
+#: Documentation file RL004 audits counters against, relative to the repo
+#: root (discovered by walking up from the scanned paths).
+DOCS_RELPATH = Path("docs") / "ARCHITECTURE.md"
+
+
+def collect_files(paths: List[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise LintError(f"no such file or directory: {raw}")
+    unique = []
+    seen = set()
+    for path in files:
+        key = path.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def discover_docs(paths: List[str]) -> Optional[Path]:
+    """docs/ARCHITECTURE.md nearest to the scanned paths, else None.
+
+    Checks the first scanned path itself, then up to three parents — so a
+    fixture tree carrying its own ``docs/`` is self-contained while a
+    normal ``repro-lint src/`` run finds the repository's copy next to
+    ``src``.
+    """
+    if not paths:
+        return None
+    start = Path(paths[0]).resolve()
+    if start.is_file():
+        start = start.parent
+    for candidate in [start, *start.parents[:3]]:
+        docs = candidate / DOCS_RELPATH
+        if docs.is_file():
+            return docs
+    return None
+
+
+def run(
+    paths: List[str],
+    select: Optional[List[str]] = None,
+    docs: Optional[Path] = None,
+) -> List[Finding]:
+    """Run the checker; returns surviving findings (suppressed ones dropped)."""
+    modules = [ModuleInfo(path) for path in collect_files(paths)]
+    docs_path = docs if docs is not None else discover_docs(paths)
+    docs_text = docs_path.read_text(encoding="utf-8") if docs_path else None
+    project = Project(
+        modules,
+        docs_text=docs_text,
+        docs_path=str(docs_path) if docs_path else None,
+    )
+    active = (
+        [get_rule(rule_id) for rule_id in select] if select else all_rules()
+    )
+    by_path = {module.display_path: module for module in modules}
+    findings: List[Finding] = []
+    for rule in active:
+        for module in modules:
+            findings.extend(rule.check_module(module, project))
+        findings.extend(rule.check_project(project))
+    findings = [
+        f for f in findings
+        if not by_path[f.path].suppressions.covers(f.rule, f.line)
+    ]
+    for module in modules:
+        findings.extend(
+            module.finding(
+                META_RULE_ID, s.line,
+                "suppression without justification: write "
+                "'# repro-lint: allow[%s] -- <why>'" % ",".join(sorted(s.rules)),
+            )
+            for s in module.suppressions.unjustified()
+        )
+    findings.sort()
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Project-specific AST invariant checker (rules RL001-RL005).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--docs", metavar="PATH", type=Path,
+        help="ARCHITECTURE.md to audit stats counters against "
+             "(default: discovered near the scanned paths)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name}")
+            print(f"       {rule.rationale}")
+        return 0
+
+    select = (
+        [rule_id.strip() for rule_id in args.select.split(",") if rule_id.strip()]
+        if args.select
+        else None
+    )
+    try:
+        findings = run(args.paths, select=select, docs=args.docs)
+    except LintError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "version": 1,
+                "findings": [f.to_json() for f in findings],
+                "count": len(findings),
+            },
+            indent=2,
+        ))
+    else:
+        for finding in findings:
+            print(finding.render())
+        summary = (
+            "repro-lint: clean"
+            if not findings
+            else f"repro-lint: {len(findings)} finding(s)"
+        )
+        print(summary)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,346 @@
+"""Core machinery for ``repro-lint``: findings, suppressions, modules, rules.
+
+The checker is deliberately a *project* linter, not a general one: every
+rule encodes an invariant of this reproduction's architecture (the event
+loop must never block; every descriptor must be owned by exactly one
+releaser; shared MT state must be lock-guarded).  The framework keeps each
+rule small:
+
+* :class:`Finding` — one diagnostic, sortable and JSON-serialisable.
+* :class:`SuppressionIndex` — parses ``# repro-lint: allow[RLxxx] -- why``
+  comments.  A suppression *must* carry a justification after ``--``; a
+  bare allow is itself reported (rule ``RL000``), so the annotations in the
+  tree double as a machine-checked inventory of intentional exceptions.
+  An allow on (or directly above) a ``def``/``class`` line covers the whole
+  body; anywhere else it covers its own line only.
+* :class:`ModuleInfo` — path, source, AST, suppressions and the module's
+  *domain* (which concurrency world its code runs in), derived from its
+  path or overridden with ``# repro-lint: domain=<event|mt|helper|other>``
+  near the top of the file.
+* :class:`Rule` + :func:`register` — the registry new rules hook into:
+  implement ``check_module`` (called per file) or ``check_project``
+  (called once with the whole tree in view) and yield findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "DOMAIN_EVENT",
+    "DOMAIN_HELPER",
+    "DOMAIN_MT",
+    "DOMAIN_OTHER",
+    "Finding",
+    "LintError",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "SuppressionIndex",
+    "all_rules",
+    "dotted_name",
+    "get_rule",
+    "iter_functions",
+    "register",
+]
+
+#: Rule id reserved for the framework itself: a suppression comment whose
+#: justification is missing.  It cannot be suppressed.
+META_RULE_ID = "RL000"
+
+# -- domains -------------------------------------------------------------------
+
+#: Code that runs on the single-threaded event loop (SPED/AMPED): blocking
+#: here stalls every connection at once — the paper's Figure-4 pathology.
+DOMAIN_EVENT = "event"
+#: Code executed concurrently by MT worker threads (shared address space).
+DOMAIN_MT = "mt"
+#: Code executed by AMPED helpers / the supervisor (blocking is the job).
+DOMAIN_HELPER = "helper"
+#: Everything else (clients, experiments, sim, workload...).
+DOMAIN_OTHER = "other"
+
+_DOMAINS = frozenset({DOMAIN_EVENT, DOMAIN_MT, DOMAIN_HELPER, DOMAIN_OTHER})
+
+#: Path-suffix → domain classification for the real tree.  Fixtures and new
+#: modules can always self-classify with a ``# repro-lint: domain=...``
+#: pragma, which wins over this table.
+_DOMAIN_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("repro/core/event_loop.py", DOMAIN_EVENT),
+    ("repro/core/timer_wheel.py", DOMAIN_EVENT),
+    ("repro/core/connection.py", DOMAIN_EVENT),
+    ("repro/core/server.py", DOMAIN_EVENT),
+    ("repro/core/send_path.py", DOMAIN_EVENT),
+    ("repro/core/pipeline.py", DOMAIN_EVENT),
+    ("repro/servers/sped.py", DOMAIN_EVENT),
+    ("repro/servers/mt.py", DOMAIN_MT),
+    ("repro/servers/blocking.py", DOMAIN_MT),
+    ("repro/core/helpers.py", DOMAIN_HELPER),
+    ("repro/core/supervisor.py", DOMAIN_HELPER),
+)
+
+_DOMAIN_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*domain=(?P<domain>[a-z]+)")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<rules>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)\]"
+    r"(?:\s*--\s*(?P<why>\S.*?))?\s*$"
+)
+
+
+class LintError(Exception):
+    """Unrecoverable checker error (unreadable file, syntax error)."""
+
+
+# -- findings ------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: rule id, location, and a human-oriented message."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+# -- suppressions --------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Suppression:
+    """One parsed ``# repro-lint: allow[...]`` comment."""
+
+    line: int
+    rules: frozenset
+    justification: str
+    #: Line span this suppression covers: its own line, widened to a whole
+    #: ``def``/``class`` body when anchored to one.
+    span: Tuple[int, int] = (0, 0)
+
+
+class SuppressionIndex:
+    """All suppression comments of one module, with their coverage spans.
+
+    Placement rules (documented in docs/ANALYSIS.md):
+
+    * trailing on a code line — covers that line only;
+    * on a comment-only line — covers the line directly below it;
+    * on a ``def`` / ``class`` line, on the line directly above it, or on
+      the line of (or above) its first decorator — covers the whole body.
+    """
+
+    def __init__(self, source: str, tree: ast.AST):
+        self.suppressions: List[Suppression] = []
+        anchors: Dict[int, Tuple[int, int]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                span = (node.lineno, node.end_lineno or node.lineno)
+                anchor_lines = {node.lineno}
+                if node.decorator_list:
+                    anchor_lines.add(node.decorator_list[0].lineno)
+                for anchor in anchor_lines:
+                    # Keep the widest span per anchor (outer class over its
+                    # first method when they share a line — they cannot, but
+                    # decorated nested defs can collide).
+                    prev = anchors.get(anchor)
+                    if prev is None or span[1] - span[0] > prev[1] - prev[0]:
+                        anchors[anchor] = span
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover - ast parsed already
+            tokens = []
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            line = tok.start[0]
+            rules = frozenset(r.strip() for r in match.group("rules").split(","))
+            why = (match.group("why") or "").strip()
+            span = anchors.get(line) or anchors.get(line + 1)
+            if span is None:
+                # A comment-only line covers the statement below it; a
+                # trailing comment covers its own line.
+                alone = tok.line.strip().startswith("#")
+                span = (line, line + 1) if alone else (line, line)
+            self.suppressions.append(
+                Suppression(line=line, rules=rules, justification=why, span=span)
+            )
+
+    def covers(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is suppressed (with justification) at ``line``."""
+        if rule == META_RULE_ID:
+            return False
+        return any(
+            rule in s.rules and s.justification and s.span[0] <= line <= s.span[1]
+            for s in self.suppressions
+        )
+
+    def unjustified(self) -> List[Suppression]:
+        return [s for s in self.suppressions if not s.justification]
+
+
+# -- modules -------------------------------------------------------------------
+
+
+class ModuleInfo:
+    """One parsed source file plus the derived facts every rule needs."""
+
+    def __init__(self, path: Path, display_path: Optional[str] = None):
+        self.path = Path(path)
+        self.display_path = display_path or self.path.as_posix()
+        try:
+            self.source = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"{self.display_path}: unreadable: {exc}") from exc
+        try:
+            self.tree = ast.parse(self.source, filename=str(self.path))
+        except SyntaxError as exc:
+            raise LintError(
+                f"{self.display_path}:{exc.lineno or 0}: syntax error: {exc.msg}"
+            ) from exc
+        self.suppressions = SuppressionIndex(self.source, self.tree)
+        self.domain = self._classify_domain()
+
+    def _classify_domain(self) -> str:
+        head = "\n".join(self.source.splitlines()[:10])
+        match = _DOMAIN_PRAGMA_RE.search(head)
+        if match:
+            domain = match.group("domain")
+            if domain not in _DOMAINS:
+                raise LintError(
+                    f"{self.display_path}: unknown repro-lint domain {domain!r} "
+                    f"(expected one of {sorted(_DOMAINS)})"
+                )
+            return domain
+        posix = self.path.as_posix()
+        for suffix, domain in _DOMAIN_SUFFIXES:
+            if posix.endswith(suffix):
+                return domain
+        return DOMAIN_OTHER
+
+    def finding(self, rule: str, line: int, message: str) -> Finding:
+        return Finding(path=self.display_path, line=line, rule=rule, message=message)
+
+
+class Project:
+    """The full set of modules a run sees, plus cross-file context."""
+
+    def __init__(self, modules: List[ModuleInfo], docs_text: Optional[str] = None,
+                 docs_path: Optional[str] = None):
+        self.modules = modules
+        #: Text of docs/ARCHITECTURE.md when discoverable (RL004's
+        #: documentation check); ``None`` disables that check.
+        self.docs_text = docs_text
+        self.docs_path = docs_path
+
+    def modules_in_domain(self, domain: str) -> List[ModuleInfo]:
+        return [m for m in self.modules if m.domain == domain]
+
+    def find_class(self, name: str) -> Optional[Tuple["ModuleInfo", ast.ClassDef]]:
+        """First (module, ClassDef) across the project defining ``name``."""
+        for module in self.modules:
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef) and node.name == name:
+                    return module, node
+        return None
+
+
+# -- rules ---------------------------------------------------------------------
+
+
+class Rule:
+    """Base class: subclass, set ``id``/``name``/``rationale``, register."""
+
+    id: str = ""
+    name: str = ""
+    #: One-line architecture rationale, shown by ``--list-rules`` and
+    #: expanded in docs/ANALYSIS.md.
+    rationale: str = ""
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id or cls.id in _REGISTRY:
+        raise ValueError(f"rule id missing or duplicate: {cls.id!r}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise LintError(f"unknown rule id {rule_id!r} "
+                        f"(known: {', '.join(sorted(_REGISTRY))})") from None
+
+
+# -- shared AST helpers --------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains; None for anything dynamic."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_functions(tree: ast.AST) -> Iterator[Tuple[ast.AST, Optional[ast.ClassDef]]]:
+    """Yield every (function node, enclosing class or None) in the module."""
+
+    def visit(node: ast.AST, cls: Optional[ast.ClassDef]) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, cls
+                yield from visit(child, cls)
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, child)
+            else:
+                yield from visit(child, cls)
+
+    yield from visit(tree, None)
+
+
+def name_used(node: ast.AST, name: str) -> bool:
+    """Whether ``name`` is read anywhere inside ``node``."""
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name
+        for sub in ast.walk(node)
+    )

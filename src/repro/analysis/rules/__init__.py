@@ -1,0 +1,15 @@
+"""Rule modules for ``repro-lint``; importing the package registers them.
+
+Adding a rule is three steps: create ``rlNNN_<slug>.py`` defining a
+:class:`~repro.analysis.framework.Rule` subclass under the
+:func:`~repro.analysis.framework.register` decorator, import it below,
+and add fixtures under ``tests/analysis/fixtures/``.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (imported for registration)
+    rl001_blocking,
+    rl002_fd_lifecycle,
+    rl003_lock_discipline,
+    rl004_stats_audit,
+    rl005_callback_safety,
+)

@@ -1,0 +1,112 @@
+"""RL001 — no blocking calls on the event-loop thread.
+
+The architecture comparison of the source paper turns on exactly this: a
+SPED server that blocks in its one process stalls *every* connection at
+once (its Figure-4 pathology), which is why AMPED exports the blocking
+steps to helpers.  The reproduction's event-domain modules (``core/``
+event-driven code plus the SPED build) must therefore never call a
+blocking primitive on a request path — and where they deliberately do
+(SPED's inline disk reads are the architecture under measurement), the
+site must carry an ``allow[RL001]`` annotation whose justification names
+the reason.  The annotations are the machine-checked inventory of the
+tree's intentional blocking points.
+
+Checks, within modules whose domain is ``event``:
+
+* ``time.sleep(...)`` — always flagged.
+* Builtin ``open(...)``, ``os.open``, ``os.read``, ``os.pread``,
+  ``os.stat`` — synchronous disk/metadata I/O; on a cold cache each can
+  take a seek.
+* Blocking socket methods (``recv``/``send``/``accept``/``connect``
+  family) — flagged unless the module puts its sockets in non-blocking
+  mode somewhere (``setblocking(False)``); the checker verifies the
+  module-level discipline, not per-object dataflow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import (
+    DOMAIN_EVENT,
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: Calls that perform synchronous disk or clock blocking, by dotted name.
+BLOCKING_CALLS = {
+    "time.sleep": "time.sleep() stalls every connection the loop owns",
+    "open": "builtin open() performs synchronous disk I/O (open(2) can seek)",
+    "os.open": "os.open() performs synchronous metadata I/O",
+    "os.read": "os.read() performs synchronous disk I/O",
+    "os.pread": "os.pread() performs synchronous disk I/O",
+    "os.stat": "os.stat() performs synchronous metadata I/O",
+}
+
+#: Socket methods that block on a socket left in blocking mode.
+BLOCKING_SOCKET_METHODS = frozenset({
+    "recv",
+    "recv_into",
+    "recvfrom",
+    "send",
+    "sendall",
+    "sendto",
+    "accept",
+    "connect",
+    "makefile",
+})
+
+#: Receiver-name fragments that make a ``.recv()``/``.send()`` call look
+#: like a *socket* call.  Sender objects in the send path also answer to
+#: ``send()``; flagging those would be name collision, not analysis.
+SOCKETISH_RECEIVERS = ("sock", "client", "conn", "peer", "listener")
+
+
+def _looks_like_socket(receiver: str) -> bool:
+    last = receiver.split(".")[-1].lower()
+    return any(marker in last for marker in SOCKETISH_RECEIVERS)
+
+
+@register
+class NoBlockingCallsRule(Rule):
+    id = "RL001"
+    name = "no-blocking-calls-in-event-loop"
+    rationale = (
+        "blocking on the event-loop thread stalls every connection at once "
+        "(the paper's SPED-on-disk pathology; AMPED exists to prevent it)"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterable[Finding]:
+        if module.domain != DOMAIN_EVENT:
+            return
+        nonblocking_declared = "setblocking(False)" in module.source
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in BLOCKING_CALLS:
+                yield module.finding(
+                    self.id, node.lineno,
+                    f"blocking call {name}() on the event-loop thread: "
+                    f"{BLOCKING_CALLS[name]}",
+                )
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in BLOCKING_SOCKET_METHODS
+                and not nonblocking_declared
+            ):
+                receiver = dotted_name(node.func.value) or "<expr>"
+                if not _looks_like_socket(receiver):
+                    continue
+                yield module.finding(
+                    self.id, node.lineno,
+                    f"socket call {receiver}.{node.func.attr}() in an event-loop "
+                    "module that never calls setblocking(False): a blocking "
+                    "socket here stalls the loop",
+                )

@@ -1,0 +1,119 @@
+"""RL003 — lock discipline for state shared across concurrency domains.
+
+The tree mixes three worlds: the single-threaded event loop, MT worker
+threads, and helper/reaper threads.  An attribute that one method guards
+with a lock and another method writes bare is either a data race (MT) or a
+latent one (the next PR that moves the caller onto a thread).  The rule
+*infers* each class's protected set from the code itself: any attribute
+written inside a ``with <lock>:`` block is declared lock-guarded, and
+every other write of that attribute in the same class must then also hold
+the lock — or carry an ``allow[RL003]`` annotation saying why not (e.g.
+"caller already holds self._lock", "single-threaded until start()").
+
+A ``with`` context whose dotted source contains ``lock`` counts as a lock
+guard (``self._lock``, ``self._active_lock``, ``self._maybe_lock()`` —
+the ContentStore's conditional-lock pattern).  ``__init__`` is exempt:
+construction happens-before publication.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.framework import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: Methods whose writes are exempt: the object is not yet (or no longer)
+#: shared when they run.
+EXEMPT_METHODS = frozenset({"__init__", "__new__", "__del__", "__post_init__"})
+
+
+def _lock_guard_spans(method: ast.AST) -> List[Tuple[int, int]]:
+    """Line spans of ``with <...lock...>:`` bodies inside one method."""
+    spans = []
+    for node in ast.walk(method):
+        if not isinstance(node, ast.With):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                expr = expr.func
+            name = dotted_name(expr)
+            if name is not None and "lock" in name.lower():
+                spans.append((node.lineno, node.end_lineno or node.lineno))
+                break
+    return spans
+
+
+def _self_writes(method: ast.AST) -> Iterable[Tuple[str, int]]:
+    """(attribute, line) for every ``self.X = ...`` / ``self.X += ...``."""
+    for node in ast.walk(method):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                yield target.attr, target.lineno
+
+
+@register
+class LockDisciplineRule(Rule):
+    id = "RL003"
+    name = "lock-discipline"
+    rationale = (
+        "an attribute guarded by a lock in one method and written bare in "
+        "another is a data race once any caller runs off the event loop"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module: ModuleInfo, cls: ast.ClassDef) -> Iterable[Finding]:
+        methods = [
+            stmt for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        guarded: Dict[str, str] = {}
+        spans_by_method: Dict[str, List[Tuple[int, int]]] = {}
+        for method in methods:
+            spans = _lock_guard_spans(method)
+            spans_by_method[method.name] = spans
+            if not spans:
+                continue
+            for attr, line in _self_writes(method):
+                if "lock" in attr.lower():
+                    continue
+                if any(start <= line <= end for start, end in spans):
+                    guarded.setdefault(attr, method.name)
+        if not guarded:
+            return
+        for method in methods:
+            if method.name in EXEMPT_METHODS:
+                continue
+            spans = spans_by_method[method.name]
+            for attr, line in _self_writes(method):
+                if attr not in guarded:
+                    continue
+                if any(start <= line <= end for start, end in spans):
+                    continue
+                yield module.finding(
+                    self.id, line,
+                    f"attribute self.{attr} is lock-guarded in "
+                    f"{cls.name}.{guarded[attr]}() but written here without "
+                    "holding the lock",
+                )

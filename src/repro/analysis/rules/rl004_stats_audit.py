@@ -1,0 +1,137 @@
+"""RL004 — ServerStats audit: live, documented, and MT-safe counters.
+
+The per-architecture comparison is only as good as its instrumentation:
+a ``ServerStats`` field that nothing increments reports a silent zero, a
+field missing from docs/ARCHITECTURE.md cannot be interpreted by anyone
+reading a BENCH table, and an increment from an MT worker thread outside
+the store lock is a lost-update race (``x += 1`` is a read-modify-write
+even under the GIL).  One project-wide pass checks all three:
+
+* every int field of ``ServerStats`` is incremented (``+=``) somewhere in
+  the tree outside the class itself (``merge`` does not count);
+* every field name appears in docs/ARCHITECTURE.md;
+* in MT-domain modules every stats increment happens inside a
+  ``with <...lock...>:`` block — or carries an ``allow[RL004]``
+  annotation justifying the documented stats-slop trade (serialising the
+  hot path on the store lock costs more than exact counters are worth).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Tuple
+
+from repro.analysis.framework import (
+    DOMAIN_MT,
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    dotted_name,
+    register,
+)
+
+STATS_CLASS = "ServerStats"
+
+
+def _int_fields(cls: ast.ClassDef) -> List[Tuple[str, int]]:
+    fields = []
+    for stmt in cls.body:
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and isinstance(stmt.annotation, ast.Name)
+            and stmt.annotation.id == "int"
+        ):
+            fields.append((stmt.target.id, stmt.lineno))
+    return fields
+
+
+def _lock_spans(tree: ast.AST) -> List[Tuple[int, int]]:
+    spans = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.With):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                expr = expr.func
+            name = dotted_name(expr)
+            if name is not None and "lock" in name.lower():
+                spans.append((node.lineno, node.end_lineno or node.lineno))
+                break
+    return spans
+
+
+@register
+class StatsAuditRule(Rule):
+    id = "RL004"
+    name = "stats-counter-audit"
+    rationale = (
+        "an unincremented counter reports a silent zero, an undocumented one "
+        "cannot be read, and an unlocked MT increment loses updates"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        located = project.find_class(STATS_CLASS)
+        if located is None:
+            return
+        stats_module, stats_cls = located
+        fields = _int_fields(stats_cls)
+        if not fields:
+            return
+        field_names = {name for name, _line in fields}
+        cls_span = (stats_cls.lineno, stats_cls.end_lineno or stats_cls.lineno)
+
+        incremented = set()
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, ast.Add)
+                    and isinstance(node.target, ast.Attribute)
+                    and node.target.attr in field_names
+                ):
+                    continue
+                if (
+                    module is stats_module
+                    and cls_span[0] <= node.lineno <= cls_span[1]
+                ):
+                    continue  # ServerStats.merge folding counters, not an event
+                incremented.add(node.target.attr)
+
+        for name, line in fields:
+            if name not in incremented:
+                yield stats_module.finding(
+                    self.id, line,
+                    f"ServerStats.{name} is never incremented anywhere in the "
+                    "tree: dead counter (remove it or wire it up)",
+                )
+            if project.docs_text is not None and not re.search(
+                rf"\b{re.escape(name)}\b", project.docs_text
+            ):
+                yield stats_module.finding(
+                    self.id, line,
+                    f"ServerStats.{name} is not documented in "
+                    f"{project.docs_path or 'docs/ARCHITECTURE.md'}",
+                )
+
+        for module in project.modules_in_domain(DOMAIN_MT):
+            spans = _lock_spans(module.tree)
+            for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, ast.Add)
+                    and isinstance(node.target, ast.Attribute)
+                    and node.target.attr in field_names
+                ):
+                    continue
+                if any(start <= node.lineno <= end for start, end in spans):
+                    continue
+                yield module.finding(
+                    self.id, node.lineno,
+                    f"stats counter {node.target.attr} incremented from an MT "
+                    "worker path without holding a lock: += is a "
+                    "read-modify-write and loses updates under contention",
+                )

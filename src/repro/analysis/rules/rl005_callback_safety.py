@@ -1,0 +1,169 @@
+"""RL005 — event-loop callbacks must not leak arbitrary exceptions.
+
+The event loop dispatches readiness callbacks and timer expiries bare: an
+exception that escapes a callback unwinds ``run_once`` and kills the whole
+server — every other connection dies with the one that faulted.  PR 2 hit
+exactly this as a ``BrokenPipeError`` crash; this rule makes that incident
+class a lint.
+
+For every callback registered with the loop or the timer wheel
+(``loop.register``/``modify``/``call_soon``/``call_later``,
+``wheel.schedule``) that the checker can resolve to a function in the same
+module (``self.method``, a module function, a ``lambda:`` wrapping one,
+``functools.partial(self.method, ...)``), the callback's body must be a
+single ``try`` whose handler catches ``Exception`` (or broader) and does
+not unconditionally re-raise.  Callbacks the checker cannot resolve
+(attribute chains into other objects) are skipped, not guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Tuple
+
+from repro.analysis.framework import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: method name → positional index of the callback argument.
+REGISTRATION_METHODS = {
+    "register": 2,
+    "modify": 2,
+    "call_soon": 0,
+    "call_later": 1,
+    "schedule": 1,
+}
+
+#: The registration receiver must look like the loop or the wheel.
+RECEIVER_MARKERS = ("loop", "wheel")
+
+
+def _callback_argument(node: ast.Call, method: str) -> Optional[ast.expr]:
+    index = REGISTRATION_METHODS[method]
+    for kw in node.keywords:
+        if kw.arg == "callback":
+            return kw.value
+    if len(node.args) > index:
+        return node.args[index]
+    return None
+
+
+def _qualifying_handler(handler: ast.ExceptHandler) -> bool:
+    """Catches Exception or broader, and is not a bare unconditional re-raise."""
+    htype = handler.type
+    names = []
+    if htype is None:
+        names = ["BaseException"]
+    elif isinstance(htype, ast.Name):
+        names = [htype.id]
+    elif isinstance(htype, ast.Tuple):
+        names = [el.id for el in htype.elts if isinstance(el, ast.Name)]
+    if not any(name in ("Exception", "BaseException") for name in names):
+        return False
+    only_reraise = (
+        len(handler.body) == 1
+        and isinstance(handler.body[0], ast.Raise)
+        and handler.body[0].exc is None
+    )
+    return not only_reraise
+
+
+def _is_guarded(func: ast.AST) -> bool:
+    body = list(func.body)
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]
+    if len(body) != 1 or not isinstance(body[0], ast.Try):
+        return False
+    return any(_qualifying_handler(h) for h in body[0].handlers)
+
+
+@register
+class CallbackSafetyRule(Rule):
+    id = "RL005"
+    name = "event-loop-exception-safety"
+    rationale = (
+        "an exception escaping a registered callback unwinds run_once and "
+        "kills every connection at once (the PR-2 BrokenPipeError crash)"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterable[Finding]:
+        classes = {
+            node: {
+                m.name: m
+                for m in node.body
+                if isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        functions = {
+            node.name: node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        seen = set()
+        for cls, methods in classes.items():
+            for node in ast.walk(cls):
+                yield from self._check_call(module, node, methods, functions, seen)
+        for node in ast.walk(module.tree):
+            yield from self._check_call(module, node, {}, functions, seen)
+
+    def _check_call(self, module, node, methods, functions, seen) -> Iterable[Finding]:
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in REGISTRATION_METHODS
+        ):
+            return
+        receiver = dotted_name(node.func.value) or ""
+        if not any(marker in receiver.lower() for marker in RECEIVER_MARKERS):
+            return
+        callback = _callback_argument(node, node.func.attr)
+        if callback is None:
+            return
+        resolved = self._resolve(callback, methods, functions)
+        if resolved is None:
+            return
+        key = (resolved.lineno, resolved.name)
+        if key in seen:
+            return
+        seen.add(key)
+        if not _is_guarded(resolved):
+            yield module.finding(
+                self.id, resolved.lineno,
+                f"callback {resolved.name}() is registered with the event "
+                f"loop/timer wheel (line {node.lineno}) but its body is not "
+                "fully guarded by try/except Exception: an escaping exception "
+                "kills the loop and every connection it owns",
+            )
+
+    def _resolve(self, callback: ast.expr, methods, functions) -> Optional[ast.AST]:
+        if isinstance(callback, ast.Attribute):
+            if (
+                isinstance(callback.value, ast.Name)
+                and callback.value.id == "self"
+            ):
+                return methods.get(callback.attr)
+            return None
+        if isinstance(callback, ast.Name):
+            return functions.get(callback.id)
+        if isinstance(callback, ast.Lambda):
+            if isinstance(callback.body, ast.Call):
+                return self._resolve(callback.body.func, methods, functions)
+            return None
+        if isinstance(callback, ast.Call):
+            called = dotted_name(callback.func)
+            if called in ("functools.partial", "partial") and callback.args:
+                return self._resolve(callback.args[0], methods, functions)
+            return None
+        return None

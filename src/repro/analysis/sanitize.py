@@ -1,0 +1,337 @@
+"""Runtime sanitizers backing the static rules with dynamic checks.
+
+``repro-lint``'s AST rules prove properties of the *source*; the three
+sanitizers here check the corresponding properties of a *running* test
+process, so a violation the static analysis cannot see (a leak through a
+C extension, a blocking call reached via dynamic dispatch, a lock-order
+inversion that only materialises under the MT build) still fails CI.
+
+* :class:`FdTracker` — RL002's runtime twin.  Snapshots ``/proc/self/fd``
+  and asserts that a test module leaves no new descriptors behind; an
+  ``sys.addaudithook`` ring buffer attributes recent opens so the failure
+  message names the call site instead of just a number.
+* :class:`LoopStallWatchdog` — RL001's runtime twin.  Hooks the event
+  loop's dispatch path (:func:`repro.core.event_loop.add_dispatch_observer`)
+  and records any readiness callback that holds the loop longer than a
+  threshold.
+* :class:`LockOrderRecorder` — RL003's runtime twin.  Wraps
+  ``threading.Lock``/``RLock`` construction so every acquisition is
+  recorded per thread, building a lock-order graph; a 2-cycle (A taken
+  under B on one thread, B under A on another) is a latent deadlock.
+
+Everything here is opt-in: ``conftest.py`` activates it only when
+``REPRO_SANITIZE=1`` is set (the CI ``static-analysis`` job does).
+"""
+
+from __future__ import annotations
+
+import collections
+import gc
+import os
+import sys
+import threading
+import time
+import traceback
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "FdTracker",
+    "LockOrderRecorder",
+    "LoopStallWatchdog",
+    "enabled",
+]
+
+#: Environment variable gating the sanitizers.
+ENV_VAR = "REPRO_SANITIZE"
+
+
+def enabled() -> bool:
+    """Whether the runtime sanitizers were requested for this process."""
+    return os.environ.get(ENV_VAR, "") == "1"
+
+
+# -- fd leak tracking ----------------------------------------------------------
+
+#: ``/proc/self/fd`` targets that are process plumbing, not test resources:
+#: the interpreter's own pipes, tty descriptors, urandom handles...
+_IGNORED_FD_PREFIXES = ("pipe:", "anon_inode:", "/dev/")
+
+
+class FdTracker:
+    """Detects file descriptors leaked between two points in time.
+
+    The authoritative signal is a ``/proc/self/fd`` diff — it sees every
+    descriptor however it was created.  Because a "leak" may just be an
+    object the GC has not collected yet, :meth:`leaked` retries the diff
+    across ``gc.collect()`` passes before declaring descriptors leaked.
+
+    An audit hook (`open`, `socket.__new__`, ``os.dup``...) keeps a small
+    ring buffer of recent creation sites purely for *attribution*: when a
+    leak is real, the report shows where descriptors were last created.
+    """
+
+    RING = 64
+
+    def __init__(self) -> None:
+        self._recent: collections.deque = collections.deque(maxlen=self.RING)
+        self._hook_installed = False
+        self._baseline: Dict[int, str] = {}
+
+    # Audit hooks cannot be removed, so the tracker keeps one process-wide
+    # hook that only records while ``self._armed``.
+    _armed = False
+
+    def install(self) -> None:
+        """Install the attribution audit hook (idempotent, irreversible)."""
+        if self._hook_installed:
+            return
+        self._hook_installed = True
+        watched = {"open", "socket.__new__", "os.dup", "os.dup2", "os.pipe"}
+        reentry = threading.local()
+
+        def hook(event: str, args: tuple) -> None:
+            if event not in watched or not FdTracker._armed:
+                return
+            # Reentrancy guard: collecting the stack must not itself raise
+            # audit events (linecache opens source files), and
+            # ``lookup_lines=False`` skips those opens in the first place.
+            if getattr(reentry, "active", False):
+                return
+            reentry.active = True
+            try:
+                stack = traceback.StackSummary.extract(
+                    traceback.walk_stack(None), limit=12, lookup_lines=False
+                )
+                site = next(
+                    (
+                        f"{frame.filename}:{frame.lineno} in {frame.name}"
+                        for frame in stack
+                        if "/repro/" in frame.filename.replace(os.sep, "/")
+                        and not frame.filename.endswith("sanitize.py")
+                    ),
+                    None,
+                )
+                if site is not None:
+                    self._recent.append((event, site))
+            finally:
+                reentry.active = False
+
+        sys.addaudithook(hook)
+
+    @staticmethod
+    def _snapshot() -> Dict[int, str]:
+        fds: Dict[int, str] = {}
+        try:
+            entries = os.listdir("/proc/self/fd")
+        except OSError:  # pragma: no cover - non-procfs platform
+            return fds
+        for entry in entries:
+            try:
+                fd = int(entry)
+                target = os.readlink(f"/proc/self/fd/{fd}")
+            except (OSError, ValueError):
+                continue  # raced with a close; the listing fd itself
+            fds[fd] = target
+        return fds
+
+    def arm(self) -> None:
+        """Record the baseline descriptor set and start attributing."""
+        self.install()
+        self._recent.clear()
+        FdTracker._armed = True
+        self._baseline = self._snapshot()
+
+    def leaked(self, retries: int = 5, delay: float = 0.05) -> List[str]:
+        """Descriptors present now but not at :meth:`arm` time.
+
+        Retries across ``gc.collect()`` passes so descriptors owned by
+        collectable garbage (or closing on a daemon thread) do not count.
+        Returns human-oriented ``"fd N -> target"`` strings, annotated
+        with recent creation sites when the audit ring has any.
+        """
+        leaked: Dict[int, str] = {}
+        for attempt in range(retries):
+            gc.collect()
+            current = self._snapshot()
+            leaked = {
+                fd: target
+                for fd, target in current.items()
+                if fd not in self._baseline
+                and not target.startswith(_IGNORED_FD_PREFIXES)
+            }
+            if not leaked:
+                break
+            if attempt + 1 < retries:
+                time.sleep(delay)
+        FdTracker._armed = False
+        if not leaked:
+            return []
+        lines = [f"fd {fd} -> {target}" for fd, target in sorted(leaked.items())]
+        if self._recent:
+            lines.append("recent descriptor creation sites:")
+            lines.extend(f"  {event} at {site}" for event, site in self._recent)
+        return lines
+
+
+# -- loop stall detection ------------------------------------------------------
+
+
+class LoopStallWatchdog:
+    """Records event-loop readiness callbacks that run longer than allowed.
+
+    The event loop is shared by every connection: a callback that takes
+    100 ms delays *all* of them by 100 ms (the paper's case against
+    inline blocking).  The watchdog observes every dispatch via the
+    loop's observer hook and keeps the worst offenders for the report.
+    """
+
+    def __init__(self, threshold: float = 0.25, keep: int = 20) -> None:
+        self.threshold = threshold
+        self.stalls: List[Tuple[float, str]] = []
+        self._keep = keep
+        self._installed = False
+
+    def _observe(self, callback, elapsed: float) -> None:
+        if elapsed < self.threshold:
+            return
+        name = getattr(callback, "__qualname__", None) or repr(callback)
+        self.stalls.append((elapsed, name))
+        self.stalls.sort(reverse=True)
+        del self.stalls[self._keep:]
+
+    def install(self) -> None:
+        from repro.core.event_loop import add_dispatch_observer
+
+        if not self._installed:
+            add_dispatch_observer(self._observe)
+            self._installed = True
+
+    def uninstall(self) -> None:
+        from repro.core.event_loop import remove_dispatch_observer
+
+        if self._installed:
+            remove_dispatch_observer(self._observe)
+            self._installed = False
+
+    def report(self) -> List[str]:
+        return [
+            f"loop callback {name} held the loop for {elapsed * 1000:.0f} ms"
+            for elapsed, name in self.stalls
+        ]
+
+
+# -- lock order recording ------------------------------------------------------
+
+
+class _LockProxy:
+    """Delegating wrapper recording acquire/release order per thread."""
+
+    __slots__ = ("_lock", "_site", "_recorder")
+
+    def __init__(self, lock, site: str, recorder: "LockOrderRecorder") -> None:
+        self._lock = lock
+        self._site = site
+        self._recorder = recorder
+
+    def acquire(self, *args, **kwargs):
+        acquired = self._lock.acquire(*args, **kwargs)
+        if acquired:
+            self._recorder._acquired(self._site)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        self._recorder._released(self._site)
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __getattr__(self, name):
+        return getattr(self._lock, name)
+
+
+class LockOrderRecorder:
+    """Builds the runtime lock-order graph and reports 2-cycles.
+
+    Locks are identified by *creation site* (file:line), not identity, so
+    one lock per connection still aggregates into a single graph node and
+    an inversion between two lock classes is visible even if no single
+    pair of instances ever deadlocked during the run.
+    """
+
+    def __init__(self) -> None:
+        #: Directed edges: (outer_site, inner_site) observed held-nested.
+        self.edges: Set[Tuple[str, str]] = set()
+        self._held = threading.local()
+        self._originals: Optional[Tuple] = None
+        self._graph_lock = threading.Lock()
+
+    # - bookkeeping (called from _LockProxy) -
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def _acquired(self, site: str) -> None:
+        stack = self._stack()
+        with self._graph_lock:
+            for outer in stack:
+                if outer != site:
+                    self.edges.add((outer, site))
+        stack.append(site)
+
+    def _released(self, site: str) -> None:
+        stack = self._stack()
+        # Release order need not mirror acquire order; drop the newest match.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == site:
+                del stack[index]
+                break
+
+    # - installation -
+
+    def install(self) -> None:
+        """Wrap ``threading.Lock``/``RLock`` so new locks are recorded."""
+        if self._originals is not None:
+            return
+        real_lock, real_rlock = threading.Lock, threading.RLock
+        self._originals = (real_lock, real_rlock)
+        recorder = self
+
+        def creation_site() -> str:
+            frame = sys._getframe(2)
+            return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+        def make_lock():
+            return _LockProxy(real_lock(), creation_site(), recorder)
+
+        def make_rlock():
+            return _LockProxy(real_rlock(), creation_site(), recorder)
+
+        threading.Lock = make_lock  # type: ignore[misc, assignment]
+        threading.RLock = make_rlock  # type: ignore[misc, assignment]
+
+    def uninstall(self) -> None:
+        if self._originals is not None:
+            threading.Lock, threading.RLock = self._originals  # type: ignore[misc]
+            self._originals = None
+
+    def inversions(self) -> List[str]:
+        """2-cycles in the order graph: each one is a latent deadlock."""
+        found = []
+        for outer, inner in sorted(self.edges):
+            if outer < inner and (inner, outer) in self.edges:
+                found.append(
+                    f"lock-order inversion: {outer} and {inner} "
+                    f"are nested in both orders"
+                )
+        return found

@@ -226,6 +226,7 @@ class AdmissionController:
 
     # -- fd-reserve guard ----------------------------------------------------------
 
+    # repro-lint: allow[RL003] -- every caller holds self._lock except __init__, where the controller is not yet shared
     def _open_sentinel(self) -> None:
         try:
             self._sentinel = os.open(os.devnull, os.O_RDONLY)

@@ -49,6 +49,7 @@ waited on there, and helper latency is the server's own business.
 from __future__ import annotations
 
 import errno
+import logging
 import socket
 import struct
 import time
@@ -74,6 +75,8 @@ from repro.http.response import build_error_response
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.pipeline import ContentStore
+
+logger = logging.getLogger(__name__)
 
 STATE_READ_REQUEST = "read_request"
 STATE_WAIT_DISK = "wait_disk"
@@ -200,12 +203,34 @@ class Connection:
         readiness.
         """
         try:
-            if mask & EVENT_READ and self.state == STATE_READ_REQUEST:
-                self._do_read()
-            if mask & EVENT_WRITE and self.state == STATE_SEND_RESPONSE:
-                self._do_write()
-        except OSError as exc:
-            self._absorb_disconnect(exc)
+            try:
+                if mask & EVENT_READ and self.state == STATE_READ_REQUEST:
+                    self._do_read()
+                if mask & EVENT_WRITE and self.state == STATE_SEND_RESPONSE:
+                    self._do_write()
+            except OSError as exc:
+                self._absorb_disconnect(exc)
+        except Exception:
+            self._absorb_callback_crash("on_ready")
+
+    def _absorb_callback_crash(self, where: str) -> None:
+        """Crash barrier for loop callbacks (lint rule RL005).
+
+        An exception escaping a readiness or timer callback unwinds
+        ``run_once`` and kills every connection the loop owns — the PR-2
+        BrokenPipeError incident, generalised.  A connection whose state
+        machine raised is unrecoverable, but only *it* should die: count
+        the bug, log it with traceback, close this connection, move on.
+        """
+        try:
+            self.driver.store.stats.loop_callback_errors += 1
+        except Exception:  # stats are best-effort inside the barrier
+            pass
+        logger.exception("unhandled error in %s; closing this connection", where)
+        try:
+            self.close()
+        except Exception:
+            logger.exception("close() failed after %s crash", where)
 
     def _absorb_disconnect(self, exc: OSError) -> None:
         """Close the connection on a peer failure; re-raise anything else.
@@ -261,39 +286,42 @@ class Connection:
 
     def _on_deadline(self) -> None:
         """Wheel callback: the armed budget ran out without progress."""
-        if self.state == STATE_CLOSED:
-            return
-        kind = self._deadline_kind
-        self._deadline_handle = None
-        self._deadline_kind = None
-        stats = self.driver.store.stats
-        if kind == "header" and self.state == STATE_READ_REQUEST:
-            # Mid-parse expiry: answer 408 and close.  _send_error goes
-            # through _start_send, which arms a write deadline — so a
-            # slowloris peer that also refuses to *read* the 408 is still
-            # reaped by the write-stall budget, pins and all.
-            stats.timeouts_header += 1
-            self._send_error(408, "request header timeout", close_after=True)
-            return
-        if kind == "write":
-            stats.timeouts_write_stall += 1
-            # Abortive close: an orderly close would leave the kernel
-            # background-flushing the send buffer to a peer that is not
-            # reading — megabytes the stalled reader keeps pinned long
-            # after the application forgot the connection.  RST frees
-            # that memory with the fd.
-            try:
-                self.sock.setsockopt(
-                    socket.SOL_SOCKET, socket.SO_LINGER,
-                    struct.pack("ii", 1, 0),
-                )
-            except OSError:
-                pass
-        else:
-            stats.timeouts_idle += 1
-        # close() flushes the cork and releases the sender, content and
-        # batch pins — the full mid-send teardown contract.
-        self.close()
+        try:
+            if self.state == STATE_CLOSED:
+                return
+            kind = self._deadline_kind
+            self._deadline_handle = None
+            self._deadline_kind = None
+            stats = self.driver.store.stats
+            if kind == "header" and self.state == STATE_READ_REQUEST:
+                # Mid-parse expiry: answer 408 and close.  _send_error goes
+                # through _start_send, which arms a write deadline — so a
+                # slowloris peer that also refuses to *read* the 408 is
+                # still reaped by the write-stall budget, pins and all.
+                stats.timeouts_header += 1
+                self._send_error(408, "request header timeout", close_after=True)
+                return
+            if kind == "write":
+                stats.timeouts_write_stall += 1
+                # Abortive close: an orderly close would leave the kernel
+                # background-flushing the send buffer to a peer that is not
+                # reading — megabytes the stalled reader keeps pinned long
+                # after the application forgot the connection.  RST frees
+                # that memory with the fd.
+                try:
+                    self.sock.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_LINGER,
+                        struct.pack("ii", 1, 0),
+                    )
+                except OSError:
+                    pass
+            else:
+                stats.timeouts_idle += 1
+            # close() flushes the cork and releases the sender, content and
+            # batch pins — the full mid-send teardown contract.
+            self.close()
+        except Exception:
+            self._absorb_callback_crash("_on_deadline")
 
     # -- reading and parsing ------------------------------------------------------
 

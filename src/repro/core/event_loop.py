@@ -33,7 +33,34 @@ from repro.core.backends import (
 )
 from repro.core.timer_wheel import TimerWheel
 
-__all__ = ["EVENT_READ", "EVENT_WRITE", "EventLoop"]
+__all__ = [
+    "EVENT_READ",
+    "EVENT_WRITE",
+    "EventLoop",
+    "add_dispatch_observer",
+    "remove_dispatch_observer",
+]
+
+#: Observers called as ``observer(callback, elapsed_seconds)`` after every
+#: readiness-callback dispatch.  Empty in production; the runtime sanitizer
+#: (:mod:`repro.analysis.sanitize`) installs a stall watchdog here so tests
+#: can detect event-loop callbacks that block.  Kept module-level so one
+#: observer covers every loop in the process.
+_dispatch_observers: list = []
+
+
+def add_dispatch_observer(observer) -> None:
+    """Install ``observer(callback, elapsed)`` on all event loops."""
+    if observer not in _dispatch_observers:
+        _dispatch_observers.append(observer)
+
+
+def remove_dispatch_observer(observer) -> None:
+    """Remove a previously installed dispatch observer."""
+    try:
+        _dispatch_observers.remove(observer)
+    except ValueError:
+        pass
 
 
 class EventLoop:
@@ -149,13 +176,26 @@ class EventLoop:
 
         if not len(self._backend):
             if timeout:
+                # Nothing is registered, so there is nothing to poll on:
+                # sleeping *is* the wait here, bounded so a registration
+                # from another thread is noticed promptly.
+                # repro-lint: allow[RL001] -- idle loop with zero registered fds: no connection exists to stall
                 time.sleep(min(timeout, 0.05))
             return 0
 
         events = self._backend.poll(timeout)
-        for key, mask in events:
-            callback = key.data
-            callback(key.fileobj, mask)
+        if _dispatch_observers:
+            for key, mask in events:
+                callback = key.data
+                start = time.monotonic()
+                callback(key.fileobj, mask)
+                elapsed = time.monotonic() - start
+                for observer in list(_dispatch_observers):
+                    observer(callback, elapsed)
+        else:
+            for key, mask in events:
+                callback = key.data
+                callback(key.fileobj, mask)
         return len(events)
 
     def run_forever(self, should_stop: Optional[Callable[[], bool]] = None,

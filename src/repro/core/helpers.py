@@ -41,6 +41,7 @@ Two realizations are provided, selected by ``ServerConfig.helper_mode``:
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import queue
@@ -52,6 +53,8 @@ from typing import Callable, Optional
 from repro.cache.pathname import PathnameEntry
 from repro.core.event_loop import EVENT_READ
 from repro.http.uri import translate_path
+
+logger = logging.getLogger(__name__)
 
 #: Helper operation codes.
 OP_TRANSLATE = "translate"
@@ -409,23 +412,29 @@ class HelperPool:
         the event loop callback installed in :meth:`register`.  Returns the
         number of completions processed.
         """
-        if self.mode != "thread":
-            return self.poll()
-        # Drain the wakeup bytes first so the loop does not spin.
         try:
-            while self._wakeup_recv.recv(4096):
-                pass
-        except (BlockingIOError, InterruptedError):
-            pass
-        processed = 0
-        while True:
+            if self.mode != "thread":
+                return self.poll()
+            # Drain the wakeup bytes first so the loop does not spin.
             try:
-                reply = self._done_queue.get_nowait()
-            except queue.Empty:
-                break
-            self._complete(reply)
-            processed += 1
-        return processed
+                while self._wakeup_recv.recv(4096):
+                    pass
+            except (BlockingIOError, InterruptedError):
+                pass
+            processed = 0
+            while True:
+                try:
+                    reply = self._done_queue.get_nowait()
+                except queue.Empty:
+                    break
+                self._complete(reply)
+                processed += 1
+            return processed
+        except Exception:
+            # Crash barrier (lint rule RL005): this runs as a loop readiness
+            # callback, and an escaped exception would kill every connection.
+            logger.exception("unhandled error draining helper completions (absorbed)")
+            return 0
 
     def poll(self) -> int:
         """Check every completion channel without blocking (process mode)."""
@@ -558,17 +567,23 @@ class HelperPool:
         :meth:`_helper_died` synthesizes a failed reply for that operation
         and the pool degrades to the surviving helpers.
         """
-        processed = 0
-        while True:
-            try:
-                if not conn.poll():
+        try:
+            processed = 0
+            while True:
+                try:
+                    if not conn.poll():
+                        return processed
+                    reply = conn.recv()
+                except (EOFError, OSError):
+                    self._helper_died(conn)
                     return processed
-                reply = conn.recv()
-            except (EOFError, OSError):
-                self._helper_died(conn)
-                return processed
-            self._finish_process(conn, reply)
-            processed += 1
+                self._finish_process(conn, reply)
+                processed += 1
+        except Exception:
+            # Crash barrier (lint rule RL005): per-pipe loop readiness
+            # callback; a completion-handler bug must not kill the loop.
+            logger.exception("unhandled error draining helper pipe (absorbed)")
+            return 0
 
     def _helper_died(self, conn) -> None:
         """Absorb the death of the helper behind ``conn`` and degrade.

@@ -258,6 +258,7 @@ class BufferedSendPath:
             self._advance(sent)
         return total
 
+    # repro-lint: allow[RL001] -- sock is the connection's socket, already O_NONBLOCK (accept path): send returns EAGAIN instead of blocking
     def _send_step(self, sock: socket.socket) -> int:
         head = self._buffers[self._index][self._offset:]
         if _HAS_SENDMSG and self._index + 1 < len(self._buffers):

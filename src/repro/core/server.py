@@ -20,6 +20,7 @@ blocking work runs:
 
 from __future__ import annotations
 
+import logging
 import socket
 import threading
 from typing import Optional
@@ -52,6 +53,8 @@ from repro.testing.faults import faults
 #: Fallback resume delay for an accept pause that nothing will unblock: a
 #: pause taken with zero open connections (descriptor pressure from outside
 #: the connection table) has no close event to ride, so a timer retries.
+logger = logging.getLogger(__name__)
+
 ACCEPT_RETRY_INTERVAL = 1.0
 
 
@@ -139,39 +142,57 @@ class BaseEventDrivenServer:
     def _on_accept_ready(self, _fileobj, _mask) -> None:
         # Accept every pending connection: under load, several arrivals can
         # be reported by a single select wakeup.
-        assert self._listen_sock is not None
-        while True:
-            if faults.take("accept_emfile"):
-                # Injected fd exhaustion: behave exactly as if accept(2)
-                # itself had failed with EMFILE.
-                self._on_fd_exhaustion()
-                return
-            try:
-                client_sock, address = self._listen_sock.accept()
-            except (BlockingIOError, InterruptedError):
-                return
-            except OSError as exc:
-                kind = classify_accept_error(exc)
-                if kind == ACCEPT_TRANSIENT:
-                    # The arrival aborted between SYN and accept (or a
-                    # signal landed): the next pending connection may be
-                    # fine, keep draining the backlog.
-                    continue
-                if kind == ACCEPT_RESOURCE:
+        try:
+            assert self._listen_sock is not None
+            while True:
+                if faults.take("accept_emfile"):
+                    # Injected fd exhaustion: behave exactly as if accept(2)
+                    # itself had failed with EMFILE.
                     self._on_fd_exhaustion()
-                # Fatal (EBADF and friends): the listener is gone, which is
-                # the normal shutdown race — stop the accept sweep.
-                return
-            self.store.stats.connections_accepted += 1
-            if not self.admission.admit(len(self._connections)):
-                # Over the connection bound: answer the precomposed 503 and
-                # close, so the client learns immediately instead of timing
-                # out in the backlog.
-                self.store.stats.connections_shed += 1
-                self.admission.shed(client_sock)
-                continue
-            connection = Connection(client_sock, address, self)
-            self._connections.add(connection)
+                    return
+                try:
+                    client_sock, address = self._listen_sock.accept()
+                except (BlockingIOError, InterruptedError):
+                    return
+                except OSError as exc:
+                    kind = classify_accept_error(exc)
+                    if kind == ACCEPT_TRANSIENT:
+                        # The arrival aborted between SYN and accept (or a
+                        # signal landed): the next pending connection may be
+                        # fine, keep draining the backlog.
+                        continue
+                    if kind == ACCEPT_RESOURCE:
+                        self._on_fd_exhaustion()
+                    # Fatal (EBADF and friends): the listener is gone, which
+                    # is the normal shutdown race — stop the accept sweep.
+                    return
+                self.store.stats.connections_accepted += 1
+                if not self.admission.admit(len(self._connections)):
+                    # Over the connection bound: answer the precomposed 503
+                    # and close, so the client learns immediately instead of
+                    # timing out in the backlog.
+                    self.store.stats.connections_shed += 1
+                    self.admission.shed(client_sock)
+                    continue
+                connection = Connection(client_sock, address, self)
+                self._connections.add(connection)
+        except Exception:
+            self._absorb_callback_crash("_on_accept_ready")
+
+    def _absorb_callback_crash(self, where: str) -> None:
+        """Crash barrier for server-scoped loop callbacks (lint rule RL005).
+
+        Accept sweeps, pause/resume timers and drain steps run directly on
+        the event loop: an exception escaping any of them would unwind
+        ``run_once`` and take every established connection down with it.
+        The failing step is skipped instead — counted and logged with
+        traceback — and the loop lives on.
+        """
+        try:
+            self.store.stats.loop_callback_errors += 1
+        except Exception:  # stats are best-effort inside the barrier
+            pass
+        logger.exception("unhandled error in %s (absorbed; loop continues)", where)
 
     def _on_fd_exhaustion(self) -> None:
         """Survive accept-time EMFILE/ENFILE: shed one arrival, pause accepts."""
@@ -202,8 +223,11 @@ class BaseEventDrivenServer:
         )
 
     def _timed_resume(self, generation: int) -> None:
-        if generation == self._pause_generation and self._accept_paused:
-            self._resume_accepting()
+        try:
+            if generation == self._pause_generation and self._accept_paused:
+                self._resume_accepting()
+        except Exception:
+            self._absorb_callback_crash("_timed_resume")
 
     def _resume_accepting(self) -> None:
         if not self._accept_paused:
@@ -283,43 +307,50 @@ class BaseEventDrivenServer:
         self.loop.call_soon(self._begin_drain)
 
     def _begin_drain(self) -> None:
-        if self._draining or self._closed:
-            return
-        self._draining = True
-        # Closing the listener (not merely unregistering it) removes this
-        # process from the kernel's SO_REUSEPORT hash, so in a shard fleet
-        # new arrivals immediately redistribute to the surviving shards.
-        if self._listen_sock is not None:
-            self.loop.unregister(self._listen_sock)
-            try:
-                self._listen_sock.close()
-            except OSError:
-                pass
-            self._listen_sock = None
-        # Idle keep-alive connections are owed nothing: close them now.
-        # Connections mid-request or mid-response run to completion below
-        # (their responses carry ``Connection: close`` — see
-        # repro.core.connection's drain awareness).
-        for connection in list(self._connections):
-            if connection.drain_idle():
-                connection.close()
-        if not self._connections:
-            self._finish_drain()
-            return
-        timeout = self.config.drain_timeout
-        generation = self._drain_generation
-        if timeout <= 0:
-            self._drain_expired(generation)
-        else:
-            self.loop.call_later(timeout, lambda: self._drain_expired(generation))
+        try:
+            if self._draining or self._closed:
+                return
+            self._draining = True
+            # Closing the listener (not merely unregistering it) removes
+            # this process from the kernel's SO_REUSEPORT hash, so in a
+            # shard fleet new arrivals immediately redistribute to the
+            # surviving shards.
+            if self._listen_sock is not None:
+                self.loop.unregister(self._listen_sock)
+                try:
+                    self._listen_sock.close()
+                except OSError:
+                    pass
+                self._listen_sock = None
+            # Idle keep-alive connections are owed nothing: close them now.
+            # Connections mid-request or mid-response run to completion
+            # below (their responses carry ``Connection: close`` — see
+            # repro.core.connection's drain awareness).
+            for connection in list(self._connections):
+                if connection.drain_idle():
+                    connection.close()
+            if not self._connections:
+                self._finish_drain()
+                return
+            timeout = self.config.drain_timeout
+            generation = self._drain_generation
+            if timeout <= 0:
+                self._drain_expired(generation)
+            else:
+                self.loop.call_later(timeout, lambda: self._drain_expired(generation))
+        except Exception:
+            self._absorb_callback_crash("_begin_drain")
 
     def _drain_expired(self, generation: int) -> None:
         """Drain deadline: force-close the stragglers still in flight."""
-        if generation != self._drain_generation or not self._draining:
-            return
-        for connection in list(self._connections):
-            self.store.stats.drain_forced_closes += 1
-            connection.close()
+        try:
+            if generation != self._drain_generation or not self._draining:
+                return
+            for connection in list(self._connections):
+                self.store.stats.drain_forced_closes += 1
+                connection.close()
+        except Exception:
+            self._absorb_callback_crash("_drain_expired")
 
     def _finish_drain(self) -> None:
         """All connections drained: stop the loop so run_forever returns."""

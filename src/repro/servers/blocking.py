@@ -74,7 +74,8 @@ def handle_client(
     instead of sitting out its idle budget.
     """
     served = 0
-    store.stats.connections_accepted += 1
+    with store.stats_lock():
+        store.stats.connections_accepted += 1
     header_timeout = config.header_timeout
     # ``None`` puts the socket in plain blocking mode: deadline disabled.
     idle_timeout = config.idle_timeout if config.idle_timeout > 0 else None
@@ -120,7 +121,8 @@ def handle_client(
                             else idle_deadline - time.monotonic()
                         )
                         if wait is not None and wait <= 0:
-                            store.stats.timeouts_idle += 1
+                            with store.stats_lock():
+                                store.stats.timeouts_idle += 1
                             return served
                         if drain_check is not None:
                             wait = (
@@ -139,7 +141,8 @@ def handle_client(
                                 # A poll quantum expired, not the idle
                                 # budget: re-check drain and keep waiting.
                                 continue
-                            store.stats.timeouts_idle += 1
+                            with store.stats_lock():
+                                store.stats.timeouts_idle += 1
                             return served
                         if not data:
                             return served
@@ -165,14 +168,16 @@ def handle_client(
             except socket.timeout:
                 # Mid-parse expiry: the partial head is answered 408, like
                 # the event-driven builds' header-deadline expiry.
-                store.stats.timeouts_header += 1
+                with store.stats_lock():
+                    store.stats.timeouts_header += 1
                 sock.settimeout(write_timeout)
                 _send_error(sock, store, 408, "request header timeout")
                 return served
 
             request = parser.request
             leftover = parser.remainder
-            store.stats.requests += 1
+            with store.stats_lock():
+                store.stats.requests += 1
             keep_alive = bool(request.keep_alive and config.keep_alive)
             if keep_alive and drain_check is not None and drain_check() and not leftover:
                 # Draining and nothing further is buffered: this response is
@@ -184,7 +189,8 @@ def handle_client(
             sock.settimeout(write_timeout)
             try:
                 if request.is_cgi:
-                    store.stats.cgi_requests += 1
+                    with store.stats_lock():
+                        store.stats.cgi_requests += 1
                     if cgi_runner is None:
                         raise HTTPError("dynamic content disabled", status=503)
                     body = cgi_runner.run(request)
@@ -198,7 +204,8 @@ def handle_client(
                 else:
                     content = _lookup_hot(store, config, request, keep_alive)
                     if content is None:
-                        store.stats.blocking_translations += 1
+                        with store.stats_lock():
+                            store.stats.blocking_translations += 1
                         entry = store.translate(request.path)
                         # Like SPED, the blocking workers run no residency
                         # test, so when the response will go out via
@@ -217,7 +224,8 @@ def handle_client(
                         _send_content(sock, store, content)
                     finally:
                         content.release(store)
-                store.stats.responses_ok += 1
+                with store.stats_lock():
+                    store.stats.responses_ok += 1
             except HTTPError as exc:
                 _send_error(sock, store, exc.status, exc.message, keep_alive=keep_alive)
                 if not keep_alive:
@@ -229,7 +237,8 @@ def handle_client(
                 # Abortively — an orderly close would leave the kernel
                 # background-flushing the send buffer to a peer that is
                 # not reading.
-                store.stats.timeouts_write_stall += 1
+                with store.stats_lock():
+                    store.stats.timeouts_write_stall += 1
                 try:
                     sock.setsockopt(
                         socket.SOL_SOCKET, socket.SO_LINGER,
@@ -247,7 +256,8 @@ def handle_client(
             if max_requests is not None and served >= max_requests:
                 return served
     finally:
-        store.stats.connections_closed += 1
+        with store.stats_lock():
+            store.stats.connections_closed += 1
         try:
             sock.close()
         except OSError:
@@ -301,7 +311,8 @@ def _send_content(sock: socket.socket, store: ContentStore, content: StaticConte
     mirror of the event-driven builds' iterated-window send path.
     """
     if content.file_handle is not None and sendfile_available():
-        store.stats.sendfile_responses += 1
+        with store.stats_lock():
+            store.stats.sendfile_responses += 1
         if content.is_multipart:
             _send_all(sock, store, [content.header])
             for part in content.parts:
@@ -339,7 +350,8 @@ def _sendfile_blocking(
                 raise
             # sendfile unsupported for this fd/socket pair: finish the
             # response buffered, resuming at the exact offset reached.
-            store.stats.sendfile_fallbacks += 1
+            with store.stats_lock():
+                store.stats.sendfile_fallbacks += 1
             _send_all(sock, store, [os.pread(fd, remaining, offset)])
             return
         if sent == 0:
@@ -352,7 +364,8 @@ def _sendfile_blocking(
             )
         offset += sent
         remaining -= sent
-        store.stats.bytes_sent += sent
+        with store.stats_lock():
+            store.stats.bytes_sent += sent
 
 
 def _send_all(sock: socket.socket, store: ContentStore, buffers) -> None:
@@ -360,7 +373,8 @@ def _send_all(sock: socket.socket, store: ContentStore, buffers) -> None:
         if not len(buffer):
             continue
         sock.sendall(buffer)
-        store.stats.bytes_sent += len(buffer)
+        with store.stats_lock():
+            store.stats.bytes_sent += len(buffer)
 
 
 def _send_error(
@@ -370,12 +384,14 @@ def _send_error(
     message: str,
     keep_alive: bool = False,
 ) -> None:
-    store.stats.responses_error += 1
+    with store.stats_lock():
+        store.stats.responses_error += 1
     payload = build_error_response(
         status, message, builder=store.header_builder, keep_alive=keep_alive
     )
     try:
         sock.sendall(payload)
-        store.stats.bytes_sent += len(payload)
+        with store.stats_lock():
+            store.stats.bytes_sent += len(payload)
     except OSError:
         pass

@@ -134,7 +134,8 @@ class MTServer:
                     # Shed one backlogged arrival through the sentinel
                     # reserve, then back off exponentially (woken early by
                     # shutdown) until something drains.
-                    self.store.stats.fd_exhaustion_events += 1
+                    with self.store.stats_lock():
+                        self.store.stats.fd_exhaustion_events += 1
                     self.admission.shed_one_pending(listen_sock)
                     self._stop_event.wait(backoff)
                     backoff = min(backoff * 2, ACCEPT_BACKOFF_MAX)
@@ -146,8 +147,9 @@ class MTServer:
             with self._active_lock:
                 open_count = len(self._active)
             if not self.admission.admit(open_count):
-                self.store.stats.connections_accepted += 1
-                self.store.stats.connections_shed += 1
+                with self.store.stats_lock():
+                    self.store.stats.connections_accepted += 1
+                    self.store.stats.connections_shed += 1
                 self.admission.shed(client_sock)
                 continue
             with self._active_lock:

@@ -1,0 +1,8 @@
+# repro-lint: domain=event
+"""RL000 fixture: a bare allow suppresses nothing and is itself flagged."""
+
+import time
+
+
+def slow():
+    time.sleep(1)  # repro-lint: allow[RL001]

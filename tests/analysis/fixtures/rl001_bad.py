@@ -1,0 +1,19 @@
+# repro-lint: domain=event
+"""RL001 fixture: blocking calls in an event-domain module."""
+
+import os
+import time
+
+
+def stalls_the_loop():
+    time.sleep(0.5)
+    return os.read(3, 10)
+
+
+def reads_inline(path):
+    handle = open(path)
+    return handle
+
+
+def waits_on_socket(sock):
+    return sock.recv(4096)

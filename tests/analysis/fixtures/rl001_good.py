@@ -1,0 +1,15 @@
+# repro-lint: domain=event
+"""RL001 fixture: annotated and exempt sites produce no findings."""
+
+import time
+
+
+def deliberate_pause():
+    # repro-lint: allow[RL001] -- fixture: the measured stall is the experiment
+    time.sleep(0.01)
+
+
+def sender_objects_are_not_sockets(stage, sock):
+    sock.setblocking(False)
+    stage.send(sock)
+    return sock.recv(64)

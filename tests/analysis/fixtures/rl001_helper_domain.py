@@ -1,0 +1,8 @@
+# repro-lint: domain=helper
+"""RL001 fixture: helpers exist to block — nothing here is a finding."""
+
+import time
+
+
+def block_on_purpose():
+    time.sleep(0.5)

@@ -1,0 +1,25 @@
+"""RL002 fixture: descriptor-lifecycle violations."""
+
+import os
+
+
+def never_closed(path):
+    fd = os.open(path, os.O_RDONLY)
+    return 42
+
+
+def close_on_straight_line(path):
+    fd = os.open(path, os.O_RDONLY)
+    marker = path.upper()
+    os.close(fd)
+    return marker
+
+
+def discarded(path):
+    os.open(path, os.O_RDONLY)
+
+
+def pin_without_release(cache, path):
+    entry = cache.acquire(path)
+    size = entry.size
+    return size

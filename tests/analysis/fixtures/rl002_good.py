@@ -1,0 +1,36 @@
+"""RL002 fixture: disciplined descriptor lifecycles — no findings."""
+
+import os
+import socket
+
+
+def closed_in_finally(path):
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        size = os.fstat(fd).st_size
+        return size
+    finally:
+        os.close(fd)
+
+
+def transferred(path):
+    fd = os.open(path, os.O_RDONLY)
+    return fd
+
+
+def registered(registry, path):
+    fd = os.open(path, os.O_RDONLY)
+    registry.add(fd)
+
+
+def context_managed():
+    with socket.socket() as sock:
+        return sock.getsockname()
+
+
+def pin_released(cache, path):
+    entry = cache.acquire(path)
+    try:
+        return entry.size
+    finally:
+        cache.release(entry)

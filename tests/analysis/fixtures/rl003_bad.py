@@ -1,0 +1,16 @@
+"""RL003 fixture: a lock-guarded attribute written bare elsewhere."""
+
+import threading
+
+
+class SharedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def reset(self):
+        self.value = 0

@@ -1,0 +1,17 @@
+"""RL003 fixture: disciplined (or justified) writes — no findings."""
+
+import threading
+
+
+class DisciplinedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def _reset_locked(self):
+        # repro-lint: allow[RL003] -- fixture: every caller holds self._lock
+        self.value = 0

@@ -1,0 +1,11 @@
+# repro-lint: domain=mt
+"""RL004 fixture: one locked, one racy MT stats increment."""
+
+
+def locked_update(store):
+    with store.stats_lock():
+        store.stats.requests += 1
+
+
+def racy_update(store):
+    store.stats.requests += 1

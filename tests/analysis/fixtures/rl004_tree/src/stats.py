@@ -1,0 +1,16 @@
+"""RL004 fixture: one live, one dead, one undocumented counter."""
+
+
+class ServerStats:
+    requests: int = 0
+    dead_counter: int = 0
+    secret_counter: int = 0
+
+    def merge(self, other):
+        self.requests += other.requests
+        return self
+
+
+def record(stats):
+    stats.requests += 1
+    stats.secret_counter += 1

@@ -1,0 +1,21 @@
+"""RL005 fixture: callbacks registered with the loop but not guarded."""
+
+
+class Pool:
+    def start(self, loop):
+        loop.register(self._pipe, 1, self._on_ready)
+        loop.call_later(1.0, self._tick)
+
+    def _on_ready(self, fileobj, mask):
+        self.drain()
+
+    def _tick(self):
+        self.advance()
+
+
+def install(loop):
+    loop.call_soon(module_callback)
+
+
+def module_callback():
+    raise RuntimeError("boom")

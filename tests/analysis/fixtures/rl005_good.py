@@ -1,0 +1,31 @@
+"""RL005 fixture: guarded callbacks resolved through every supported shape."""
+
+import functools
+
+
+class GuardedPool:
+    def start(self, loop, wheel):
+        loop.register(self._pipe, 1, lambda fileobj, mask: self._on_ready(fileobj, mask))
+        loop.call_later(1.0, functools.partial(self._tick, 1))
+        wheel.schedule(5.0, self._on_deadline)
+
+    def _on_ready(self, fileobj, mask):
+        try:
+            self.drain()
+        except Exception:
+            pass
+
+    def _tick(self, step):
+        """A docstring is allowed before the guard."""
+        try:
+            self.advance(step)
+        except Exception:
+            return
+
+    def _on_deadline(self):
+        try:
+            self.expire()
+        except (OSError, ValueError):
+            raise
+        except Exception:
+            pass

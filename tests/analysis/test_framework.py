@@ -1,0 +1,148 @@
+"""Framework-level tests: suppression spans, domains, registry, findings."""
+
+import ast
+
+import pytest
+
+from repro.analysis.framework import (
+    DOMAIN_EVENT,
+    DOMAIN_HELPER,
+    DOMAIN_MT,
+    DOMAIN_OTHER,
+    Finding,
+    LintError,
+    ModuleInfo,
+    SuppressionIndex,
+    all_rules,
+    dotted_name,
+    get_rule,
+)
+
+
+def index_of(source):
+    return SuppressionIndex(source, ast.parse(source))
+
+
+class TestSuppressionSpans:
+    def test_trailing_comment_covers_its_own_line_only(self):
+        idx = index_of(
+            "import time\n"
+            "time.sleep(1)  # repro-lint: allow[RL001] -- why\n"
+            "time.sleep(2)\n"
+        )
+        assert idx.covers("RL001", 2)
+        assert not idx.covers("RL001", 3)
+
+    def test_comment_only_line_covers_the_line_below(self):
+        idx = index_of(
+            "import time\n"
+            "# repro-lint: allow[RL001] -- why\n"
+            "time.sleep(1)\n"
+            "time.sleep(2)\n"
+        )
+        assert idx.covers("RL001", 3)
+        assert not idx.covers("RL001", 4)
+
+    def test_allow_above_def_covers_whole_body(self):
+        idx = index_of(
+            "# repro-lint: allow[RL001] -- why\n"
+            "def f():\n"
+            "    a = 1\n"
+            "    return a\n"
+        )
+        assert idx.covers("RL001", 3)
+        assert idx.covers("RL001", 4)
+        assert not idx.covers("RL001", 5)
+
+    def test_allow_above_decorator_covers_whole_body(self):
+        idx = index_of(
+            "# repro-lint: allow[RL002] -- why\n"
+            "@staticmethod\n"
+            "def f():\n"
+            "    return 1\n"
+        )
+        assert idx.covers("RL002", 4)
+
+    def test_multiple_rules_in_one_allow(self):
+        idx = index_of("x = 1  # repro-lint: allow[RL001, RL003] -- why\n")
+        assert idx.covers("RL001", 1)
+        assert idx.covers("RL003", 1)
+        assert not idx.covers("RL002", 1)
+
+    def test_bare_allow_covers_nothing_and_is_listed(self):
+        idx = index_of("x = 1  # repro-lint: allow[RL001]\n")
+        assert not idx.covers("RL001", 1)
+        assert [s.line for s in idx.unjustified()] == [1]
+
+    def test_meta_rule_cannot_be_suppressed(self):
+        idx = index_of("x = 1  # repro-lint: allow[RL000] -- nice try\n")
+        assert not idx.covers("RL000", 1)
+
+
+class TestDomains:
+    def test_pragma_overrides_everything(self, tmp_path):
+        path = tmp_path / "anything.py"
+        path.write_text("# repro-lint: domain=mt\nx = 1\n")
+        assert ModuleInfo(path).domain == DOMAIN_MT
+
+    def test_path_suffix_classification(self, tmp_path):
+        event = tmp_path / "repro" / "core" / "event_loop.py"
+        event.parent.mkdir(parents=True)
+        event.write_text("x = 1\n")
+        assert ModuleInfo(event).domain == DOMAIN_EVENT
+
+    def test_unknown_path_is_other(self, tmp_path):
+        path = tmp_path / "misc.py"
+        path.write_text("x = 1\n")
+        assert ModuleInfo(path).domain == DOMAIN_OTHER
+
+    def test_unknown_pragma_domain_raises(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("# repro-lint: domain=quantum\nx = 1\n")
+        with pytest.raises(LintError, match="quantum"):
+            ModuleInfo(path)
+
+    def test_helper_domain_exists(self):
+        assert DOMAIN_HELPER == "helper"
+
+
+class TestRegistry:
+    def test_all_five_rules_plus_ordering(self):
+        ids = [rule.id for rule in all_rules()]
+        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+
+    def test_every_rule_carries_a_rationale(self):
+        assert all(rule.rationale for rule in all_rules())
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(LintError, match="RL999"):
+            get_rule("RL999")
+
+
+class TestFindings:
+    def test_sort_order_is_path_line_rule(self):
+        a = Finding(path="a.py", line=2, rule="RL002", message="m")
+        b = Finding(path="a.py", line=1, rule="RL005", message="m")
+        c = Finding(path="b.py", line=1, rule="RL001", message="m")
+        assert sorted([c, a, b]) == [b, a, c]
+
+    def test_render_and_json(self):
+        f = Finding(path="x.py", line=3, rule="RL001", message="boom")
+        assert f.render() == "x.py:3: RL001 boom"
+        assert f.to_json() == {
+            "rule": "RL001", "path": "x.py", "line": 3, "message": "boom",
+        }
+
+
+class TestSyntaxErrors:
+    def test_syntax_error_becomes_lint_error(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        with pytest.raises(LintError, match="syntax error"):
+            ModuleInfo(path)
+
+
+class TestHelpers:
+    def test_dotted_name(self):
+        assert dotted_name(ast.parse("a.b.c", mode="eval").body) == "a.b.c"
+        assert dotted_name(ast.parse("f().x", mode="eval").body) is None

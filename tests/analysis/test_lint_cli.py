@@ -1,0 +1,96 @@
+"""CLI contract tests: exit codes, JSON payload, selection, discovery."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.cli import discover_docs, main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main([str(FIXTURES / "rl001_good.py")]) == 0
+        assert "repro-lint: clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert main([str(FIXTURES / "rl001_bad.py")]) == 1
+        out = capsys.readouterr().out
+        assert "RL001" in out
+        assert "finding(s)" in out
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        assert main([str(bad)]) == 2
+        assert "syntax error" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main([str(FIXTURES / "does_not_exist.py")]) == 2
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["--select", "RL999", str(FIXTURES / "rl001_good.py")]) == 2
+
+
+class TestJsonOutput:
+    def test_payload_shape(self, capsys):
+        assert main(["--format", "json", str(FIXTURES / "rl001_bad.py")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["count"] == len(payload["findings"]) == 4
+        first = payload["findings"][0]
+        assert set(first) == {"rule", "path", "line", "message"}
+
+    def test_clean_payload_is_empty(self, capsys):
+        assert main(["--format", "json", str(FIXTURES / "rl002_good.py")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"version": 1, "findings": [], "count": 0}
+
+
+class TestSelection:
+    def test_select_limits_rules(self, capsys):
+        # rl000_bare.py has an RL001 finding; selecting RL002 hides it but
+        # the meta rule (unjustified allow) still reports.
+        assert main(["--select", "RL002", str(FIXTURES / "rl000_bare.py")]) == 1
+        out = capsys.readouterr().out
+        assert ": RL000 " in out
+        assert ": RL001 " not in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert rule_id in out
+
+
+class TestDocsDiscovery:
+    def test_fixture_tree_finds_its_own_docs(self):
+        src = FIXTURES / "rl004_tree" / "src"
+        docs = discover_docs([str(src)])
+        assert docs == (FIXTURES / "rl004_tree" / "docs" / "ARCHITECTURE.md").resolve()
+
+    def test_no_docs_anywhere(self, tmp_path):
+        sub = tmp_path / "a" / "b"
+        sub.mkdir(parents=True)
+        assert discover_docs([str(sub)]) is None
+
+
+class TestRealTree:
+    def test_src_is_clean(self):
+        """The acceptance gate: repro-lint over the real tree exits 0 with
+        every suppression justified (RL000 would fire otherwise)."""
+        assert main([str(REPO_ROOT / "src")]) == 0
+
+    def test_module_entrypoint_runs(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--list-rules"],
+            cwd=str(REPO_ROOT),
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0
+        assert "RL005" in proc.stdout

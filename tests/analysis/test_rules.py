@@ -1,0 +1,108 @@
+"""Fixture tests for rules RL001–RL005: exact ids, lines, and suppression.
+
+Each rule gets a known-bad fixture (every expected finding asserted by
+rule id *and* line number) and a known-good fixture (zero findings,
+including the suppression and domain-exemption paths).  Together they
+prove both detection and the annotation escape hatch per rule.
+"""
+
+from pathlib import Path
+
+from repro.analysis.cli import run
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings_for(*names, **kwargs):
+    """Run the checker over fixture files; return [(rule, line), ...] sorted."""
+    paths = [str(FIXTURES / name) for name in names]
+    return sorted((f.rule, f.line) for f in run(paths, **kwargs))
+
+
+class TestRL001Blocking:
+    def test_bad_fixture_detects_every_site(self):
+        assert findings_for("rl001_bad.py", select=["RL001"]) == [
+            ("RL001", 9),    # time.sleep
+            ("RL001", 10),   # os.read
+            ("RL001", 14),   # builtin open
+            ("RL001", 19),   # sock.recv without setblocking(False)
+        ]
+
+    def test_good_fixture_is_clean(self):
+        # A justified allow, a setblocking(False) module, and a sender
+        # object whose .send() must not be mistaken for a socket.
+        assert findings_for("rl001_good.py") == []
+
+    def test_helper_domain_is_exempt(self):
+        assert findings_for("rl001_helper_domain.py") == []
+
+
+class TestRL002FdLifecycle:
+    def test_bad_fixture_detects_every_site(self):
+        assert findings_for("rl002_bad.py", select=["RL002"]) == [
+            ("RL002", 7),    # acquired, never closed
+            ("RL002", 12),   # closed outside finally
+            ("RL002", 19),   # result discarded
+            ("RL002", 23),   # cache pin never released
+        ]
+
+    def test_good_fixture_is_clean(self):
+        # finally-close, transfer-by-return, registration, with-item,
+        # and a released cache pin.
+        assert findings_for("rl002_good.py") == []
+
+
+class TestRL003LockDiscipline:
+    def test_bad_fixture_detects_bare_write(self):
+        assert findings_for("rl003_bad.py", select=["RL003"]) == [
+            ("RL003", 16),   # SharedCounter.reset writes self.value bare
+        ]
+
+    def test_init_is_exempt(self):
+        findings = findings_for("rl003_bad.py", select=["RL003"])
+        assert all(line != 9 for _rule, line in findings)
+
+    def test_good_fixture_is_clean(self):
+        assert findings_for("rl003_good.py") == []
+
+
+class TestRL004StatsAudit:
+    def test_tree_fixture_detects_all_three_checks(self):
+        tree = FIXTURES / "rl004_tree"
+        findings = sorted(
+            (f.rule, Path(f.path).name, f.line)
+            for f in run([str(tree / "src")], select=["RL004"])
+        )
+        assert findings == [
+            ("RL004", "mt_worker.py", 11),  # racy MT increment
+            ("RL004", "stats.py", 6),       # dead_counter never incremented
+            ("RL004", "stats.py", 7),       # secret_counter undocumented
+        ]
+
+    def test_docs_override_disables_documentation_check(self):
+        tree = FIXTURES / "rl004_tree"
+        complete = tree / "docs" / "ARCHITECTURE.md"
+        findings = run([str(tree / "src")], select=["RL004"], docs=complete)
+        assert ("stats.py", 6) in {(Path(f.path).name, f.line) for f in findings}
+
+
+class TestRL005CallbackSafety:
+    def test_bad_fixture_flags_each_callback_once(self):
+        assert findings_for("rl005_bad.py", select=["RL005"]) == [
+            ("RL005", 9),    # _on_ready (registered via loop.register)
+            ("RL005", 12),   # _tick (registered via loop.call_later)
+            ("RL005", 20),   # module_callback (loop.call_soon)
+        ]
+
+    def test_good_fixture_is_clean(self):
+        # Guards through lambda, functools.partial, wheel.schedule, and a
+        # handler that re-raises selectively but absorbs Exception.
+        assert findings_for("rl005_good.py") == []
+
+
+class TestRL000MetaRule:
+    def test_bare_allow_is_flagged_and_suppresses_nothing(self):
+        assert findings_for("rl000_bare.py") == [
+            ("RL000", 8),    # allow without justification
+            ("RL001", 8),    # the bare allow did not hide the finding
+        ]

@@ -1,0 +1,144 @@
+"""Direct tests for the runtime sanitizers (no REPRO_SANITIZE needed).
+
+The conftest wiring is environment-gated; these tests drive the three
+sanitizer classes directly so their behaviour is covered in every run.
+"""
+
+import os
+import socket
+import threading
+import time
+
+from repro.analysis import sanitize
+from repro.core.event_loop import EVENT_READ, EventLoop
+
+
+class TestFdTracker:
+    def test_clean_window_reports_nothing(self):
+        tracker = sanitize.FdTracker()
+        tracker.arm()
+        fd = os.open("/dev/null", os.O_RDONLY)  # /dev targets are ignored...
+        os.close(fd)                            # ...and closed anyway
+        assert tracker.leaked(retries=1) == []
+
+    def test_leak_is_reported_and_attributed(self, tmp_path):
+        victim = tmp_path / "leak.txt"
+        victim.write_text("x")
+        tracker = sanitize.FdTracker()
+        tracker.arm()
+        fd = os.open(str(victim), os.O_RDONLY)
+        try:
+            report = tracker.leaked(retries=1)
+            assert any(f"fd {fd}" in line for line in report)
+            assert any("leak.txt" in line for line in report)
+        finally:
+            os.close(fd)
+
+    def test_closing_clears_the_report(self, tmp_path):
+        victim = tmp_path / "ok.txt"
+        victim.write_text("x")
+        tracker = sanitize.FdTracker()
+        tracker.arm()
+        fd = os.open(str(victim), os.O_RDONLY)
+        os.close(fd)
+        assert tracker.leaked(retries=1) == []
+
+    def test_enabled_reads_environment(self, monkeypatch):
+        monkeypatch.setenv(sanitize.ENV_VAR, "1")
+        assert sanitize.enabled()
+        monkeypatch.delenv(sanitize.ENV_VAR)
+        assert not sanitize.enabled()
+
+
+class TestLoopStallWatchdog:
+    def test_slow_callback_is_recorded_through_the_loop(self):
+        watchdog = sanitize.LoopStallWatchdog(threshold=0.05)
+        watchdog.install()
+        loop = EventLoop("select")
+        left, right = socket.socketpair()
+        try:
+            def stall(_fileobj, _mask):
+                time.sleep(0.08)
+                left.recv(64)
+
+            loop.register(left, EVENT_READ, stall)
+            right.sendall(b"x")
+            loop.run_once(timeout=1.0)
+        finally:
+            watchdog.uninstall()
+            loop.unregister(left)
+            loop.close()
+            left.close()
+            right.close()
+        report = watchdog.report()
+        assert len(report) == 1
+        assert "stall" in report[0]
+        assert "held the loop" in report[0]
+
+    def test_fast_callbacks_are_not_recorded(self):
+        watchdog = sanitize.LoopStallWatchdog(threshold=0.25)
+        watchdog._observe(lambda: None, elapsed=0.01)
+        assert watchdog.report() == []
+
+    def test_keeps_only_worst_offenders(self):
+        watchdog = sanitize.LoopStallWatchdog(threshold=0.0, keep=2)
+        for elapsed in (0.3, 0.1, 0.9):
+            watchdog._observe(lambda: None, elapsed)
+        assert len(watchdog.stalls) == 2
+        assert watchdog.stalls[0][0] == 0.9
+
+
+class TestLockOrderRecorder:
+    def test_inversion_is_detected(self):
+        recorder = sanitize.LockOrderRecorder()
+        recorder.install()
+        try:
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+        finally:
+            recorder.uninstall()
+        with lock_a:
+            with lock_b:
+                pass
+        with lock_b:
+            with lock_a:
+                pass
+        assert len(recorder.inversions()) == 1
+        assert "inversion" in recorder.inversions()[0]
+
+    def test_consistent_order_is_clean(self):
+        recorder = sanitize.LockOrderRecorder()
+        recorder.install()
+        try:
+            outer = threading.Lock()
+            inner = threading.Lock()
+        finally:
+            recorder.uninstall()
+        for _ in range(3):
+            with outer:
+                with inner:
+                    pass
+        assert recorder.inversions() == []
+
+    def test_proxy_preserves_lock_semantics(self):
+        recorder = sanitize.LockOrderRecorder()
+        recorder.install()
+        try:
+            lock = threading.Lock()
+            rlock = threading.RLock()
+        finally:
+            recorder.uninstall()
+        assert lock.acquire(timeout=1.0)
+        assert lock.locked()
+        lock.release()
+        assert not lock.locked()
+        with rlock:
+            with rlock:  # reentrancy must survive the proxy
+                pass
+
+    def test_uninstall_restores_real_factories(self):
+        recorder = sanitize.LockOrderRecorder()
+        before = threading.Lock
+        recorder.install()
+        recorder.uninstall()
+        assert threading.Lock is before

@@ -38,18 +38,21 @@ class TestProgramResolution:
         runner = CGIRunner({"hello": hello_app})
         request = parse(b"GET /cgi-bin/hello?x=1 HTTP/1.0\r\n\r\n")
         assert runner.program_name(request) == "hello"
+        runner.shutdown()
 
     def test_unknown_program_raises_not_found(self):
         runner = CGIRunner({})
         request = parse(b"GET /cgi-bin/ghost HTTP/1.0\r\n\r\n")
         with pytest.raises(NotFoundError):
             runner.program_name(request)
+        runner.shutdown()
 
     def test_non_cgi_path_raises(self):
         runner = CGIRunner({"hello": hello_app})
         request = parse(b"GET /static.html HTTP/1.0\r\n\r\n")
         with pytest.raises(NotFoundError):
             runner.program_name(request)
+        runner.shutdown()
 
     def test_register_program_later(self):
         runner = CGIRunner({})

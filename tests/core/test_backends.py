@@ -209,7 +209,7 @@ class TestReadiness:
         pairs = [socket.socketpair() for _ in range(8)]
         ready = []
         try:
-            for index, (left, right) in enumerate(pairs):
+            for index, (left, _right) in enumerate(pairs):
                 left.setblocking(False)
                 loop.register(
                     left, EVENT_READ,

@@ -195,6 +195,7 @@ class TestDeferredDiskPath:
         connection.close()                          # e.g. reaped / reset
         driver.flush_pending()                      # late completion arrives
         assert connection.state == STATE_CLOSED     # must not blow up
+        client.close()
 
 
 class TestErrorPaths:

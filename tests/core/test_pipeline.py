@@ -141,8 +141,12 @@ class TestBuildResponse:
         entry = store.translate("/index.html")
         keep = parse(b"GET /index.html HTTP/1.1\r\nHost: h\r\n\r\n")
         close = parse(b"GET /index.html HTTP/1.0\r\n\r\n")
-        assert b"Connection: keep-alive" in store.build_response(keep, entry).header
-        assert b"Connection: close" in store.build_response(close, entry).header
+        keep_content = store.build_response(keep, entry)
+        close_content = store.build_response(close, entry)
+        assert b"Connection: keep-alive" in keep_content.header
+        assert b"Connection: close" in close_content.header
+        keep_content.release(store)
+        close_content.release(store)
         store.close()
 
     def test_release_is_idempotent(self, docroot):

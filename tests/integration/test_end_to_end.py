@@ -59,7 +59,7 @@ class TestTraceServedByFlash:
         server = FlashServer(config)
         server.start()
         try:
-            for (file_id, size), path in list(zip(files, paths))[:10]:
+            for (_file_id, size), path in list(zip(files, paths))[:10]:
                 response = fetch(*server.address, path)
                 assert response.status == 200
                 assert len(response.body) == size

@@ -83,7 +83,11 @@ class TestSPEDServer:
         assert server.stats.blocking_translations >= 1
 
     def test_architecture_label(self, docroot):
-        assert SPEDServer(ServerConfig(document_root=docroot)).architecture == "sped"
+        server = SPEDServer(ServerConfig(document_root=docroot))
+        try:
+            assert server.architecture == "sped"
+        finally:
+            server.stop()
 
 
 class TestMTServer:
