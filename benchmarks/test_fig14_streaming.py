@@ -1,0 +1,194 @@
+"""Streaming at connection scale — BENCH fig14-streaming.
+
+The streaming API's scalability claim: a large population of mostly-idle
+SSE subscribers must not degrade the static fast path, because an idle
+stream costs one parked connection (fd + small bookkeeping), not a
+worker or a busy-polling callback.  Per event-driven backend this
+benchmark measures the static workload twice —
+
+* **baseline**: closed-loop static clients (plus a chunked-CGI mix),
+  no SSE load at all;
+* **with-sse**: the same static workload while ``FIG14_SSE_CLIENTS``
+  subscribers sit on the server's event stream, woken only by a slow
+  heartbeat —
+
+and gates the static p99 under SSE load against the no-SSE baseline
+(``p99 <= baseline * FIG14_P99_FACTOR + FIG14_P99_FLOOR_MS``).  The
+floor term absorbs scheduler noise on small CI hosts; the factor is the
+actual scalability claim.
+
+Every knob is env-overridable so the CI smoke job can shrink the run
+(fewer subscribers, shorter window) while local runs use the full
+population.
+"""
+
+import os
+
+from conftest import RESULTS_DIR
+
+from repro.client.loadgen import LoadGenerator
+from repro.core.config import ServerConfig
+from repro.experiments.results import ExperimentResult, ResultRow
+from repro.servers import create_server
+
+#: Event-driven backends: an idle subscriber is one parked connection.
+#: (The thread/process backends hold a worker per subscriber by design,
+#: so a thousand idle streams is exactly the architecture the paper
+#: argues against — they are measured elsewhere, at smaller scale.)
+BACKENDS = tuple(
+    os.environ.get("FIG14_BACKENDS", "sped,amped").split(",")
+)
+#: Mostly-idle SSE population held through the with-sse phase.
+SSE_CLIENTS = int(os.environ.get("FIG14_SSE_CLIENTS", "1000"))
+#: Static-path load: closed-loop clients and the chunked-CGI request mix.
+STATIC_CLIENTS = int(os.environ.get("FIG14_STATIC_CLIENTS", "4"))
+CHUNKED_FRACTION = float(os.environ.get("FIG14_CHUNKED_FRACTION", "0.1"))
+#: Measurement window per phase (seconds).
+DURATION = float(os.environ.get("FIG14_DURATION", "4.0"))
+#: Heartbeat interval: slow, so the subscriber population stays idle.
+HEARTBEAT = float(os.environ.get("FIG14_HEARTBEAT", "1.0"))
+#: Static p99 gate: with-sse p99 <= baseline p99 * FACTOR + FLOOR_MS.
+P99_FACTOR = float(os.environ.get("FIG14_P99_FACTOR", "4.0"))
+P99_FLOOR_MS = float(os.environ.get("FIG14_P99_FLOOR_MS", "50.0"))
+
+PAYLOAD = b"<html>" + b"stream-scale-" * 256 + b"</html>"
+
+
+def cgi_stream(data):
+    for i in range(4):
+        yield b"fig14-chunk-%d;" % i
+
+
+def _make_docroot(tmp_path):
+    (tmp_path / "doc.html").write_bytes(PAYLOAD)
+    return str(tmp_path)
+
+
+def _measure(backend, docroot, sse_clients):
+    config = ServerConfig(
+        document_root=docroot,
+        port=0,
+        num_helpers=2,
+        cgi_programs={"stream": cgi_stream},
+        cgi_stream_depth=8,
+        sse_path="/sse",
+        sse_heartbeat=HEARTBEAT,
+    )
+    server = create_server(backend, config)
+    server.start()
+    try:
+        generator = LoadGenerator(
+            server.address,
+            "/doc.html",
+            num_clients=STATIC_CLIENTS,
+            duration=DURATION,
+            chunked_fraction=CHUNKED_FRACTION,
+            sse_clients=sse_clients,
+        )
+        result = generator.run()
+        stats = server.stats
+        snapshot = {
+            "streamed_responses": stats.streamed_responses,
+            "chunked_responses": stats.chunked_responses,
+            "sse_connections": stats.sse_connections,
+            "backpressure_pauses": stats.backpressure_pauses,
+            "sse_dropped_events": stats.sse_dropped_events,
+        }
+    finally:
+        server.stop()
+    return result, snapshot
+
+
+def test_fig14_streaming(run_once, tmp_path):
+    docroot = _make_docroot(tmp_path)
+
+    def run_phases():
+        measurements = []
+        for backend in BACKENDS:
+            baseline, base_stats = _measure(backend, docroot, 0)
+            streaming, sse_stats = _measure(backend, docroot, SSE_CLIENTS)
+            measurements.append(
+                (backend, baseline, base_stats, streaming, sse_stats)
+            )
+        return measurements
+
+    measurements = run_once(run_phases)
+
+    result = ExperimentResult("fig14_streaming", "phase")
+    lines = [
+        f"BENCH fig14-streaming: static p99 with {SSE_CLIENTS} idle SSE "
+        f"subscribers vs no-SSE baseline ({CHUNKED_FRACTION:.0%} chunked-CGI "
+        "mix riding along)",
+        f"{'backend':<8} {'phase':<9} {'req/s':>8} {'p50 ms':>8} "
+        f"{'p99 ms':>8} {'sse-conns':>9} {'sse-events':>10} "
+        f"{'chunked':>8} {'errors':>6}",
+    ]
+    index = 0
+    for backend, baseline, base_stats, streaming, sse_stats in measurements:
+        for phase, merged, stats in (
+            ("baseline", baseline, base_stats),
+            ("with-sse", streaming, sse_stats),
+        ):
+            summary = merged.latency.summary_ms()
+            lines.append(
+                f"{backend:<8} {phase:<9} {merged.request_rate:>8.0f} "
+                f"{summary['p50_ms']:>8.2f} {summary['p99_ms']:>8.2f} "
+                f"{stats['sse_connections']:>9d} {merged.sse_events:>10d} "
+                f"{merged.chunked_responses:>8d} {merged.errors:>6d}"
+            )
+            result.add(
+                ResultRow(
+                    experiment="fig14_streaming",
+                    server=backend,
+                    x=float(index),
+                    bandwidth_mbps=merged.bandwidth_mbps,
+                    request_rate=merged.request_rate,
+                    details={
+                        "phase": phase,
+                        "sse_clients": 0 if phase == "baseline" else SSE_CLIENTS,
+                        "requests_completed": merged.requests_completed,
+                        "errors": merged.errors,
+                        "sse_events": merged.sse_events,
+                        "chunked_responses_client": merged.chunked_responses,
+                        **stats,
+                    },
+                    latency_ms=summary,
+                    latency_cdf=merged.latency.cdf_ms(),
+                )
+            )
+            index += 1
+        base_p99 = baseline.latency.summary_ms()["p99_ms"]
+        sse_p99 = streaming.latency.summary_ms()["p99_ms"]
+        lines.append(
+            f"BENCH fig14-streaming: {backend} static p99 "
+            f"{base_p99:.2f}ms -> {sse_p99:.2f}ms with {SSE_CLIENTS} idle "
+            f"subscribers (gate {P99_FACTOR:g}x + {P99_FLOOR_MS:g}ms)"
+        )
+    table = "\n".join(lines)
+    print("\n" + table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "fig14_streaming.txt"), "w") as handle:
+        handle.write(table + "\n")
+    result.write_json(RESULTS_DIR)
+
+    for backend, baseline, base_stats, streaming, sse_stats in measurements:
+        # Clean runs on both phases: real work done, zero client errors.
+        assert baseline.requests_completed > 0, backend
+        assert baseline.errors == 0, (backend, baseline)
+        assert streaming.requests_completed > 0, backend
+        assert streaming.errors == 0, (backend, streaming)
+        # The chunked-CGI mix exercised the streaming send path end to end.
+        assert streaming.chunked_responses > 0, backend
+        assert sse_stats["chunked_responses"] > 0, backend
+        # The whole subscriber population connected and saw heartbeats.
+        assert sse_stats["sse_connections"] >= SSE_CLIENTS, (backend, sse_stats)
+        assert streaming.sse_events > 0, backend
+        # The scalability gate: a thousand parked streams must leave the
+        # static fast path's tail essentially intact.
+        base_p99 = baseline.latency.summary_ms()["p99_ms"]
+        sse_p99 = streaming.latency.summary_ms()["p99_ms"]
+        assert sse_p99 <= base_p99 * P99_FACTOR + P99_FLOOR_MS, (
+            f"{backend}: static p99 {sse_p99:.2f}ms under idle-SSE load "
+            f"breaches the gate ({base_p99:.2f}ms baseline, "
+            f"factor {P99_FACTOR}, floor {P99_FLOOR_MS}ms)"
+        )

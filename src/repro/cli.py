@@ -144,6 +144,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="Retry-After value advertised on 503 shed responses "
         "(default 1)",
     )
+    serve.add_argument(
+        "--sse-path", default="/sse", metavar="PATH",
+        help="request path of the built-in Server-Sent Events endpoint "
+        "(empty string disables it; default /sse)",
+    )
+    serve.add_argument(
+        "--sse-heartbeat", type=float, default=0.0, metavar="SECONDS",
+        help="publish a heartbeat tick event to every SSE subscriber at "
+        "this interval (0 disables; default 0)",
+    )
+    serve.add_argument(
+        "--sse-queue-limit", type=int, default=64, metavar="N",
+        help="bounded per-subscriber SSE event queue depth (default 64)",
+    )
+    serve.add_argument(
+        "--sse-policy", default="drop", choices=("drop", "disconnect"),
+        help="what a full subscriber queue does with the next event: "
+        "drop the oldest queued event, or disconnect the slow "
+        "subscriber after its backlog flushes (default drop)",
+    )
+    serve.add_argument(
+        "--cgi-stream-depth", type=int, default=8, metavar="N",
+        help="bounded chunk queue between a streaming CGI producer and "
+        "the connection; a stalled client fills it and blocks the "
+        "producer (default 8)",
+    )
 
     loadgen = subparsers.add_parser("loadgen", help="drive a server with simulated clients")
     loadgen.add_argument("--host", default="127.0.0.1")
@@ -173,6 +199,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="misbehaving clients that request a response "
                          "and then drain it at the dribble rate, stalling "
                          "the server's send")
+    loadgen.add_argument("--sse-clients", type=int, default=0, metavar="N",
+                         dest="sse_clients",
+                         help="mostly-idle Server-Sent Events subscribers "
+                         "attached alongside the real clients; each "
+                         "subscribes once, validates the chunked event "
+                         "framing, and reports events received")
+    loadgen.add_argument("--sse-path", default="/sse", metavar="PATH",
+                         help="endpoint the SSE subscribers request "
+                         "(default /sse)")
+    loadgen.add_argument("--chunked-fraction", type=float, default=0.0,
+                         help="fraction of requests issued against the "
+                         "streaming endpoint and completed by parsing "
+                         "Transfer-Encoding: chunked framing "
+                         "(deterministically interleaved; 0 disables)")
+    loadgen.add_argument("--chunked-path", default="/cgi-bin/stream",
+                         metavar="PATH",
+                         help="path the chunked-mix requests hit "
+                         "(default /cgi-bin/stream)")
     loadgen.add_argument("--connection-flood", type=int, default=0,
                          metavar="N", dest="connection_flood",
                          help="connection-flood clients that open and hold "
@@ -261,7 +305,12 @@ def _format_summary(stats) -> str:
         f"overload: {stats.connections_shed} shed (503), "
         f"{stats.fd_exhaustion_events} fd-exhaustion, "
         f"{stats.accept_pauses} accept-pauses, "
-        f"{stats.drain_forced_closes} drain-force-closed"
+        f"{stats.drain_forced_closes} drain-force-closed; "
+        f"streaming: {stats.streamed_responses} streamed "
+        f"({stats.chunked_responses} chunked), "
+        f"{stats.sse_connections} sse-subscribers, "
+        f"{stats.backpressure_pauses} backpressure-pauses, "
+        f"{stats.sse_dropped_events} sse-dropped"
     )
 
 
@@ -296,6 +345,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_connections=args.max_connections,
         drain_timeout=args.drain_timeout,
         retry_after=args.retry_after,
+        sse_path=args.sse_path or None,
+        sse_heartbeat=args.sse_heartbeat,
+        sse_queue_limit=args.sse_queue_limit,
+        sse_policy=args.sse_policy,
+        cgi_stream_depth=args.cgi_stream_depth,
     )
     if args.no_caches:
         config = config.without_caches()
@@ -422,6 +476,10 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             slow_writers=args.slow_writers,
             slow_readers=args.slow_readers,
             flood_connections=args.connection_flood,
+            sse_clients=args.sse_clients,
+            sse_path=args.sse_path,
+            chunked_fraction=args.chunked_fraction,
+            chunked_path=args.chunked_path,
             retry_backoff=args.retry_backoff,
             retry_resets=args.retry_resets,
             dribble_bytes=args.dribble_bytes,
@@ -447,6 +505,10 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             slow_writers=args.slow_writers,
             slow_readers=args.slow_readers,
             flood_connections=args.connection_flood,
+            sse_clients=args.sse_clients,
+            sse_path=args.sse_path,
+            chunked_fraction=args.chunked_fraction,
+            chunked_path=args.chunked_path,
             retry_backoff=args.retry_backoff,
             retry_resets=args.retry_resets,
             dribble_bytes=args.dribble_bytes,
@@ -493,6 +555,12 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"retries:            {result.retries}")
     if args.retry_resets or result.connection_resets:
         print(f"connection resets:  {result.connection_resets}")
+    if args.chunked_fraction:
+        print(f"chunked responses:  {result.chunked_responses}")
+    if args.sse_clients:
+        print(f"sse subscribers:    {args.sse_clients}"
+              f"{' per worker' if args.workers > 1 else ''}")
+        print(f"sse events:         {result.sse_events}")
     if args.json:
         text = json.dumps(payload, indent=2, sort_keys=True)
         if args.json == "-":

@@ -57,6 +57,10 @@ class WorkerSpec:
     slow_writers: int
     slow_readers: int
     flood_connections: int
+    sse_clients: int
+    sse_path: str
+    chunked_fraction: float
+    chunked_path: str
     retry_backoff: float
     retry_resets: bool
     dribble_bytes: int
@@ -86,6 +90,10 @@ def _run_worker(spec: WorkerSpec, queue) -> None:
         slow_writers=spec.slow_writers,
         slow_readers=spec.slow_readers,
         flood_connections=spec.flood_connections,
+        sse_clients=spec.sse_clients,
+        sse_path=spec.sse_path,
+        chunked_fraction=spec.chunked_fraction,
+        chunked_path=spec.chunked_path,
         retry_backoff=spec.retry_backoff,
         retry_resets=spec.retry_resets,
         dribble_bytes=spec.dribble_bytes,
@@ -119,6 +127,8 @@ def merge_results(results: Sequence[LoadResult]) -> LoadResult:
         merged.rejected_503 += result.rejected_503
         merged.retries += result.retries
         merged.connection_resets += result.connection_resets
+        merged.chunked_responses += result.chunked_responses
+        merged.sse_events += result.sse_events
         merged.dispatched += result.dispatched
         merged.lateness_sum += result.lateness_sum
         merged.lateness_max = max(merged.lateness_max, result.lateness_max)
@@ -157,7 +167,8 @@ class LoadCoordinator:
 
     workers:
         Number of worker processes.  ``num_clients``, ``slow_writers`` /
-        ``slow_readers`` and ``flood_connections`` are *per worker*;
+        ``slow_readers``, ``flood_connections`` and ``sse_clients`` are
+        *per worker*;
         ``arrival_rate`` and ``max_requests`` are cluster totals split
         evenly across workers.
     seed:
@@ -184,6 +195,10 @@ class LoadCoordinator:
         slow_writers: int = 0,
         slow_readers: int = 0,
         flood_connections: int = 0,
+        sse_clients: int = 0,
+        sse_path: str = "/sse",
+        chunked_fraction: float = 0.0,
+        chunked_path: str = "/cgi-bin/stream",
         retry_backoff: float = 0.05,
         retry_resets: bool = False,
         dribble_bytes: int = 1,
@@ -214,6 +229,10 @@ class LoadCoordinator:
         self.slow_writers = slow_writers
         self.slow_readers = slow_readers
         self.flood_connections = flood_connections
+        self.sse_clients = sse_clients
+        self.sse_path = sse_path
+        self.chunked_fraction = chunked_fraction
+        self.chunked_path = chunked_path
         self.retry_backoff = retry_backoff
         self.retry_resets = retry_resets
         self.dribble_bytes = dribble_bytes
@@ -262,6 +281,10 @@ class LoadCoordinator:
                 slow_writers=self.slow_writers,
                 slow_readers=self.slow_readers,
                 flood_connections=self.flood_connections,
+                sse_clients=self.sse_clients,
+                sse_path=self.sse_path,
+                chunked_fraction=self.chunked_fraction,
+                chunked_path=self.chunked_path,
                 retry_backoff=self.retry_backoff,
                 retry_resets=self.retry_resets,
                 dribble_bytes=self.dribble_bytes,

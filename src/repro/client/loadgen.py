@@ -61,6 +61,11 @@ class ClientResult:
     #: Chaos-mode counter: connections reset mid-exchange that were retried
     #: instead of recorded as errors (``retry_resets``).
     connection_resets: int = 0
+    #: Streaming counters: responses completed with
+    #: ``Transfer-Encoding: chunked`` framing (the chunked-mix requests),
+    #: and Server-Sent Events received by an SSE subscriber client.
+    chunked_responses: int = 0
+    sse_events: int = 0
 
 
 @dataclass
@@ -84,6 +89,8 @@ class LoadResult:
     rejected_503: int = 0
     retries: int = 0
     connection_resets: int = 0
+    chunked_responses: int = 0
+    sse_events: int = 0
     elapsed: float = 0.0
     per_client: list = field(default_factory=list)
     #: Per-request latency distribution (seconds recorded; read in ms).
@@ -128,6 +135,8 @@ class LoadResult:
             "rejected_503": self.rejected_503,
             "retries": self.retries,
             "connection_resets": self.connection_resets,
+            "chunked_responses": self.chunked_responses,
+            "sse_events": self.sse_events,
             "elapsed": self.elapsed,
             "bandwidth_mbps": self.bandwidth_mbps,
             "request_rate": self.request_rate,
@@ -137,6 +146,64 @@ class LoadResult:
             "max_backlog": self.max_backlog,
             "latency": self.latency.summary_ms(),
         }
+
+
+def _chunked_end(buffer, start: int) -> Optional[int]:
+    """Offset one past a complete ``Transfer-Encoding: chunked`` body.
+
+    Walks the chunk framing in ``buffer`` from ``start``; returns ``None``
+    while the terminating zero-size chunk has not fully arrived.  The
+    servers under test never emit trailers, so the terminator is exactly
+    ``0\\r\\n\\r\\n``.
+    """
+    position = start
+    while True:
+        line_end = buffer.find(b"\r\n", position)
+        if line_end < 0:
+            return None
+        size_token = bytes(buffer[position:line_end]).split(b";", 1)[0].strip()
+        try:
+            size = int(size_token, 16)
+        except ValueError:
+            # Malformed framing never completes; the server close surfaces
+            # it as an error through the normal EOF path.
+            return None
+        position = line_end + 2
+        if size == 0:
+            return position + 2 if len(buffer) >= position + 2 else None
+        if len(buffer) < position + size + 2:
+            return None
+        position += size + 2
+
+
+def _dechunk_available(buffer: bytearray, state: dict) -> bytes:
+    """Incrementally strip chunk framing from a growing receive buffer.
+
+    ``state`` carries ``position`` (the scan cursor into ``buffer``) and
+    ``done`` across calls; returns whatever complete chunk payloads became
+    available since the previous call.
+    """
+    payload = bytearray()
+    while not state.get("done"):
+        position = state.get("position", 0)
+        line_end = buffer.find(b"\r\n", position)
+        if line_end < 0:
+            break
+        size_token = bytes(buffer[position:line_end]).split(b";", 1)[0].strip()
+        try:
+            size = int(size_token, 16)
+        except ValueError:
+            state["done"] = True
+            break
+        data_start = line_end + 2
+        if size == 0:
+            state["done"] = True
+            break
+        if len(buffer) < data_start + size + 2:
+            break
+        payload += buffer[data_start : data_start + size]
+        state["position"] = data_start + size + 2
+    return bytes(payload)
 
 
 class _SimClient:
@@ -171,6 +238,7 @@ class _SimClient:
         self._expected_length: Optional[int] = None
         self._header_parsed = False
         self._body_start = 0
+        self._chunked = False
         self._registered_events = 0
         self._path = ""
         self._status = 0
@@ -221,16 +289,25 @@ class _SimClient:
         self._register(_WRITE)
 
     def _prepare_request(self) -> None:
-        path = self.generator.next_path()
-        self._path = path
         shape = self.generator.next_request_shape()
-        etag = self.generator.captured_etag(path) if shape == "conditional" else None
-        ranged = shape == "ranged"
+        if shape == "chunked":
+            # Chunked-mix slot: hit the streaming endpoint instead of the
+            # static workload path; the response arrives with
+            # Transfer-Encoding: chunked and no Content-Length.
+            path = self.generator.chunked_path
+            etag = None
+            ranged = False
+        else:
+            path = self.generator.next_path()
+            etag = self.generator.captured_etag(path) if shape == "conditional" else None
+            ranged = shape == "ranged"
+        self._path = path
         self._send_buffer = self.generator.request_bytes(path, ranged=ranged, etag=etag)
         self._recv_buffer = bytearray()
         self._expected_length = None
         self._header_parsed = False
         self._body_start = 0
+        self._chunked = False
         self._status = 0
         self._sent_at = time.monotonic()
 
@@ -320,12 +397,17 @@ class _SimClient:
                     self._expected_length = int(line.split(":", 1)[1].strip())
                 except ValueError:
                     self._expected_length = 0
+            elif lowered.startswith("transfer-encoding:") and "chunked" in lowered:
+                self._chunked = True
+                self._expected_length = None
             elif lowered.startswith("etag:"):
                 # Remember the validator so later conditional requests can
                 # replay it as If-None-Match.
                 self.generator.record_etag(self._path, line.split(":", 1)[1].strip())
 
     def _response_complete(self) -> bool:
+        if self._chunked:
+            return _chunked_end(self._recv_buffer, self._body_start) is not None
         if self._expected_length is None:
             return False
         return len(self._recv_buffer) - self._body_start >= self._expected_length
@@ -339,6 +421,8 @@ class _SimClient:
             return
         self.result.requests_completed += 1
         self.generator.total_requests += 1
+        if self._chunked:
+            self.result.chunked_responses += 1
         if 200 <= self._status < 300:
             self.result.responses_2xx += 1
             if self._status == 206:
@@ -785,6 +869,183 @@ class _FloodClient:
         self._registered_events = 0
 
 
+class _SSEClient:
+    """A mostly-idle Server-Sent Events subscriber alongside the real load.
+
+    Subscribes to the server's event-stream endpoint once and then just
+    listens: de-chunks the response, splits the event stream on blank
+    lines, and counts every block carrying a ``data:`` field
+    (``sse_events``) — validating the framing end to end while holding a
+    mostly-idle connection, the load shape the fig14 streaming benchmark
+    measures static latency against.  SSE subscribers never contribute to
+    ``requests_completed``; a server-side close ends the subscription for
+    the rest of the run.
+    """
+
+    DONE = _SimClient.DONE
+    SUBSCRIBING = "subscribing"
+    SUBSCRIBED = "subscribed"
+
+    def __init__(self, generator: "LoadGenerator", client_id: int):
+        self.generator = generator
+        self.client_id = client_id
+        self.result = ClientResult()
+        self.sock: Optional[socket.socket] = None
+        self.state = self.DONE
+        self._registered_events = 0
+        self._send_buffer = b""
+        self._recv_buffer = bytearray()
+        self._header_parsed = False
+        self._chunked = False
+        self._status = 0
+        self._decode_state: dict = {}
+        self._event_buffer = bytearray()
+
+    def start(self) -> None:
+        self._connect()
+
+    def _connect(self) -> None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setblocking(False)
+        self.sock = sock
+        self.result.connects += 1
+        self.state = self.SUBSCRIBING
+        try:
+            sock.connect(self.generator.address)
+        except BlockingIOError:
+            pass
+        except OSError:
+            self.result.errors += 1
+            self._close()
+            self.state = self.DONE
+            return
+        host = "%s:%d" % self.generator.address
+        self._send_buffer = (
+            f"GET {self.generator.sse_path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            "Accept: text/event-stream\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        self._register(_WRITE)
+
+    def on_ready(self, mask: int) -> None:
+        if self.sock is None:
+            return
+        try:
+            if mask & _WRITE and self.state == self.SUBSCRIBING:
+                while self._send_buffer:
+                    self._send_buffer = self._send_buffer[
+                        self.sock.send(self._send_buffer):
+                    ]
+                self.state = self.SUBSCRIBED
+                self._register(_READ)
+            if mask & _READ and self.state == self.SUBSCRIBED:
+                self._do_recv()
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._ended()
+
+    def _do_recv(self) -> None:
+        assert self.sock is not None
+        while True:
+            try:
+                data = self.sock.recv(65536)
+            except (BlockingIOError, InterruptedError):
+                return
+            if not data:
+                self._ended()
+                return
+            self.result.bytes_received += len(data)
+            self.generator.total_bytes += len(data)
+            self._recv_buffer.extend(data)
+            if not self._header_parsed:
+                if not self._parse_header():
+                    continue
+            self._consume_events()
+
+    def _parse_header(self) -> bool:
+        end = self._recv_buffer.find(b"\r\n\r\n")
+        if end < 0:
+            return False
+        header = bytes(self._recv_buffer[:end]).decode("latin-1", "replace")
+        lines = header.split("\r\n")
+        status_parts = lines[0].split(" ", 2)
+        try:
+            self._status = int(status_parts[1]) if len(status_parts) > 1 else 0
+        except ValueError:
+            self._status = 0
+        self._chunked = any(
+            line.lower().startswith("transfer-encoding:") and "chunked" in line.lower()
+            for line in lines[1:]
+        )
+        self._header_parsed = True
+        # The decode cursor scans the retained buffer from the body on.
+        del self._recv_buffer[: end + 4]
+        self._decode_state = {"position": 0}
+        if self._status != 200:
+            # No event stream here (endpoint disabled, or a shed): that is
+            # an error for a subscriber.
+            self.result.errors += 1
+            self._ended()
+            return False
+        return True
+
+    def _consume_events(self) -> None:
+        if self._chunked:
+            payload = _dechunk_available(self._recv_buffer, self._decode_state)
+        else:
+            payload = bytes(self._recv_buffer[self._decode_state.get("position", 0):])
+            self._decode_state["position"] = len(self._recv_buffer)
+        if not payload:
+            return
+        self._event_buffer.extend(payload)
+        # Complete SSE blocks end with a blank line; the last split element
+        # is the still-incomplete tail.  Comment-only blocks (the stream
+        # preamble) carry no data: field and are not events.
+        *blocks, tail = bytes(self._event_buffer).split(b"\n\n")
+        self._event_buffer = bytearray(tail)
+        for block in blocks:
+            if any(line.startswith(b"data:") for line in block.split(b"\n")):
+                self.result.sse_events += 1
+
+    def _ended(self) -> None:
+        """The server ended the subscription (drain, reap, or disconnect
+        policy): the idle subscriber does not resubscribe."""
+        self._close()
+        self.state = self.DONE
+
+    # -- teardown and selector plumbing (mirrors _SimClient) --------------------
+
+    def _close(self) -> None:
+        if self.sock is not None:
+            self._unregister()
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
+    def _register(self, events: int) -> None:
+        if self.sock is None:
+            return
+        selector = self.generator.selector
+        if self._registered_events == 0:
+            selector.register(self.sock, events, self)
+        elif events != self._registered_events:
+            selector.modify(self.sock, events, self)
+        self._registered_events = events
+
+    def _unregister(self) -> None:
+        if self.sock is not None and self._registered_events:
+            try:
+                self.generator.selector.unregister(self.sock)
+            except (KeyError, ValueError):
+                pass
+        self._registered_events = 0
+
+
 class LoadGenerator:
     """Drives a server with ``num_clients`` concurrent simulated clients.
 
@@ -887,6 +1148,10 @@ class LoadGenerator:
         slow_writers: int = 0,
         slow_readers: int = 0,
         flood_connections: int = 0,
+        sse_clients: int = 0,
+        sse_path: str = "/sse",
+        chunked_fraction: float = 0.0,
+        chunked_path: str = "/cgi-bin/stream",
         retry_backoff: float = 0.05,
         retry_resets: bool = False,
         dribble_bytes: int = 1,
@@ -900,6 +1165,8 @@ class LoadGenerator:
             raise ValueError("range_fraction must be between 0 and 1")
         if not 0.0 <= conditional_fraction <= 1.0:
             raise ValueError("conditional_fraction must be between 0 and 1")
+        if not 0.0 <= chunked_fraction <= 1.0:
+            raise ValueError("chunked_fraction must be between 0 and 1")
         if arrival_rate is not None and arrival_rate <= 0.0:
             raise ValueError("arrival_rate must be positive (or None for closed loop)")
         if arrival_rate is not None and think_time > 0.0:
@@ -916,6 +1183,11 @@ class LoadGenerator:
         self.slow_writers = slow_writers
         self.slow_readers = slow_readers
         self.flood_connections = flood_connections
+        self.sse_clients = sse_clients
+        self.sse_path = sse_path
+        self.chunked_fraction = chunked_fraction
+        self.chunked_path = chunked_path
+        self._chunked_debt = 0.0
         self.retry_backoff = max(0.0, retry_backoff)
         self.retry_resets = retry_resets
         self.dribble_bytes = max(1, dribble_bytes)
@@ -1023,6 +1295,15 @@ class LoadGenerator:
                 self._range_debt -= 1.0
                 return "ranged"
             self._range_debt = min(self._range_debt, 2.0)
+        if self.chunked_fraction > 0.0:
+            # Chunked-mix slots ride the same error-diffusion scheme on a
+            # third accumulator, yielding to conditional (and to ranged via
+            # slot order) exactly like ranged yields to conditional.
+            self._chunked_debt += self.chunked_fraction
+            if not conditional and self._chunked_debt >= 1.0:
+                self._chunked_debt -= 1.0
+                return "chunked"
+            self._chunked_debt = min(self._chunked_debt, 2.0)
         return "conditional" if conditional else "plain"
 
     def record_etag(self, path: str, etag: str) -> None:
@@ -1144,6 +1425,8 @@ class LoadGenerator:
             _SlowClient(self, i, _SlowClient.READER) for i in range(self.slow_readers)
         ] + [
             _FloodClient(self, i) for i in range(self.flood_connections)
+        ] + [
+            _SSEClient(self, i) for i in range(self.sse_clients)
         ]
         everyone = clients + slow
         if self.open_loop:
@@ -1196,6 +1479,8 @@ class LoadGenerator:
             result.rejected_503 += client.result.rejected_503
             result.retries += client.result.retries
             result.connection_resets += client.result.connection_resets
+            result.chunked_responses += client.result.chunked_responses
+            result.sse_events += client.result.sse_events
         return result
 
     def _fire_timers(self) -> None:

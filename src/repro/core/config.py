@@ -197,6 +197,28 @@ class ServerConfig:
     #: Registered CGI applications: name -> callable (see :mod:`repro.cgi`).
     cgi_programs: dict = field(default_factory=dict)
 
+    # -- streaming responses (chunked transfer, streaming CGI, SSE) ----------
+    #: Bound on the per-request chunk queue between a *streaming* CGI
+    #: application and its consumer: once this many chunks are unconsumed
+    #: the application blocks, which is how consumer-side backpressure
+    #: reaches the child (see :mod:`repro.core.streaming`).
+    cgi_stream_depth: int = 8
+    #: Path of the built-in Server-Sent Events endpoint.  ``None`` or ``""``
+    #: disables the endpoint entirely.
+    sse_path: Optional[str] = "/sse"
+    #: Bound on each SSE subscriber's event queue: a stalled subscriber
+    #: holds at most this many formatted events in the server's heap.
+    sse_queue_limit: int = 64
+    #: What happens when a stalled subscriber's queue overflows:
+    #: ``"drop"`` discards the oldest queued event (counted in
+    #: ``sse_dropped_events``); ``"disconnect"`` ends the subscription
+    #: after the backlog delivers.
+    sse_policy: str = "drop"
+    #: Interval of the built-in heartbeat ticker publishing ``tick`` events
+    #: to all subscribers.  ``<= 0`` (default) disables the ticker; the
+    #: endpoint then only relays externally published events.
+    sse_heartbeat: float = 0.0
+
     #: Optional mapping of user name -> public_html directory for ``/~user``.
     user_dirs: Optional[dict] = None
 
@@ -230,6 +252,12 @@ class ServerConfig:
         if self.retry_after < 0:
             raise ValueError("retry_after must be non-negative")
         self.drain_timeout = max(0.0, self.drain_timeout)
+        if self.cgi_stream_depth < 1:
+            raise ValueError("cgi_stream_depth must be at least 1")
+        if self.sse_queue_limit < 1:
+            raise ValueError("sse_queue_limit must be at least 1")
+        if self.sse_policy not in ("drop", "disconnect"):
+            raise ValueError("sse_policy must be 'drop' or 'disconnect'")
         # Sync the idle-timeout aliases, then normalize every timeout so
         # "disabled" has exactly one spelling (0.0): legacy callers that set
         # connection_timeout keep working, new callers use idle_timeout, and

@@ -63,6 +63,7 @@ from repro.core.send_path import (
     choose_send_path,
     sendfile_available,
 )
+from repro.core.streaming import ResponseSource, StreamingSendPath
 from repro.http.errors import HTTPError
 from repro.http.request import (
     FAST_MISS,
@@ -144,6 +145,7 @@ class Connection:
         "_interest",
         "_keep_alive",
         "_finishing",
+        "_stream_parked",
         "_deadline_handle",
         "_deadline_kind",
         "last_activity",
@@ -180,6 +182,7 @@ class Connection:
         self._interest = 0
         self._keep_alive = False
         self._finishing = False
+        self._stream_parked = False
         self._deadline_handle = None
         self._deadline_kind = None
         self.last_activity = time.monotonic()
@@ -206,12 +209,37 @@ class Connection:
             try:
                 if mask & EVENT_READ and self.state == STATE_READ_REQUEST:
                     self._do_read()
+                elif mask & EVENT_READ and self.state == STATE_SEND_RESPONSE \
+                        and self._stream_parked:
+                    # A parked stream keeps read interest purely to notice
+                    # the peer going away (mid-stream close or reset).
+                    self._probe_peer()
                 if mask & EVENT_WRITE and self.state == STATE_SEND_RESPONSE:
                     self._do_write()
             except OSError as exc:
                 self._absorb_disconnect(exc)
         except Exception:
             self._absorb_callback_crash("on_ready")
+
+    def _probe_peer(self) -> None:
+        """Peek the socket of a parked stream for EOF/reset.
+
+        An idle SSE subscriber owes the server nothing, so the write-side
+        deadline is disarmed while parked — this probe is what notices the
+        client hanging up, releasing the subscription (and, for CGI
+        streams, cancelling the child) promptly instead of on the next
+        failed write.  Actual bytes (an early pipelined request) are left
+        in the kernel buffer for the post-stream parser; read interest is
+        dropped then so a level-triggered backend does not spin.
+        """
+        try:
+            data = self.sock.recv(1, socket.MSG_PEEK)
+        except (BlockingIOError, InterruptedError):
+            return
+        if not data:
+            self.close()
+            return
+        self._set_interest(self._interest & ~EVENT_READ)
 
     def _absorb_callback_crash(self, where: str) -> None:
         """Crash barrier for loop callbacks (lint rule RL005).
@@ -431,6 +459,10 @@ class Connection:
         self.request = request
         self.driver.store.stats.requests += 1
         self._keep_alive = self._effective_keep_alive(request.keep_alive)
+        sse_path = getattr(self.driver.config, "sse_path", None)
+        if sse_path and request.path == sse_path:
+            self._start_sse(request)
+            return
         if request.is_cgi:
             self._set_interest(0)
             self.state = STATE_WAIT_DISK
@@ -522,11 +554,21 @@ class Connection:
             self.driver.store.hot_insert(self.request, entry, content)
         self._start_send(self._make_sender(content))
 
-    def _on_cgi_done(self, body: Optional[bytes], error) -> None:
+    def _on_cgi_done(self, body, error) -> None:
         if self.state == STATE_CLOSED:
+            if isinstance(body, ResponseSource):
+                # The consumer is gone; release the producer (cancels the
+                # stream so the worker is not left blocked on a full queue).
+                body.close()
             return
         if error is not None:
             self._send_http_error(error)
+            return
+        if isinstance(body, ResponseSource):
+            # Streaming application: the body length is unknown up front,
+            # so the response goes out through the streaming send path.
+            self.driver.store.stats.responses_ok += 1
+            self.start_streaming(body, content_type="text/html")
             return
         header = self.driver.store.header_builder.build(
             200,
@@ -536,6 +578,102 @@ class Connection:
         ).raw
         self.driver.store.stats.responses_ok += 1
         self._start_send(BufferedSendPath([header, body]))
+
+    # -- streaming ------------------------------------------------------------------
+
+    def _start_sse(self, request: HTTPRequest) -> None:
+        """Subscribe this connection to the server's SSE hub."""
+        hub = getattr(self.driver, "sse_hub", None)
+        if hub is None or request.method not in ("GET", "HEAD"):
+            self._send_error(404, "no event stream here", close_after=False)
+            return
+        stats = self.driver.store.stats
+        subscriber = hub.subscribe()
+        stats.sse_connections += 1
+        stats.responses_ok += 1
+        # An event stream has no natural end: the connection is spent once
+        # the subscription finishes (hub close, disconnect policy, reap).
+        self._keep_alive = False
+        self.start_streaming(
+            subscriber,
+            content_type="text/event-stream",
+            cache_control="no-store",
+        )
+
+    def start_streaming(
+        self,
+        source: ResponseSource,
+        *,
+        status: int = 200,
+        content_type: str = "text/html",
+        cache_control: Optional[str] = None,
+    ) -> None:
+        """Transmit a response produced incrementally by ``source``.
+
+        HTTP/1.1 consumers get ``Transfer-Encoding: chunked`` framing and
+        may keep the connection alive afterwards; HTTP/1.0 consumers get
+        the close-delimited fallback (the connection close is the framing,
+        so keep-alive is off regardless of the request's preference).
+        """
+        request = self.request
+        chunked = bool(request is not None and request.version == "HTTP/1.1")
+        if not chunked:
+            self._keep_alive = False
+        stats = self.driver.store.stats
+        stats.streamed_responses += 1
+        if chunked:
+            stats.chunked_responses += 1
+        header = self.driver.store.header_builder.build_stream(
+            status,
+            content_type=content_type,
+            chunked=chunked,
+            keep_alive=self._keep_alive,
+            cache_control=cache_control,
+        ).raw
+        source.bind(self._on_source_ready)
+        self._start_send(StreamingSendPath(
+            header,
+            source,
+            chunked=chunked,
+            on_pause=self._on_stream_pause,
+        ))
+
+    def _on_stream_pause(self) -> None:
+        """Send-buffer pressure paused the producing source (one edge)."""
+        self.driver.store.stats.backpressure_pauses += 1
+
+    def _on_source_ready(self) -> None:
+        """Source callback: data arrived for a (possibly parked) stream.
+
+        Runs on the event-loop thread — the CGI runner and the SSE hub
+        both route cross-thread arrivals through loop-registered wakeup
+        channels before notifying.
+        """
+        try:
+            if self.state != STATE_SEND_RESPONSE or self._sender is None:
+                return
+            if self._stream_parked:
+                self._stream_parked = False
+                self._set_interest(EVENT_WRITE)
+                self._arm_deadline("write")
+            try:
+                self._do_write()
+            except OSError as exc:
+                self._absorb_disconnect(exc)
+        except Exception:
+            self._absorb_callback_crash("_on_source_ready")
+
+    def _park_stream(self) -> None:
+        """Nothing to send until the source produces: stop write-watching.
+
+        Keeps read interest so a peer close/reset is noticed promptly
+        (see :meth:`_probe_peer`) and disarms the write-stall budget — an
+        idle subscriber is not a stalled reader; it is owed nothing.  The
+        drain deadline still bounds the stream's total grace on shutdown.
+        """
+        self._stream_parked = True
+        self._set_interest(EVENT_READ)
+        self._arm_deadline(None)
 
     # -- sending --------------------------------------------------------------------
 
@@ -595,11 +733,18 @@ class Connection:
             self.driver.store.stats.bytes_sent += sent
         if sender.done:
             self._finish_response()
-        elif sent:
+            return
+        if sent:
             # Bytes moved but the response is not finished: the peer made
             # progress, so the write-stall budget restarts.  (No progress
             # leaves the armed deadline counting down.)
             self._arm_deadline("write")
+        if (
+            not self._stream_parked
+            and self.state == STATE_SEND_RESPONSE
+            and getattr(sender, "waiting_on_source", False)
+        ):
+            self._park_stream()
 
     def _finish_response(self) -> None:
         """Epilogue of a transmitted response, plus the pipelined drain loop.

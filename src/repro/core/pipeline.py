@@ -118,6 +118,21 @@ class ServerStats:
     #: (readiness handlers, timers, drain steps).  Anything non-zero means
     #: a bug was absorbed instead of killing every connection on the loop.
     loop_callback_errors: int = 0
+    #: Responses produced through the streaming ResponseSource path
+    #: (chunked generators, streaming CGI, SSE) rather than a fixed-length
+    #: body known up front.
+    streamed_responses: int = 0
+    #: Streamed responses framed with ``Transfer-Encoding: chunked`` (the
+    #: remainder used the HTTP/1.0 close-delimited fallback).
+    chunked_responses: int = 0
+    #: SSE subscriptions accepted on the built-in event-stream endpoint.
+    sse_connections: int = 0
+    #: Pause edges on streaming responses: the consumer's socket stopped
+    #: draining and the producing source was paused (flow control engaged).
+    backpressure_pauses: int = 0
+    #: Events discarded from stalled SSE subscribers' bounded queues under
+    #: the ``drop`` overflow policy.
+    sse_dropped_events: int = 0
 
     def merge(self, other: "ServerStats") -> "ServerStats":
         """Return a new instance combining this one with ``other``.

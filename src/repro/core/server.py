@@ -46,6 +46,7 @@ from repro.core.helpers import (
 )
 from repro.core.pipeline import ContentStore, ServerStats, StaticContent
 from repro.core.send_path import sendfile_available
+from repro.core.sse import SSEHub
 from repro.http.errors import HTTPError, NotFoundError
 from repro.http.request import HTTPRequest
 from repro.testing.faults import faults
@@ -72,8 +73,25 @@ class BaseEventDrivenServer:
         self.config = config
         self.loop = EventLoop(backend=config.io_backend)
         self.store = ContentStore(config, residency_tester=residency_tester)
-        self.cgi_runner = CGIRunner(config.cgi_programs, prefix=config.cgi_prefix)
+        self.cgi_runner = CGIRunner(
+            config.cgi_programs,
+            prefix=config.cgi_prefix,
+            stream_depth=config.cgi_stream_depth,
+        )
         self.cgi_runner.register(self.loop)
+        #: Pub/sub hub behind the built-in SSE endpoint.  Its notify channel
+        #: rides the event loop (subscriber ready-callbacks run on the loop
+        #: thread); its heartbeat ticker, when enabled, is a plain daemon
+        #: thread publishing through the thread-safe ``publish``.
+        self.sse_hub: Optional[SSEHub] = None
+        if config.sse_path:
+            self.sse_hub = SSEHub(
+                queue_limit=config.sse_queue_limit,
+                policy=config.sse_policy,
+                on_drop=self._on_sse_drop,
+            )
+            self.sse_hub.register(self.loop)
+            self.sse_hub.start_ticker(config.sse_heartbeat)
         self._listen_sock: Optional[socket.socket] = None
         self._connections: set[Connection] = set()
         self._stop_event = threading.Event()
@@ -193,6 +211,16 @@ class BaseEventDrivenServer:
         except Exception:  # stats are best-effort inside the barrier
             pass
         logger.exception("unhandled error in %s (absorbed; loop continues)", where)
+
+    def _on_sse_drop(self) -> None:
+        """Hub overflow hook: a stalled subscriber's bounded queue shed one.
+
+        Runs on whichever thread published the event (the heartbeat ticker,
+        usually).  The event-driven builds keep all other stats on the loop
+        thread; this one counter trades exactness for not dragging a lock
+        onto every publish, same as the MT build's documented stats slop.
+        """
+        self.store.stats.sse_dropped_events += 1
 
     def _on_fd_exhaustion(self) -> None:
         """Survive accept-time EMFILE/ENFILE: shed one arrival, pause accepts."""
@@ -322,6 +350,11 @@ class BaseEventDrivenServer:
                 except OSError:
                     pass
                 self._listen_sock = None
+            # End every SSE subscription: subscribers flush their queued
+            # backlog (plus the chunked terminator) and close gracefully,
+            # ahead of the force-close backstop below.
+            if self.sse_hub is not None:
+                self.sse_hub.close()
             # Idle keep-alive connections are owed nothing: close them now.
             # Connections mid-request or mid-response run to completion
             # below (their responses carry ``Connection: close`` — see
@@ -421,6 +454,10 @@ class BaseEventDrivenServer:
             self._listen_sock.close()
             self._listen_sock = None
         self.admission.close()
+        if self.sse_hub is not None:
+            self.sse_hub.unregister(self.loop)
+            self.sse_hub.shutdown()
+            self.sse_hub = None
         self.cgi_runner.shutdown()
         self.store.close()
         self.loop.close()

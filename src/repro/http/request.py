@@ -37,6 +37,7 @@ for callers whose hot-cache lookup misses.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.http.errors import (
@@ -237,14 +238,19 @@ def _coalesce_windows(windows: list[tuple[int, int]]) -> list[tuple[int, int]]:
 
 
 def parse_range(value: str, size: int):
-    """Single-range subset of :func:`parse_ranges` (legacy entry point).
+    """Deprecated single-window shim over :func:`parse_ranges`.
 
-    Returns ``(offset, length)``, ``None`` (ignore the header — including
-    every multi-range set, which only the full pipeline's
-    ``multipart/byteranges`` machinery serves), or
-    :data:`RANGE_UNSATISFIABLE`.  Kept for callers that can only transmit a
-    single contiguous window.
+    The pipeline serves multi-range sets through ``multipart/byteranges``,
+    so every production caller migrated to :func:`parse_ranges`; this shim
+    survives one release for out-of-tree callers and rejects (``None``)
+    any set it cannot express as one ``(offset, length)`` window.
     """
+    warnings.warn(
+        "parse_range() is deprecated; call parse_ranges(), which returns "
+        "the full coalesced window list",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if value and "," in value:
         return None
     windows = parse_ranges(value, size)
@@ -438,7 +444,7 @@ class HTTPRequest:
 
     @property
     def range_header(self) -> str | None:
-        """The raw Range header value, if any (see :func:`parse_range`)."""
+        """The raw Range header value, if any (see :func:`parse_ranges`)."""
         return self.headers.get("range")
 
     @property

@@ -419,6 +419,61 @@ class ResponseHeaderBuilder:
             padding=padding,
         )
 
+    def build_stream(
+        self,
+        status: int = 200,
+        *,
+        content_type: str = "text/html",
+        chunked: bool = True,
+        keep_alive: bool = False,
+        date: float | None = None,
+        cache_control: str | None = None,
+        extra_headers: dict[str, str] | None = None,
+    ) -> ResponseHeader:
+        """Build a header for a body whose length is unknown up front.
+
+        The streaming counterpart of :meth:`build`: no ``Content-Length``
+        is emitted.  With ``chunked`` (HTTP/1.1 consumers) the body is
+        delimited by ``Transfer-Encoding: chunked`` framing and the
+        connection may be kept alive; without it (the HTTP/1.0 fallback)
+        the *connection close* delimits the body, so ``keep_alive`` is
+        forced off regardless of what the caller asked for.  The header
+        keeps the Section 5.5 alignment padding so streamed headers go
+        through the same aligned-write path as everything else.
+        """
+        if not chunked:
+            keep_alive = False
+        lines = [f"{self.version} {status} {reason_phrase(status)}"]
+        lines.append(f"Date: {http_date(date)}")
+        lines.append(f"Content-Type: {content_type}")
+        if chunked:
+            lines.append("Transfer-Encoding: chunked")
+        if cache_control is not None:
+            lines.append(f"Cache-Control: {cache_control}")
+        lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+        if extra_headers:
+            for name, value in extra_headers.items():
+                lines.append(f"{name}: {value}")
+        server_line_index = len(lines)
+        lines.append(f"Server: {self.server_name}")
+
+        encoded = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        padding = 0
+        if self.align > 1:
+            remainder = len(encoded) % self.align
+            if remainder:
+                padding = self.align - remainder
+                lines[server_line_index] = (
+                    f"Server: {self.server_name}{' ' * padding}"
+                )
+                encoded = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return ResponseHeader(
+            raw=encoded,
+            status=status,
+            content_length=-1,
+            padding=padding,
+        )
+
 
 def build_error_response(
     status: int,

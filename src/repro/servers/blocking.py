@@ -42,6 +42,13 @@ from repro.cgi.runner import CGIRunner
 from repro.core.config import ServerConfig
 from repro.core.pipeline import ContentStore, StaticContent
 from repro.core.send_path import SENDFILE_FALLBACK_ERRNOS, sendfile_available
+from repro.core.sse import SSEHub
+from repro.core.streaming import (
+    CHUNKED_TERMINATOR,
+    END_OF_STREAM,
+    WOULD_BLOCK,
+    chunk_frame,
+)
 from repro.http.errors import HTTPError
 from repro.http.request import RequestParser
 from repro.http.response import build_error_response
@@ -59,6 +66,7 @@ def handle_client(
     cgi_runner: Optional[CGIRunner] = None,
     max_requests: Optional[int] = None,
     drain_check: Optional[Callable[[], bool]] = None,
+    sse_hub: Optional[SSEHub] = None,
 ) -> int:
     """Serve one client connection to completion with blocking I/O.
 
@@ -188,19 +196,34 @@ def handle_client(
 
             sock.settimeout(write_timeout)
             try:
+                if config.sse_path and request.path == config.sse_path:
+                    if sse_hub is None or request.method not in ("GET", "HEAD"):
+                        raise HTTPError("no event stream here", status=404)
+                    _serve_sse(sock, store, sse_hub, request, drain_check)
+                    # An event stream has no natural end: the connection is
+                    # spent once the subscription finishes.
+                    return served + 1
                 if request.is_cgi:
                     with store.stats_lock():
                         store.stats.cgi_requests += 1
                     if cgi_runner is None:
                         raise HTTPError("dynamic content disabled", status=503)
                     body = cgi_runner.run(request)
-                    header = store.header_builder.build(
-                        200,
-                        content_length=len(body),
-                        content_type="text/html",
-                        keep_alive=keep_alive,
-                    ).raw
-                    _send_all(sock, store, [header, body])
+                    if isinstance(body, (bytes, bytearray, memoryview)):
+                        header = store.header_builder.build(
+                            200,
+                            content_length=len(body),
+                            content_type="text/html",
+                            keep_alive=keep_alive,
+                        ).raw
+                        _send_all(sock, store, [header, body])
+                    else:
+                        # Streaming application: chunks flow out as the
+                        # worker produces them, through the bounded queue
+                        # that paces the application (see repro.cgi.runner).
+                        keep_alive = _serve_stream(
+                            sock, store, request, body, keep_alive
+                        )
                 else:
                     content = _lookup_hot(store, config, request, keep_alive)
                     if content is None:
@@ -375,6 +398,110 @@ def _send_all(sock: socket.socket, store: ContentStore, buffers) -> None:
         sock.sendall(buffer)
         with store.stats_lock():
             store.stats.bytes_sent += len(buffer)
+
+
+def _serve_stream(
+    sock: socket.socket,
+    store: ContentStore,
+    request,
+    chunks,
+    keep_alive: bool,
+    content_type: str = "text/html",
+) -> bool:
+    """Transmit a streamed (unknown-length) response with blocking writes.
+
+    HTTP/1.1 gets chunked framing (keep-alive preserved); HTTP/1.0 gets
+    the close-delimited fallback.  Returns the connection's keep-alive
+    disposition afterwards: False when close-delimited framing or a
+    mid-stream producer failure (the truncation is the error signal —
+    the header already left, so no error response is possible) spent it.
+    Write-stall expiry (``socket.timeout``) propagates to the caller's
+    reaping handler like any other response.
+    """
+    chunked = request.version == "HTTP/1.1"
+    if not chunked:
+        keep_alive = False
+    with store.stats_lock():
+        store.stats.streamed_responses += 1
+        if chunked:
+            store.stats.chunked_responses += 1
+    header = store.header_builder.build_stream(
+        200, content_type=content_type, chunked=chunked, keep_alive=keep_alive
+    ).raw
+    _send_all(sock, store, [header])
+    try:
+        for chunk in chunks:
+            if not len(chunk):
+                continue
+            _send_all(sock, store, chunk_frame(chunk) if chunked else [chunk])
+        if chunked:
+            _send_all(sock, store, [CHUNKED_TERMINATOR])
+        return keep_alive
+    except RuntimeError:
+        # Producer failed mid-stream: suppress the terminator so the
+        # client sees unambiguous truncation, and spend the connection.
+        return False
+    finally:
+        closer = getattr(chunks, "close", None)
+        if closer is not None:
+            closer()
+
+
+def _serve_sse(
+    sock: socket.socket,
+    store: ContentStore,
+    hub: SSEHub,
+    request,
+    drain_check: Optional[Callable[[], bool]],
+) -> None:
+    """Drive one SSE subscription to its end with blocking writes.
+
+    The worker thread blocks in :meth:`SSESubscriber.wait` between
+    events, in quanta of ``DRAIN_POLL_INTERVAL`` so it notices a drain
+    (ends the stream gracefully) and a departed peer (EOF on a peek)
+    promptly.  The subscriber queue stays bounded by the hub's overflow
+    policy the whole time — a slow consumer here blocks only its own
+    worker, which is exactly the MT/MP concurrency model.
+    """
+    subscriber = hub.subscribe()
+    chunked = request.version == "HTTP/1.1"
+    with store.stats_lock():
+        store.stats.sse_connections += 1
+        store.stats.streamed_responses += 1
+        if chunked:
+            store.stats.chunked_responses += 1
+        store.stats.responses_ok += 1
+    try:
+        header = store.header_builder.build_stream(
+            200,
+            content_type="text/event-stream",
+            chunked=chunked,
+            keep_alive=False,
+            cache_control="no-store",
+        ).raw
+        _send_all(sock, store, [header])
+        while True:
+            segment = subscriber.next_segment()
+            if segment is END_OF_STREAM:
+                if chunked:
+                    _send_all(sock, store, [CHUNKED_TERMINATOR])
+                return
+            if segment is WOULD_BLOCK:
+                if drain_check is not None and drain_check():
+                    # Graceful drain: queued backlog still delivers, then
+                    # the loop sees END_OF_STREAM and sends the terminator.
+                    subscriber.end_stream()
+                    continue
+                if not subscriber.wait(DRAIN_POLL_INTERVAL):
+                    readable, _, _ = select.select([sock], [], [], 0)
+                    if readable:
+                        probe = sock.recv(1, socket.MSG_PEEK)
+                        if not probe:
+                            return
+                continue
+            _send_all(sock, store, chunk_frame(segment) if chunked else [segment])
+    finally:
+        subscriber.close()
 
 
 def _send_error(

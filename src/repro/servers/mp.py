@@ -34,6 +34,7 @@ from repro.core.admission import (
 )
 from repro.core.config import ServerConfig
 from repro.core.pipeline import ContentStore, ServerStats
+from repro.core.sse import SSEHub
 from repro.servers.blocking import handle_client
 from repro.testing.faults import faults
 
@@ -225,7 +226,22 @@ def _mp_worker_main(
     ``open_count``, so ``max_connections`` bounds the whole server.
     """
     store = ContentStore(worker_config)
-    cgi_runner = CGIRunner(worker_config.cgi_programs, prefix=worker_config.cgi_prefix)
+    cgi_runner = CGIRunner(
+        worker_config.cgi_programs,
+        prefix=worker_config.cgi_prefix,
+        stream_depth=worker_config.cgi_stream_depth,
+    )
+    # Per-process SSE hub: each worker owns its own subscriber set, matching
+    # the MP architecture's replicated per-process state.  Events published
+    # by one worker's ticker reach only that worker's subscribers.
+    sse_hub: Optional[SSEHub] = None
+    if worker_config.sse_path:
+        sse_hub = SSEHub(
+            queue_limit=worker_config.sse_queue_limit,
+            policy=worker_config.sse_policy,
+            on_drop=lambda: _count_sse_drop(store),
+        )
+        sse_hub.start_ticker(worker_config.sse_heartbeat)
     admission = AdmissionController(
         max_connections=worker_config.max_connections,
         resume_fraction=worker_config.admission_resume,
@@ -275,11 +291,14 @@ def _mp_worker_main(
                     worker_config,
                     cgi_runner,
                     drain_check=drain_event.is_set,
+                    sse_hub=sse_hub,
                 )
             finally:
                 with open_count.get_lock():
                     open_count.value -= 1
     finally:
+        if sse_hub is not None:
+            sse_hub.shutdown()
         try:
             stats_queue.put(store.stats.snapshot())
         except Exception:
@@ -287,3 +306,9 @@ def _mp_worker_main(
         admission.close()
         cgi_runner.shutdown()
         store.close()
+
+
+def _count_sse_drop(store: ContentStore) -> None:
+    """Count a discarded SSE event for one worker's private stats."""
+    with store.stats_lock():
+        store.stats.sse_dropped_events += 1

@@ -31,6 +31,7 @@ from repro.core.admission import (
 )
 from repro.core.config import ServerConfig
 from repro.core.pipeline import ContentStore, ServerStats
+from repro.core.sse import SSEHub
 from repro.servers.blocking import handle_client
 from repro.testing.faults import faults
 
@@ -43,7 +44,22 @@ class MTServer:
     def __init__(self, config: ServerConfig):
         self.config = config
         self.store = ContentStore(config, thread_safe=True)
-        self.cgi_runner = CGIRunner(config.cgi_programs, prefix=config.cgi_prefix)
+        self.cgi_runner = CGIRunner(
+            config.cgi_programs,
+            prefix=config.cgi_prefix,
+            stream_depth=config.cgi_stream_depth,
+        )
+        #: SSE hub shared by every worker thread: ``publish`` is
+        #: thread-safe, subscribers are driven by the worker serving the
+        #: subscription, and the drop counter goes through the store lock.
+        self.sse_hub: Optional[SSEHub] = None
+        if config.sse_path:
+            self.sse_hub = SSEHub(
+                queue_limit=config.sse_queue_limit,
+                policy=config.sse_policy,
+                on_drop=self._on_sse_drop,
+            )
+            self.sse_hub.start_ticker(config.sse_heartbeat)
         self._listen_sock: Optional[socket.socket] = None
         self._threads: list[threading.Thread] = []
         self._stop_event = threading.Event()
@@ -161,6 +177,7 @@ class MTServer:
                     self.config,
                     self.cgi_runner,
                     drain_check=self._drain_event.is_set,
+                    sse_hub=self.sse_hub,
                 )
             finally:
                 with self._active_lock:
@@ -179,10 +196,19 @@ class MTServer:
         with self._active_lock:
             return len(self._active)
 
+    def _on_sse_drop(self) -> None:
+        """Hub overflow hook: count the shed event under the store lock."""
+        with self.store.stats_lock():
+            self.store.stats.sse_dropped_events += 1
+
     def request_drain(self) -> None:
         """Enter drain mode (signal-safe): workers stop accepting, finish
         their in-flight exchanges with ``Connection: close``, and exit."""
         self._drain_event.set()
+        # Ending the subscriptions lets workers blocked in an SSE wait
+        # deliver the backlog, send the terminator and exit promptly.
+        if self.sse_hub is not None:
+            self.sse_hub.close()
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Drain and wait; returns True when every worker exited in time.
@@ -227,6 +253,9 @@ class MTServer:
             self._listen_sock.close()
             self._listen_sock = None
         self.admission.close()
+        if self.sse_hub is not None:
+            self.sse_hub.shutdown()
+            self.sse_hub = None
         self.cgi_runner.shutdown()
         self.store.close()
 

@@ -125,6 +125,22 @@ class TestServeSummary:
         assert "timeouts: 3 header, 2 idle, 1 write-stall" in summary
         assert "served 0 requests" in summary
 
+    def test_summary_reads_streaming_fields(self):
+        from repro.cli import _format_summary
+        from repro.core.pipeline import ServerStats
+
+        stats = ServerStats()
+        stats.streamed_responses = 7
+        stats.chunked_responses = 5
+        stats.sse_connections = 3
+        stats.backpressure_pauses = 2
+        stats.sse_dropped_events = 1
+        summary = _format_summary(stats)
+        assert "streaming: 7 streamed (5 chunked)" in summary
+        assert "3 sse-subscribers" in summary
+        assert "2 backpressure-pauses" in summary
+        assert "1 sse-dropped" in summary
+
 
 class TestLoadgenCommand:
     def test_loadgen_against_real_server(self, tmp_path, capsys):

@@ -195,11 +195,14 @@ class TestParseRanges:
         # 0-9 and 10-19 touch, so the tolerated list also coalesces.
         assert parse_ranges("bytes=0-9,,10-19,", self.SIZE) == [(0, 20)]
 
-    def test_parse_range_still_declines_multi(self):
-        # The legacy single-window entry point must keep its contract.
-        assert parse_range("bytes=0-9,10-19", self.SIZE) is None
-        assert parse_range("bytes=0-9", self.SIZE) == (0, 10)
-        assert parse_range("bytes=9999-", self.SIZE) is RANGE_UNSATISFIABLE
+    def test_deprecated_parse_range_warns_but_keeps_contract(self):
+        # The legacy single-window shim must warn yet keep its contract.
+        with pytest.warns(DeprecationWarning):
+            assert parse_range("bytes=0-9,10-19", self.SIZE) is None
+        with pytest.warns(DeprecationWarning):
+            assert parse_range("bytes=0-9", self.SIZE) == (0, 10)
+        with pytest.warns(DeprecationWarning):
+            assert parse_range("bytes=9999-", self.SIZE) is RANGE_UNSATISFIABLE
 
 
 class TestMultipartFraming:

@@ -388,12 +388,24 @@ class TestFastParseBareLF:
 
 
 class TestParseRange:
-    """RFC 7233 single-range parsing against a representation size."""
+    """RFC 7233 range parsing against a representation size.
+
+    Exercises :func:`parse_ranges` through a one-window adapter: these
+    cases all describe a single contiguous window, so the full parser must
+    return exactly one ``(offset, length)`` pair for them.
+    """
 
     def setup_method(self):
-        from repro.http.request import RANGE_UNSATISFIABLE, parse_range
+        from repro.http.request import RANGE_UNSATISFIABLE, parse_ranges
 
-        self.parse_range = staticmethod(parse_range)
+        def one_window(value, size):
+            windows = parse_ranges(value, size)
+            if windows is None or windows is RANGE_UNSATISFIABLE:
+                return windows
+            assert len(windows) == 1, windows
+            return windows[0]
+
+        self.parse_range = staticmethod(one_window)
         self.UNSAT = RANGE_UNSATISFIABLE
 
     def test_simple_window(self):
@@ -429,8 +441,10 @@ class TestParseRange:
         assert self.parse_range("bytes=0-", 0) is self.UNSAT
         assert self.parse_range("bytes=-5", 0) is self.UNSAT
 
-    def test_multi_range_degrades_to_full(self):
-        assert self.parse_range("bytes=0-1,5-9", 4096) is None
+    def test_multi_range_returns_every_window(self):
+        from repro.http.request import parse_ranges
+
+        assert parse_ranges("bytes=0-1,5-9", 4096) == [(0, 2), (5, 5)]
 
     def test_other_units_ignored(self):
         assert self.parse_range("lines=0-5", 4096) is None
@@ -452,9 +466,9 @@ class TestParseRange:
     )
     @settings(max_examples=100, deadline=None)
     def test_window_always_inside_representation(self, size, first, last):
-        from repro.http.request import parse_range
+        from repro.http.request import parse_ranges
 
-        result = parse_range(f"bytes={first}-{last}", size)
+        result = parse_ranges(f"bytes={first}-{last}", size)
         if last < first:
             assert result is None
         elif first >= size:
@@ -462,7 +476,29 @@ class TestParseRange:
 
             assert result is RANGE_UNSATISFIABLE
         else:
-            offset, length = result
+            [(offset, length)] = result
             assert offset == first
             assert length >= 1
             assert offset + length <= size
+
+
+class TestParseRangeDeprecationShim:
+    """The legacy single-window entry point warns but still answers."""
+
+    def test_warns_and_delegates(self):
+        from repro.http.request import parse_range
+
+        with pytest.warns(DeprecationWarning, match="parse_ranges"):
+            assert parse_range("bytes=0-1023", 4096) == (0, 1024)
+
+    def test_multi_range_still_degrades_to_full(self):
+        from repro.http.request import parse_range
+
+        with pytest.warns(DeprecationWarning):
+            assert parse_range("bytes=0-1,5-9", 4096) is None
+
+    def test_unsatisfiable_passthrough(self):
+        from repro.http.request import RANGE_UNSATISFIABLE, parse_range
+
+        with pytest.warns(DeprecationWarning):
+            assert parse_range("bytes=9999-", 100) is RANGE_UNSATISFIABLE
